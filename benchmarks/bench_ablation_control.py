@@ -1,0 +1,61 @@
+"""Ablation: counter-based versus shift-register-based control
+(the Section VI trade-off).
+
+For every design (scheduled with irredundant anchors), synthesizes both
+control styles and prints the register / comparator / gate breakdown:
+shift registers spend registers to eliminate comparators, counters the
+reverse.  The weighted-area crossover depends on offset magnitudes --
+small offsets favour shift registers, large ones counters.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.control import (
+    synthesize_counter_control,
+    synthesize_shift_register_control,
+)
+from repro.designs import DESIGN_NAMES
+from repro.seqgraph import schedule_design
+
+
+def totals(result, synthesize):
+    registers = comparators = gates = 0
+    for schedule in result.schedules.values():
+        cost = synthesize(schedule).cost()
+        registers += cost.registers
+        comparators += cost.comparator_bits
+        gates += cost.gate_inputs
+    return registers, comparators, gates
+
+
+def test_control_style_tradeoff(benchmark, all_designs):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["Control-style ablation (regs/cmp bits/gate inputs, "
+             "counter vs shift-register):"]
+    for name in DESIGN_NAMES:
+        result = schedule_design(all_designs[name])
+        counter = totals(result, synthesize_counter_control)
+        shift = totals(result, synthesize_shift_register_control)
+        lines.append(f"  {name:>15}: counter {counter[0]:3d}/{counter[1]:3d}/"
+                     f"{counter[2]:3d}   shift-reg {shift[0]:3d}/"
+                     f"{shift[1]:3d}/{shift[2]:3d}")
+        # The structural trade-off of Section VI:
+        assert shift[1] == 0                      # no comparators
+        assert counter[1] > 0 or counter[0] == 0  # counters pay in comparisons
+    emit("\n".join(lines))
+
+
+@pytest.mark.parametrize("style,synthesize", [
+    ("counter", synthesize_counter_control),
+    ("shift-register", synthesize_shift_register_control),
+])
+def test_control_synthesis_speed(benchmark, all_designs, style, synthesize):
+    result = schedule_design(all_designs["frisc"])
+    schedules = list(result.schedules.values())
+
+    def run():
+        return [synthesize(schedule) for schedule in schedules]
+
+    units = benchmark(run)
+    assert len(units) == len(schedules)

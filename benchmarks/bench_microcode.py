@@ -1,0 +1,61 @@
+"""Bench: microprogrammed control for the bounded graphs of the suite.
+
+Section VI notes that without unbounded operations the control reduces
+to a single counter driving a micro-ROM or FSM.  This bench synthesizes
+microcode for every *bounded* graph in the eight designs and prints the
+storage comparison against the relative schemes; unbounded graphs are
+counted as requiring relative control -- the split that motivates the
+paper.
+"""
+
+from conftest import emit
+
+from repro import AnchorMode
+from repro.control.microcode import (
+    UnboundedScheduleError,
+    compare_with_relative_control,
+    synthesize_microcode,
+)
+from repro.designs import DESIGN_NAMES
+from repro.seqgraph import schedule_design
+
+
+def test_microcode_across_suite(benchmark, all_designs):
+    def sweep():
+        rows = []
+        bounded = unbounded = 0
+        for name in DESIGN_NAMES:
+            result = schedule_design(all_designs[name],
+                                     anchor_mode=AnchorMode.FULL)
+            rom_bits = 0
+            for schedule in result.schedules.values():
+                try:
+                    rom_bits += synthesize_microcode(schedule).rom_bits()
+                    bounded += 1
+                except UnboundedScheduleError:
+                    unbounded += 1
+            rows.append((name, rom_bits))
+        return rows, bounded, unbounded
+
+    rows, bounded, unbounded = benchmark.pedantic(sweep, rounds=1,
+                                                  iterations=1)
+    lines = [f"Microcode applicability: {bounded} bounded graphs get a "
+             f"micro-ROM, {unbounded} need relative control:",
+             f"{'design':>15}  {'ROM bits (bounded graphs)':>26}"]
+    for name, rom_bits in rows:
+        lines.append(f"{name:>15}  {rom_bits:>26}")
+    emit("\n".join(lines))
+    # The paper's premise: these designs are dominated by external
+    # synchronization, so a substantial share of graphs is unbounded.
+    assert unbounded > 0 and bounded > 0
+
+
+def test_storage_comparison_on_bounded_graph(benchmark, all_designs):
+    """ROM vs counter vs shift registers on frisc's decode stage."""
+    result = schedule_design(all_designs["frisc"],
+                             anchor_mode=AnchorMode.FULL)
+    schedule = result.schedules["decode"]
+    summary = benchmark(lambda: compare_with_relative_control(schedule))
+    emit("Bounded-graph control storage (frisc decode): "
+         + ", ".join(f"{k}={v:.0f}" for k, v in summary.items()))
+    assert summary["microcode_rom_bits"] > 0

@@ -1,0 +1,67 @@
+"""Bench: Monte Carlo latency analysis and the budget trade-off curve.
+
+Samples delay profiles on the gcd root graph and on a synthetic
+synchronization pipeline, printing the latency distribution of the
+relative schedule and the miss-rate/waste curve of static budgets --
+the quantified version of the paper's motivation.
+"""
+
+from conftest import emit
+
+from repro import ConstraintGraph, UNBOUNDED, schedule_graph
+from repro.analysis.montecarlo import compare_with_budget, monte_carlo
+
+
+def pipeline():
+    g = ConstraintGraph(source="s", sink="t")
+    previous = "s"
+    for stage in range(3):
+        g.add_operation(f"sync{stage}", UNBOUNDED)
+        g.add_operation(f"work{stage}", 3)
+        g.add_sequencing_edge(previous, f"sync{stage}")
+        g.add_sequencing_edge(f"sync{stage}", f"work{stage}")
+        previous = f"work{stage}"
+    g.add_sequencing_edge(previous, "t")
+    return g
+
+
+def test_latency_distribution(benchmark):
+    schedule = schedule_graph(pipeline())
+    specs = {f"sync{i}": (0, 8) for i in range(3)}
+    result = benchmark(lambda: monte_carlo(schedule, specs, samples=2000))
+    emit("Monte Carlo latency of the relative schedule "
+         "(3 handshakes, each uniform 0..8 cycles):\n"
+         + result.format_report(vertices=["sync0", "work0", "sync1",
+                                          "work1", "sync2", "work2", "t"]))
+    # latency = 9 cycles of work + total sync time in [0, 24]
+    assert result.latency.minimum >= 9
+    assert result.latency.maximum <= 33
+    assert 15 < result.latency.mean < 27
+
+
+def test_budget_tradeoff_curve(benchmark):
+    schedule = schedule_graph(pipeline())
+    specs = {f"sync{i}": (0, 8) for i in range(3)}
+
+    def sweep():
+        return [compare_with_budget(schedule, specs, budget, samples=500)
+                for budget in (0, 2, 4, 6, 8, 10)]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Static-budget trade-off (miss rate vs waste), relative "
+             "schedule as the ideal:",
+             f"{'budget':>7}  {'miss rate':>10}  {'static latency':>15}  "
+             f"{'mean waste when safe':>21}"]
+    for row in rows:
+        lines.append(f"{row['budget']:>7.0f}  {row['miss_rate']:>10.2%}  "
+                     f"{row['static_latency']:>15.0f}  "
+                     f"{row['mean_wasted_when_safe']:>21.1f}")
+    emit("\n".join(lines))
+    # monotone: bigger budgets miss less and waste more
+    miss = [row["miss_rate"] for row in rows]
+    waste = [row["mean_wasted_when_safe"] for row in rows]
+    assert miss == sorted(miss, reverse=True)
+    assert waste == sorted(waste)
+    # no budget reaches zero miss rate AND zero waste
+    assert all(row["miss_rate"] > 0 or row["mean_wasted_when_safe"] > 0
+               for row in rows)

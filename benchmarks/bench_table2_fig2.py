@@ -1,0 +1,34 @@
+"""Bench: Table II -- anchor sets and minimum offsets of Fig. 2.
+
+Regenerates every cell of Table II and times the relative-scheduling
+pipeline on the paper's running example.
+"""
+
+from conftest import emit
+
+from repro import AnchorMode, schedule_graph
+from repro.analysis.paper_figures import fig2_graph
+from repro.analysis.tables import format_table2, table2_rows
+
+#: Table II of the paper: vertex -> (anchor set, sigma_v0, sigma_a).
+PAPER_TABLE2 = {
+    "v0": (set(), None, None),
+    "a": ({"v0"}, 0, None),
+    "v1": ({"v0"}, 0, None),
+    "v2": ({"v0"}, 2, None),
+    "v3": ({"v0", "a"}, 3, 0),
+    "v4": ({"v0", "a"}, 8, 5),
+}
+
+
+def test_table2_offsets(benchmark):
+    graph = fig2_graph()
+    schedule = benchmark(lambda: schedule_graph(graph.copy(),
+                                                anchor_mode=AnchorMode.FULL))
+    rows = {row["vertex"]: row for row in table2_rows()}
+    for vertex, (anchors, sigma_v0, sigma_a) in PAPER_TABLE2.items():
+        assert set(rows[vertex]["anchor_set"]) == anchors
+        assert rows[vertex]["sigma_v0"] == sigma_v0
+        assert rows[vertex]["sigma_a"] == sigma_a
+    assert schedule.offset("v4", "v0") == 8
+    emit(format_table2())

@@ -1,0 +1,32 @@
+"""Bench: Table IV -- maximum offsets under full vs minimum anchor sets.
+
+Prints the paper-versus-measured rows (max sigma^max and its sum, both
+anchor-set variants) and times hierarchical scheduling per design in
+both modes.  The "sum of max" column is the register count of the
+shift-register control implementation (Section VI).
+"""
+
+import pytest
+from conftest import emit
+
+from repro import AnchorMode
+from repro.analysis.tables import format_table4
+from repro.designs import DESIGN_NAMES
+from repro.seqgraph import schedule_design
+
+
+def test_table4_rows(benchmark, all_design_stats):
+    benchmark.pedantic(lambda: format_table4(all_design_stats),
+                       rounds=1, iterations=1)
+    emit(format_table4(all_design_stats))
+    for name, stats in all_design_stats.items():
+        assert stats.min_sum_max <= stats.full_sum_max, name
+        assert stats.min_max <= stats.full_max, name
+
+
+@pytest.mark.parametrize("mode", [AnchorMode.FULL, AnchorMode.IRREDUNDANT])
+@pytest.mark.parametrize("name", DESIGN_NAMES)
+def test_hierarchical_scheduling(benchmark, all_designs, name, mode):
+    design = all_designs[name]
+    result = benchmark(lambda: schedule_design(design, anchor_mode=mode))
+    assert result.latency is not None

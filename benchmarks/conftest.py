@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive inputs (the eight designs and their statistics) are
+computed once per session and shared across benches; each bench prints
+the paper-versus-measured rows it regenerates (run with ``-s`` to see
+them inline, or read the printed summary at the end of the session).
+"""
+
+import pytest
+
+from repro.designs import DESIGN_NAMES, build_design
+from repro.seqgraph import design_statistics
+
+
+@pytest.fixture(scope="session")
+def all_designs():
+    """The eight evaluation designs, keyed by registry name."""
+    return {name: build_design(name) for name in DESIGN_NAMES}
+
+
+@pytest.fixture(scope="session")
+def all_design_stats(all_designs):
+    """Table III / IV statistics for every design."""
+    return {name: design_statistics(design)
+            for name, design in all_designs.items()}
+
+
+def emit(text: str) -> None:
+    """Print a bench's regenerated table.
+
+    pytest captures stdout by default; the tables still land in the
+    captured-output section and appear inline under ``-s``.
+    """
+    print()
+    print(text)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The DAIO audio pipeline: reconstruction, execution, and what-if.
+
+Schedules the digital-audio phase decoder and receiver (the paper's
+Section VII designs), executes the decoder hierarchy under a concrete
+stimulus (edge-wait times, hunt iterations) rendering an ASCII Gantt
+chart, and runs a Monte Carlo what-if over jittery serial-line timing to
+estimate the subframe latency distribution -- the analysis a designer
+does right after relative scheduling says the constraints are met.
+
+Run:  python examples/audio_pipeline.py
+"""
+
+from repro import AnchorMode
+from repro.analysis.montecarlo import monte_carlo
+from repro.designs import build_design
+from repro.seqgraph import design_statistics, schedule_design
+from repro.sim import Stimulus, execute_design, render_gantt
+from repro.sim.engine import check_constraints
+
+
+def main() -> None:
+    decoder = build_design("daio_decoder")
+    receiver = build_design("daio_receiver")
+
+    print("=== anchor statistics (Table III rows) ===")
+    for design in (decoder, receiver):
+        stats = design_statistics(design)
+        print(f"  {design.name:>15}: |A|/|V| = {stats.n_anchors}/"
+              f"{stats.n_vertices}, offsets full {stats.full_total} "
+              f"-> irredundant {stats.min_total}")
+    print()
+
+    print("=== decoder execution under a concrete stimulus ===")
+    result = schedule_design(decoder, anchor_mode=AnchorMode.IRREDUNDANT)
+    stimulus = Stimulus(
+        loop_iterations={"hunt_preamble": 2, "shift_subframe": 3},
+        wait_delays={"line_edge": 2},
+        branch_choices=0,
+    )
+    sim = execute_design(result, stimulus)
+    violations = check_constraints(result, sim)
+    print(f"completion: cycle {sim.completion}; "
+          f"constraint violations: {len(violations)}")
+    print(render_gantt(sim, include=["hunt_preamble", "shift_subframe",
+                                     "emit", "line_edge", "shift_in",
+                                     "match"], width=60))
+    print()
+
+    print("=== Monte Carlo: subframe latency under line jitter ===")
+    root_schedule = result.schedules[decoder.root]
+    anchors = root_schedule.graph.anchors
+    specs = {}
+    for anchor in anchors:
+        if anchor.startswith("hunt"):
+            specs[anchor] = (4, 40)     # preamble hunting dominates
+        elif anchor.startswith("shift"):
+            specs[anchor] = (24, 36)    # ~32 bit cells with jitter
+        elif anchor != root_schedule.graph.source:
+            specs[anchor] = (0, 4)
+    report = monte_carlo(root_schedule, specs, samples=2000, seed=27)
+    print(report.format_report(
+        vertices=[v for v in root_schedule.graph.forward_topological_order()
+                  if v != root_schedule.graph.source]))
+    print()
+    print(f"subframe latency: mean {report.latency.mean:.1f} cycles, "
+          f"p95 {report.latency.percentile(95)}, "
+          f"worst {report.latency.maximum}")
+    print()
+
+    print("=== which synchronization should we optimize? ===")
+    from repro.analysis.sensitivity import criticality
+
+    ranking = criticality(root_schedule, specs, samples=1000, seed=5)
+    print(ranking.format())
+    top = [a for a in ranking.ranked()
+           if a != root_schedule.graph.source][0]
+    print(f"-> speeding up {top!r} pays off most often")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""ASIC bus-interface synthesis: the paper's motivating scenario.
+
+An interface block that (1) waits for a bus grant (unbounded delay),
+(2) must drive the address within 2 cycles of the grant, (3) waits for
+the slave's acknowledge (unbounded), and (4) must release the bus no
+more than 4 cycles after the acknowledge.  A second requirement couples
+the data latch to an external strobe -- an *ill-posed* constraint that
+``make_well_posed`` repairs by minimal serialization.
+
+The example also compares relative scheduling against the traditional
+"assume a worst-case budget" approach across run-time delay profiles:
+relative scheduling is optimal for every profile, while any fixed
+budget is either unsafe or wasteful.
+
+Run:  python examples/bus_interface.py
+"""
+
+from repro import (
+    ConstraintGraph,
+    UNBOUNDED,
+    WellPosedness,
+    check_well_posed,
+    make_well_posed,
+    schedule_graph,
+)
+from repro.baselines import worst_case_schedule
+from repro.core.wellposed import serialization_edges
+
+
+def build_interface() -> ConstraintGraph:
+    """The bus-interface constraint graph.
+
+    Modelling note: a deadline measured from an anchor's *completion*
+    cannot be written as a max constraint against the anchor itself
+    (start-time separation against an unbounded delay is inherently
+    ill-posed, Lemma 1).  The idiom is a zero-delay sentinel operation
+    right after the anchor -- ``grant_seen``, ``ack_seen``,
+    ``strobe_seen`` below -- and constraints against the sentinel.
+    """
+    g = ConstraintGraph(source="start", sink="done")
+    g.add_operation("req_bus", 1)               # raise the request line
+    g.add_operation("grant", UNBOUNDED)         # wait for arbitration
+    g.add_operation("grant_seen", 0)            # grant-completion sentinel
+    g.add_operation("drive_addr", 1)            # put the address out
+    g.add_operation("ack", UNBOUNDED)           # wait for the slave
+    g.add_operation("ack_seen", 0)              # ack-completion sentinel
+    g.add_operation("latch_data", 1)            # capture the data
+    g.add_operation("strobe", UNBOUNDED)        # external data strobe
+    g.add_operation("strobe_seen", 0)           # strobe-completion sentinel
+    g.add_operation("release", 1)               # drop the request line
+    g.add_sequencing_edges([
+        ("start", "req_bus"), ("req_bus", "grant"),
+        ("grant", "grant_seen"), ("grant_seen", "drive_addr"),
+        ("drive_addr", "ack"), ("ack", "ack_seen"),
+        ("ack_seen", "latch_data"),
+        ("start", "strobe"), ("strobe", "strobe_seen"),
+        ("strobe_seen", "latch_data"),
+        ("latch_data", "release"), ("release", "done"),
+    ])
+    # Protocol timing requirements:
+    g.add_max_constraint("grant_seen", "drive_addr", 2)  # address deadline
+    g.add_max_constraint("ack_seen", "release", 4)       # bus turnaround
+    # The latch must stay within 3 cycles of the strobe.  Ill-posed as
+    # written: the latch also waits on `ack`, which the strobe side
+    # knows nothing about -- make_well_posed must serialize the strobe
+    # observation after the other anchors.
+    g.add_max_constraint("strobe_seen", "latch_data", 3)
+    return g
+
+
+def main() -> None:
+    graph = build_interface()
+    graph.validate()
+    status = check_well_posed(graph)
+    print(f"constraint graph: {graph}")
+    print(f"well-posedness: {status.value}")
+    assert status is WellPosedness.ILL_POSED
+
+    fixed = make_well_posed(graph)
+    added = serialization_edges(fixed)
+    print("make_well_posed added serialization edges:")
+    for edge in added:
+        print(f"  {edge.tail} -> {edge.head}  (weight delta({edge.tail}))")
+    print(f"now: {check_well_posed(fixed).value}")
+    print()
+
+    schedule = schedule_graph(fixed)
+    print("minimum relative schedule:")
+    print(schedule.format_table())
+    print()
+
+    print("start times across delay profiles "
+          "(grant / ack / strobe wait times):")
+    profiles = [
+        {"grant": 0, "ack": 0, "strobe": 0},
+        {"grant": 5, "ack": 2, "strobe": 1},
+        {"grant": 1, "ack": 9, "strobe": 12},
+    ]
+    for profile in profiles:
+        start = schedule.start_times(profile)
+        print(f"  {profile}: latch@{start['latch_data']} "
+              f"release@{start['release']} done@{start['done']}")
+        # the protocol deadlines hold in every profile:
+        assert start["drive_addr"] <= start["grant"] + profile["grant"] + 2
+        assert start["release"] <= start["ack"] + profile["ack"] + 4
+    print("  (all protocol deadlines verified in every profile)")
+    print()
+
+    print("=== versus the worst-case-budget baseline ===")
+    print(f"{'budget':>7}  {'actual grant/ack':>17}  {'safe':>5}  "
+          f"{'baseline latency':>17}  {'relative latency':>17}  {'wasted':>7}")
+    for budget in (2, 6, 12):
+        for actual in ({"grant": 1, "ack": 1}, {"grant": 8, "ack": 3}):
+            outcome = worst_case_schedule(fixed, budget, actual)
+            ideal = schedule.start_times(actual)[fixed.sink]
+            print(f"{budget:>7}  {str(tuple(actual.values())):>17}  "
+                  f"{str(outcome.safe):>5}  {outcome.latency:>17}  "
+                  f"{ideal:>17}  {outcome.wasted_cycles:>7}")
+    print("\nno single budget is both safe and tight; the relative "
+          "schedule is optimal for every profile (Theorem 3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""End-to-end synthesis of the paper's gcd example (Figs. 13 and 14).
+
+Pipeline: HardwareC source -> hierarchical sequencing graphs ->
+bottom-up relative scheduling -> control generation (both styles) ->
+cycle-accurate control simulation -> functional validation.
+
+The timing constraints pin the sampling of ``xin`` to exactly one clock
+cycle after the sampling of ``yin``; the simulation trace shows the
+samples landing right after ``restart`` falls, reproducing Fig. 14.
+
+Run:  python examples/gcd_synthesis.py
+"""
+
+import math
+import random
+
+from repro.analysis.figures import fig14_simulation
+from repro.control import (
+    synthesize_counter_control,
+    synthesize_shift_register_control,
+)
+from repro.designs.gcd import GCD_SOURCE, build_gcd
+from repro.hdl import parse
+from repro.seqgraph import schedule_design
+from repro.sim import Interpreter, PortStream
+
+
+def main() -> None:
+    print("=== HardwareC source (Fig. 13) ===")
+    print(GCD_SOURCE)
+
+    design = build_gcd()
+    print(f"compiled: {design}")
+    for name in design.hierarchy_order():
+        print(f"  {design.graph(name)}")
+    print()
+
+    result = schedule_design(design)
+    print("per-graph latency characterization (bottom-up):")
+    for name, latency in result.latencies.items():
+        print(f"  {name:>20}: {latency!r}")
+    print()
+
+    schedule = result.schedules["gcd"]
+    print("root-graph minimum relative schedule:")
+    print(schedule.format_table())
+    print()
+
+    print("control generation (Section VI):")
+    for label, synthesize in [("counter", synthesize_counter_control),
+                              ("shift-register", synthesize_shift_register_control)]:
+        unit = synthesize(schedule)
+        cost = unit.cost()
+        print(f"  {label:>15}: registers={cost.registers}, "
+              f"comparator_bits={cost.comparator_bits}, "
+              f"gate_inputs={cost.gate_inputs}, "
+              f"area~{cost.total():.1f}")
+    print()
+
+    print("=== simulation (Fig. 14) ===")
+    sim = fig14_simulation(restart_cycles=4)
+    print(sim.waveform)
+    print(f"restart high for {sim.restart_cycles} cycles; "
+          f"y sampled at {sim.y_sampled_at}, x at {sim.x_sampled_at} "
+          f"(exactly one cycle later: {sim.separation_ok})")
+    print(f"control fires enables exactly at T(v): "
+          f"{sim.control_matches_schedule}")
+    print()
+
+    print("functional check against math.gcd:")
+    program = parse(GCD_SOURCE)
+    rng = random.Random(7)
+    for _ in range(5):
+        a, b = rng.randint(1, 255), rng.randint(1, 255)
+        outputs = Interpreter(program).run(
+            {"restart": PortStream([1, 0]), "xin": a, "yin": b}).outputs
+        status = "ok" if outputs["result"] == math.gcd(a, b) else "MISMATCH"
+        print(f"  gcd({a:>3}, {b:>3}) = {outputs['result']:>3}  [{status}]")
+    print()
+
+    print("=== co-simulation: values drive the timing ===")
+    from repro.sim import cosimulate
+
+    for a, b in [(8, 8), (36, 24), (255, 254)]:
+        cosim_result = cosimulate(
+            GCD_SOURCE, {"restart": PortStream([1, 0]),
+                         "xin": a, "yin": b})
+        print(f"  gcd({a:>3}, {b:>3}) = "
+              f"{cosim_result.outputs['result']:>3} after "
+              f"{cosim_result.completion:>4} cycles "
+              f"(violations: {len(cosim_result.violations)})")
+    print("(data-dependent latency, statically guaranteed constraints)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: relative scheduling of the paper's running example.
+
+Builds the Fig. 2 constraint graph (two anchors: the source and an
+unbounded synchronization ``a``), checks well-posedness, computes the
+minimum relative schedule, prints the Table II offsets, and evaluates
+start times under several run-time delay profiles -- demonstrating the
+core idea: one schedule, optimal for *every* profile.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AnchorMode,
+    ConstraintGraph,
+    UNBOUNDED,
+    check_well_posed,
+    schedule_graph,
+)
+
+
+def build_fig2() -> ConstraintGraph:
+    """The Fig. 2 constraint graph from the paper."""
+    g = ConstraintGraph(source="v0", sink="v4")
+    g.add_operation("a", UNBOUNDED)   # external synchronization
+    g.add_operation("v1", 2)
+    g.add_operation("v2", 1)
+    g.add_operation("v3", 5)
+    g.add_sequencing_edges([("v0", "a"), ("v0", "v1"), ("v1", "v2"),
+                            ("a", "v3"), ("v2", "v3"), ("v3", "v4")])
+    g.add_min_constraint("v0", "v3", l=3)   # v3 at least 3 cycles in
+    g.add_max_constraint("v1", "v2", u=4)   # v2 within 4 cycles of v1
+    return g
+
+
+def main() -> None:
+    graph = build_fig2()
+    graph.validate()
+    print(f"constraint graph: {graph}")
+    print(f"anchors: {graph.anchors}")
+    print(f"well-posedness: {check_well_posed(graph).value}")
+    print()
+
+    schedule = schedule_graph(graph, anchor_mode=AnchorMode.FULL)
+    print("minimum relative schedule (Table II):")
+    print(schedule.format_table())
+    print()
+
+    print("start-time formula for v4 (Section III-A):")
+    print(f"  T(v4) = {schedule.start_time_expression('v4')}")
+    print()
+
+    print("start times under run-time delay profiles for anchor a:")
+    for delta_a in (0, 3, 10):
+        start = schedule.start_times({"a": delta_a})
+        print(f"  delta(a) = {delta_a:>2}: "
+              + "  ".join(f"{v}@{t}" for v, t in start.items()))
+    print()
+
+    minimal = schedule_graph(graph, anchor_mode=AnchorMode.IRREDUNDANT)
+    full_offsets = sum(len(v) for v in schedule.offsets.values())
+    min_offsets = sum(len(v) for v in minimal.offsets.values())
+    print(f"offsets tracked: full anchor sets = {full_offsets}, "
+          f"irredundant = {min_offsets}")
+    print("(identical start times, cheaper control -- Theorems 4 and 6)")
+
+
+if __name__ == "__main__":
+    main()

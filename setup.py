@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+legacy editable-install path (``pip install -e . --no-use-pep517``)
+works on machines without the ``wheel`` package or network access.
+"""
+
+from setuptools import setup
+
+setup()

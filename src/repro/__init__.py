@@ -1,0 +1,105 @@
+"""repro -- Relative Scheduling Under Timing Constraints.
+
+A faithful, production-quality reproduction of:
+
+    D. C. Ku and G. De Micheli, "Relative Scheduling Under Timing
+    Constraints: Algorithms for High-Level Synthesis of Digital
+    Circuits", DAC 1990 / IEEE Trans. CAD 1992.
+
+The library implements the paper's full pipeline (Fig. 9) and the
+surrounding Hercules/Hebe-style synthesis substrate:
+
+* :mod:`repro.core` -- constraint graphs, anchors, well-posedness,
+  ``makeWellposed``, irredundant anchors, and iterative incremental
+  scheduling (the paper's contribution).
+* :mod:`repro.seqgraph` -- hierarchical sequencing graphs (the Hercules
+  hardware model) and their conversion to constraint graphs.
+* :mod:`repro.hdl` -- a HardwareC-subset frontend (the paper's Fig. 13
+  gcd source parses and synthesizes).
+* :mod:`repro.binding` -- module binding and constrained conflict
+  resolution (the pre-scheduling step the formulation assumes).
+* :mod:`repro.control` -- counter-based and shift-register-based control
+  generation with cost models (Section VI).
+* :mod:`repro.sim` -- cycle-accurate simulation of relative schedules
+  and of the generated control logic (Fig. 14).
+* :mod:`repro.baselines` -- traditional fixed-delay schedulers for
+  comparison.
+* :mod:`repro.designs` -- the eight evaluation designs of Section VII.
+* :mod:`repro.analysis` -- experiment drivers regenerating every table
+  and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import (ConstraintGraph, UNBOUNDED, schedule_graph)
+
+    g = ConstraintGraph(source="v0", sink="v4")
+    g.add_operation("a", UNBOUNDED)
+    g.add_operation("v1", 2)
+    g.add_operation("v2", 1)
+    g.add_operation("v3", 5)
+    g.add_sequencing_edges([("v0", "a"), ("v0", "v1"), ("v1", "v2"),
+                            ("a", "v3"), ("v2", "v3"), ("v3", "v4")])
+    g.add_min_constraint("v0", "v3", l=3)
+    g.add_max_constraint("v1", "v2", u=4)
+
+    schedule = schedule_graph(g)
+    print(schedule.format_table())
+    print(schedule.start_times({"a": 7}))
+"""
+
+from repro.core import (
+    UNBOUNDED,
+    AnchorMode,
+    ConstraintGraph,
+    ConstraintGraphError,
+    CyclicForwardGraphError,
+    Edge,
+    EdgeKind,
+    IllPosedError,
+    InconsistentConstraintsError,
+    IterativeIncrementalScheduler,
+    MaxTimingConstraint,
+    MinTimingConstraint,
+    RelativeSchedule,
+    ScheduleTrace,
+    UnfeasibleConstraintsError,
+    Vertex,
+    WellPosedness,
+    check_well_posed,
+    find_anchor_sets,
+    irredundant_anchors,
+    is_feasible,
+    make_well_posed,
+    relevant_anchors,
+    schedule_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UNBOUNDED",
+    "AnchorMode",
+    "ConstraintGraph",
+    "ConstraintGraphError",
+    "CyclicForwardGraphError",
+    "Edge",
+    "EdgeKind",
+    "IllPosedError",
+    "InconsistentConstraintsError",
+    "IterativeIncrementalScheduler",
+    "MaxTimingConstraint",
+    "MinTimingConstraint",
+    "RelativeSchedule",
+    "ScheduleTrace",
+    "UnfeasibleConstraintsError",
+    "Vertex",
+    "WellPosedness",
+    "check_well_posed",
+    "find_anchor_sets",
+    "irredundant_anchors",
+    "is_feasible",
+    "make_well_posed",
+    "relevant_anchors",
+    "schedule_graph",
+    "__version__",
+]

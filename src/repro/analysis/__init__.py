@@ -1,0 +1,77 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+* :mod:`repro.analysis.paper_data` -- the published Table III / Table IV
+  numbers, kept as data for side-by-side comparison;
+* :mod:`repro.analysis.paper_figures` -- constructors for the paper's
+  example graphs (Figs. 1-3, the Fig. 10 scheduling example --
+  reconstructed exactly from its published offset trace -- and the
+  Fig. 12 control example);
+* :mod:`repro.analysis.tables` -- Table II / III / IV row computation
+  and ASCII rendering;
+* :mod:`repro.analysis.figures` -- the Fig. 10 iteration trace and the
+  Fig. 14 gcd simulation drivers.
+"""
+
+from repro.analysis.paper_data import PAPER_TABLE3, PAPER_TABLE4
+from repro.analysis.paper_figures import (
+    fig1_graph,
+    fig2_graph,
+    fig3a_graph,
+    fig3b_graph,
+    fig10_graph,
+    fig12_graph,
+)
+from repro.analysis.tables import (
+    format_table2,
+    format_table3,
+    format_table4,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+)
+from repro.analysis.figures import (
+    fig10_trace,
+    fig14_simulation,
+    format_fig10,
+)
+from repro.analysis.montecarlo import (
+    LatencyStats,
+    MonteCarloResult,
+    compare_with_budget,
+    monte_carlo,
+)
+from repro.analysis.sensitivity import (
+    CriticalityReport,
+    criticality,
+    latency_sensitivity,
+)
+from repro.analysis.diff import ScheduleDiff, diff_schedules
+
+__all__ = [
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "fig1_graph",
+    "fig2_graph",
+    "fig3a_graph",
+    "fig3b_graph",
+    "fig10_graph",
+    "fig12_graph",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "table2_rows",
+    "table3_rows",
+    "table4_rows",
+    "fig10_trace",
+    "fig14_simulation",
+    "format_fig10",
+    "LatencyStats",
+    "MonteCarloResult",
+    "compare_with_budget",
+    "monte_carlo",
+    "CriticalityReport",
+    "criticality",
+    "latency_sensitivity",
+    "ScheduleDiff",
+    "diff_schedules",
+]

@@ -1,0 +1,92 @@
+"""Schedule diffing: what changed between two relative schedules.
+
+Pairs naturally with incremental rescheduling and constraint editing:
+after adding/removing a constraint or re-binding, the diff shows which
+offsets moved, which anchors were gained or lost per vertex, and how
+the control-relevant aggregates (sigma^max sums) shifted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.schedule import RelativeSchedule
+
+
+@dataclass(frozen=True)
+class OffsetChange:
+    """One (vertex, anchor) offset difference."""
+
+    vertex: str
+    anchor: str
+    before: Optional[int]  # None = not tracked before
+    after: Optional[int]   # None = no longer tracked
+
+    @property
+    def kind(self) -> str:
+        if self.before is None:
+            return "added"
+        if self.after is None:
+            return "removed"
+        return "moved"
+
+    def __str__(self) -> str:
+        if self.kind == "added":
+            return f"{self.vertex}/{self.anchor}: (new) -> {self.after}"
+        if self.kind == "removed":
+            return f"{self.vertex}/{self.anchor}: {self.before} -> (dropped)"
+        return f"{self.vertex}/{self.anchor}: {self.before} -> {self.after}"
+
+
+@dataclass
+class ScheduleDiff:
+    """The difference between two schedules of comparable graphs."""
+
+    changes: List[OffsetChange] = field(default_factory=list)
+    sum_max_before: int = 0
+    sum_max_after: int = 0
+
+    @property
+    def unchanged(self) -> bool:
+        return not self.changes
+
+    def moved(self) -> List[OffsetChange]:
+        return [c for c in self.changes if c.kind == "moved"]
+
+    def added(self) -> List[OffsetChange]:
+        return [c for c in self.changes if c.kind == "added"]
+
+    def removed(self) -> List[OffsetChange]:
+        return [c for c in self.changes if c.kind == "removed"]
+
+    def format(self) -> str:
+        """Human-readable change log."""
+        if self.unchanged:
+            return "schedules identical"
+        lines = [f"{len(self.changes)} offset change(s); sum of max "
+                 f"offsets {self.sum_max_before} -> {self.sum_max_after}"]
+        lines += [f"  {change}" for change in self.changes]
+        return "\n".join(lines)
+
+
+def diff_schedules(before: RelativeSchedule,
+                   after: RelativeSchedule) -> ScheduleDiff:
+    """Compare two schedules vertex by vertex, anchor by anchor.
+
+    The graphs need not be identical objects (the incremental API copies
+    them); vertices present in only one schedule appear as added/removed
+    entries for all their offsets.
+    """
+    diff = ScheduleDiff(sum_max_before=before.sum_of_max_offsets(),
+                        sum_max_after=after.sum_of_max_offsets())
+    vertices = sorted(set(before.offsets) | set(after.offsets))
+    for vertex in vertices:
+        old = before.offsets.get(vertex, {})
+        new = after.offsets.get(vertex, {})
+        for anchor in sorted(set(old) | set(new)):
+            left = old.get(anchor)
+            right = new.get(anchor)
+            if left != right:
+                diff.changes.append(OffsetChange(vertex, anchor, left, right))
+    return diff

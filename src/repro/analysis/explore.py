@@ -1,0 +1,128 @@
+"""Resource design-space exploration over the Hebe flow.
+
+Hebe's stated objective is "to explore design trade-offs in meeting the
+timing and resource constraints" (Section VII).  This module sweeps
+resource allocations, runs the full synthesize flow on each (bind,
+resolve conflicts, relatively schedule, generate control), and reports
+the area/latency points with their Pareto frontier.
+
+Latency of an unbounded design is summarized by its *best-case*
+completion -- the root sink's start with every anchor delay at 0 --
+which relative scheduling makes profile-wise optimal, so the ordering
+between allocations is profile-independent for the serializations the
+allocation forces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.binding.conflict import ConflictResolutionError
+from repro.binding.resources import ResourceLibrary, ResourceType
+from repro.core.exceptions import ConstraintGraphError
+from repro.seqgraph.model import Design
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One synthesized allocation."""
+
+    counts: Tuple[Tuple[str, int], ...]  # (class, instances), sorted
+    datapath_area: float
+    control_area: float
+    best_case_latency: int
+    feasible: bool
+
+    @property
+    def total_area(self) -> float:
+        return self.datapath_area + self.control_area
+
+    def __str__(self) -> str:
+        alloc = ", ".join(f"{c}:{n}" for c, n in self.counts)
+        if not self.feasible:
+            return f"[{alloc}] infeasible"
+        return (f"[{alloc}] area {self.total_area:.1f} "
+                f"(datapath {self.datapath_area:.1f} + control "
+                f"{self.control_area:.1f}), latency {self.best_case_latency}")
+
+
+def explore_resource_space(design: Design,
+                           class_counts: Mapping[str, Sequence[int]],
+                           areas: Optional[Mapping[str, float]] = None,
+                           exact_conflicts: bool = False,
+                           control_style: str = "shift-register"
+                           ) -> List[DesignPoint]:
+    """Synthesize *design* under every allocation in the grid.
+
+    Args:
+        design: the input design.
+        class_counts: per resource class, the instance counts to try
+            (the grid is their cartesian product).
+        areas: per-instance area by class (default 1.0 each).
+        exact_conflicts: use branch-and-bound conflict resolution.
+        control_style: control style for the cost column.
+
+    Returns:
+        One :class:`DesignPoint` per allocation; allocations whose
+        conflicts cannot be serialized under the timing constraints are
+        marked infeasible.
+    """
+    from repro.flows import synthesize
+
+    areas = dict(areas or {})
+    classes = sorted(class_counts)
+    points: List[DesignPoint] = []
+    for combo in itertools.product(*(class_counts[c] for c in classes)):
+        counts = tuple(zip(classes, combo))
+        library = ResourceLibrary([
+            ResourceType(cls, count=n, area=areas.get(cls, 1.0))
+            for cls, n in counts])
+        try:
+            result = synthesize(design, library,
+                                exact_conflicts=exact_conflicts,
+                                control_style=control_style)
+        except (ConflictResolutionError, ConstraintGraphError):
+            points.append(DesignPoint(counts, 0.0, 0.0, 0, feasible=False))
+            continue
+        root_schedule = result.schedule.schedules[design.root]
+        latency = root_schedule.start_times({})[root_schedule.graph.sink]
+        points.append(DesignPoint(
+            counts=counts,
+            datapath_area=result.total_area(),
+            control_area=result.control_cost().total(),
+            best_case_latency=latency,
+            feasible=True))
+    return points
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """The non-dominated feasible points (minimize area and latency)."""
+    feasible = [p for p in points if p.feasible]
+    front: List[DesignPoint] = []
+    for candidate in feasible:
+        dominated = any(
+            (other.total_area <= candidate.total_area
+             and other.best_case_latency <= candidate.best_case_latency
+             and (other.total_area < candidate.total_area
+                  or other.best_case_latency < candidate.best_case_latency))
+            for other in feasible)
+        if not dominated:
+            front.append(candidate)
+    return sorted(front, key=lambda p: (p.best_case_latency, p.total_area))
+
+
+def format_exploration(points: Sequence[DesignPoint]) -> str:
+    """Render the sweep with the Pareto points marked."""
+    front = set(id(p) for p in pareto_front(points))
+    lines = [f"{'allocation':>24}  {'area':>8}  {'latency':>8}  pareto"]
+    for point in points:
+        alloc = ",".join(f"{c}:{n}" for c, n in point.counts)
+        if not point.feasible:
+            lines.append(f"{alloc:>24}  {'-':>8}  {'-':>8}  infeasible")
+            continue
+        marker = "  *" if id(point) in front else ""
+        lines.append(f"{alloc:>24}  {point.total_area:>8.1f}  "
+                     f"{point.best_case_latency:>8}{marker}")
+    return "\n".join(lines)

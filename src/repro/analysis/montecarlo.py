@@ -1,0 +1,175 @@
+"""Monte Carlo latency analysis of relative schedules.
+
+A relative schedule is one static artifact valid for every run-time
+delay profile.  This module samples profiles from per-anchor delay
+distributions and reports the induced distribution of start times and
+latency -- the "what will this interface actually feel like" question a
+designer asks once the schedule exists.  Because the minimum relative
+schedule is per-profile ASAP (Theorem 3), these numbers are lower
+bounds for *any* correct implementation, which the worst-case-budget
+comparison bench exploits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.schedule import RelativeSchedule
+
+#: A per-anchor delay sampler: an int (constant), an inclusive (lo, hi)
+#: range, an explicit list of outcomes, or a callable of the RNG.
+DelaySpec = Union[int, Sequence[int], Callable[[random.Random], int]]
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics of a sampled distribution (integer cycles)."""
+
+    samples: List[int]
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def minimum(self) -> int:
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> int:
+        return max(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, q: float) -> int:
+        """The q-th percentile (0 <= q <= 100), nearest-rank."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, max(0, round(q / 100 * (len(ordered) - 1))))
+        return ordered[index]
+
+    def __repr__(self) -> str:
+        return (f"LatencyStats(n={self.count}, min={self.minimum}, "
+                f"mean={self.mean:.1f}, p95={self.percentile(95)}, "
+                f"max={self.maximum})")
+
+
+@dataclass
+class MonteCarloResult:
+    """Outcome of a Monte Carlo run over one schedule."""
+
+    latency: LatencyStats
+    start_times: Dict[str, LatencyStats]
+    profiles_sampled: int
+
+    def format_report(self, vertices: Optional[Sequence[str]] = None) -> str:
+        """Tabular latency/start-time summary."""
+        lines = [f"latency over {self.profiles_sampled} profiles: "
+                 f"{self.latency!r}",
+                 f"{'vertex':>12}  {'min':>5}  {'mean':>7}  {'p95':>5}  "
+                 f"{'max':>5}"]
+        names = vertices if vertices is not None else sorted(self.start_times)
+        for name in names:
+            stats = self.start_times[name]
+            lines.append(f"{name:>12}  {stats.minimum:>5}  "
+                         f"{stats.mean:>7.1f}  {stats.percentile(95):>5}  "
+                         f"{stats.maximum:>5}")
+        return "\n".join(lines)
+
+
+def _sample(spec: DelaySpec, rng: random.Random) -> int:
+    if callable(spec):
+        value = spec(rng)
+    elif isinstance(spec, int):
+        value = spec
+    else:
+        choices = list(spec)
+        if len(choices) == 2 and all(isinstance(c, int) for c in choices) \
+                and choices[0] <= choices[1]:
+            value = rng.randint(choices[0], choices[1])
+        else:
+            value = rng.choice(choices)
+    if value < 0:
+        raise ValueError(f"sampled a negative delay {value}")
+    return value
+
+
+def monte_carlo(schedule: RelativeSchedule,
+                delay_specs: Mapping[str, DelaySpec],
+                samples: int = 1000,
+                seed: int = 0) -> MonteCarloResult:
+    """Sample start-time distributions under random delay profiles.
+
+    Args:
+        schedule: a (minimum) relative schedule.
+        delay_specs: per-anchor delay distribution; anchors missing from
+            the map run in 0 cycles.  A two-int sequence ``(lo, hi)`` is
+            a uniform inclusive range; longer sequences are choice sets.
+        samples: number of profiles to draw.
+        seed: RNG seed (deterministic by default).
+    """
+    if samples < 1:
+        raise ValueError("need at least one sample")
+    rng = random.Random(seed)
+    anchors = [a for a in schedule.graph.anchors]
+    latencies: List[int] = []
+    per_vertex: Dict[str, List[int]] = {v: [] for v in schedule.graph.vertex_names()}
+    sink = schedule.graph.sink
+    for _ in range(samples):
+        profile = {a: _sample(delay_specs[a], rng)
+                   for a in anchors if a in delay_specs}
+        start = schedule.start_times(profile)
+        latencies.append(start[sink])
+        for vertex, time in start.items():
+            per_vertex[vertex].append(time)
+    return MonteCarloResult(
+        latency=LatencyStats(latencies),
+        start_times={v: LatencyStats(times) for v, times in per_vertex.items()},
+        profiles_sampled=samples,
+    )
+
+
+def compare_with_budget(schedule: RelativeSchedule,
+                        delay_specs: Mapping[str, DelaySpec],
+                        budget: int,
+                        samples: int = 1000,
+                        seed: int = 0) -> Dict[str, float]:
+    """Monte Carlo comparison against a static worst-case budget.
+
+    Returns a summary dict: the budget's miss rate (profiles where an
+    actual delay exceeds it -- the static schedule would be *unsafe*),
+    the mean relative latency, the static latency, and the mean wasted
+    cycles when the budget is safe.
+    """
+    from repro.baselines.worst_case import worst_case_schedule
+
+    rng = random.Random(seed)
+    anchors = [a for a in schedule.graph.anchors]
+    sink = schedule.graph.sink
+    misses = 0
+    total_relative = 0
+    wasted: List[int] = []
+    static_latency: Optional[int] = None
+    for _ in range(samples):
+        profile = {a: _sample(delay_specs[a], rng)
+                   for a in anchors if a in delay_specs}
+        relative_latency = schedule.start_times(profile)[sink]
+        total_relative += relative_latency
+        outcome = worst_case_schedule(schedule.graph, budget, profile)
+        static_latency = outcome.latency
+        if not outcome.safe:
+            misses += 1
+        else:
+            wasted.append(outcome.latency - relative_latency)
+    return {
+        "budget": float(budget),
+        "miss_rate": misses / samples,
+        "mean_relative_latency": total_relative / samples,
+        "static_latency": float(static_latency if static_latency is not None else 0),
+        "mean_wasted_when_safe": (sum(wasted) / len(wasted)) if wasted else 0.0,
+    }

@@ -1,0 +1,67 @@
+"""The paper's published evaluation numbers (Tables III and IV).
+
+Kept as plain data so the benchmark harness can print paper-versus-
+measured rows side by side.  Design keys follow our registry names;
+"DAIO phase decoder" is ``daio_decoder`` and so on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+
+class Table3Row(NamedTuple):
+    """One row of Table III."""
+
+    anchors: int        # |A|
+    vertices: int       # |V|
+    full_total: int     # sum of |A(v)|
+    full_average: float
+    min_total: int      # sum of |IR(v)|
+    min_average: float
+
+
+class Table4Row(NamedTuple):
+    """One row of Table IV."""
+
+    full_max: int       # max sigma^max, full anchor sets
+    full_sum_max: int   # sum of sigma^max, full anchor sets
+    min_max: int        # max sigma^max, minimum anchor sets
+    min_sum_max: int    # sum of sigma^max, minimum anchor sets
+
+
+#: Table III: comparison between full and minimum anchor sets.
+PAPER_TABLE3: Dict[str, Table3Row] = {
+    "traffic": Table3Row(3, 8, 8, 1.00, 6, 0.75),
+    "length": Table3Row(5, 12, 15, 1.25, 9, 0.75),
+    "gcd": Table3Row(16, 41, 51, 1.24, 32, 0.78),
+    "frisc": Table3Row(34, 188, 177, 0.94, 161, 0.86),
+    "daio_decoder": Table3Row(14, 44, 45, 1.02, 38, 0.86),
+    "daio_receiver": Table3Row(30, 67, 76, 1.13, 49, 0.73),
+    "dct_a": Table3Row(41, 98, 105, 1.07, 87, 0.89),
+    "dct_b": Table3Row(49, 114, 137, 1.20, 108, 0.95),
+}
+
+#: Table IV: maximum offsets and their sums.
+PAPER_TABLE4: Dict[str, Table4Row] = {
+    "traffic": Table4Row(1, 1, 1, 1),
+    "length": Table4Row(2, 5, 1, 2),
+    "gcd": Table4Row(4, 15, 2, 7),
+    "frisc": Table4Row(12, 112, 12, 107),
+    "daio_decoder": Table4Row(2, 10, 2, 9),
+    "daio_receiver": Table4Row(3, 16, 1, 8),
+    "dct_a": Table4Row(2, 24, 1, 16),
+    "dct_b": Table4Row(2, 19, 1, 16),
+}
+
+#: Human-readable design titles, in the paper's row order.
+DESIGN_TITLES: Dict[str, str] = {
+    "traffic": "traffic",
+    "length": "length",
+    "gcd": "gcd",
+    "frisc": "frisc",
+    "daio_decoder": "DAIO phase decoder",
+    "daio_receiver": "DAIO receiver",
+    "dct_a": "DCT phase A",
+    "dct_b": "DCT phase B",
+}

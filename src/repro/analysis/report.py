@@ -1,0 +1,108 @@
+"""Markdown synthesis reports for whole designs.
+
+Collects everything a designer wants after a synthesis run -- hierarchy
+summary, per-graph schedules with anchor sets, constraint slack,
+mobility, control costs across all four styles, and the serialization
+log -- into one markdown document (string or file).  The CLI's
+``report`` command prints the terse version; this module is the full
+artifact for design reviews.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.anchors import AnchorMode
+from repro.core.constraints import constraint_slack
+from repro.core.delay import is_unbounded
+from repro.seqgraph.hierarchy import HierarchicalSchedule
+from repro.seqgraph.model import Design
+
+
+def design_report(result: HierarchicalSchedule,
+                  title: Optional[str] = None) -> str:
+    """Render a markdown report for a scheduled design."""
+    design = result.design
+    lines: List[str] = [f"# Synthesis report: {title or design.name}", ""]
+
+    lines.append("## Hierarchy")
+    lines.append("")
+    lines.append("| graph | vertices | anchors | latency |")
+    lines.append("|---|---|---|---|")
+    for name in design.hierarchy_order():
+        graph = result.constraint_graphs[name]
+        latency = result.latencies[name]
+        latency_text = "unbounded" if is_unbounded(latency) else str(latency)
+        lines.append(f"| {name} | {len(graph)} | "
+                     f"{len(graph.anchors)} | {latency_text} |")
+    lines.append("")
+
+    lines.append("## Control cost")
+    lines.append("")
+    lines.append(_control_table(result))
+    lines.append("")
+
+    for name in design.hierarchy_order():
+        schedule = result.schedules[name]
+        graph = result.constraint_graphs[name]
+        lines.append(f"## Graph `{name}`")
+        lines.append("")
+        lines.append("```")
+        lines.append(schedule.format_table())
+        lines.append("```")
+        rows = [row for row in constraint_slack(graph, schedule)
+                if row["kind"] in ("min_time", "max_time")]
+        if rows:
+            lines.append("")
+            lines.append("Timing constraints:")
+            lines.append("")
+            lines.append("| constraint | bound | slack | active |")
+            lines.append("|---|---|---|---|")
+            for row in rows:
+                kind = "min" if row["kind"] == "min_time" else "max"
+                bound = abs(row["weight"])
+                lines.append(f"| {kind} {row['tail']} -> {row['head']} | "
+                             f"{bound} | {row['slack']} | "
+                             f"{'yes' if row['active'] else 'no'} |")
+        serials = [e for e in graph.edges()
+                   if e.kind.value == "serialization"]
+        if serials:
+            lines.append("")
+            lines.append("Serializations added for well-posedness:")
+            for edge in serials:
+                lines.append(f"- `{edge.tail}` before `{edge.head}`")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _control_table(result: HierarchicalSchedule) -> str:
+    from repro.control.counter import synthesize_counter_control
+    from repro.control.microcode import (UnboundedScheduleError,
+                                         synthesize_microcode)
+    from repro.control.optimize import synthesize_optimal_control
+    from repro.control.shiftreg import synthesize_shift_register_control
+
+    lines = ["| graph | counter (regs/cmp) | shift-reg (regs) | "
+             "mixed (area) | microcode (ROM bits) |",
+             "|---|---|---|---|---|"]
+    for name in result.design.hierarchy_order():
+        schedule = result.schedules[name]
+        counter = synthesize_counter_control(schedule).cost()
+        shift = synthesize_shift_register_control(schedule).cost()
+        mixed = synthesize_optimal_control(schedule).cost()
+        try:
+            rom = str(synthesize_microcode(schedule).rom_bits())
+        except UnboundedScheduleError:
+            rom = "n/a (unbounded)"
+        lines.append(f"| {name} | {counter.registers}/"
+                     f"{counter.comparator_bits} | {shift.registers} | "
+                     f"{mixed.total():.1f} | {rom} |")
+    return "\n".join(lines)
+
+
+def write_report(result: HierarchicalSchedule, path: str,
+                 title: Optional[str] = None) -> None:
+    """Write the markdown report to *path*."""
+    with open(path, "w") as handle:
+        handle.write(design_report(result, title))
+        handle.write("\n")

@@ -1,0 +1,154 @@
+"""Computation and rendering of the paper's evaluation tables.
+
+* Table II -- anchor sets and minimum offsets of the Fig. 2 example;
+* Table III -- full versus minimum anchor sets over the eight designs;
+* Table IV -- maximum offsets and their sums over the eight designs.
+
+Every driver returns structured rows (for tests and benches) and has a
+``format_*`` companion that renders the paper-versus-measured comparison
+as an ASCII table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.paper_data import (
+    DESIGN_TITLES,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+)
+from repro.analysis.paper_figures import fig2_graph
+from repro.core.anchors import AnchorMode
+from repro.core.scheduler import schedule_graph
+from repro.designs import DESIGN_NAMES, build_design
+from repro.seqgraph import design_statistics
+from repro.seqgraph.hierarchy import DesignStatistics
+
+
+# ----------------------------------------------------------------------
+# Table II
+# ----------------------------------------------------------------------
+
+
+def table2_rows() -> List[dict]:
+    """Anchor sets and minimum offsets of the Fig. 2 graph (Table II)."""
+    graph = fig2_graph()
+    schedule = schedule_graph(graph, anchor_mode=AnchorMode.FULL)
+    rows = []
+    for vertex in graph.forward_topological_order():
+        offsets = schedule.offsets.get(vertex, {})
+        rows.append({
+            "vertex": vertex,
+            "anchor_set": sorted(offsets),
+            "sigma_v0": offsets.get("v0"),
+            "sigma_a": offsets.get("a"),
+        })
+    return rows
+
+
+def format_table2() -> str:
+    """Render Table II."""
+    lines = [
+        "Table II: anchor sets and minimum offsets (Fig. 2 example)",
+        f"{'vertex':>8}  {'A(v)':>12}  {'sigma_v0':>9}  {'sigma_a':>8}",
+    ]
+    for row in table2_rows():
+        anchor_set = "{" + ",".join(row["anchor_set"]) + "}"
+        sigma_v0 = "-" if row["sigma_v0"] is None else str(row["sigma_v0"])
+        sigma_a = "-" if row["sigma_a"] is None else str(row["sigma_a"])
+        lines.append(f"{row['vertex']:>8}  {anchor_set:>12}  "
+                     f"{sigma_v0:>9}  {sigma_a:>8}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Tables III and IV
+# ----------------------------------------------------------------------
+
+
+def _all_statistics(stats: Optional[Dict[str, DesignStatistics]] = None
+                    ) -> Dict[str, DesignStatistics]:
+    if stats is not None:
+        return stats
+    return {name: design_statistics(build_design(name))
+            for name in DESIGN_NAMES}
+
+
+def table3_rows(stats: Optional[Dict[str, DesignStatistics]] = None) -> List[dict]:
+    """Measured Table III rows with the paper's numbers attached."""
+    stats = _all_statistics(stats)
+    rows = []
+    for name in DESIGN_NAMES:
+        measured = stats[name]
+        paper = PAPER_TABLE3[name]
+        rows.append({
+            "design": name,
+            "title": DESIGN_TITLES[name],
+            "anchors": measured.n_anchors,
+            "vertices": measured.n_vertices,
+            "full_total": measured.full_total,
+            "full_average": measured.full_average,
+            "min_total": measured.min_total,
+            "min_average": measured.min_average,
+            "paper": paper._asdict(),
+        })
+    return rows
+
+
+def format_table3(stats: Optional[Dict[str, DesignStatistics]] = None) -> str:
+    """Render Table III, paper versus measured."""
+    lines = [
+        "Table III: full vs minimum anchor sets (paper -> measured)",
+        f"{'design':>20}  {'|A|/|V|':>12}  {'A(v) tot':>14}  "
+        f"{'A(v) avg':>14}  {'IR(v) tot':>14}  {'IR(v) avg':>14}",
+    ]
+    for row in table3_rows(stats):
+        paper = row["paper"]
+        lines.append(
+            f"{row['title']:>20}  "
+            f"{paper['anchors']}/{paper['vertices']} -> "
+            f"{row['anchors']}/{row['vertices']:>3}  "
+            f"{paper['full_total']:>5} -> {row['full_total']:<5}  "
+            f"{paper['full_average']:>5.2f} -> {row['full_average']:<5.2f}  "
+            f"{paper['min_total']:>5} -> {row['min_total']:<5}  "
+            f"{paper['min_average']:>5.2f} -> {row['min_average']:<5.2f}")
+    return "\n".join(lines)
+
+
+def table4_rows(stats: Optional[Dict[str, DesignStatistics]] = None) -> List[dict]:
+    """Measured Table IV rows with the paper's numbers attached."""
+    stats = _all_statistics(stats)
+    rows = []
+    for name in DESIGN_NAMES:
+        measured = stats[name]
+        paper = PAPER_TABLE4[name]
+        rows.append({
+            "design": name,
+            "title": DESIGN_TITLES[name],
+            "full_max": measured.full_max,
+            "full_sum_max": measured.full_sum_max,
+            "min_max": measured.min_max,
+            "min_sum_max": measured.min_sum_max,
+            "paper": paper._asdict(),
+        })
+    return rows
+
+
+def format_table4(stats: Optional[Dict[str, DesignStatistics]] = None) -> str:
+    """Render Table IV, paper versus measured."""
+    lines = [
+        "Table IV: maximum offsets, full vs minimum anchors "
+        "(paper -> measured)",
+        f"{'design':>20}  {'full max':>12}  {'full sum':>12}  "
+        f"{'min max':>12}  {'min sum':>12}",
+    ]
+    for row in table4_rows(stats):
+        paper = row["paper"]
+        lines.append(
+            f"{row['title']:>20}  "
+            f"{paper['full_max']:>4} -> {row['full_max']:<4}  "
+            f"{paper['full_sum_max']:>4} -> {row['full_sum_max']:<4}  "
+            f"{paper['min_max']:>4} -> {row['min_max']:<4}  "
+            f"{paper['min_sum_max']:>4} -> {row['min_sum_max']:<4}")
+    return "\n".join(lines)

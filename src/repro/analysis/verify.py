@@ -1,0 +1,141 @@
+"""Exhaustive bounded verification of relative schedules.
+
+Well-posedness (Definition 7) quantifies over *all* unbounded delay
+values; Theorem 2 decides it structurally.  This module provides the
+brute-force counterpart: enumerate every delay profile up to a bound
+and check every timing constraint against the evaluated start times.
+Two uses:
+
+* an independent oracle for the structural analysis -- on a well-posed
+  graph the check must pass for every profile (the test suite runs both
+  and cross-validates);
+* a *witness generator*: scheduling an ill-posed graph anyway (the raw
+  scheduler will happily converge on the static case) and running the
+  exhaustive check produces a concrete delay profile under which a
+  maximum constraint breaks -- exactly the input sequence the paper
+  argues must exist.
+
+The enumeration is exponential in the number of anchors
+(``(bound+1)^|A|`` profiles), so it targets example- and unit-sized
+graphs; ``max_profiles`` guards accidental blowups.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.graph import ConstraintGraph, Edge
+from repro.core.schedule import RelativeSchedule
+
+
+@dataclass(frozen=True)
+class ConstraintViolation:
+    """One constraint broken under one delay profile."""
+
+    profile: Tuple[Tuple[str, int], ...]
+    edge_tail: str
+    edge_head: str
+    edge_kind: str
+    required: int
+    observed: int
+
+    def __str__(self) -> str:
+        profile = ", ".join(f"{a}={d}" for a, d in self.profile)
+        return (f"under {{{profile}}}: {self.edge_kind} edge "
+                f"{self.edge_tail} -> {self.edge_head} needs separation "
+                f">= {self.required}, observed {self.observed}")
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of an exhaustive check."""
+
+    profiles_checked: int
+    violations: List[ConstraintViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def witness(self) -> Optional[Dict[str, int]]:
+        """A delay profile demonstrating a violation, if any."""
+        if not self.violations:
+            return None
+        return dict(self.violations[0].profile)
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"{len(self.violations)} violations"
+        return (f"VerificationResult({self.profiles_checked} profiles, "
+                f"{status})")
+
+
+def exhaustive_check(schedule: RelativeSchedule, delay_bound: int = 3,
+                     max_profiles: int = 200000,
+                     stop_at_first: bool = False) -> VerificationResult:
+    """Check every timing constraint under every profile up to a bound.
+
+    Args:
+        schedule: a relative schedule of the graph to verify.
+        delay_bound: each unbounded anchor's delay ranges over
+            ``0..delay_bound`` inclusive (the source included: its delay
+            models activation skew).
+        max_profiles: hard cap on the enumeration size.
+        stop_at_first: return at the first violating profile.
+
+    Raises:
+        ValueError: when the enumeration would exceed *max_profiles*.
+    """
+    graph = schedule.graph
+    anchors = list(graph.anchors)
+    total = (delay_bound + 1) ** len(anchors)
+    if total > max_profiles:
+        raise ValueError(
+            f"{total} profiles exceed the cap {max_profiles}; lower "
+            f"delay_bound or raise max_profiles")
+
+    result = VerificationResult(profiles_checked=0)
+    for values in itertools.product(range(delay_bound + 1),
+                                    repeat=len(anchors)):
+        profile = dict(zip(anchors, values))
+        result.profiles_checked += 1
+        start = schedule.start_times(profile)
+        for edge in graph.edges():
+            required = (profile[edge.tail] if edge.is_unbounded
+                        else edge.weight)
+            observed = start[edge.head] - start[edge.tail]
+            if observed < required:
+                result.violations.append(ConstraintViolation(
+                    profile=tuple(sorted(profile.items())),
+                    edge_tail=edge.tail, edge_head=edge.head,
+                    edge_kind=edge.kind.value,
+                    required=required, observed=observed))
+                if stop_at_first:
+                    return result
+    return result
+
+
+def find_illposedness_witness(graph: ConstraintGraph, delay_bound: int = 3,
+                              max_profiles: int = 200000
+                              ) -> Optional[Dict[str, int]]:
+    """A concrete delay profile under which no static schedule of the
+    graph can satisfy the constraints.
+
+    Runs the raw iterative scheduler (ignoring the well-posedness gate)
+    and exhaustively checks the result.  For a well-posed graph this
+    returns None (Theorem 2's sufficiency, checked dynamically); for an
+    ill-posed graph it returns the offending profile -- the "input data
+    sequence" of the paper's Section III-B discussion.
+    """
+    from repro.core.exceptions import InconsistentConstraintsError
+    from repro.core.scheduler import IterativeIncrementalScheduler
+
+    try:
+        schedule = IterativeIncrementalScheduler(graph).run()
+    except InconsistentConstraintsError:
+        return {}  # no schedule even statically: every profile witnesses
+    result = exhaustive_check(schedule, delay_bound=delay_bound,
+                              max_profiles=max_profiles,
+                              stop_at_first=True)
+    return result.witness()

@@ -1,0 +1,36 @@
+"""Baseline schedulers that relative scheduling generalizes.
+
+* :mod:`repro.baselines.asap_alap` -- classical ASAP/ALAP scheduling of
+  fixed-delay graphs, plus mobility analysis.
+* :mod:`repro.baselines.bellman_ford` -- fixed-delay scheduling under
+  min/max timing constraints by longest-path relaxation, with the
+  Camposano-Kunzmann consistency condition (no positive cycle); this is
+  the traditional formulation the paper's Section III starts from, and
+  reduces to the relative scheduler when no unbounded operations exist.
+* :mod:`repro.baselines.worst_case` -- the pre-relative-scheduling way
+  of handling unknown delays: assume a static budget ``B`` for every
+  unbounded operation.  Used by the ablation benches to show what
+  relative scheduling buys (no budget is simultaneously safe and
+  efficient).
+* :mod:`repro.baselines.list_scheduler` -- classic resource-constrained
+  list scheduling, the scheduling-before-binding alternative flow.
+"""
+
+from repro.baselines.asap_alap import alap_schedule, asap_schedule, mobility
+from repro.baselines.bellman_ford import (
+    bellman_ford_schedule,
+    constraints_consistent,
+)
+from repro.baselines.worst_case import WorstCaseOutcome, worst_case_schedule
+from repro.baselines.list_scheduler import list_schedule
+
+__all__ = [
+    "alap_schedule",
+    "asap_schedule",
+    "mobility",
+    "bellman_ford_schedule",
+    "constraints_consistent",
+    "WorstCaseOutcome",
+    "worst_case_schedule",
+    "list_schedule",
+]

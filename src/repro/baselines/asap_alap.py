@@ -1,0 +1,81 @@
+"""Classical ASAP / ALAP scheduling of fixed-delay graphs.
+
+The textbook baselines: ASAP pushes every operation as early as data
+dependencies allow; ALAP pushes it as late as a deadline allows; their
+difference is the *mobility* (slack) used by list schedulers and
+force-directed schedulers.  Neither supports unbounded delays or
+maximum timing constraints -- the gap relative scheduling fills.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.delay import is_unbounded
+from repro.core.exceptions import UnfeasibleConstraintsError
+from repro.core.graph import ConstraintGraph
+
+
+def _require_bounded(graph: ConstraintGraph, who: str) -> None:
+    for vertex in graph.vertices():
+        if vertex.name != graph.source and vertex.is_unbounded:
+            raise ValueError(
+                f"{who} requires fixed execution delays, but {vertex.name!r} "
+                f"is unbounded; use relative scheduling instead")
+
+
+def asap_schedule(graph: ConstraintGraph) -> Dict[str, int]:
+    """As-soon-as-possible start times over the forward edges.
+
+    Ignores backward edges (classical ASAP has no maximum constraints).
+
+    Raises:
+        ValueError: if the graph has unbounded operations.
+    """
+    _require_bounded(graph, "ASAP scheduling")
+    start: Dict[str, int] = {}
+    for vertex in graph.forward_topological_order():
+        candidates = [start[e.tail] + e.static_weight
+                      for e in graph.in_edges(vertex, forward_only=True)]
+        start[vertex] = max(candidates) if candidates else 0
+    return start
+
+
+def alap_schedule(graph: ConstraintGraph,
+                  deadline: Optional[int] = None) -> Dict[str, int]:
+    """As-late-as-possible start times meeting *deadline* at the sink.
+
+    Args:
+        graph: a bounded-delay constraint graph.
+        deadline: sink start time; defaults to the ASAP sink time (the
+            critical-path-tight deadline).
+
+    Raises:
+        UnfeasibleConstraintsError: when the deadline is shorter than
+            the critical path.
+    """
+    _require_bounded(graph, "ALAP scheduling")
+    asap = asap_schedule(graph)
+    if deadline is None:
+        deadline = asap[graph.sink]
+    if deadline < asap[graph.sink]:
+        raise UnfeasibleConstraintsError(
+            f"deadline {deadline} is below the critical path "
+            f"{asap[graph.sink]}")
+    start: Dict[str, int] = {}
+    for vertex in reversed(graph.forward_topological_order()):
+        candidates = [start[e.head] - e.static_weight
+                      for e in graph.out_edges(vertex, forward_only=True)]
+        start[vertex] = min(candidates) if candidates else deadline
+    return start
+
+
+def mobility(graph: ConstraintGraph,
+             deadline: Optional[int] = None) -> Dict[str, int]:
+    """Scheduling slack per operation: ``ALAP(v) - ASAP(v)``.
+
+    Zero-mobility operations form the critical path.
+    """
+    asap = asap_schedule(graph)
+    alap = alap_schedule(graph, deadline)
+    return {vertex: alap[vertex] - asap[vertex] for vertex in asap}

@@ -1,0 +1,71 @@
+"""Fixed-delay scheduling under min/max constraints (the traditional
+formulation of Section III).
+
+With every delay known, a schedule is a single integer label per
+operation and exists iff the constraint graph has no positive cycle
+(Camposano and Kunzmann's consistency condition; Theorem 1 with no
+anchors).  The minimum schedule is the longest path from the source --
+computed here by Bellman-Ford relaxation, mirroring Liao-Wong's layout
+compaction [20].
+
+When the graph has no unbounded operations, relative scheduling
+collapses to this baseline: every offset is taken from the source alone
+(the regression tests assert the equivalence).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.delay import is_unbounded
+from repro.core.exceptions import UnfeasibleConstraintsError
+from repro.core.graph import ConstraintGraph
+from repro.core.paths import has_positive_cycle
+
+
+def constraints_consistent(graph: ConstraintGraph) -> bool:
+    """Camposano-Kunzmann consistency: no positive cycle (fixed delays)."""
+    graph.forward_topological_order()
+    return not has_positive_cycle(graph)
+
+
+def bellman_ford_schedule(graph: ConstraintGraph) -> Dict[str, int]:
+    """Minimum fixed-delay schedule under min and max constraints.
+
+    Args:
+        graph: a constraint graph with *bounded* delays everywhere
+            except the source (whose activation is cycle 0).
+
+    Returns:
+        Start times ``sigma(v)`` relative to the source.
+
+    Raises:
+        ValueError: if any operation other than the source is unbounded
+            (the formulation cannot express it -- the paper's motivation).
+        UnfeasibleConstraintsError: on a positive cycle.
+    """
+    for vertex in graph.vertices():
+        if vertex.name != graph.source and vertex.is_unbounded:
+            raise ValueError(
+                f"Bellman-Ford scheduling requires fixed delays, but "
+                f"{vertex.name!r} is unbounded; this is exactly the case "
+                f"relative scheduling was introduced for")
+
+    start: Dict[str, int] = {name: 0 for name in graph.vertex_names()}
+    edges = graph.edges()
+    for _ in range(len(start)):
+        changed = False
+        for edge in edges:
+            candidate = start[edge.tail] + edge.static_weight
+            if candidate > start[edge.head]:
+                start[edge.head] = candidate
+                changed = True
+        if not changed:
+            break
+    else:
+        for edge in edges:
+            if start[edge.tail] + edge.static_weight > start[edge.head]:
+                raise UnfeasibleConstraintsError(
+                    "positive cycle: timing constraints are inconsistent")
+    base = start[graph.source]
+    return {name: value - base for name, value in start.items()}

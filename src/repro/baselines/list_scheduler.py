@@ -1,0 +1,123 @@
+"""Resource-constrained list scheduling (the schedule-then-bind flow).
+
+The classic alternative to Hebe's bind-then-schedule flow: operations
+are placed cycle by cycle, at most ``count`` concurrent operations per
+resource class, priority given to the operation with the longest path to
+the sink (critical-path list scheduling).  No timing constraints and no
+unbounded delays -- it is the baseline against which the paper's flow is
+positioned, and the comparison bench uses it to show that binding first
+plus relative scheduling achieves the same steady-state throughput while
+additionally honouring min/max constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.delay import is_unbounded
+from repro.core.graph import ConstraintGraph
+
+
+def list_schedule(graph: ConstraintGraph,
+                  resource_counts: Mapping[str, int],
+                  classes: Optional[Mapping[str, str]] = None
+                  ) -> Dict[str, int]:
+    """Critical-path list scheduling under resource constraints.
+
+    Args:
+        graph: a bounded-delay constraint graph (forward edges only are
+            honoured; backward edges are rejected).
+        resource_counts: available units per resource class.
+        classes: operation name -> resource class; operations missing
+            from the map are unconstrained.
+
+    Returns:
+        Start times per operation.
+
+    Raises:
+        ValueError: on unbounded operations or backward edges (use the
+            relative scheduler for those).
+    """
+    if graph.backward_edges():
+        raise ValueError("list scheduling does not support maximum timing "
+                         "constraints; use relative scheduling")
+    for vertex in graph.vertices():
+        if vertex.name != graph.source and vertex.is_unbounded:
+            raise ValueError(f"unbounded operation {vertex.name!r} not supported")
+    classes = dict(classes or {})
+
+    # Priority: longest path to the sink (critical-path heuristic).
+    priority: Dict[str, int] = {}
+    order = graph.forward_topological_order()
+    for vertex in reversed(order):
+        downstream = [priority[e.head] + e.static_weight
+                      for e in graph.out_edges(vertex, forward_only=True)]
+        priority[vertex] = max(downstream) if downstream else 0
+
+    indegree = {name: 0 for name in order}
+    for edge in graph.forward_edges():
+        indegree[edge.head] += 1
+
+    start: Dict[str, int] = {}
+    finish: Dict[str, int] = {}
+    ready: List[str] = [name for name, d in indegree.items() if d == 0]
+    busy: Dict[str, List[int]] = {}  # class -> finish times of running ops
+    clock = 0
+    pending_edges = {name: graph.out_edges(name, forward_only=True)
+                     for name in order}
+
+    remaining = set(order)
+    max_clock = 10 * (sum(_delay(graph, n) for n in order) + len(order) + 1)
+    while remaining:
+        started_this_cycle: Dict[str, int] = {}
+
+        def units_free(rclass: str) -> bool:
+            capacity = resource_counts.get(rclass, 1)
+            running = len([t for t in busy.get(rclass, []) if t > clock])
+            return running + started_this_cycle.get(rclass, 0) < capacity
+
+        # Zero-delay predecessors finishing at `clock` unlock successors
+        # in the same cycle: iterate to an intra-cycle fixpoint.
+        progress = True
+        while progress:
+            progress = False
+            candidates = sorted(
+                (name for name in ready if name not in start),
+                key=lambda name: (-priority[name], name))
+            for name in candidates:
+                earliest = max(
+                    (finish[e.tail]
+                     for e in graph.in_edges(name, forward_only=True)),
+                    default=0)
+                if earliest > clock:
+                    continue
+                rclass = classes.get(name)
+                if rclass is not None and not units_free(rclass):
+                    continue
+                delay = _delay(graph, name)
+                start[name] = clock
+                finish[name] = clock + delay
+                if rclass is not None:
+                    busy.setdefault(rclass, []).append(finish[name])
+                    if delay == 0:
+                        # Zero-delay ops never show as "running" (their
+                        # finish equals the clock) but still hold the
+                        # unit for this cycle.
+                        started_this_cycle[rclass] = \
+                            started_this_cycle.get(rclass, 0) + 1
+                remaining.discard(name)
+                progress = True
+                for edge in pending_edges[name]:
+                    indegree[edge.head] -= 1
+                    if indegree[edge.head] == 0:
+                        ready.append(edge.head)
+        if remaining:
+            clock += 1
+            if clock > max_clock:
+                raise RuntimeError("list scheduler failed to converge")
+    return start
+
+
+def _delay(graph: ConstraintGraph, name: str) -> int:
+    delay = graph.delta(name)
+    return 0 if is_unbounded(delay) else delay

@@ -1,0 +1,144 @@
+"""Static worst-case budgeting of unbounded delays.
+
+Before relative scheduling, a designer facing an operation of unknown
+delay had to *assume a budget*: replace the unbounded delay with a fixed
+``B`` and schedule traditionally.  The resulting control is a single
+counter -- simple -- but the schedule is wrong in both directions:
+
+* if the operation actually takes longer than ``B``, downstream
+  operations start too early (a correctness failure for synchronization
+  and a violation of data dependencies);
+* if it takes less, every downstream operation waits out the full
+  budget (a performance loss relative scheduling's ASAP property avoids).
+
+The ablation benches quantify both effects against the minimum relative
+schedule across delay profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.baselines.bellman_ford import bellman_ford_schedule
+from repro.core.delay import UNBOUNDED, is_unbounded
+from repro.core.graph import ConstraintGraph
+
+
+@dataclass(frozen=True)
+class WorstCaseOutcome:
+    """Evaluation of a budgeted schedule under an actual delay profile.
+
+    Attributes:
+        start_times: the static schedule computed with the budget.
+        safe: True when the budget covered every actual delay (no
+            operation starts before its unbounded predecessors finish).
+        latency: the static sink start (paid regardless of actual
+            delays).
+        wasted_cycles: latency minus what an ideal (relative) schedule
+            would need under the actual profile; 0 or negative means the
+            budget was too small somewhere.
+    """
+
+    start_times: Dict[str, int]
+    safe: bool
+    latency: int
+    wasted_cycles: int
+
+
+def budget_graph(graph: ConstraintGraph, budget: int) -> ConstraintGraph:
+    """A copy of *graph* with every unbounded delay replaced by *budget*.
+
+    The source keeps its role (activation reference).
+    """
+    from repro.core.graph import Edge, EdgeKind, Vertex
+
+    clone = ConstraintGraph.__new__(ConstraintGraph)
+    clone.source = graph.source
+    clone.sink = graph.sink
+    clone._vertices = {}
+    clone._edges = []
+    clone._out = {}
+    clone._in = {}
+    for vertex in graph.vertices():
+        delay = vertex.delay
+        if vertex.name == graph.source:
+            new_vertex = Vertex(vertex.name, UNBOUNDED, vertex.tag)
+        elif is_unbounded(delay):
+            new_vertex = Vertex(vertex.name, budget, vertex.tag)
+        else:
+            new_vertex = Vertex(vertex.name, delay, vertex.tag)
+        clone._vertices[new_vertex.name] = new_vertex
+        clone._out[new_vertex.name] = []
+        clone._in[new_vertex.name] = []
+    for edge in graph.edges():
+        if edge.is_unbounded and edge.tail != graph.source:
+            new_edge = Edge(edge.tail, edge.head,
+                            clone._vertices[edge.tail].delay, edge.kind)
+        else:
+            new_edge = edge
+        clone._edges.append(new_edge)
+        clone._out[new_edge.tail].append(new_edge)
+        clone._in[new_edge.head].append(new_edge)
+    return clone
+
+
+def worst_case_schedule(graph: ConstraintGraph, budget: int,
+                        actual: Optional[Mapping[str, int]] = None
+                        ) -> WorstCaseOutcome:
+    """Schedule with a static *budget* per unbounded operation and judge
+    the result against an *actual* delay profile.
+
+    Args:
+        graph: a constraint graph with unbounded operations.
+        budget: cycles assumed for every unbounded delay.
+        actual: the delays realized at run time (defaults to the budget
+            itself, i.e. a perfect guess).
+
+    Returns:
+        A :class:`WorstCaseOutcome`; ``safe`` is False when any actual
+        delay exceeds the budget (the static schedule would start a
+        successor before its unbounded predecessor completed).
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be >= 0, got {budget}")
+    actual = dict(actual or {})
+    budgeted = budget_graph(graph, budget)
+    # Treat the budgeted source as bounded 0 for the baseline scheduler.
+    static = bellman_ford_schedule(_pin_source(budgeted))
+
+    unbounded_ops = [v.name for v in graph.vertices()
+                     if v.name != graph.source and v.is_unbounded]
+    safe = all(actual.get(name, 0) <= budget for name in unbounded_ops)
+    latency = static[graph.sink]
+
+    # The ideal latency comes from the minimum relative schedule
+    # evaluated at the actual profile.
+    from repro.core.scheduler import schedule_graph
+
+    relative = schedule_graph(graph)
+    ideal = relative.start_times(actual)[graph.sink]
+    return WorstCaseOutcome(start_times=static, safe=safe, latency=latency,
+                            wasted_cycles=latency - ideal)
+
+
+def _pin_source(graph: ConstraintGraph) -> ConstraintGraph:
+    """Replace the unbounded source with a zero-delay vertex so the
+    fixed-delay baseline accepts the graph."""
+    from repro.core.graph import Edge, Vertex
+
+    clone = graph.copy()
+    clone._vertices[graph.source] = Vertex(graph.source, 0)
+    rewritten = []
+    for edge in clone._edges:
+        if edge.tail == graph.source and edge.is_unbounded:
+            rewritten.append(Edge(edge.tail, edge.head, 0, edge.kind))
+        else:
+            rewritten.append(edge)
+    clone._edges = rewritten
+    clone._out = {name: [] for name in clone._vertices}
+    clone._in = {name: [] for name in clone._vertices}
+    for edge in clone._edges:
+        clone._out[edge.tail].append(edge)
+        clone._in[edge.head].append(edge)
+    return clone

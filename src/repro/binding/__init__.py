@@ -1,0 +1,35 @@
+"""Module binding and constrained conflict resolution.
+
+Relative scheduling assumes binding happens *before* scheduling
+(Section II): operations are assigned to functional-unit instances, and
+any conflict created by two operations sharing an instance is resolved
+by adding sequencing dependencies between them -- Hebe's *constrained
+conflict resolution* (Section VII), available in both a heuristic and an
+exact branch-and-bound form [26].
+
+* :mod:`repro.binding.resources` -- resource types, libraries, and
+  binding results;
+* :mod:`repro.binding.binder` -- least-loaded module binding over a
+  sequencing graph;
+* :mod:`repro.binding.conflict` -- serialization of shared-resource
+  operations under timing constraints.
+"""
+
+from repro.binding.resources import Binding, Instance, ResourceLibrary, ResourceType
+from repro.binding.binder import bind_graph
+from repro.binding.conflict import (
+    ConflictResolutionError,
+    resolve_conflicts,
+    serialize_group,
+)
+
+__all__ = [
+    "Binding",
+    "Instance",
+    "ResourceLibrary",
+    "ResourceType",
+    "bind_graph",
+    "ConflictResolutionError",
+    "resolve_conflicts",
+    "serialize_group",
+]

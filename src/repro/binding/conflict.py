@@ -1,0 +1,161 @@
+"""Constrained conflict resolution (Section VII, reference [26]).
+
+Two operations bound to the same functional unit may not execute
+concurrently.  Hebe resolves such conflicts by *serializing* them --
+adding sequencing dependencies -- while keeping the timing constraints
+satisfiable.  Both strategies the paper mentions are implemented:
+
+* a **heuristic** that orders each conflict group by ASAP start time
+  (consistent with the existing partial order) and chains it;
+* an **exact branch-and-bound** that searches linear orders of the
+  conflict groups, pruning infeasible partial serializations, and
+  returns the serialization minimising the source-to-sink longest path.
+
+Both operate on the lowered constraint graph, so serializations are
+checked against minimum *and* maximum timing constraints (feasibility =
+no positive cycle, Theorem 1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.binding.resources import Binding, Instance
+from repro.core.exceptions import ConstraintGraphError
+from repro.core.graph import ConstraintGraph
+from repro.core.paths import has_positive_cycle, longest_paths_from
+
+
+class ConflictResolutionError(ConstraintGraphError):
+    """No serialization of the conflict groups satisfies the timing
+    constraints."""
+
+
+def serialize_group(graph: ConstraintGraph, ordered_ops: Sequence[str]) -> int:
+    """Add sequencing edges chaining *ordered_ops* in the given order.
+
+    Consecutive operations get an edge weighted by the predecessor's
+    execution delay, so each starts only after the previous one released
+    the shared unit.  Edges already implied by reachability are still
+    added (harmless for correctness; the scheduler treats them as
+    ordinary forward edges).  Returns the number of edges added.
+    """
+    added = 0
+    for tail, head in zip(ordered_ops, ordered_ops[1:]):
+        graph.add_sequencing_edge(tail, head)
+        added += 1
+    return added
+
+
+def _asap_order(graph: ConstraintGraph, ops: Sequence[str]) -> List[str]:
+    """Order *ops* by ASAP start (longest forward path from the source),
+    tie-broken by topological position -- always consistent with the
+    existing partial order."""
+    asap = longest_paths_from(graph, graph.source, forward_only=True)
+    position = {name: i for i, name in enumerate(graph.forward_topological_order())}
+    return sorted(ops, key=lambda name: (asap[name] or 0, position[name]))
+
+
+def _order_respects_dependencies(graph: ConstraintGraph,
+                                 order: Sequence[str]) -> bool:
+    """A linear order is admissible iff it never contradicts existing
+    forward reachability (which would create a cycle)."""
+    for i, later in enumerate(order):
+        for earlier in order[i + 1:]:
+            if graph.is_forward_reachable(earlier, later):
+                return False
+    return True
+
+
+def resolve_conflicts(graph: ConstraintGraph,
+                      binding_or_groups,
+                      exact: bool = False) -> ConstraintGraph:
+    """Serialize every conflict group of a binding on *graph*.
+
+    Args:
+        graph: the lowered constraint graph (timing constraints applied).
+        binding_or_groups: a :class:`Binding`, or a mapping from any key
+            to lists of operation names sharing a unit.
+        exact: use exhaustive branch-and-bound instead of the ASAP
+            heuristic.
+
+    Returns:
+        A serialized *copy* of the graph, feasible under the timing
+        constraints.
+
+    Raises:
+        ConflictResolutionError: when no admissible serialization is
+            feasible (heuristic mode reports failure of the heuristic
+            order only; exact mode proves no order works).
+    """
+    if isinstance(binding_or_groups, Binding):
+        groups = binding_or_groups.conflict_groups()
+    else:
+        groups = {key: list(ops) for key, ops in binding_or_groups.items()
+                  if len(ops) > 1}
+    group_list = [sorted(ops) for _, ops in sorted(groups.items(), key=lambda kv: str(kv[0]))]
+    if not group_list:
+        return graph.copy()
+    if exact:
+        return _resolve_exact(graph, group_list)
+    return _resolve_heuristic(graph, group_list)
+
+
+def _resolve_heuristic(graph: ConstraintGraph,
+                       groups: List[List[str]]) -> ConstraintGraph:
+    result = graph.copy()
+    for ops in groups:
+        order = _asap_order(result, ops)
+        serialize_group(result, order)
+        result.forward_topological_order()  # cycle check, raises if broken
+    if has_positive_cycle(result):
+        raise ConflictResolutionError(
+            "heuristic (ASAP-order) serialization violates the timing "
+            "constraints; retry with exact=True")
+    return result
+
+
+def _resolve_exact(graph: ConstraintGraph,
+                   groups: List[List[str]]) -> ConstraintGraph:
+    """Branch-and-bound over linear orders of every conflict group.
+
+    The search enumerates admissible permutations group by group,
+    pruning any partial serialization that already has a positive cycle,
+    and keeps the feasible complete serialization with the shortest
+    source-to-sink longest path (the best-case latency).
+    """
+    best: Optional[ConstraintGraph] = None
+    best_latency: Optional[int] = None
+
+    def recurse(current: ConstraintGraph, remaining: List[List[str]]) -> None:
+        nonlocal best, best_latency
+        if has_positive_cycle(current):
+            return
+        if not remaining:
+            latency = longest_paths_from(current, current.source,
+                                         forward_only=True)[current.sink]
+            latency = latency or 0
+            if best_latency is None or latency < best_latency:
+                best, best_latency = current, latency
+            return
+        group, rest = remaining[0], remaining[1:]
+        for order in itertools.permutations(group):
+            if not _order_respects_dependencies(current, order):
+                continue
+            candidate = current.copy()
+            serialize_group(candidate, order)
+            recurse(candidate, rest)
+
+    recurse(graph.copy(), groups)
+    if best is None:
+        raise ConflictResolutionError(
+            "no admissible serialization of the conflict groups satisfies "
+            "the timing constraints")
+    return best
+
+
+def bind_and_resolve(graph: ConstraintGraph, binding: Binding,
+                     exact: bool = False) -> ConstraintGraph:
+    """Convenience wrapper: apply a binding's conflicts to *graph*."""
+    return resolve_conflicts(graph, binding, exact=exact)

@@ -1,0 +1,140 @@
+"""Resource types, libraries, and binding results.
+
+A *resource type* describes a class of functional units ("alu", "mul",
+"port", ...) characterized a priori in terms of area and execution time,
+as the paper notes most systems assume (Section I).  A *library* is the
+pool available to one design; a *binding* maps operations to concrete
+instances of those types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class ResourceType:
+    """A class of functional units.
+
+    Attributes:
+        name: the resource class served (matches operations'
+            ``resource_class``).
+        count: available instances; operations of this class beyond the
+            count must share and therefore serialize.
+        delay: execution delay of an operation bound to this unit; None
+            keeps the operation's own delay.
+        area: relative area cost of one instance.
+    """
+
+    name: str
+    count: int = 1
+    delay: Optional[int] = None
+    area: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"resource count must be >= 1, got {self.count}")
+        if self.delay is not None and self.delay < 0:
+            raise ValueError(f"resource delay must be >= 0, got {self.delay}")
+
+
+class ResourceLibrary:
+    """The pool of resource types available to a design."""
+
+    def __init__(self, types: Optional[List[ResourceType]] = None) -> None:
+        self._types: Dict[str, ResourceType] = {}
+        for resource_type in types or []:
+            self.add(resource_type)
+
+    def add(self, resource_type: ResourceType) -> ResourceType:
+        """Register a resource type (class names must be unique)."""
+        if resource_type.name in self._types:
+            raise ValueError(f"duplicate resource type {resource_type.name!r}")
+        self._types[resource_type.name] = resource_type
+        return resource_type
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def get(self, name: str) -> Optional[ResourceType]:
+        return self._types.get(name)
+
+    def types(self) -> List[ResourceType]:
+        return list(self._types.values())
+
+    @classmethod
+    def default(cls) -> "ResourceLibrary":
+        """A generous single-instance library for the standard classes."""
+        return cls([
+            ResourceType("alu", count=1),
+            ResourceType("logic", count=1),
+            ResourceType("shift", count=1),
+            ResourceType("mul", count=1),
+            ResourceType("div", count=1),
+            ResourceType("port", count=4),
+        ])
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One concrete functional unit: (resource class, index)."""
+
+    rclass: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.rclass}[{self.index}]"
+
+
+@dataclass
+class Binding:
+    """The result of module binding for one sequencing graph.
+
+    Attributes:
+        assignment: operation name -> bound instance.
+        library: the library the instances come from.
+    """
+
+    assignment: Dict[str, Instance] = field(default_factory=dict)
+    library: Optional[ResourceLibrary] = None
+
+    def instance_of(self, op_name: str) -> Optional[Instance]:
+        return self.assignment.get(op_name)
+
+    def groups(self) -> Dict[Instance, List[str]]:
+        """Operations sharing each instance, in assignment order."""
+        result: Dict[Instance, List[str]] = {}
+        for op_name, instance in self.assignment.items():
+            result.setdefault(instance, []).append(op_name)
+        return result
+
+    def conflict_groups(self) -> Dict[Instance, List[str]]:
+        """Only the instances shared by two or more operations."""
+        return {instance: ops for instance, ops in self.groups().items()
+                if len(ops) > 1}
+
+    def instances_used(self) -> List[Instance]:
+        return sorted(set(self.assignment.values()),
+                      key=lambda i: (i.rclass, i.index))
+
+    def area(self) -> float:
+        """Total area of the distinct instances used."""
+        if self.library is None:
+            return float(len(self.instances_used()))
+        total = 0.0
+        for instance in self.instances_used():
+            resource_type = self.library.get(instance.rclass)
+            total += resource_type.area if resource_type else 1.0
+        return total
+
+    def delay_overrides(self) -> Dict[str, int]:
+        """Per-operation delay overrides implied by the bound units."""
+        overrides: Dict[str, int] = {}
+        if self.library is None:
+            return overrides
+        for op_name, instance in self.assignment.items():
+            resource_type = self.library.get(instance.rclass)
+            if resource_type is not None and resource_type.delay is not None:
+                overrides[op_name] = resource_type.delay
+        return overrides

@@ -1,0 +1,476 @@
+"""Command-line interface: compile, analyze, schedule, and export.
+
+Usage (also via ``python -m repro``)::
+
+    repro check INPUT               well-posedness report (+ --fix)
+    repro schedule INPUT [options]  relative schedule (table / JSON out)
+    repro control INPUT [options]   control generation (cost / Verilog)
+    repro dot INPUT [-o FILE]       Graphviz export of the root graph
+    repro tables [--which ...]      regenerate the paper's tables/figures
+    repro simulate INPUT [options]  cycle-accurate control simulation
+    repro cosim INPUT --set p=v     value/timing co-simulation (HDL only)
+    repro report INPUT [options]    full Hebe flow report (+ --markdown)
+    repro montecarlo INPUT          latency distribution over profiles
+
+INPUT is either a HardwareC source file (anything not ending in
+``.json``) or a JSON artifact produced by :mod:`repro.io` (a design or a
+constraint graph).  For hierarchical designs the commands operate on the
+root graph after bottom-up scheduling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.anchors import AnchorMode
+from repro.core.exceptions import ConstraintGraphError
+from repro.core.graph import ConstraintGraph
+from repro.core.schedule import RelativeSchedule
+from repro.core.scheduler import schedule_graph
+from repro.core.wellposed import check_well_posed, containment_violations
+
+
+def _load_graph(path: str) -> Tuple[ConstraintGraph, Optional[str]]:
+    """Load INPUT and lower it to a single constraint graph.
+
+    Returns (graph, design_name); design_name is None for raw graphs.
+    For designs, the root graph is lowered with bottom-up child
+    latencies.
+    """
+    if path.endswith(".json"):
+        from repro.io import load_json
+        from repro.seqgraph.model import Design
+
+        artifact = load_json(path)
+        if isinstance(artifact, ConstraintGraph):
+            return artifact, None
+        if isinstance(artifact, Design):
+            return _root_graph(artifact), artifact.name
+        raise SystemExit(f"error: {path} holds a "
+                         f"{type(artifact).__name__}, expected a design "
+                         f"or constraint graph")
+    with open(path) as handle:
+        source = handle.read()
+    from repro.hdl import compile_source
+
+    design = compile_source(source)
+    return _root_graph(design), design.name
+
+
+def _root_graph(design) -> ConstraintGraph:
+    from repro.seqgraph import schedule_design
+
+    result = schedule_design(design)
+    return result.constraint_graphs[design.root]
+
+
+def _parse_profile(text: Optional[str]) -> Dict[str, int]:
+    if not text:
+        return {}
+    profile: Dict[str, int] = {}
+    for item in text.split(","):
+        if "=" not in item:
+            raise SystemExit(f"error: bad profile entry {item!r} "
+                             f"(expected name=cycles)")
+        name, value = item.split("=", 1)
+        try:
+            profile[name.strip()] = int(value)
+        except ValueError:
+            raise SystemExit(f"error: bad profile value {value!r}") from None
+    return profile
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Well-posedness analysis (with explanations and optional repair)."""
+    graph, name = _load_graph(args.input)
+    status = check_well_posed(graph)
+    title = name or args.input
+    print(f"{title}: {graph}")
+    print(f"well-posedness: {status.value}")
+    if status.value == "unfeasible":
+        from repro.core.explain import explain_infeasibility
+
+        explanation = explain_infeasibility(graph)
+        if explanation is not None:
+            print(explanation.format())
+        return 1
+    if status.value == "ill-posed":
+        for edge, missing in containment_violations(graph):
+            print(f"  violation: backward edge {edge.tail} -> {edge.head} "
+                  f"missing anchors {sorted(missing)}")
+        if args.fix:
+            from repro.core.wellposed import make_well_posed, serialization_edges
+
+            try:
+                fixed = make_well_posed(graph)
+            except ConstraintGraphError as error:
+                print(f"cannot repair: {error}")
+                return 1
+            print("repaired by minimal serialization:")
+            for edge in serialization_edges(fixed):
+                print(f"  + {edge.tail} -> {edge.head}")
+            return 0
+        return 1
+    return 0 if status.value == "well-posed" else 1
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    """Compute and print the minimum relative schedule."""
+    graph, _ = _load_graph(args.input)
+    mode = AnchorMode(args.mode)
+    try:
+        schedule = schedule_graph(graph, anchor_mode=mode,
+                                  auto_well_pose=not args.no_well_pose)
+    except ConstraintGraphError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(schedule.format_table())
+    print(f"\niterations: {schedule.iterations}   "
+          f"anchors: {len(schedule.graph.anchors)}   "
+          f"sum of max offsets: {schedule.sum_of_max_offsets()}")
+    if args.mobility:
+        from repro.core.alap import format_mobility
+
+        print("\nmobility (ASAP vs ALAP at the achieved latency):")
+        print(format_mobility(schedule))
+    if args.output:
+        from repro.io import save_json
+
+        save_json(schedule, args.output)
+        print(f"\nschedule written to {args.output}")
+    return 0
+
+
+def cmd_control(args: argparse.Namespace) -> int:
+    """Synthesize control logic; report costs, optionally emit Verilog."""
+    graph, name = _load_graph(args.input)
+    schedule = schedule_graph(graph, anchor_mode=AnchorMode(args.mode))
+    if args.style == "counter":
+        from repro.control import synthesize_counter_control as synthesize
+    else:
+        from repro.control import synthesize_shift_register_control as synthesize
+    unit = synthesize(schedule)
+    cost = unit.cost()
+    print(f"{unit}")
+    print(f"registers:       {cost.registers}")
+    print(f"comparator bits: {cost.comparator_bits}")
+    print(f"gate inputs:     {cost.gate_inputs}")
+    print(f"weighted area:   {cost.total():.1f}")
+    if args.verilog:
+        from repro.control.verilog import to_verilog, _sanitize
+
+        module = _sanitize(name or "relative") + "_control"
+        text = to_verilog(unit, module)
+        with open(args.verilog, "w") as handle:
+            handle.write(text + "\n")
+        print(f"verilog written to {args.verilog} (module {module})")
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    """Graphviz export of the (root) constraint graph."""
+    graph, _ = _load_graph(args.input)
+    text = graph.to_dot()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"dot written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Cycle-accurate control simulation under a delay profile."""
+    graph, _ = _load_graph(args.input)
+    schedule = schedule_graph(graph, anchor_mode=AnchorMode(args.mode))
+    if args.style == "counter":
+        from repro.control import synthesize_counter_control as synthesize
+    else:
+        from repro.control import synthesize_shift_register_control as synthesize
+    from repro.sim import simulate_control
+
+    profile = _parse_profile(args.profile)
+    result = simulate_control(synthesize(schedule), schedule, profile)
+    print(f"simulated {result.cycles} cycles under profile {profile}")
+    for vertex in schedule.graph.forward_topological_order():
+        print(f"  {vertex:>12}: start @ {result.start_times[vertex]:>4}  "
+              f"done @ {result.done_times[vertex]:>4}")
+    ok = result.matches_schedule(schedule, profile)
+    print(f"matches analytical start times: {ok}")
+    return 0 if ok else 1
+
+
+def _load_design(path: str):
+    """Load INPUT as a hierarchical design (HardwareC or design JSON)."""
+    if path.endswith(".json"):
+        from repro.io import load_json
+        from repro.seqgraph.model import Design
+
+        artifact = load_json(path)
+        if not isinstance(artifact, Design):
+            raise SystemExit(f"error: {path} holds a "
+                             f"{type(artifact).__name__}, expected a design")
+        return artifact
+    with open(path) as handle:
+        source = handle.read()
+    from repro.hdl import compile_source
+
+    return compile_source(source)
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Full Hebe synthesis report: binding, scheduling, control."""
+    from repro.binding.resources import ResourceLibrary, ResourceType
+    from repro.flows import synthesize
+
+    design = _load_design(args.input)
+    library = None
+    if args.resources:
+        types = []
+        for item in args.resources.split(","):
+            if ":" not in item:
+                raise SystemExit(f"error: bad resource spec {item!r} "
+                                 f"(expected class:count)")
+            rclass, count = item.split(":", 1)
+            try:
+                types.append(ResourceType(rclass.strip(), count=int(count)))
+            except ValueError as error:
+                raise SystemExit(f"error: {error}") from None
+        library = ResourceLibrary(types)
+    result = synthesize(design, library=library,
+                        anchor_mode=AnchorMode(args.mode),
+                        control_style=args.style,
+                        exact_conflicts=args.exact)
+    print(result.report())
+    if args.markdown:
+        from repro.analysis.report import write_report
+
+        write_report(result.schedule, args.markdown)
+        print(f"markdown report written to {args.markdown}")
+    if args.per_graph:
+        print("\nper-graph schedules:")
+        for name in design.hierarchy_order():
+            schedule = result.schedule.schedules[name]
+            print(f"\n[{name}]  latency "
+                  f"{result.schedule.latencies[name]!r}")
+            print(schedule.format_table())
+    return 0
+
+
+def cmd_montecarlo(args: argparse.Namespace) -> int:
+    """Monte Carlo latency analysis of the root graph."""
+    from repro.analysis.montecarlo import monte_carlo
+
+    graph, _ = _load_graph(args.input)
+    schedule = schedule_graph(graph, anchor_mode=AnchorMode(args.mode))
+    low, high = args.range
+    specs = {a: (low, high) for a in graph.anchors if a != graph.source}
+    result = monte_carlo(schedule, specs, samples=args.samples,
+                         seed=args.seed)
+    print(f"anchor delays uniform in [{low}, {high}]:")
+    print(result.format_report(
+        vertices=[v for v in graph.forward_topological_order()
+                  if v != graph.source]))
+    return 0
+
+
+def cmd_cosim(args: argparse.Namespace) -> int:
+    """Value/timing co-simulation of a HardwareC design."""
+    from repro.sim import PortStream
+    from repro.sim.cosim import cosimulate
+
+    if args.input.endswith(".json"):
+        raise SystemExit("error: cosim needs HardwareC source (the "
+                         "functional pass interprets the AST)")
+    with open(args.input) as handle:
+        source = handle.read()
+
+    inputs: Dict[str, object] = {}
+    for item in (args.set or []):
+        if "=" not in item:
+            raise SystemExit(f"error: bad --set entry {item!r} "
+                             f"(expected port=value)")
+        name, value = item.split("=", 1)
+        try:
+            if ":" in value:
+                inputs[name.strip()] = PortStream(
+                    [int(v) for v in value.split(":")])
+            else:
+                inputs[name.strip()] = int(value)
+        except ValueError:
+            raise SystemExit(f"error: bad --set value {value!r}") from None
+
+    result = cosimulate(source, inputs, process=args.process,
+                        wait_delays=args.wait_delay)
+    print(f"outputs:    {result.outputs}")
+    print(f"completion: cycle {result.completion}")
+    print(f"violations: {len(result.violations)}")
+    for violation in result.violations:
+        print(f"  {violation}")
+    if args.gantt:
+        from repro.sim import render_gantt
+
+        print()
+        print(render_gantt(result.timed, width=args.gantt))
+    return 0 if not result.violations else 1
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    """Regenerate the paper's tables and figures."""
+    which = args.which
+    if which in ("2", "all"):
+        from repro.analysis.tables import format_table2
+
+        print(format_table2())
+        print()
+    if which in ("fig10", "all"):
+        from repro.analysis.figures import format_fig10
+
+        print(format_fig10())
+        print()
+    if which in ("fig14", "all"):
+        from repro.analysis.figures import fig14_simulation
+
+        result = fig14_simulation()
+        print("Fig. 14 (gcd simulation):")
+        print(result.waveform)
+        print(f"y @ {result.y_sampled_at}, x @ {result.x_sampled_at}, "
+              f"separation ok: {result.separation_ok}")
+        print()
+    if which in ("3", "4", "all"):
+        from repro.analysis.tables import format_table3, format_table4
+        from repro.designs import DESIGN_NAMES, build_design
+        from repro.seqgraph import design_statistics
+
+        stats = {name: design_statistics(build_design(name))
+                 for name in DESIGN_NAMES}
+        if which in ("3", "all"):
+            print(format_table3(stats))
+            print()
+        if which in ("4", "all"):
+            print(format_table4(stats))
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (one sub-command per task)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Relative scheduling under timing constraints "
+                    "(Ku & De Micheli, DAC 1990)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="well-posedness analysis")
+    check.add_argument("input")
+    check.add_argument("--fix", action="store_true",
+                       help="attempt minimal serialization when ill-posed")
+    check.set_defaults(handler=cmd_check)
+
+    schedule = sub.add_parser("schedule", help="compute the minimum "
+                                               "relative schedule")
+    schedule.add_argument("input")
+    schedule.add_argument("--mode", default="irredundant",
+                          choices=[m.value for m in AnchorMode])
+    schedule.add_argument("--no-well-pose", action="store_true",
+                          help="fail on ill-posed graphs instead of "
+                               "serializing")
+    schedule.add_argument("--mobility", action="store_true",
+                          help="also print the ASAP/ALAP mobility report")
+    schedule.add_argument("-o", "--output", help="write the schedule JSON")
+    schedule.set_defaults(handler=cmd_schedule)
+
+    control = sub.add_parser("control", help="generate control logic")
+    control.add_argument("input")
+    control.add_argument("--style", default="shift-register",
+                         choices=["counter", "shift-register"])
+    control.add_argument("--mode", default="irredundant",
+                         choices=[m.value for m in AnchorMode])
+    control.add_argument("--verilog", help="write a Verilog module here")
+    control.set_defaults(handler=cmd_control)
+
+    dot = sub.add_parser("dot", help="Graphviz export")
+    dot.add_argument("input")
+    dot.add_argument("-o", "--output")
+    dot.set_defaults(handler=cmd_dot)
+
+    simulate = sub.add_parser("simulate", help="cycle-accurate control "
+                                               "simulation")
+    simulate.add_argument("input")
+    simulate.add_argument("--profile", help="anchor delays, e.g. a=3,b=7")
+    simulate.add_argument("--style", default="shift-register",
+                          choices=["counter", "shift-register"])
+    simulate.add_argument("--mode", default="irredundant",
+                          choices=[m.value for m in AnchorMode])
+    simulate.set_defaults(handler=cmd_simulate)
+
+    tables = sub.add_parser("tables", help="regenerate the paper's "
+                                           "tables and figures")
+    tables.add_argument("--which", default="all",
+                        choices=["2", "3", "4", "fig10", "fig14", "all"])
+    tables.set_defaults(handler=cmd_tables)
+
+    report = sub.add_parser("report", help="full synthesis report "
+                                           "(bind + schedule + control)")
+    report.add_argument("input")
+    report.add_argument("--resources",
+                        help="resource pool, e.g. alu:1,mul:2")
+    report.add_argument("--mode", default="irredundant",
+                        choices=[m.value for m in AnchorMode])
+    report.add_argument("--style", default="shift-register",
+                        choices=["counter", "shift-register"])
+    report.add_argument("--exact", action="store_true",
+                        help="exact branch-and-bound conflict resolution")
+    report.add_argument("--per-graph", action="store_true",
+                        help="print each graph's offset table")
+    report.add_argument("--markdown",
+                        help="also write a full markdown report here")
+    report.set_defaults(handler=cmd_report)
+
+    montecarlo = sub.add_parser("montecarlo", help="latency distribution "
+                                                   "under random profiles")
+    montecarlo.add_argument("input")
+    montecarlo.add_argument("--range", nargs=2, type=int, default=(0, 10),
+                            metavar=("LO", "HI"),
+                            help="uniform anchor-delay range")
+    montecarlo.add_argument("--samples", type=int, default=1000)
+    montecarlo.add_argument("--seed", type=int, default=0)
+    montecarlo.add_argument("--mode", default="irredundant",
+                            choices=[m.value for m in AnchorMode])
+    montecarlo.set_defaults(handler=cmd_montecarlo)
+
+    cosim = sub.add_parser("cosim", help="value/timing co-simulation of "
+                                         "HardwareC source")
+    cosim.add_argument("input")
+    cosim.add_argument("--set", action="append", metavar="PORT=VALUE",
+                       help="port stimulus; colon-separated values make "
+                            "a stream (e.g. restart=1:1:0)")
+    cosim.add_argument("--process", help="process to simulate")
+    cosim.add_argument("--wait-delay", type=int, default=0,
+                       help="blocking cycles for wait operations")
+    cosim.add_argument("--gantt", type=int, metavar="WIDTH",
+                       help="render a Gantt chart clipped to WIDTH cycles")
+    cosim.set_defaults(handler=cmd_cosim)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

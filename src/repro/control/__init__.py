@@ -1,0 +1,47 @@
+"""Control generation from relative schedules (Section VI).
+
+The start time of every operation is a set of offsets from anchor
+completions, so the control logic must count cycles *relative to* each
+anchor's ``done`` signal and assert ``enable_v`` when every offset has
+elapsed.  Two implementation styles from the paper:
+
+* **counter-based** (:mod:`repro.control.counter`) -- one counter per
+  anchor plus a comparator per (operation, anchor) offset;
+* **shift-register-based** (:mod:`repro.control.shiftreg`) -- one shift
+  register of length ``sigma_a^max`` per anchor, with enables taken
+  from taps: more registers, no comparators.
+
+Both produce a :class:`~repro.control.netlist.ControlUnit` carrying a
+structural netlist and a cost summary, which the Table IV benchmarks and
+the redundancy-ablation experiments consume.  The cost trade-off --
+comparator logic versus register count -- is exactly the one the paper
+discusses, and removing redundant anchors shrinks both (fewer
+synchronizations, smaller ``sigma_a^max``).
+"""
+
+from repro.control.netlist import (
+    AndGate,
+    Comparator,
+    ControlCost,
+    ControlUnit,
+    Counter,
+    EnableFunction,
+    ShiftRegister,
+)
+from repro.control.counter import synthesize_counter_control
+from repro.control.shiftreg import synthesize_shift_register_control
+from repro.control.fsm import AdaptiveController, synthesize_adaptive_control
+
+__all__ = [
+    "AndGate",
+    "Comparator",
+    "ControlCost",
+    "ControlUnit",
+    "Counter",
+    "EnableFunction",
+    "ShiftRegister",
+    "synthesize_counter_control",
+    "synthesize_shift_register_control",
+    "AdaptiveController",
+    "synthesize_adaptive_control",
+]

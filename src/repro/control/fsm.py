@@ -1,0 +1,99 @@
+"""Adaptive control: a modular interconnection of per-graph controllers.
+
+The paper's control synthesis (Section VI, reference [25]) produces one
+controller per sequencing graph; controllers communicate through
+start/done handshakes.  A compound operation (loop, call, conditional)
+raises ``start`` toward its body controller when its enable fires and
+receives ``done`` when the body's sink activates; data-dependent loops
+re-start their body until the exit condition holds, which is exactly
+what makes their delay unbounded.
+
+This module builds the controller hierarchy for a scheduled design; the
+cycle-accurate semantics live in :mod:`repro.sim.control_sim` and
+:mod:`repro.sim.engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.control.counter import synthesize_counter_control
+from repro.control.netlist import ControlCost, ControlUnit
+from repro.control.shiftreg import synthesize_shift_register_control
+from repro.seqgraph.hierarchy import HierarchicalSchedule
+from repro.seqgraph.model import OpKind
+
+
+@dataclass
+class AdaptiveController:
+    """The controller of one sequencing graph.
+
+    Attributes:
+        graph_name: the controlled graph.
+        unit: the synthesized enable-generation netlist.
+        children: compound operation name -> referenced graph names
+            (one for LOOP/CALL, one per branch for COND).
+        loop_ops / call_ops / cond_ops: compound operations by kind,
+            for the handshake wiring.
+    """
+
+    graph_name: str
+    unit: ControlUnit
+    children: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    loop_ops: Tuple[str, ...] = ()
+    call_ops: Tuple[str, ...] = ()
+    cond_ops: Tuple[str, ...] = ()
+
+    def handshake_count(self) -> int:
+        """Start/done handshake pairs this controller drives."""
+        return len(self.children)
+
+
+def synthesize_adaptive_control(result: HierarchicalSchedule,
+                                style: str = "shift-register"
+                                ) -> Dict[str, AdaptiveController]:
+    """Build the adaptive-control hierarchy for a scheduled design.
+
+    Args:
+        result: a bottom-up hierarchical schedule.
+        style: "counter" or "shift-register" for the per-graph units.
+
+    Returns:
+        graph name -> controller, for every graph in the design.
+    """
+    if style == "counter":
+        synthesize = synthesize_counter_control
+    elif style == "shift-register":
+        synthesize = synthesize_shift_register_control
+    else:
+        raise ValueError(f"unknown control style {style!r}")
+
+    controllers: Dict[str, AdaptiveController] = {}
+    for graph_name in result.design.hierarchy_order():
+        seq_graph = result.design.graph(graph_name)
+        unit = synthesize(result.schedules[graph_name])
+        children: Dict[str, Tuple[str, ...]] = {}
+        loops: List[str] = []
+        calls: List[str] = []
+        conds: List[str] = []
+        for op in seq_graph.compound_operations():
+            children[op.name] = op.referenced_graphs()
+            if op.kind is OpKind.LOOP:
+                loops.append(op.name)
+            elif op.kind is OpKind.CALL:
+                calls.append(op.name)
+            elif op.kind is OpKind.COND:
+                conds.append(op.name)
+        controllers[graph_name] = AdaptiveController(
+            graph_name=graph_name, unit=unit, children=children,
+            loop_ops=tuple(loops), call_ops=tuple(calls), cond_ops=tuple(conds))
+    return controllers
+
+
+def total_control_cost(controllers: Dict[str, AdaptiveController]) -> ControlCost:
+    """Aggregate cost over the controller hierarchy (Table IV's driver)."""
+    total = ControlCost(0, 0, 0)
+    for controller in controllers.values():
+        total = total + controller.unit.cost()
+    return total

@@ -1,0 +1,120 @@
+"""Microprogrammed control for bounded graphs (Section VI's simple case).
+
+"In the simple case where the hardware model does not contain any
+unbounded delay operations, the task of control generation reduces to
+the traditional control synthesis approaches of microprogrammed
+controllers and FSM's."  This module implements that case: when the
+only anchor is the source, every start time is a fixed cycle number,
+and the control is a micro-ROM indexed by a single cycle counter --
+one horizontal microword per cycle, one enable bit per operation.
+
+Cost model: ``depth x width`` ROM bits plus the cycle counter, which
+the comparison helpers put side by side with the counter/shift-register
+schemes (for bounded graphs the ROM usually wins on combinational
+logic and loses on storage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.control.netlist import bits_for
+from repro.core.schedule import RelativeSchedule
+
+
+class UnboundedScheduleError(ValueError):
+    """Microcode needs fixed start times: the schedule has anchors other
+    than the source, so relative control (counters / shift registers)
+    is required instead."""
+
+
+@dataclass
+class Microcode:
+    """A horizontal micro-ROM for one bounded graph.
+
+    Attributes:
+        operations: column order of the enable bits.
+        words: one tuple of bits per cycle; ``words[c][i]`` enables
+            ``operations[i]`` at cycle ``c``.
+    """
+
+    operations: List[str]
+    words: List[Tuple[int, ...]]
+
+    @property
+    def depth(self) -> int:
+        return len(self.words)
+
+    @property
+    def width(self) -> int:
+        return len(self.operations)
+
+    def rom_bits(self) -> int:
+        return self.depth * self.width
+
+    def counter_bits(self) -> int:
+        return bits_for(max(0, self.depth - 1))
+
+    def enable_cycle(self, operation: str) -> int:
+        """The cycle whose microword enables *operation*."""
+        column = self.operations.index(operation)
+        for cycle, word in enumerate(self.words):
+            if word[column]:
+                return cycle
+        raise KeyError(f"{operation!r} never enabled")
+
+    def format(self) -> str:
+        """Render the ROM contents."""
+        header = "cycle  " + " ".join(f"{op:>10}" for op in self.operations)
+        lines = [header]
+        for cycle, word in enumerate(self.words):
+            cells = " ".join(f"{bit:>10}" for bit in word)
+            lines.append(f"{cycle:>5}  {cells}")
+        return "\n".join(lines)
+
+
+def synthesize_microcode(schedule: RelativeSchedule) -> Microcode:
+    """Generate the micro-ROM for a bounded schedule.
+
+    Raises:
+        UnboundedScheduleError: when any operation synchronizes on an
+            anchor other than the source -- fixed cycle numbers do not
+            exist and relative control is needed (the paper's general
+            case).
+    """
+    graph = schedule.graph
+    source = graph.source
+    if any(anchor != source for anchor in graph.anchors):
+        extra = [a for a in graph.anchors if a != source]
+        raise UnboundedScheduleError(
+            f"graph has unbounded anchors {extra}; microcode requires "
+            f"fixed start times (use counter or shift-register control)")
+
+    start_times = schedule.start_times({})
+    operations = [v for v in graph.forward_topological_order()
+                  if v != source]
+    depth = max(start_times.values()) + 1
+    words: List[List[int]] = [[0] * len(operations) for _ in range(depth)]
+    for column, operation in enumerate(operations):
+        words[start_times[operation]][column] = 1
+    return Microcode(operations=operations,
+                     words=[tuple(word) for word in words])
+
+
+def compare_with_relative_control(schedule: RelativeSchedule) -> Dict[str, float]:
+    """Storage comparison: micro-ROM bits vs the relative schemes'
+    register bits, for a bounded schedule."""
+    from repro.control.counter import synthesize_counter_control
+    from repro.control.shiftreg import synthesize_shift_register_control
+
+    microcode = synthesize_microcode(schedule)
+    counter = synthesize_counter_control(schedule).cost()
+    shift = synthesize_shift_register_control(schedule).cost()
+    return {
+        "microcode_rom_bits": float(microcode.rom_bits()),
+        "microcode_counter_bits": float(microcode.counter_bits()),
+        "counter_registers": float(counter.registers),
+        "counter_comparator_bits": float(counter.comparator_bits),
+        "shift_registers": float(shift.registers),
+    }

@@ -1,0 +1,159 @@
+"""Structural control-netlist components and cost accounting.
+
+The netlist is intentionally small: counters, shift registers,
+comparators, and AND gates are the only component kinds the two control
+schemes of Section VI need.  Costs are reported as register bits,
+comparator bits, and gate inputs so the Table IV-style comparisons
+(full vs irredundant anchor sets; counter vs shift register) have a
+concrete, implementation-flavoured currency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+def bits_for(value: int) -> int:
+    """Register width needed to count from 0 to *value* inclusive."""
+    if value < 0:
+        raise ValueError(f"cannot size a register for negative value {value}")
+    return max(1, math.ceil(math.log2(value + 1)))
+
+
+@dataclass(frozen=True)
+class Counter:
+    """A free-running counter cleared and started by ``done_anchor``."""
+
+    anchor: str
+    width: int
+
+    @property
+    def name(self) -> str:
+        return f"cnt_{self.anchor}"
+
+
+@dataclass(frozen=True)
+class ShiftRegister:
+    """A shift register fed by ``done_anchor``; tap *i* asserts when at
+    least *i* cycles have elapsed since the anchor completed."""
+
+    anchor: str
+    length: int
+
+    @property
+    def name(self) -> str:
+        return f"sr_{self.anchor}"
+
+
+@dataclass(frozen=True)
+class Comparator:
+    """``counter(anchor) >= threshold``, *width* bits wide."""
+
+    anchor: str
+    threshold: int
+    width: int
+
+    @property
+    def name(self) -> str:
+        return f"cmp_{self.anchor}_ge{self.threshold}"
+
+
+@dataclass(frozen=True)
+class AndGate:
+    """Conjunction of the named input signals."""
+
+    output: str
+    inputs: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class EnableFunction:
+    """The activation condition of one operation.
+
+    ``terms`` maps each anchor in the operation's anchor set to the
+    offset that must have elapsed since that anchor's completion:
+    ``enable = AND over (a, sigma) of elapsed(a) >= sigma``.
+    """
+
+    operation: str
+    terms: Tuple[Tuple[str, int], ...]  # (anchor, offset), sorted
+
+    def evaluate(self, elapsed: Dict[str, Optional[int]]) -> bool:
+        """True when every anchor has completed and its offset elapsed.
+
+        *elapsed* maps anchors to cycles since completion (None while
+        the anchor is still running).
+        """
+        for anchor, offset in self.terms:
+            since = elapsed.get(anchor)
+            if since is None or since < offset:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class ControlCost:
+    """Cost summary of a control unit.
+
+    Attributes:
+        registers: total register bits (counter widths or shift stages).
+        comparator_bits: total comparator width (counter scheme only).
+        gate_inputs: total AND-gate fan-in across enable functions.
+    """
+
+    registers: int
+    comparator_bits: int
+    gate_inputs: int
+
+    def total(self, register_weight: float = 2.0,
+              comparator_weight: float = 1.5,
+              gate_weight: float = 1.0) -> float:
+        """A scalar area estimate with configurable technology weights
+        (registers are typically the most expensive element)."""
+        return (register_weight * self.registers
+                + comparator_weight * self.comparator_bits
+                + gate_weight * self.gate_inputs)
+
+    def __add__(self, other: "ControlCost") -> "ControlCost":
+        return ControlCost(self.registers + other.registers,
+                           self.comparator_bits + other.comparator_bits,
+                           self.gate_inputs + other.gate_inputs)
+
+
+@dataclass
+class ControlUnit:
+    """A synthesized control unit for one scheduled graph.
+
+    Attributes:
+        style: "counter" or "shift-register".
+        counters / shift_registers: per-anchor sequencing state.
+        comparators: offset comparisons (counter style only).
+        and_gates: conjunction gates combining per-anchor conditions.
+        enables: per-operation activation conditions, the behavioural
+            contract verified by the control simulator.
+    """
+
+    style: str
+    counters: List[Counter] = field(default_factory=list)
+    shift_registers: List[ShiftRegister] = field(default_factory=list)
+    comparators: List[Comparator] = field(default_factory=list)
+    and_gates: List[AndGate] = field(default_factory=list)
+    enables: Dict[str, EnableFunction] = field(default_factory=dict)
+
+    def cost(self) -> ControlCost:
+        """Aggregate register/comparator/gate cost of this unit."""
+        registers = sum(c.width for c in self.counters) + \
+            sum(s.length for s in self.shift_registers)
+        comparator_bits = sum(c.width for c in self.comparators)
+        gate_inputs = sum(len(g.inputs) for g in self.and_gates)
+        return ControlCost(registers, comparator_bits, gate_inputs)
+
+    def enable(self, operation: str) -> EnableFunction:
+        return self.enables[operation]
+
+    def __repr__(self) -> str:
+        cost = self.cost()
+        return (f"ControlUnit(style={self.style!r}, regs={cost.registers}, "
+                f"cmp_bits={cost.comparator_bits}, gate_inputs={cost.gate_inputs})")

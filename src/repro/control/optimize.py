@@ -1,0 +1,139 @@
+"""Cost-driven control optimization: mixed counter / shift-register.
+
+Section VI closes by noting the register-versus-comparator trade-off
+"rests both on the cost parameters of the logic elements and on the
+resulting schedule".  This module makes that decision automatically,
+*per anchor*: each anchor's sequencing state is implemented by
+whichever structure is cheaper for its offset profile under the given
+technology weights --
+
+* shift register: ``sigma_a^max`` register bits, zero comparators;
+* counter: ``ceil(log2(sigma_a^max + 1))`` register bits plus one
+  comparator per distinct offset.
+
+Small offset ranges favour shift registers, large sparse ones counters;
+a mixed unit dominates both pure styles (the optimizer can always
+reproduce either), which the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.control.netlist import (
+    AndGate,
+    Comparator,
+    ControlCost,
+    ControlUnit,
+    Counter,
+    EnableFunction,
+    ShiftRegister,
+    bits_for,
+)
+from repro.core.schedule import RelativeSchedule
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Technology weights for the area estimate (see ControlCost.total)."""
+
+    register: float = 2.0
+    comparator: float = 1.5
+    gate: float = 1.0
+
+
+def _anchor_profile(schedule: RelativeSchedule) -> Dict[str, Set[int]]:
+    """Distinct offsets referenced per anchor."""
+    profile: Dict[str, Set[int]] = {}
+    for offsets in schedule.offsets.values():
+        for anchor, value in offsets.items():
+            profile.setdefault(anchor, set()).add(value)
+    return profile
+
+
+def _counter_cost(offsets: Set[int], weights: CostWeights) -> float:
+    width = bits_for(max(offsets))
+    return weights.register * width + weights.comparator * width * len(offsets)
+
+
+def _shift_cost(offsets: Set[int], weights: CostWeights) -> float:
+    return weights.register * max(offsets)
+
+
+def choose_styles(schedule: RelativeSchedule,
+                  weights: CostWeights = CostWeights()
+                  ) -> Dict[str, str]:
+    """The cheaper implementation style per anchor ("counter" or
+    "shift-register"); ties go to the shift register (simpler logic)."""
+    choice: Dict[str, str] = {}
+    for anchor, offsets in sorted(_anchor_profile(schedule).items()):
+        if max(offsets) == 0:
+            # no state needed beyond the done signal itself
+            choice[anchor] = "shift-register"
+            continue
+        counter = _counter_cost(offsets, weights)
+        shift = _shift_cost(offsets, weights)
+        choice[anchor] = "counter" if counter < shift else "shift-register"
+    return choice
+
+
+def synthesize_optimal_control(schedule: RelativeSchedule,
+                               weights: CostWeights = CostWeights()
+                               ) -> ControlUnit:
+    """A mixed-style control unit, per-anchor cost-optimal.
+
+    Anchors assigned "counter" get a counter plus deduplicated
+    comparators; anchors assigned "shift-register" get a sticky shift
+    register with taps.  Enables conjoin whichever condition signals
+    their anchors use.
+    """
+    styles = choose_styles(schedule, weights)
+    profile = _anchor_profile(schedule)
+    unit = ControlUnit(style="mixed")
+
+    for anchor, style in styles.items():
+        offsets = profile[anchor]
+        if style == "counter":
+            unit.counters.append(Counter(anchor, bits_for(max(offsets))))
+        elif max(offsets) > 0:
+            unit.shift_registers.append(ShiftRegister(anchor, max(offsets)))
+
+    seen_comparators: Set[Tuple[str, int]] = set()
+    for vertex in schedule.graph.forward_topological_order():
+        offsets = schedule.offsets.get(vertex, {})
+        terms = tuple(sorted(offsets.items()))
+        unit.enables[vertex] = EnableFunction(vertex, terms)
+        inputs: List[str] = []
+        for anchor, offset in terms:
+            if styles.get(anchor) == "counter":
+                if (anchor, offset) not in seen_comparators:
+                    seen_comparators.add((anchor, offset))
+                    unit.comparators.append(Comparator(
+                        anchor, offset, bits_for(max(profile[anchor]))))
+                inputs.append(f"cmp_{anchor}_ge{offset}")
+            else:
+                inputs.append(f"sr_{anchor}[{offset}]")
+        if len(inputs) > 1:
+            unit.and_gates.append(AndGate(f"enable_{vertex}", tuple(inputs)))
+    return unit
+
+
+def compare_styles(schedule: RelativeSchedule,
+                   weights: CostWeights = CostWeights()
+                   ) -> Dict[str, float]:
+    """Weighted area of the three implementations (pure counter, pure
+    shift register, optimal mixed) for one schedule."""
+    from repro.control.counter import synthesize_counter_control
+    from repro.control.shiftreg import synthesize_shift_register_control
+
+    def area(unit: ControlUnit) -> float:
+        return unit.cost().total(register_weight=weights.register,
+                                 comparator_weight=weights.comparator,
+                                 gate_weight=weights.gate)
+
+    return {
+        "counter": area(synthesize_counter_control(schedule)),
+        "shift-register": area(synthesize_shift_register_control(schedule)),
+        "mixed": area(synthesize_optimal_control(schedule, weights)),
+    }

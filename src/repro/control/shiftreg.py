@@ -1,0 +1,57 @@
+"""Shift-register-based control generation (Section VI, Fig. 12(b)).
+
+One shift register per anchor, of length ``sigma_a^max``, fed by the
+anchor's ``done`` signal; tap ``SR_a[i]`` asserts once at least ``i``
+cycles have elapsed since the anchor completed (tap 0 is the ``done``
+signal itself).  Enables are plain conjunctions of taps: the comparator
+logic of the counter scheme disappears at the price of more registers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.control.netlist import (
+    AndGate,
+    ControlUnit,
+    EnableFunction,
+    ShiftRegister,
+)
+from repro.core.schedule import RelativeSchedule
+
+
+def synthesize_shift_register_control(schedule: RelativeSchedule) -> ControlUnit:
+    """Generate the shift-register-based control unit for *schedule*.
+
+    Register count is the sum over anchors of the *maximum* offset any
+    operation holds against that anchor -- which is why removing
+    redundant anchors (smaller anchor sets, smaller ``sigma_a^max``)
+    directly reduces the implementation (Table IV's "sum of max"
+    column).
+    """
+    unit = ControlUnit(style="shift-register")
+    for anchor in sorted(schedule.graph.anchors):
+        length = _used_max_offset(schedule, anchor)
+        if length is None:
+            continue
+        unit.shift_registers.append(ShiftRegister(anchor, length))
+
+    for vertex in schedule.graph.forward_topological_order():
+        offsets = schedule.offsets.get(vertex, {})
+        terms = tuple(sorted(offsets.items()))
+        unit.enables[vertex] = EnableFunction(vertex, terms)
+        if len(terms) > 1:
+            inputs = tuple(f"sr_{anchor}[{offset}]" for anchor, offset in terms)
+            unit.and_gates.append(AndGate(f"enable_{vertex}", inputs))
+    return unit
+
+
+def _used_max_offset(schedule: RelativeSchedule, anchor: str):
+    """Shift-register length for *anchor*: the largest offset referenced,
+    or None when no operation synchronizes on it."""
+    values: List[int] = [offsets[anchor]
+                         for offsets in schedule.offsets.values()
+                         if anchor in offsets]
+    if not values:
+        return None
+    return max(values)

@@ -1,0 +1,171 @@
+"""Relative ALAP scheduling, mobility, and criticality analysis.
+
+The paper computes the *minimum* (ASAP) relative schedule.  For design
+exploration one also wants the latest start times that still meet the
+achieved latency -- the relative generalization of classical ALAP --
+and the per-offset *mobility* between the two, which identifies the
+operations and constraints that pin the schedule.
+
+Offsets are per-anchor, and every edge inequality is per-anchor
+separable, so the ALAP offsets within each anchor's frame are::
+
+    sigma_a^alap(v) = deadline_a - length(v -> sink | anchored region)
+
+where the longest path runs over the vertices tracking ``a`` (the same
+region Theorem 3's minimum offsets live in) and ``deadline_a`` defaults
+to the minimum schedule's sink offset for ``a`` (zero-latency-overhead
+exploration).  Mobility is ``sigma^alap - sigma^min >= 0``; zero
+mobility marks the relative critical path of that anchor frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.exceptions import UnfeasibleConstraintsError
+from repro.core.graph import ConstraintGraph
+from repro.core.paths import NO_PATH
+from repro.core.schedule import RelativeSchedule
+
+
+def _anchored_lengths_to_sink(graph: ConstraintGraph, anchor: str,
+                              tracked: Mapping[str, Mapping[str, int]]
+                              ) -> Dict[str, Optional[int]]:
+    """Longest path from each tracked vertex to the sink, over edges
+    whose endpoints both track *anchor* (reverse Bellman-Ford)."""
+    allowed = {vertex for vertex, offsets in tracked.items() if anchor in offsets}
+    allowed.add(anchor)
+    distance: Dict[str, Optional[int]] = {name: NO_PATH for name in graph.vertex_names()}
+    if graph.sink in allowed:
+        distance[graph.sink] = 0
+    edges = [e for e in graph.edges()
+             if e.tail in allowed and e.head in allowed]
+    for _ in range(len(allowed)):
+        changed = False
+        for edge in edges:
+            downstream = distance[edge.head]
+            if downstream is NO_PATH:
+                continue
+            candidate = downstream + edge.static_weight
+            current = distance[edge.tail]
+            if current is NO_PATH or candidate > current:
+                distance[edge.tail] = candidate
+                changed = True
+        if not changed:
+            break
+    else:
+        raise UnfeasibleConstraintsError(
+            f"positive cycle in the region anchored by {anchor!r}")
+    return distance
+
+
+def alap_offsets(schedule: RelativeSchedule,
+                 deadlines: Optional[Mapping[str, int]] = None
+                 ) -> Dict[str, Dict[str, int]]:
+    """As-late-as-possible offsets meeting per-anchor *deadlines*.
+
+    Args:
+        schedule: a minimum relative schedule (defines the anchor sets
+            and, by default, the deadlines).
+        deadlines: sink offset per anchor; defaults to the minimum
+            schedule's own sink offsets (no latency regression).
+            Anchors without a sink offset keep their tracked vertices at
+            the minimum (no later bound exists through the sink).
+
+    Returns:
+        ``alap[v][a]`` for exactly the offsets the schedule tracks.
+
+    Raises:
+        UnfeasibleConstraintsError: when a deadline is below the
+            minimum achievable sink offset.
+    """
+    graph = schedule.graph
+    sink_offsets = schedule.offsets.get(graph.sink, {})
+    result: Dict[str, Dict[str, int]] = {v: {} for v in schedule.offsets}
+    for anchor in graph.anchors:
+        tracked_vertices = [v for v, offsets in schedule.offsets.items()
+                            if anchor in offsets]
+        if not tracked_vertices:
+            continue
+        deadline = None
+        if deadlines is not None and anchor in deadlines:
+            deadline = deadlines[anchor]
+        elif anchor in sink_offsets:
+            deadline = sink_offsets[anchor]
+        if deadline is None:
+            # No path to the sink constrains this frame: ALAP = ASAP.
+            for vertex in tracked_vertices:
+                result[vertex][anchor] = schedule.offsets[vertex][anchor]
+            continue
+        lengths = _anchored_lengths_to_sink(graph, anchor, schedule.offsets)
+        for vertex in tracked_vertices:
+            to_sink = lengths[vertex]
+            minimum = schedule.offsets[vertex][anchor]
+            if to_sink is NO_PATH:
+                result[vertex][anchor] = minimum
+                continue
+            latest = deadline - to_sink
+            if latest < minimum:
+                raise UnfeasibleConstraintsError(
+                    f"deadline {deadline} for anchor {anchor!r} is below "
+                    f"the minimum sink offset (vertex {vertex!r} needs "
+                    f"{minimum}, allowed {latest})")
+            result[vertex][anchor] = latest
+    return result
+
+
+@dataclass(frozen=True)
+class MobilityEntry:
+    """Mobility of one (vertex, anchor) offset."""
+
+    vertex: str
+    anchor: str
+    asap: int
+    alap: int
+
+    @property
+    def mobility(self) -> int:
+        return self.alap - self.asap
+
+    @property
+    def critical(self) -> bool:
+        return self.mobility == 0
+
+
+def relative_mobility(schedule: RelativeSchedule,
+                      deadlines: Optional[Mapping[str, int]] = None
+                      ) -> List[MobilityEntry]:
+    """Per-offset mobility between the minimum and ALAP schedules."""
+    alap = alap_offsets(schedule, deadlines)
+    entries: List[MobilityEntry] = []
+    for vertex in schedule.graph.forward_topological_order():
+        for anchor, asap in sorted(schedule.offsets.get(vertex, {}).items()):
+            entries.append(MobilityEntry(vertex, anchor, asap,
+                                         alap[vertex][anchor]))
+    return entries
+
+
+def critical_operations(schedule: RelativeSchedule,
+                        deadlines: Optional[Mapping[str, int]] = None
+                        ) -> Dict[str, List[str]]:
+    """Zero-mobility vertices per anchor frame -- the relative critical
+    paths that pin the latency."""
+    critical: Dict[str, List[str]] = {}
+    for entry in relative_mobility(schedule, deadlines):
+        if entry.critical:
+            critical.setdefault(entry.anchor, []).append(entry.vertex)
+    return critical
+
+
+def format_mobility(schedule: RelativeSchedule,
+                    deadlines: Optional[Mapping[str, int]] = None) -> str:
+    """A human-readable mobility report."""
+    lines = [f"{'vertex':>12}  {'anchor':>10}  {'asap':>5}  {'alap':>5}  "
+             f"{'mobility':>8}"]
+    for entry in relative_mobility(schedule, deadlines):
+        marker = "  <- critical" if entry.critical else ""
+        lines.append(f"{entry.vertex:>12}  {entry.anchor:>10}  "
+                     f"{entry.asap:>5}  {entry.alap:>5}  "
+                     f"{entry.mobility:>8}{marker}")
+    return "\n".join(lines)

@@ -1,0 +1,221 @@
+"""Anchor sets, relevant anchors, and irredundant anchors.
+
+Anchors (Definition 2) are the source vertex plus every unbounded-delay
+operation; they are the reference points of a relative schedule.
+
+* The **anchor set** ``A(v)`` (Definition 4) contains every anchor whose
+  completion gates the activation of ``v``: anchors with a *forward*
+  path to ``v`` containing an unbounded-weight edge ``delta(a)``.
+  Computed by :func:`find_anchor_sets` (the paper's ``findAnchorSet``).
+
+* The **relevant anchor set** ``R(v)`` (Definition 9) contains anchors
+  with a *defining path* to ``v`` -- a path in the full graph with
+  exactly one unbounded edge.  Relevant anchors may directly determine
+  the start time ``T(v)`` (Theorem 4).  Computed by
+  :func:`relevant_anchors` (the paper's ``relevantAnchor``).
+
+* The **irredundant anchor set** ``IR(v)`` (Definition 11) removes
+  anchors dominated through a cascade of later anchors; it is the
+  *minimum* set needed to compute ``T(v)`` (Theorem 6).  Computed by
+  :func:`irredundant_anchors` (the paper's ``minimumAnchor``).
+
+For well-posed graphs with minimum offsets the paper proves
+``IR(v) subset-of R(v) subset-of A(v)`` and the equality of the start
+times computed from any of the three sets (Theorems 4-6).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional
+
+from repro.core.graph import ConstraintGraph
+from repro.core.paths import NO_PATH
+
+#: Anchor sets map each vertex name to a frozen set of anchor names.
+AnchorSets = Dict[str, FrozenSet[str]]
+
+
+class AnchorMode(enum.Enum):
+    """Which anchor-set variant downstream algorithms should use."""
+
+    FULL = "full"
+    RELEVANT = "relevant"
+    IRREDUNDANT = "irredundant"
+
+
+def find_anchor_sets(graph: ConstraintGraph) -> AnchorSets:
+    """Compute ``A(v)`` for every vertex (the paper's ``findAnchorSet``).
+
+    Anchors propagate along forward edges in topological order: an
+    unbounded edge ``(a, v)`` injects ``a`` into ``A(v)``; every forward
+    edge ``(u, v)`` propagates ``A(u)`` into ``A(v)``.  The source's
+    anchor set is empty; since the graph is polar and every source
+    out-edge is unbounded, the source ends up in the anchor set of every
+    other vertex.
+
+    Complexity ``O(|Ef| * |A|)``, matching the paper: each forward edge
+    is traversed once and each traversal merges at most ``|A|`` tags.
+    """
+    order = graph.forward_topological_order()
+    anchor_sets: Dict[str, set] = {name: set() for name in graph.vertex_names()}
+    for name in order:
+        tags = anchor_sets[name]
+        for edge in graph.out_edges(name, forward_only=True):
+            target = anchor_sets[edge.head]
+            target.update(tags)
+            if edge.is_unbounded:
+                target.add(name)
+    return {name: frozenset(tags) for name, tags in anchor_sets.items()}
+
+
+def relevant_anchors(graph: ConstraintGraph) -> AnchorSets:
+    """Compute ``R(v)`` for every vertex (the paper's ``relevantAnchor``).
+
+    Each anchor is propagated outwards over its out-edges and then as
+    far as possible along *bounded*-weight edges of the full graph
+    (forward and backward alike), stopping at unbounded edges.  Every
+    vertex reached acquires the anchor as relevant: the traversal prefix
+    is a defining path (Definition 8).
+
+    Deviation from the paper's Definition 8 (documented in DESIGN.md):
+    a defining path here contains *at most* one unbounded edge, which --
+    when present -- must be the first.  The paper requires exactly one,
+    but a *bounded* edge leaving an anchor (a minimum timing constraint
+    whose tail is an anchor) constrains the offset ``sigma_a(v)``
+    directly, so the anchor can determine ``T(v)`` with no unbounded
+    edge on the path; the strict definition would drop it and lose the
+    constraint.  Bounded-first-edge propagation is confined to the
+    anchor's cone ``{x : a in A(x)}``, where the offsets it constrains
+    are actually defined.  On graphs whose anchors have only unbounded
+    out-edges (all of the paper's examples) the two definitions
+    coincide.
+
+    Complexity ``O(|A| * |E|)``: each edge is examined at most twice per
+    anchor.
+    """
+    anchor_sets = find_anchor_sets(graph)
+    relevant: Dict[str, set] = {name: set() for name in graph.vertex_names()}
+    for anchor in graph.anchors:
+        # Phase 1 -- the paper's traversal: one unbounded first hop,
+        # then bounded edges, unrestricted (on ill-posed graphs this may
+        # leave the anchor's cone; Lemma 4 uses exactly that signal).
+        visited = {anchor}
+        frontier = []
+        for edge in graph.out_edges(anchor):
+            if edge.is_unbounded and edge.head not in visited:
+                visited.add(edge.head)
+                frontier.append(edge.head)
+        while frontier:
+            current = frontier.pop()
+            relevant[current].add(anchor)
+            for edge in graph.out_edges(current):
+                if edge.is_unbounded or edge.head in visited:
+                    continue
+                visited.add(edge.head)
+                frontier.append(edge.head)
+        # Phase 2 -- the deviation: an all-bounded constraint path from
+        # the anchor, confined to vertices already tracking it.
+        visited = {anchor}
+        frontier = []
+        for edge in graph.out_edges(anchor):
+            if (not edge.is_unbounded and edge.head not in visited
+                    and anchor in anchor_sets[edge.head]):
+                visited.add(edge.head)
+                frontier.append(edge.head)
+        while frontier:
+            current = frontier.pop()
+            relevant[current].add(anchor)
+            for edge in graph.out_edges(current):
+                if (edge.is_unbounded or edge.head in visited
+                        or anchor not in anchor_sets[edge.head]):
+                    continue
+                visited.add(edge.head)
+                frontier.append(edge.head)
+    return {name: frozenset(tags) for name, tags in relevant.items()}
+
+
+def irredundant_anchors(
+    graph: ConstraintGraph,
+    anchor_sets: Optional[AnchorSets] = None,
+    relevant: Optional[AnchorSets] = None,
+    lengths: Optional[Mapping[str, Mapping[str, Optional[int]]]] = None,
+) -> AnchorSets:
+    """Compute ``IR(v)`` for every vertex (the paper's ``minimumAnchor``).
+
+    An anchor ``x`` of ``v`` is *redundant* (Definition 11) when some
+    anchor ``q`` with ``x in A(q)`` and ``q in A(v)`` satisfies
+    ``length(x, v) = length(x, q) + length(q, v)``: the path through
+    ``q`` already covers the longest path from ``x``, and ``q``'s later
+    completion dominates ``x``'s.  The redundancy scan only needs to
+    compare relevant anchors against each other (Theorem 5 shows every
+    irrelevant anchor is redundant).
+
+    The ``length`` of Definition 11 is interpreted as the minimum offset
+    (the proof of Lemma 6 equates the two via Theorem 3), i.e. the
+    longest path restricted to vertices whose anchor set contains the
+    anchor -- see :func:`repro.core.paths.anchored_longest_paths`.  On
+    graphs where no backward edge escapes an anchored region this equals
+    the full-graph ``length(a, b)``.
+
+    Pre-computed *anchor_sets*, *relevant* sets, and anchor-to-vertex
+    *lengths* tables may be supplied to avoid recomputation.
+
+    Complexity: dominated by the longest-path tables,
+    ``O(|A| * |V| * |E|)`` here (the paper quotes ``O(|V| * |E|)`` per
+    anchor); the scan itself is ``O(|R|^2)`` per vertex.
+    """
+    from repro.core.paths import anchored_longest_paths
+
+    if anchor_sets is None:
+        anchor_sets = find_anchor_sets(graph)
+    if relevant is None:
+        relevant = relevant_anchors(graph)
+    if lengths is None:
+        lengths = {anchor: anchored_longest_paths(graph, anchor, anchor_sets)
+                   for anchor in graph.anchors}
+
+    irredundant: Dict[str, FrozenSet[str]] = {}
+    for vertex in graph.vertex_names():
+        candidates = relevant[vertex]
+        redundant = set()
+        for r in candidates:
+            # Anchors of v that are, in turn, anchors of r: they complete
+            # before r does, so r may dominate them.
+            for x in candidates:
+                if x == r or x not in anchor_sets[r]:
+                    continue
+                through = _sum_lengths(lengths[x].get(r), lengths[r].get(vertex))
+                direct = lengths[x].get(vertex)
+                if direct is not NO_PATH and through is not NO_PATH and direct <= through:
+                    redundant.add(x)
+        irredundant[vertex] = frozenset(candidates - redundant)
+    return irredundant
+
+
+def _sum_lengths(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is NO_PATH or b is NO_PATH:
+        return NO_PATH
+    return a + b
+
+
+def anchor_sets_for_mode(graph: ConstraintGraph, mode: AnchorMode) -> AnchorSets:
+    """The anchor sets requested by *mode* (full / relevant / irredundant)."""
+    if mode is AnchorMode.FULL:
+        return find_anchor_sets(graph)
+    if mode is AnchorMode.RELEVANT:
+        return relevant_anchors(graph)
+    if mode is AnchorMode.IRREDUNDANT:
+        return irredundant_anchors(graph)
+    raise ValueError(f"unknown anchor mode {mode!r}")
+
+
+def anchor_set_statistics(anchor_sets: AnchorSets) -> Dict[str, float]:
+    """Summary statistics in the style of Table III.
+
+    Returns ``total`` (sum of |A(v)| over all vertices) and ``average``
+    (total / |V|).
+    """
+    total = sum(len(tags) for tags in anchor_sets.values())
+    count = len(anchor_sets)
+    return {"total": total, "average": total / count if count else 0.0}

@@ -1,0 +1,152 @@
+"""Timing constraint objects and their translation to graph edges.
+
+Timing constraints bound the separation between the *start times* of two
+operations (Section III):
+
+* a **minimum** constraint ``l_ij >= 0`` requires
+  ``sigma(v_j) >= sigma(v_i) + l_ij``;
+* a **maximum** constraint ``u_ij >= 0`` requires
+  ``sigma(v_j) <= sigma(v_i) + u_ij``.
+
+Table I summarises the translation used by :func:`apply_constraints`:
+
+=======================  ========  ============  ============
+Item                     Type      Edge          Edge weight
+=======================  ========  ============  ============
+Sequencing edge (i, j)   forward   (v_i, v_j)    delta(v_i)
+Minimum constraint l_ij  forward   (v_i, v_j)    l_ij
+Maximum constraint u_ij  backward  (v_j, v_i)    -u_ij
+=======================  ========  ============  ============
+
+These dataclasses exist so front ends (the HDL parser, the sequencing-
+graph builder) can carry constraints symbolically before a constraint
+graph exists, and so reports can refer back to source-level constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Union
+
+from repro.core.graph import ConstraintGraph, Edge
+
+
+@dataclass(frozen=True)
+class MinTimingConstraint:
+    """``sigma(to_op) >= sigma(from_op) + cycles``.
+
+    Always feasible and well-posed (Section III-B): its validity never
+    depends on the value of any unbounded delay.
+    """
+
+    from_op: str
+    to_op: str
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"minimum constraint must be >= 0 cycles, got {self.cycles}")
+
+    def apply(self, graph: ConstraintGraph) -> Edge:
+        """Insert this constraint into *graph* as a forward edge."""
+        return graph.add_min_constraint(self.from_op, self.to_op, self.cycles)
+
+    def __str__(self) -> str:
+        return f"mintime from {self.from_op} to {self.to_op} = {self.cycles} cycles"
+
+
+@dataclass(frozen=True)
+class MaxTimingConstraint:
+    """``sigma(to_op) <= sigma(from_op) + cycles``.
+
+    May be ill-posed in the presence of unbounded delays (Lemma 1): it is
+    well-posed iff ``A(to_op) subset-of A(from_op)``.
+    """
+
+    from_op: str
+    to_op: str
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"maximum constraint must be >= 0 cycles, got {self.cycles}")
+
+    def apply(self, graph: ConstraintGraph) -> Edge:
+        """Insert this constraint into *graph* as a backward edge."""
+        return graph.add_max_constraint(self.from_op, self.to_op, self.cycles)
+
+    def __str__(self) -> str:
+        return f"maxtime from {self.from_op} to {self.to_op} = {self.cycles} cycles"
+
+
+TimingConstraint = Union[MinTimingConstraint, MaxTimingConstraint]
+
+
+def exact_constraint(from_op: str, to_op: str, cycles: int) -> List[TimingConstraint]:
+    """An *exact* separation: a min and a max constraint of equal value.
+
+    This is the pattern of the paper's gcd example (Fig. 13), which pins
+    the sampling of ``x`` to exactly one cycle after the sampling of
+    ``y``.
+    """
+    return [MinTimingConstraint(from_op, to_op, cycles),
+            MaxTimingConstraint(from_op, to_op, cycles)]
+
+
+def apply_constraints(graph: ConstraintGraph,
+                      constraints: Iterable[TimingConstraint]) -> List[Edge]:
+    """Apply every constraint to *graph*, returning the created edges."""
+    return [constraint.apply(graph) for constraint in constraints]
+
+
+def validate_min_constraints(graph: ConstraintGraph) -> None:
+    """Reject minimum constraints that conflict with the partial order.
+
+    Section III: a minimum constraint ``l_ij`` is invalid if a forward
+    dependency path already runs ``v_j -> v_i``; with ``l_ij > 0`` it
+    contradicts the dependencies, and with ``l_ij = 0`` it should have
+    been modelled as a maximum constraint ``u_ji = 0``.  Violations
+    surface as forward-graph cycles.
+
+    Raises:
+        CyclicForwardGraphError: when any such conflict exists.
+    """
+    graph.forward_topological_order()
+
+
+def constraint_slack(graph: ConstraintGraph, schedule: "object") -> List[dict]:
+    """Per-constraint slack report for a computed schedule.
+
+    For each constraint edge, reports the tightest slack over the shared
+    anchors: ``min over a of (sigma_a(head) - sigma_a(tail) - weight)``.
+    A slack of 0 means the constraint is active; negative means violated.
+
+    The *schedule* must expose ``offsets[vertex][anchor]`` (as
+    :class:`repro.core.schedule.RelativeSchedule` does).
+    """
+    rows: List[dict] = []
+
+    def offsets_of(vertex: str) -> dict:
+        # An anchor's offset from itself is normalized to 0 (Definition 3).
+        entries = dict(schedule.offsets.get(vertex, {}))
+        if graph.is_anchor(vertex):
+            entries.setdefault(vertex, 0)
+        return entries
+
+    for edge in graph.edges():
+        tail_offsets = offsets_of(edge.tail)
+        head_offsets = offsets_of(edge.head)
+        shared = [a for a in tail_offsets if a in head_offsets]
+        if not shared:
+            continue
+        slack = min(head_offsets[a] - tail_offsets[a] - edge.static_weight
+                    for a in shared)
+        rows.append({
+            "tail": edge.tail,
+            "head": edge.head,
+            "kind": edge.kind.value,
+            "weight": edge.static_weight,
+            "slack": slack,
+            "active": slack == 0,
+        })
+    return rows

@@ -1,0 +1,100 @@
+"""Execution delays: bounded integers or the unbounded sentinel.
+
+The paper's hardware model (Section II) is synchronous: every operation
+takes an integral number of cycles, its *execution delay*.  Operations
+that synchronize on external events or iterate on data-dependent
+conditions have delays unknown at compile time -- *unbounded* delays.
+Such operations (together with the source vertex) are the *anchors* of a
+constraint graph.
+
+This module defines the :data:`UNBOUNDED` sentinel, the :data:`Delay`
+type alias, and small helpers shared by the rest of the core.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+
+class Unbounded:
+    """Singleton marker for an unbounded execution delay.
+
+    The delay of an anchor can assume any integer value from 0 to
+    infinity; its minimum value, used whenever a static bound is needed
+    (feasibility checks, offset computation), is 0.
+    """
+
+    _instance = None
+
+    def __new__(cls) -> "Unbounded":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNBOUNDED"
+
+    def __reduce__(self):
+        # Preserve singleton identity across pickling.
+        return (Unbounded, ())
+
+
+#: The unique unbounded-delay marker.
+UNBOUNDED = Unbounded()
+
+#: A delay is a non-negative integer number of cycles, or UNBOUNDED.
+Delay = Union[int, Unbounded]
+
+
+def is_unbounded(delay: Delay) -> bool:
+    """Return True when *delay* is the unbounded sentinel."""
+    return isinstance(delay, Unbounded)
+
+
+def validate_delay(delay: Delay) -> Delay:
+    """Validate a delay value and return it.
+
+    Raises:
+        TypeError: if *delay* is neither an int nor UNBOUNDED.
+        ValueError: if *delay* is a negative integer.
+    """
+    if is_unbounded(delay):
+        return delay
+    if isinstance(delay, bool) or not isinstance(delay, int):
+        raise TypeError(f"execution delay must be an int or UNBOUNDED, got {delay!r}")
+    if delay < 0:
+        raise ValueError(f"execution delay must be non-negative, got {delay}")
+    return delay
+
+
+def min_value(delay: Delay) -> int:
+    """The minimum value a delay can assume (0 for unbounded delays).
+
+    All static analyses in the paper -- feasibility (Theorem 1), offset
+    computation (Definition 3), ``length(a, b)`` -- evaluate unbounded
+    delays at this minimum.
+    """
+    return 0 if is_unbounded(delay) else delay
+
+
+def resolve(delay: Delay, name: str, profile: Mapping[str, int]) -> int:
+    """Resolve a delay to a concrete cycle count under a delay *profile*.
+
+    A *profile* maps anchor names to the actual delays observed at run
+    time (Section III-A: "for all profiles of execution delays").
+
+    Args:
+        delay: the static delay annotation of the vertex.
+        name: the vertex name, used to look up unbounded delays.
+        profile: mapping from anchor name to observed delay.
+
+    Raises:
+        KeyError: if *delay* is unbounded and *name* is not in *profile*.
+        ValueError: if the profile supplies a negative delay.
+    """
+    if not is_unbounded(delay):
+        return delay
+    value = profile[name]
+    if value < 0:
+        raise ValueError(f"profile delay for {name!r} must be non-negative, got {value}")
+    return value

@@ -1,0 +1,61 @@
+"""Exception hierarchy for constraint-graph analysis and scheduling.
+
+The paper distinguishes three failure modes:
+
+* the forward constraint graph has a cycle -- the minimum constraints
+  contradict the sequencing dependencies (Section III);
+* the constraints are *unfeasible* -- unsatisfiable even with all
+  unbounded delays at 0, i.e. a positive cycle exists (Theorem 1);
+* the constraints are *ill-posed* -- satisfiable for some but not all
+  values of the unbounded delays (Definition 7), and cannot be made
+  well-posed by serialization (Lemma 3).
+
+Scheduling itself can additionally detect inconsistency after
+``|Eb| + 1`` iterations (Corollary 2).
+"""
+
+from __future__ import annotations
+
+
+class ConstraintGraphError(Exception):
+    """Base class for all constraint-graph and scheduling errors."""
+
+
+class CyclicForwardGraphError(ConstraintGraphError):
+    """The forward constraint graph G_f(V, E_f) contains a cycle.
+
+    The paper assumes G_f acyclic without loss of generality: a minimum
+    constraint closing a forward cycle either contradicts the sequencing
+    dependencies (l_ij > 0) or should have been expressed as a maximum
+    constraint (l_ij = 0).
+    """
+
+
+class UnfeasibleConstraintsError(ConstraintGraphError):
+    """The constraint graph has a positive cycle with unbounded delays at 0.
+
+    By Theorem 1 no schedule exists, even for the most favourable delay
+    profile.
+    """
+
+
+class IllPosedError(ConstraintGraphError):
+    """The constraints cannot be satisfied for all unbounded delay values.
+
+    Raised by ``make_well_posed`` when serialization would close an
+    unbounded-length cycle (Lemma 3), i.e. no well-posed
+    serial-compatible graph exists.
+    """
+
+
+class InconsistentConstraintsError(ConstraintGraphError):
+    """The scheduler exhausted ``|Eb| + 1`` iterations without converging.
+
+    By Corollary 2 this certifies that the timing constraints are
+    inconsistent and no (relative) schedule exists.
+    """
+
+
+class GraphStructureError(ConstraintGraphError):
+    """The graph violates a structural invariant (polarity, unknown vertex,
+    duplicate names, non-anchor tail on an unbounded edge, ...)."""

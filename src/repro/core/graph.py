@@ -1,0 +1,488 @@
+"""The polar weighted constraint graph ``G(V, E)`` (Section III).
+
+Vertices represent operations; each carries an execution delay that is
+either a non-negative integer or :data:`~repro.core.delay.UNBOUNDED`.
+Edges carry weights and fall into two classes:
+
+* **forward** edges (positive weights) -- sequencing dependencies
+  (weight equal to the execution delay of the tail) and minimum timing
+  constraints (weight ``l_ij >= 0``);
+* **backward** edges (non-positive weights) -- maximum timing
+  constraints ``u_ij``, added as an edge ``(v_j, v_i)`` with weight
+  ``-u_ij``.
+
+The graph is *polar*: it has a designated source ``v0`` and sink
+``v_n``.  The source is treated as an anchor (its activation is
+analogous to the completion of an unbounded-delay operation), so every
+outgoing sequencing edge of the source has unbounded weight.
+
+Edge weights that are unbounded always equal the delay of the edge's
+*tail* vertex, written ``delta(tail)`` in the paper.  This invariant
+holds for sequencing edges out of anchors and for the serialization
+edges introduced by ``make_well_posed``; the graph enforces it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.core.delay import UNBOUNDED, Delay, is_unbounded, min_value, validate_delay
+from repro.core.exceptions import GraphStructureError
+
+#: An edge weight: a (possibly negative) integer, or UNBOUNDED meaning
+#: "the execution delay of the tail vertex".
+Weight = Union[int, "UNBOUNDED.__class__"]
+
+
+class EdgeKind(enum.Enum):
+    """Provenance of a constraint-graph edge (Table I)."""
+
+    #: Operation dependency; forward, weight = delta(tail).
+    SEQUENCING = "sequencing"
+    #: Minimum timing constraint l_ij; forward, weight = l_ij >= 0.
+    MIN_TIME = "min_time"
+    #: Maximum timing constraint u_ij; backward edge (v_j, v_i), weight -u_ij.
+    MAX_TIME = "max_time"
+    #: Synchronization edge added by make_well_posed; forward, weight = delta(tail).
+    SERIALIZATION = "serialization"
+
+    @property
+    def is_forward(self) -> bool:
+        return self is not EdgeKind.MAX_TIME
+
+    @property
+    def is_backward(self) -> bool:
+        return self is EdgeKind.MAX_TIME
+
+
+@dataclass(frozen=True)
+class Vertex:
+    """An operation in the constraint graph.
+
+    Attributes:
+        name: unique identifier within the graph.
+        delay: execution delay in cycles (int >= 0) or UNBOUNDED.
+        tag: optional user annotation (e.g. the HDL tag or the bound
+            resource instance) carried through analysis untouched.
+    """
+
+    name: str
+    delay: Delay
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        validate_delay(self.delay)
+        if not isinstance(self.name, str) or not self.name:
+            raise GraphStructureError(f"vertex name must be a non-empty str, got {self.name!r}")
+
+    @property
+    def is_unbounded(self) -> bool:
+        """True when this operation's delay is unknown at compile time."""
+        return is_unbounded(self.delay)
+
+    def __repr__(self) -> str:
+        return f"Vertex({self.name!r}, delay={self.delay!r})"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A weighted constraint-graph edge from *tail* to *head*.
+
+    The weight is an integer, or UNBOUNDED meaning ``delta(tail)`` -- the
+    execution delay of the tail vertex, unknown at compile time.
+    """
+
+    tail: str
+    head: str
+    weight: Weight
+    kind: EdgeKind
+
+    @property
+    def is_forward(self) -> bool:
+        return self.kind.is_forward
+
+    @property
+    def is_backward(self) -> bool:
+        return self.kind.is_backward
+
+    @property
+    def is_unbounded(self) -> bool:
+        """True when the weight is the unknown delay of the tail."""
+        return is_unbounded(self.weight)
+
+    @property
+    def static_weight(self) -> int:
+        """The weight with unbounded delays at their minimum value 0.
+
+        This is the evaluation used by feasibility checking, offset
+        computation, and ``length(a, b)`` throughout the paper.
+        """
+        return 0 if self.is_unbounded else self.weight
+
+    def __repr__(self) -> str:
+        return f"Edge({self.tail!r} -> {self.head!r}, w={self.weight!r}, {self.kind.value})"
+
+
+class ConstraintGraph:
+    """A polar weighted constraint graph (Section III).
+
+    Construction example, modelling Fig. 2 of the paper::
+
+        g = ConstraintGraph(source="v0", sink="v4")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("v1", 2)
+        g.add_operation("v2", 1)
+        g.add_operation("v3", 3)
+        g.add_sequencing_edges([("v0", "a"), ("v0", "v1"), ("v1", "v2"),
+                                ("a", "v3"), ("v2", "v3"), ("v3", "v4")])
+        g.add_max_constraint("v1", "v2", u=4)
+        g.add_min_constraint("v0", "v3", l=3)
+
+    Parallel edges are allowed (a sequencing dependency and a minimum
+    constraint may connect the same pair); all analyses treat them as
+    independent inequality constraints.
+    """
+
+    def __init__(self, source: str = "v0", sink: str = "vN",
+                 sink_delay: Delay = 0) -> None:
+        self._vertices: Dict[str, Vertex] = {}
+        self._edges: List[Edge] = []
+        self._out: Dict[str, List[Edge]] = {}
+        self._in: Dict[str, List[Edge]] = {}
+        self.source = source
+        self.sink = sink
+        # The source behaves as an unbounded-delay anchor (Definition 2).
+        self._add_vertex(Vertex(source, UNBOUNDED))
+        self._add_vertex(Vertex(sink, validate_delay(sink_delay)))
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _add_vertex(self, vertex: Vertex) -> Vertex:
+        if vertex.name in self._vertices:
+            raise GraphStructureError(f"duplicate vertex {vertex.name!r}")
+        self._vertices[vertex.name] = vertex
+        self._out[vertex.name] = []
+        self._in[vertex.name] = []
+        return vertex
+
+    def add_operation(self, name: str, delay: Delay, tag: Optional[str] = None) -> Vertex:
+        """Add an operation vertex with the given execution delay."""
+        return self._add_vertex(Vertex(name, delay, tag))
+
+    def _require(self, name: str) -> Vertex:
+        try:
+            return self._vertices[name]
+        except KeyError:
+            raise GraphStructureError(f"unknown vertex {name!r}") from None
+
+    def _add_edge(self, edge: Edge) -> Edge:
+        self._require(edge.tail)
+        self._require(edge.head)
+        if edge.is_unbounded and not self._vertices[edge.tail].is_unbounded:
+            raise GraphStructureError(
+                f"unbounded edge weight requires an unbounded-delay tail, "
+                f"but {edge.tail!r} has delay {self._vertices[edge.tail].delay!r}")
+        self._edges.append(edge)
+        self._out[edge.tail].append(edge)
+        self._in[edge.head].append(edge)
+        return edge
+
+    def add_sequencing_edge(self, tail: str, head: str) -> Edge:
+        """Add a sequencing dependency; its weight is ``delta(tail)``."""
+        tail_vertex = self._require(tail)
+        weight: Weight = UNBOUNDED if tail_vertex.is_unbounded else tail_vertex.delay
+        return self._add_edge(Edge(tail, head, weight, EdgeKind.SEQUENCING))
+
+    def add_sequencing_edges(self, pairs: Iterable[Tuple[str, str]]) -> List[Edge]:
+        """Add several sequencing dependencies at once."""
+        return [self.add_sequencing_edge(t, h) for t, h in pairs]
+
+    def add_min_constraint(self, from_vertex: str, to_vertex: str, l: int) -> Edge:
+        """Add a minimum timing constraint ``sigma(to) >= sigma(from) + l``.
+
+        Translated to a forward edge ``(from, to)`` with weight ``l``
+        (Table I).
+        """
+        if l < 0:
+            raise ValueError(f"minimum timing constraint must be >= 0, got {l}")
+        return self._add_edge(Edge(from_vertex, to_vertex, l, EdgeKind.MIN_TIME))
+
+    def add_max_constraint(self, from_vertex: str, to_vertex: str, u: int) -> Edge:
+        """Add a maximum timing constraint ``sigma(to) <= sigma(from) + u``.
+
+        Translated to a *backward* edge ``(to, from)`` with weight ``-u``
+        (Table I).
+        """
+        if u < 0:
+            raise ValueError(f"maximum timing constraint must be >= 0, got {u}")
+        return self._add_edge(Edge(to_vertex, from_vertex, -u, EdgeKind.MAX_TIME))
+
+    def add_serialization_edge(self, anchor: str, vertex: str) -> Edge:
+        """Add a synchronization edge ``(anchor, vertex)`` with weight
+        ``delta(anchor)`` as done by ``make_well_posed`` (Section IV-C)."""
+        anchor_vertex = self._require(anchor)
+        if not anchor_vertex.is_unbounded:
+            raise GraphStructureError(
+                f"serialization edges originate at anchors; {anchor!r} is bounded")
+        return self._add_edge(Edge(anchor, vertex, UNBOUNDED, EdgeKind.SERIALIZATION))
+
+    def remove_edge(self, edge: Edge) -> None:
+        """Remove one edge instance (identity or first equal match).
+
+        Raises:
+            GraphStructureError: if the edge is not in the graph.
+        """
+        try:
+            self._edges.remove(edge)
+        except ValueError:
+            raise GraphStructureError(f"edge not in graph: {edge!r}") from None
+        self._out[edge.tail].remove(edge)
+        self._in[edge.head].remove(edge)
+
+    def make_polar(self) -> None:
+        """Connect orphan vertices so the graph is polar.
+
+        Adds a sequencing edge from the source to every vertex with no
+        incoming forward edge, and from every vertex with no outgoing
+        forward edge to the sink.
+        """
+        for name in list(self._vertices):
+            if name == self.source:
+                continue
+            if not any(e.is_forward for e in self._in[name]):
+                self.add_sequencing_edge(self.source, name)
+        for name in list(self._vertices):
+            if name == self.sink:
+                continue
+            if not any(e.is_forward for e in self._out[name]):
+                self.add_sequencing_edge(name, self.sink)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._vertices
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def vertex(self, name: str) -> Vertex:
+        """The vertex object registered under *name*."""
+        return self._require(name)
+
+    def delta(self, name: str) -> Delay:
+        """The execution delay of vertex *name*."""
+        return self._require(name).delay
+
+    def vertex_names(self) -> List[str]:
+        """All vertex names, in insertion order (deterministic)."""
+        return list(self._vertices)
+
+    def vertices(self) -> List[Vertex]:
+        """All vertex objects, in insertion order."""
+        return list(self._vertices.values())
+
+    def edges(self) -> List[Edge]:
+        """All edges, in insertion order."""
+        return list(self._edges)
+
+    def forward_edges(self) -> List[Edge]:
+        """The forward edge set ``E_f`` (sequencing, min-time, serialization)."""
+        return [e for e in self._edges if e.is_forward]
+
+    def backward_edges(self) -> List[Edge]:
+        """The backward edge set ``E_b`` (maximum timing constraints)."""
+        return [e for e in self._edges if e.is_backward]
+
+    def out_edges(self, name: str, forward_only: bool = False) -> List[Edge]:
+        """Edges leaving *name*."""
+        self._require(name)
+        edges = self._out[name]
+        if forward_only:
+            return [e for e in edges if e.is_forward]
+        return list(edges)
+
+    def in_edges(self, name: str, forward_only: bool = False) -> List[Edge]:
+        """Edges entering *name*."""
+        self._require(name)
+        edges = self._in[name]
+        if forward_only:
+            return [e for e in edges if e.is_forward]
+        return list(edges)
+
+    def immediate_successors(self, name: str, forward_only: bool = True) -> List[str]:
+        """Heads of edges leaving *name* (deduplicated, order-preserving)."""
+        seen: Dict[str, None] = {}
+        for edge in self.out_edges(name, forward_only=forward_only):
+            seen.setdefault(edge.head)
+        return list(seen)
+
+    def immediate_predecessors(self, name: str, forward_only: bool = True) -> List[str]:
+        """Tails of edges entering *name* (deduplicated, order-preserving)."""
+        seen: Dict[str, None] = {}
+        for edge in self.in_edges(name, forward_only=forward_only):
+            seen.setdefault(edge.tail)
+        return list(seen)
+
+    @property
+    def anchors(self) -> List[str]:
+        """The anchors ``A``: the source plus every unbounded-delay vertex
+        (Definition 2), in insertion order."""
+        return [v.name for v in self._vertices.values() if v.is_unbounded]
+
+    def is_anchor(self, name: str) -> bool:
+        """True when *name* is the source or has unbounded delay."""
+        return self._require(name).is_unbounded
+
+    # ------------------------------------------------------------------
+    # structure checks and transforms
+    # ------------------------------------------------------------------
+
+    def forward_topological_order(self) -> List[str]:
+        """Topological order of the forward constraint graph ``G_f``.
+
+        Raises:
+            CyclicForwardGraphError: if ``G_f`` has a cycle (the paper
+                assumes it acyclic without loss of generality).
+        """
+        from repro.core.exceptions import CyclicForwardGraphError
+
+        indegree = {name: 0 for name in self._vertices}
+        for edge in self._edges:
+            if edge.is_forward:
+                indegree[edge.head] += 1
+        ready = [name for name, d in indegree.items() if d == 0]
+        order: List[str] = []
+        while ready:
+            name = ready.pop()
+            order.append(name)
+            for edge in self._out[name]:
+                if not edge.is_forward:
+                    continue
+                indegree[edge.head] -= 1
+                if indegree[edge.head] == 0:
+                    ready.append(edge.head)
+        if len(order) != len(self._vertices):
+            cyclic = sorted(name for name, d in indegree.items() if d > 0)
+            raise CyclicForwardGraphError(
+                f"forward constraint graph has a cycle through {cyclic}")
+        return order
+
+    def is_forward_reachable(self, tail: str, head: str) -> bool:
+        """True when a directed path of *forward* edges runs tail -> head.
+
+        This is the paper's predecessor relation: ``tail in pred(head)``.
+        A vertex does not reach itself unless on a (forbidden) cycle.
+        """
+        self._require(tail)
+        self._require(head)
+        stack = [tail]
+        seen = {tail}
+        while stack:
+            current = stack.pop()
+            for edge in self._out[current]:
+                if not edge.is_forward or edge.head in seen:
+                    continue
+                if edge.head == head:
+                    return True
+                seen.add(edge.head)
+                stack.append(edge.head)
+        return False
+
+    def validate(self) -> None:
+        """Check the structural invariants the algorithms rely on.
+
+        * the forward graph is acyclic;
+        * the graph is polar: every vertex lies on a forward source-to-
+          sink path;
+        * every unbounded-weight edge leaves an anchor.
+
+        Raises:
+            GraphStructureError / CyclicForwardGraphError on violation.
+        """
+        order = self.forward_topological_order()
+        position = {name: i for i, name in enumerate(order)}
+        if position.get(self.source) != 0 and any(
+                e.is_forward for e in self._in[self.source]):
+            raise GraphStructureError("source vertex has incoming forward edges")
+
+        reachable_from_source = {self.source}
+        for name in order:
+            if name not in reachable_from_source:
+                continue
+            for edge in self._out[name]:
+                if edge.is_forward:
+                    reachable_from_source.add(edge.head)
+        reaches_sink = {self.sink}
+        for name in reversed(order):
+            for edge in self._out[name]:
+                if edge.is_forward and edge.head in reaches_sink:
+                    reaches_sink.add(name)
+                    break
+        for name in self._vertices:
+            if name not in reachable_from_source:
+                raise GraphStructureError(f"vertex {name!r} unreachable from source")
+            if name not in reaches_sink:
+                raise GraphStructureError(f"vertex {name!r} cannot reach the sink")
+        for edge in self._edges:
+            if edge.is_unbounded and not self._vertices[edge.tail].is_unbounded:
+                raise GraphStructureError(
+                    f"unbounded weight on edge from bounded vertex {edge.tail!r}")
+
+    def copy(self) -> "ConstraintGraph":
+        """An independent deep copy (vertices and edges are immutable)."""
+        clone = ConstraintGraph.__new__(ConstraintGraph)
+        clone._vertices = dict(self._vertices)
+        clone._edges = list(self._edges)
+        clone._out = {name: list(edges) for name, edges in self._out.items()}
+        clone._in = {name: list(edges) for name, edges in self._in.items()}
+        clone.source = self.source
+        clone.sink = self.sink
+        return clone
+
+    # ------------------------------------------------------------------
+    # interop
+    # ------------------------------------------------------------------
+
+    def to_networkx(self):
+        """Export as a ``networkx.MultiDiGraph``.
+
+        Vertex attributes: ``delay`` (int or the UNBOUNDED sentinel).
+        Edge attributes: ``weight`` (static weight, unbounded as 0),
+        ``unbounded`` (bool) and ``kind`` (EdgeKind value string).
+        """
+        import networkx as nx
+
+        graph = nx.MultiDiGraph(source=self.source, sink=self.sink)
+        for vertex in self._vertices.values():
+            graph.add_node(vertex.name, delay=vertex.delay)
+        for edge in self._edges:
+            graph.add_edge(edge.tail, edge.head, weight=edge.static_weight,
+                           unbounded=edge.is_unbounded, kind=edge.kind.value)
+        return graph
+
+    def to_dot(self) -> str:
+        """A Graphviz dot rendering; backward edges are dashed, anchors
+        double-circled, unbounded weights printed as ``d(tail)``."""
+        lines = ["digraph constraint_graph {", "  rankdir=TB;"]
+        for vertex in self._vertices.values():
+            shape = "doublecircle" if vertex.is_unbounded else "circle"
+            delay = "?" if vertex.is_unbounded else str(vertex.delay)
+            lines.append(f'  "{vertex.name}" [shape={shape} label="{vertex.name}\\n{delay}"];')
+        for edge in self._edges:
+            style = "dashed" if edge.is_backward else "solid"
+            label = f"d({edge.tail})" if edge.is_unbounded else str(edge.weight)
+            lines.append(
+                f'  "{edge.tail}" -> "{edge.head}" [style={style} label="{label}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"ConstraintGraph(|V|={len(self._vertices)}, |Ef|="
+                f"{len(self.forward_edges())}, |Eb|={len(self.backward_edges())}, "
+                f"|A|={len(self.anchors)})")

@@ -1,0 +1,126 @@
+"""Incremental rescheduling after constraint changes.
+
+Lemma 8 shows the scheduler's offsets only ever *increase* toward the
+longest-path fixpoint, and any offset state that under-approximates the
+final values is a valid starting point for further relaxation.  Two
+practical consequences:
+
+* **adding** a timing constraint (or sequencing edge) can reuse the
+  existing minimum schedule as the initial offsets -- the relaxation
+  resumes instead of restarting from zero, touching only the affected
+  region (interactive constraint editing, Hebe's conflict-resolution
+  loop);
+* **removing** a constraint can only lower offsets, so a from-scratch
+  run is required -- :func:`without_constraint` packages that.
+
+The resumed run keeps the ``|Eb| + 1`` iteration bound of Theorem 8
+relative to the *new* backward-edge count, and inconsistency is still
+detected per Corollary 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.core.anchors import AnchorMode, anchor_sets_for_mode
+from repro.core.constraints import MaxTimingConstraint, MinTimingConstraint, TimingConstraint
+from repro.core.exceptions import CyclicForwardGraphError
+from repro.core.graph import ConstraintGraph, Edge, EdgeKind
+from repro.core.schedule import RelativeSchedule
+from repro.core.scheduler import IterativeIncrementalScheduler
+
+
+def add_constraint_incremental(schedule: RelativeSchedule,
+                               constraint: TimingConstraint,
+                               validate: bool = True) -> RelativeSchedule:
+    """Add *constraint* to a scheduled graph and reschedule incrementally.
+
+    The graph is copied (the input schedule stays valid for the old
+    graph); the new run starts from the existing offsets, so unaffected
+    regions converge immediately.
+
+    Args:
+        schedule: a minimum relative schedule of the current graph.
+        constraint: the min/max timing constraint to add.
+        validate: check the resulting schedule's inequalities.
+
+    Returns:
+        The minimum relative schedule of the extended graph.
+
+    Raises:
+        CyclicForwardGraphError: a minimum constraint against the
+            partial order.
+        IllPosedError: a maximum constraint that is ill-posed on the new
+            graph (detected via the containment criterion).
+        InconsistentConstraintsError: the extended constraints admit no
+            schedule.
+    """
+    from repro.core.exceptions import IllPosedError
+    from repro.core.wellposed import containment_violations
+
+    graph = schedule.graph.copy()
+    constraint.apply(graph)
+    graph.forward_topological_order()  # min constraints: cycle check
+
+    anchor_sets = anchor_sets_for_mode(graph, schedule.anchor_mode)
+    if isinstance(constraint, MaxTimingConstraint):
+        violations = containment_violations(graph)
+        if violations:
+            raise IllPosedError(
+                f"adding {constraint} makes the graph ill-posed "
+                f"(missing anchors {sorted(violations[0][1])}); run "
+                f"make_well_posed and reschedule from scratch")
+
+    scheduler = IterativeIncrementalScheduler(
+        graph, anchor_mode=schedule.anchor_mode, anchor_sets=anchor_sets)
+    warm = _warm_offsets(schedule, anchor_sets)
+    result = _run_from(scheduler, warm)
+    if validate:
+        result.validate()
+    return result
+
+
+def without_constraint(schedule: RelativeSchedule, edge: Edge,
+                       validate: bool = True) -> RelativeSchedule:
+    """Remove a constraint edge and reschedule (from scratch -- removal
+    can only lower offsets, so warm starts are unsound)."""
+    from repro.core.scheduler import schedule_graph
+
+    graph = schedule.graph.copy()
+    graph.remove_edge(edge)
+    result = schedule_graph(graph, anchor_mode=schedule.anchor_mode,
+                            auto_well_pose=False, validate=validate)
+    return result
+
+
+def _warm_offsets(schedule: RelativeSchedule, anchor_sets) -> Dict[str, Dict[str, int]]:
+    """The previous offsets, reshaped to the new anchor sets.
+
+    Entries the new sets do not track are dropped; newly tracked
+    entries start at 0 (they only relax upward, Lemma 8)."""
+    warm: Dict[str, Dict[str, int]] = {}
+    for vertex, tracked in anchor_sets.items():
+        old = schedule.offsets.get(vertex, {})
+        warm[vertex] = {anchor: old.get(anchor, 0) for anchor in tracked}
+    return warm
+
+
+def _run_from(scheduler: IterativeIncrementalScheduler,
+              offsets: Dict[str, Dict[str, int]]) -> RelativeSchedule:
+    """Run the iterative scheduler starting from *offsets*."""
+    from repro.core.exceptions import InconsistentConstraintsError
+
+    backward = scheduler.graph.backward_edges()
+    max_rounds = len(backward) + 1
+    for round_index in range(1, max_rounds + 1):
+        scheduler._incremental_offset(offsets)
+        violations = scheduler._find_violations(offsets, backward)
+        if not violations:
+            return RelativeSchedule(
+                graph=scheduler.graph, anchor_sets=scheduler.anchor_sets,
+                offsets=offsets, anchor_mode=scheduler.anchor_mode,
+                iterations=round_index)
+        scheduler._readjust(offsets, violations)
+    raise InconsistentConstraintsError(
+        f"no schedule after {max_rounds} iterations: the added timing "
+        f"constraint is inconsistent (Corollary 2)")

@@ -1,0 +1,278 @@
+"""Iterative incremental scheduling (Section IV-E).
+
+The algorithm alternates two phases for at most ``|Eb| + 1`` rounds:
+
+1. **IncrementalOffset** -- relax every forward edge in topological
+   order, monotonically raising each per-anchor offset to the longest
+   known path length from the anchor (unbounded weights at 0);
+2. **ReadjustOffsets** -- for every backward edge ``(t, h)`` with weight
+   ``w <= 0`` and every anchor tracked for both endpoints, if
+   ``sigma_a(h) < sigma_a(t) + w`` raise ``sigma_a(h)`` by the minimum
+   amount to meet the maximum timing constraint.
+
+If a round completes with no violated backward edge the offsets are the
+*minimum relative schedule* (Theorem 8 via Lemma 8 and Theorem 3).  If
+``|Eb| + 1`` rounds are exhausted the constraints are inconsistent
+(Corollary 2) and :class:`InconsistentConstraintsError` is raised.
+
+The scheduler can run with full, relevant, or irredundant anchor sets
+(Theorems 4 and 6 make the three equivalent on well-posed graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.anchors import AnchorMode, AnchorSets, anchor_sets_for_mode
+from repro.core.exceptions import InconsistentConstraintsError, UnfeasibleConstraintsError
+from repro.core.graph import ConstraintGraph, Edge
+from repro.core.schedule import RelativeSchedule
+from repro.core.wellposed import WellPosedness, check_well_posed, make_well_posed
+
+#: Offset state: offsets[vertex][anchor] = sigma_a(vertex).
+OffsetState = Dict[str, Dict[str, int]]
+
+
+@dataclass
+class IterationRecord:
+    """One scheduler round: the offsets after IncrementalOffset, the
+    violated backward edges found, and the offsets after readjustment
+    (equal to *computed* when nothing was violated).  This is exactly
+    the structure of the paper's Fig. 10 trace."""
+
+    iteration: int
+    computed: OffsetState
+    violations: List[Tuple[Edge, str]]
+    readjusted: OffsetState
+
+
+@dataclass
+class ScheduleTrace:
+    """Full per-iteration history of a scheduling run (Fig. 10)."""
+
+    records: List[IterationRecord] = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.records)
+
+    def format_fig10(self, vertices: Optional[List[str]] = None,
+                     anchors: Optional[List[str]] = None) -> str:
+        """Render the trace as the offset table of Fig. 10.
+
+        One row per vertex; per iteration, a "Compute" column with the
+        offsets after IncrementalOffset and a "Readjust" column filled
+        only for vertices whose offsets were moved.
+        """
+        if not self.records:
+            return "(empty trace)"
+        if vertices is None:
+            vertices = sorted(self.records[0].computed)
+        if anchors is None:
+            seen: Dict[str, None] = {}
+            for record in self.records:
+                for offsets in record.computed.values():
+                    for anchor in offsets:
+                        seen.setdefault(anchor)
+            anchors = list(seen)
+
+        def cell(state: OffsetState, vertex: str) -> str:
+            offsets = state.get(vertex, {})
+            if not offsets:
+                return "-"
+            return ",".join(str(offsets[a]) if a in offsets else "-" for a in anchors)
+
+        header = ["vertex"]
+        for record in self.records:
+            header.append(f"compute{record.iteration}")
+            header.append(f"readjust{record.iteration}")
+        lines = ["  ".join(f"{h:>12}" for h in header)]
+        for vertex in vertices:
+            row = [vertex]
+            for record in self.records:
+                row.append(cell(record.computed, vertex))
+                if record.readjusted == record.computed:
+                    row.append("")
+                else:
+                    before = record.computed.get(vertex, {})
+                    after = record.readjusted.get(vertex, {})
+                    row.append(cell(record.readjusted, vertex) if before != after else "")
+            lines.append("  ".join(f"{c:>12}" for c in row))
+        return "\n".join(lines)
+
+
+class IterativeIncrementalScheduler:
+    """The paper's ``IncrementalScheduling`` procedure.
+
+    Args:
+        graph: a constraint graph with an acyclic forward subgraph.
+        anchor_mode: which anchor sets to compute offsets against.
+        anchor_sets: pre-computed anchor sets (overrides *anchor_mode*'s
+            recomputation; callers doing the full pipeline pass the
+            irredundant sets here).
+        record_trace: keep per-iteration snapshots (Fig. 10).
+    """
+
+    def __init__(self, graph: ConstraintGraph,
+                 anchor_mode: AnchorMode = AnchorMode.FULL,
+                 anchor_sets: Optional[AnchorSets] = None,
+                 record_trace: bool = False) -> None:
+        self.graph = graph
+        self.anchor_mode = anchor_mode
+        self.anchor_sets = anchor_sets or anchor_sets_for_mode(graph, anchor_mode)
+        self.record_trace = record_trace
+        self.trace: Optional[ScheduleTrace] = ScheduleTrace() if record_trace else None
+        self._order = graph.forward_topological_order()
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> RelativeSchedule:
+        """Compute the minimum relative schedule.
+
+        Raises:
+            InconsistentConstraintsError: after ``|Eb| + 1`` rounds with
+                violations remaining (Corollary 2).
+        """
+        offsets: OffsetState = {
+            vertex: {anchor: 0 for anchor in self.anchor_sets[vertex]}
+            for vertex in self.graph.vertex_names()
+        }
+        backward = self.graph.backward_edges()
+        max_rounds = len(backward) + 1
+        for round_index in range(1, max_rounds + 1):
+            self._incremental_offset(offsets)
+            computed = _snapshot(offsets) if self.record_trace else {}
+            violations = self._find_violations(offsets, backward)
+            if not violations:
+                if self.record_trace:
+                    self.trace.records.append(IterationRecord(
+                        round_index, computed, [], computed))
+                return RelativeSchedule(
+                    graph=self.graph, anchor_sets=self.anchor_sets,
+                    offsets=offsets, anchor_mode=self.anchor_mode,
+                    iterations=round_index)
+            self._readjust(offsets, violations)
+            if self.record_trace:
+                self.trace.records.append(IterationRecord(
+                    round_index, computed, violations, _snapshot(offsets)))
+        raise InconsistentConstraintsError(
+            f"no schedule after {max_rounds} iterations: timing constraints "
+            f"are inconsistent (Corollary 2)")
+
+    # ------------------------------------------------------------------
+
+    def _incremental_offset(self, offsets: OffsetState) -> None:
+        """One longest-path sweep over the acyclic forward graph.
+
+        Offsets only ever increase (Lemma 8); each sweep relaxes every
+        forward edge once in topological order, so its cost is
+        ``O(|A| * |Ef|)``.
+        """
+        for vertex in self._order:
+            tracked = offsets[vertex]
+            for edge in self.graph.in_edges(vertex, forward_only=True):
+                weight = edge.static_weight
+                source_offsets = offsets[edge.tail]
+                for anchor, sigma in source_offsets.items():
+                    if anchor not in tracked:
+                        continue
+                    candidate = sigma + weight
+                    if candidate > tracked[anchor]:
+                        tracked[anchor] = candidate
+                # When the tail is itself an anchor tracked for this
+                # vertex, its own offset is normalized to 0
+                # (Definition 3), so the edge also implies
+                # sigma_tail(vertex) >= 0 + weight.  This covers both
+                # unbounded sequencing edges (weight 0) and bounded
+                # minimum constraints leaving an anchor.
+                if edge.tail in tracked and weight > tracked[edge.tail]:
+                    tracked[edge.tail] = weight
+
+    def _find_violations(self, offsets: OffsetState,
+                         backward: List[Edge]) -> List[Tuple[Edge, str]]:
+        """Backward edges whose inequality fails for some shared anchor."""
+        violations: List[Tuple[Edge, str]] = []
+        for edge in backward:
+            tail_offsets = self._with_self(offsets, edge.tail)
+            head_offsets = self._with_self(offsets, edge.head)
+            for anchor, sigma_tail in tail_offsets.items():
+                if anchor not in head_offsets:
+                    continue
+                if head_offsets[anchor] < sigma_tail + edge.weight:
+                    violations.append((edge, anchor))
+        return violations
+
+    def _with_self(self, offsets: OffsetState, vertex: str) -> Dict[str, int]:
+        """The tracked offsets of *vertex*, plus the implicit normalized
+        ``sigma_vertex(vertex) = 0`` when the vertex is an anchor."""
+        entries = offsets[vertex]
+        if self.graph.is_anchor(vertex) and vertex not in entries:
+            entries = dict(entries)
+            entries[vertex] = 0
+        return entries
+
+    def _readjust(self, offsets: OffsetState,
+                  violations: List[Tuple[Edge, str]]) -> None:
+        """Raise violated offsets by the minimum amount (ReadjustOffsets).
+
+        A violation whose anchor *is* the head vertex cannot be repaired
+        -- the head's own offset is pinned at 0 -- so it persists and
+        the iteration bound of Corollary 2 converts it into an
+        inconsistency report.
+        """
+        for edge, anchor in violations:
+            if anchor == edge.head:
+                continue
+            sigma_tail = self._with_self(offsets, edge.tail)[anchor]
+            required = sigma_tail + edge.weight
+            if offsets[edge.head].get(anchor, 0) < required:
+                offsets[edge.head][anchor] = required
+
+
+def _snapshot(offsets: OffsetState) -> OffsetState:
+    return {vertex: dict(entries) for vertex, entries in offsets.items()}
+
+
+def schedule_graph(graph: ConstraintGraph,
+                   anchor_mode: AnchorMode = AnchorMode.IRREDUNDANT,
+                   auto_well_pose: bool = True,
+                   validate: bool = True,
+                   record_trace: bool = False) -> RelativeSchedule:
+    """Run the paper's full four-step pipeline (Fig. 9) on *graph*.
+
+    1. check well-posedness (Theorem 2);
+    2. if ill-posed and *auto_well_pose*, minimally serialize with
+       ``make_well_posed`` (Section IV-C);
+    3. compute the anchor sets selected by *anchor_mode* (irredundant by
+       default, Section IV-D);
+    4. iterative incremental scheduling (Section IV-E).
+
+    Returns the minimum relative schedule of the (possibly serialized)
+    graph; the scheduled graph is available as ``schedule.graph``.
+
+    Raises:
+        UnfeasibleConstraintsError: positive cycle with delays at 0.
+        IllPosedError: ill-posed and cannot be (or may not be) serialized.
+        InconsistentConstraintsError: scheduling did not converge.
+    """
+    from repro.core.exceptions import IllPosedError
+
+    status = check_well_posed(graph)
+    if status is WellPosedness.UNFEASIBLE:
+        raise UnfeasibleConstraintsError("constraint graph has a positive cycle")
+    if status is WellPosedness.ILL_POSED:
+        if not auto_well_pose:
+            raise IllPosedError(
+                "constraint graph is ill-posed; rerun with auto_well_pose=True "
+                "to attempt minimal serialization")
+        graph = make_well_posed(graph)
+
+    scheduler = IterativeIncrementalScheduler(
+        graph, anchor_mode=anchor_mode, record_trace=record_trace)
+    schedule = scheduler.run()
+    if validate:
+        schedule.validate()
+    if record_trace:
+        schedule.trace = scheduler.trace  # type: ignore[attr-defined]
+    return schedule

@@ -1,0 +1,34 @@
+"""Benchmark designs used in the paper's evaluation (Section VII).
+
+The original HardwareC sources of the eight designs are not publicly
+available; this package provides faithful synthetic reconstructions (see
+DESIGN.md, "Substitutions") plus a seeded random design generator used
+by the property tests and the scaling benchmarks.
+"""
+
+from repro.designs.random_graphs import (
+    random_constraint_graph,
+    random_dag,
+    random_timed_graph,
+)
+from repro.designs.random_designs import random_design
+from repro.designs.suite import (
+    DESIGN_BUILDERS,
+    DESIGN_NAMES,
+    build_design,
+    build_all_designs,
+)
+
+# Populate the registry eagerly so DESIGN_NAMES is complete on import.
+from repro.designs import catalogue  # noqa: E402,F401  (registration side effects)
+
+__all__ = [
+    "random_constraint_graph",
+    "random_dag",
+    "random_timed_graph",
+    "random_design",
+    "DESIGN_BUILDERS",
+    "DESIGN_NAMES",
+    "build_design",
+    "build_all_designs",
+]

@@ -1,0 +1,8 @@
+"""Imports every per-design module so its registration side effects run."""
+
+from repro.designs import traffic  # noqa: F401
+from repro.designs import length  # noqa: F401
+from repro.designs import gcd  # noqa: F401
+from repro.designs import frisc  # noqa: F401
+from repro.designs import daio  # noqa: F401
+from repro.designs import dct  # noqa: F401

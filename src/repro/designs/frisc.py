@@ -1,0 +1,177 @@
+"""The "frisc" benchmark: a simple RISC microprocessor (Table III).
+
+A fetch-decode-execute machine in the style the paper's benchmark suite
+used: memory accesses synchronize on an external ready signal
+(unbounded), the instruction loop is data-dependent (runs until HALT),
+and the execute stage branches over the instruction classes.  The paper
+reports |A|/|V| = 34/188 with a *small* relative anchor reduction
+(177 -> 161 full-to-minimum offsets, averages 0.94 -> 0.86): a wide,
+shallow hierarchy where most operations synchronize on a single nearby
+anchor.  The reconstruction mirrors that structure.
+"""
+
+from repro.designs.suite import register_design
+from repro.seqgraph.builder import GraphBuilder
+from repro.seqgraph.model import Design
+
+#: Instruction classes of the execute stage: (name, datapath ops).
+ALU_INSTRUCTIONS = [
+    ("add", 4), ("sub", 4), ("and", 4), ("or", 4), ("xor", 4),
+    ("nor", 4), ("shl", 4), ("shr", 4), ("slt", 4), ("mul", 6),
+    ("div", 6),
+]
+
+
+def _memory_access(design: Design, name: str) -> str:
+    """A memory transaction: drive the bus, wait for ready, latch."""
+    b = GraphBuilder(name)
+    b.op("drive_addr", delay=1, reads=("addr",), writes=("bus",),
+         resource_class="port")
+    b.wait("mem_ready", reads=("ready",))
+    b.op("latch_data", delay=1, reads=("bus",), writes=("data",),
+         resource_class="port")
+    b.chain("drive_addr", "mem_ready", "latch_data")
+    design.add_graph(b.build())
+    return name
+
+
+def _alu_branch(design: Design, name: str, op_count: int) -> str:
+    """One register-to-register instruction: operand reads, the ALU
+    operation chain, and the register write-back."""
+    b = GraphBuilder(name)
+    b.op("read_rs", delay=1, reads=("regfile", "rs"), writes=("opa",))
+    b.op("read_rt", delay=1, reads=("regfile", "rt"), writes=("opb",))
+    for index in range(op_count):
+        b.op(f"alu{index}", delay=1, reads=("opa", "opb"), writes=("opa",),
+             resource_class="alu")
+    b.op("writeback", delay=1, reads=("opa", "rd"), writes=("regfile",))
+    design.add_graph(b.build())
+    return name
+
+
+def _load_branch(design: Design, name: str, mem: str) -> str:
+    b = GraphBuilder(name)
+    b.op("ea", delay=1, reads=("opa", "imm"), writes=("addr",),
+         resource_class="alu")
+    b.call("mem_read", callee=mem, reads=("addr",), writes=("data",))
+    b.op("sign_extend", delay=1, reads=("data",), writes=("data",),
+         resource_class="logic")
+    b.op("wb_load", delay=1, reads=("data", "rd"), writes=("regfile",))
+    design.add_graph(b.build())
+    return name
+
+
+def _store_branch(design: Design, name: str, mem: str) -> str:
+    b = GraphBuilder(name)
+    b.op("ea_st", delay=1, reads=("opa", "imm"), writes=("addr",),
+         resource_class="alu")
+    b.op("stage_data", delay=1, reads=("regfile", "rt"), writes=("wdata",))
+    b.call("mem_write", callee=mem, reads=("addr", "wdata"))
+    design.add_graph(b.build())
+    return name
+
+
+def _io_branch(design: Design, name: str, direction: str) -> str:
+    """Port-mapped I/O instruction: handshake with the external device."""
+    b = GraphBuilder(name)
+    b.op("drive_port", delay=1, reads=("imm",), writes=("io_bus",),
+         resource_class="port")
+    b.wait("io_ack", reads=("io_bus",))
+    if direction == "in":
+        b.op("latch_in", delay=1, reads=("io_bus",), writes=("regfile",),
+             resource_class="port")
+        b.then("io_ack", "latch_in")    # transfer after the handshake
+    else:
+        b.op("drive_out", delay=1, reads=("regfile",), writes=("io_bus",),
+             resource_class="port")
+        b.then("io_ack", "drive_out")
+    design.add_graph(b.build())
+    return name
+
+
+def _branch_branch(design: Design, name: str) -> str:
+    """Conditional branch: compare and update the PC."""
+    b = GraphBuilder(name)
+    b.op("compare", delay=1, reads=("opa", "opb"), writes=("taken",),
+         resource_class="alu")
+    b.op("target", delay=1, reads=("pc", "imm"), writes=("btarget",),
+         resource_class="alu")
+    b.op("new_pc", delay=1, reads=("taken", "btarget", "pc"), writes=("pc",),
+         resource_class="alu")
+    design.add_graph(b.build())
+    return name
+
+
+@register_design("frisc")
+def build_frisc() -> Design:
+    """Assemble the processor hierarchy."""
+    design = Design("frisc")
+
+    mem_fetch = _memory_access(design, "mem_fetch")
+    mem_load = _memory_access(design, "mem_load")
+    mem_store = _memory_access(design, "mem_store")
+
+    # Fetch: address from PC, memory transaction, IR latch, PC update.
+    fetch = GraphBuilder("fetch")
+    fetch.op("pc_to_addr", delay=1, reads=("pc",), writes=("addr",))
+    fetch.call("imem", callee=mem_fetch, reads=("addr",), writes=("data",))
+    fetch.op("latch_ir", delay=1, reads=("data",), writes=("ir",))
+    fetch.op("pc_inc", delay=1, reads=("pc",), writes=("pc",),
+             resource_class="alu")
+    fetch.op("predict_pc", delay=1, reads=("pc",), writes=("npc",),
+             resource_class="alu")
+    design.add_graph(fetch.build())
+
+    # Decode: field extraction.
+    decode = GraphBuilder("decode")
+    for field in ("opcode", "rs", "rt", "rd", "imm", "shamt", "func"):
+        decode.op(f"dec_{field}", delay=1, reads=("ir",), writes=(field,),
+                  resource_class="logic")
+    design.add_graph(decode.build())
+
+    branches = [_alu_branch(design, f"ex_{name}", ops)
+                for name, ops in ALU_INSTRUCTIONS]
+    branches.append(_load_branch(design, "ex_load", mem_load))
+    branches.append(_store_branch(design, "ex_store", mem_store))
+    branches.append(_branch_branch(design, "ex_branch"))
+    branches.append(_io_branch(design, "ex_in", "in"))
+    branches.append(_io_branch(design, "ex_out", "out"))
+    nop = GraphBuilder("ex_nop")
+    nop.op("idle", delay=1)
+    design.add_graph(nop.build())
+    branches.append("ex_nop")
+
+    # One machine cycle: fetch, decode, operand read, execute, flags.
+    cycle = GraphBuilder("cycle")
+    cycle.call("do_fetch", callee="fetch", writes=("ir", "pc"))
+    cycle.call("do_decode", callee="decode", reads=("ir",),
+               writes=("opcode", "rs", "rt", "rd", "imm"))
+    cycle.op("fwd_a", delay=1, reads=("regfile", "rs"), writes=("opa",))
+    cycle.op("fwd_b", delay=1, reads=("regfile", "rt"), writes=("opb",))
+    cycle.cond("execute", branches=branches,
+               reads=("opcode", "opa", "opb", "imm"),
+               writes=("regfile", "pc"))
+    cycle.op("hazard_check", delay=1, reads=("rs", "rt"), writes=("stall",),
+             resource_class="logic")
+    cycle.op("bypass_sel", delay=1, reads=("stall",), writes=("bypass",),
+             resource_class="logic")
+    cycle.op("update_flags", delay=1, reads=("regfile",), writes=("flags",),
+             resource_class="logic")
+    cycle.op("retire", delay=1, reads=("regfile", "flags"), writes=("commit",))
+    cycle.op("check_halt", delay=1, reads=("opcode",), writes=("halted",),
+             resource_class="logic")
+    design.add_graph(cycle.build())
+
+    # Top: reset, then run cycles until HALT (data-dependent loop).
+    top = GraphBuilder("frisc")
+    top.op("reset_pc", delay=1, writes=("pc",))
+    top.op("reset_flags", delay=1, writes=("flags",))
+    top.op("reset_regs", delay=1, writes=("regfile",))
+    top.op("init_io", delay=1, writes=("io_bus",), resource_class="port")
+    top.loop("run", body="cycle", reads=("pc", "halted"),
+             writes=("regfile", "pc", "flags", "halted"))
+    top.op("emit_state", delay=1, reads=("regfile",), writes=("dbg",),
+           resource_class="port")
+    design.add_graph(top.build(), root=True)
+    design.validate()
+    return design

@@ -1,0 +1,54 @@
+"""The gcd benchmark: the paper's Fig. 13 HardwareC source.
+
+Euclid's algorithm with timing constraints pinning the sampling of
+``xin`` to exactly one clock cycle after the sampling of ``yin``.  The
+source below follows Fig. 13 nearly verbatim (the ``< ... >`` swap is
+expressed through a temporary, as the printed two-statement swap relies
+on HardwareC's non-blocking parallel semantics).
+"""
+
+from repro.designs.suite import register_design
+from repro.hdl.lower import compile_source
+
+#: Fig. 13 of the paper.
+GCD_SOURCE = """
+process gcd (xin, yin, restart, result)
+{
+    in port xin[8], yin[8], restart;
+    out port result[8];
+    boolean x[8], y[8];
+    tag a, b;
+
+    /* wait for restart to go low */
+    while (restart)
+        ;
+
+    /* sample inputs */
+    {
+        constraint mintime from a to b = 1 cycles;
+        constraint maxtime from a to b = 1 cycles;
+        a: y = read(yin);
+        b: x = read(xin);
+    }
+
+    /* Euclid's algorithm */
+    if ((x != 0) & (y != 0))
+    {
+        repeat {
+            while (x >= y)
+                x = x - y;
+            /* swap values */
+            < y = x; x = y; >
+        } until (y == 0);
+    }
+
+    /* write result to output */
+    write result = x;
+}
+"""
+
+
+@register_design("gcd")
+def build_gcd():
+    """Compile the Fig. 13 source into a hierarchical design."""
+    return compile_source(GCD_SOURCE)

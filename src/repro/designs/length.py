@@ -1,0 +1,36 @@
+"""The pulse-length-detector benchmark (Table III row "length").
+
+Measures the length of an input pulse: wait for the rising edge, count
+while the pulse stays high, then report the count.  Two data-dependent
+loops (the two edges) over a small datapath; the paper reports
+|A|/|V| = 5/12 and the reconstruction matches that shape (three graph
+sources plus two unbounded loops).
+"""
+
+from repro.designs.suite import register_design
+from repro.hdl.lower import compile_source
+
+LENGTH_SOURCE = """
+process length (pulse, count_out)
+{
+    in port pulse;
+    out port count_out[8];
+    boolean count[8];
+
+    /* wait for the rising edge (count starts at 0 by declaration) */
+    while (!pulse)
+        ;
+
+    /* count cycles while the pulse is high */
+    while (pulse)
+        count = count + 1;
+
+    write count_out = count;
+}
+"""
+
+
+@register_design("length")
+def build_length():
+    """Compile the pulse-length detector."""
+    return compile_source(LENGTH_SOURCE)

@@ -1,0 +1,106 @@
+"""Seeded random *hierarchical* design generator.
+
+Where :mod:`repro.designs.random_graphs` produces flat constraint
+graphs, this generator builds whole Hercules-style designs: leaf
+sequencing graphs of dataflow-connected operations, composite graphs
+referencing them through calls, counted and data-dependent loops, and
+conditionals, up to a root.  Used by the system-level property tests
+(hierarchical scheduling, execution, synthesis, serialization) and the
+scaling benches.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.seqgraph.builder import GraphBuilder
+from repro.seqgraph.model import Design
+
+_RESOURCE_CLASSES = [None, "alu", "alu", "logic", "mul", "port"]
+
+
+def _leaf_graph(rng: random.Random, name: str, n_ops: int,
+                wait_probability: float) -> GraphBuilder:
+    builder = GraphBuilder(name)
+    symbols = [f"{name}_v{i}" for i in range(max(2, n_ops))]
+    for index in range(n_ops):
+        reads = tuple(rng.sample(symbols, k=min(len(symbols),
+                                                rng.randint(1, 2))))
+        writes = (rng.choice(symbols),)
+        if rng.random() < wait_probability:
+            builder.wait(f"{name}_w{index}", reads=reads)
+        else:
+            builder.op(f"{name}_op{index}", delay=rng.randint(0, 4),
+                       reads=reads, writes=writes,
+                       resource_class=rng.choice(_RESOURCE_CLASSES))
+    return builder
+
+
+def random_design(seed: int, n_leaves: int = 3, n_composites: int = 2,
+                  ops_per_graph: Tuple[int, int] = (2, 5),
+                  wait_probability: float = 0.2,
+                  loop_probability: float = 0.4,
+                  cond_probability: float = 0.3,
+                  counted_loop_probability: float = 0.3,
+                  with_constraints: bool = True) -> Design:
+    """Generate a valid hierarchical design.
+
+    Leaves are dataflow graphs of fixed-delay operations and occasional
+    waits; composites mix leaf references (CALL / LOOP / COND) with
+    local operations; the root is the last composite.  Timing
+    constraints (always-consistent minimums plus loose maximums between
+    forward-ordered local operations) are sprinkled when
+    *with_constraints* is set.
+    """
+    rng = random.Random(seed)
+    design = Design(f"random_{seed}")
+
+    available: List[str] = []
+    for index in range(n_leaves):
+        name = f"leaf{index}"
+        builder = _leaf_graph(rng, name, rng.randint(*ops_per_graph),
+                              wait_probability)
+        design.add_graph(builder.build())
+        available.append(name)
+
+    for level in range(n_composites):
+        name = f"comp{level}"
+        builder = GraphBuilder(name)
+        local_ops: List[str] = []
+        for index in range(rng.randint(*ops_per_graph)):
+            roll = rng.random()
+            child = rng.choice(available)
+            if roll < loop_probability:
+                iterations = (rng.randint(1, 4)
+                              if rng.random() < counted_loop_probability
+                              else None)
+                builder.loop(f"{name}_loop{index}", body=child,
+                             iterations=iterations,
+                             reads=(f"{name}_s",), writes=(f"{name}_s",))
+                local_ops.append(f"{name}_loop{index}")
+            elif roll < loop_probability + cond_probability and len(available) >= 2:
+                branches = rng.sample(available, k=2)
+                builder.cond(f"{name}_cond{index}", branches=branches,
+                             reads=(f"{name}_s",), writes=(f"{name}_s",))
+                local_ops.append(f"{name}_cond{index}")
+            elif roll < 0.85:
+                builder.call(f"{name}_call{index}", callee=child,
+                             reads=(f"{name}_s",))
+                local_ops.append(f"{name}_call{index}")
+            else:
+                builder.op(f"{name}_op{index}", delay=rng.randint(1, 4),
+                           reads=(f"{name}_s",), writes=(f"{name}_s",),
+                           resource_class=rng.choice(_RESOURCE_CLASSES))
+                local_ops.append(f"{name}_op{index}")
+        # serialize the composite's children so execution is deterministic
+        for tail, head in zip(local_ops, local_ops[1:]):
+            builder.then(tail, head)
+        if with_constraints and len(local_ops) >= 2:
+            tail, head = local_ops[0], local_ops[-1]
+            builder.min_constraint(tail, head, rng.randint(0, 3))
+        design.add_graph(builder.build(), root=(level == n_composites - 1))
+        available.append(name)
+
+    design.validate()
+    return design

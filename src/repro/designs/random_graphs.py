@@ -1,0 +1,108 @@
+"""Seeded random constraint-graph generators.
+
+Used by the property-based tests (to exercise the theorems on thousands
+of graphs) and by the scaling benchmarks (to measure the polynomial
+runtime claims of Section V on graphs far larger than the paper's
+designs).
+
+All generators are deterministic given a :class:`random.Random` seed and
+produce *polar* graphs with an acyclic forward subgraph, matching the
+formulation's preconditions.  Maximum timing constraints are optionally
+restricted to well-posed placements so tests can separately target the
+ill-posed repair path.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.core.anchors import find_anchor_sets
+from repro.core.delay import UNBOUNDED
+from repro.core.graph import ConstraintGraph
+from repro.core.paths import longest_paths_from, NO_PATH
+
+
+def random_dag(rng: random.Random, n_ops: int, edge_probability: float = 0.25,
+               unbounded_probability: float = 0.15,
+               max_delay: int = 8) -> ConstraintGraph:
+    """A random polar constraint graph with sequencing edges only.
+
+    Operations are laid out in a random topological order; each ordered
+    pair is connected with *edge_probability*.  Operations become
+    unbounded anchors with *unbounded_probability*.  Orphans are wired
+    to the source/sink by :meth:`ConstraintGraph.make_polar`.
+    """
+    graph = ConstraintGraph(source="src", sink="snk")
+    names = [f"op{i}" for i in range(n_ops)]
+    for name in names:
+        if rng.random() < unbounded_probability:
+            graph.add_operation(name, UNBOUNDED)
+        else:
+            graph.add_operation(name, rng.randint(0, max_delay))
+    for i in range(n_ops):
+        for j in range(i + 1, n_ops):
+            if rng.random() < edge_probability:
+                graph.add_sequencing_edge(names[i], names[j])
+    graph.make_polar()
+    return graph
+
+
+def random_constraint_graph(rng: random.Random, n_ops: int,
+                            edge_probability: float = 0.25,
+                            unbounded_probability: float = 0.15,
+                            n_min_constraints: int = 2,
+                            n_max_constraints: int = 2,
+                            max_delay: int = 8,
+                            well_posed_only: bool = True,
+                            feasible_only: bool = True) -> ConstraintGraph:
+    """A random polar graph with min and max timing constraints.
+
+    Minimum constraints are placed between forward-ordered pairs (so the
+    forward graph stays acyclic).  Maximum constraints are placed with a
+    bound at least the current longest path between the endpoints when
+    *feasible_only* (so the graph stays feasible, Theorem 1) and only
+    between vertices with ``A(to) subset-of A(from)`` when
+    *well_posed_only* (Lemma 1).
+    """
+    graph = random_dag(rng, n_ops, edge_probability, unbounded_probability, max_delay)
+    order = graph.forward_topological_order()
+    position = {name: index for index, name in enumerate(order)}
+
+    candidates: List[Tuple[str, str]] = []
+    for i, tail in enumerate(order):
+        for head in order[i + 1:]:
+            if graph.is_forward_reachable(tail, head):
+                candidates.append((tail, head))
+    rng.shuffle(candidates)
+
+    placed_min = 0
+    for tail, head in candidates:
+        if placed_min >= n_min_constraints:
+            break
+        graph.add_min_constraint(tail, head, rng.randint(0, max_delay))
+        placed_min += 1
+
+    anchor_sets = find_anchor_sets(graph)
+    placed_max = 0
+    rng.shuffle(candidates)
+    for from_op, to_op in candidates:
+        if placed_max >= n_max_constraints:
+            break
+        if well_posed_only and not (anchor_sets[to_op] <= anchor_sets[from_op]):
+            continue
+        bound = rng.randint(0, 2 * max_delay)
+        if feasible_only:
+            span = longest_paths_from(graph, from_op)[to_op]
+            if span is NO_PATH:
+                continue
+            bound = max(bound, span)
+        graph.add_max_constraint(from_op, to_op, bound)
+        placed_max += 1
+    return graph
+
+
+def random_timed_graph(seed: int, n_ops: int = 20,
+                       **kwargs) -> ConstraintGraph:
+    """Convenience wrapper seeding its own :class:`random.Random`."""
+    return random_constraint_graph(random.Random(seed), n_ops, **kwargs)

@@ -1,0 +1,47 @@
+"""Registry of the eight evaluation designs (Section VII, Tables III-IV).
+
+Populated by the per-design modules; see :mod:`repro.designs` package
+docs and DESIGN.md for the substitution notes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+#: name -> zero-argument builder returning a repro.seqgraph.Design.
+DESIGN_BUILDERS: Dict[str, Callable[[], "object"]] = {}
+
+DESIGN_NAMES: List[str] = []
+
+
+def register_design(name: str):
+    """Decorator: register a design builder under *name*."""
+
+    def decorator(builder):
+        DESIGN_BUILDERS[name] = builder
+        if name not in DESIGN_NAMES:
+            DESIGN_NAMES.append(name)
+        return builder
+
+    return decorator
+
+
+def build_design(name: str):
+    """Instantiate the named evaluation design."""
+    _ensure_loaded()
+    try:
+        builder = DESIGN_BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown design {name!r}; known: {sorted(DESIGN_BUILDERS)}") from None
+    return builder()
+
+
+def build_all_designs():
+    """All eight designs, in the paper's Table III order."""
+    _ensure_loaded()
+    return {name: DESIGN_BUILDERS[name]() for name in DESIGN_NAMES}
+
+
+def _ensure_loaded() -> None:
+    """Import the per-design modules so their registrations run."""
+    from repro.designs import catalogue  # noqa: F401

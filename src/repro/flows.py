@@ -1,0 +1,142 @@
+"""The complete Hebe synthesis flow (Section VII).
+
+Structural synthesis in Hebe runs, per sequencing graph: lower to a
+constraint graph, **bind** operations to functional units, **resolve
+conflicts** by serialization under the timing constraints, then
+**relatively schedule** -- bottom-up over the hierarchy so compound
+operations carry their bodies' latency characterizations.  Finally the
+control is generated from the schedules.
+
+:func:`synthesize` packages that pipeline behind one call and returns a
+:class:`SynthesisResult` holding every intermediate artifact (bindings,
+serialized graphs, schedules, controllers, costs), which the resource-
+sharing example and the flow-level tests exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.binding.binder import bind_graph
+from repro.binding.conflict import resolve_conflicts
+from repro.binding.resources import Binding, ResourceLibrary
+from repro.control.fsm import AdaptiveController, synthesize_adaptive_control, total_control_cost
+from repro.control.netlist import ControlCost
+from repro.core.anchors import AnchorMode
+from repro.core.delay import Delay
+from repro.core.graph import ConstraintGraph
+from repro.core.schedule import RelativeSchedule
+from repro.core.scheduler import schedule_graph
+from repro.seqgraph.hierarchy import HierarchicalSchedule, graph_latency
+from repro.seqgraph.lower import to_constraint_graph
+from repro.seqgraph.model import Design
+
+
+@dataclass
+class SynthesisResult:
+    """Everything the Hebe flow produced for one design.
+
+    Attributes:
+        design: the input design.
+        bindings: per-graph module bindings.
+        schedules: the hierarchical relative schedules (on the
+            serialized constraint graphs).
+        controllers: per-graph adaptive controllers.
+        control_style: the control style synthesized.
+    """
+
+    design: Design
+    bindings: Dict[str, Binding]
+    schedule: HierarchicalSchedule
+    controllers: Dict[str, AdaptiveController]
+    control_style: str
+
+    @property
+    def latency(self) -> Delay:
+        return self.schedule.latency
+
+    def total_area(self) -> float:
+        """Datapath area: distinct bound instances across the hierarchy."""
+        return sum(binding.area() for binding in self.bindings.values())
+
+    def control_cost(self) -> ControlCost:
+        return total_control_cost(self.controllers)
+
+    def serialization_count(self) -> int:
+        """Sequencing edges added by conflict resolution and
+        makeWellposed across the hierarchy."""
+        total = 0
+        for graph_name, constraint_graph in self.schedule.constraint_graphs.items():
+            seq_graph = self.design.graph(graph_name)
+            baseline = len(seq_graph.edges()) + len(seq_graph.constraints)
+            total += len(constraint_graph.edges()) - baseline
+        return total
+
+    def report(self) -> str:
+        """A one-design synthesis summary."""
+        cost = self.control_cost()
+        lines = [
+            f"design {self.design.name!r}: {len(self.design.graphs)} graphs",
+            f"  latency:        {self.latency!r}",
+            f"  datapath area:  {self.total_area():.1f}",
+            f"  serializations: {self.serialization_count()}",
+            f"  control ({self.control_style}): "
+            f"{cost.registers} regs, {cost.comparator_bits} cmp bits, "
+            f"{cost.gate_inputs} gate inputs",
+        ]
+        return "\n".join(lines)
+
+
+def synthesize(design: Design,
+               library: Optional[ResourceLibrary] = None,
+               anchor_mode: AnchorMode = AnchorMode.IRREDUNDANT,
+               exact_conflicts: bool = False,
+               control_style: str = "shift-register",
+               auto_well_pose: bool = True) -> SynthesisResult:
+    """Run the full Hebe flow on *design*.
+
+    Per graph, bottom-up: lower with child latencies, bind to *library*,
+    serialize resource conflicts (heuristic, or branch-and-bound with
+    ``exact_conflicts``), relatively schedule with the requested anchor
+    sets, characterize the latency for the parent; then synthesize the
+    adaptive-control hierarchy.
+
+    Raises:
+        ConflictResolutionError / IllPosedError /
+        UnfeasibleConstraintsError / InconsistentConstraintsError from
+        the underlying stages, with the graph named in the message.
+    """
+    design.validate()
+    library = library or ResourceLibrary.default()
+
+    bindings: Dict[str, Binding] = {}
+    constraint_graphs: Dict[str, ConstraintGraph] = {}
+    schedules: Dict[str, RelativeSchedule] = {}
+    latencies: Dict[str, Delay] = {}
+
+    for graph_name in design.hierarchy_order():
+        seq_graph = design.graph(graph_name)
+        binding = bind_graph(seq_graph, library)
+        bindings[graph_name] = binding
+        try:
+            lowered = to_constraint_graph(
+                seq_graph, child_latency=latencies,
+                delay_overrides=binding.delay_overrides())
+            serialized = resolve_conflicts(lowered, binding,
+                                           exact=exact_conflicts)
+            schedule = schedule_graph(serialized, anchor_mode=anchor_mode,
+                                      auto_well_pose=auto_well_pose)
+        except Exception as error:
+            raise type(error)(f"in graph {graph_name!r}: {error}") from error
+        constraint_graphs[graph_name] = schedule.graph
+        schedules[graph_name] = schedule
+        latencies[graph_name] = graph_latency(schedule.graph, schedule)
+
+    hierarchical = HierarchicalSchedule(design, constraint_graphs,
+                                        schedules, latencies)
+    controllers = synthesize_adaptive_control(hierarchical,
+                                              style=control_style)
+    return SynthesisResult(design=design, bindings=bindings,
+                           schedule=hierarchical, controllers=controllers,
+                           control_style=control_style)

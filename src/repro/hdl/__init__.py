@@ -1,0 +1,75 @@
+"""A HardwareC-subset frontend (the Hercules input language).
+
+The paper's designs are written in HardwareC, a C-flavoured behavioural
+hardware description language with processes, ports, data-dependent
+loops, operation tags, and ``constraint mintime/maxtime`` statements
+(Fig. 13 shows the gcd source).  This package implements the subset
+needed to express all of the paper's examples:
+
+* :mod:`repro.hdl.lexer` -- tokenizer;
+* :mod:`repro.hdl.ast` -- abstract syntax tree;
+* :mod:`repro.hdl.parser` -- recursive-descent parser;
+* :mod:`repro.hdl.lower` -- lowering to hierarchical sequencing graphs
+  (Hercules's behavioural synthesis step, producing maximal
+  parallelism from dataflow);
+* :mod:`repro.hdl.delay_model` -- per-operator cycle-delay model.
+
+End-to-end::
+
+    from repro.hdl import compile_source
+    design = compile_source(GCD_SOURCE)
+    from repro.seqgraph import schedule_design
+    result = schedule_design(design)
+"""
+
+from repro.hdl.ast import (
+    Assign,
+    Binary,
+    Block,
+    Call,
+    Const,
+    ConstraintStmt,
+    If,
+    PortDecl,
+    Process,
+    ReadExpr,
+    RepeatUntil,
+    Unary,
+    Var,
+    VarDecl,
+    While,
+    WriteStmt,
+)
+from repro.hdl.delay_model import DelayModel
+from repro.hdl.errors import HdlLexError, HdlLowerError, HdlParseError
+from repro.hdl.lexer import Token, tokenize
+from repro.hdl.lower import compile_source, lower_process
+from repro.hdl.parser import parse
+
+__all__ = [
+    "Assign",
+    "Binary",
+    "Block",
+    "Call",
+    "Const",
+    "ConstraintStmt",
+    "If",
+    "PortDecl",
+    "Process",
+    "ReadExpr",
+    "RepeatUntil",
+    "Unary",
+    "Var",
+    "VarDecl",
+    "While",
+    "WriteStmt",
+    "DelayModel",
+    "HdlLexError",
+    "HdlLowerError",
+    "HdlParseError",
+    "Token",
+    "tokenize",
+    "compile_source",
+    "lower_process",
+    "parse",
+]

@@ -1,0 +1,261 @@
+"""Abstract syntax tree for the HardwareC subset.
+
+All nodes are frozen dataclasses carrying the source line for error
+reporting.  Expressions expose :meth:`read_symbols` (the identifiers and
+ports the expression samples) used by the lowering's dataflow analysis,
+and :meth:`operators` used by the delay model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for expressions."""
+
+    def read_symbols(self) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    def operators(self) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A variable or port reference."""
+
+    name: str
+    line: int = 0
+
+    def read_symbols(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def operators(self) -> Tuple[str, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """An integer literal."""
+
+    value: int
+    line: int = 0
+
+    def read_symbols(self) -> Tuple[str, ...]:
+        return ()
+
+    def operators(self) -> Tuple[str, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """A unary operation: ``!``, ``~``, or ``-``."""
+
+    op: str
+    operand: Expr
+    line: int = 0
+
+    def read_symbols(self) -> Tuple[str, ...]:
+        return self.operand.read_symbols()
+
+    def operators(self) -> Tuple[str, ...]:
+        return (self.op,) + self.operand.operators()
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """A binary operation."""
+
+    op: str
+    left: Expr
+    right: Expr
+    line: int = 0
+
+    def read_symbols(self) -> Tuple[str, ...]:
+        return self.left.read_symbols() + self.right.read_symbols()
+
+    def operators(self) -> Tuple[str, ...]:
+        return (self.op,) + self.left.operators() + self.right.operators()
+
+
+@dataclass(frozen=True)
+class ReadExpr(Expr):
+    """``read(port)`` -- samples an input port."""
+
+    port: str
+    line: int = 0
+
+    def read_symbols(self) -> Tuple[str, ...]:
+        return (self.port,)
+
+    def operators(self) -> Tuple[str, ...]:
+        return ("read",)
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    """``{ ... }`` or ``< ... >``; HardwareC's ``<>`` groups are
+    data-parallel, but Hercules derives parallelism from dataflow for
+    both forms, so lowering treats them identically."""
+
+    statements: Tuple[Stmt, ...]
+    parallel: bool = False
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``target = expr;`` with an optional tag label."""
+
+    target: str
+    value: Expr
+    tag: Optional[str] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class WriteStmt(Stmt):
+    """``write port = expr;``."""
+
+    port: str
+    value: Expr
+    tag: Optional[str] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    """``while (cond) body`` -- data-dependent iteration.
+
+    An empty body (``while (cond) ;``) is a busy-wait on an external
+    condition, the canonical unbounded synchronization of the paper.
+    """
+
+    cond: Expr
+    body: Optional[Stmt]
+    tag: Optional[str] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class RepeatUntil(Stmt):
+    """``repeat { ... } until (cond);`` -- at-least-once iteration."""
+
+    body: Stmt
+    cond: Expr
+    tag: Optional[str] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """``if (cond) then [else other]``."""
+
+    cond: Expr
+    then: Stmt
+    otherwise: Optional[Stmt] = None
+    tag: Optional[str] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Call(Stmt):
+    """``call name;`` or ``call name(arg, ...);`` -- procedure call."""
+
+    callee: str
+    args: Tuple[Expr, ...] = ()
+    tag: Optional[str] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Wait(Stmt):
+    """``wait(cond);`` -- explicit external synchronization point."""
+
+    cond: Expr
+    tag: Optional[str] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ConstraintStmt(Stmt):
+    """``constraint mintime|maxtime from a to b = N cycles;``."""
+
+    kind: str  # "mintime" | "maxtime"
+    from_tag: str
+    to_tag: str
+    cycles: int
+    line: int = 0
+
+
+# ----------------------------------------------------------------------
+# declarations and processes
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PortDecl:
+    """``in|out|inout port name[width], ...;`` (one entry per name)."""
+
+    direction: str  # "in" | "out" | "inout"
+    name: str
+    width: int = 1
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """``boolean name[width], ...;`` (one entry per name)."""
+
+    name: str
+    width: int = 1
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Process:
+    """A ``process name (args) { decls; body }`` definition."""
+
+    name: str
+    ports: Tuple[PortDecl, ...]
+    variables: Tuple[VarDecl, ...]
+    tags: Tuple[str, ...]
+    body: Block
+    line: int = 0
+
+    def port(self, name: str) -> PortDecl:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise KeyError(f"no port {name!r} in process {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Program:
+    """A compilation unit: one or more processes."""
+
+    processes: Tuple[Process, ...]
+
+    def process(self, name: str) -> Process:
+        for proc in self.processes:
+            if proc.name == name:
+                return proc
+        raise KeyError(f"no process {name!r}")

@@ -1,0 +1,82 @@
+"""Per-operator cycle-delay model and resource classification.
+
+Module binding happens before scheduling (Section II), so every
+operation's execution delay is known once it is mapped to a functional
+unit.  The delay model captures that mapping at the granularity the
+frontend needs: each source-level operator belongs to a resource class
+(ALU, multiplier, shifter, port, ...) with a cycle count.
+
+The defaults are deliberately simple -- single-cycle ALU and logic,
+multi-cycle multiply/divide, single-cycle port transactions -- and can
+be overridden per design (the binding subsystem can also override the
+delay of individual operations after resource assignment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+#: operator -> resource class
+_DEFAULT_CLASSES: Dict[str, str] = {
+    "+": "alu", "-": "alu",
+    "==": "alu", "!=": "alu", "<": "alu", "<=": "alu", ">": "alu", ">=": "alu",
+    "&": "logic", "|": "logic", "^": "logic", "~": "logic", "!": "logic",
+    "&&": "logic", "||": "logic",
+    "<<": "shift", ">>": "shift",
+    "*": "mul", "/": "div", "%": "div",
+    "read": "port", "write": "port",
+}
+
+#: resource class -> execution delay in cycles
+_DEFAULT_DELAYS: Dict[str, int] = {
+    "alu": 1,
+    "logic": 1,
+    "shift": 1,
+    "mul": 3,
+    "div": 5,
+    "port": 1,
+    "move": 1,
+}
+
+
+@dataclass
+class DelayModel:
+    """Maps operators to resource classes and cycle delays.
+
+    Attributes:
+        class_delays: cycles per resource class.
+        operator_classes: resource class per source operator.
+        move_delay: delay of a plain register-to-register move
+            (an assignment with no operators).
+    """
+
+    class_delays: Dict[str, int] = field(default_factory=lambda: dict(_DEFAULT_DELAYS))
+    operator_classes: Dict[str, str] = field(default_factory=lambda: dict(_DEFAULT_CLASSES))
+
+    def resource_class(self, operators: Sequence[str]) -> Optional[str]:
+        """The resource class of a statement: the class of its slowest
+        operator, or None for a plain move."""
+        best: Optional[str] = None
+        best_delay = -1
+        for op in operators:
+            cls = self.operator_classes.get(op)
+            if cls is None:
+                continue
+            delay = self.class_delays.get(cls, 1)
+            if delay > best_delay:
+                best, best_delay = cls, delay
+        return best
+
+    def statement_delay(self, operators: Sequence[str]) -> int:
+        """Execution delay of a statement given its operator bag.
+
+        The statement maps to one functional unit (the one implementing
+        its slowest operator class); chained cheap operators fold into
+        the same cycle, matching Hercules's operator-chaining
+        optimization.
+        """
+        cls = self.resource_class(operators)
+        if cls is None:
+            return self.class_delays.get("move", 1)
+        return self.class_delays.get(cls, 1)

@@ -1,0 +1,27 @@
+"""Frontend error types, all carrying source line/column information."""
+
+from __future__ import annotations
+
+
+class HdlError(Exception):
+    """Base class for HardwareC frontend errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class HdlLexError(HdlError):
+    """An unrecognised character or malformed token."""
+
+
+class HdlParseError(HdlError):
+    """The token stream does not match the grammar."""
+
+
+class HdlLowerError(HdlError):
+    """The AST is structurally valid but cannot be lowered (undeclared
+    identifiers, duplicate tags, constraints on missing tags, ...)."""

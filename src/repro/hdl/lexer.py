@@ -1,0 +1,118 @@
+"""Tokenizer for the HardwareC subset.
+
+Handles identifiers, decimal/hex integer literals, one- and two-
+character operators, ``/* */`` and ``//`` comments, and tracks line and
+column for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.hdl.errors import HdlLexError
+
+KEYWORDS = frozenset({
+    "process", "in", "out", "inout", "port", "boolean", "tag", "static",
+    "while", "repeat", "until", "if", "else", "read", "write", "call",
+    "constraint", "mintime", "maxtime", "from", "to", "cycles", "wait",
+})
+
+#: Two-character operators, longest-match-first.
+TWO_CHAR_OPS = ("==", "!=", "<=", ">=", "&&", "||", "<<", ">>")
+
+ONE_CHAR_OPS = "+-*/%&|^~!<>=(){}[];,:"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``ident``, ``number``, ``keyword``, ``op``, or
+    ``eof``; ``value`` is the matched text (numbers keep their text form,
+    the parser converts).
+    """
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source*; raises :class:`HdlLexError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise HdlLexError("unterminated comment", line, column)
+            skipped = source[i:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            i = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+            column += i - start
+            continue
+        if ch.isdigit():
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+            text = source[start:i]
+            tokens.append(Token("number", text, line, column))
+            column += i - start
+            continue
+        matched = False
+        for op in TWO_CHAR_OPS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, column))
+                i += 2
+                column += 2
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in ONE_CHAR_OPS:
+            tokens.append(Token("op", ch, line, column))
+            i += 1
+            column += 1
+            continue
+        raise HdlLexError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,567 @@
+"""Lowering HardwareC ASTs to hierarchical sequencing graphs.
+
+This is the frontend half of Hercules's behavioural synthesis: each
+process becomes a hierarchy of sequencing graphs.  Leaf statements map
+to fixed-delay operations (delays from the :class:`DelayModel`),
+``while``/``repeat`` loops become data-dependent LOOP operations over a
+body graph, ``if`` becomes a COND over branch graphs, and ``call``
+becomes a CALL of the callee process's root graph.  Parallelism comes
+from dataflow: statements with no data dependence stay unordered
+(maximal parallelism), and ``< ... >`` groups additionally suppress
+intra-group dependencies.
+
+Timing constraints reference operation *tags*; every tagged statement's
+operation is named after its tag, and constraints resolve within the
+graph where they appear.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.hdl.ast import (
+    Assign,
+    Block,
+    Call,
+    ConstraintStmt,
+    Expr,
+    If,
+    Process,
+    Program,
+    RepeatUntil,
+    Stmt,
+    Wait,
+    While,
+    WriteStmt,
+)
+from repro.hdl.delay_model import DelayModel
+from repro.hdl.errors import HdlLowerError
+from repro.hdl.parser import parse
+from repro.seqgraph.builder import GraphBuilder
+from repro.seqgraph.model import Design, SequencingGraph
+
+
+class _ProcessLowerer:
+    """Lowers one process into sequencing graphs added to a design."""
+
+    def __init__(self, process: Process, program: Program, design: Design,
+                 delay_model: DelayModel, preserve_io_order: bool = True,
+                 granularity: str = "statement") -> None:
+        if granularity not in ("statement", "operator"):
+            raise ValueError(f"granularity must be 'statement' or "
+                             f"'operator', got {granularity!r}")
+        self.process = process
+        self.program = program
+        self.design = design
+        self.delay_model = delay_model
+        self.preserve_io_order = preserve_io_order
+        self.granularity = granularity
+        self._counter = 0
+        self._graph_counter = 0
+        self.declared: Set[str] = (
+            {port.name for port in process.ports}
+            | {var.name for var in process.variables})
+        self.process_names = {proc.name for proc in program.processes}
+        #: graphs known to contain side-effecting operations
+        self._effectful_graphs: Set[str] = set()
+        #: AST pre-order indices for control constructs, shared with the
+        #: instrumented interpreter so co-simulation can match dynamic
+        #: trip counts to lowered operations.
+        self._construct_index: Dict[int, int] = {}
+        self._index_constructs(process.body, [0])
+        #: per-builder frontier of the latest side-effecting operations.
+        #: Keyed by the builder object itself (NOT id(builder): ids are
+        #: reused after garbage collection, which would leak a dead
+        #: graph's frontier into a new one).
+        self._effect_frontier: Dict[GraphBuilder, List[str]] = {}
+
+    # ------------------------------------------------------------------
+
+    def lower(self) -> str:
+        """Lower the process body; returns the root graph name."""
+        root_name = self.process.name
+        graph, _, _ = self._lower_block(self.process.body, root_name)
+        return root_name
+
+    # ------------------------------------------------------------------
+
+    def _index_constructs(self, stmt: Stmt, counter: List[int]) -> None:
+        """Assign AST pre-order indices to While/RepeatUntil/If nodes --
+        the same order :func:`repro.sim.cosim.index_constructs` assigns,
+        keying the construct registries in ``design.metadata``."""
+        if isinstance(stmt, (While, RepeatUntil, If)):
+            self._construct_index[id(stmt)] = counter[0]
+            counter[0] += 1
+        if isinstance(stmt, Block):
+            for inner in stmt.statements:
+                self._index_constructs(inner, counter)
+        elif isinstance(stmt, While) and stmt.body is not None:
+            self._index_constructs(stmt.body, counter)
+        elif isinstance(stmt, RepeatUntil):
+            self._index_constructs(stmt.body, counter)
+        elif isinstance(stmt, If):
+            self._index_constructs(stmt.then, counter)
+            if stmt.otherwise is not None:
+                self._index_constructs(stmt.otherwise, counter)
+
+    def _register_construct(self, kind: str, stmt: Stmt, graph_name: str,
+                            op_name: str) -> None:
+        registry = self.design.metadata.setdefault(kind, [])
+        registry.append({
+            "process": self.process.name,
+            "index": self._construct_index[id(stmt)],
+            "graph": graph_name,
+            "op": op_name,
+        })
+
+    def _fresh(self, stem: str) -> str:
+        self._counter += 1
+        return f"{stem}_{self._counter}"
+
+    def _fresh_graph(self, stem: str) -> str:
+        self._graph_counter += 1
+        return f"{self.process.name}__{stem}{self._graph_counter}"
+
+    def _check_symbols(self, expr: Expr, line: int) -> None:
+        for symbol in expr.read_symbols():
+            if symbol not in self.declared:
+                raise HdlLowerError(
+                    f"undeclared identifier {symbol!r} in process "
+                    f"{self.process.name!r}", line)
+
+    def _op_name(self, builder: GraphBuilder, tag: Optional[str], stem: str,
+                 line: int) -> str:
+        if tag is None:
+            return self._fresh(stem)
+        if tag not in self.process.tags:
+            raise HdlLowerError(f"tag {tag!r} not declared", line)
+        if tag in builder.graph:
+            raise HdlLowerError(f"tag {tag!r} used twice in one graph", line)
+        return tag
+
+    # ------------------------------------------------------------------
+
+    def _lower_block(self, block: Block, graph_name: str
+                     ) -> Tuple[SequencingGraph, Tuple[str, ...], Tuple[str, ...]]:
+        """Lower a block into a new sequencing graph.
+
+        Returns the built graph plus the sets of symbols it reads and
+        writes (for dataflow at the parent level).
+        """
+        builder = GraphBuilder(graph_name)
+        reads: List[str] = []
+        writes: List[str] = []
+        constraints: List[ConstraintStmt] = []
+        self._lower_statements(block, builder, reads, writes, constraints)
+        for stmt in constraints:
+            self._apply_constraint(builder, stmt)
+        graph = builder.build()
+        self.design.add_graph(graph)
+        self._register_graph(graph)
+        return graph, tuple(dict.fromkeys(reads)), tuple(dict.fromkeys(writes))
+
+    def _register_graph(self, graph: SequencingGraph) -> None:
+        """Record whether *graph* contains side effects, so conditionals
+        referencing it participate in I/O ordering."""
+        from repro.seqgraph.model import OpKind
+
+        for op in graph.operations():
+            if op.kind in (OpKind.WAIT, OpKind.LOOP, OpKind.CALL):
+                self._effectful_graphs.add(graph.name)
+                return
+            if op.kind is OpKind.COND and any(
+                    branch in self._effectful_graphs for branch in op.branches):
+                self._effectful_graphs.add(graph.name)
+                return
+            if op.resource_class == "port":
+                self._effectful_graphs.add(graph.name)
+                return
+
+    def _lower_statements(self, block: Block, builder: GraphBuilder,
+                          reads: List[str], writes: List[str],
+                          constraints: List[ConstraintStmt]) -> List[str]:
+        """Lower a block's statements; returns the operation names created
+        directly at this level (for parallel-group marking above)."""
+        group: List[str] = []
+        for stmt in block.statements:
+            if isinstance(stmt, Block):
+                # Nested blocks order their own effects recursively.
+                names = self._lower_statements(stmt, builder, reads, writes,
+                                               constraints)
+            else:
+                names = self._lower_statement(stmt, builder, reads, writes,
+                                              constraints)
+                if not block.parallel:
+                    self._order_effects(builder, names, parallel=False)
+            group.extend(names)
+        if block.parallel:
+            if len(group) > 1:
+                builder.mark_parallel(group)
+            self._order_effects(builder, group, parallel=True)
+        return group
+
+    # ------------------------------------------------------------------
+    # side-effect ordering
+    # ------------------------------------------------------------------
+
+    def _is_effectful(self, builder: GraphBuilder, name: str) -> bool:
+        """Side-effecting: port I/O, synchronization, loops, and calls;
+        conditionals whose branches contain effects."""
+        from repro.seqgraph.model import OpKind
+
+        op = builder.graph.operation(name)
+        if op.kind in (OpKind.WAIT, OpKind.LOOP, OpKind.CALL):
+            return True
+        if op.kind is OpKind.COND:
+            return any(branch in self._effectful_graphs for branch in op.branches)
+        return op.resource_class == "port"
+
+    def _order_effects(self, builder: GraphBuilder, names: List[str],
+                       parallel: bool = False) -> None:
+        """Chain side-effecting operations in program order.
+
+        HardwareC I/O has observable order; Hercules preserves it while
+        still parallelizing pure computation.  Each new effectful
+        operation is sequenced after the current effect frontier.
+        Operations created by one ``< ... >`` group join the frontier
+        together (they are explicitly concurrent), but still follow the
+        effects that preceded the group.
+        """
+        if not self.preserve_io_order:
+            return
+        effectful = [n for n in names if self._is_effectful(builder, n)]
+        if not effectful:
+            return
+        frontier = self._effect_frontier.setdefault(builder, [])
+        for name in effectful:
+            for previous in frontier:
+                builder.then(previous, name)
+        if parallel:
+            frontier[:] = effectful
+        else:
+            # sequential statements: chain within the batch too
+            for tail, head in zip(effectful, effectful[1:]):
+                builder.then(tail, head)
+            frontier[:] = [effectful[-1]]
+
+    def _lower_statement(self, stmt: Stmt, builder: GraphBuilder,
+                         reads: List[str], writes: List[str],
+                         constraints: List[ConstraintStmt]) -> List[str]:
+        """Lower one statement; returns the operation names it created at
+        this level (for parallel-group marking)."""
+        if isinstance(stmt, ConstraintStmt):
+            constraints.append(stmt)
+            return []
+        if isinstance(stmt, Block):
+            return self._lower_statements(stmt, builder, reads, writes, constraints)
+        if isinstance(stmt, Assign):
+            self._check_symbols(stmt.value, stmt.line)
+            if stmt.target not in self.declared:
+                raise HdlLowerError(f"undeclared target {stmt.target!r}", stmt.line)
+            if self.granularity == "operator":
+                return self._lower_assign_fine(stmt, builder, reads, writes)
+            operators = stmt.value.operators()
+            name = self._op_name(builder, stmt.tag, f"asg_{stmt.target}", stmt.line)
+            builder.op(name,
+                       delay=self.delay_model.statement_delay(operators),
+                       reads=stmt.value.read_symbols(),
+                       writes=(stmt.target,),
+                       resource_class=self.delay_model.resource_class(operators),
+                       tag=stmt.tag)
+            reads.extend(stmt.value.read_symbols())
+            writes.append(stmt.target)
+            return [name]
+        if isinstance(stmt, WriteStmt):
+            self._check_symbols(stmt.value, stmt.line)
+            if stmt.port not in self.declared:
+                raise HdlLowerError(f"undeclared port {stmt.port!r}", stmt.line)
+            created: List[str] = []
+            value_reads = stmt.value.read_symbols()
+            if self.granularity == "operator" and stmt.value.operators():
+                symbol = self._lower_expr_fine(stmt.value, builder, created)
+                value_reads = (symbol,) if symbol is not None else ()
+            name = self._op_name(builder, stmt.tag, f"wr_{stmt.port}", stmt.line)
+            builder.op(name,
+                       delay=self.delay_model.statement_delay(("write",)),
+                       reads=value_reads,
+                       writes=(stmt.port,),
+                       resource_class="port",
+                       tag=stmt.tag)
+            reads.extend(stmt.value.read_symbols())
+            writes.append(stmt.port)
+            return created + [name]
+        if isinstance(stmt, Wait):
+            self._check_symbols(stmt.cond, stmt.line)
+            name = self._op_name(builder, stmt.tag, "wait", stmt.line)
+            builder.wait(name, reads=stmt.cond.read_symbols(), tag=stmt.tag)
+            reads.extend(stmt.cond.read_symbols())
+            return [name]
+        if isinstance(stmt, While):
+            return self._lower_loop(stmt.cond, stmt.body, stmt.tag, "while",
+                                    builder, reads, writes, cond_first=True,
+                                    line=stmt.line, stmt=stmt)
+        if isinstance(stmt, RepeatUntil):
+            return self._lower_loop(stmt.cond, stmt.body, stmt.tag, "repeat",
+                                    builder, reads, writes, cond_first=False,
+                                    line=stmt.line, stmt=stmt)
+        if isinstance(stmt, If):
+            return self._lower_if(stmt, builder, reads, writes)
+        if isinstance(stmt, Call):
+            if stmt.callee not in self.process_names:
+                raise HdlLowerError(f"call to unknown process {stmt.callee!r}",
+                                    stmt.line)
+            for arg in stmt.args:
+                self._check_symbols(arg, stmt.line)
+            name = self._op_name(builder, stmt.tag, f"call_{stmt.callee}", stmt.line)
+            arg_reads: List[str] = []
+            for arg in stmt.args:
+                arg_reads.extend(arg.read_symbols())
+            builder.call(name, callee=stmt.callee, reads=arg_reads, tag=stmt.tag)
+            reads.extend(arg_reads)
+            return [name]
+        raise HdlLowerError(f"cannot lower statement {type(stmt).__name__}",
+                            getattr(stmt, "line", 0))
+
+    # ------------------------------------------------------------------
+    # operator-granularity lowering (one vertex per operation, the
+    # granularity Hercules itself compiled to)
+    # ------------------------------------------------------------------
+
+    def _fresh_temp(self) -> str:
+        self._counter += 1
+        temp = f"__t{self._counter}"
+        self.declared.add(temp)
+        return temp
+
+    def _lower_expr_fine(self, expr: Expr, builder: GraphBuilder,
+                         created: List[str],
+                         target: Optional[str] = None,
+                         root_name: Optional[str] = None,
+                         tag: Optional[str] = None) -> Optional[str]:
+        """Decompose *expr* into per-operator operations.
+
+        Returns the symbol holding the expression's value (None for a
+        constant operand, which contributes no dataflow read).  When
+        *target* names a variable, the root operation writes it directly
+        (no extra move); *root_name*/*tag* name and label the root
+        operation (for timing-constraint tags).  Created operation names
+        append to *created*.
+        """
+        from repro.hdl.ast import Binary, Const, ReadExpr, Unary, Var
+
+        def operand_reads(symbol: Optional[str]) -> tuple:
+            return () if symbol is None else (symbol,)
+
+        if isinstance(expr, Const):
+            if target is None:
+                return None  # literal operand: no operation, no read
+            name = root_name or self._fresh(f"ld_{target}")
+            builder.op(name, delay=self.delay_model.statement_delay(()),
+                       reads=(), writes=(target,), tag=tag)
+            created.append(name)
+            return target
+        if isinstance(expr, Var):
+            if target is None:
+                return expr.name
+            name = root_name or self._fresh(f"mv_{target}")
+            builder.op(name, delay=self.delay_model.statement_delay(()),
+                       reads=(expr.name,), writes=(target,), tag=tag)
+            created.append(name)
+            return target
+        if isinstance(expr, ReadExpr):
+            out = target if target is not None else self._fresh_temp()
+            name = root_name or self._fresh(f"rd_{expr.port}")
+            builder.op(name, delay=self.delay_model.statement_delay(("read",)),
+                       reads=(expr.port,), writes=(out,),
+                       resource_class="port", tag=tag)
+            created.append(name)
+            return out
+        if isinstance(expr, Unary):
+            operand = self._lower_expr_fine(expr.operand, builder, created)
+            out = target if target is not None else self._fresh_temp()
+            name = root_name or self._fresh(f"un{len(created)}")
+            builder.op(name, delay=self.delay_model.statement_delay((expr.op,)),
+                       reads=operand_reads(operand), writes=(out,),
+                       resource_class=self.delay_model.resource_class((expr.op,)),
+                       tag=tag)
+            created.append(name)
+            return out
+        if isinstance(expr, Binary):
+            left = self._lower_expr_fine(expr.left, builder, created)
+            right = self._lower_expr_fine(expr.right, builder, created)
+            out = target if target is not None else self._fresh_temp()
+            name = root_name or self._fresh(f"bin{len(created)}")
+            builder.op(name, delay=self.delay_model.statement_delay((expr.op,)),
+                       reads=operand_reads(left) + operand_reads(right),
+                       writes=(out,),
+                       resource_class=self.delay_model.resource_class((expr.op,)),
+                       tag=tag)
+            created.append(name)
+            return out
+        raise HdlLowerError(f"cannot decompose {type(expr).__name__}")
+
+    def _lower_assign_fine(self, stmt: Assign, builder: GraphBuilder,
+                           reads: List[str], writes: List[str]) -> List[str]:
+        created: List[str] = []
+        root_name = self._op_name(builder, stmt.tag, f"asg_{stmt.target}",
+                                  stmt.line) if stmt.tag else None
+        self._lower_expr_fine(stmt.value, builder, created,
+                              target=stmt.target, root_name=root_name,
+                              tag=stmt.tag)
+        reads.extend(stmt.value.read_symbols())
+        writes.append(stmt.target)
+        return created
+
+    def _lower_loop(self, cond: Expr, body: Optional[Stmt], tag: Optional[str],
+                    stem: str, builder: GraphBuilder, reads: List[str],
+                    writes: List[str], cond_first: bool, line: int,
+                    stmt: Optional[Stmt] = None) -> List[str]:
+        """A data-dependent loop: condition + body form the body graph.
+
+        The condition is evaluated every iteration, so it lives inside
+        the loop body graph (before the body for ``while``, after it for
+        ``repeat ... until``).
+        """
+        self._check_symbols(cond, line)
+        graph_name = self._fresh_graph(stem)
+        body_builder = GraphBuilder(graph_name)
+        body_reads: List[str] = list(cond.read_symbols())
+        body_writes: List[str] = []
+        body_constraints: List[ConstraintStmt] = []
+
+        cond_name = f"{stem}_cond"
+        cond_operators = cond.operators() or ("==",)
+
+        def add_cond() -> None:
+            if self.granularity == "operator" and cond.operators():
+                cond_created: List[str] = []
+                exit_symbol = f"__{graph_name}_exit"
+                self.declared.add(exit_symbol)
+                self._lower_expr_fine(cond, body_builder, cond_created,
+                                      target=exit_symbol, root_name=cond_name)
+                return
+            body_builder.op(cond_name,
+                            delay=self.delay_model.statement_delay(cond_operators),
+                            reads=cond.read_symbols(),
+                            writes=(f"__{graph_name}_exit",),
+                            resource_class=self.delay_model.resource_class(cond_operators))
+
+        body_names: List[str] = []
+        if cond_first:
+            add_cond()
+        if body is not None:
+            wrapped = body if isinstance(body, Block) else Block((body,), line=line)
+            body_names = self._lower_statements(wrapped, body_builder, body_reads,
+                                                body_writes, body_constraints)
+        if not cond_first:
+            add_cond()
+        # The condition evaluation is control-ordered against the body:
+        # a while tests before executing, repeat...until tests after.
+        for name in body_names:
+            if cond_first:
+                body_builder.then(cond_name, name)
+            else:
+                body_builder.then(name, cond_name)
+        for stmt in body_constraints:
+            self._apply_constraint(body_builder, stmt)
+        graph = body_builder.build()
+        self.design.add_graph(graph)
+        self._register_graph(graph)
+
+        loop_name = self._op_name(builder, tag, f"loop_{stem}", line)
+        builder.loop(loop_name, body=graph_name,
+                     reads=tuple(dict.fromkeys(body_reads)),
+                     writes=tuple(dict.fromkeys(body_writes)), tag=tag)
+        if stmt is not None:
+            self._register_construct("loops", stmt, builder.graph.name,
+                                     loop_name)
+        reads.extend(body_reads)
+        writes.extend(body_writes)
+        return [loop_name]
+
+    def _lower_if(self, stmt: If, builder: GraphBuilder,
+                  reads: List[str], writes: List[str]) -> List[str]:
+        self._check_symbols(stmt.cond, stmt.line)
+        created: List[str] = []
+        cond_reads = list(stmt.cond.read_symbols())
+        if self.granularity == "operator" and stmt.cond.operators():
+            guard = self._lower_expr_fine(stmt.cond, builder, created)
+            cond_reads = [guard] if guard is not None else []
+            reads.extend(stmt.cond.read_symbols())
+        branch_names: List[str] = []
+        branch_reads: List[str] = list(cond_reads)
+        branch_writes: List[str] = []
+        for label, branch in (("then", stmt.then), ("else", stmt.otherwise)):
+            graph_name = self._fresh_graph(f"if_{label}")
+            wrapped = (branch if isinstance(branch, Block)
+                       else Block(() if branch is None else (branch,), line=stmt.line))
+            graph, graph_reads, graph_writes = self._lower_block(wrapped, graph_name)
+            branch_names.append(graph_name)
+            branch_reads.extend(graph_reads)
+            branch_writes.extend(graph_writes)
+        cond_name = self._op_name(builder, stmt.tag, "if", stmt.line)
+        builder.cond(cond_name, branches=branch_names,
+                     reads=tuple(dict.fromkeys(branch_reads)),
+                     writes=tuple(dict.fromkeys(branch_writes)), tag=stmt.tag)
+        self._register_construct("conds", stmt, builder.graph.name, cond_name)
+        reads.extend(branch_reads)
+        writes.extend(branch_writes)
+        return created + [cond_name]
+
+    def _apply_constraint(self, builder: GraphBuilder, stmt: ConstraintStmt) -> None:
+        for tag in (stmt.from_tag, stmt.to_tag):
+            if tag not in builder.graph:
+                raise HdlLowerError(
+                    f"constraint references tag {tag!r} which labels no "
+                    f"operation in this block", stmt.line)
+        if stmt.kind == "mintime":
+            builder.min_constraint(stmt.from_tag, stmt.to_tag, stmt.cycles)
+        else:
+            builder.max_constraint(stmt.from_tag, stmt.to_tag, stmt.cycles)
+
+
+def lower_process(process: Process, program: Program, design: Design,
+                  delay_model: Optional[DelayModel] = None,
+                  preserve_io_order: bool = True,
+                  granularity: str = "statement") -> str:
+    """Lower one *process* into *design*; returns its root graph name."""
+    lowerer = _ProcessLowerer(process, program, design,
+                              delay_model or DelayModel(),
+                              preserve_io_order=preserve_io_order,
+                              granularity=granularity)
+    return lowerer.lower()
+
+
+def compile_source(source: str, root: Optional[str] = None,
+                   delay_model: Optional[DelayModel] = None,
+                   preserve_io_order: bool = True,
+                   granularity: str = "statement") -> Design:
+    """Parse and lower HardwareC *source* into a hierarchical design.
+
+    Args:
+        source: HardwareC text (one or more processes).
+        root: name of the root process; defaults to the first one.
+        delay_model: operator delay model (defaults apply otherwise).
+        preserve_io_order: keep side-effecting operations (port I/O,
+            waits, loops, calls) in program order, as observable
+            behaviour requires; pure computation still parallelizes.
+        granularity: "statement" (default) emits one operation per
+            statement with operator chaining folded into its delay;
+            "operator" emits one operation per source-level operator,
+            the granularity Hercules itself compiled to (larger graphs,
+            more intra-statement parallelism).
+
+    Returns:
+        A validated :class:`~repro.seqgraph.model.Design` whose root is
+        the root process's body graph.
+    """
+    program = parse(source)
+    model = delay_model or DelayModel()
+    design = Design(root or program.processes[0].name)
+    for process in program.processes:
+        lower_process(process, program, design, model,
+                      preserve_io_order=preserve_io_order,
+                      granularity=granularity)
+    design.root = root or program.processes[0].name
+    design.validate()
+    return design

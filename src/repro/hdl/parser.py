@@ -1,0 +1,372 @@
+"""Recursive-descent parser for the HardwareC subset.
+
+Grammar (EBNF, ``[]`` optional, ``{}`` repetition)::
+
+    program    = process { process } ;
+    process    = "process" IDENT "(" [ IDENT { "," IDENT } ] ")"
+                 "{" { decl } { stmt } "}" ;
+    decl       = ("in"|"out"|"inout") "port" item { "," item } ";"
+               | "boolean" item { "," item } ";"
+               | "tag" IDENT { "," IDENT } ";" ;
+    item       = IDENT [ "[" NUMBER "]" ] ;
+    stmt       = [ IDENT ":" ] unlabeled ;
+    unlabeled  = block | parblock | while | repeat | if | constraint
+               | wait | write | call | assign | ";" ;
+    block      = "{" { stmt } "}" ;
+    parblock   = "<" { stmt } ">" ;
+    while      = "while" "(" expr ")" ( ";" | stmt ) ;
+    repeat     = "repeat" stmt "until" "(" expr ")" ";" ;
+    if         = "if" "(" expr ")" stmt [ "else" stmt ] ;
+    constraint = "constraint" ("mintime"|"maxtime") "from" IDENT
+                 "to" IDENT "=" NUMBER [ "cycles" ] ";" ;
+    wait       = "wait" "(" expr ")" ";" ;
+    write      = "write" IDENT "=" expr ";" ;
+    call       = "call" IDENT [ "(" [ expr { "," expr } ] ")" ] ";" ;
+    assign     = IDENT "=" expr ";" ;
+
+Expressions use C-like precedence: ``||`` < ``&&`` < ``|`` < ``^`` <
+``&`` < equality < relational < shifts < additive < multiplicative <
+unary (``! ~ -``) < primary (identifier, literal, ``read(port)``,
+parenthesised expression).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.hdl.ast import (
+    Assign,
+    Binary,
+    Block,
+    Call,
+    Const,
+    ConstraintStmt,
+    Expr,
+    If,
+    PortDecl,
+    Process,
+    Program,
+    ReadExpr,
+    RepeatUntil,
+    Stmt,
+    Unary,
+    Var,
+    VarDecl,
+    Wait,
+    While,
+    WriteStmt,
+)
+from repro.hdl.errors import HdlParseError
+from repro.hdl.lexer import Token, tokenize
+
+#: Binary operator precedence levels, loosest first.
+_PRECEDENCE: List[Tuple[str, ...]] = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers --------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        """Consume and return the current token (EOF is sticky)."""
+        token = self.current
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def check(self, kind: str, value: Optional[str] = None) -> bool:
+        """True when the current token matches without consuming it."""
+        token = self.current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        """Consume and return the current token if it matches, else None."""
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        """Consume a required token or raise a positioned parse error."""
+        if self.check(kind, value):
+            return self.advance()
+        want = value if value is not None else kind
+        got = self.current.value or self.current.kind
+        raise HdlParseError(f"expected {want!r}, found {got!r}",
+                            self.current.line, self.current.column)
+
+    def _number(self) -> int:
+        token = self.expect("number")
+        text = token.value
+        base = 16 if text.lower().startswith("0x") else 10
+        return int(text, base)
+
+    # -- program / process ----------------------------------------------
+
+    def parse_program(self) -> Program:
+        """program = process { process } ;"""
+        processes = []
+        while not self.check("eof"):
+            processes.append(self.parse_process())
+        if not processes:
+            raise HdlParseError("empty program", 1, 1)
+        return Program(tuple(processes))
+
+    def parse_process(self) -> Process:
+        """process = header, declarations, statements."""
+        start = self.expect("keyword", "process")
+        name = self.expect("ident").value
+        self.expect("op", "(")
+        while not self.check("op", ")"):
+            self.expect("ident")
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ")")
+        self.expect("op", "{")
+        ports: List[PortDecl] = []
+        variables: List[VarDecl] = []
+        tags: List[str] = []
+        while True:
+            if self.check("keyword", "in") or self.check("keyword", "out") \
+                    or self.check("keyword", "inout"):
+                direction = self.advance().value
+                self.expect("keyword", "port")
+                for item_name, width, line in self._items():
+                    ports.append(PortDecl(direction, item_name, width, line))
+            elif self.check("keyword", "boolean") or self.check("keyword", "static"):
+                self.advance()
+                for item_name, width, line in self._items():
+                    variables.append(VarDecl(item_name, width, line))
+            elif self.check("keyword", "tag"):
+                self.advance()
+                tags.append(self.expect("ident").value)
+                while self.accept("op", ","):
+                    tags.append(self.expect("ident").value)
+                self.expect("op", ";")
+            else:
+                break
+        statements: List[Stmt] = []
+        while not self.check("op", "}"):
+            statements.append(self.parse_statement())
+        self.expect("op", "}")
+        body = Block(tuple(statements), parallel=False, line=start.line)
+        return Process(name, tuple(ports), tuple(variables), tuple(tags),
+                       body, line=start.line)
+
+    def _items(self) -> List[Tuple[str, int, int]]:
+        items = []
+        while True:
+            token = self.expect("ident")
+            width = 1
+            if self.accept("op", "["):
+                width = self._number()
+                self.expect("op", "]")
+            items.append((token.value, width, token.line))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ";")
+        return items
+
+    # -- statements -------------------------------------------------------
+
+    def parse_statement(self) -> Stmt:
+        """One statement, handling optional tag labels."""
+        # Tag label: IDENT ":" stmt (lookahead of one token).
+        if self.check("ident") and self.tokens[self.index + 1].kind == "op" \
+                and self.tokens[self.index + 1].value == ":":
+            tag = self.advance().value
+            self.advance()  # ':'
+            statement = self.parse_statement()
+            if isinstance(statement, ConstraintStmt) or isinstance(statement, Block):
+                raise HdlParseError(f"tag {tag!r} cannot label this statement",
+                                    self.current.line, self.current.column)
+            if getattr(statement, "tag", None) is not None:
+                raise HdlParseError(
+                    f"statement already labelled {statement.tag!r}; "
+                    f"cannot add second tag {tag!r}",
+                    self.current.line, self.current.column)
+            return dataclasses.replace(statement, tag=tag)
+        if self.check("op", "{"):
+            return self._block("{", "}", parallel=False)
+        if self.check("op", "<"):
+            return self._block("<", ">", parallel=True)
+        if self.check("keyword", "while"):
+            return self._while()
+        if self.check("keyword", "repeat"):
+            return self._repeat()
+        if self.check("keyword", "if"):
+            return self._if()
+        if self.check("keyword", "constraint"):
+            return self._constraint()
+        if self.check("keyword", "wait"):
+            return self._wait()
+        if self.check("keyword", "write"):
+            return self._write()
+        if self.check("keyword", "call"):
+            return self._call()
+        if self.check("op", ";"):
+            token = self.advance()
+            return Block((), line=token.line)
+        return self._assign()
+
+    def _block(self, open_ch: str, close_ch: str, parallel: bool) -> Block:
+        start = self.expect("op", open_ch)
+        statements: List[Stmt] = []
+        while not self.check("op", close_ch):
+            if self.check("eof"):
+                raise HdlParseError(f"unterminated {open_ch!r} block",
+                                    start.line, start.column)
+            statements.append(self.parse_statement())
+        self.expect("op", close_ch)
+        return Block(tuple(statements), parallel=parallel, line=start.line)
+
+    def _while(self) -> While:
+        start = self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        if self.accept("op", ";"):
+            return While(cond, None, line=start.line)
+        body = self.parse_statement()
+        return While(cond, body, line=start.line)
+
+    def _repeat(self) -> RepeatUntil:
+        start = self.expect("keyword", "repeat")
+        body = self.parse_statement()
+        self.expect("keyword", "until")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return RepeatUntil(body, cond, line=start.line)
+
+    def _if(self) -> If:
+        start = self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        then = self.parse_statement()
+        otherwise = None
+        if self.accept("keyword", "else"):
+            otherwise = self.parse_statement()
+        return If(cond, then, otherwise, line=start.line)
+
+    def _constraint(self) -> ConstraintStmt:
+        start = self.expect("keyword", "constraint")
+        if self.check("keyword", "mintime") or self.check("keyword", "maxtime"):
+            kind = self.advance().value
+        else:
+            raise HdlParseError("expected 'mintime' or 'maxtime'",
+                                self.current.line, self.current.column)
+        self.expect("keyword", "from")
+        from_tag = self.expect("ident").value
+        self.expect("keyword", "to")
+        to_tag = self.expect("ident").value
+        self.expect("op", "=")
+        cycles = self._number()
+        self.accept("keyword", "cycles")
+        self.expect("op", ";")
+        return ConstraintStmt(kind, from_tag, to_tag, cycles, line=start.line)
+
+    def _wait(self) -> Wait:
+        start = self.expect("keyword", "wait")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return Wait(cond, line=start.line)
+
+    def _write(self) -> WriteStmt:
+        start = self.expect("keyword", "write")
+        port = self.expect("ident").value
+        self.expect("op", "=")
+        value = self.parse_expression()
+        self.expect("op", ";")
+        return WriteStmt(port, value, line=start.line)
+
+    def _call(self) -> Call:
+        start = self.expect("keyword", "call")
+        callee = self.expect("ident").value
+        args: List[Expr] = []
+        if self.accept("op", "("):
+            while not self.check("op", ")"):
+                args.append(self.parse_expression())
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+        self.expect("op", ";")
+        return Call(callee, tuple(args), line=start.line)
+
+    def _assign(self) -> Assign:
+        target = self.expect("ident")
+        self.expect("op", "=")
+        value = self.parse_expression()
+        self.expect("op", ";")
+        return Assign(target.value, value, line=target.line)
+
+    # -- expressions ------------------------------------------------------
+
+    def parse_expression(self, level: int = 0) -> Expr:
+        """Precedence-climbing expression parser."""
+        if level >= len(_PRECEDENCE):
+            return self._unary()
+        left = self.parse_expression(level + 1)
+        while self.current.kind == "op" and self.current.value in _PRECEDENCE[level]:
+            op = self.advance()
+            right = self.parse_expression(level + 1)
+            left = Binary(op.value, left, right, line=op.line)
+        return left
+
+    def _unary(self) -> Expr:
+        if self.current.kind == "op" and self.current.value in ("!", "~", "-"):
+            op = self.advance()
+            return Unary(op.value, self._unary(), line=op.line)
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self.current
+        if token.kind == "number":
+            return Const(self._number(), line=token.line)
+        if self.check("keyword", "read"):
+            self.advance()
+            self.expect("op", "(")
+            port = self.expect("ident").value
+            self.expect("op", ")")
+            return ReadExpr(port, line=token.line)
+        if token.kind == "ident":
+            self.advance()
+            # Bit-select x[3] reads the variable; width analysis is out
+            # of scope, so the select collapses to the variable itself.
+            if self.accept("op", "["):
+                self.parse_expression()
+                self.expect("op", "]")
+            return Var(token.value, line=token.line)
+        if self.accept("op", "("):
+            inner = self.parse_expression()
+            self.expect("op", ")")
+            return inner
+        raise HdlParseError(f"unexpected token {token.value or token.kind!r}",
+                            token.line, token.column)
+
+
+def parse(source: str) -> Program:
+    """Parse HardwareC *source* into a :class:`Program`."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,148 @@
+"""HardwareC source emission from ASTs.
+
+The inverse of the parser: renders a :class:`~repro.hdl.ast.Program`
+(or any statement/expression) back to HardwareC text.  Used for
+constraint-editing round trips, design persistence in source form, and
+the parser round-trip fuzz tests (``parse(to_source(p))`` must be
+structurally identical to ``p``).
+
+Expressions are emitted fully parenthesized below the statement level,
+so precedence never needs re-deriving; the round-trip property is
+checked through a print-parse-print fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hdl.ast import (
+    Assign,
+    Binary,
+    Block,
+    Call,
+    Const,
+    ConstraintStmt,
+    Expr,
+    If,
+    PortDecl,
+    Process,
+    Program,
+    ReadExpr,
+    RepeatUntil,
+    Stmt,
+    Unary,
+    Var,
+    VarDecl,
+    Wait,
+    While,
+    WriteStmt,
+)
+
+_INDENT = "    "
+
+
+def expr_to_source(expr: Expr) -> str:
+    """Render an expression (parenthesized compound subterms)."""
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, ReadExpr):
+        return f"read({expr.port})"
+    if isinstance(expr, Unary):
+        return f"{expr.op}{_sub(expr.operand)}"
+    if isinstance(expr, Binary):
+        return f"{_sub(expr.left)} {expr.op} {_sub(expr.right)}"
+    raise TypeError(f"cannot print {type(expr).__name__}")
+
+
+def _sub(expr: Expr) -> str:
+    text = expr_to_source(expr)
+    if isinstance(expr, (Binary, Unary)):
+        return f"({text})"
+    return text
+
+
+def _tag_prefix(stmt) -> str:
+    tag = getattr(stmt, "tag", None)
+    return f"{tag}: " if tag else ""
+
+
+def stmt_to_source(stmt: Stmt, depth: int = 1) -> List[str]:
+    """Render one statement as indented source lines."""
+    pad = _INDENT * depth
+    if isinstance(stmt, Block):
+        opener, closer = ("<", ">") if stmt.parallel else ("{", "}")
+        if not stmt.statements:
+            return [f"{pad};"] if not stmt.parallel else [f"{pad}< >"]
+        lines = [f"{pad}{opener}"]
+        for inner in stmt.statements:
+            lines += stmt_to_source(inner, depth + 1)
+        lines.append(f"{pad}{closer}")
+        return lines
+    if isinstance(stmt, Assign):
+        return [f"{pad}{_tag_prefix(stmt)}{stmt.target} = "
+                f"{expr_to_source(stmt.value)};"]
+    if isinstance(stmt, WriteStmt):
+        return [f"{pad}{_tag_prefix(stmt)}write {stmt.port} = "
+                f"{expr_to_source(stmt.value)};"]
+    if isinstance(stmt, While):
+        header = (f"{pad}{_tag_prefix(stmt)}while "
+                  f"({expr_to_source(stmt.cond)})")
+        if stmt.body is None:
+            return [header, f"{pad}{_INDENT};"]
+        return [header] + stmt_to_source(stmt.body, depth + 1)
+    if isinstance(stmt, RepeatUntil):
+        lines = [f"{pad}{_tag_prefix(stmt)}repeat"]
+        lines += stmt_to_source(stmt.body, depth + 1)
+        lines.append(f"{pad}until ({expr_to_source(stmt.cond)});")
+        return lines
+    if isinstance(stmt, If):
+        lines = [f"{pad}{_tag_prefix(stmt)}if ({expr_to_source(stmt.cond)})"]
+        lines += stmt_to_source(stmt.then, depth + 1)
+        if stmt.otherwise is not None:
+            lines.append(f"{pad}else")
+            lines += stmt_to_source(stmt.otherwise, depth + 1)
+        return lines
+    if isinstance(stmt, Wait):
+        return [f"{pad}{_tag_prefix(stmt)}wait"
+                f"({expr_to_source(stmt.cond)});"]
+    if isinstance(stmt, Call):
+        if stmt.args:
+            args = ", ".join(expr_to_source(a) for a in stmt.args)
+            return [f"{pad}{_tag_prefix(stmt)}call {stmt.callee}({args});"]
+        return [f"{pad}{_tag_prefix(stmt)}call {stmt.callee};"]
+    if isinstance(stmt, ConstraintStmt):
+        return [f"{pad}constraint {stmt.kind} from {stmt.from_tag} "
+                f"to {stmt.to_tag} = {stmt.cycles} cycles;"]
+    raise TypeError(f"cannot print {type(stmt).__name__}")
+
+
+def process_to_source(process: Process) -> str:
+    """Render one process definition."""
+    port_names = ", ".join(p.name for p in process.ports)
+    lines = [f"process {process.name} ({port_names})", "{"]
+    for direction in ("in", "out", "inout"):
+        group = [p for p in process.ports if p.direction == direction]
+        if group:
+            decls = ", ".join(
+                p.name if p.width == 1 else f"{p.name}[{p.width}]"
+                for p in group)
+            lines.append(f"{_INDENT}{direction} port {decls};")
+    if process.variables:
+        decls = ", ".join(
+            v.name if v.width == 1 else f"{v.name}[{v.width}]"
+            for v in process.variables)
+        lines.append(f"{_INDENT}boolean {decls};")
+    if process.tags:
+        lines.append(f"{_INDENT}tag {', '.join(process.tags)};")
+    lines.append("")
+    for stmt in process.body.statements:
+        lines += stmt_to_source(stmt, 1)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_source(program: Program) -> str:
+    """Render a whole program."""
+    return "\n\n".join(process_to_source(p) for p in program.processes) + "\n"

@@ -1,0 +1,296 @@
+"""JSON serialization for constraint graphs, schedules, and designs.
+
+Round-trippable dictionaries (and file helpers) for the artifacts a
+synthesis flow wants to persist: lowered constraint graphs, computed
+relative schedules, and hierarchical designs.  The format is versioned
+and self-describing (a ``kind`` tag per document) so
+:func:`load_json` can dispatch.
+
+Unbounded delays serialize as the string ``"unbounded"``; everything
+else is plain JSON scalars and lists.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Optional, Union
+
+from repro.core.anchors import AnchorMode
+from repro.core.constraints import MaxTimingConstraint, MinTimingConstraint
+from repro.core.delay import UNBOUNDED, Delay, is_unbounded
+from repro.core.graph import ConstraintGraph, EdgeKind
+from repro.core.schedule import RelativeSchedule
+from repro.seqgraph.model import Design, OpKind, Operation, SequencingGraph
+
+FORMAT_VERSION = 1
+
+_UNBOUNDED_TOKEN = "unbounded"
+
+
+def _delay_out(delay: Delay) -> Union[int, str]:
+    return _UNBOUNDED_TOKEN if is_unbounded(delay) else delay
+
+
+def _delay_in(value: Union[int, str]) -> Delay:
+    if value == _UNBOUNDED_TOKEN:
+        return UNBOUNDED
+    if isinstance(value, int):
+        return value
+    raise ValueError(f"bad delay value {value!r}")
+
+
+# ----------------------------------------------------------------------
+# constraint graphs
+# ----------------------------------------------------------------------
+
+
+def graph_to_dict(graph: ConstraintGraph) -> Dict[str, Any]:
+    """Serialize a constraint graph."""
+    vertices = [{"name": v.name, "delay": _delay_out(v.delay),
+                 **({"tag": v.tag} if v.tag else {})}
+                for v in graph.vertices()]
+    edges: List[Dict[str, Any]] = []
+    for edge in graph.edges():
+        entry: Dict[str, Any] = {"tail": edge.tail, "head": edge.head,
+                                 "kind": edge.kind.value}
+        if not edge.is_unbounded:
+            entry["weight"] = edge.weight
+        edges.append(entry)
+    return {
+        "kind": "constraint_graph",
+        "version": FORMAT_VERSION,
+        "source": graph.source,
+        "sink": graph.sink,
+        "vertices": vertices,
+        "edges": edges,
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> ConstraintGraph:
+    """Reconstruct a constraint graph serialized by :func:`graph_to_dict`."""
+    _expect(data, "constraint_graph")
+    source = data["source"]
+    sink = data["sink"]
+    by_name = {entry["name"]: entry for entry in data["vertices"]}
+    graph = ConstraintGraph(source=source, sink=sink,
+                            sink_delay=_delay_in(by_name[sink]["delay"]))
+    for entry in data["vertices"]:
+        if entry["name"] in (source, sink):
+            continue
+        graph.add_operation(entry["name"], _delay_in(entry["delay"]),
+                            tag=entry.get("tag"))
+    for entry in data["edges"]:
+        kind = EdgeKind(entry["kind"])
+        if kind is EdgeKind.SEQUENCING:
+            graph.add_sequencing_edge(entry["tail"], entry["head"])
+        elif kind is EdgeKind.SERIALIZATION:
+            graph.add_serialization_edge(entry["tail"], entry["head"])
+        elif kind is EdgeKind.MIN_TIME:
+            graph.add_min_constraint(entry["tail"], entry["head"],
+                                     entry["weight"])
+        elif kind is EdgeKind.MAX_TIME:
+            # stored as the backward edge (to, from) with weight -u
+            graph.add_max_constraint(entry["head"], entry["tail"],
+                                     -entry["weight"])
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unknown edge kind {kind!r}")
+    return graph
+
+
+# ----------------------------------------------------------------------
+# relative schedules
+# ----------------------------------------------------------------------
+
+
+def schedule_to_dict(schedule: RelativeSchedule) -> Dict[str, Any]:
+    """Serialize a schedule together with its graph."""
+    return {
+        "kind": "relative_schedule",
+        "version": FORMAT_VERSION,
+        "anchor_mode": schedule.anchor_mode.value,
+        "iterations": schedule.iterations,
+        "graph": graph_to_dict(schedule.graph),
+        "offsets": {vertex: dict(entries)
+                    for vertex, entries in schedule.offsets.items()},
+        "anchor_sets": {vertex: sorted(tags)
+                        for vertex, tags in schedule.anchor_sets.items()},
+    }
+
+
+def schedule_from_dict(data: Dict[str, Any]) -> RelativeSchedule:
+    """Reconstruct a schedule; its graph is rebuilt alongside."""
+    _expect(data, "relative_schedule")
+    graph = graph_from_dict(data["graph"])
+    schedule = RelativeSchedule(
+        graph=graph,
+        anchor_sets={vertex: frozenset(tags)
+                     for vertex, tags in data["anchor_sets"].items()},
+        offsets={vertex: {a: int(s) for a, s in entries.items()}
+                 for vertex, entries in data["offsets"].items()},
+        anchor_mode=AnchorMode(data["anchor_mode"]),
+        iterations=int(data["iterations"]),
+    )
+    schedule.validate()
+    return schedule
+
+
+# ----------------------------------------------------------------------
+# sequencing graphs and designs
+# ----------------------------------------------------------------------
+
+
+def _operation_to_dict(op: Operation) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {"name": op.name, "kind": op.kind.value}
+    if op.kind is OpKind.OPERATION:
+        entry["delay"] = op.delay
+    if op.body is not None:
+        entry["body"] = op.body
+    if op.branches:
+        entry["branches"] = list(op.branches)
+    if op.iterations is not None:
+        entry["iterations"] = op.iterations
+    if op.reads:
+        entry["reads"] = list(op.reads)
+    if op.writes:
+        entry["writes"] = list(op.writes)
+    if op.resource_class:
+        entry["resource_class"] = op.resource_class
+    if op.tag:
+        entry["tag"] = op.tag
+    return entry
+
+
+def _operation_from_dict(entry: Dict[str, Any]) -> Operation:
+    return Operation(
+        name=entry["name"],
+        kind=OpKind(entry["kind"]),
+        delay=entry.get("delay", 0 if entry["kind"] != "operation" else 1),
+        body=entry.get("body"),
+        branches=tuple(entry.get("branches", ())),
+        iterations=entry.get("iterations"),
+        reads=tuple(entry.get("reads", ())),
+        writes=tuple(entry.get("writes", ())),
+        resource_class=entry.get("resource_class"),
+        tag=entry.get("tag"),
+    )
+
+
+def seqgraph_to_dict(graph: SequencingGraph) -> Dict[str, Any]:
+    """Serialize one sequencing graph."""
+    return {
+        "kind": "sequencing_graph",
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "operations": [_operation_to_dict(op) for op in graph.operations()
+                       if op.kind not in (OpKind.SOURCE, OpKind.SINK)],
+        "edges": [[tail, head] for tail, head in graph.edges()],
+        "constraints": [
+            {"type": "min" if isinstance(c, MinTimingConstraint) else "max",
+             "from": c.from_op, "to": c.to_op, "cycles": c.cycles}
+            for c in graph.constraints],
+    }
+
+
+def seqgraph_from_dict(data: Dict[str, Any]) -> SequencingGraph:
+    """Reconstruct one sequencing graph."""
+    _expect(data, "sequencing_graph")
+    graph = SequencingGraph(data["name"])
+    for entry in data["operations"]:
+        graph.add_operation(_operation_from_dict(entry))
+    for tail, head in data["edges"]:
+        graph.add_edge(tail, head)
+    for entry in data["constraints"]:
+        cls = MinTimingConstraint if entry["type"] == "min" else MaxTimingConstraint
+        graph.add_constraint(cls(entry["from"], entry["to"], entry["cycles"]))
+    return graph
+
+
+def design_to_dict(design: Design) -> Dict[str, Any]:
+    """Serialize a hierarchical design (including its metadata, e.g.
+    the HDL lowerer's construct registries used by co-simulation)."""
+    return {
+        "kind": "design",
+        "version": FORMAT_VERSION,
+        "name": design.name,
+        "root": design.root,
+        "graphs": [seqgraph_to_dict(design.graph(name))
+                   for name in design.graphs],
+        "metadata": design.metadata,
+    }
+
+
+def design_from_dict(data: Dict[str, Any]) -> Design:
+    """Reconstruct a hierarchical design (validated)."""
+    _expect(data, "design")
+    design = Design(data["name"], root=data["root"])
+    for entry in data["graphs"]:
+        design.add_graph(seqgraph_from_dict(entry))
+    design.root = data["root"]
+    design.metadata = dict(data.get("metadata", {}))
+    design.validate()
+    return design
+
+
+# ----------------------------------------------------------------------
+# file helpers
+# ----------------------------------------------------------------------
+
+_SERIALIZERS = {
+    ConstraintGraph: graph_to_dict,
+    RelativeSchedule: schedule_to_dict,
+    SequencingGraph: seqgraph_to_dict,
+    Design: design_to_dict,
+}
+
+_DESERIALIZERS = {
+    "constraint_graph": graph_from_dict,
+    "relative_schedule": schedule_from_dict,
+    "sequencing_graph": seqgraph_from_dict,
+    "design": design_from_dict,
+}
+
+
+def to_dict(obj: Any) -> Dict[str, Any]:
+    """Serialize any supported artifact to a JSON-ready dict."""
+    for cls, serializer in _SERIALIZERS.items():
+        if isinstance(obj, cls):
+            return serializer(obj)
+    raise TypeError(f"cannot serialize {type(obj).__name__}")
+
+
+def from_dict(data: Dict[str, Any]) -> Any:
+    """Reconstruct any supported artifact from its dict."""
+    kind = data.get("kind")
+    deserializer = _DESERIALIZERS.get(kind)
+    if deserializer is None:
+        raise ValueError(f"unknown document kind {kind!r}")
+    return deserializer(data)
+
+
+def save_json(obj: Any, path_or_file: Union[str, IO[str]]) -> None:
+    """Serialize *obj* to a JSON file (path or open text file)."""
+    data = to_dict(obj)
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+    else:
+        json.dump(data, path_or_file, indent=2, sort_keys=True)
+
+
+def load_json(path_or_file: Union[str, IO[str]]) -> Any:
+    """Load any supported artifact from a JSON file."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file) as handle:
+            data = json.load(handle)
+    else:
+        data = json.load(path_or_file)
+    return from_dict(data)
+
+
+def _expect(data: Dict[str, Any], kind: str) -> None:
+    if data.get("kind") != kind:
+        raise ValueError(f"expected a {kind!r} document, got {data.get('kind')!r}")
+    version = data.get("version", 0)
+    if version > FORMAT_VERSION:
+        raise ValueError(f"document version {version} is newer than this "
+                         f"library supports ({FORMAT_VERSION})")

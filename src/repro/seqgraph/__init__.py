@@ -1,0 +1,50 @@
+"""Hierarchical sequencing graphs -- the Hercules hardware model.
+
+The paper's hardware model (Section II) is a *polar hierarchical acyclic
+graph*: vertices are operations, edges are sequencing dependencies, and
+hierarchy captures procedure calls, conditional branching, and
+data-dependent iteration (the body of a loop is a separate graph one
+level down).
+
+This package provides:
+
+* :mod:`repro.seqgraph.model` -- operations, sequencing graphs, designs;
+* :mod:`repro.seqgraph.builder` -- a fluent construction API with
+  dataflow-driven dependency inference (Hercules extracts maximal
+  parallelism from the behavioural description);
+* :mod:`repro.seqgraph.lower` -- conversion of a sequencing graph to the
+  constraint graph of Section III;
+* :mod:`repro.seqgraph.hierarchy` -- bottom-up hierarchical relative
+  scheduling and design-level statistics (the aggregation used by
+  Tables III and IV).
+"""
+
+from repro.seqgraph.model import Design, OpKind, Operation, SequencingGraph
+from repro.seqgraph.builder import GraphBuilder
+from repro.seqgraph.flatten import bounded_graphs, inline_design
+from repro.seqgraph.lower import characterize_delay, to_constraint_graph
+from repro.seqgraph.viz import design_to_dot, seqgraph_to_dot
+from repro.seqgraph.hierarchy import (
+    DesignStatistics,
+    HierarchicalSchedule,
+    design_statistics,
+    schedule_design,
+)
+
+__all__ = [
+    "Design",
+    "OpKind",
+    "Operation",
+    "SequencingGraph",
+    "GraphBuilder",
+    "bounded_graphs",
+    "inline_design",
+    "characterize_delay",
+    "to_constraint_graph",
+    "design_to_dot",
+    "seqgraph_to_dot",
+    "DesignStatistics",
+    "HierarchicalSchedule",
+    "design_statistics",
+    "schedule_design",
+]

@@ -1,0 +1,206 @@
+"""Fluent construction of sequencing graphs with dataflow inference.
+
+Hercules compiles the behavioural description into a *maximally
+parallel* sequencing graph: the only dependencies are those imposed by
+data flow (and, later, by resource conflicts).  :class:`GraphBuilder`
+mirrors that: operations are recorded in program order, and
+:meth:`GraphBuilder.build` derives the partial order from read/write
+sets --
+
+* read-after-write (true dependency),
+* write-after-write (output dependency),
+* write-after-read (anti dependency)
+
+-- unless explicit edges are given.  Explicit ``then`` edges can always
+be added for control-imposed sequencing (e.g. protocol steps).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.constraints import MaxTimingConstraint, MinTimingConstraint
+from repro.seqgraph.model import OpKind, Operation, SequencingGraph, SINK_NAME, SOURCE_NAME
+
+
+class GraphBuilder:
+    """Builds one :class:`SequencingGraph`.
+
+    Example (the inner sampling block of the paper's gcd, Fig. 13)::
+
+        b = GraphBuilder("sample_inputs")
+        b.op("read_y", delay=1, reads=("yin",), writes=("y",), tag="a",
+             resource_class="port")
+        b.op("read_x", delay=1, reads=("xin",), writes=("x",), tag="b",
+             resource_class="port")
+        b.min_constraint("read_y", "read_x", 1)
+        b.max_constraint("read_y", "read_x", 1)
+        graph = b.build()
+    """
+
+    def __init__(self, name: str) -> None:
+        self.graph = SequencingGraph(name)
+        self._program_order: List[str] = []
+        self._explicit_edges: List[Tuple[str, str]] = []
+        self._group_of: Dict[str, int] = {}
+        self._next_group = 0
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def op(self, name: str, delay: int = 1,
+           reads: Sequence[str] = (), writes: Sequence[str] = (),
+           resource_class: Optional[str] = None, tag: Optional[str] = None) -> str:
+        """Add a fixed-delay leaf operation; returns its name."""
+        self.graph.add_operation(Operation(
+            name, OpKind.OPERATION, delay=delay, reads=tuple(reads),
+            writes=tuple(writes), resource_class=resource_class, tag=tag))
+        self._program_order.append(name)
+        return name
+
+    def wait(self, name: str, reads: Sequence[str] = (),
+             writes: Sequence[str] = (), tag: Optional[str] = None) -> str:
+        """Add an external-synchronization operation (unbounded delay)."""
+        self.graph.add_operation(Operation(
+            name, OpKind.WAIT, delay=0, reads=tuple(reads),
+            writes=tuple(writes), tag=tag))
+        self._program_order.append(name)
+        return name
+
+    def loop(self, name: str, body: str, iterations: Optional[int] = None,
+             reads: Sequence[str] = (), writes: Sequence[str] = (),
+             tag: Optional[str] = None) -> str:
+        """Add a loop operation; *iterations* = None is data-dependent."""
+        self.graph.add_operation(Operation(
+            name, OpKind.LOOP, delay=0, body=body, iterations=iterations,
+            reads=tuple(reads), writes=tuple(writes), tag=tag))
+        self._program_order.append(name)
+        return name
+
+    def call(self, name: str, callee: str, reads: Sequence[str] = (),
+             writes: Sequence[str] = (), tag: Optional[str] = None) -> str:
+        """Add a procedure-call operation."""
+        self.graph.add_operation(Operation(
+            name, OpKind.CALL, delay=0, body=callee, reads=tuple(reads),
+            writes=tuple(writes), tag=tag))
+        self._program_order.append(name)
+        return name
+
+    def cond(self, name: str, branches: Sequence[str],
+             reads: Sequence[str] = (), writes: Sequence[str] = (),
+             tag: Optional[str] = None) -> str:
+        """Add a conditional operation with one body graph per branch."""
+        self.graph.add_operation(Operation(
+            name, OpKind.COND, delay=0, branches=tuple(branches),
+            reads=tuple(reads), writes=tuple(writes), tag=tag))
+        self._program_order.append(name)
+        return name
+
+    # ------------------------------------------------------------------
+    # ordering and constraints
+    # ------------------------------------------------------------------
+
+    def then(self, tail: str, head: str) -> "GraphBuilder":
+        """Explicit sequencing dependency tail -> head."""
+        self._explicit_edges.append((tail, head))
+        return self
+
+    def chain(self, *names: str) -> "GraphBuilder":
+        """Explicit sequencing chain names[0] -> names[1] -> ..."""
+        for tail, head in zip(names, names[1:]):
+            self.then(tail, head)
+        return self
+
+    def mark_parallel(self, names: Sequence[str]) -> "GraphBuilder":
+        """Suppress dataflow ordering *within* this operation group.
+
+        HardwareC's ``< ... >`` blocks are data-parallel: every statement
+        samples the values live before the group.  Operations marked as
+        one parallel group get no inferred RAW/WAW/WAR edges against
+        each other (edges to operations outside the group still apply).
+        """
+        group = self._next_group
+        self._next_group += 1
+        for name in names:
+            if name not in self.graph:
+                raise KeyError(f"unknown operation {name!r}")
+            self._group_of[name] = group
+        return self
+
+    def _same_group(self, a: str, b: str) -> bool:
+        ga = self._group_of.get(a)
+        return ga is not None and ga == self._group_of.get(b)
+
+    def min_constraint(self, from_op: str, to_op: str, cycles: int) -> "GraphBuilder":
+        """Attach a minimum timing constraint between two operations."""
+        self.graph.add_constraint(MinTimingConstraint(from_op, to_op, cycles))
+        return self
+
+    def max_constraint(self, from_op: str, to_op: str, cycles: int) -> "GraphBuilder":
+        """Attach a maximum timing constraint between two operations."""
+        self.graph.add_constraint(MaxTimingConstraint(from_op, to_op, cycles))
+        return self
+
+    def exact_constraint(self, from_op: str, to_op: str, cycles: int) -> "GraphBuilder":
+        """Min and max of the same value: pins the separation exactly
+        (the gcd example's read-sampling constraint)."""
+        return (self.min_constraint(from_op, to_op, cycles)
+                    .max_constraint(from_op, to_op, cycles))
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+
+    def build(self, infer_dataflow: bool = True) -> SequencingGraph:
+        """Finalize: infer dataflow dependencies, apply explicit edges,
+        make the graph polar, and validate."""
+        if infer_dataflow:
+            for tail, head in self._dataflow_edges():
+                self.graph.add_edge(tail, head)
+        for tail, head in self._explicit_edges:
+            self.graph.add_edge(tail, head)
+        self.graph.make_polar()
+        self.graph.validate()
+        return self.graph
+
+    def _dataflow_edges(self) -> List[Tuple[str, str]]:
+        """RAW / WAW / WAR dependencies over program order.
+
+        Later operations depend on the *latest* earlier writer of each
+        symbol they read or write (RAW/WAW) and on every earlier reader
+        of each symbol they overwrite (WAR).  Transitively implied edges
+        are kept (the scheduler is insensitive to them); redundant exact
+        duplicates are removed by ``add_edge``.
+        """
+        edges: List[Tuple[str, str]] = []
+        last_writer: Dict[str, str] = {}
+        readers_since_write: Dict[str, List[str]] = {}
+
+        def depend(tail: str, head: str) -> None:
+            if tail != head and not self._same_group(tail, head):
+                edges.append((tail, head))
+
+        for name in self._program_order:
+            op = self.graph.operation(name)
+            for symbol in op.reads:
+                writer = last_writer.get(symbol)
+                if writer is not None:
+                    depend(writer, name)
+                readers_since_write.setdefault(symbol, []).append(name)
+            for symbol in op.writes:
+                writer = last_writer.get(symbol)
+                if writer is not None:
+                    depend(writer, name)
+                # WAR edges; readers whose anti-dependency was suppressed
+                # (same parallel group) stay pending so a *later* writer
+                # still orders after them.
+                pending: List[str] = []
+                for reader in readers_since_write.get(symbol, []):
+                    if reader != name and self._same_group(reader, name):
+                        pending.append(reader)
+                    else:
+                        depend(reader, name)
+                readers_since_write[symbol] = pending
+                last_writer[symbol] = name
+        return edges

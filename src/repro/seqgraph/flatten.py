@@ -1,0 +1,221 @@
+"""Hierarchy flattening: inline bounded calls, unroll counted loops.
+
+Hercules keeps the hierarchy; but a flat graph exposes cross-boundary
+parallelism to the scheduler and lets timing constraints be checked
+across former call boundaries.  This pass inlines CALL operations whose
+callees are *bounded* (no unbounded operation anywhere below), and can
+optionally unroll counted loops over bounded bodies into sequential
+copies.  Unbounded constructs -- waits, data-dependent loops, and
+anything referencing them -- are left as hierarchy, exactly the
+operations relative scheduling exists for.
+
+The transformation preserves schedules: for every inlined region the
+minimum relative schedule of the flat graph starts each copied
+operation at the same absolute cycle the hierarchical execution would
+(asserted by the test suite via :mod:`repro.sim.engine`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.constraints import MaxTimingConstraint, MinTimingConstraint
+from repro.seqgraph.model import (
+    Design,
+    OpKind,
+    Operation,
+    SequencingGraph,
+    SINK_NAME,
+    SOURCE_NAME,
+)
+
+
+def bounded_graphs(design: Design) -> Set[str]:
+    """Names of graphs with no unbounded operation anywhere below."""
+    bounded: Set[str] = set()
+    for name in design.hierarchy_order():
+        graph = design.graph(name)
+        if all(_op_is_bounded(op, bounded) for op in graph.operations()):
+            bounded.add(name)
+    return bounded
+
+
+def _op_is_bounded(op: Operation, bounded: Set[str]) -> bool:
+    if op.kind in (OpKind.SOURCE, OpKind.SINK, OpKind.OPERATION):
+        return True
+    if op.kind is OpKind.WAIT:
+        return False
+    if op.kind is OpKind.LOOP:
+        return op.iterations is not None and op.body in bounded
+    if op.kind is OpKind.CALL:
+        return op.body in bounded
+    if op.kind is OpKind.COND:
+        return all(branch in bounded for branch in op.branches)
+    raise ValueError(f"unknown kind {op.kind!r}")
+
+
+def inline_design(design: Design, unroll_loops: bool = True,
+                  max_operations: int = 100000) -> Design:
+    """A new design with bounded calls inlined (and counted loops over
+    bounded bodies unrolled, when *unroll_loops*).
+
+    Graphs that remain referenced (by unbounded loops, conditionals, or
+    calls that could not be inlined) are kept, themselves flattened.
+    Calls that are endpoints of timing constraints are never inlined
+    (the constraint's reference point would become ambiguous).
+
+    Raises:
+        ValueError: if unrolling would exceed *max_operations* vertices
+            in one graph.
+    """
+    design.validate()
+    bounded = bounded_graphs(design)
+    flattened = Design(design.name, root=design.root)
+    flat_graphs: Dict[str, SequencingGraph] = {}
+
+    for name in design.hierarchy_order():
+        flat_graphs[name] = _flatten_graph(design, name, bounded,
+                                           flat_graphs, unroll_loops,
+                                           max_operations)
+
+    # Keep only graphs still referenced from the root.
+    needed: Set[str] = set()
+
+    def mark(graph_name: str) -> None:
+        if graph_name in needed:
+            return
+        needed.add(graph_name)
+        for op in flat_graphs[graph_name].compound_operations():
+            for child in op.referenced_graphs():
+                mark(child)
+
+    mark(design.root)
+    for graph_name in design.hierarchy_order():
+        if graph_name in needed:
+            flattened.add_graph(flat_graphs[graph_name],
+                                root=(graph_name == design.root))
+    flattened.root = design.root
+    flattened.validate()
+    return flattened
+
+
+def _flatten_graph(design: Design, name: str, bounded: Set[str],
+                   flat_graphs: Dict[str, SequencingGraph],
+                   unroll_loops: bool, max_operations: int
+                   ) -> SequencingGraph:
+    source_graph = design.graph(name)
+    constraint_endpoints = {c.from_op for c in source_graph.constraints} | \
+                           {c.to_op for c in source_graph.constraints}
+    result = SequencingGraph(name)
+
+    # entry/exit mapping for spliced operations
+    entries: Dict[str, List[str]] = {}
+    exits: Dict[str, List[str]] = {}
+
+    for op in source_graph.operations():
+        if op.kind in (OpKind.SOURCE, OpKind.SINK):
+            continue
+        inline_call = (op.kind is OpKind.CALL and op.body in bounded
+                       and op.name not in constraint_endpoints)
+        unroll = (unroll_loops and op.kind is OpKind.LOOP
+                  and op.iterations is not None and op.body in bounded
+                  and op.name not in constraint_endpoints)
+        if inline_call:
+            entry, exit_ = _splice(result, f"{op.name}", flat_graphs[op.body],
+                                   max_operations)
+            entries[op.name], exits[op.name] = entry, exit_
+        elif unroll:
+            previous_exit: Optional[List[str]] = None
+            first_entry: List[str] = []
+            for trip in range(op.iterations):
+                entry, exit_ = _splice(result, f"{op.name}@{trip}",
+                                       flat_graphs[op.body], max_operations)
+                if trip == 0:
+                    first_entry = entry
+                if previous_exit is not None:
+                    for tail in previous_exit:
+                        for head in entry:
+                            result.add_edge(tail, head)
+                previous_exit = exit_
+            if op.iterations == 0:
+                entries[op.name], exits[op.name] = [], []
+            else:
+                entries[op.name] = first_entry
+                exits[op.name] = previous_exit or []
+        else:
+            result.add_operation(op)
+            entries[op.name] = [op.name]
+            exits[op.name] = [op.name]
+
+    for tail, head in source_graph.edges():
+        tails = exits.get(tail, [tail] if tail == SOURCE_NAME else [])
+        heads = entries.get(head, [head] if head == SINK_NAME else [])
+        if tail == SOURCE_NAME:
+            tails = [SOURCE_NAME]
+        if head == SINK_NAME:
+            heads = [SINK_NAME]
+        if not tails or not heads:
+            # an empty spliced region (zero-trip loop / empty body):
+            # bridge its predecessors to its successors
+            _bridge(result, source_graph, tail, head, entries, exits)
+            continue
+        for t in tails:
+            for h in heads:
+                result.add_edge(t, h)
+
+    for constraint in source_graph.constraints:
+        result.add_constraint(constraint)
+    result.make_polar()
+    result.validate()
+    return result
+
+
+def _bridge(result: SequencingGraph, source_graph: SequencingGraph,
+            tail: str, head: str, entries: Dict[str, List[str]],
+            exits: Dict[str, List[str]]) -> None:
+    """Connect around an operation that inlined to nothing."""
+    empty = tail if not exits.get(tail, [tail]) else head
+    for pred in source_graph.predecessors(empty):
+        for succ in source_graph.successors(empty):
+            for t in exits.get(pred, [pred]):
+                for h in entries.get(succ, [succ]):
+                    result.add_edge(t, h)
+
+
+def _splice(result: SequencingGraph, prefix: str,
+            body: SequencingGraph, max_operations: int
+            ) -> Tuple[List[str], List[str]]:
+    """Copy *body*'s operations into *result* under *prefix*.
+
+    Returns the entry operations (successors of the body source) and
+    exit operations (predecessors of the body sink).
+    """
+    rename = {}
+    for op in body.operations():
+        if op.kind in (OpKind.SOURCE, OpKind.SINK):
+            continue
+        new_name = f"{prefix}.{op.name}"
+        rename[op.name] = new_name
+        if len(result) >= max_operations:
+            raise ValueError(
+                f"inlining exceeded {max_operations} operations in "
+                f"graph {result.name!r}; raise max_operations or disable "
+                f"unroll_loops")
+        result.add_operation(Operation(
+            name=new_name, kind=op.kind, delay=op.delay, body=op.body,
+            branches=op.branches, iterations=op.iterations, reads=op.reads,
+            writes=op.writes, resource_class=op.resource_class, tag=None))
+    entry = [rename[s] for s in body.successors(SOURCE_NAME)
+             if s in rename]
+    exit_ = [rename[p] for p in body.predecessors(SINK_NAME)
+             if p in rename]
+    for tail, head in body.edges():
+        if tail == SOURCE_NAME or head == SINK_NAME:
+            continue
+        result.add_edge(rename[tail], rename[head])
+    for constraint in body.constraints:
+        cls = type(constraint)
+        result.add_constraint(cls(rename[constraint.from_op],
+                                  rename[constraint.to_op],
+                                  constraint.cycles))
+    return entry, exit_

@@ -1,0 +1,196 @@
+"""Bottom-up hierarchical relative scheduling and design statistics.
+
+Hercules/Hebe schedule hierarchically, bottom-up (Section II): every
+body graph is scheduled on its own; its latency characterization then
+becomes the execution delay of the compound operation referencing it in
+the parent graph.  The evaluation tables (III and IV) aggregate anchor
+and offset statistics over *every* graph in the hierarchy -- e.g. the
+DAIO phase decoder's 14 anchors include the source vertices of its nine
+sequencing graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.anchors import (
+    AnchorMode,
+    find_anchor_sets,
+    irredundant_anchors,
+    relevant_anchors,
+)
+from repro.core.delay import UNBOUNDED, Delay, is_unbounded
+from repro.core.graph import ConstraintGraph
+from repro.core.schedule import RelativeSchedule
+from repro.core.scheduler import schedule_graph
+from repro.seqgraph.lower import to_constraint_graph
+from repro.seqgraph.model import Design, SINK_NAME, SOURCE_NAME
+
+
+@dataclass
+class HierarchicalSchedule:
+    """The result of scheduling a whole design bottom-up.
+
+    Attributes:
+        design: the scheduled design.
+        constraint_graphs: per-graph lowered (and possibly serialized)
+            constraint graphs.
+        schedules: per-graph minimum relative schedules.
+        latencies: per-graph latency characterization -- an int when the
+            graph completes in a statically known number of cycles,
+            UNBOUNDED otherwise.
+    """
+
+    design: Design
+    constraint_graphs: Dict[str, ConstraintGraph]
+    schedules: Dict[str, RelativeSchedule]
+    latencies: Dict[str, Delay]
+
+    @property
+    def root_schedule(self) -> RelativeSchedule:
+        return self.schedules[self.design.root]
+
+    @property
+    def latency(self) -> Delay:
+        """Latency of the root graph (UNBOUNDED when data-dependent)."""
+        return self.latencies[self.design.root]
+
+    def total_offsets(self) -> int:
+        """Stored offsets across the hierarchy -- the control cost driver."""
+        return sum(sum(len(entry) for entry in schedule.offsets.values())
+                   for schedule in self.schedules.values())
+
+
+def graph_latency(constraint_graph: ConstraintGraph,
+                  schedule: RelativeSchedule) -> Delay:
+    """Characterize a scheduled graph's latency for its parent.
+
+    Bounded iff the graph contains no unbounded operations (its only
+    anchor is then the source): the latency is the sink's offset from
+    the source.  Otherwise completion depends on run-time delays and the
+    parent must treat the compound operation as unbounded.
+    """
+    anchors = constraint_graph.anchors
+    if anchors != [constraint_graph.source]:
+        return UNBOUNDED
+    return schedule.offsets[constraint_graph.sink][constraint_graph.source]
+
+
+def schedule_design(design: Design,
+                    anchor_mode: AnchorMode = AnchorMode.IRREDUNDANT,
+                    auto_well_pose: bool = True,
+                    delay_overrides: Optional[Dict[str, Dict[str, Delay]]] = None
+                    ) -> HierarchicalSchedule:
+    """Schedule every graph of *design* bottom-up (the Hebe flow).
+
+    Args:
+        design: a validated hierarchical design.
+        anchor_mode: anchor sets used by the scheduler (irredundant by
+            default, matching the paper's recommendation).
+        auto_well_pose: serialize ill-posed graphs minimally instead of
+            failing (Section IV-C).
+        delay_overrides: optional per-graph, per-operation delay
+            overrides from module binding.
+
+    Raises:
+        UnfeasibleConstraintsError / IllPosedError /
+        InconsistentConstraintsError: from the underlying pipeline, with
+        the offending graph named in the message.
+    """
+    design.validate()
+    delay_overrides = delay_overrides or {}
+    constraint_graphs: Dict[str, ConstraintGraph] = {}
+    schedules: Dict[str, RelativeSchedule] = {}
+    latencies: Dict[str, Delay] = {}
+    for graph_name in design.hierarchy_order():
+        seq_graph = design.graph(graph_name)
+        lowered = to_constraint_graph(
+            seq_graph, child_latency=latencies,
+            delay_overrides=delay_overrides.get(graph_name))
+        try:
+            schedule = schedule_graph(lowered, anchor_mode=anchor_mode,
+                                      auto_well_pose=auto_well_pose)
+        except Exception as error:
+            raise type(error)(f"in graph {graph_name!r}: {error}") from error
+        # make_well_posed may have serialized a copy: keep the graph the
+        # schedule was actually computed on.
+        constraint_graphs[graph_name] = schedule.graph
+        schedules[graph_name] = schedule
+        latencies[graph_name] = graph_latency(schedule.graph, schedule)
+    return HierarchicalSchedule(design, constraint_graphs, schedules, latencies)
+
+
+@dataclass
+class DesignStatistics:
+    """Aggregated anchor/offset statistics for one design.
+
+    Field names follow the columns of Tables III and IV:
+
+    * ``n_anchors`` / ``n_vertices`` -- |A| / |V| over the hierarchy;
+    * ``full_total`` / ``full_average`` -- sum and mean of |A(v)|;
+    * ``min_total`` / ``min_average`` -- sum and mean of |IR(v)|;
+    * ``full_max`` / ``full_sum_max`` -- max and sum of the per-anchor
+      maximum offsets under full anchor sets;
+    * ``min_max`` / ``min_sum_max`` -- the same under irredundant sets.
+    """
+
+    design: str
+    n_anchors: int
+    n_vertices: int
+    full_total: int
+    full_average: float
+    min_total: int
+    min_average: float
+    full_max: int
+    full_sum_max: int
+    min_max: int
+    min_sum_max: int
+
+
+def design_statistics(design: Design) -> DesignStatistics:
+    """Compute the Table III / Table IV row for *design*.
+
+    Schedules the hierarchy twice -- once with full anchor sets and once
+    with irredundant ones -- and aggregates anchor-set sizes and maximum
+    offsets across every graph.
+    """
+    full_run = schedule_design(design, anchor_mode=AnchorMode.FULL)
+    min_run = schedule_design(design, anchor_mode=AnchorMode.IRREDUNDANT)
+
+    n_anchors = 0
+    n_vertices = 0
+    full_total = 0
+    min_total = 0
+    full_sum_max = 0
+    min_sum_max = 0
+    full_max = 0
+    min_max = 0
+    for graph_name in design.hierarchy_order():
+        constraint_graph = full_run.constraint_graphs[graph_name]
+        n_anchors += len(constraint_graph.anchors)
+        n_vertices += len(constraint_graph)
+        full_schedule = full_run.schedules[graph_name]
+        min_schedule = min_run.schedules[graph_name]
+        full_total += sum(len(v) for v in full_schedule.offsets.values())
+        min_total += sum(len(v) for v in min_schedule.offsets.values())
+        for anchor, value in full_schedule.max_offsets().items():
+            full_sum_max += value
+            full_max = max(full_max, value)
+        for anchor, value in min_schedule.max_offsets().items():
+            min_sum_max += value
+            min_max = max(min_max, value)
+
+    return DesignStatistics(
+        design=design.name,
+        n_anchors=n_anchors,
+        n_vertices=n_vertices,
+        full_total=full_total,
+        full_average=full_total / n_vertices if n_vertices else 0.0,
+        min_total=min_total,
+        min_average=min_total / n_vertices if n_vertices else 0.0,
+        full_max=full_max,
+        full_sum_max=full_sum_max,
+        min_max=min_max,
+        min_sum_max=min_sum_max,
+    )

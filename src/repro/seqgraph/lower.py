@@ -1,0 +1,96 @@
+"""Lowering sequencing graphs to constraint graphs (Section III).
+
+Every operation becomes a constraint-graph vertex whose execution delay
+is *characterized* from the hierarchy below it:
+
+* fixed-delay leaf operations keep their delay;
+* WAIT operations and data-dependent LOOPs are unbounded;
+* counted LOOPs over a bounded body take ``iterations * body_latency``;
+* CALLs take the callee's latency (bounded iff the callee is);
+* CONDs take the worst-case branch latency when every branch is
+  bounded, and are unbounded otherwise (the executed branch, hence the
+  completion time, is data-dependent, but a bounded envelope exists).
+
+Sequencing edges translate per Table I (weight = delta(tail)); timing
+constraints attach as forward/backward constraint edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.core.constraints import apply_constraints
+from repro.core.delay import UNBOUNDED, Delay, is_unbounded
+from repro.core.graph import ConstraintGraph
+from repro.seqgraph.model import OpKind, Operation, SequencingGraph, SINK_NAME, SOURCE_NAME
+
+
+def characterize_delay(op: Operation,
+                       child_latency: Mapping[str, Delay]) -> Delay:
+    """The execution delay of *op* as seen by its parent graph.
+
+    Args:
+        op: the operation to characterize.
+        child_latency: latency of every referenced body graph, as
+            computed bottom-up by hierarchical scheduling.
+
+    Raises:
+        KeyError: when a referenced body graph has no latency entry.
+    """
+    if op.kind is OpKind.OPERATION:
+        return op.delay
+    if op.kind in (OpKind.SOURCE, OpKind.SINK):
+        return 0
+    if op.kind is OpKind.WAIT:
+        return UNBOUNDED
+    if op.kind is OpKind.CALL:
+        return child_latency[op.body]
+    if op.kind is OpKind.LOOP:
+        if op.iterations is None:
+            return UNBOUNDED
+        body = child_latency[op.body]
+        if is_unbounded(body):
+            return UNBOUNDED
+        return op.iterations * body
+    if op.kind is OpKind.COND:
+        latencies = [child_latency[branch] for branch in op.branches]
+        if any(is_unbounded(latency) for latency in latencies):
+            return UNBOUNDED
+        return max(latencies) if latencies else 0
+    raise ValueError(f"unknown operation kind {op.kind!r}")
+
+
+def to_constraint_graph(graph: SequencingGraph,
+                        child_latency: Optional[Mapping[str, Delay]] = None,
+                        delay_overrides: Optional[Mapping[str, Delay]] = None
+                        ) -> ConstraintGraph:
+    """Lower one sequencing graph to a constraint graph.
+
+    Args:
+        graph: a validated, polar sequencing graph.
+        child_latency: latencies of referenced body graphs (required
+            when the graph contains compound operations).
+        delay_overrides: optional per-operation delay overrides, used by
+            module binding when a bound resource implies a different
+            latency than the abstract operation.
+
+    Returns:
+        The polar weighted constraint graph of Section III, with the
+        graph's timing constraints already applied.
+    """
+    child_latency = child_latency or {}
+    delay_overrides = delay_overrides or {}
+
+    result = ConstraintGraph(source=SOURCE_NAME, sink=SINK_NAME)
+    for op in graph.operations():
+        if op.kind in (OpKind.SOURCE, OpKind.SINK):
+            continue
+        delay = delay_overrides.get(op.name)
+        if delay is None:
+            delay = characterize_delay(op, child_latency)
+        result.add_operation(op.name, delay, tag=op.tag)
+    for tail, head in graph.edges():
+        result.add_sequencing_edge(tail, head)
+    apply_constraints(result, graph.constraints)
+    result.validate()
+    return result

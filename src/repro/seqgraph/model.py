@@ -1,0 +1,325 @@
+"""Operations, sequencing graphs, and hierarchical designs.
+
+A :class:`SequencingGraph` is polar and acyclic: iteration is expressed
+through hierarchy (a loop body is a *separate* graph referenced by a
+LOOP operation), exactly as in Hercules (Section II, footnote 1).
+
+Operation kinds and their delay semantics:
+
+=============  =====================================================
+Kind           Execution delay
+=============  =====================================================
+OPERATION      fixed, known at compile time (``delay`` cycles)
+WAIT           unbounded: external synchronization
+LOOP           unbounded when data-dependent; ``iterations * body``
+               when the trip count is fixed and the body is bounded
+CALL           the callee body's latency (bounded iff the body is)
+COND           max of the branch latencies when all are bounded,
+               unbounded otherwise
+SOURCE / SINK  0 (the source acts as an anchor after lowering)
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.constraints import TimingConstraint
+
+
+class OpKind(enum.Enum):
+    """The kind of a sequencing-graph operation."""
+
+    OPERATION = "operation"
+    WAIT = "wait"
+    LOOP = "loop"
+    CALL = "call"
+    COND = "cond"
+    SOURCE = "source"
+    SINK = "sink"
+
+
+#: Reserved vertex names for the poles of every sequencing graph.
+SOURCE_NAME = "source"
+SINK_NAME = "sink"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One vertex of a sequencing graph.
+
+    Attributes:
+        name: unique within the graph.
+        kind: the operation kind (see :class:`OpKind`).
+        delay: execution delay in cycles; meaningful for OPERATION only.
+        body: referenced graph name (LOOP and CALL).
+        branches: referenced branch graph names (COND).
+        iterations: fixed trip count for a counted LOOP; None means
+            data-dependent (unbounded).
+        reads: symbols read -- used for dataflow dependency inference.
+        writes: symbols written.
+        resource_class: functional-unit class for module binding
+            (e.g. "alu", "port"); None means no shared resource.
+        tag: source-level label (HardwareC ``tag``) for constraints.
+    """
+
+    name: str
+    kind: OpKind = OpKind.OPERATION
+    delay: int = 1
+    body: Optional[str] = None
+    branches: Tuple[str, ...] = ()
+    iterations: Optional[int] = None
+    reads: Tuple[str, ...] = ()
+    writes: Tuple[str, ...] = ()
+    resource_class: Optional[str] = None
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"operation delay must be >= 0, got {self.delay}")
+        if self.kind in (OpKind.LOOP, OpKind.CALL) and not self.body:
+            raise ValueError(f"{self.kind.value} operation {self.name!r} needs a body graph")
+        if self.kind is OpKind.COND and not self.branches:
+            raise ValueError(f"cond operation {self.name!r} needs branch graphs")
+        if self.iterations is not None and self.iterations < 0:
+            raise ValueError(f"iterations must be >= 0, got {self.iterations}")
+
+    @property
+    def is_compound(self) -> bool:
+        """True for operations that reference lower-hierarchy graphs."""
+        return self.kind in (OpKind.LOOP, OpKind.CALL, OpKind.COND)
+
+    def referenced_graphs(self) -> Tuple[str, ...]:
+        """Names of the body graphs this operation references."""
+        if self.kind in (OpKind.LOOP, OpKind.CALL):
+            return (self.body,)
+        if self.kind is OpKind.COND:
+            return self.branches
+        return ()
+
+
+class SequencingGraph:
+    """A polar acyclic sequencing graph (one hierarchy level).
+
+    The poles are created implicitly as operations named ``source`` and
+    ``sink``.  Timing constraints are attached symbolically (they refer
+    to operation names) and travel with the graph into the constraint-
+    graph lowering.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._ops: Dict[str, Operation] = {}
+        self._edges: List[Tuple[str, str]] = []
+        self._succ: Dict[str, List[str]] = {}
+        self._pred: Dict[str, List[str]] = {}
+        self.constraints: List[TimingConstraint] = []
+        self._add(Operation(SOURCE_NAME, OpKind.SOURCE, delay=0))
+        self._add(Operation(SINK_NAME, OpKind.SINK, delay=0))
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _add(self, op: Operation) -> Operation:
+        if op.name in self._ops:
+            raise ValueError(f"duplicate operation {op.name!r} in graph {self.name!r}")
+        self._ops[op.name] = op
+        self._succ[op.name] = []
+        self._pred[op.name] = []
+        return op
+
+    def add_operation(self, op: Operation) -> Operation:
+        """Add an operation vertex."""
+        if op.kind in (OpKind.SOURCE, OpKind.SINK):
+            raise ValueError("poles are created implicitly")
+        return self._add(op)
+
+    def add_edge(self, tail: str, head: str) -> None:
+        """Add a sequencing dependency tail -> head."""
+        for endpoint in (tail, head):
+            if endpoint not in self._ops:
+                raise KeyError(f"unknown operation {endpoint!r} in graph {self.name!r}")
+        if head == SOURCE_NAME or tail == SINK_NAME:
+            raise ValueError("edges may not enter the source or leave the sink")
+        if (tail, head) in set(self._edges):
+            return
+        self._edges.append((tail, head))
+        self._succ[tail].append(head)
+        self._pred[head].append(tail)
+
+    def add_edges(self, pairs: Iterable[Tuple[str, str]]) -> None:
+        for tail, head in pairs:
+            self.add_edge(tail, head)
+
+    def add_constraint(self, constraint: TimingConstraint) -> None:
+        """Attach a timing constraint between two operations by name."""
+        for endpoint in (constraint.from_op, constraint.to_op):
+            if endpoint not in self._ops:
+                raise KeyError(
+                    f"constraint endpoint {endpoint!r} not in graph {self.name!r}")
+        self.constraints.append(constraint)
+
+    def make_polar(self) -> None:
+        """Wire parentless operations to the source and childless ones to
+        the sink, making the graph polar."""
+        for name in list(self._ops):
+            if name in (SOURCE_NAME,):
+                continue
+            if not self._pred[name] and name != SOURCE_NAME:
+                self.add_edge(SOURCE_NAME, name)
+        for name in list(self._ops):
+            if name in (SINK_NAME,):
+                continue
+            if not self._succ[name] and name != SINK_NAME:
+                self.add_edge(name, SINK_NAME)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ops
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def operation(self, name: str) -> Operation:
+        return self._ops[name]
+
+    def operations(self) -> List[Operation]:
+        return list(self._ops.values())
+
+    def operation_names(self) -> List[str]:
+        return list(self._ops)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return list(self._edges)
+
+    def successors(self, name: str) -> List[str]:
+        return list(self._succ[name])
+
+    def predecessors(self, name: str) -> List[str]:
+        return list(self._pred[name])
+
+    def compound_operations(self) -> List[Operation]:
+        """Operations referencing lower-hierarchy graphs."""
+        return [op for op in self._ops.values() if op.is_compound]
+
+    def topological_order(self) -> List[str]:
+        """Topological order of the (acyclic) sequencing graph."""
+        indegree = {name: len(self._pred[name]) for name in self._ops}
+        ready = [name for name, d in indegree.items() if d == 0]
+        order: List[str] = []
+        while ready:
+            name = ready.pop()
+            order.append(name)
+            for succ in self._succ[name]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._ops):
+            cyclic = sorted(n for n, d in indegree.items() if d > 0)
+            raise ValueError(
+                f"sequencing graph {self.name!r} has a cycle through {cyclic}; "
+                f"model iteration through hierarchy (LOOP bodies), not cycles")
+        return order
+
+    def validate(self) -> None:
+        """Check acyclicity and polarity."""
+        order = self.topological_order()
+        position = {name: i for i, name in enumerate(order)}
+        reachable = {SOURCE_NAME}
+        for name in order:
+            if name in reachable:
+                reachable.update(self._succ[name])
+        reaches_sink = {SINK_NAME}
+        for name in reversed(order):
+            if any(s in reaches_sink for s in self._succ[name]):
+                reaches_sink.add(name)
+        for name in self._ops:
+            if name not in reachable:
+                raise ValueError(f"{name!r} unreachable from source in {self.name!r}")
+            if name not in reaches_sink:
+                raise ValueError(f"{name!r} cannot reach sink in {self.name!r}")
+
+    def __repr__(self) -> str:
+        return (f"SequencingGraph({self.name!r}, |V|={len(self._ops)}, "
+                f"|E|={len(self._edges)}, constraints={len(self.constraints)})")
+
+
+class Design:
+    """A hierarchical design: a set of sequencing graphs plus a root.
+
+    Compound operations (LOOP/CALL/COND) reference other graphs by name;
+    the reference structure must be acyclic (no recursion), which
+    :meth:`validate` checks.
+    """
+
+    def __init__(self, name: str, root: Optional[str] = None) -> None:
+        self.name = name
+        self.graphs: Dict[str, SequencingGraph] = {}
+        self.root = root
+        #: free-form annotations (e.g. the HDL lowerer's construct
+        #: registries used by co-simulation); not part of equality.
+        self.metadata: Dict[str, object] = {}
+
+    def add_graph(self, graph: SequencingGraph, root: bool = False) -> SequencingGraph:
+        """Register a graph; the first added (or root=True) becomes root."""
+        if graph.name in self.graphs:
+            raise ValueError(f"duplicate graph {graph.name!r} in design {self.name!r}")
+        self.graphs[graph.name] = graph
+        if root or self.root is None:
+            self.root = graph.name
+        return graph
+
+    def graph(self, name: str) -> SequencingGraph:
+        return self.graphs[name]
+
+    def hierarchy_order(self) -> List[str]:
+        """Graphs in bottom-up order: every referenced graph precedes its
+        referrer (children first, root last)."""
+        order: List[str] = []
+        visiting: Set[str] = set()
+        done: Set[str] = set()
+
+        def visit(name: str, chain: Tuple[str, ...]) -> None:
+            if name in done:
+                return
+            if name in visiting:
+                raise ValueError(
+                    f"recursive hierarchy through {name!r}: {' -> '.join(chain + (name,))}")
+            if name not in self.graphs:
+                raise KeyError(f"graph {name!r} referenced but not defined")
+            visiting.add(name)
+            for op in self.graphs[name].compound_operations():
+                for child in op.referenced_graphs():
+                    visit(child, chain + (name,))
+            visiting.discard(name)
+            done.add(name)
+            order.append(name)
+
+        if self.root is None:
+            raise ValueError(f"design {self.name!r} has no root graph")
+        visit(self.root, ())
+        # Include unreferenced graphs too (library procedures).
+        for name in self.graphs:
+            visit(name, ())
+        return order
+
+    def validate(self) -> None:
+        """Check every graph and the hierarchy reference structure."""
+        self.hierarchy_order()
+        for graph in self.graphs.values():
+            graph.validate()
+
+    def total_operations(self) -> int:
+        """Vertices across the entire hierarchy (poles included), the
+        |V| aggregation of Table III."""
+        return sum(len(graph) for graph in self.graphs.values())
+
+    def __repr__(self) -> str:
+        return (f"Design({self.name!r}, graphs={len(self.graphs)}, "
+                f"|V|={self.total_operations()}, root={self.root!r})")

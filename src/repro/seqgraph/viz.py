@@ -1,0 +1,90 @@
+"""Graphviz export for sequencing graphs and hierarchical designs.
+
+One cluster per sequencing graph; compound operations (loops, calls,
+conditionals) link to their body clusters with dashed hierarchy edges.
+Shapes follow the paper's drawing conventions: double circles for
+unbounded operations, boxes for compound ones, plain circles for
+fixed-delay operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.seqgraph.model import Design, OpKind, Operation, SequencingGraph
+
+_SHAPE_BY_KIND = {
+    OpKind.SOURCE: "point",
+    OpKind.SINK: "point",
+    OpKind.OPERATION: "circle",
+    OpKind.WAIT: "doublecircle",
+    OpKind.LOOP: "box",
+    OpKind.CALL: "box",
+    OpKind.COND: "diamond",
+}
+
+
+def _node_id(graph_name: str, op_name: str) -> str:
+    return f"{graph_name}__{op_name}".replace("-", "_").replace(".", "_")
+
+
+def _node_line(graph_name: str, op: Operation) -> str:
+    shape = _SHAPE_BY_KIND[op.kind]
+    if op.kind is OpKind.OPERATION:
+        label = f"{op.name}\\n{op.delay}"
+    elif op.kind in (OpKind.LOOP, OpKind.CALL):
+        label = f"{op.name}\\n[{op.body}]"
+    elif op.kind is OpKind.COND:
+        label = f"{op.name}\\n<{len(op.branches)} branches>"
+    else:
+        label = op.name
+    style = ' style=filled fillcolor="#f0f0f0"' if op.is_compound else ""
+    return (f'    "{_node_id(graph_name, op.name)}" '
+            f'[shape={shape} label="{label}"{style}];')
+
+
+def seqgraph_to_dot(graph: SequencingGraph, standalone: bool = True) -> str:
+    """Dot text for one sequencing graph."""
+    lines: List[str] = []
+    if standalone:
+        lines.append("digraph sequencing_graph {")
+        lines.append("  rankdir=TB;")
+    lines.append(f'  subgraph "cluster_{graph.name}" {{')
+    lines.append(f'    label="{graph.name}";')
+    for op in graph.operations():
+        lines.append(_node_line(graph.name, op))
+    for tail, head in graph.edges():
+        lines.append(f'    "{_node_id(graph.name, tail)}" -> '
+                     f'"{_node_id(graph.name, head)}";')
+    for constraint in graph.constraints:
+        style = ("color=blue" if type(constraint).__name__.startswith("Min")
+                 else "color=red")
+        lines.append(
+            f'    "{_node_id(graph.name, constraint.from_op)}" -> '
+            f'"{_node_id(graph.name, constraint.to_op)}" '
+            f'[style=dotted {style} label="{constraint.cycles}"];')
+    lines.append("  }")
+    if standalone:
+        lines.append("}")
+    return "\n".join(lines)
+
+
+def design_to_dot(design: Design, include_hierarchy_edges: bool = True) -> str:
+    """Dot text for a whole design: one cluster per graph, dashed edges
+    from compound operations to the source of their body graphs."""
+    lines = [f'digraph "{design.name}" {{', "  rankdir=TB;", "  compound=true;"]
+    for graph_name in design.hierarchy_order():
+        lines.append(seqgraph_to_dot(design.graph(graph_name),
+                                     standalone=False))
+    if include_hierarchy_edges:
+        for graph_name in design.hierarchy_order():
+            graph = design.graph(graph_name)
+            for op in graph.compound_operations():
+                for child in op.referenced_graphs():
+                    lines.append(
+                        f'  "{_node_id(graph_name, op.name)}" -> '
+                        f'"{_node_id(child, "source")}" '
+                        f'[style=dashed arrowhead=empty '
+                        f'lhead="cluster_{child}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Cycle-accurate simulation of relative schedules and their control.
+
+Four layers:
+
+* :mod:`repro.sim.trace` -- signal traces and ASCII waveform rendering
+  (the medium of the paper's Fig. 14);
+* :mod:`repro.sim.control_sim` -- cycle-by-cycle simulation of a
+  synthesized control unit (counters / shift registers / enables) for
+  one graph under a delay profile, verifying that every ``enable_v``
+  fires exactly at the analytically computed start time ``T(v)``;
+* :mod:`repro.sim.engine` -- hierarchical timed execution of a whole
+  scheduled design under a stimulus (loop trip counts, branch choices,
+  synchronization delays), producing per-operation start/finish events;
+* :mod:`repro.sim.interpreter` -- an untimed functional interpreter of
+  the HardwareC AST, used to check that synthesized designs compute the
+  right values (e.g. that gcd really produces the gcd).
+"""
+
+from repro.sim.trace import Event, WaveformTrace
+from repro.sim.control_sim import ControlSimResult, simulate_control
+from repro.sim.engine import OpEvent, SimResult, Stimulus, execute_design
+from repro.sim.cosim import CosimResult, cosimulate
+from repro.sim.gantt import render_gantt
+from repro.sim.interpreter import (
+    ExecutionObserver,
+    Interpreter,
+    InterpreterResult,
+    PortStream,
+)
+
+__all__ = [
+    "Event",
+    "WaveformTrace",
+    "ControlSimResult",
+    "simulate_control",
+    "OpEvent",
+    "SimResult",
+    "Stimulus",
+    "execute_design",
+    "render_gantt",
+    "CosimResult",
+    "cosimulate",
+    "ExecutionObserver",
+    "Interpreter",
+    "InterpreterResult",
+    "PortStream",
+]

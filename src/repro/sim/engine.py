@@ -1,0 +1,203 @@
+"""Hierarchical timed execution of a scheduled design.
+
+Executes a :class:`~repro.seqgraph.hierarchy.HierarchicalSchedule`
+under a :class:`Stimulus` that decides, per dynamic instance, how many
+iterations each data-dependent loop runs, which branch each conditional
+takes, and how long each WAIT synchronization blocks.  The engine
+realizes the relative-schedule semantics: inside each graph instance,
+an operation starts at ``max over a in A(v) of done(a) + sigma_a(v)``,
+where anchors' completion times come from actually executing the
+hierarchy below them.
+
+The per-instance event list is the ground truth the integration tests
+check timing constraints against (every min/max constraint must hold in
+every executed instance, for every stimulus -- the run-time meaning of
+well-posedness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.core.delay import is_unbounded
+from repro.seqgraph.hierarchy import HierarchicalSchedule
+from repro.seqgraph.model import OpKind
+from repro.sim.trace import WaveformTrace
+
+#: A dynamic instance path: alternating operation names and iteration
+#: indices, e.g. ("spin", 2, "decrement").
+Path = Tuple[Union[str, int], ...]
+
+
+@dataclass
+class Stimulus:
+    """Run-time choices for data-dependent behaviour.
+
+    Attributes:
+        loop_iterations: trip count for each loop instance.  Either a
+            constant default, a dict keyed by loop operation name, or a
+            callable receiving the full dynamic path.
+        branch_choices: branch index for each conditional instance
+            (same shapes as above).
+        wait_delays: blocking cycles for each WAIT instance.
+    """
+
+    loop_iterations: Union[int, Dict[str, int], Callable[[Path], int]] = 1
+    branch_choices: Union[int, Dict[str, int], Callable[[Path], int]] = 0
+    wait_delays: Union[int, Dict[str, int], Callable[[Path], int]] = 0
+
+    @staticmethod
+    def _resolve(spec, op_name: str, path: Path, default: int) -> int:
+        if callable(spec):
+            return spec(path)
+        if isinstance(spec, dict):
+            return spec.get(op_name, default)
+        return spec
+
+    def iterations_for(self, op_name: str, path: Path) -> int:
+        return self._resolve(self.loop_iterations, op_name, path, 1)
+
+    def branch_for(self, op_name: str, path: Path) -> int:
+        return self._resolve(self.branch_choices, op_name, path, 0)
+
+    def wait_for(self, op_name: str, path: Path) -> int:
+        return self._resolve(self.wait_delays, op_name, path, 0)
+
+
+@dataclass(frozen=True)
+class OpEvent:
+    """One executed operation instance."""
+
+    path: Path
+    graph: str
+    op: str
+    start: int
+    end: int
+
+
+@dataclass
+class SimResult:
+    """Outcome of a hierarchical execution."""
+
+    events: List[OpEvent]
+    completion: int
+    trace: WaveformTrace
+
+    def events_for(self, op: str) -> List[OpEvent]:
+        """All dynamic instances of the named operation."""
+        return [e for e in self.events if e.op == op]
+
+    def start_of(self, op: str) -> int:
+        """Start time of the (unique) instance of *op*.
+
+        Raises:
+            ValueError: when zero or several instances executed.
+        """
+        matches = self.events_for(op)
+        if len(matches) != 1:
+            raise ValueError(f"{op!r} executed {len(matches)} times; "
+                             f"use events_for for per-instance times")
+        return matches[0].start
+
+
+def execute_design(result: HierarchicalSchedule,
+                   stimulus: Optional[Stimulus] = None,
+                   max_events: int = 100000) -> SimResult:
+    """Execute a scheduled design from its root graph at cycle 0."""
+    stimulus = stimulus or Stimulus()
+    events: List[OpEvent] = []
+    trace = WaveformTrace()
+
+    def guard() -> None:
+        if len(events) > max_events:
+            raise RuntimeError(
+                f"execution exceeded {max_events} events; check the "
+                f"stimulus loop trip counts")
+
+    def run_graph(graph_name: str, activation: int, path: Path) -> int:
+        """Execute one instance of *graph_name*; returns its completion
+        time (the sink's start)."""
+        seq_graph = result.design.graph(graph_name)
+        constraint_graph = result.constraint_graphs[graph_name]
+        schedule = result.schedules[graph_name]
+        done: Dict[str, int] = {constraint_graph.source: activation}
+        start: Dict[str, int] = {constraint_graph.source: activation}
+
+        for vertex in constraint_graph.forward_topological_order():
+            if vertex == constraint_graph.source:
+                continue
+            offsets = schedule.offsets.get(vertex, {})
+            terms = [done[a] + sigma for a, sigma in offsets.items()]
+            begin = max(terms) if terms else activation
+            finish = _execute_vertex(seq_graph, vertex, begin, path)
+            start[vertex] = begin
+            done[vertex] = finish
+            events.append(OpEvent(path, graph_name, vertex, begin, finish))
+            guard()
+        return start[constraint_graph.sink]
+
+    def _execute_vertex(seq_graph, vertex: str, begin: int, path: Path) -> int:
+        op = seq_graph.operation(vertex)
+        if op.kind is OpKind.OPERATION or op.kind is OpKind.SINK:
+            return begin + op.delay
+        if op.kind is OpKind.WAIT:
+            blocking = stimulus.wait_for(vertex, path + (vertex,))
+            trace.record(begin, f"wait_{vertex}", 1)
+            trace.record(begin + blocking, f"wait_{vertex}", 0)
+            return begin + blocking
+        if op.kind is OpKind.LOOP:
+            if op.iterations is not None:
+                trips = op.iterations
+            else:
+                trips = stimulus.iterations_for(vertex, path + (vertex,))
+            clock = begin
+            for index in range(trips):
+                clock = run_graph(op.body, clock, path + (vertex, index))
+            return clock
+        if op.kind is OpKind.CALL:
+            return run_graph(op.body, begin, path + (vertex,))
+        if op.kind is OpKind.COND:
+            choice = stimulus.branch_for(vertex, path + (vertex,))
+            if not 0 <= choice < len(op.branches):
+                raise ValueError(
+                    f"branch choice {choice} out of range for {vertex!r} "
+                    f"({len(op.branches)} branches)")
+            trace.record(begin, f"branch_{vertex}", choice)
+            return run_graph(op.branches[choice], begin, path + (vertex, choice))
+        raise ValueError(f"cannot execute operation kind {op.kind!r}")
+
+    completion = run_graph(result.design.root, 0, ())
+    return SimResult(events, completion, trace)
+
+
+def check_constraints(result: HierarchicalSchedule, sim: SimResult) -> List[str]:
+    """Verify every timing constraint in every executed graph instance.
+
+    Returns a list of human-readable violation descriptions (empty when
+    the execution honoured all constraints -- the run-time counterpart
+    of well-posedness).
+    """
+    violations: List[str] = []
+    by_instance: Dict[Tuple[Path, str], Dict[str, OpEvent]] = {}
+    for event in sim.events:
+        by_instance.setdefault((event.path, event.graph), {})[event.op] = event
+
+    for (path, graph_name), ops in by_instance.items():
+        seq_graph = result.design.graph(graph_name)
+        for constraint in seq_graph.constraints:
+            lhs = ops.get(constraint.from_op)
+            rhs = ops.get(constraint.to_op)
+            if lhs is None or rhs is None:
+                continue
+            separation = rhs.start - lhs.start
+            kind = type(constraint).__name__
+            if kind == "MinTimingConstraint" and separation < constraint.cycles:
+                violations.append(
+                    f"{graph_name}{list(path)}: min {constraint} violated "
+                    f"(separation {separation})")
+            if kind == "MaxTimingConstraint" and separation > constraint.cycles:
+                violations.append(
+                    f"{graph_name}{list(path)}: max {constraint} violated "
+                    f"(separation {separation})")
+    return violations

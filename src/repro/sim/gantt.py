@@ -1,0 +1,68 @@
+"""ASCII Gantt rendering of hierarchical execution results.
+
+Turns a :class:`~repro.sim.engine.SimResult` into a per-operation
+timeline: one row per executed operation instance, a bar spanning its
+start to end cycle, markers for zero-duration events.  Useful for
+eyeballing how a relative schedule unrolls under a concrete stimulus
+(loop iterations appear as repeated, shifted bars).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.sim.engine import OpEvent, SimResult
+
+
+def _label(event: OpEvent) -> str:
+    if not event.path:
+        return event.op
+    pieces = [str(piece) for piece in event.path]
+    return "/".join(pieces + [event.op])
+
+
+def render_gantt(sim: SimResult,
+                 include: Optional[Sequence[str]] = None,
+                 hide_poles: bool = True,
+                 width: Optional[int] = None) -> str:
+    """Render the execution as an ASCII Gantt chart.
+
+    Args:
+        sim: a hierarchical execution result.
+        include: restrict to these operation names (any instance).
+        hide_poles: drop source/sink rows (on by default -- they carry
+            no duration).
+        width: clip the time axis at this many cycles.
+
+    Bars: ``=`` for executing cycles, ``|`` for zero-duration events.
+    """
+    events: List[OpEvent] = []
+    for event in sim.events:
+        if hide_poles and event.op in ("source", "sink"):
+            continue
+        if include is not None and event.op not in include:
+            continue
+        events.append(event)
+    events.sort(key=lambda e: (e.start, e.end, _label(e)))
+    if not events:
+        return "(no events)"
+
+    horizon = max(e.end for e in events) + 1
+    if width is not None:
+        horizon = min(horizon, width)
+    label_width = max(len(_label(e)) for e in events)
+
+    ruler = " " * (label_width + 2) + "".join(
+        str(t % 10) for t in range(horizon))
+    lines = [ruler]
+    for event in events:
+        row = []
+        for t in range(horizon):
+            if event.start == event.end and t == event.start:
+                row.append("|")
+            elif event.start <= t < event.end:
+                row.append("=")
+            else:
+                row.append(".")
+        lines.append(f"{_label(event):>{label_width}}  " + "".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,331 @@
+"""Untimed functional interpreter for the HardwareC subset.
+
+Executes a process's AST directly -- loops iterate, conditionals branch,
+``read(port)`` consumes stimulus values -- to validate that the frontend
+and the synthesized design compute the right *values* (the timing side
+is covered by :mod:`repro.sim.engine` and :mod:`repro.sim.control_sim`).
+The Fig. 14 experiment uses it to confirm the gcd design really computes
+greatest common divisors for random inputs.
+
+Variables and ports are masked to their declared widths, matching
+HardwareC's bit-true semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.hdl.ast import (
+    Assign,
+    Binary,
+    Block,
+    Call,
+    Const,
+    ConstraintStmt,
+    Expr,
+    If,
+    Process,
+    Program,
+    ReadExpr,
+    RepeatUntil,
+    Stmt,
+    Unary,
+    Var,
+    Wait,
+    While,
+    WriteStmt,
+)
+from repro.hdl.errors import HdlLowerError
+
+
+class PortStream:
+    """A sequence of values an input port yields on successive reads.
+
+    After the sequence is exhausted the last value repeats (a held
+    signal), which models level-sensitive inputs like ``restart``.
+    """
+
+    def __init__(self, values: Union[int, List[int]]) -> None:
+        if isinstance(values, int):
+            values = [values]
+        if not values:
+            raise ValueError("PortStream needs at least one value")
+        self._values = list(values)
+        self._index = 0
+
+    def read(self) -> int:
+        """The next sample (the last value repeats when exhausted)."""
+        value = self._values[min(self._index, len(self._values) - 1)]
+        self._index += 1
+        return value
+
+    def peek(self) -> int:
+        return self._values[min(self._index, len(self._values) - 1)]
+
+
+@dataclass
+class InterpreterResult:
+    """Final state of a functional run.
+
+    Attributes:
+        outputs: last value written to each output port.
+        output_history: every write to each output port, in order.
+        variables: final variable values.
+        steps: statements executed (the loop-guard budget consumed).
+    """
+
+    outputs: Dict[str, int]
+    output_history: Dict[str, List[int]]
+    variables: Dict[str, int]
+    steps: int
+
+
+class Interpreter:
+    """Functional executor for one process of a program.
+
+    Args:
+        program: the parsed program (for resolving ``call``).
+        process_name: which process to run (default: the first).
+        max_steps: statement budget guarding non-terminating loops.
+    """
+
+    def __init__(self, program: Program, process_name: Optional[str] = None,
+                 max_steps: int = 100000,
+                 observer: Optional["ExecutionObserver"] = None) -> None:
+        self.program = program
+        self.process = (program.process(process_name) if process_name
+                        else program.processes[0])
+        self.max_steps = max_steps
+        self.observer = observer
+
+    # ------------------------------------------------------------------
+
+    def run(self, inputs: Optional[Dict[str, Union[int, List[int], PortStream]]] = None
+            ) -> InterpreterResult:
+        """Execute the process once with the given input port stimulus."""
+        streams: Dict[str, PortStream] = {}
+        for name, spec in (inputs or {}).items():
+            streams[name] = spec if isinstance(spec, PortStream) else PortStream(spec)
+
+        state = _RunState(self, streams)
+        state.push_process(self.process)
+        state.execute_block(self.process.body)
+        return InterpreterResult(
+            outputs={port: history[-1] for port, history in state.outputs.items()},
+            output_history=dict(state.outputs),
+            variables=dict(state.variables),
+            steps=state.steps,
+        )
+
+
+class ExecutionObserver:
+    """Hooks invoked as the interpreter executes control constructs.
+
+    Co-simulation (:mod:`repro.sim.cosim`) subclasses this to record,
+    per dynamic instance, how many iterations each loop ran and which
+    branch each conditional took -- the data-dependent quantities the
+    timed execution engine needs as stimulus.
+    """
+
+    def loop_finished(self, stmt, trips: int) -> None:
+        """A While/RepeatUntil instance completed after *trips* passes."""
+
+    def branch_taken(self, stmt, choice: int) -> None:
+        """An If instance chose branch *choice* (0 = then, 1 = else)."""
+
+
+class _RunState:
+    def __init__(self, interpreter: Interpreter, streams: Dict[str, PortStream]) -> None:
+        self.interpreter = interpreter
+        self.streams = streams
+        self.variables: Dict[str, int] = {}
+        self.outputs: Dict[str, List[int]] = {}
+        self.widths: Dict[str, int] = {}
+        self.steps = 0
+        self.process_stack: List[Process] = []
+
+    # ------------------------------------------------------------------
+
+    def push_process(self, process: Process) -> None:
+        """Bring a process's declarations into scope (for calls)."""
+        self.process_stack.append(process)
+        for var in process.variables:
+            self.widths[var.name] = var.width
+            self.variables.setdefault(var.name, 0)
+        for port in process.ports:
+            self.widths[port.name] = port.width
+
+    def _mask(self, name: str, value: int) -> int:
+        width = self.widths.get(name, 32)
+        return value & ((1 << width) - 1)
+
+    def _budget(self) -> None:
+        self.steps += 1
+        if self.steps > self.interpreter.max_steps:
+            raise RuntimeError(
+                f"interpreter exceeded {self.interpreter.max_steps} steps; "
+                f"a data-dependent loop may not terminate under this stimulus")
+
+    # ------------------------------------------------------------------
+
+    def execute_block(self, block: Block) -> None:
+        """Run a block (parallel blocks sample pre-block state)."""
+        if block.parallel:
+            self._execute_parallel(block)
+            return
+        for stmt in block.statements:
+            self.execute(stmt)
+
+    def _execute_parallel(self, block: Block) -> None:
+        """``< ... >``: all right-hand sides sample the pre-block state."""
+        updates: List[Tuple[str, int, bool]] = []  # (target, value, is_port)
+        for stmt in block.statements:
+            self._budget()
+            if isinstance(stmt, Assign):
+                updates.append((stmt.target, self.eval(stmt.value), False))
+            elif isinstance(stmt, WriteStmt):
+                updates.append((stmt.port, self.eval(stmt.value), True))
+            else:
+                # Non-assignment statements run sequentially within <>.
+                self.execute(stmt)
+        for target, value, is_port in updates:
+            if is_port:
+                self.outputs.setdefault(target, []).append(self._mask(target, value))
+            else:
+                self.variables[target] = self._mask(target, value)
+
+    def execute(self, stmt: Stmt) -> None:
+        """Run one statement under the step budget."""
+        self._budget()
+        if isinstance(stmt, Block):
+            self.execute_block(stmt)
+        elif isinstance(stmt, Assign):
+            self.variables[stmt.target] = self._mask(stmt.target, self.eval(stmt.value))
+        elif isinstance(stmt, WriteStmt):
+            self.outputs.setdefault(stmt.port, []).append(
+                self._mask(stmt.port, self.eval(stmt.value)))
+        elif isinstance(stmt, While):
+            trips = 0
+            while self.eval(stmt.cond):
+                self._budget()
+                trips += 1
+                if stmt.body is not None:
+                    self.execute(stmt.body)
+            self._observe_loop(stmt, trips)
+        elif isinstance(stmt, RepeatUntil):
+            trips = 0
+            while True:
+                trips += 1
+                self.execute(stmt.body)
+                if self.eval(stmt.cond):
+                    break
+            self._observe_loop(stmt, trips)
+        elif isinstance(stmt, If):
+            if self.eval(stmt.cond):
+                self._observe_branch(stmt, 0)
+                self.execute(stmt.then)
+            else:
+                self._observe_branch(stmt, 1)
+                if stmt.otherwise is not None:
+                    self.execute(stmt.otherwise)
+        elif isinstance(stmt, Wait):
+            # Untimed semantics: a wait consumes one sample of its
+            # condition (external synchronization resolves immediately).
+            self.eval(stmt.cond)
+        elif isinstance(stmt, Call):
+            callee = self.interpreter.program.process(stmt.callee)
+            self.push_process(callee)
+            self.execute_block(callee.body)
+            self.process_stack.pop()
+        elif isinstance(stmt, ConstraintStmt):
+            pass  # timing-only, no functional effect
+        else:
+            raise HdlLowerError(f"cannot interpret {type(stmt).__name__}")
+
+    def _observe_loop(self, stmt, trips: int) -> None:
+        observer = self.interpreter.observer
+        if observer is not None:
+            observer.loop_finished(stmt, trips)
+
+    def _observe_branch(self, stmt, choice: int) -> None:
+        observer = self.interpreter.observer
+        if observer is not None:
+            observer.branch_taken(stmt, choice)
+
+    # ------------------------------------------------------------------
+
+    def eval(self, expr: Expr) -> int:
+        """Evaluate an expression (short-circuit && and ||)."""
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Var):
+            if expr.name in self.variables:
+                return self.variables[expr.name]
+            if expr.name in self.streams:
+                # Reading a port by name (level-sensitive sample).
+                return self.streams[expr.name].read()
+            return 0
+        if isinstance(expr, ReadExpr):
+            stream = self.streams.get(expr.port)
+            if stream is None:
+                raise KeyError(f"no stimulus provided for input port {expr.port!r}")
+            return self._mask(expr.port, stream.read())
+        if isinstance(expr, Unary):
+            value = self.eval(expr.operand)
+            if expr.op == "!":
+                return 0 if value else 1
+            if expr.op == "~":
+                return ~value
+            if expr.op == "-":
+                return -value
+            raise ValueError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, Binary):
+            left = self.eval(expr.left)
+            if expr.op == "&&":
+                return 1 if left and self.eval(expr.right) else 0
+            if expr.op == "||":
+                return 1 if left or self.eval(expr.right) else 0
+            right = self.eval(expr.right)
+            return _binary(expr.op, left, right)
+        raise ValueError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _binary(op: str, left: int, right: int) -> int:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ZeroDivisionError("division by zero in HardwareC expression")
+        return left // right
+    if op == "%":
+        if right == 0:
+            raise ZeroDivisionError("modulo by zero in HardwareC expression")
+        return left % right
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "<<":
+        return left << right
+    if op == ">>":
+        return left >> right
+    if op == "==":
+        return 1 if left == right else 0
+    if op == "!=":
+        return 1 if left != right else 0
+    if op == "<":
+        return 1 if left < right else 0
+    if op == "<=":
+        return 1 if left <= right else 0
+    if op == ">":
+        return 1 if left > right else 0
+    if op == ">=":
+        return 1 if left >= right else 0
+    raise ValueError(f"unknown binary operator {op!r}")

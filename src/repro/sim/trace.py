@@ -1,0 +1,154 @@
+"""Signal traces and ASCII waveform rendering.
+
+A :class:`WaveformTrace` records (time, signal, value) events and can
+render a text waveform in the spirit of the paper's Fig. 14 simulation
+plot.  Values are arbitrary (bits, integers, strings); rendering prints
+one row per signal with value changes marked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Event:
+    """One recorded signal change."""
+
+    time: int
+    signal: str
+    value: Any
+
+
+class WaveformTrace:
+    """An append-only log of signal changes with waveform rendering."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+        self._signals: Dict[str, None] = {}
+
+    def record(self, time: int, signal: str, value: Any) -> None:
+        """Record that *signal* takes *value* at *time* (cycles)."""
+        if time < 0:
+            raise ValueError(f"negative time {time}")
+        self._events.append(Event(time, signal, value))
+        self._signals.setdefault(signal)
+
+    def signals(self) -> List[str]:
+        """All signal names, in first-recorded order."""
+        return list(self._signals)
+
+    def events(self, signal: Optional[str] = None) -> List[Event]:
+        """Events, optionally filtered to one signal, time-ordered."""
+        events = [e for e in self._events if signal is None or e.signal == signal]
+        return sorted(events, key=lambda e: (e.time, self._events.index(e)))
+
+    def value_at(self, signal: str, time: int, default: Any = None) -> Any:
+        """The last value *signal* took at or before *time*."""
+        value = default
+        for event in self.events(signal):
+            if event.time > time:
+                break
+            value = event.value
+        return value
+
+    def changes(self, signal: str) -> List[Event]:
+        """Events where the signal's value actually changed."""
+        result: List[Event] = []
+        last: Any = object()
+        for event in self.events(signal):
+            if event.value != last:
+                result.append(event)
+                last = event.value
+        return result
+
+    def end_time(self) -> int:
+        """The latest recorded event time (0 when empty)."""
+        return max((e.time for e in self._events), default=0)
+
+    def render(self, signals: Optional[Sequence[str]] = None,
+               until: Optional[int] = None) -> str:
+        """ASCII waveform: one row per signal, one column per cycle.
+
+        Binary signals render as ``_`` (low) and ``#`` (high); other
+        values print their last character, with ``.`` for undefined.
+        """
+        if signals is None:
+            signals = self.signals()
+        if until is None:
+            until = self.end_time() + 1
+        width = max((len(s) for s in signals), default=0)
+        header = " " * (width + 2) + "".join(str(t % 10) for t in range(until))
+        lines = [header]
+        for signal in signals:
+            cells = []
+            for time in range(until):
+                value = self.value_at(signal, time)
+                if value is None:
+                    cells.append(".")
+                elif value in (0, False):
+                    cells.append("_")
+                elif value in (1, True):
+                    cells.append("#")
+                else:
+                    cells.append(str(value)[-1])
+            lines.append(f"{signal:>{width}}  " + "".join(cells))
+        return "\n".join(lines)
+
+    def to_vcd(self, timescale: str = "1ns",
+               module: str = "relative_schedule") -> str:
+        """Export as a Value Change Dump (IEEE 1364 §18) for external
+        waveform viewers (GTKWave and friends).
+
+        Binary-valued signals (0/1/bool) dump as 1-bit wires; other
+        values dump as 32-bit vectors (negative values are clipped at
+        0, strings are hashed to their length).
+        """
+        signals = self.signals()
+        identifiers = {signal: _vcd_identifier(index)
+                       for index, signal in enumerate(signals)}
+
+        def is_binary(signal: str) -> bool:
+            return all(event.value in (0, 1, True, False)
+                       for event in self.events(signal))
+
+        lines = [f"$timescale {timescale} $end",
+                 f"$scope module {module} $end"]
+        for signal in signals:
+            width = 1 if is_binary(signal) else 32
+            kind = "wire" if width == 1 else "reg"
+            lines.append(f"$var {kind} {width} {identifiers[signal]} "
+                         f"{signal.replace(' ', '_')} $end")
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+
+        by_time: Dict[int, List[Event]] = {}
+        for event in self._events:
+            by_time.setdefault(event.time, []).append(event)
+        for time in sorted(by_time):
+            lines.append(f"#{time}")
+            for event in by_time[time]:
+                identifier = identifiers[event.signal]
+                if is_binary(event.signal):
+                    bit = 1 if event.value in (1, True) else 0
+                    lines.append(f"{bit}{identifier}")
+                else:
+                    value = event.value
+                    if isinstance(value, str):
+                        value = len(value)
+                    value = max(0, int(value))
+                    lines.append(f"b{value:b} {identifier}")
+        return "\n".join(lines) + "\n"
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def _vcd_identifier(index: int) -> str:
+    """Short printable VCD identifier codes (! " # ... then pairs)."""
+    alphabet = [chr(c) for c in range(33, 127)]
+    if index < len(alphabet):
+        return alphabet[index]
+    first, second = divmod(index - len(alphabet), len(alphabet))
+    return alphabet[first] + alphabet[second]

@@ -1,0 +1,93 @@
+"""Tests for schedule diffing, plus small gap-fillers for thin wrappers."""
+
+import pytest
+
+from repro import AnchorMode, MinTimingConstraint, schedule_graph
+from repro.analysis.diff import diff_schedules
+from repro.analysis.paper_figures import fig2_graph
+from repro.core.incremental import add_constraint_incremental
+
+
+@pytest.fixture
+def base():
+    return schedule_graph(fig2_graph(), anchor_mode=AnchorMode.FULL)
+
+
+class TestDiffSchedules:
+    def test_identical_schedules(self, base):
+        other = schedule_graph(fig2_graph(), anchor_mode=AnchorMode.FULL)
+        diff = diff_schedules(base, other)
+        assert diff.unchanged
+        assert diff.format() == "schedules identical"
+
+    def test_moved_offsets_after_constraint(self, base):
+        updated = add_constraint_incremental(
+            base, MinTimingConstraint("v0", "v2", 6))
+        diff = diff_schedules(base, updated)
+        assert not diff.unchanged
+        moved = {(c.vertex, c.anchor): (c.before, c.after)
+                 for c in diff.moved()}
+        assert moved[("v2", "v0")] == (2, 6)
+
+    def test_mode_change_shows_drops(self):
+        # Fig. 2 has no redundant anchors (Table II); use a cascade where
+        # the source is dominated by the downstream anchors.
+        from repro import ConstraintGraph, UNBOUNDED
+
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("b", UNBOUNDED)
+        g.add_operation("v", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "b"), ("b", "v"),
+                                ("v", "t")])
+        full = schedule_graph(g, anchor_mode=AnchorMode.FULL)
+        minimal = schedule_graph(g, anchor_mode=AnchorMode.IRREDUNDANT)
+        diff = diff_schedules(full, minimal)
+        assert diff.removed()
+        assert all(c.after is None for c in diff.removed())
+
+    def test_sum_max_tracked(self, base):
+        updated = add_constraint_incremental(
+            base, MinTimingConstraint("v0", "v2", 9))
+        diff = diff_schedules(base, updated)
+        assert diff.sum_max_after > diff.sum_max_before
+
+    def test_change_kinds_and_str(self, base):
+        updated = add_constraint_incremental(
+            base, MinTimingConstraint("v0", "v2", 6))
+        diff = diff_schedules(base, updated)
+        for change in diff.changes:
+            assert change.kind in ("added", "removed", "moved")
+            assert "->" in str(change)
+        assert "offset change" in diff.format()
+
+
+class TestThinWrappers:
+    def test_bind_and_resolve(self):
+        from repro.binding import ResourceLibrary, ResourceType, bind_graph
+        from repro.binding.conflict import bind_and_resolve
+        from repro.seqgraph import GraphBuilder, to_constraint_graph
+
+        b = GraphBuilder("g")
+        b.op("m1", delay=2, resource_class="mul")
+        b.op("m2", delay=2, resource_class="mul")
+        graph = b.build()
+        binding = bind_graph(graph, ResourceLibrary([ResourceType("mul", 1)]))
+        lowered = to_constraint_graph(graph)
+        serialized = bind_and_resolve(lowered, binding)
+        assert len(serialized.edges()) == len(lowered.edges()) + 1
+
+    def test_budget_graph_replaces_unbounded(self):
+        from repro import ConstraintGraph, UNBOUNDED
+        from repro.baselines.worst_case import budget_graph
+        from repro.core.delay import is_unbounded
+
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("x", 2)
+        g.add_sequencing_edges([("s", "a"), ("a", "x"), ("x", "t")])
+        budgeted = budget_graph(g, 7)
+        assert budgeted.delta("a") == 7
+        assert is_unbounded(budgeted.delta("s"))  # source keeps its role
+        edge = next(e for e in budgeted.edges() if e.tail == "a")
+        assert edge.weight == 7

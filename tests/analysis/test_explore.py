@@ -1,0 +1,91 @@
+"""Tests for resource design-space exploration."""
+
+import pytest
+
+from repro.analysis.explore import (
+    DesignPoint,
+    explore_resource_space,
+    format_exploration,
+    pareto_front,
+)
+from repro.seqgraph import Design, GraphBuilder
+
+
+@pytest.fixture
+def mac_design():
+    """Four independent multiply-accumulate pairs."""
+    design = Design("macs")
+    b = GraphBuilder("macs")
+    for i in range(4):
+        b.op(f"mul{i}", delay=2, reads=(f"x{i}", "c"), writes=(f"p{i}",),
+             resource_class="mul")
+        b.op(f"acc{i}", delay=1, reads=(f"p{i}", "sum"), writes=("sum",),
+             resource_class="alu")
+    design.add_graph(b.build(), root=True)
+    return design
+
+
+class TestExplore:
+    def test_grid_size(self, mac_design):
+        points = explore_resource_space(
+            mac_design, {"mul": [1, 2, 4], "alu": [1, 2]})
+        assert len(points) == 6
+
+    def test_more_units_never_slower(self, mac_design):
+        points = explore_resource_space(
+            mac_design, {"mul": [1, 2, 4], "alu": [4]})
+        by_muls = {dict(p.counts)["mul"]: p for p in points}
+        assert by_muls[1].best_case_latency >= by_muls[2].best_case_latency
+        assert by_muls[2].best_case_latency >= by_muls[4].best_case_latency
+
+    def test_area_scales_with_allocation(self, mac_design):
+        points = explore_resource_space(
+            mac_design, {"mul": [1, 4], "alu": [1]},
+            areas={"mul": 8.0, "alu": 2.0})
+        small, large = sorted(points, key=lambda p: p.datapath_area)
+        assert dict(small.counts)["mul"] == 1
+        assert large.datapath_area > small.datapath_area
+
+    def test_infeasible_allocation_flagged(self):
+        design = Design("tight")
+        b = GraphBuilder("tight")
+        b.op("u", delay=3, resource_class="alu")
+        b.op("v", delay=3, resource_class="alu")
+        b.max_constraint("u", "v", 1)
+        b.max_constraint("v", "u", 1)
+        design.add_graph(b.build(), root=True)
+        points = explore_resource_space(design, {"alu": [1, 2]},
+                                        exact_conflicts=True)
+        verdicts = {dict(p.counts)["alu"]: p.feasible for p in points}
+        assert verdicts[1] is False   # must share, deadlines collide
+        assert verdicts[2] is True    # parallel units satisfy both
+
+
+class TestParetoFront:
+    def test_dominated_points_excluded(self):
+        a = DesignPoint((("alu", 1),), 2.0, 1.0, 10, True)
+        b = DesignPoint((("alu", 2),), 4.0, 1.0, 6, True)
+        c = DesignPoint((("alu", 3),), 6.0, 1.0, 6, True)   # dominated by b
+        d = DesignPoint((("alu", 4),), 1.0, 1.0, 12, False)  # infeasible
+        front = pareto_front([a, b, c, d])
+        assert a in front and b in front
+        assert c not in front and d not in front
+
+    def test_front_sorted_by_latency(self):
+        a = DesignPoint((("alu", 1),), 2.0, 0.0, 10, True)
+        b = DesignPoint((("alu", 2),), 4.0, 0.0, 6, True)
+        front = pareto_front([a, b])
+        assert front[0].best_case_latency <= front[-1].best_case_latency
+
+    def test_real_tradeoff_has_multipoint_front(self, mac_design):
+        points = explore_resource_space(
+            mac_design, {"mul": [1, 2, 4], "alu": [1, 2, 4]},
+            areas={"mul": 8.0, "alu": 2.0})
+        front = pareto_front(points)
+        assert len(front) >= 2  # a genuine area/latency trade-off
+
+    def test_format_marks_pareto(self, mac_design):
+        points = explore_resource_space(mac_design, {"mul": [1, 4],
+                                                     "alu": [1]})
+        text = format_exploration(points)
+        assert "*" in text and "allocation" in text

@@ -1,0 +1,105 @@
+"""Tests for Monte Carlo latency analysis."""
+
+import random
+
+import pytest
+
+from repro import ConstraintGraph, UNBOUNDED, schedule_graph
+from repro.analysis.montecarlo import (
+    LatencyStats,
+    compare_with_budget,
+    monte_carlo,
+)
+
+
+@pytest.fixture
+def sync_schedule():
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("sync", UNBOUNDED)
+    g.add_operation("work", 3)
+    g.add_sequencing_edges([("s", "sync"), ("sync", "work"), ("work", "t")])
+    return schedule_graph(g)
+
+
+class TestLatencyStats:
+    def test_summary_values(self):
+        stats = LatencyStats([1, 2, 3, 4, 5])
+        assert stats.minimum == 1 and stats.maximum == 5
+        assert stats.mean == pytest.approx(3.0)
+        assert stats.count == 5
+
+    def test_percentiles(self):
+        stats = LatencyStats(list(range(101)))
+        assert stats.percentile(0) == 0
+        assert stats.percentile(50) == 50
+        assert stats.percentile(100) == 100
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            LatencyStats([1]).percentile(101)
+
+    def test_repr(self):
+        assert "p95" in repr(LatencyStats([1, 2, 3]))
+
+
+class TestMonteCarlo:
+    def test_constant_spec_degenerate_distribution(self, sync_schedule):
+        result = monte_carlo(sync_schedule, {"sync": 4}, samples=50)
+        assert result.latency.minimum == result.latency.maximum == 7
+
+    def test_range_spec(self, sync_schedule):
+        result = monte_carlo(sync_schedule, {"sync": (0, 10)}, samples=500)
+        assert result.latency.minimum >= 3
+        assert result.latency.maximum <= 13
+        assert 3 < result.latency.mean < 13
+
+    def test_choice_spec(self, sync_schedule):
+        result = monte_carlo(sync_schedule, {"sync": [1, 1, 1, 9]}, samples=400)
+        assert set(result.latency.samples) == {4, 12}
+
+    def test_callable_spec(self, sync_schedule):
+        result = monte_carlo(sync_schedule,
+                             {"sync": lambda rng: rng.randint(2, 2)},
+                             samples=10)
+        assert result.latency.minimum == result.latency.maximum == 5
+
+    def test_deterministic_seed(self, sync_schedule):
+        a = monte_carlo(sync_schedule, {"sync": (0, 9)}, samples=100, seed=7)
+        b = monte_carlo(sync_schedule, {"sync": (0, 9)}, samples=100, seed=7)
+        assert a.latency.samples == b.latency.samples
+
+    def test_missing_anchor_defaults_to_zero(self, sync_schedule):
+        result = monte_carlo(sync_schedule, {}, samples=5)
+        assert result.latency.maximum == 3
+
+    def test_negative_sample_rejected(self, sync_schedule):
+        with pytest.raises(ValueError):
+            monte_carlo(sync_schedule, {"sync": lambda rng: -1}, samples=2)
+
+    def test_zero_samples_rejected(self, sync_schedule):
+        with pytest.raises(ValueError):
+            monte_carlo(sync_schedule, {"sync": 1}, samples=0)
+
+    def test_report_format(self, sync_schedule):
+        result = monte_carlo(sync_schedule, {"sync": (0, 5)}, samples=20)
+        text = result.format_report(vertices=["sync", "work", "t"])
+        assert "latency over 20 profiles" in text
+        assert "work" in text
+
+
+class TestBudgetComparison:
+    def test_tight_budget_misses(self, sync_schedule):
+        summary = compare_with_budget(sync_schedule, {"sync": (0, 10)},
+                                      budget=3, samples=400)
+        assert summary["miss_rate"] > 0.5  # uniform 0..10 vs budget 3
+
+    def test_huge_budget_never_misses_but_wastes(self, sync_schedule):
+        summary = compare_with_budget(sync_schedule, {"sync": (0, 4)},
+                                      budget=20, samples=300)
+        assert summary["miss_rate"] == 0.0
+        assert summary["mean_wasted_when_safe"] > 10
+
+    def test_relative_latency_below_static_when_safe(self, sync_schedule):
+        summary = compare_with_budget(sync_schedule, {"sync": (0, 5)},
+                                      budget=5, samples=300)
+        assert summary["mean_relative_latency"] <= summary["static_latency"]

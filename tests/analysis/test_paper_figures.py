@@ -1,0 +1,146 @@
+"""Regression tests pinning the paper's figures and tables."""
+
+import pytest
+
+from repro import (
+    AnchorMode,
+    IllPosedError,
+    WellPosedness,
+    check_well_posed,
+    make_well_posed,
+    schedule_graph,
+)
+from repro.analysis.paper_figures import (
+    fig1_graph,
+    fig2_graph,
+    fig3a_graph,
+    fig3b_graph,
+    fig10_graph,
+    fig12_graph,
+)
+from repro.analysis.figures import (
+    PAPER_FIG10_TRACE,
+    fig10_matches_paper,
+    fig10_trace,
+    fig14_simulation,
+    format_fig10,
+)
+from repro.analysis.tables import format_table2, table2_rows
+
+
+class TestFig1:
+    def test_bounded_graph_well_posed_and_schedulable(self):
+        graph = fig1_graph()
+        assert check_well_posed(graph) is WellPosedness.WELL_POSED
+        schedule = schedule_graph(graph)
+        schedule.validate()
+
+
+class TestTableII:
+    #: Table II of the paper, exactly.
+    EXPECTED = {
+        "v0": (set(), None, None),
+        "a": ({"v0"}, 0, None),
+        "v1": ({"v0"}, 0, None),
+        "v2": ({"v0"}, 2, None),
+        "v3": ({"v0", "a"}, 3, 0),
+        "v4": ({"v0", "a"}, 8, 5),
+    }
+
+    def test_every_cell(self):
+        rows = {row["vertex"]: row for row in table2_rows()}
+        for vertex, (anchors, sigma_v0, sigma_a) in self.EXPECTED.items():
+            row = rows[vertex]
+            assert set(row["anchor_set"]) == anchors, vertex
+            assert row["sigma_v0"] == sigma_v0, vertex
+            assert row["sigma_a"] == sigma_a, vertex
+
+    def test_render_contains_paper_values(self):
+        text = format_table2()
+        assert "8" in text and "5" in text and "{a,v0}" in text
+
+
+class TestFig3:
+    def test_fig3a_unfixable(self):
+        graph = fig3a_graph()
+        assert check_well_posed(graph) is WellPosedness.ILL_POSED
+        with pytest.raises(IllPosedError):
+            make_well_posed(graph)
+
+    def test_fig3b_fixed_by_fig3c_edge(self):
+        graph = fig3b_graph()
+        fixed = make_well_posed(graph)
+        assert check_well_posed(fixed) is WellPosedness.WELL_POSED
+        added = [e for e in fixed.edges() if e.kind.value == "serialization"]
+        assert [(e.tail, e.head) for e in added] == [("a2", "vi")]
+
+
+class TestFig10:
+    def test_reconstruction_matches_paper_exactly(self):
+        """Every compute/readjust cell of the published trace."""
+        assert fig10_matches_paper()
+
+    def test_three_iterations(self):
+        trace, schedule = fig10_trace()
+        assert trace.iterations == 3
+        assert schedule.iterations == 3
+
+    def test_three_backward_edges(self):
+        graph = fig10_graph()
+        assert len(graph.backward_edges()) == 3
+
+    def test_first_iteration_violates_all_three(self):
+        trace, _ = fig10_trace()
+        violated_edges = {(e.tail, e.head) for e, _ in trace.records[0].violations}
+        assert violated_edges == {("v3", "v2"), ("v6", "a"), ("v6", "v5")}
+
+    def test_second_iteration_violates_only_v2(self):
+        trace, _ = fig10_trace()
+        violated_edges = {(e.tail, e.head) for e, _ in trace.records[1].violations}
+        assert violated_edges == {("v3", "v2")}
+
+    def test_final_offsets(self):
+        _, schedule = fig10_trace()
+        assert schedule.offsets["v7"] == {"v0": 12, "a": 6}
+        assert schedule.offsets["v2"] == {"v0": 5, "a": 3}
+        assert schedule.offsets["a"] == {"v0": 2}
+
+    def test_within_theorem8_bound(self):
+        _, schedule = fig10_trace()
+        assert schedule.iterations <= len(fig10_graph().backward_edges()) + 1
+
+    def test_render(self):
+        text = format_fig10()
+        assert "compute1" in text and "12,6" in text
+
+    def test_well_posed(self):
+        assert check_well_posed(fig10_graph()) is WellPosedness.WELL_POSED
+
+
+class TestFig12:
+    def test_offsets_match_figure(self):
+        schedule = schedule_graph(fig12_graph(), anchor_mode=AnchorMode.FULL)
+        assert schedule.offset("v", "a") == 2
+        assert schedule.offset("v", "b") == 3
+
+
+class TestFig14:
+    @pytest.mark.parametrize("style", ["counter", "shift-register"])
+    def test_simulation_properties(self, style):
+        result = fig14_simulation(restart_cycles=4, style=style)
+        assert result.separation_ok
+        assert result.x_sampled_at == result.y_sampled_at + 1
+        assert result.y_sampled_at >= result.restart_cycles
+        assert result.control_matches_schedule
+        assert result.functional_ok
+
+    def test_longer_restart_shifts_sampling(self):
+        short = fig14_simulation(restart_cycles=2)
+        long = fig14_simulation(restart_cycles=9)
+        assert long.y_sampled_at - short.y_sampled_at == 7
+        assert long.separation_ok and short.separation_ok
+
+    def test_waveform_mentions_signals(self):
+        result = fig14_simulation()
+        for signal in ("restart", "sample_y", "sample_x"):
+            assert signal in result.waveform

@@ -1,0 +1,65 @@
+"""Tests for the markdown synthesis report."""
+
+import pytest
+
+from repro.analysis.report import design_report, write_report
+from repro.designs import build_design
+from repro.seqgraph import schedule_design
+
+
+@pytest.fixture(scope="module")
+def gcd_result():
+    return schedule_design(build_design("gcd"))
+
+
+class TestDesignReport:
+    def test_sections_present(self, gcd_result):
+        text = design_report(gcd_result)
+        assert text.startswith("# Synthesis report: gcd")
+        assert "## Hierarchy" in text
+        assert "## Control cost" in text
+        assert "## Graph `gcd`" in text
+
+    def test_hierarchy_rows(self, gcd_result):
+        text = design_report(gcd_result)
+        for name in gcd_result.design.graphs:
+            assert f"| {name} |" in text
+        assert "unbounded" in text  # the gcd root is data-dependent
+
+    def test_constraints_table(self, gcd_result):
+        text = design_report(gcd_result)
+        assert "min a -> b | 1" in text
+        assert "max" in text
+
+    def test_control_styles_compared(self, gcd_result):
+        text = design_report(gcd_result)
+        assert "microcode" in text
+        assert "n/a (unbounded)" in text  # the root graph has anchors
+
+    def test_custom_title(self, gcd_result):
+        assert design_report(gcd_result, title="GCD core").startswith(
+            "# Synthesis report: GCD core")
+
+    def test_write_report(self, gcd_result, tmp_path):
+        path = str(tmp_path / "report.md")
+        write_report(gcd_result, path)
+        content = open(path).read()
+        assert content.startswith("# Synthesis report")
+
+    def test_serializations_listed_when_present(self):
+        from repro.analysis.paper_figures import fig3b_graph
+        from repro import make_well_posed, schedule_graph
+        from repro.seqgraph.hierarchy import HierarchicalSchedule
+        from repro.seqgraph.model import Design, SequencingGraph
+
+        # wrap a serialized constraint graph in a minimal result shell
+        fixed = make_well_posed(fig3b_graph())
+        schedule = schedule_graph(fixed)
+        design = Design("shell")
+        shell = SequencingGraph("shell")
+        design.add_graph(shell, root=True)
+        result = HierarchicalSchedule(
+            design, {"shell": fixed}, {"shell": schedule}, {"shell": 0})
+        text = design_report(result)
+        assert "Serializations added for well-posedness" in text
+        assert "`a2` before `vi`" in text

@@ -1,0 +1,95 @@
+"""Tests for anchor latency-sensitivity analysis."""
+
+import pytest
+
+from repro import ConstraintGraph, UNBOUNDED, schedule_graph
+from repro.analysis.sensitivity import criticality, latency_sensitivity
+
+
+@pytest.fixture
+def two_branch_schedule():
+    """Two parallel synchronizations joining: whichever finishes later
+    is critical."""
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("fast_sync", UNBOUNDED)
+    g.add_operation("slow_sync", UNBOUNDED)
+    g.add_operation("fast_work", 1)
+    g.add_operation("slow_work", 6)
+    g.add_operation("join", 1)
+    g.add_sequencing_edges([("s", "fast_sync"), ("s", "slow_sync"),
+                            ("fast_sync", "fast_work"),
+                            ("slow_sync", "slow_work"),
+                            ("fast_work", "join"), ("slow_work", "join"),
+                            ("join", "t")])
+    return schedule_graph(g)
+
+
+class TestLatencySensitivity:
+    def test_dominant_branch_critical(self, two_branch_schedule):
+        sensitivity = latency_sensitivity(two_branch_schedule,
+                                          {"fast_sync": 0, "slow_sync": 0})
+        assert sensitivity["slow_sync"] == 1
+        assert sensitivity["fast_sync"] == 0
+
+    def test_criticality_flips_with_profile(self, two_branch_schedule):
+        sensitivity = latency_sensitivity(two_branch_schedule,
+                                          {"fast_sync": 10, "slow_sync": 0})
+        assert sensitivity["fast_sync"] == 1
+        assert sensitivity["slow_sync"] == 0
+
+    def test_serial_anchors_all_critical(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("b", UNBOUNDED)
+        g.add_operation("v", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "b"), ("b", "v"),
+                                ("v", "t")])
+        schedule = schedule_graph(g)
+        sensitivity = latency_sensitivity(schedule, {"a": 3, "b": 3})
+        assert sensitivity["a"] == 1 and sensitivity["b"] == 1
+
+    def test_vertex_parameter(self, two_branch_schedule):
+        # fast_work's start only depends on fast_sync
+        sensitivity = latency_sensitivity(two_branch_schedule,
+                                          {"fast_sync": 0, "slow_sync": 9},
+                                          vertex="fast_work")
+        assert sensitivity["fast_sync"] == 1
+        assert sensitivity["slow_sync"] == 0
+
+
+class TestCriticality:
+    def test_rates_reflect_distribution(self, two_branch_schedule):
+        report = criticality(two_branch_schedule,
+                             {"fast_sync": (0, 2), "slow_sync": (0, 2)},
+                             samples=300)
+        # slow_sync's 6-cycle datapath dominates at these delays
+        assert report.rates["slow_sync"] > 0.95
+        assert report.rates["fast_sync"] < 0.05
+
+    def test_wide_distribution_mixes_criticality(self, two_branch_schedule):
+        report = criticality(two_branch_schedule,
+                             {"fast_sync": (0, 30), "slow_sync": (0, 30)},
+                             samples=400)
+        assert 0.1 < report.rates["fast_sync"] < 0.9
+        # the source gates everything, so it is always critical and
+        # ranks first; the dominant external sync comes next
+        assert report.ranked()[0] == "s"
+        assert report.rates["slow_sync"] > report.rates["fast_sync"]
+
+    def test_format(self, two_branch_schedule):
+        report = criticality(two_branch_schedule,
+                             {"fast_sync": 1, "slow_sync": 1}, samples=10)
+        text = report.format()
+        assert "criticality over 10 profiles" in text
+        assert "slow_sync" in text
+
+    def test_sample_guard(self, two_branch_schedule):
+        with pytest.raises(ValueError):
+            criticality(two_branch_schedule, {}, samples=0)
+
+    def test_deterministic(self, two_branch_schedule):
+        a = criticality(two_branch_schedule, {"fast_sync": (0, 9)},
+                        samples=50, seed=3)
+        b = criticality(two_branch_schedule, {"fast_sync": (0, 9)},
+                        samples=50, seed=3)
+        assert a.rates == b.rates

@@ -1,0 +1,84 @@
+"""Tests for the Table III / IV drivers and paper-data integrity."""
+
+import pytest
+
+from repro.analysis.paper_data import (
+    DESIGN_TITLES,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+)
+from repro.analysis.tables import (
+    format_table3,
+    format_table4,
+    table3_rows,
+    table4_rows,
+)
+from repro.designs import DESIGN_NAMES, build_design
+from repro.seqgraph import design_statistics
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return {name: design_statistics(build_design(name))
+            for name in DESIGN_NAMES}
+
+
+class TestPaperData:
+    def test_covers_all_designs(self):
+        assert set(PAPER_TABLE3) == set(DESIGN_NAMES)
+        assert set(PAPER_TABLE4) == set(DESIGN_NAMES)
+        assert set(DESIGN_TITLES) == set(DESIGN_NAMES)
+
+    def test_paper_averages_consistent_with_totals(self):
+        for name, row in PAPER_TABLE3.items():
+            assert row.full_average == pytest.approx(
+                row.full_total / row.vertices, abs=0.011), name
+            assert row.min_average == pytest.approx(
+                row.min_total / row.vertices, abs=0.011), name
+
+    def test_paper_minimum_never_exceeds_full(self):
+        for row in PAPER_TABLE3.values():
+            assert row.min_total <= row.full_total
+        for row in PAPER_TABLE4.values():
+            assert row.min_sum_max <= row.full_sum_max
+            assert row.min_max <= row.full_max
+
+
+class TestTable3Driver:
+    def test_rows_in_paper_order(self, stats):
+        rows = table3_rows(stats)
+        assert [r["design"] for r in rows] == DESIGN_NAMES
+
+    def test_rows_carry_measured_and_paper(self, stats):
+        rows = table3_rows(stats)
+        for row in rows:
+            assert row["min_total"] <= row["full_total"]
+            assert row["paper"]["anchors"] > 0
+
+    def test_format_contains_all_titles(self, stats):
+        text = format_table3(stats)
+        for title in DESIGN_TITLES.values():
+            assert title in text
+
+    def test_headline_result_reduction_everywhere(self, stats):
+        """The table's message: minimum anchor sets are smaller in every
+        design with cascading anchors."""
+        rows = table3_rows(stats)
+        assert all(r["min_average"] <= r["full_average"] for r in rows)
+        assert sum(r["min_total"] for r in rows) < sum(r["full_total"] for r in rows)
+
+
+class TestTable4Driver:
+    def test_rows_in_paper_order(self, stats):
+        rows = table4_rows(stats)
+        assert [r["design"] for r in rows] == DESIGN_NAMES
+
+    def test_sum_of_max_shrinks_overall(self, stats):
+        rows = table4_rows(stats)
+        measured_full = sum(r["full_sum_max"] for r in rows)
+        measured_min = sum(r["min_sum_max"] for r in rows)
+        assert measured_min < measured_full
+
+    def test_format_runs(self, stats):
+        text = format_table4(stats)
+        assert "maximum offsets" in text

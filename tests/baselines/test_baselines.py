@@ -1,0 +1,197 @@
+"""Unit tests for the baseline schedulers and their relationship to
+relative scheduling."""
+
+import random
+
+import pytest
+
+from repro import AnchorMode, ConstraintGraph, UNBOUNDED, schedule_graph
+from repro.baselines import (
+    alap_schedule,
+    asap_schedule,
+    bellman_ford_schedule,
+    constraints_consistent,
+    list_schedule,
+    mobility,
+    worst_case_schedule,
+)
+from repro.core.exceptions import UnfeasibleConstraintsError
+from repro.designs.random_graphs import random_constraint_graph
+
+
+def bounded_graph() -> ConstraintGraph:
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("a1", 2)
+    g.add_operation("a2", 3)
+    g.add_operation("join", 1)
+    g.add_sequencing_edges([("s", "a1"), ("s", "a2"), ("a1", "join"),
+                            ("a2", "join"), ("join", "t")])
+    return g
+
+
+def unbounded_graph() -> ConstraintGraph:
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("sync", UNBOUNDED)
+    g.add_operation("use", 2)
+    g.add_sequencing_edges([("s", "sync"), ("sync", "use"), ("use", "t")])
+    return g
+
+
+class TestAsapAlap:
+    def test_asap_values(self):
+        start = asap_schedule(bounded_graph())
+        assert start["a1"] == 0 and start["a2"] == 0
+        assert start["join"] == 3 and start["t"] == 4
+
+    def test_alap_tight_deadline(self):
+        g = bounded_graph()
+        alap = alap_schedule(g)
+        assert alap["t"] == 4
+        assert alap["a2"] == 0          # critical
+        assert alap["a1"] == 1          # one cycle of slack
+
+    def test_alap_relaxed_deadline(self):
+        alap = alap_schedule(bounded_graph(), deadline=10)
+        assert alap["t"] == 10
+        assert alap["join"] == 9
+
+    def test_alap_infeasible_deadline(self):
+        with pytest.raises(UnfeasibleConstraintsError):
+            alap_schedule(bounded_graph(), deadline=2)
+
+    def test_mobility(self):
+        slack = mobility(bounded_graph())
+        assert slack["a2"] == 0
+        assert slack["a1"] == 1
+
+    def test_unbounded_rejected(self):
+        with pytest.raises(ValueError, match="relative scheduling"):
+            asap_schedule(unbounded_graph())
+
+
+class TestBellmanFord:
+    def test_matches_asap_without_constraints(self):
+        g = bounded_graph()
+        assert bellman_ford_schedule(g) == asap_schedule(g)
+
+    def test_honours_min_and_max(self):
+        g = bounded_graph()
+        g.add_min_constraint("s", "join", 7)
+        g.add_max_constraint("a1", "join", 9)
+        start = bellman_ford_schedule(g)
+        assert start["join"] >= 7
+        assert start["join"] <= start["a1"] + 9
+
+    def test_consistency_check(self):
+        g = bounded_graph()
+        assert constraints_consistent(g)
+        g.add_min_constraint("a1", "join", 5)
+        g.add_max_constraint("a1", "join", 2)
+        assert not constraints_consistent(g)
+
+    def test_inconsistent_raises(self):
+        g = bounded_graph()
+        g.add_min_constraint("a1", "join", 5)
+        g.add_max_constraint("a1", "join", 2)
+        with pytest.raises(UnfeasibleConstraintsError):
+            bellman_ford_schedule(g)
+
+    def test_unbounded_rejected_with_pointer_to_relative(self):
+        with pytest.raises(ValueError, match="relative scheduling"):
+            bellman_ford_schedule(unbounded_graph())
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_relative_scheduling_reduces_to_baseline(self, seed):
+        """On graphs with no unbounded operations, the relative schedule's
+        source offsets equal the traditional minimum schedule."""
+        rng = random.Random(seed)
+        graph = random_constraint_graph(rng, n_ops=12,
+                                        unbounded_probability=0.0)
+        baseline = bellman_ford_schedule(graph)
+        relative = schedule_graph(graph, anchor_mode=AnchorMode.FULL)
+        for vertex in graph.vertex_names():
+            if vertex == graph.source:
+                continue
+            assert relative.offset(vertex, graph.source) == baseline[vertex]
+
+
+class TestWorstCase:
+    def test_exact_budget_wastes_nothing(self):
+        outcome = worst_case_schedule(unbounded_graph(), budget=5,
+                                      actual={"sync": 5})
+        assert outcome.safe
+        assert outcome.wasted_cycles == 0
+
+    def test_overbudget_wastes_cycles(self):
+        outcome = worst_case_schedule(unbounded_graph(), budget=10,
+                                      actual={"sync": 2})
+        assert outcome.safe
+        assert outcome.wasted_cycles == 8
+
+    def test_underbudget_is_unsafe(self):
+        outcome = worst_case_schedule(unbounded_graph(), budget=3,
+                                      actual={"sync": 9})
+        assert not outcome.safe
+
+    def test_relative_schedule_always_optimal(self):
+        """Across profiles, the relative schedule's latency equals the
+        ideal; no single budget achieves that."""
+        g = unbounded_graph()
+        relative = schedule_graph(g)
+        for actual in (0, 3, 11):
+            ideal = relative.start_times({"sync": actual})[g.sink]
+            assert ideal == actual + 2
+            outcome = worst_case_schedule(g, budget=5, actual={"sync": actual})
+            if actual > 5:
+                assert not outcome.safe
+            else:
+                assert outcome.latency >= ideal
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case_schedule(unbounded_graph(), budget=-1)
+
+
+class TestListScheduler:
+    def test_respects_resource_limits(self):
+        g = ConstraintGraph(source="s", sink="t")
+        for i in range(4):
+            g.add_operation(f"op{i}", 1)
+            g.add_sequencing_edge("s", f"op{i}")
+            g.add_sequencing_edge(f"op{i}", "t")
+        classes = {f"op{i}": "alu" for i in range(4)}
+        start = list_schedule(g, {"alu": 2}, classes)
+        per_cycle = {}
+        for op in classes:
+            per_cycle.setdefault(start[op], []).append(op)
+        assert all(len(ops) <= 2 for ops in per_cycle.values())
+        assert max(start[op] for op in classes) == 1  # two waves
+
+    def test_unconstrained_ops_free(self):
+        g = bounded_graph()
+        start = list_schedule(g, {}, {})
+        assert start["a1"] == 0 and start["a2"] == 0
+
+    def test_critical_path_priority(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("long_head", 1)
+        g.add_operation("long_tail", 5)
+        g.add_operation("short", 1)
+        g.add_sequencing_edges([("s", "long_head"), ("long_head", "long_tail"),
+                                ("s", "short"), ("long_tail", "t"), ("short", "t")])
+        classes = {"long_head": "alu", "short": "alu"}
+        start = list_schedule(g, {"alu": 1}, classes)
+        assert start["long_head"] < start["short"]
+
+    def test_backward_edges_rejected(self):
+        g = bounded_graph()
+        g.add_max_constraint("a1", "join", 5)
+        with pytest.raises(ValueError, match="maximum timing"):
+            list_schedule(g, {}, {})
+
+    def test_dependencies_respected(self):
+        g = bounded_graph()
+        start = list_schedule(g, {"alu": 1},
+                              {"a1": "alu", "a2": "alu", "join": "alu"})
+        assert start["join"] >= start["a1"] + 2
+        assert start["join"] >= start["a2"] + 3

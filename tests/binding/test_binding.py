@@ -1,0 +1,185 @@
+"""Unit tests for module binding and constrained conflict resolution."""
+
+import pytest
+
+from repro import ConstraintGraph, UNBOUNDED, schedule_graph
+from repro.binding import (
+    Binding,
+    ConflictResolutionError,
+    Instance,
+    ResourceLibrary,
+    ResourceType,
+    bind_graph,
+    resolve_conflicts,
+)
+from repro.seqgraph import GraphBuilder
+
+
+def alu_heavy_graph():
+    """Four independent ALU operations competing for shared ALUs."""
+    b = GraphBuilder("alu_heavy")
+    for i in range(4):
+        b.op(f"add{i}", delay=1, reads=(f"in{i}",), writes=(f"out{i}",),
+             resource_class="alu")
+    return b.build()
+
+
+class TestResourceTypes:
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            ResourceType("alu", count=0)
+
+    def test_delay_validated(self):
+        with pytest.raises(ValueError):
+            ResourceType("alu", delay=-1)
+
+    def test_library_rejects_duplicates(self):
+        lib = ResourceLibrary([ResourceType("alu")])
+        with pytest.raises(ValueError):
+            lib.add(ResourceType("alu"))
+
+    def test_default_library_covers_standard_classes(self):
+        lib = ResourceLibrary.default()
+        for cls in ["alu", "logic", "mul", "div", "port"]:
+            assert cls in lib
+
+
+class TestBindGraph:
+    def test_single_alu_all_share(self):
+        graph = alu_heavy_graph()
+        binding = bind_graph(graph, ResourceLibrary([ResourceType("alu", count=1)]))
+        instances = set(binding.assignment.values())
+        assert instances == {Instance("alu", 0)}
+        assert len(binding.conflict_groups()) == 1
+
+    def test_two_alus_balance_load(self):
+        graph = alu_heavy_graph()
+        binding = bind_graph(graph, ResourceLibrary([ResourceType("alu", count=2)]))
+        groups = binding.groups()
+        assert len(groups) == 2
+        assert sorted(len(ops) for ops in groups.values()) == [2, 2]
+
+    def test_enough_units_no_conflicts(self):
+        graph = alu_heavy_graph()
+        binding = bind_graph(graph, ResourceLibrary([ResourceType("alu", count=4)]))
+        assert binding.conflict_groups() == {}
+
+    def test_unknown_class_gets_private_instances(self):
+        b = GraphBuilder("g")
+        b.op("f1", resource_class="fpu")
+        b.op("f2", resource_class="fpu")
+        graph = b.build()
+        binding = bind_graph(graph, ResourceLibrary([]))
+        assert binding.conflict_groups() == {}
+
+    def test_unclassed_ops_unbound(self):
+        b = GraphBuilder("g")
+        b.op("move", resource_class=None)
+        graph = b.build()
+        binding = bind_graph(graph)
+        assert "move" not in binding.assignment
+
+    def test_delay_overrides_from_library(self):
+        graph = alu_heavy_graph()
+        lib = ResourceLibrary([ResourceType("alu", count=1, delay=2)])
+        binding = bind_graph(graph, lib)
+        overrides = binding.delay_overrides()
+        assert all(overrides[op] == 2 for op in binding.assignment)
+
+    def test_area_accounting(self):
+        graph = alu_heavy_graph()
+        lib = ResourceLibrary([ResourceType("alu", count=2, area=3.5)])
+        binding = bind_graph(graph, lib)
+        assert binding.area() == pytest.approx(7.0)
+
+
+class TestResolveConflicts:
+    def lowered(self, graph):
+        from repro.seqgraph import to_constraint_graph
+
+        return to_constraint_graph(graph)
+
+    def test_serialization_orders_shared_ops(self):
+        graph = alu_heavy_graph()
+        binding = bind_graph(graph, ResourceLibrary([ResourceType("alu", count=1)]))
+        cg = self.lowered(graph)
+        serialized = resolve_conflicts(cg, binding)
+        schedule = schedule_graph(serialized)
+        starts = schedule.start_times({})
+        times = sorted(starts[op] for op in binding.assignment)
+        assert times == [0, 1, 2, 3]  # fully serialized, 1 cycle each
+
+    def test_no_conflicts_is_identity_copy(self):
+        graph = alu_heavy_graph()
+        binding = bind_graph(graph, ResourceLibrary([ResourceType("alu", count=4)]))
+        cg = self.lowered(graph)
+        serialized = resolve_conflicts(cg, binding)
+        assert len(serialized.edges()) == len(cg.edges())
+        assert serialized is not cg
+
+    def test_serialization_respects_existing_order(self):
+        b = GraphBuilder("chain")
+        b.op("first", delay=1, writes=("x",), resource_class="alu")
+        b.op("second", delay=1, reads=("x",), writes=("y",), resource_class="alu")
+        graph = b.build()
+        binding = bind_graph(graph, ResourceLibrary([ResourceType("alu", count=1)]))
+        cg = self.lowered(graph)
+        serialized = resolve_conflicts(cg, binding)
+        assert serialized.is_forward_reachable("first", "second")
+        serialized.forward_topological_order()  # no cycle introduced
+
+    def test_heuristic_fails_exact_succeeds(self):
+        """The ASAP heuristic puts u (ASAP 0) before w (ASAP 2) on the
+        shared unit; the serialization edge u->w (weight 3) then closes a
+        positive cycle with the max constraint sigma(w) <= sigma(u) + 1.
+        The exact search finds the feasible w-first order."""
+        cg = ConstraintGraph(source="s", sink="t")
+        cg.add_operation("u", 3)
+        cg.add_operation("pad", 2)
+        cg.add_operation("w", 1)
+        cg.add_sequencing_edges([("s", "u"), ("s", "pad"), ("pad", "w"),
+                                 ("u", "t"), ("w", "t")])
+        cg.add_max_constraint("u", "w", 1)
+        groups = {"alu[0]": ["u", "w"]}
+        with pytest.raises(ConflictResolutionError):
+            resolve_conflicts(cg, groups, exact=False)
+        serialized = resolve_conflicts(cg, groups, exact=True)
+        schedule = schedule_graph(serialized)
+        starts = schedule.start_times({})
+        assert starts["w"] == 2
+        assert starts["u"] >= starts["w"] + 1  # serialized after w
+        assert starts["w"] <= starts["u"] + 1  # the max constraint holds
+
+    def test_exact_reports_impossible(self):
+        """Two shared ops each pinned to start at cycle 0: no order works."""
+        cg = ConstraintGraph(source="s", sink="t")
+        cg.add_operation("u", 2)
+        cg.add_operation("v", 2)
+        cg.add_sequencing_edges([("s", "u"), ("s", "v"), ("u", "t"), ("v", "t")])
+        cg.add_max_constraint("s", "u", 0)
+        cg.add_max_constraint("s", "v", 0)
+        with pytest.raises(ConflictResolutionError):
+            resolve_conflicts(cg, {"alu[0]": ["u", "v"]}, exact=True)
+
+    def test_exact_minimizes_latency(self):
+        """Exact search picks the order with the shortest critical path."""
+        cg = ConstraintGraph(source="s", sink="t")
+        cg.add_operation("small", 1)
+        cg.add_operation("big", 5)
+        cg.add_operation("after_small", 4)
+        cg.add_sequencing_edges([("s", "small"), ("s", "big"),
+                                 ("small", "after_small"),
+                                 ("after_small", "t"), ("big", "t")])
+        serialized = resolve_conflicts(cg, {"alu[0]": ["small", "big"]}, exact=True)
+        schedule = schedule_graph(serialized)
+        # small first: latency max(1+4, 1+5) = 6; big first: 5+1+4 = 10.
+        assert schedule.start_times({})["t"] == 6
+
+    def test_binding_object_accepted_directly(self):
+        graph = alu_heavy_graph()
+        binding = bind_graph(graph, ResourceLibrary([ResourceType("alu", count=2)]))
+        cg = self.lowered(graph)
+        serialized = resolve_conflicts(cg, binding)
+        schedule = schedule_graph(serialized)
+        # two units, four unit-delay ops: finish by cycle 2
+        assert max(schedule.start_times({}).values()) <= 3

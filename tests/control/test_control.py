@@ -1,0 +1,176 @@
+"""Unit tests for control generation (Section VI)."""
+
+import pytest
+
+from repro import AnchorMode, ConstraintGraph, UNBOUNDED, schedule_graph
+from repro.control import (
+    synthesize_counter_control,
+    synthesize_shift_register_control,
+)
+from repro.control.netlist import ControlCost, bits_for
+
+
+@pytest.fixture
+def fig12_schedule():
+    """An operation v depending on two anchors a and b with offsets
+    sigma_a(v)=2 and sigma_b(v)=3 -- the paper's Fig. 12 example."""
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("a", UNBOUNDED)
+    g.add_operation("b", UNBOUNDED)
+    g.add_operation("pad_a", 2)
+    g.add_operation("pad_b", 3)
+    g.add_operation("v", 1)
+    g.add_sequencing_edges([("s", "a"), ("s", "b"), ("a", "pad_a"),
+                            ("b", "pad_b"), ("pad_a", "v"), ("pad_b", "v"),
+                            ("v", "t")])
+    return schedule_graph(g, anchor_mode=AnchorMode.FULL)
+
+
+class TestBitsFor:
+    def test_widths(self):
+        assert bits_for(0) == 1
+        assert bits_for(1) == 1
+        assert bits_for(2) == 2
+        assert bits_for(3) == 2
+        assert bits_for(4) == 3
+        assert bits_for(255) == 8
+        assert bits_for(256) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits_for(-1)
+
+
+class TestCounterControl:
+    def test_fig12a_structure(self, fig12_schedule):
+        unit = synthesize_counter_control(fig12_schedule)
+        assert unit.style == "counter"
+        counters = {c.anchor: c for c in unit.counters}
+        assert set(counters) == {"s", "a", "b"}
+        # v's enable checks Counter_a >= 2 and Counter_b >= 3.
+        terms = dict(unit.enable("v").terms)
+        assert terms["a"] == 2 and terms["b"] == 3
+
+    def test_counter_width_covers_max_offset(self, fig12_schedule):
+        unit = synthesize_counter_control(fig12_schedule)
+        widths = {c.anchor: c.width for c in unit.counters}
+        assert widths["a"] == bits_for(fig12_schedule.max_offset("a"))
+
+    def test_comparators_deduplicated(self):
+        # Two ops at the same offset from the same anchor share one
+        # comparator.
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("u", 1)
+        g.add_operation("v", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "u"), ("a", "v"),
+                                ("u", "t"), ("v", "t")])
+        unit = synthesize_counter_control(schedule_graph(g))
+        thresholds = [(c.anchor, c.threshold) for c in unit.comparators]
+        assert len(thresholds) == len(set(thresholds))
+
+    def test_and_gate_only_for_multi_anchor_ops(self, fig12_schedule):
+        unit = synthesize_counter_control(fig12_schedule)
+        gated = {g.output for g in unit.and_gates}
+        assert "enable_v" in gated
+        # The anchor operations themselves synchronize on the source
+        # only: single term, no conjunction needed.
+        assert "enable_a" not in gated
+        assert "enable_b" not in gated
+
+
+class TestShiftRegisterControl:
+    def test_fig12b_structure(self, fig12_schedule):
+        unit = synthesize_shift_register_control(fig12_schedule)
+        assert unit.style == "shift-register"
+        lengths = {s.anchor: s.length for s in unit.shift_registers}
+        # SR_a spans up to sigma_a^max.
+        assert lengths["a"] == fig12_schedule.max_offset("a")
+        assert lengths["b"] == fig12_schedule.max_offset("b")
+
+    def test_no_comparators(self, fig12_schedule):
+        unit = synthesize_shift_register_control(fig12_schedule)
+        assert unit.comparators == []
+        assert unit.cost().comparator_bits == 0
+
+    def test_register_count_is_sum_of_max_offsets(self, fig12_schedule):
+        unit = synthesize_shift_register_control(fig12_schedule)
+        expected = sum(s.length for s in unit.shift_registers)
+        assert unit.cost().registers == expected
+
+
+class TestCostModel:
+    def test_cost_addition(self):
+        total = ControlCost(1, 2, 3) + ControlCost(10, 20, 30)
+        assert (total.registers, total.comparator_bits, total.gate_inputs) == \
+            (11, 22, 33)
+
+    def test_weighted_total(self):
+        cost = ControlCost(registers=2, comparator_bits=4, gate_inputs=8)
+        assert cost.total(register_weight=1, comparator_weight=1, gate_weight=1) == 14
+        assert cost.total() == 2 * 2.0 + 4 * 1.5 + 8 * 1.0
+
+    def test_tradeoff_counter_vs_shift_register(self):
+        """The paper's Section VI trade-off: shift registers spend more
+        registers, counters spend comparator logic."""
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        chain = "a"
+        for i in range(6):  # long offsets: SRs get expensive
+            g.add_operation(f"p{i}", 4)
+            g.add_sequencing_edge(chain, f"p{i}")
+            chain = f"p{i}"
+        g.add_sequencing_edge(chain, "t")
+        schedule = schedule_graph(g)
+        counter = synthesize_counter_control(schedule).cost()
+        shift = synthesize_shift_register_control(schedule).cost()
+        assert shift.registers > counter.registers
+        assert counter.comparator_bits > shift.comparator_bits
+
+
+class TestIrredundantAnchorsSaveControl:
+    def test_smaller_control_with_minimum_anchor_sets(self):
+        """Section VI: removing redundant anchors cuts both the number of
+        synchronizations and sigma^max, shrinking the control."""
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("b", UNBOUNDED)
+        g.add_operation("v", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "b"), ("b", "v"), ("v", "t")])
+        full = schedule_graph(g, anchor_mode=AnchorMode.FULL)
+        minimal = schedule_graph(g, anchor_mode=AnchorMode.IRREDUNDANT)
+        for synthesize in (synthesize_counter_control,
+                           synthesize_shift_register_control):
+            cost_full = synthesize(full).cost()
+            cost_minimal = synthesize(minimal).cost()
+            assert cost_minimal.registers <= cost_full.registers
+            assert cost_minimal.gate_inputs <= cost_full.gate_inputs
+        counter_full = synthesize_counter_control(full).cost()
+        counter_minimal = synthesize_counter_control(minimal).cost()
+        assert counter_minimal.comparator_bits < counter_full.comparator_bits
+
+
+class TestAdaptiveControl:
+    def test_hierarchy_wiring(self):
+        from repro.control import synthesize_adaptive_control
+        from repro.control.fsm import total_control_cost
+        from repro.designs.gcd import build_gcd
+        from repro.seqgraph import schedule_design
+
+        result = schedule_design(build_gcd())
+        controllers = synthesize_adaptive_control(result)
+        assert set(controllers) == set(result.design.graphs)
+        root = controllers["gcd"]
+        assert root.loop_ops and root.cond_ops
+        assert root.handshake_count() == len(root.children)
+        cost = total_control_cost(controllers)
+        assert cost.registers > 0
+
+    def test_unknown_style_rejected(self):
+        from repro.control import synthesize_adaptive_control
+        from repro.designs.gcd import build_gcd
+        from repro.seqgraph import schedule_design
+
+        result = schedule_design(build_gcd())
+        with pytest.raises(ValueError):
+            synthesize_adaptive_control(result, style="rom")

@@ -1,0 +1,112 @@
+"""Tests for microprogrammed control of bounded graphs."""
+
+import pytest
+
+from repro import AnchorMode, ConstraintGraph, UNBOUNDED, schedule_graph
+from repro.control.microcode import (
+    Microcode,
+    UnboundedScheduleError,
+    compare_with_relative_control,
+    synthesize_microcode,
+)
+
+
+@pytest.fixture
+def bounded_schedule():
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("x", 2)
+    g.add_operation("y", 3)
+    g.add_operation("z", 1)
+    g.add_sequencing_edges([("s", "x"), ("s", "y"), ("x", "z"),
+                            ("y", "z"), ("z", "t")])
+    return schedule_graph(g, anchor_mode=AnchorMode.FULL)
+
+
+class TestSynthesizeMicrocode:
+    def test_rom_shape(self, bounded_schedule):
+        microcode = synthesize_microcode(bounded_schedule)
+        # latency 4 -> cycles 0..4
+        assert microcode.depth == 5
+        assert microcode.width == 4  # x, y, z, t
+
+    def test_enable_cycles_match_schedule(self, bounded_schedule):
+        microcode = synthesize_microcode(bounded_schedule)
+        start = bounded_schedule.start_times({})
+        for op in ("x", "y", "z", "t"):
+            assert microcode.enable_cycle(op) == start[op]
+
+    def test_one_hot_per_operation(self, bounded_schedule):
+        microcode = synthesize_microcode(bounded_schedule)
+        for column in range(microcode.width):
+            bits = [word[column] for word in microcode.words]
+            assert sum(bits) == 1
+
+    def test_cost_accessors(self, bounded_schedule):
+        microcode = synthesize_microcode(bounded_schedule)
+        assert microcode.rom_bits() == microcode.depth * microcode.width
+        assert microcode.counter_bits() == 3  # count to 4
+
+    def test_unknown_operation(self, bounded_schedule):
+        microcode = synthesize_microcode(bounded_schedule)
+        with pytest.raises(ValueError):
+            microcode.enable_cycle("ghost")
+
+    def test_format(self, bounded_schedule):
+        text = synthesize_microcode(bounded_schedule).format()
+        assert "cycle" in text and "z" in text
+
+    def test_unbounded_graph_rejected_with_guidance(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("v", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "v"), ("v", "t")])
+        schedule = schedule_graph(g)
+        with pytest.raises(UnboundedScheduleError, match="shift-register"):
+            synthesize_microcode(schedule)
+
+    def test_respects_timing_constraints(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("x", 1)
+        g.add_operation("y", 1)
+        g.add_sequencing_edges([("s", "x"), ("x", "y"), ("y", "t")])
+        g.add_min_constraint("s", "y", 6)
+        schedule = schedule_graph(g, anchor_mode=AnchorMode.FULL)
+        microcode = synthesize_microcode(schedule)
+        assert microcode.enable_cycle("y") == 6
+
+
+class TestComparison:
+    def test_comparison_keys(self, bounded_schedule):
+        summary = compare_with_relative_control(bounded_schedule)
+        assert set(summary) == {"microcode_rom_bits",
+                                "microcode_counter_bits",
+                                "counter_registers",
+                                "counter_comparator_bits",
+                                "shift_registers"}
+
+    def test_microcode_eliminates_comparators(self, bounded_schedule):
+        summary = compare_with_relative_control(bounded_schedule)
+        # the ROM replaces all comparison logic with storage
+        assert summary["microcode_rom_bits"] > 0
+        assert summary["counter_comparator_bits"] > 0
+
+    def test_bounded_design_graphs_synthesize(self):
+        """Every bounded graph of the evaluation designs accepts
+        microcode; unbounded ones raise."""
+        from repro.designs import build_design
+        from repro.seqgraph import schedule_design
+
+        result = schedule_design(build_design("frisc"),
+                                 anchor_mode=AnchorMode.FULL)
+        bounded = unbounded = 0
+        for name, schedule in result.schedules.items():
+            graph = result.constraint_graphs[name]
+            if graph.anchors == [graph.source]:
+                microcode = synthesize_microcode(schedule)
+                assert microcode.depth >= 1
+                bounded += 1
+            else:
+                with pytest.raises(UnboundedScheduleError):
+                    synthesize_microcode(schedule)
+                unbounded += 1
+        assert bounded > 0 and unbounded > 0

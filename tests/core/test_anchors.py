@@ -1,0 +1,199 @@
+"""Unit tests for anchor sets, relevant anchors, irredundant anchors.
+
+Covers Definitions 2, 4, 8-11 and the examples of Figs. 4, 5, 7, 8.
+"""
+
+import pytest
+
+from repro import ConstraintGraph, UNBOUNDED
+from repro.core.anchors import (
+    AnchorMode,
+    anchor_set_statistics,
+    anchor_sets_for_mode,
+    find_anchor_sets,
+    irredundant_anchors,
+    relevant_anchors,
+)
+
+
+class TestFindAnchorSets:
+    def test_table2_anchor_sets(self, fig2_graph):
+        """Table II, column A(v)."""
+        anchor_sets = find_anchor_sets(fig2_graph)
+        assert anchor_sets["v0"] == frozenset()
+        assert anchor_sets["a"] == {"v0"}
+        assert anchor_sets["v1"] == {"v0"}
+        assert anchor_sets["v2"] == {"v0"}
+        assert anchor_sets["v3"] == {"v0", "a"}
+        assert anchor_sets["v4"] == {"v0", "a"}
+
+    def test_source_in_every_anchor_set(self, fig2_graph):
+        anchor_sets = find_anchor_sets(fig2_graph)
+        for vertex, tags in anchor_sets.items():
+            if vertex != fig2_graph.source:
+                assert fig2_graph.source in tags
+
+    def test_source_anchor_set_empty(self, fig2_graph):
+        assert find_anchor_sets(fig2_graph)[fig2_graph.source] == frozenset()
+
+    def test_min_constraint_edge_does_not_inject_anchor(self):
+        # A bounded min-constraint edge out of an anchor propagates the
+        # anchor's own set but not the anchor itself (Definition 4 needs
+        # an unbounded-weight edge on the path).
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("v", 1)
+        g.add_sequencing_edges([("s", "a"), ("s", "v"), ("a", "t"), ("v", "t")])
+        g.add_min_constraint("a", "v", 2)
+        anchor_sets = find_anchor_sets(g)
+        assert "a" not in anchor_sets["v"]
+        assert anchor_sets["v"] == {"s"}
+
+    def test_anchor_chain_accumulates(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("b", UNBOUNDED)
+        g.add_operation("v", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "b"), ("b", "v"), ("v", "t")])
+        anchor_sets = find_anchor_sets(g)
+        assert anchor_sets["v"] == {"s", "a", "b"}
+
+    def test_backward_edges_ignored(self, fig2_graph):
+        # Anchor sets consider the forward graph only (Definition 4).
+        before = find_anchor_sets(fig2_graph)
+        fig2_graph.add_max_constraint("v3", "v4", 9)
+        after = find_anchor_sets(fig2_graph)
+        assert before == after
+
+
+class TestRelevantAnchors:
+    def test_fig4_cascade_both_relevant(self):
+        """Fig. 4: a -> b -> v; only b has a *defining* path to v, but a
+        still reaches v through b's unbounded edge, so only b is
+        relevant."""
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("b", UNBOUNDED)
+        g.add_operation("v", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "b"), ("b", "v"), ("v", "t")])
+        relevant = relevant_anchors(g)
+        assert "b" in relevant["v"]
+        assert "a" not in relevant["v"]
+        assert relevant["b"] == {"a"}
+
+    def test_fig5b_backward_edge_creates_relevance(self):
+        """Fig. 5(b): a backward edge from vj to vi extends a's defining
+        path to vi even though vi is not a forward successor of a."""
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("b", UNBOUNDED)
+        g.add_operation("vi", 1)
+        g.add_operation("vj", 1)
+        g.add_sequencing_edges([("s", "a"), ("s", "b"), ("b", "vi"),
+                                ("a", "vj"), ("vi", "t"), ("vj", "t")])
+        g.add_max_constraint("vi", "vj", 3)  # backward edge (vj, vi)
+        relevant = relevant_anchors(g)
+        assert relevant["vi"] >= {"a", "b"}
+        anchor_sets = find_anchor_sets(g)
+        assert "a" not in anchor_sets["vi"]  # backward paths don't count for A(v)
+
+    def test_propagation_stops_at_unbounded_edges(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("mid", 2)
+        g.add_operation("b", UNBOUNDED)
+        g.add_operation("after", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "mid"), ("mid", "b"),
+                                ("b", "after"), ("after", "t")])
+        relevant = relevant_anchors(g)
+        assert relevant["mid"] == {"a"}
+        assert relevant["b"] == {"a"}       # bounded edge mid->b extends the path
+        assert relevant["after"] == {"b"}   # a's propagation stopped at delta(b)
+
+    def test_relevant_subset_of_full_for_well_posed(self, fig2_graph):
+        # Lemma 4: well-posed iff R(v) subset-of A(v) for all v.
+        anchor_sets = find_anchor_sets(fig2_graph)
+        relevant = relevant_anchors(fig2_graph)
+        for vertex in fig2_graph.vertex_names():
+            assert relevant[vertex] <= anchor_sets[vertex]
+
+
+class TestIrredundantAnchors:
+    def test_fig8a_irredundant(self):
+        """Fig. 8(a): a's maximal defining path (through v1) is the longest
+        a-to-v3 path, so a stays irredundant."""
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("b", UNBOUNDED)
+        g.add_operation("v1", 5)
+        g.add_operation("v3", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "b"), ("a", "v1"),
+                                ("b", "v3"), ("v1", "v3"), ("v3", "t")])
+        irredundant = irredundant_anchors(g)
+        assert "a" in irredundant["v3"]
+        assert "b" in irredundant["v3"]
+
+    def test_fig8b_redundant(self):
+        """Fig. 8(b): the longest a-to-v3 path runs through anchor b, so b
+        dominates a and a is redundant for v3 (Fig. 7's cascade)."""
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("b", UNBOUNDED)
+        g.add_operation("v1", 0)
+        g.add_operation("v3", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "b"), ("a", "v1"),
+                                ("b", "v3"), ("v1", "v3"), ("v3", "t")])
+        irredundant = irredundant_anchors(g)
+        assert "a" not in irredundant["v3"]
+        assert "b" in irredundant["v3"]
+
+    def test_source_dominated_by_downstream_anchor(self):
+        # s -> a -> v: the source is redundant for v (a completes later).
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("v", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "v"), ("v", "t")])
+        irredundant = irredundant_anchors(g)
+        assert irredundant["v"] == {"a"}
+
+    def test_parallel_anchors_both_needed(self):
+        # Disjoint paths from two anchors: neither dominates.
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a1", UNBOUNDED)
+        g.add_operation("a2", UNBOUNDED)
+        g.add_operation("join", 1)
+        g.add_sequencing_edges([("s", "a1"), ("s", "a2"), ("a1", "join"),
+                                ("a2", "join"), ("join", "t")])
+        irredundant = irredundant_anchors(g)
+        assert irredundant["join"] == {"a1", "a2"}
+
+    def test_irredundant_subset_of_relevant(self, fig2_graph):
+        # Theorem 5: IR(v) subset-of R(v).
+        relevant = relevant_anchors(fig2_graph)
+        irredundant = irredundant_anchors(fig2_graph)
+        for vertex in fig2_graph.vertex_names():
+            assert irredundant[vertex] <= relevant[vertex]
+
+    def test_table2_graph_minimum_sets(self, fig2_graph):
+        irredundant = irredundant_anchors(fig2_graph)
+        # v3 activates 0 cycles after a: a is needed; v0's longest path to
+        # v3 (length 3) exceeds length(v0,a)+length(a,v3)=0+0, so v0 is
+        # also irredundant for v3.
+        assert irredundant["v3"] == {"v0", "a"}
+        # For v4 both paths extend by the same delta(v3)=5: same story.
+        assert irredundant["v4"] == {"v0", "a"}
+        # But for a itself and v1/v2 the only anchor is v0.
+        assert irredundant["a"] == {"v0"}
+
+
+class TestAnchorModeDispatch:
+    def test_modes_return_consistent_shapes(self, fig2_graph):
+        for mode in AnchorMode:
+            sets = anchor_sets_for_mode(fig2_graph, mode)
+            assert set(sets) == set(fig2_graph.vertex_names())
+
+    def test_statistics(self, fig2_graph):
+        stats = anchor_set_statistics(find_anchor_sets(fig2_graph))
+        # Table II: |A(v)| = 0,1,1,1,2,2 over the six vertices.
+        assert stats["total"] == 7
+        assert stats["average"] == pytest.approx(7 / 6)

@@ -1,0 +1,111 @@
+"""Unit tests for timing-constraint objects and Table I translation."""
+
+import pytest
+
+from repro import ConstraintGraph, MaxTimingConstraint, MinTimingConstraint, UNBOUNDED
+from repro.core.constraints import (
+    apply_constraints,
+    constraint_slack,
+    exact_constraint,
+    validate_min_constraints,
+)
+from repro.core.exceptions import CyclicForwardGraphError
+from repro.core.graph import EdgeKind
+
+
+def base_graph() -> ConstraintGraph:
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("x", 2)
+    g.add_operation("y", 1)
+    g.add_sequencing_edges([("s", "x"), ("x", "y"), ("y", "t")])
+    return g
+
+
+class TestConstraintObjects:
+    def test_min_constraint_apply(self):
+        g = base_graph()
+        edge = MinTimingConstraint("x", "y", 4).apply(g)
+        assert edge.kind is EdgeKind.MIN_TIME
+        assert (edge.tail, edge.head, edge.weight) == ("x", "y", 4)
+
+    def test_max_constraint_apply(self):
+        g = base_graph()
+        edge = MaxTimingConstraint("x", "y", 4).apply(g)
+        assert edge.kind is EdgeKind.MAX_TIME
+        assert (edge.tail, edge.head, edge.weight) == ("y", "x", -4)
+
+    def test_negative_cycles_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            MinTimingConstraint("x", "y", -1)
+        with pytest.raises(ValueError):
+            MaxTimingConstraint("x", "y", -3)
+
+    def test_str_matches_hardwarec_syntax(self):
+        assert str(MinTimingConstraint("a", "b", 1)) == \
+            "mintime from a to b = 1 cycles"
+        assert str(MaxTimingConstraint("a", "b", 1)) == \
+            "maxtime from a to b = 1 cycles"
+
+    def test_frozen(self):
+        c = MinTimingConstraint("a", "b", 1)
+        with pytest.raises(AttributeError):
+            c.cycles = 2
+
+
+class TestExactConstraint:
+    def test_produces_min_and_max_pair(self):
+        pair = exact_constraint("a", "b", 1)
+        assert isinstance(pair[0], MinTimingConstraint)
+        assert isinstance(pair[1], MaxTimingConstraint)
+        assert pair[0].cycles == pair[1].cycles == 1
+
+    def test_exact_pins_separation(self):
+        from repro import AnchorMode, schedule_graph
+
+        g = base_graph()
+        apply_constraints(g, exact_constraint("x", "y", 5))
+        schedule = schedule_graph(g, anchor_mode=AnchorMode.FULL)
+        assert schedule.offset("y", "s") == schedule.offset("x", "s") + 5
+
+
+class TestApplyAndValidate:
+    def test_apply_constraints_returns_edges(self):
+        g = base_graph()
+        edges = apply_constraints(g, [MinTimingConstraint("s", "y", 3),
+                                      MaxTimingConstraint("x", "y", 9)])
+        assert len(edges) == 2
+
+    def test_validate_min_rejects_antidependent_constraint(self):
+        g = base_graph()
+        MinTimingConstraint("y", "x", 2).apply(g)  # against the partial order
+        with pytest.raises(CyclicForwardGraphError):
+            validate_min_constraints(g)
+
+    def test_validate_min_accepts_consistent(self):
+        g = base_graph()
+        MinTimingConstraint("x", "y", 2).apply(g)
+        validate_min_constraints(g)
+
+
+class TestConstraintSlack:
+    def test_slack_report(self):
+        from repro import AnchorMode, schedule_graph
+
+        g = base_graph()
+        g.add_min_constraint("s", "y", 1)   # loose: x path forces 2
+        g.add_max_constraint("x", "y", 6)   # loose
+        schedule = schedule_graph(g, anchor_mode=AnchorMode.FULL)
+        rows = constraint_slack(g, schedule)
+        by_kind = {row["kind"]: row for row in rows if row["kind"] != "sequencing"}
+        assert by_kind["min_time"]["slack"] == 1   # sigma(y)=2 vs bound 1
+        assert by_kind["max_time"]["slack"] == 4   # 2 <= 0 + 6, slack 4
+        assert not by_kind["min_time"]["active"]
+
+    def test_active_constraint_has_zero_slack(self):
+        from repro import AnchorMode, schedule_graph
+
+        g = base_graph()
+        g.add_min_constraint("s", "y", 10)
+        schedule = schedule_graph(g, anchor_mode=AnchorMode.FULL)
+        rows = [r for r in constraint_slack(g, schedule) if r["kind"] == "min_time"]
+        assert rows[0]["slack"] == 0 and rows[0]["active"]

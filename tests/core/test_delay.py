@@ -1,0 +1,82 @@
+"""Unit tests for bounded/unbounded execution delays."""
+
+import pickle
+
+import pytest
+
+from repro.core.delay import (
+    UNBOUNDED,
+    Unbounded,
+    is_unbounded,
+    min_value,
+    resolve,
+    validate_delay,
+)
+
+
+class TestUnboundedSentinel:
+    def test_singleton_identity(self):
+        assert Unbounded() is UNBOUNDED
+
+    def test_repr(self):
+        assert repr(UNBOUNDED) == "UNBOUNDED"
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(UNBOUNDED)) is UNBOUNDED
+
+    def test_is_unbounded(self):
+        assert is_unbounded(UNBOUNDED)
+        assert not is_unbounded(0)
+        assert not is_unbounded(7)
+
+
+class TestValidateDelay:
+    def test_accepts_zero(self):
+        assert validate_delay(0) == 0
+
+    def test_accepts_positive(self):
+        assert validate_delay(12) == 12
+
+    def test_accepts_unbounded(self):
+        assert validate_delay(UNBOUNDED) is UNBOUNDED
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_delay(-1)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            validate_delay(1.5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            validate_delay(True)
+
+    def test_rejects_none(self):
+        with pytest.raises(TypeError):
+            validate_delay(None)
+
+
+class TestMinValue:
+    def test_unbounded_minimum_is_zero(self):
+        # Definition 3 / Theorem 1: unbounded delays evaluate to 0.
+        assert min_value(UNBOUNDED) == 0
+
+    def test_bounded_passthrough(self):
+        assert min_value(4) == 4
+
+
+class TestResolve:
+    def test_bounded_ignores_profile(self):
+        assert resolve(3, "x", {"x": 99}) == 3
+
+    def test_unbounded_reads_profile(self):
+        assert resolve(UNBOUNDED, "loop", {"loop": 17}) == 17
+
+    def test_unbounded_missing_from_profile(self):
+        with pytest.raises(KeyError):
+            resolve(UNBOUNDED, "loop", {})
+
+    def test_negative_profile_rejected(self):
+        with pytest.raises(ValueError):
+            resolve(UNBOUNDED, "loop", {"loop": -2})

@@ -1,0 +1,61 @@
+"""Tests for infeasibility explanation."""
+
+import pytest
+
+from repro import ConstraintGraph, UNBOUNDED
+from repro.core.explain import explain_infeasibility
+
+
+def conflicted_graph(min_gap=5, max_gap=3):
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("x", 1)
+    g.add_operation("y", 1)
+    g.add_sequencing_edges([("s", "x"), ("x", "y"), ("y", "t")])
+    g.add_min_constraint("x", "y", min_gap)
+    g.add_max_constraint("x", "y", max_gap)
+    return g
+
+
+class TestExplainInfeasibility:
+    def test_feasible_graph_returns_none(self):
+        g = conflicted_graph(min_gap=2, max_gap=5)
+        assert explain_infeasibility(g) is None
+
+    def test_witness_cycle_found(self):
+        explanation = explain_infeasibility(conflicted_graph())
+        assert explanation is not None
+        assert set(explanation.cycle) == {"x", "y"}
+
+    def test_excess_quantified(self):
+        # min 5 vs max 3: two cycles over-constrained
+        explanation = explain_infeasibility(conflicted_graph(5, 3))
+        assert explanation.excess == 2
+
+    def test_provenance_described(self):
+        explanation = explain_infeasibility(conflicted_graph())
+        text = explanation.format()
+        assert "minimum constraint" in text
+        assert "maximum constraint" in text
+        assert "over-constrained by 2" in text
+        assert "fix:" in text
+
+    def test_dependency_chain_in_cycle(self):
+        """The forward path through a slow op also explains infeasibility."""
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("slow", 9)
+        g.add_operation("z", 1)
+        g.add_sequencing_edges([("s", "slow"), ("slow", "z"), ("z", "t")])
+        g.add_max_constraint("slow", "z", 4)  # but delta(slow)=9
+        explanation = explain_infeasibility(g)
+        assert explanation.excess == 5
+        assert "dependency" in explanation.format()
+
+    def test_parallel_edges_use_heaviest(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("x", 1)
+        g.add_operation("y", 1)
+        g.add_sequencing_edges([("s", "x"), ("x", "y"), ("y", "t")])
+        g.add_min_constraint("x", "y", 8)   # heavier than delta(x)=1
+        g.add_max_constraint("x", "y", 3)
+        explanation = explain_infeasibility(g)
+        assert explanation.excess == 5  # 8 - 3, not 1 - 3

@@ -1,0 +1,253 @@
+"""Unit tests for the constraint-graph model (Section III, Table I)."""
+
+import pytest
+
+from repro import ConstraintGraph, UNBOUNDED
+from repro.core.exceptions import CyclicForwardGraphError, GraphStructureError
+from repro.core.graph import EdgeKind
+
+
+def simple_graph() -> ConstraintGraph:
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("x", 2)
+    g.add_operation("y", UNBOUNDED)
+    g.add_sequencing_edges([("s", "x"), ("x", "y"), ("y", "t")])
+    return g
+
+
+class TestConstruction:
+    def test_source_is_unbounded_anchor(self):
+        g = ConstraintGraph(source="s", sink="t")
+        assert g.vertex("s").is_unbounded
+        assert "s" in g.anchors
+
+    def test_sink_default_delay_zero(self):
+        g = ConstraintGraph(source="s", sink="t")
+        assert g.delta("t") == 0
+
+    def test_duplicate_vertex_rejected(self):
+        g = ConstraintGraph()
+        g.add_operation("x", 1)
+        with pytest.raises(GraphStructureError):
+            g.add_operation("x", 2)
+
+    def test_unknown_endpoint_rejected(self):
+        g = ConstraintGraph()
+        with pytest.raises(GraphStructureError):
+            g.add_sequencing_edge("v0", "nope")
+
+    def test_negative_delay_rejected(self):
+        g = ConstraintGraph()
+        with pytest.raises(ValueError):
+            g.add_operation("x", -1)
+
+    def test_empty_name_rejected(self):
+        g = ConstraintGraph()
+        with pytest.raises(GraphStructureError):
+            g.add_operation("", 1)
+
+    def test_contains_and_len(self):
+        g = simple_graph()
+        assert "x" in g
+        assert "zz" not in g
+        assert len(g) == 4
+
+
+class TestTableITranslation:
+    """Table I: the three edge-creation rules."""
+
+    def test_sequencing_edge_carries_tail_delay(self):
+        g = simple_graph()
+        edge = next(e for e in g.edges() if e.tail == "s" and e.head == "x")
+        assert edge.kind is EdgeKind.SEQUENCING
+        assert edge.is_unbounded  # delta(source) is unbounded
+        edge_xy = next(e for e in g.edges() if e.tail == "x")
+        assert edge_xy.weight == 2  # delta(x)
+
+    def test_min_constraint_is_forward_edge_with_weight_l(self):
+        g = simple_graph()
+        edge = g.add_min_constraint("x", "y", 3)
+        assert edge.tail == "x" and edge.head == "y"
+        assert edge.weight == 3
+        assert edge.is_forward
+        assert edge.kind is EdgeKind.MIN_TIME
+
+    def test_max_constraint_is_backward_edge_with_negated_weight(self):
+        g = simple_graph()
+        edge = g.add_max_constraint("x", "y", 4)
+        # sigma(y) <= sigma(x) + 4  -->  edge (y, x) with weight -4
+        assert edge.tail == "y" and edge.head == "x"
+        assert edge.weight == -4
+        assert edge.is_backward
+        assert edge.kind is EdgeKind.MAX_TIME
+
+    def test_negative_constraint_bounds_rejected(self):
+        g = simple_graph()
+        with pytest.raises(ValueError):
+            g.add_min_constraint("x", "y", -1)
+        with pytest.raises(ValueError):
+            g.add_max_constraint("x", "y", -1)
+
+    def test_unbounded_sequencing_edge_from_anchor(self):
+        g = simple_graph()
+        edge = next(e for e in g.edges() if e.tail == "y")
+        assert edge.is_unbounded
+        assert edge.static_weight == 0
+
+    def test_serialization_edge_requires_anchor_tail(self):
+        g = simple_graph()
+        with pytest.raises(GraphStructureError):
+            g.add_serialization_edge("x", "t")  # x is bounded
+        edge = g.add_serialization_edge("y", "t")
+        assert edge.kind is EdgeKind.SERIALIZATION
+        assert edge.is_unbounded
+
+
+class TestEdgePartition:
+    def test_forward_backward_split(self):
+        g = simple_graph()
+        g.add_min_constraint("s", "y", 2)
+        g.add_max_constraint("x", "y", 9)
+        assert len(g.forward_edges()) == 4
+        assert len(g.backward_edges()) == 1
+        assert len(g.edges()) == 5
+
+    def test_parallel_edges_allowed(self):
+        g = simple_graph()
+        g.add_min_constraint("x", "y", 5)  # parallel to sequencing edge
+        edges = [e for e in g.edges() if e.tail == "x" and e.head == "y"]
+        assert len(edges) == 2
+
+
+class TestTopologyQueries:
+    def test_forward_topological_order(self):
+        g = simple_graph()
+        order = g.forward_topological_order()
+        assert order.index("s") < order.index("x") < order.index("y") < order.index("t")
+
+    def test_forward_cycle_detected(self):
+        g = ConstraintGraph()
+        g.add_operation("x", 1)
+        g.add_operation("y", 1)
+        g.add_sequencing_edges([("v0", "x"), ("x", "y"), ("y", "vN")])
+        g.add_min_constraint("y", "x", 0)  # closes a forward cycle
+        with pytest.raises(CyclicForwardGraphError):
+            g.forward_topological_order()
+
+    def test_backward_edges_do_not_create_forward_cycles(self):
+        g = simple_graph()
+        g.add_max_constraint("x", "y", 1)
+        g.forward_topological_order()  # must not raise
+
+    def test_forward_reachability(self):
+        g = simple_graph()
+        assert g.is_forward_reachable("s", "t")
+        assert g.is_forward_reachable("x", "y")
+        assert not g.is_forward_reachable("y", "x")
+        assert not g.is_forward_reachable("x", "x")
+
+    def test_reachability_ignores_backward_edges(self):
+        g = simple_graph()
+        g.add_max_constraint("x", "y", 1)  # backward edge y -> x
+        assert not g.is_forward_reachable("y", "x")
+
+    def test_immediate_neighbours(self):
+        g = simple_graph()
+        assert g.immediate_successors("x") == ["y"]
+        assert g.immediate_predecessors("y") == ["x"]
+
+    def test_anchors_listing(self):
+        g = simple_graph()
+        assert set(g.anchors) == {"s", "y"}
+        assert g.is_anchor("y")
+        assert not g.is_anchor("x")
+
+
+class TestMakePolar:
+    def test_orphans_get_connected(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("lonely", 3)
+        g.make_polar()
+        g.validate()
+
+    def test_already_polar_graph_gains_sink_edge_only_for_source(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.make_polar()
+        # source connects straight to sink
+        assert any(e.tail == "s" and e.head == "t" for e in g.edges())
+        g.validate()
+
+
+class TestValidate:
+    def test_valid_polar_graph_passes(self, fig2_graph):
+        fig2_graph.validate()
+
+    def test_unreachable_vertex_rejected(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("island", 1)
+        g.add_sequencing_edge("s", "t")
+        g.add_sequencing_edge("island", "t")
+        with pytest.raises(GraphStructureError):
+            g.validate()
+
+    def test_vertex_missing_path_to_sink_rejected(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("deadend", 1)
+        g.add_sequencing_edge("s", "t")
+        g.add_sequencing_edge("s", "deadend")
+        with pytest.raises(GraphStructureError):
+            g.validate()
+
+
+class TestRemoveEdge:
+    def test_remove_restores_structure(self):
+        g = simple_graph()
+        edge = g.add_min_constraint("x", "y", 3)
+        before = len(g.edges())
+        g.remove_edge(edge)
+        assert len(g.edges()) == before - 1
+        assert edge not in g.out_edges("x")
+        assert edge not in g.in_edges("y")
+
+    def test_remove_missing_edge_rejected(self):
+        g = simple_graph()
+        edge = g.add_min_constraint("x", "y", 3)
+        g.remove_edge(edge)
+        with pytest.raises(GraphStructureError):
+            g.remove_edge(edge)
+
+    def test_remove_one_of_parallel_edges(self):
+        g = simple_graph()
+        first = g.add_min_constraint("x", "y", 5)
+        second = g.add_min_constraint("x", "y", 5)
+        g.remove_edge(first)
+        remaining = [e for e in g.edges()
+                     if e.tail == "x" and e.head == "y"
+                     and e.kind is EdgeKind.MIN_TIME]
+        assert len(remaining) == 1
+
+
+class TestCopyAndInterop:
+    def test_copy_is_independent(self, fig2_graph):
+        clone = fig2_graph.copy()
+        clone.add_operation("extra", 1)
+        clone.add_sequencing_edge("v3", "extra")
+        assert "extra" not in fig2_graph
+        assert len(clone.edges()) == len(fig2_graph.edges()) + 1
+
+    def test_to_networkx(self, fig2_graph):
+        nxg = fig2_graph.to_networkx()
+        assert nxg.number_of_nodes() == len(fig2_graph)
+        assert nxg.number_of_edges() == len(fig2_graph.edges())
+        assert nxg.graph["source"] == "v0"
+
+    def test_to_dot_mentions_all_vertices(self, fig2_graph):
+        dot = fig2_graph.to_dot()
+        for name in fig2_graph.vertex_names():
+            assert f'"{name}"' in dot
+        assert "dashed" in dot  # the max constraint renders as backward edge
+
+    def test_repr_summarises_sizes(self, fig2_graph):
+        text = repr(fig2_graph)
+        assert "|V|=6" in text
+        assert "|Eb|=1" in text

@@ -1,0 +1,121 @@
+"""Tests for incremental rescheduling (warm-started relaxation)."""
+
+import random
+
+import pytest
+
+from repro import (
+    AnchorMode,
+    ConstraintGraph,
+    IllPosedError,
+    InconsistentConstraintsError,
+    MaxTimingConstraint,
+    MinTimingConstraint,
+    UNBOUNDED,
+    WellPosedness,
+    check_well_posed,
+    schedule_graph,
+)
+from repro.core.exceptions import CyclicForwardGraphError
+from repro.core.incremental import (
+    add_constraint_incremental,
+    without_constraint,
+)
+from repro.designs.random_graphs import random_constraint_graph
+
+
+@pytest.fixture
+def base_schedule():
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("a", UNBOUNDED)
+    g.add_operation("x", 2)
+    g.add_operation("y", 3)
+    g.add_sequencing_edges([("s", "a"), ("a", "x"), ("x", "y"), ("y", "t")])
+    return schedule_graph(g, anchor_mode=AnchorMode.FULL)
+
+
+class TestAddConstraint:
+    def test_min_constraint_pushes_offsets(self, base_schedule):
+        updated = add_constraint_incremental(
+            base_schedule, MinTimingConstraint("x", "y", 7))
+        assert updated.offset("y", "a") == 7
+        # the original schedule is untouched
+        assert base_schedule.offset("y", "a") == 2
+
+    def test_loose_max_constraint_changes_nothing(self, base_schedule):
+        updated = add_constraint_incremental(
+            base_schedule, MaxTimingConstraint("x", "y", 9))
+        assert updated.offsets == base_schedule.offsets
+
+    def test_tight_max_constraint_drags_head(self, base_schedule):
+        # force y within 1 of x while a min constraint pushes y out
+        pushed = add_constraint_incremental(
+            base_schedule, MinTimingConstraint("s", "y", 9))
+        updated = add_constraint_incremental(
+            pushed, MaxTimingConstraint("x", "y", 2))
+        assert updated.offset("y", "s") <= updated.offset("x", "s") + 2
+        updated.validate()
+
+    def test_inconsistent_addition_detected(self, base_schedule):
+        with pytest.raises(InconsistentConstraintsError):
+            add_constraint_incremental(
+                base_schedule, MaxTimingConstraint("x", "y", 1))  # delta(x)=2
+
+    def test_antidependent_min_rejected(self, base_schedule):
+        with pytest.raises(CyclicForwardGraphError):
+            add_constraint_incremental(
+                base_schedule, MinTimingConstraint("y", "x", 1))
+
+    def test_ill_posed_max_rejected(self, base_schedule):
+        # a constraint into the anchor's own frame from outside it
+        with pytest.raises(IllPosedError):
+            add_constraint_incremental(
+                base_schedule, MaxTimingConstraint("s", "x", 1))
+
+
+class TestEquivalenceWithFromScratch:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_incremental_equals_scratch(self, seed):
+        """Warm-started rescheduling lands on exactly the from-scratch
+        minimum schedule for random added constraints."""
+        rng = random.Random(seed)
+        graph = random_constraint_graph(rng, 10 + seed % 6)
+        if check_well_posed(graph) is not WellPosedness.WELL_POSED:
+            pytest.skip("sampled graph not well-posed")
+        schedule = schedule_graph(graph, anchor_mode=AnchorMode.FULL)
+
+        order = graph.forward_topological_order()
+        position = {n: i for i, n in enumerate(order)}
+        pairs = [(t, h) for t in order for h in order
+                 if position[t] < position[h]
+                 and graph.is_forward_reachable(t, h)]
+        if not pairs:
+            pytest.skip("no candidate pair")
+        tail, head = rng.choice(pairs)
+        constraint = MinTimingConstraint(tail, head, rng.randint(1, 6))
+
+        incremental = add_constraint_incremental(schedule, constraint)
+        scratch_graph = graph.copy()
+        constraint.apply(scratch_graph)
+        scratch = schedule_graph(scratch_graph, anchor_mode=AnchorMode.FULL)
+        assert incremental.offsets == scratch.offsets
+
+
+class TestRemoveConstraint:
+    def test_removal_relaxes(self, base_schedule):
+        tightened = add_constraint_incremental(
+            base_schedule, MinTimingConstraint("x", "y", 7))
+        edge = next(e for e in tightened.graph.edges()
+                    if e.kind.value == "min_time")
+        relaxed = without_constraint(tightened, edge)
+        assert relaxed.offset("y", "a") == 2  # back to the sequencing bound
+
+    def test_removal_never_increases_offsets(self, base_schedule):
+        tightened = add_constraint_incremental(
+            base_schedule, MinTimingConstraint("s", "y", 11))
+        edge = next(e for e in tightened.graph.edges()
+                    if e.kind.value == "min_time")
+        relaxed = without_constraint(tightened, edge)
+        for vertex, offsets in relaxed.offsets.items():
+            for anchor, value in offsets.items():
+                assert value <= tightened.offsets[vertex][anchor]

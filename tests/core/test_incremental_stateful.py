@@ -1,0 +1,117 @@
+"""Stateful property test: an interactive constraint-editing session.
+
+Models a designer adding minimum/maximum constraints one at a time,
+rescheduling incrementally after each edit.  Invariants checked after
+every step:
+
+* the incremental schedule equals a from-scratch schedule of the same
+  graph (Lemma 8's warm-start argument, exercised across sequences of
+  edits rather than single ones);
+* offsets never decrease as constraints accumulate (monotonicity);
+* the schedule always validates.
+"""
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro import (
+    AnchorMode,
+    IllPosedError,
+    InconsistentConstraintsError,
+    MaxTimingConstraint,
+    MinTimingConstraint,
+    schedule_graph,
+)
+from repro.core.exceptions import CyclicForwardGraphError
+from repro.core.incremental import add_constraint_incremental
+from repro.designs.random_graphs import random_timed_graph
+
+
+class ConstraintEditingSession(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.schedule = None
+        self.previous_offsets = None
+
+    @initialize(seed=st.integers(min_value=0, max_value=200))
+    def build_graph(self, seed):
+        graph = random_timed_graph(seed, n_ops=10, n_max_constraints=1)
+        from repro import WellPosedness, check_well_posed
+
+        if check_well_posed(graph) is not WellPosedness.WELL_POSED:
+            graph = random_timed_graph(0, n_ops=10, n_max_constraints=0)
+        self.schedule = schedule_graph(graph, anchor_mode=AnchorMode.FULL)
+        self.order = graph.forward_topological_order()
+        self.position = {n: i for i, n in enumerate(self.order)}
+
+    def _pair(self, i: int, j: int):
+        a = self.order[i % len(self.order)]
+        b = self.order[j % len(self.order)]
+        if self.position[a] > self.position[b]:
+            a, b = b, a
+        if a == b or not self.schedule.graph.is_forward_reachable(a, b):
+            return None
+        return a, b
+
+    @rule(i=st.integers(0, 30), j=st.integers(0, 30), cycles=st.integers(0, 6))
+    def add_min(self, i, j, cycles):
+        pair = self._pair(i, j)
+        if pair is None:
+            return
+        self.previous_offsets = {v: dict(o)
+                                 for v, o in self.schedule.offsets.items()}
+        try:
+            self.schedule = add_constraint_incremental(
+                self.schedule, MinTimingConstraint(pair[0], pair[1], cycles))
+        except (InconsistentConstraintsError, CyclicForwardGraphError):
+            self.previous_offsets = None
+
+    @rule(i=st.integers(0, 30), j=st.integers(0, 30), cycles=st.integers(0, 20))
+    def add_max(self, i, j, cycles):
+        pair = self._pair(i, j)
+        if pair is None:
+            return
+        self.previous_offsets = {v: dict(o)
+                                 for v, o in self.schedule.offsets.items()}
+        try:
+            self.schedule = add_constraint_incremental(
+                self.schedule, MaxTimingConstraint(pair[0], pair[1], cycles))
+        except (InconsistentConstraintsError, IllPosedError):
+            self.previous_offsets = None
+
+    @invariant()
+    def matches_from_scratch(self):
+        if self.schedule is None:
+            return
+        scratch = schedule_graph(self.schedule.graph.copy(),
+                                 anchor_mode=AnchorMode.FULL,
+                                 auto_well_pose=False)
+        assert scratch.offsets == self.schedule.offsets
+
+    @invariant()
+    def offsets_monotone(self):
+        if self.schedule is None or self.previous_offsets is None:
+            return
+        for vertex, offsets in self.previous_offsets.items():
+            for anchor, value in offsets.items():
+                assert self.schedule.offsets[vertex][anchor] >= value
+
+    @invariant()
+    def schedule_valid(self):
+        if self.schedule is not None:
+            self.schedule.validate()
+
+
+ConstraintEditingSession.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=10, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+TestConstraintEditing = ConstraintEditingSession.TestCase

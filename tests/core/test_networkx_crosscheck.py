@@ -1,0 +1,93 @@
+"""Cross-validation of the path machinery against networkx.
+
+networkx is the library's one dependency; these tests use its
+independent longest-path and cycle algorithms as oracles for our
+Bellman-Ford/topological implementations on random graphs.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.paths import (
+    NO_PATH,
+    critical_path,
+    has_positive_cycle,
+    longest_paths_from,
+)
+from repro.designs.random_graphs import random_constraint_graph, random_dag
+
+
+def forward_digraph(graph):
+    """The forward subgraph as a simple weighted networkx DiGraph,
+    keeping the max weight across parallel edges."""
+    result = nx.DiGraph()
+    result.add_nodes_from(graph.vertex_names())
+    for edge in graph.forward_edges():
+        weight = edge.static_weight
+        if result.has_edge(edge.tail, edge.head):
+            weight = max(weight, result[edge.tail][edge.head]["weight"])
+        result.add_edge(edge.tail, edge.head, weight=weight)
+    return result
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_forward_longest_paths_match_networkx(seed):
+    graph = random_dag(random.Random(seed), n_ops=15)
+    ours = longest_paths_from(graph, graph.source, forward_only=True)
+    nxg = forward_digraph(graph)
+    # networkx: longest path via shortest path on negated weights over a DAG
+    order = list(nx.topological_sort(nxg))
+    dist = {graph.source: 0}
+    for node in order:
+        if node not in dist:
+            continue
+        for _, head, data in nxg.out_edges(node, data=True):
+            candidate = dist[node] + data["weight"]
+            if candidate > dist.get(head, float("-inf")):
+                dist[head] = candidate
+    for vertex in graph.vertex_names():
+        expected = dist.get(vertex)
+        observed = ours[vertex]
+        if expected is None:
+            assert observed is NO_PATH
+        else:
+            assert observed == expected, vertex
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_critical_path_matches_networkx_dag_longest_path(seed):
+    graph = random_dag(random.Random(seed), n_ops=12)
+    nxg = forward_digraph(graph)
+    expected = nx.dag_longest_path_length(nxg, weight="weight")
+    # dag_longest_path_length is the global longest path; ours is
+    # source-to-sink, which equals it in a polar graph
+    assert critical_path(graph) == expected
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_positive_cycle_agrees_with_networkx(seed):
+    rng = random.Random(seed)
+    graph = random_constraint_graph(rng, 10, well_posed_only=False,
+                                    feasible_only=False,
+                                    n_max_constraints=4)
+    full = nx.MultiDiGraph()
+    full.add_nodes_from(graph.vertex_names())
+    for edge in graph.edges():
+        full.add_edge(edge.tail, edge.head, weight=-edge.static_weight)
+    # a positive cycle in G is a negative cycle under negated weights
+    expected = nx.negative_edge_cycle(full, weight="weight")
+    assert has_positive_cycle(graph) == expected
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_to_networkx_round_trip_structure(seed):
+    graph = random_constraint_graph(random.Random(seed), 10)
+    nxg = graph.to_networkx()
+    assert nxg.number_of_nodes() == len(graph)
+    assert nxg.number_of_edges() == len(graph.edges())
+    assert set(nxg.nodes) == set(graph.vertex_names())
+    backward = sum(1 for _, _, data in nxg.edges(data=True)
+                   if data["kind"] == "max_time")
+    assert backward == len(graph.backward_edges())

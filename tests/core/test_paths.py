@@ -1,0 +1,154 @@
+"""Unit tests for longest-path machinery and positive-cycle detection."""
+
+import pytest
+
+from repro import ConstraintGraph, UNBOUNDED
+from repro.core.exceptions import UnfeasibleConstraintsError
+from repro.core.paths import (
+    NO_PATH,
+    critical_path,
+    find_positive_cycle,
+    has_positive_cycle,
+    length,
+    lengths_from_anchors,
+    longest_paths_from,
+    maximal_defining_path_length,
+)
+
+
+def chain_graph() -> ConstraintGraph:
+    """s -> x(2) -> y(3) -> t."""
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("x", 2)
+    g.add_operation("y", 3)
+    g.add_sequencing_edges([("s", "x"), ("x", "y"), ("y", "t")])
+    return g
+
+
+class TestLongestPaths:
+    def test_chain_lengths(self):
+        g = chain_graph()
+        dist = longest_paths_from(g, "s")
+        assert dist == {"s": 0, "x": 0, "y": 2, "t": 5}
+
+    def test_forward_only_matches_full_on_dag(self):
+        g = chain_graph()
+        assert longest_paths_from(g, "s") == longest_paths_from(g, "s", forward_only=True)
+
+    def test_unreachable_is_no_path(self):
+        g = chain_graph()
+        assert longest_paths_from(g, "y")["x"] is NO_PATH
+
+    def test_diamond_takes_longer_branch(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("fast", 1)
+        g.add_operation("slow", 7)
+        g.add_operation("join", 1)
+        g.add_sequencing_edges([("s", "fast"), ("s", "slow"),
+                                ("fast", "join"), ("slow", "join"),
+                                ("join", "t")])
+        assert length(g, "s", "join") == 7
+        assert length(g, "s", "t") == 8
+
+    def test_unbounded_weights_count_as_zero(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("x", 4)
+        g.add_sequencing_edges([("s", "a"), ("a", "x"), ("x", "t")])
+        assert length(g, "s", "t") == 4  # delta(s)=delta(a)=0 statically
+
+    def test_backward_edges_participate_in_length(self):
+        # length() is defined on the FULL graph (Section III).
+        g = chain_graph()
+        g.add_max_constraint("x", "y", 9)  # backward edge (y, x) weight -9
+        assert length(g, "y", "x") == -9
+
+    def test_min_constraint_can_dominate(self):
+        g = chain_graph()
+        g.add_min_constraint("s", "y", 10)
+        assert length(g, "s", "y") == 10
+        assert length(g, "s", "t") == 13
+
+    def test_critical_path(self):
+        assert critical_path(chain_graph()) == 5
+
+
+class TestPositiveCycles:
+    def test_acyclic_graph_has_none(self, fig2_graph):
+        assert not has_positive_cycle(fig2_graph)
+        assert find_positive_cycle(fig2_graph) is None
+
+    def test_conflicting_min_max_creates_positive_cycle(self):
+        g = chain_graph()
+        g.add_min_constraint("x", "y", 5)
+        g.add_max_constraint("x", "y", 3)  # u < l: positive cycle of +2
+        assert has_positive_cycle(g)
+        cycle = find_positive_cycle(g)
+        assert cycle is not None
+        assert set(cycle) == {"x", "y"}
+
+    def test_tight_max_equal_to_path_is_feasible(self):
+        g = chain_graph()
+        g.add_max_constraint("x", "y", 2)  # exactly the path length
+        assert not has_positive_cycle(g)
+
+    def test_max_below_path_length_is_positive_cycle(self):
+        g = chain_graph()
+        g.add_max_constraint("x", "y", 1)  # path forces 2, bound is 1
+        assert has_positive_cycle(g)
+
+    def test_zero_weight_cycle_is_not_positive(self):
+        # u_ij = l_ij = 0 style: cycle of total weight 0 is allowed.
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("x", 0)
+        g.add_operation("y", 1)
+        g.add_sequencing_edges([("s", "x"), ("x", "y"), ("y", "t")])
+        g.add_max_constraint("x", "y", 0)
+        assert not has_positive_cycle(g)
+
+    def test_longest_paths_raises_on_reachable_positive_cycle(self):
+        g = chain_graph()
+        g.add_min_constraint("x", "y", 5)
+        g.add_max_constraint("x", "y", 3)
+        with pytest.raises(UnfeasibleConstraintsError):
+            longest_paths_from(g, "s")
+
+
+class TestAnchorLengths:
+    def test_tables_cover_all_anchors(self, fig2_graph):
+        tables = lengths_from_anchors(fig2_graph)
+        assert set(tables) == {"v0", "a"}
+        assert tables["v0"]["v4"] == 8
+        assert tables["a"]["v4"] == 5
+        assert tables["a"]["v1"] is NO_PATH
+
+
+class TestMaximalDefiningPath:
+    def test_direct_successor(self, fig2_graph):
+        # a -> v3 via the unbounded edge: defining path of length 0.
+        assert maximal_defining_path_length(fig2_graph, "a", "v3") == 0
+        assert maximal_defining_path_length(fig2_graph, "a", "v4") == 5
+
+    def test_no_defining_path(self, fig2_graph):
+        assert maximal_defining_path_length(fig2_graph, "a", "v1") is NO_PATH
+
+    def test_blocked_by_second_unbounded_edge(self):
+        # a -> b -> v: every a-to-v path crosses delta(b), so no defining
+        # path from a to v exists (but one from b does).
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("b", UNBOUNDED)
+        g.add_operation("v", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "b"), ("b", "v"), ("v", "t")])
+        assert maximal_defining_path_length(g, "a", "v") is NO_PATH
+        assert maximal_defining_path_length(g, "b", "v") == 0
+
+    def test_takes_longest_defining_path(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("p", 2)
+        g.add_operation("q", 6)
+        g.add_operation("v", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "p"), ("a", "q"),
+                                ("p", "v"), ("q", "v"), ("v", "t")])
+        assert maximal_defining_path_length(g, "a", "v") == 6

@@ -1,0 +1,211 @@
+"""Unit tests for iterative incremental scheduling (Section IV-E).
+
+Covers the Table II offsets, multi-iteration readjustment, the
+inconsistency bound of Corollary 2, anchor-mode equivalence, and the
+minimality property of Theorem 3.
+"""
+
+import pytest
+
+from repro import (
+    AnchorMode,
+    ConstraintGraph,
+    InconsistentConstraintsError,
+    IterativeIncrementalScheduler,
+    UNBOUNDED,
+    UnfeasibleConstraintsError,
+    schedule_graph,
+)
+from repro.core.anchors import find_anchor_sets
+from repro.core.paths import NO_PATH, lengths_from_anchors
+
+
+class TestTableIIOffsets:
+    def test_minimum_offsets_match_paper(self, fig2_graph):
+        schedule = schedule_graph(fig2_graph, anchor_mode=AnchorMode.FULL)
+        assert schedule.offset("a", "v0") == 0
+        assert schedule.offset("v1", "v0") == 0
+        assert schedule.offset("v2", "v0") == 2
+        assert schedule.offset("v3", "v0") == 3
+        assert schedule.offset("v3", "a") == 0
+        assert schedule.offset("v4", "v0") == 8
+        assert schedule.offset("v4", "a") == 5
+
+    def test_start_time_formula_example(self, fig2_graph):
+        # Section III-A: T(v4) = max{T(v0)+d(v0)+8, T(a)+d(a)+5}.
+        schedule = schedule_graph(fig2_graph, anchor_mode=AnchorMode.FULL)
+        expr = schedule.start_time_expression("v4")
+        assert "T(v0) + d(v0) + 8" in expr
+        assert "T(a) + d(a) + 5" in expr
+
+    def test_start_times_under_profiles(self, fig2_graph):
+        schedule = schedule_graph(fig2_graph, anchor_mode=AnchorMode.FULL)
+        # With delta(a)=0 the source path dominates v4: T(v4)=8.
+        assert schedule.start_times({"a": 0})["v4"] == 8
+        # With a long synchronization the anchor path dominates.
+        assert schedule.start_times({"a": 10})["v4"] == 15
+        # Crossover at delta(a)=3: both terms equal 8.
+        assert schedule.start_times({"a": 3})["v4"] == 8
+
+    def test_completion_time(self, fig2_graph):
+        schedule = schedule_graph(fig2_graph)
+        assert schedule.completion_time({"a": 0}) == 8
+        assert schedule.completion_time({"a": 100}) == 105
+
+
+class TestTheorem3Minimality:
+    def test_offsets_equal_longest_paths(self, fig2_graph):
+        """Theorem 3: sigma_a^min(v) = length(a, v) in the full graph."""
+        schedule = schedule_graph(fig2_graph, anchor_mode=AnchorMode.FULL)
+        tables = lengths_from_anchors(fig2_graph)
+        anchor_sets = find_anchor_sets(fig2_graph)
+        for vertex in fig2_graph.vertex_names():
+            for anchor in anchor_sets[vertex]:
+                expected = tables[anchor][vertex]
+                assert expected is not NO_PATH
+                assert schedule.offset(vertex, anchor) == expected
+
+
+class TestReadjustment:
+    def make_readjusting_graph(self) -> ConstraintGraph:
+        """A graph whose max constraint forces a second iteration:
+        y waits for a slow parallel branch, and a max constraint
+        ``sigma(y) <= sigma(x) + 2`` drags x later via the backward edge
+        ``(y, x)``."""
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("x", 1)
+        g.add_operation("y", 2)
+        g.add_operation("slow", 6)
+        g.add_sequencing_edges([("s", "x"), ("x", "y"), ("s", "slow"),
+                                ("slow", "y"), ("y", "t")])
+        g.add_max_constraint("x", "y", 2)
+        return g
+
+    def test_backward_edge_delays_head(self):
+        g = self.make_readjusting_graph()
+        schedule = schedule_graph(g, anchor_mode=AnchorMode.FULL)
+        sx = schedule.offset("x", "s")
+        sy = schedule.offset("y", "s")
+        assert sy == 6          # pinned by the slow branch
+        assert sx == 4          # dragged later: sigma(y) <= sigma(x) + 2
+        assert sy <= sx + 2 and sy >= sx + 1
+        schedule.validate()
+
+    def test_iteration_count_within_bound(self):
+        g = self.make_readjusting_graph()
+        scheduler = IterativeIncrementalScheduler(g, record_trace=True)
+        schedule = scheduler.run()
+        assert schedule.iterations <= len(g.backward_edges()) + 1
+
+    def test_cascading_readjustments_converge(self):
+        """Chained max constraints re-violated across iterations."""
+        g = ConstraintGraph(source="s", sink="t")
+        for name, delay in [("a", 2), ("b", 3), ("c", 4), ("d", 1)]:
+            g.add_operation(name, delay)
+        g.add_sequencing_edges([("s", "a"), ("a", "b"), ("b", "c"),
+                                ("c", "d"), ("d", "t")])
+        g.add_max_constraint("b", "c", 3)   # tight: path is exactly 3
+        g.add_max_constraint("a", "d", 10)  # loose
+        g.add_min_constraint("s", "c", 9)   # pushes c later -> pushes b
+        schedule = schedule_graph(g, anchor_mode=AnchorMode.FULL)
+        schedule.validate()
+        # min constraint satisfied:
+        assert schedule.offset("c", "s") >= 9
+        # max constraint b->c satisfied: sigma(c) <= sigma(b) + 3
+        assert schedule.offset("c", "s") <= schedule.offset("b", "s") + 3
+        # so b must have been pushed to at least 6:
+        assert schedule.offset("b", "s") >= 6
+
+    def test_trace_records_violations(self):
+        g = self.make_readjusting_graph()
+        scheduler = IterativeIncrementalScheduler(g, record_trace=True)
+        scheduler.run()
+        trace = scheduler.trace
+        assert trace.iterations >= 2
+        assert trace.records[0].violations  # first round found the violation
+        assert not trace.records[-1].violations  # converged
+        text = trace.format_fig10()
+        assert "compute1" in text and "x" in text
+
+
+class TestInconsistency:
+    def make_inconsistent(self) -> ConstraintGraph:
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("x", 1)
+        g.add_operation("y", 1)
+        g.add_sequencing_edges([("s", "x"), ("x", "y"), ("y", "t")])
+        g.add_min_constraint("x", "y", 5)
+        g.add_max_constraint("x", "y", 3)
+        return g
+
+    def test_pipeline_rejects_unfeasible(self):
+        with pytest.raises(UnfeasibleConstraintsError):
+            schedule_graph(self.make_inconsistent())
+
+    def test_raw_scheduler_detects_inconsistency_corollary2(self):
+        # Bypass the well-posedness gate: the scheduler itself must stop
+        # after |Eb| + 1 iterations (Corollary 2).
+        g = self.make_inconsistent()
+        scheduler = IterativeIncrementalScheduler(g)
+        with pytest.raises(InconsistentConstraintsError):
+            scheduler.run()
+
+    def test_ill_posed_without_auto_fix_raises(self, fig3b_graph):
+        from repro import IllPosedError
+
+        with pytest.raises(IllPosedError):
+            schedule_graph(fig3b_graph, auto_well_pose=False)
+
+
+class TestAnchorModes:
+    def test_all_modes_agree_on_start_times(self, fig2_graph):
+        """Theorems 4 and 6: full, relevant, and irredundant anchor sets
+        yield identical start times for every delay profile."""
+        schedules = {mode: schedule_graph(fig2_graph, anchor_mode=mode)
+                     for mode in AnchorMode}
+        for profile in [{"a": 0}, {"a": 3}, {"a": 11}, {"a": 100, "v0": 2}]:
+            starts = [s.start_times(profile) for s in schedules.values()]
+            assert starts[0] == starts[1] == starts[2]
+
+    def test_irredundant_tracks_fewer_offsets(self):
+        # Cascaded anchors: irredundant mode drops the dominated offsets.
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("b", UNBOUNDED)
+        g.add_operation("v", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "b"), ("b", "v"), ("v", "t")])
+        full = schedule_graph(g, anchor_mode=AnchorMode.FULL)
+        minimal = schedule_graph(g, anchor_mode=AnchorMode.IRREDUNDANT)
+        full_count = sum(len(v) for v in full.offsets.values())
+        minimal_count = sum(len(v) for v in minimal.offsets.values())
+        assert minimal_count < full_count
+        for profile in [{}, {"a": 5}, {"b": 9}, {"a": 2, "b": 2}]:
+            assert full.start_times(profile) == minimal.start_times(profile)
+
+
+class TestScheduleObject:
+    def test_max_offsets(self, fig2_graph):
+        schedule = schedule_graph(fig2_graph, anchor_mode=AnchorMode.FULL)
+        assert schedule.max_offset("v0") == 8
+        assert schedule.max_offset("a") == 5
+        assert schedule.sum_of_max_offsets() == 13
+
+    def test_validate_catches_corruption(self, fig2_graph):
+        schedule = schedule_graph(fig2_graph, anchor_mode=AnchorMode.FULL)
+        schedule.offsets["v4"]["v0"] = 0  # break the schedule
+        with pytest.raises(ValueError):
+            schedule.validate()
+
+    def test_negative_profile_rejected(self, fig2_graph):
+        schedule = schedule_graph(fig2_graph)
+        with pytest.raises(ValueError):
+            schedule.start_times({"a": -1})
+
+    def test_format_table_runs(self, fig2_graph):
+        schedule = schedule_graph(fig2_graph, anchor_mode=AnchorMode.FULL)
+        table = schedule.format_table()
+        assert "sigma_v0" in table and "v4" in table
+
+    def test_repr(self, fig2_graph):
+        schedule = schedule_graph(fig2_graph)
+        assert "RelativeSchedule" in repr(schedule)

@@ -1,0 +1,152 @@
+"""Integration tests over the eight evaluation designs (Section VII).
+
+The designs are reconstructions (the original HardwareC sources are not
+available); these tests pin the sizes and the *qualitative* Table III /
+Table IV behaviour: every design schedules, minimum anchor sets are
+never larger than full ones, and the per-design shapes the paper
+reports (receiver cascades, frisc's small reduction, ...) hold.
+"""
+
+import pytest
+
+from repro import AnchorMode
+from repro.designs import DESIGN_NAMES, build_all_designs, build_design
+from repro.seqgraph import design_statistics, schedule_design
+
+#: Table III of the paper: design -> (|A|, |V|, full total, min total).
+PAPER_TABLE3 = {
+    "traffic": (3, 8, 8, 6),
+    "length": (5, 12, 15, 9),
+    "gcd": (16, 41, 51, 32),
+    "frisc": (34, 188, 177, 161),
+    "daio_decoder": (14, 44, 45, 38),
+    "daio_receiver": (30, 67, 76, 49),
+    "dct_a": (41, 98, 105, 87),
+    "dct_b": (49, 114, 137, 108),
+}
+
+
+@pytest.fixture(scope="module")
+def all_stats():
+    return {name: design_statistics(build_design(name))
+            for name in DESIGN_NAMES}
+
+
+class TestSuiteRegistry:
+    def test_paper_order(self):
+        assert DESIGN_NAMES == ["traffic", "length", "gcd", "frisc",
+                                "daio_decoder", "daio_receiver",
+                                "dct_a", "dct_b"]
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(KeyError):
+            build_design("nonexistent")
+
+    def test_build_all(self):
+        designs = build_all_designs()
+        assert set(designs) == set(DESIGN_NAMES)
+
+
+class TestAllDesignsSchedule:
+    @pytest.mark.parametrize("name", list(PAPER_TABLE3))
+    def test_builds_and_validates(self, name):
+        design = build_design(name)
+        design.validate()
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE3))
+    def test_schedules_in_both_modes(self, name):
+        design = build_design(name)
+        for mode in (AnchorMode.FULL, AnchorMode.IRREDUNDANT):
+            result = schedule_design(design, anchor_mode=mode)
+            for schedule in result.schedules.values():
+                schedule.validate()
+
+
+class TestTableIIIShape:
+    @pytest.mark.parametrize("name", [n for n in PAPER_TABLE3 if n != "gcd"])
+    def test_sizes_near_paper(self, all_stats, name):
+        """|A| and |V| within 30% of the paper's Hercules-compiled
+        values (our frontends lower more compactly).  gcd is exempt: it
+        is compiled from the paper's literal Fig. 13 source, and our
+        statement-level lowering emits ~60% of Hercules's vertex count
+        while matching its anchor-set averages (see EXPERIMENTS.md)."""
+        anchors, vertices, _, _ = PAPER_TABLE3[name]
+        stats = all_stats[name]
+        assert abs(stats.n_anchors - anchors) <= max(2, 0.3 * anchors)
+        assert abs(stats.n_vertices - vertices) <= max(2, 0.3 * vertices)
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE3))
+    def test_minimum_sets_never_larger(self, all_stats, name):
+        stats = all_stats[name]
+        assert stats.min_total <= stats.full_total
+        assert stats.min_average <= stats.full_average
+
+    @pytest.mark.parametrize("name", [n for n in PAPER_TABLE3
+                                      if n != "traffic"])
+    def test_reduction_strictly_positive(self, all_stats, name):
+        """Every non-trivial design sheds at least one redundant anchor
+        (in the paper only 'traffic' is already minimal -- ours reduces
+        it too thanks to the post-wait serialization)."""
+        stats = all_stats[name]
+        assert stats.min_total < stats.full_total
+
+    def test_receiver_cascade_beats_frisc(self, all_stats):
+        """Table III: the receiver's serial acquisition cascades its
+        anchors, giving a markedly stronger reduction than frisc's wide,
+        shallow structure (paper ratios 0.64 vs 0.91)."""
+        ratios = {name: stats.min_total / stats.full_total
+                  for name, stats in all_stats.items()}
+        assert ratios["daio_receiver"] < ratios["frisc"]
+        assert all_stats["daio_receiver"].min_average < 1.0
+
+    def test_frisc_reduction_is_modest(self, all_stats):
+        """frisc's wide, shallow structure gives the weakest relative
+        reduction of the large designs (0.94 -> 0.86 in the paper)."""
+        stats = all_stats["frisc"]
+        assert stats.min_total / stats.full_total > 0.75
+
+
+class TestTableIVShape:
+    @pytest.mark.parametrize("name", list(PAPER_TABLE3))
+    def test_sum_of_max_offsets_shrinks(self, all_stats, name):
+        stats = all_stats[name]
+        assert stats.min_sum_max <= stats.full_sum_max
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE3))
+    def test_max_offset_never_grows(self, all_stats, name):
+        stats = all_stats[name]
+        assert stats.min_max <= stats.full_max
+
+
+class TestDesignSpecifics:
+    def test_gcd_matches_fig13_average(self, all_stats):
+        """Fig. 13's gcd reproduces the paper's full-anchor-set average
+        of 1.24 exactly."""
+        assert all_stats["gcd"].full_average == pytest.approx(1.24, abs=0.02)
+
+    def test_traffic_minimum_matches_paper(self, all_stats):
+        assert all_stats["traffic"].min_total == 6
+        assert all_stats["traffic"].min_average == pytest.approx(0.75)
+
+    def test_length_minimum_matches_paper(self, all_stats):
+        assert all_stats["length"].min_total == 9
+        assert all_stats["length"].min_average == pytest.approx(0.75)
+
+    def test_frisc_min_total_matches_paper(self, all_stats):
+        assert abs(all_stats["frisc"].min_total - 161) <= 2
+
+    def test_decoder_full_total_matches_paper(self, all_stats):
+        assert all_stats["daio_decoder"].full_total == 45
+
+    def test_receiver_reduction_ratio_matches_paper(self, all_stats):
+        # paper: 49/76 = 0.645
+        stats = all_stats["daio_receiver"]
+        assert stats.min_total / stats.full_total == pytest.approx(0.645,
+                                                                   abs=0.02)
+
+    def test_decoder_has_nine_graphs(self):
+        design = build_design("daio_decoder")
+        assert len(design.graphs) == 9  # the paper's hierarchy size
+
+    def test_dct_a_full_total_matches_paper(self, all_stats):
+        assert abs(all_stats["dct_a"].full_total - 105) <= 3

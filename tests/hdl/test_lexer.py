@@ -1,0 +1,69 @@
+"""Unit tests for the HardwareC tokenizer."""
+
+import pytest
+
+from repro.hdl import HdlLexError, tokenize
+
+
+def kinds_values(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_keywords(self):
+        tokens = kinds_values("process gcd restart xin")
+        assert tokens == [("keyword", "process"), ("ident", "gcd"),
+                         ("ident", "restart"), ("ident", "xin")]
+
+    def test_numbers(self):
+        assert kinds_values("0 42 0xFF") == [
+            ("number", "0"), ("number", "42"), ("number", "0xFF")]
+
+    def test_two_char_operators(self):
+        assert [v for _, v in kinds_values("== != <= >= && || << >>")] == \
+            ["==", "!=", "<=", ">=", "&&", "||", "<<", ">>"]
+
+    def test_one_char_operators(self):
+        assert [v for _, v in kinds_values("+ - * / % & | ^ ~ ! < > = ( ) { } [ ] ; , :")] == \
+            list("+-*/%&|^~!<>=(){}[];,:")
+
+    def test_angle_blocks_tokenize_as_ops(self):
+        values = [v for _, v in kinds_values("< y = x; >")]
+        assert values == ["<", "y", "=", "x", ";", ">"]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds_values("x // comment\ny") == [("ident", "x"), ("ident", "y")]
+
+    def test_block_comment(self):
+        assert kinds_values("x /* multi\nline */ y") == [("ident", "x"), ("ident", "y")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(HdlLexError):
+            tokenize("x /* never ends")
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_line_tracking_after_block_comment(self):
+        tokens = tokenize("/* one\ntwo */ x")
+        assert tokens[0].line == 2
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(HdlLexError, match="unexpected character"):
+            tokenize("a $ b")
+
+    def test_error_carries_position(self):
+        with pytest.raises(HdlLexError) as info:
+            tokenize("ab\ncd $")
+        assert info.value.line == 2

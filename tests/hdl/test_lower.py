@@ -1,0 +1,212 @@
+"""Unit tests for HardwareC -> sequencing-graph lowering."""
+
+import pytest
+
+from repro.core.constraints import MaxTimingConstraint, MinTimingConstraint
+from repro.hdl import DelayModel, HdlLowerError, compile_source
+from repro.seqgraph import OpKind, schedule_design
+
+
+def wrap(statements: str, decls: str = "") -> str:
+    return f"""
+    process snippet (p)
+    {{
+        in port p[8], q[8];
+        out port r[8];
+        boolean x[8], y[8], z[8];
+        tag a, b, c;
+        {decls}
+        {statements}
+    }}
+    """
+
+
+class TestLeafLowering:
+    def test_assign_becomes_operation(self):
+        design = compile_source(wrap("x = y + z;"))
+        root = design.graph("snippet")
+        ops = [op for op in root.operations() if op.kind is OpKind.OPERATION]
+        assert len(ops) == 1
+        op = ops[0]
+        assert op.writes == ("x",)
+        assert set(op.reads) == {"y", "z"}
+        assert op.resource_class == "alu"
+
+    def test_tagged_op_named_after_tag(self):
+        design = compile_source(wrap("a: x = read(p);"))
+        root = design.graph("snippet")
+        assert "a" in root
+        assert root.operation("a").resource_class == "port"
+
+    def test_write_statement(self):
+        design = compile_source(wrap("write r = x;"))
+        root = design.graph("snippet")
+        op = next(op for op in root.operations() if op.name.startswith("wr_"))
+        assert op.writes == ("r",)
+        assert op.resource_class == "port"
+
+    def test_delay_model_applies(self):
+        model = DelayModel()
+        model.class_delays["mul"] = 9
+        design = compile_source(wrap("x = y * z;"), delay_model=model)
+        root = design.graph("snippet")
+        op = next(op for op in root.operations() if op.kind is OpKind.OPERATION)
+        assert op.delay == 9
+
+    def test_move_uses_move_delay(self):
+        design = compile_source(wrap("x = y;"))
+        root = design.graph("snippet")
+        op = next(op for op in root.operations() if op.kind is OpKind.OPERATION)
+        assert op.delay == 1 and op.resource_class is None
+
+
+class TestControlLowering:
+    def test_busy_wait_creates_loop_graph(self):
+        design = compile_source(wrap("while (p) ;"))
+        root = design.graph("snippet")
+        loop = next(op for op in root.operations() if op.kind is OpKind.LOOP)
+        body = design.graph(loop.body)
+        assert any(op.name == "while_cond" for op in body.operations())
+
+    def test_repeat_until_cond_after_body(self):
+        design = compile_source(wrap("repeat { x = x - y; } until (y == 0);"))
+        loop = next(op for g in design.graphs.values()
+                    for op in g.operations() if op.kind is OpKind.LOOP)
+        body = design.graph(loop.body)
+        order = body.topological_order()
+        asg = next(n for n in order if n.startswith("asg_"))
+        assert order.index(asg) < order.index("repeat_cond")
+
+    def test_if_creates_two_branches(self):
+        design = compile_source(wrap("if (x) { y = x; } else { z = x; }"))
+        root = design.graph("snippet")
+        cond = next(op for op in root.operations() if op.kind is OpKind.COND)
+        assert len(cond.branches) == 2
+        then_graph = design.graph(cond.branches[0])
+        else_graph = design.graph(cond.branches[1])
+        assert len(then_graph) == 3 and len(else_graph) == 3
+
+    def test_if_without_else_gets_empty_branch(self):
+        design = compile_source(wrap("if (x) y = x;"))
+        cond = next(op for g in design.graphs.values()
+                    for op in g.operations() if op.kind is OpKind.COND)
+        else_graph = design.graph(cond.branches[1])
+        assert len(else_graph) == 2  # just the poles
+
+    def test_call_references_other_process(self):
+        source = """
+        process helper (v) { in port v; boolean t; t = v; }
+        process main (w) { in port w; call helper; }
+        """
+        design = compile_source(source, root="main")
+        root = design.graph("main")
+        call = next(op for op in root.operations() if op.kind is OpKind.CALL)
+        assert call.body == "helper"
+        assert design.root == "main"
+
+    def test_wait_becomes_unbounded(self):
+        design = compile_source(wrap("wait(p);"))
+        root = design.graph("snippet")
+        assert any(op.kind is OpKind.WAIT for op in root.operations())
+
+
+class TestConstraints:
+    def test_constraints_attach_to_graph(self):
+        design = compile_source(wrap("""
+            {
+                constraint mintime from a to b = 1 cycles;
+                constraint maxtime from a to b = 1 cycles;
+                a: y = read(p);
+                b: x = read(q);
+            }
+        """))
+        root = design.graph("snippet")
+        kinds = {type(c) for c in root.constraints}
+        assert kinds == {MinTimingConstraint, MaxTimingConstraint}
+        assert all(c.from_op == "a" and c.to_op == "b" for c in root.constraints)
+
+    def test_constraint_on_unknown_tag(self):
+        with pytest.raises(HdlLowerError, match="labels no"):
+            compile_source(wrap("constraint mintime from a to b = 1; x = y;"))
+
+
+class TestSemanticChecks:
+    def test_undeclared_read(self):
+        with pytest.raises(HdlLowerError, match="undeclared"):
+            compile_source(wrap("x = ghost;"))
+
+    def test_undeclared_target(self):
+        with pytest.raises(HdlLowerError, match="undeclared"):
+            compile_source(wrap("ghost = x;"))
+
+    def test_undeclared_tag(self):
+        with pytest.raises(HdlLowerError, match="not declared"):
+            compile_source(wrap("zz: x = y;"))
+
+    def test_duplicate_tag_in_graph(self):
+        with pytest.raises(HdlLowerError, match="twice"):
+            compile_source(wrap("a: x = y; a: y = x;"))
+
+    def test_call_to_unknown_process(self):
+        with pytest.raises(HdlLowerError, match="unknown process"):
+            compile_source(wrap("call ghost;"))
+
+
+class TestIoOrdering:
+    def test_io_keeps_program_order(self):
+        design = compile_source(wrap("a: x = read(p); b: y = read(q);"))
+        root = design.graph("snippet")
+        assert ("a", "b") in root.edges()
+
+    def test_pure_computation_stays_parallel(self):
+        design = compile_source(wrap("x = p + 1; y = q + 1;"))
+        root = design.graph("snippet")
+        ops = [op.name for op in root.operations() if op.kind is OpKind.OPERATION]
+        assert len(ops) == 2
+        assert not any((a, b) in root.edges() for a in ops for b in ops if a != b)
+
+    def test_io_order_can_be_disabled(self):
+        design = compile_source(wrap("a: x = read(p); b: y = read(q);"),
+                                preserve_io_order=False)
+        root = design.graph("snippet")
+        assert ("a", "b") not in root.edges()
+
+    def test_loop_orders_before_io(self):
+        design = compile_source(wrap("while (p) ; a: x = read(q);"))
+        root = design.graph("snippet")
+        loop = next(op for op in root.operations() if op.kind is OpKind.LOOP)
+        assert (loop.name, "a") in root.edges()
+
+    def test_parallel_group_io_concurrent(self):
+        design = compile_source(wrap("< a: x = read(p); b: y = read(q); >"))
+        root = design.graph("snippet")
+        assert ("a", "b") not in root.edges()
+        assert ("b", "a") not in root.edges()
+
+
+class TestGcdEndToEnd:
+    def test_gcd_compiles_and_schedules(self):
+        from repro.designs.gcd import build_gcd
+
+        design = build_gcd()
+        result = schedule_design(design)
+        root = result.schedules["gcd"]
+        # The restart wait gates the sampling; the samples are pinned one
+        # cycle apart; everything validates.
+        loop = next(op.name for op in design.graph("gcd").operations()
+                    if op.kind is OpKind.LOOP)
+        starts = result.schedules["gcd"].start_times({loop: 5})
+        assert starts["a"] >= 5
+        assert starts["b"] == starts["a"] + 1
+
+    def test_gcd_swap_is_parallel(self):
+        from repro.designs.gcd import build_gcd
+
+        design = build_gcd()
+        repeat_graph = next(g for name, g in design.graphs.items()
+                            if "repeat" in name)
+        swap_ops = [op.name for op in repeat_graph.operations()
+                    if op.name.startswith("asg_")]
+        assert len(swap_ops) == 2
+        edges = repeat_graph.edges()
+        assert not any((a, b) in edges for a in swap_ops for b in swap_ops if a != b)

@@ -1,0 +1,202 @@
+"""Unit tests for the HardwareC parser, including the Fig. 13 source."""
+
+import pytest
+
+from repro.hdl import HdlParseError, parse
+from repro.hdl.ast import (
+    Assign,
+    Binary,
+    Block,
+    Call,
+    Const,
+    ConstraintStmt,
+    If,
+    ReadExpr,
+    RepeatUntil,
+    Unary,
+    Var,
+    Wait,
+    While,
+    WriteStmt,
+)
+
+
+def parse_body(statements: str):
+    """Parse a snippet inside a minimal process wrapper."""
+    source = f"""
+    process snippet (p)
+    {{
+        in port p[8], q[8];
+        out port r[8];
+        boolean x[8], y[8], z[8];
+        tag a, b, c;
+        {statements}
+    }}
+    """
+    return parse(source).processes[0].body.statements
+
+
+class TestDeclarations:
+    def test_ports_and_variables(self):
+        proc = parse("""
+            process m (i, o)
+            { in port i[8]; out port o; boolean v[4], w; tag t; }
+        """).processes[0]
+        assert [(p.direction, p.name, p.width) for p in proc.ports] == \
+            [("in", "i", 8), ("out", "o", 1)]
+        assert [(v.name, v.width) for v in proc.variables] == [("v", 4), ("w", 1)]
+        assert proc.tags == ("t",)
+
+    def test_multiple_processes(self):
+        program = parse("""
+            process a (x) { in port x; }
+            process b (y) { in port y; }
+        """)
+        assert [p.name for p in program.processes] == ["a", "b"]
+        assert program.process("b").name == "b"
+
+
+class TestStatements:
+    def test_assign(self):
+        (stmt,) = parse_body("x = y + 1;")
+        assert isinstance(stmt, Assign)
+        assert stmt.target == "x"
+        assert isinstance(stmt.value, Binary) and stmt.value.op == "+"
+
+    def test_tagged_assign(self):
+        (stmt,) = parse_body("a: x = read(p);")
+        assert stmt.tag == "a"
+        assert isinstance(stmt.value, ReadExpr) and stmt.value.port == "p"
+
+    def test_write(self):
+        (stmt,) = parse_body("write r = x;")
+        assert isinstance(stmt, WriteStmt)
+        assert stmt.port == "r"
+
+    def test_empty_while_is_busy_wait(self):
+        (stmt,) = parse_body("while (p) ;")
+        assert isinstance(stmt, While) and stmt.body is None
+
+    def test_while_with_body(self):
+        (stmt,) = parse_body("while (x >= y) x = x - y;")
+        assert isinstance(stmt, While)
+        assert isinstance(stmt.body, Assign)
+
+    def test_repeat_until(self):
+        (stmt,) = parse_body("repeat { x = x - y; } until (y == 0);")
+        assert isinstance(stmt, RepeatUntil)
+        assert isinstance(stmt.body, Block)
+
+    def test_if_else(self):
+        (stmt,) = parse_body("if (x != 0) { y = x; } else { y = 0; }")
+        assert isinstance(stmt, If)
+        assert stmt.otherwise is not None
+
+    def test_if_without_else(self):
+        (stmt,) = parse_body("if (x) y = x;")
+        assert isinstance(stmt, If) and stmt.otherwise is None
+
+    def test_parallel_block(self):
+        (stmt,) = parse_body("< y = x; x = y; >")
+        assert isinstance(stmt, Block) and stmt.parallel
+        assert len(stmt.statements) == 2
+
+    def test_wait(self):
+        (stmt,) = parse_body("wait(p);")
+        assert isinstance(stmt, Wait)
+
+    def test_call_with_and_without_args(self):
+        stmts = parse_body("call helper; call helper(x, y);")
+        assert all(isinstance(s, Call) for s in stmts)
+        assert stmts[0].args == ()
+        assert len(stmts[1].args) == 2
+
+    def test_constraint_statements(self):
+        stmts = parse_body("""
+            constraint mintime from a to b = 1 cycles;
+            constraint maxtime from a to b = 2;
+        """)
+        assert [(c.kind, c.cycles) for c in stmts] == [("mintime", 1), ("maxtime", 2)]
+        assert all(isinstance(c, ConstraintStmt) for c in stmts)
+
+    def test_empty_statement(self):
+        (stmt,) = parse_body(";")
+        assert isinstance(stmt, Block) and stmt.statements == ()
+
+
+class TestExpressions:
+    def expr(self, text):
+        (stmt,) = parse_body(f"x = {text};")
+        return stmt.value
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("y + z * 2")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_precedence_compare_over_bitand(self):
+        # the gcd guard: (x != 0) & (y != 0)
+        e = self.expr("(y != 0) & (z != 0)")
+        assert e.op == "&"
+        assert e.left.op == "!=" and e.right.op == "!="
+
+    def test_unary(self):
+        e = self.expr("!y")
+        assert isinstance(e, Unary) and e.op == "!"
+
+    def test_nested_unary(self):
+        e = self.expr("~-y")
+        assert e.op == "~" and e.operand.op == "-"
+
+    def test_hex_literal(self):
+        e = self.expr("0x1F")
+        assert isinstance(e, Const) and e.value == 31
+
+    def test_bit_select_reads_variable(self):
+        e = self.expr("y[3]")
+        assert isinstance(e, Var) and e.name == "y"
+
+    def test_read_symbols(self):
+        e = self.expr("(y + z) * y")
+        assert set(e.read_symbols()) == {"y", "z"}
+
+    def test_operators_bag(self):
+        e = self.expr("y + z * 2")
+        assert sorted(e.operators()) == ["*", "+"]
+
+    def test_shift_operators(self):
+        e = self.expr("y << 2")
+        assert e.op == "<<"
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(HdlParseError):
+            parse_body("x = y")
+
+    def test_bad_constraint_kind(self):
+        with pytest.raises(HdlParseError, match="mintime"):
+            parse_body("constraint sometime from a to b = 1;")
+
+    def test_unterminated_block(self):
+        with pytest.raises(HdlParseError):
+            parse("process p (x) { in port x; { ")
+
+    def test_tag_on_block_rejected(self):
+        with pytest.raises(HdlParseError):
+            parse_body("a: { x = y; }")
+
+    def test_empty_program(self):
+        with pytest.raises(HdlParseError):
+            parse("   ")
+
+
+class TestGcdSource:
+    def test_fig13_parses(self):
+        from repro.designs.gcd import GCD_SOURCE
+
+        program = parse(GCD_SOURCE)
+        proc = program.process("gcd")
+        assert proc.tags == ("a", "b")
+        assert {p.name for p in proc.ports} == {"xin", "yin", "restart", "result"}
+        kinds = [type(s).__name__ for s in proc.body.statements]
+        assert kinds == ["While", "Block", "If", "WriteStmt"]

@@ -1,0 +1,80 @@
+"""Negative grammar tests: malformed HardwareC must fail cleanly, with
+positions, never crash or mis-parse."""
+
+import pytest
+
+from repro.hdl import HdlLexError, HdlParseError, parse
+
+
+def wrap(body: str) -> str:
+    return f"""
+    process t (p)
+    {{
+        in port p;
+        boolean x, y;
+        tag a;
+        {body}
+    }}
+    """
+
+
+BAD_SNIPPETS = [
+    "x = ;",                                  # missing expression
+    "x = y +;",                               # dangling operator
+    "x = (y;",                                # unbalanced paren
+    "while x) x = y;",                        # missing open paren
+    "while (x x = y;",                        # missing close paren
+    "repeat { x = y; } til (x);",             # misspelled until
+    "repeat { x = y; } until (x)",            # missing semicolon
+    "if (x { x = y; }",                       # unbalanced condition
+    "constraint mintime a to b = 1;",         # missing 'from'
+    "constraint mintime from a b = 1;",       # missing 'to'
+    "constraint mintime from a to b 1;",      # missing '='
+    "constraint mintime from a to b = x;",    # non-numeric bound
+    "write = x;",                             # missing port
+    "write p x;",                             # missing '='
+    "call;",                                  # missing callee
+    "wait x;",                                # missing parens
+    "< x = y;",                               # unterminated parallel block
+    "x = read();",                            # read needs a port
+    "x = read(p;",                            # unbalanced read
+    "a: a: x = y;",                           # double label
+]
+
+
+@pytest.mark.parametrize("snippet", BAD_SNIPPETS)
+def test_malformed_statements_raise_parse_errors(snippet):
+    with pytest.raises(HdlParseError):
+        parse(wrap(snippet))
+
+
+BAD_TOPLEVEL = [
+    "x = 1;",                                  # statement outside process
+    "process {}",                              # missing name
+    "process p { in port q; }",                # missing arg parens
+    "process p () { in port q[]; }",           # empty width
+    "process p () { port q; }",                # missing direction
+]
+
+
+@pytest.mark.parametrize("source", BAD_TOPLEVEL)
+def test_malformed_processes_raise(source):
+    with pytest.raises(HdlParseError):
+        parse(source)
+
+
+class TestErrorPositions:
+    def test_parse_error_carries_line(self):
+        source = "process p (q)\n{\n  in port q;\n  x = ;\n}"
+        with pytest.raises(HdlParseError) as info:
+            parse(source)
+        assert info.value.line == 4
+
+    def test_lex_error_carries_line(self):
+        with pytest.raises(HdlLexError) as info:
+            parse("process p (q)\n{ in port q; x @ y; }")
+        assert info.value.line == 2
+
+    def test_message_names_the_offender(self):
+        with pytest.raises(HdlParseError, match="'til'"):
+            parse(wrap("repeat { x = y; } til (x);"))

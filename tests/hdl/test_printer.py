@@ -1,0 +1,151 @@
+"""Pretty-printer tests and parser round-trip fuzzing.
+
+The core property: printing and reparsing is a fixpoint --
+``to_source(parse(to_source(p))) == to_source(p)`` -- checked on the
+paper's gcd source and on randomly generated ASTs.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import parse
+from repro.hdl.ast import (
+    Assign,
+    Binary,
+    Block,
+    Const,
+    If,
+    PortDecl,
+    Process,
+    Program,
+    ReadExpr,
+    RepeatUntil,
+    Unary,
+    Var,
+    VarDecl,
+    Wait,
+    While,
+    WriteStmt,
+)
+from repro.hdl.printer import expr_to_source, process_to_source, to_source
+
+VARS = ("x", "y", "z")
+IN_PORTS = ("p", "q")
+OUT_PORTS = ("r",)
+
+
+# ----------------------------------------------------------------------
+# strategies: random well-formed ASTs over a fixed declaration set
+# ----------------------------------------------------------------------
+
+exprs = st.recursive(
+    st.one_of(
+        st.sampled_from([Var(v) for v in VARS + IN_PORTS]),
+        st.integers(min_value=0, max_value=255).map(Const),
+        st.sampled_from(list(IN_PORTS)).map(ReadExpr),
+    ),
+    lambda children: st.one_of(
+        st.tuples(st.sampled_from(["+", "-", "*", "&", "|", "^", "==",
+                                   "!=", "<", "<=", ">", ">=", "<<",
+                                   ">>", "&&", "||"]),
+                  children, children).map(lambda t: Binary(*t)),
+        st.tuples(st.sampled_from(["!", "~", "-"]),
+                  children).map(lambda t: Unary(*t)),
+    ),
+    max_leaves=6,
+)
+
+
+def statements(depth: int):
+    leaf = st.one_of(
+        st.tuples(st.sampled_from(list(VARS)), exprs).map(
+            lambda t: Assign(t[0], t[1])),
+        st.tuples(st.sampled_from(list(OUT_PORTS)), exprs).map(
+            lambda t: WriteStmt(t[0], t[1])),
+        exprs.map(Wait),
+    )
+    if depth <= 0:
+        return leaf
+    inner = statements(depth - 1)
+    block = st.lists(inner, min_size=1, max_size=3).map(
+        lambda items: Block(tuple(items)))
+    return st.one_of(
+        leaf,
+        block,
+        st.tuples(exprs, st.one_of(st.none(), block)).map(
+            lambda t: While(t[0], t[1])),
+        st.tuples(block, exprs).map(lambda t: RepeatUntil(t[0], t[1])),
+        st.tuples(exprs, block, st.one_of(st.none(), block)).map(
+            lambda t: If(t[0], t[1], t[2])),
+    )
+
+
+programs = st.lists(statements(2), min_size=1, max_size=4).map(
+    lambda body: Program((Process(
+        name="fuzz",
+        ports=tuple([PortDecl("in", p, 8) for p in IN_PORTS]
+                    + [PortDecl("out", p, 8) for p in OUT_PORTS]),
+        variables=tuple(VarDecl(v, 8) for v in VARS),
+        tags=(),
+        body=Block(tuple(body)),
+    ),)))
+
+
+class TestPrinterBasics:
+    def test_expressions_parenthesized(self):
+        expr = Binary("*", Binary("+", Var("x"), Var("y")), Const(2))
+        assert expr_to_source(expr) == "(x + y) * 2"
+
+    def test_gcd_fixpoint(self):
+        from repro.designs.gcd import GCD_SOURCE
+
+        printed = to_source(parse(GCD_SOURCE))
+        reprinted = to_source(parse(printed))
+        assert printed == reprinted
+
+    def test_gcd_print_preserves_semantics(self):
+        import math
+
+        from repro.designs.gcd import GCD_SOURCE
+        from repro.sim import Interpreter, PortStream
+
+        printed = to_source(parse(GCD_SOURCE))
+        result = Interpreter(parse(printed)).run(
+            {"restart": PortStream([0]), "xin": 36, "yin": 24})
+        assert result.outputs["result"] == math.gcd(36, 24)
+
+    def test_tags_and_constraints_printed(self):
+        from repro.designs.gcd import GCD_SOURCE
+
+        text = to_source(parse(GCD_SOURCE))
+        assert "a: y = read(yin);" in text
+        assert "constraint mintime from a to b = 1 cycles;" in text
+        assert "tag a, b;" in text
+
+    def test_declarations_printed(self):
+        from repro.designs.gcd import GCD_SOURCE
+
+        text = to_source(parse(GCD_SOURCE))
+        assert "in port xin[8], yin[8], restart;" in text
+        assert "out port result[8];" in text
+
+
+class TestRoundTripFuzz:
+    @settings(max_examples=150, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(program=programs)
+    def test_print_parse_print_fixpoint(self, program):
+        printed = to_source(program)
+        reparsed = parse(printed)
+        assert to_source(reparsed) == printed
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(program=programs)
+    def test_printed_programs_compile(self, program):
+        """Every printed random program lowers to a valid design."""
+        from repro.hdl import compile_source
+
+        design = compile_source(to_source(program))
+        design.validate()

@@ -1,0 +1,134 @@
+"""Deeper HardwareC semantics: parser corner cases cross-checked
+against the functional interpreter."""
+
+import pytest
+
+from repro.hdl import parse
+from repro.hdl.ast import If
+from repro.sim import Interpreter, PortStream
+
+
+def run(body: str, inputs=None):
+    source = f"""
+    process t (p)
+    {{
+        in port p[8], q[8];
+        out port o[16];
+        boolean x[16], y[16], z[16];
+        {body}
+    }}
+    """
+    return Interpreter(parse(source)).run(inputs or {})
+
+
+class TestDanglingElse:
+    def test_else_binds_to_nearest_if(self):
+        program = parse("""
+            process t (p)
+            { in port p; boolean x, y;
+              if (x) if (y) x = 1; else x = 2;
+            }
+        """)
+        outer = program.processes[0].body.statements[0]
+        assert isinstance(outer, If)
+        assert outer.otherwise is None          # outer if has NO else
+        inner = outer.then
+        assert isinstance(inner, If)
+        assert inner.otherwise is not None      # the else went inside
+
+    def test_dangling_else_execution(self):
+        # x=0: outer guard false; nothing runs; o keeps default path
+        result = run("""
+            x = 0; y = 0; z = 9;
+            if (x) { if (y) z = 1; else z = 2; }
+            write o = z;
+        """)
+        assert result.outputs["o"] == 9
+
+    def test_inner_else_taken(self):
+        result = run("""
+            x = 1; y = 0;
+            if (x) { if (y) z = 1; else z = 2; }
+            write o = z;
+        """)
+        assert result.outputs["o"] == 2
+
+
+class TestPrecedenceSemantics:
+    @pytest.mark.parametrize("expr,expected", [
+        ("1 + 2 * 3 - 4 / 2", 5),
+        ("2 << 1 + 1", 8),            # shift binds looser than +
+        ("1 | 2 ^ 3 & 2", 1 | (2 ^ (3 & 2))),
+        ("0 == 1 | 1", (0 == 1) | 1),  # equality binds tighter than |
+        ("8 > 2 + 5", 1),              # relational looser than +
+        ("!(3 > 1) | (2 == 2)", 1),
+        ("-2 * 3", -6),
+        ("~0 & 0xF", 0xF),
+    ])
+    def test_c_like_precedence(self, expr, expected):
+        result = run(f"x = {expr}; write o = x;")
+        assert result.outputs["o"] == expected & 0xFFFF
+
+
+class TestLoopsAndStreams:
+    def test_while_cond_consumes_stream_each_iteration(self):
+        result = run("""
+            while (p)
+                x = x + 1;
+            write o = x;
+        """, {"p": [1, 1, 1, 0]})
+        assert result.outputs["o"] == 3
+
+    def test_repeat_until_stream(self):
+        result = run("""
+            repeat { x = x + 1; } until (p);
+            write o = x;
+        """, {"p": [0, 0, 1]})
+        assert result.outputs["o"] == 3
+
+    def test_nested_loops(self):
+        result = run("""
+            x = 0; y = 0;
+            while (x < 3) {
+                z = 0;
+                while (z < 2) { y = y + 1; z = z + 1; }
+                x = x + 1;
+            }
+            write o = y;
+        """)
+        assert result.outputs["o"] == 6
+
+    def test_read_inside_loop(self):
+        result = run("""
+            x = 0; y = 0;
+            while (x < 3) { y = y + read(q); x = x + 1; }
+            write o = y;
+        """, {"q": [10, 20, 30]})
+        assert result.outputs["o"] == 60
+
+
+class TestBlocksAndComments:
+    def test_comments_anywhere(self):
+        result = run("""
+            /* set up */ x = 1; // trailing
+            /* multi
+               line */ write o = x + 1;
+        """)
+        assert result.outputs["o"] == 2
+
+    def test_nested_sequential_blocks(self):
+        result = run("{ { { x = 7; } } } write o = x;")
+        assert result.outputs["o"] == 7
+
+    def test_parallel_block_reads_preblock_state(self):
+        result = run("""
+            x = 3; y = 4;
+            < x = y; y = x; z = x + y; >
+            write o = x * 100 + y * 10 + (z - 7);
+        """)
+        # all three statements sample x=3, y=4
+        assert result.outputs["o"] == 4 * 100 + 3 * 10 + 0
+
+    def test_empty_statement_is_noop(self):
+        result = run("; ; x = 5; ; write o = x;")
+        assert result.outputs["o"] == 5

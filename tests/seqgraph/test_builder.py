@@ -1,0 +1,125 @@
+"""Unit tests for the graph builder and dataflow dependency inference."""
+
+import pytest
+
+from repro.seqgraph import GraphBuilder
+from repro.seqgraph.model import SINK_NAME, SOURCE_NAME
+
+
+class TestDataflowInference:
+    def test_raw_dependency(self):
+        b = GraphBuilder("raw")
+        b.op("w", writes=("x",))
+        b.op("r", reads=("x",))
+        g = b.build()
+        assert ("w", "r") in g.edges()
+
+    def test_waw_dependency(self):
+        b = GraphBuilder("waw")
+        b.op("w1", writes=("x",))
+        b.op("w2", writes=("x",))
+        g = b.build()
+        assert ("w1", "w2") in g.edges()
+
+    def test_war_dependency(self):
+        b = GraphBuilder("war")
+        b.op("r", reads=("x",))
+        b.op("w", writes=("x",))
+        g = b.build()
+        assert ("r", "w") in g.edges()
+
+    def test_independent_ops_stay_parallel(self):
+        b = GraphBuilder("par")
+        b.op("p", reads=("a",), writes=("x",))
+        b.op("q", reads=("b",), writes=("y",))
+        g = b.build()
+        assert ("p", "q") not in g.edges()
+        assert ("q", "p") not in g.edges()
+        # Both hang off the source: maximal parallelism.
+        assert (SOURCE_NAME, "p") in g.edges()
+        assert (SOURCE_NAME, "q") in g.edges()
+
+    def test_reader_chain_uses_latest_writer(self):
+        b = GraphBuilder("chain")
+        b.op("w1", writes=("x",))
+        b.op("w2", writes=("x",))
+        b.op("r", reads=("x",))
+        g = b.build()
+        assert ("w2", "r") in g.edges()
+        assert ("w1", "r") not in g.edges()
+
+    def test_parallel_swap_is_legal(self):
+        # The gcd swap < y = x; x = y; > -- reads happen before writes in
+        # program order here, modelled as two ops reading the old values.
+        b = GraphBuilder("swap")
+        b.op("swap_y", reads=("x",), writes=("y_new",))
+        b.op("swap_x", reads=("y",), writes=("x_new",))
+        g = b.build()
+        assert ("swap_y", "swap_x") not in g.edges()
+
+    def test_inference_can_be_disabled(self):
+        b = GraphBuilder("manual")
+        b.op("w", writes=("x",))
+        b.op("r", reads=("x",))
+        g = b.build(infer_dataflow=False)
+        assert ("w", "r") not in g.edges()
+
+
+class TestExplicitOrdering:
+    def test_then_edge(self):
+        b = GraphBuilder("g")
+        b.op("a")
+        b.op("b")
+        b.then("a", "b")
+        g = b.build()
+        assert ("a", "b") in g.edges()
+
+    def test_chain(self):
+        b = GraphBuilder("g")
+        for name in ["a", "b", "c"]:
+            b.op(name)
+        b.chain("a", "b", "c")
+        g = b.build()
+        assert ("a", "b") in g.edges() and ("b", "c") in g.edges()
+
+
+class TestCompoundOps:
+    def test_wait_loop_call_cond(self):
+        b = GraphBuilder("g")
+        b.wait("sync")
+        b.loop("spin", body="spin_body")
+        b.call("proc", callee="proc_body")
+        b.cond("branch", branches=["taken", "fallthrough"])
+        g = b.build()
+        from repro.seqgraph import OpKind
+
+        assert g.operation("sync").kind is OpKind.WAIT
+        assert g.operation("spin").body == "spin_body"
+        assert g.operation("proc").body == "proc_body"
+        assert g.operation("branch").branches == ("taken", "fallthrough")
+
+    def test_counted_loop(self):
+        b = GraphBuilder("g")
+        b.loop("rep", body="body", iterations=8)
+        g = b.build()
+        assert g.operation("rep").iterations == 8
+
+
+class TestConstraints:
+    def test_exact_constraint_adds_min_and_max(self):
+        b = GraphBuilder("g")
+        b.op("a")
+        b.op("b")
+        b.then("a", "b")
+        b.exact_constraint("a", "b", 1)
+        g = b.build()
+        kinds = {type(c).__name__ for c in g.constraints}
+        assert kinds == {"MinTimingConstraint", "MaxTimingConstraint"}
+        assert all(c.cycles == 1 for c in g.constraints)
+
+    def test_build_validates_polarity(self):
+        b = GraphBuilder("g")
+        b.op("a")
+        g = b.build()
+        assert (SOURCE_NAME, "a") in g.edges()
+        assert ("a", SINK_NAME) in g.edges()

@@ -1,0 +1,200 @@
+"""Tests for hierarchy flattening (call inlining, loop unrolling)."""
+
+import pytest
+
+from repro.core.delay import is_unbounded
+from repro.seqgraph import Design, GraphBuilder, OpKind, schedule_design
+from repro.seqgraph.flatten import bounded_graphs, inline_design
+
+
+def calls_design() -> Design:
+    design = Design("calls")
+    body = GraphBuilder("body")
+    body.op("step1", delay=2, writes=("x",))
+    body.op("step2", delay=3, reads=("x",))
+    design.add_graph(body.build())
+    top = GraphBuilder("top")
+    top.call("first", callee="body")
+    top.call("second", callee="body")
+    top.then("first", "second")
+    design.add_graph(top.build(), root=True)
+    return design
+
+
+def counted_loop_design(trips=3) -> Design:
+    design = Design("counted")
+    body = GraphBuilder("body")
+    body.op("work", delay=2)
+    design.add_graph(body.build())
+    top = GraphBuilder("top")
+    top.loop("rep", body="body", iterations=trips)
+    design.add_graph(top.build(), root=True)
+    return design
+
+
+def mixed_design() -> Design:
+    """A bounded call next to a data-dependent loop."""
+    design = Design("mixed")
+    helper = GraphBuilder("helper")
+    helper.op("calc", delay=4)
+    design.add_graph(helper.build())
+    spin_body = GraphBuilder("spin_body")
+    spin_body.op("poll", delay=1)
+    design.add_graph(spin_body.build())
+    top = GraphBuilder("top")
+    top.call("prep", callee="helper")
+    top.loop("spin", body="spin_body")
+    top.then("prep", "spin")
+    design.add_graph(top.build(), root=True)
+    return design
+
+
+class TestBoundedGraphs:
+    def test_fully_bounded(self):
+        design = calls_design()
+        assert bounded_graphs(design) == {"body", "top"}
+
+    def test_unbounded_propagates_up(self):
+        design = mixed_design()
+        bounded = bounded_graphs(design)
+        assert "helper" in bounded and "spin_body" in bounded
+        assert "top" not in bounded  # the data-dependent loop
+
+    def test_counted_loop_is_bounded(self):
+        assert "top" in bounded_graphs(counted_loop_design())
+
+
+class TestInlineCalls:
+    def test_calls_disappear(self):
+        flat = inline_design(calls_design())
+        top = flat.graph("top")
+        assert not top.compound_operations()
+        names = top.operation_names()
+        assert "first.step1" in names and "second.step2" in names
+
+    def test_unreferenced_bodies_dropped(self):
+        flat = inline_design(calls_design())
+        assert set(flat.graphs) == {"top"}
+
+    def test_latency_preserved(self):
+        original = schedule_design(calls_design())
+        flat = schedule_design(inline_design(calls_design()))
+        assert original.latencies["top"] == flat.latencies["top"] == 10
+
+    def test_sequencing_across_boundaries(self):
+        flat = inline_design(calls_design())
+        top = flat.graph("top")
+        # second call's entry follows first call's exit
+        assert ("first.step2", "second.step1") in top.edges()
+
+    def test_body_constraints_copied_and_renamed(self):
+        design = Design("c")
+        body = GraphBuilder("body")
+        body.op("u", delay=1)
+        body.op("v", delay=1)
+        body.then("u", "v")
+        body.min_constraint("u", "v", 3)
+        design.add_graph(body.build())
+        top = GraphBuilder("top")
+        top.call("go", callee="body")
+        design.add_graph(top.build(), root=True)
+        flat = inline_design(design)
+        constraints = flat.graph("top").constraints
+        assert [(c.from_op, c.to_op, c.cycles) for c in constraints] == \
+            [("go.u", "go.v", 3)]
+
+    def test_constraint_endpoint_calls_not_inlined(self):
+        design = Design("c")
+        body = GraphBuilder("body")
+        body.op("u", delay=1)
+        design.add_graph(body.build())
+        top = GraphBuilder("top")
+        top.op("start_op", delay=1)
+        top.call("go", callee="body")
+        top.then("start_op", "go")
+        top.min_constraint("start_op", "go", 2)
+        design.add_graph(top.build(), root=True)
+        flat = inline_design(design)
+        assert any(op.kind is OpKind.CALL
+                   for op in flat.graph("top").operations())
+
+
+class TestUnrollLoops:
+    def test_counted_loop_unrolls(self):
+        flat = inline_design(counted_loop_design(3))
+        top = flat.graph("top")
+        names = [n for n in top.operation_names() if n.endswith(".work")]
+        assert len(names) == 3
+        assert ("rep@0.work", "rep@1.work") in top.edges()
+        assert ("rep@1.work", "rep@2.work") in top.edges()
+
+    def test_latency_preserved_after_unroll(self):
+        original = schedule_design(counted_loop_design(3))
+        flat = schedule_design(inline_design(counted_loop_design(3)))
+        assert original.latencies["top"] == flat.latencies["top"] == 6
+
+    def test_unroll_can_be_disabled(self):
+        flat = inline_design(counted_loop_design(3), unroll_loops=False)
+        assert any(op.kind is OpKind.LOOP
+                   for op in flat.graph("top").operations())
+
+    def test_operation_budget_guard(self):
+        with pytest.raises(ValueError, match="max_operations"):
+            inline_design(counted_loop_design(50), max_operations=20)
+
+
+class TestMixedHierarchy:
+    def test_unbounded_parts_survive(self):
+        flat = inline_design(mixed_design())
+        top = flat.graph("top")
+        loops = [op for op in top.operations() if op.kind is OpKind.LOOP]
+        assert len(loops) == 1
+        assert "prep.calc" in top.operation_names()
+        assert "spin_body" in flat.graphs
+        assert "helper" not in flat.graphs
+
+    def test_execution_equivalence(self):
+        """Flat and hierarchical designs execute identically under the
+        same stimulus."""
+        from repro.sim import Stimulus, execute_design
+
+        design = mixed_design()
+        original = schedule_design(design)
+        flat = schedule_design(inline_design(design))
+        for trips in (0, 1, 4):
+            sim_original = execute_design(
+                original, Stimulus(loop_iterations=trips))
+            sim_flat = execute_design(
+                flat, Stimulus(loop_iterations=trips))
+            assert sim_original.completion == sim_flat.completion
+
+    def test_gcd_flattens_and_schedules(self):
+        from repro.designs import build_design
+
+        design = build_design("gcd")
+        flat = inline_design(design)
+        result = schedule_design(flat)
+        assert result.schedules  # everything still schedules
+        # the gcd hierarchy is dominated by data-dependent loops: they
+        # all survive flattening
+        assert any(op.kind is OpKind.LOOP
+                   for g in flat.graphs.values()
+                   for op in g.operations())
+
+
+class TestSystemEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_designs_flatten_equivalently(self, seed):
+        from repro.designs.random_designs import random_design
+        from repro.sim import Stimulus, execute_design
+
+        design = random_design(seed, with_constraints=False)
+        flat = inline_design(design)
+        original_result = schedule_design(design)
+        flat_result = schedule_design(flat)
+        stimulus = Stimulus(loop_iterations=2, wait_delays=3,
+                            branch_choices=0)
+        original_sim = execute_design(original_result, stimulus,
+                                      max_events=50000)
+        flat_sim = execute_design(flat_result, stimulus, max_events=50000)
+        assert original_sim.completion == flat_sim.completion

@@ -1,0 +1,114 @@
+"""Unit tests for bottom-up hierarchical scheduling and design stats."""
+
+import pytest
+
+from repro import AnchorMode, UNBOUNDED
+from repro.core.delay import is_unbounded
+from repro.seqgraph import (
+    Design,
+    GraphBuilder,
+    design_statistics,
+    schedule_design,
+)
+
+
+def bounded_body_design() -> Design:
+    """top calls a bounded body twice: whole design is bounded."""
+    design = Design("bounded")
+    body = GraphBuilder("body")
+    body.op("step1", delay=2, writes=("x",))
+    body.op("step2", delay=3, reads=("x",))
+    design.add_graph(body.build())
+
+    top = GraphBuilder("top")
+    top.call("first", callee="body")
+    top.call("second", callee="body")
+    top.then("first", "second")
+    design.add_graph(top.build(), root=True)
+    return design
+
+
+def unbounded_design() -> Design:
+    """top loops on a data-dependent condition: unbounded root."""
+    design = Design("unbounded")
+    body = GraphBuilder("spin_body")
+    body.op("decrement", delay=1, reads=("x",), writes=("x",))
+    design.add_graph(body.build())
+
+    top = GraphBuilder("top")
+    top.op("load", delay=1, writes=("x",))
+    top.loop("spin", body="spin_body", reads=("x",), writes=("x",))
+    top.op("store", delay=1, reads=("x",))
+    design.add_graph(top.build(), root=True)
+    return design
+
+
+class TestScheduleDesign:
+    def test_bounded_latency_composition(self):
+        result = schedule_design(bounded_body_design())
+        assert result.latencies["body"] == 5
+        # two sequential calls of 5 cycles each
+        assert result.latencies["top"] == 10
+
+    def test_unbounded_root(self):
+        result = schedule_design(unbounded_design())
+        assert result.latencies["spin_body"] == 1
+        assert is_unbounded(result.latency)
+
+    def test_loop_becomes_anchor_in_parent(self):
+        result = schedule_design(unbounded_design())
+        top_graph = result.constraint_graphs["top"]
+        assert "spin" in top_graph.anchors
+        schedule = result.schedules["top"]
+        # store starts one offset after the loop completes
+        assert "spin" in schedule.offsets["store"]
+
+    def test_counted_loop_is_bounded(self):
+        design = Design("counted")
+        body = GraphBuilder("body")
+        body.op("work", delay=2)
+        design.add_graph(body.build())
+        top = GraphBuilder("top")
+        top.loop("repeat8", body="body", iterations=8)
+        design.add_graph(top.build(), root=True)
+        result = schedule_design(design)
+        assert result.latencies["top"] == 16
+
+    def test_error_messages_name_the_graph(self):
+        design = Design("broken")
+        g = GraphBuilder("bad")
+        g.op("x", delay=2)
+        g.op("y", delay=1)
+        g.then("x", "y")
+        g.min_constraint("x", "y", 5)
+        g.max_constraint("x", "y", 3)
+        design.add_graph(g.build(), root=True)
+        with pytest.raises(Exception, match="bad"):
+            schedule_design(design)
+
+    def test_total_offsets_smaller_with_irredundant(self):
+        design = unbounded_design()
+        full = schedule_design(design, anchor_mode=AnchorMode.FULL)
+        minimal = schedule_design(design, anchor_mode=AnchorMode.IRREDUNDANT)
+        assert minimal.total_offsets() <= full.total_offsets()
+
+    def test_delay_overrides_apply(self):
+        design = bounded_body_design()
+        result = schedule_design(
+            design, delay_overrides={"body": {"step1": 7}})
+        assert result.latencies["body"] == 10
+
+
+class TestDesignStatistics:
+    def test_row_shape(self):
+        stats = design_statistics(unbounded_design())
+        assert stats.n_vertices == 3 + 5  # body (src,snk,dec) + top (5)
+        # anchors: both graph sources + the data-dependent loop.
+        assert stats.n_anchors == 3
+        assert stats.min_total <= stats.full_total
+        assert stats.min_sum_max <= stats.full_sum_max
+        assert stats.full_average == pytest.approx(stats.full_total / stats.n_vertices)
+
+    def test_bounded_design_single_anchor_per_graph(self):
+        stats = design_statistics(bounded_body_design())
+        assert stats.n_anchors == 2  # just the two graph sources

@@ -1,0 +1,102 @@
+"""Unit tests for lowering sequencing graphs to constraint graphs."""
+
+import pytest
+
+from repro import UNBOUNDED
+from repro.core.delay import is_unbounded
+from repro.seqgraph import GraphBuilder, OpKind, Operation, characterize_delay, to_constraint_graph
+
+
+class TestCharacterizeDelay:
+    def test_leaf_keeps_delay(self):
+        assert characterize_delay(Operation("x", delay=4), {}) == 4
+
+    def test_wait_unbounded(self):
+        assert is_unbounded(characterize_delay(Operation("w", OpKind.WAIT), {}))
+
+    def test_data_dependent_loop_unbounded(self):
+        op = Operation("l", OpKind.LOOP, body="b")
+        assert is_unbounded(characterize_delay(op, {"b": 3}))
+
+    def test_counted_loop_multiplies(self):
+        op = Operation("l", OpKind.LOOP, body="b", iterations=5)
+        assert characterize_delay(op, {"b": 3}) == 15
+
+    def test_counted_loop_over_unbounded_body(self):
+        op = Operation("l", OpKind.LOOP, body="b", iterations=5)
+        assert is_unbounded(characterize_delay(op, {"b": UNBOUNDED}))
+
+    def test_call_takes_callee_latency(self):
+        op = Operation("c", OpKind.CALL, body="p")
+        assert characterize_delay(op, {"p": 7}) == 7
+        assert is_unbounded(characterize_delay(op, {"p": UNBOUNDED}))
+
+    def test_cond_takes_worst_branch(self):
+        op = Operation("c", OpKind.COND, branches=("t", "f"))
+        assert characterize_delay(op, {"t": 2, "f": 9}) == 9
+
+    def test_cond_with_unbounded_branch(self):
+        op = Operation("c", OpKind.COND, branches=("t", "f"))
+        assert is_unbounded(characterize_delay(op, {"t": 2, "f": UNBOUNDED}))
+
+    def test_missing_child_latency_raises(self):
+        op = Operation("c", OpKind.CALL, body="ghost")
+        with pytest.raises(KeyError):
+            characterize_delay(op, {})
+
+
+class TestToConstraintGraph:
+    def build_graph(self):
+        b = GraphBuilder("g")
+        b.op("compute", delay=2, writes=("x",))
+        b.wait("sync", reads=("x",))
+        b.op("emit", delay=1, reads=("x",))
+        b.op("pack", delay=1)
+        b.then("sync", "emit")
+        b.then("emit", "pack")
+        b.min_constraint("compute", "emit", 4)
+        # Well-posed: both endpoints share the anchor set {source, sync}.
+        b.max_constraint("emit", "pack", 9)
+        return b.build()
+
+    def test_vertices_and_delays(self):
+        cg = to_constraint_graph(self.build_graph())
+        assert cg.delta("compute") == 2
+        assert is_unbounded(cg.delta("sync"))
+        assert set(cg.anchors) >= {"source", "sync"}
+
+    def test_sequencing_edges_translate(self):
+        cg = to_constraint_graph(self.build_graph())
+        edge = next(e for e in cg.edges()
+                    if e.tail == "compute" and e.head == "sync"
+                    and e.kind.value == "sequencing")
+        assert edge.weight == 2
+
+    def test_constraints_translate(self):
+        cg = to_constraint_graph(self.build_graph())
+        assert len(cg.backward_edges()) == 1
+        assert any(e.kind.value == "min_time" for e in cg.edges())
+
+    def test_delay_overrides(self):
+        cg = to_constraint_graph(self.build_graph(),
+                                 delay_overrides={"compute": 6})
+        assert cg.delta("compute") == 6
+
+    def test_compound_requires_child_latency(self):
+        b = GraphBuilder("g")
+        b.call("p", callee="proc")
+        graph = b.build()
+        with pytest.raises(KeyError):
+            to_constraint_graph(graph)
+        cg = to_constraint_graph(graph, child_latency={"proc": 3})
+        assert cg.delta("p") == 3
+
+    def test_result_is_schedulable(self):
+        from repro import schedule_graph
+
+        cg = to_constraint_graph(self.build_graph())
+        schedule = schedule_graph(cg)
+        # emit waits for the min constraint and the synchronization.
+        start = schedule.start_times({"sync": 5})
+        assert start["emit"] >= start["compute"] + 4
+        assert start["emit"] >= start["sync"] + 5

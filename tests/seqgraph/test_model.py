@@ -1,0 +1,176 @@
+"""Unit tests for the sequencing-graph hardware model (Section II)."""
+
+import pytest
+
+from repro.seqgraph import Design, OpKind, Operation, SequencingGraph
+from repro.seqgraph.model import SINK_NAME, SOURCE_NAME
+
+
+def tiny_graph() -> SequencingGraph:
+    g = SequencingGraph("tiny")
+    g.add_operation(Operation("add", delay=1, reads=("a", "b"), writes=("c",)))
+    g.add_operation(Operation("mul", delay=3, reads=("c",), writes=("d",)))
+    g.add_edge("add", "mul")
+    g.make_polar()
+    return g
+
+
+class TestOperation:
+    def test_defaults(self):
+        op = Operation("x")
+        assert op.kind is OpKind.OPERATION
+        assert op.delay == 1
+        assert not op.is_compound
+
+    def test_loop_requires_body(self):
+        with pytest.raises(ValueError):
+            Operation("l", OpKind.LOOP)
+
+    def test_call_requires_body(self):
+        with pytest.raises(ValueError):
+            Operation("c", OpKind.CALL)
+
+    def test_cond_requires_branches(self):
+        with pytest.raises(ValueError):
+            Operation("c", OpKind.COND)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("x", delay=-1)
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("l", OpKind.LOOP, body="b", iterations=-1)
+
+    def test_referenced_graphs(self):
+        loop = Operation("l", OpKind.LOOP, body="body")
+        cond = Operation("c", OpKind.COND, branches=("t", "f"))
+        leaf = Operation("x")
+        assert loop.referenced_graphs() == ("body",)
+        assert cond.referenced_graphs() == ("t", "f")
+        assert leaf.referenced_graphs() == ()
+
+
+class TestSequencingGraph:
+    def test_poles_created_implicitly(self):
+        g = SequencingGraph("g")
+        assert SOURCE_NAME in g and SINK_NAME in g
+        assert g.operation(SOURCE_NAME).kind is OpKind.SOURCE
+
+    def test_cannot_add_explicit_poles(self):
+        g = SequencingGraph("g")
+        with pytest.raises(ValueError):
+            g.add_operation(Operation("x", OpKind.SOURCE))
+
+    def test_duplicate_operation_rejected(self):
+        g = SequencingGraph("g")
+        g.add_operation(Operation("x"))
+        with pytest.raises(ValueError):
+            g.add_operation(Operation("x"))
+
+    def test_edge_endpoints_checked(self):
+        g = SequencingGraph("g")
+        with pytest.raises(KeyError):
+            g.add_edge("nope", SINK_NAME)
+
+    def test_edges_into_source_rejected(self):
+        g = SequencingGraph("g")
+        g.add_operation(Operation("x"))
+        with pytest.raises(ValueError):
+            g.add_edge("x", SOURCE_NAME)
+
+    def test_duplicate_edges_collapse(self):
+        g = tiny_graph()
+        before = len(g.edges())
+        g.add_edge("add", "mul")
+        assert len(g.edges()) == before
+
+    def test_topological_order(self):
+        g = tiny_graph()
+        order = g.topological_order()
+        assert order.index("add") < order.index("mul")
+        assert order[0] == SOURCE_NAME or order.index(SOURCE_NAME) < order.index("add")
+
+    def test_cycle_detected_with_hierarchy_hint(self):
+        g = SequencingGraph("g")
+        g.add_operation(Operation("x"))
+        g.add_operation(Operation("y"))
+        g.add_edge("x", "y")
+        g.add_edge("y", "x")
+        with pytest.raises(ValueError, match="hierarchy"):
+            g.topological_order()
+
+    def test_validate_polar(self):
+        tiny_graph().validate()
+
+    def test_constraint_endpoints_checked(self):
+        from repro.core.constraints import MinTimingConstraint
+
+        g = tiny_graph()
+        with pytest.raises(KeyError):
+            g.add_constraint(MinTimingConstraint("add", "ghost", 1))
+        g.add_constraint(MinTimingConstraint("add", "mul", 1))
+        assert len(g.constraints) == 1
+
+
+class TestDesign:
+    def make_design(self) -> Design:
+        design = Design("demo")
+        body = SequencingGraph("body")
+        body.add_operation(Operation("work", delay=2))
+        body.make_polar()
+        design.add_graph(body)
+        top = SequencingGraph("top")
+        top.add_operation(Operation("main_loop", OpKind.LOOP, body="body"))
+        top.make_polar()
+        design.add_graph(top, root=True)
+        return design
+
+    def test_hierarchy_order_children_first(self):
+        design = self.make_design()
+        order = design.hierarchy_order()
+        assert order.index("body") < order.index("top")
+
+    def test_root_selection(self):
+        design = self.make_design()
+        assert design.root == "top"
+
+    def test_missing_reference_detected(self):
+        design = Design("broken")
+        top = SequencingGraph("top")
+        top.add_operation(Operation("call_ghost", OpKind.CALL, body="ghost"))
+        top.make_polar()
+        design.add_graph(top)
+        with pytest.raises(KeyError):
+            design.validate()
+
+    def test_recursion_detected(self):
+        design = Design("recursive")
+        a = SequencingGraph("a")
+        a.add_operation(Operation("call_b", OpKind.CALL, body="b"))
+        a.make_polar()
+        b = SequencingGraph("b")
+        b.add_operation(Operation("call_a", OpKind.CALL, body="a"))
+        b.make_polar()
+        design.add_graph(a, root=True)
+        design.add_graph(b)
+        with pytest.raises(ValueError, match="recursive"):
+            design.validate()
+
+    def test_duplicate_graph_rejected(self):
+        design = self.make_design()
+        with pytest.raises(ValueError):
+            design.add_graph(SequencingGraph("body"))
+
+    def test_total_operations(self):
+        design = self.make_design()
+        # body: source+sink+work = 3; top: source+sink+loop = 3.
+        assert design.total_operations() == 6
+
+    def test_unreferenced_graphs_still_ordered(self):
+        design = self.make_design()
+        orphan = SequencingGraph("library_proc")
+        orphan.add_operation(Operation("x"))
+        orphan.make_polar()
+        design.add_graph(orphan)
+        assert "library_proc" in design.hierarchy_order()

@@ -1,0 +1,69 @@
+"""Tests for the Graphviz export of sequencing graphs and designs."""
+
+import pytest
+
+from repro.designs import build_design
+from repro.seqgraph import GraphBuilder
+from repro.seqgraph.viz import design_to_dot, seqgraph_to_dot
+
+
+@pytest.fixture
+def gcd_design():
+    return build_design("gcd")
+
+
+class TestSeqgraphDot:
+    def test_cluster_and_nodes(self):
+        b = GraphBuilder("demo")
+        b.op("work", delay=2)
+        b.wait("sync")
+        text = seqgraph_to_dot(b.build())
+        assert 'subgraph "cluster_demo"' in text
+        assert "doublecircle" in text  # the wait
+        assert "work\\n2" in text
+
+    def test_constraints_drawn_dotted(self):
+        b = GraphBuilder("demo")
+        b.op("a1", delay=1)
+        b.op("a2", delay=1)
+        b.then("a1", "a2")
+        b.min_constraint("a1", "a2", 3)
+        b.max_constraint("a1", "a2", 7)
+        text = seqgraph_to_dot(b.build())
+        assert text.count("style=dotted") == 2
+        assert "color=blue" in text and "color=red" in text
+
+    def test_standalone_wrapping(self):
+        b = GraphBuilder("demo")
+        b.op("x")
+        graph = b.build()
+        standalone = seqgraph_to_dot(graph, standalone=True)
+        embedded = seqgraph_to_dot(graph, standalone=False)
+        assert standalone.startswith("digraph")
+        assert not embedded.startswith("digraph")
+
+
+class TestDesignDot:
+    def test_one_cluster_per_graph(self, gcd_design):
+        text = design_to_dot(gcd_design)
+        for graph_name in gcd_design.graphs:
+            assert f'cluster_{graph_name}' in text
+
+    def test_hierarchy_edges(self, gcd_design):
+        text = design_to_dot(gcd_design)
+        assert "style=dashed" in text
+        assert "lhead=" in text
+
+    def test_hierarchy_edges_can_be_disabled(self, gcd_design):
+        text = design_to_dot(gcd_design, include_hierarchy_edges=False)
+        assert "lhead=" not in text
+
+    def test_compound_nodes_reference_bodies(self, gcd_design):
+        text = design_to_dot(gcd_design)
+        root = gcd_design.graph("gcd")
+        loop = next(op for op in root.compound_operations())
+        assert f"[{loop.body}]" in text or "<" in text
+
+    def test_balanced_braces(self, gcd_design):
+        text = design_to_dot(gcd_design)
+        assert text.count("{") == text.count("}")

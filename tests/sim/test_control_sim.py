@@ -1,0 +1,89 @@
+"""Control-netlist simulation: observed enables must equal T(v)."""
+
+import random
+
+import pytest
+
+from repro import AnchorMode, ConstraintGraph, UNBOUNDED, schedule_graph
+from repro.control import (
+    synthesize_counter_control,
+    synthesize_shift_register_control,
+)
+from repro.designs.random_graphs import random_constraint_graph
+from repro.sim import simulate_control
+
+
+@pytest.fixture
+def two_anchor_schedule(fig2_graph=None):
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("a", UNBOUNDED)
+    g.add_operation("b", UNBOUNDED)
+    g.add_operation("u", 2)
+    g.add_operation("v", 1)
+    g.add_sequencing_edges([("s", "a"), ("s", "b"), ("a", "u"), ("b", "u"),
+                            ("u", "v"), ("v", "t")])
+    return schedule_graph(g, anchor_mode=AnchorMode.FULL)
+
+
+SYNTHESIZERS = [synthesize_counter_control, synthesize_shift_register_control]
+
+
+class TestObservedStartTimes:
+    @pytest.mark.parametrize("synthesize", SYNTHESIZERS)
+    def test_matches_analytical(self, two_anchor_schedule, synthesize):
+        unit = synthesize(two_anchor_schedule)
+        for profile in [{}, {"a": 3}, {"b": 7}, {"a": 5, "b": 5}]:
+            result = simulate_control(unit, two_anchor_schedule, profile)
+            assert result.matches_schedule(two_anchor_schedule, profile), profile
+
+    @pytest.mark.parametrize("synthesize", SYNTHESIZERS)
+    def test_done_follows_start_plus_delay(self, two_anchor_schedule, synthesize):
+        unit = synthesize(two_anchor_schedule)
+        result = simulate_control(unit, two_anchor_schedule, {"a": 2})
+        assert result.done_times["u"] == result.start_times["u"] + 2
+
+    @pytest.mark.parametrize("synthesize", SYNTHESIZERS)
+    def test_zero_delay_cascade_same_cycle(self, synthesize):
+        """A zero-delay anchor completing at cycle c enables dependents
+        in the same cycle."""
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("v", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "v"), ("v", "t")])
+        schedule = schedule_graph(g, anchor_mode=AnchorMode.FULL)
+        unit = synthesize(schedule)
+        result = simulate_control(unit, schedule, {"a": 0})
+        assert result.start_times["a"] == 0
+        assert result.start_times["v"] == 0
+
+    def test_trace_contains_enable_events(self, two_anchor_schedule):
+        unit = synthesize_counter_control(two_anchor_schedule)
+        result = simulate_control(unit, two_anchor_schedule, {"a": 1})
+        assert any(e.signal == "enable_v" for e in result.trace.events())
+        assert any(e.signal.startswith("done_") for e in result.trace.events())
+
+    def test_max_cycles_guard(self, two_anchor_schedule):
+        unit = synthesize_counter_control(two_anchor_schedule)
+        with pytest.raises(RuntimeError):
+            simulate_control(unit, two_anchor_schedule, {"a": 50}, max_cycles=3)
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("synthesize", SYNTHESIZERS)
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_graphs_random_profiles(self, synthesize, seed):
+        """Structural control equals the analytical schedule on random
+        well-posed graphs with random delay profiles -- for both anchor
+        set variants."""
+        rng = random.Random(seed)
+        graph = random_constraint_graph(rng, n_ops=10)
+        from repro import WellPosedness, check_well_posed
+
+        if check_well_posed(graph) is not WellPosedness.WELL_POSED:
+            pytest.skip("sampled graph not well-posed")
+        for mode in (AnchorMode.FULL, AnchorMode.IRREDUNDANT):
+            schedule = schedule_graph(graph, anchor_mode=mode)
+            unit = synthesize(schedule)
+            profile = {a: rng.randint(0, 9) for a in graph.anchors}
+            result = simulate_control(unit, schedule, profile)
+            assert result.matches_schedule(schedule, profile), (mode, profile)

@@ -1,0 +1,133 @@
+"""Co-simulation tests: values and timing from one stimulus."""
+
+import math
+import random
+
+import pytest
+
+from repro.sim import PortStream
+from repro.sim.cosim import cosimulate, index_constructs
+from repro.hdl import parse
+
+
+class TestIndexConstructs:
+    def test_preorder_numbering(self):
+        program = parse("""
+            process p (i)
+            { in port i; boolean x, y;
+              while (x) { if (y) x = 0; }
+              repeat { y = 1; } until (y);
+            }
+        """)
+        index = index_constructs(program, "p")
+        # while=0, inner if=1, repeat=2 in pre-order
+        assert sorted(index.values()) == [0, 1, 2]
+
+    def test_matches_lowerer_registry(self):
+        from repro.designs.gcd import GCD_SOURCE
+        from repro.hdl import compile_source
+
+        design = compile_source(GCD_SOURCE)
+        indices = {entry["index"]
+                   for entry in design.metadata["loops"]}
+        indices |= {entry["index"]
+                    for entry in design.metadata["conds"]}
+        program = parse(GCD_SOURCE)
+        expected = set(index_constructs(program, "gcd").values())
+        assert indices == expected
+
+
+class TestCosimulateGcd:
+    def test_values_and_timing_agree(self):
+        from repro.designs.gcd import GCD_SOURCE
+
+        result = cosimulate(GCD_SOURCE,
+                            {"restart": PortStream([1, 1, 0]),
+                             "xin": 36, "yin": 24})
+        assert result.outputs["result"] == 12
+        assert result.violations == []
+        # sampling separation holds on the *executed* trace
+        y_event = result.timed.events_for("a")[0]
+        x_event = result.timed.events_for("b")[0]
+        assert x_event.start == y_event.start + 1
+
+    @pytest.mark.parametrize("x,y", [(7, 13), (100, 75), (8, 8), (1, 255)])
+    def test_random_value_pairs(self, x, y):
+        from repro.designs.gcd import GCD_SOURCE
+
+        result = cosimulate(GCD_SOURCE,
+                            {"restart": PortStream([0]), "xin": x, "yin": y})
+        assert result.outputs["result"] == math.gcd(x, y)
+        assert result.violations == []
+
+    def test_harder_inputs_take_longer(self):
+        """Data-dependence made visible: inputs needing more Euclid
+        iterations complete later -- the unbounded delays the paper's
+        formulation exists for."""
+        from repro.designs.gcd import GCD_SOURCE
+
+        def run(x, y):
+            return cosimulate(GCD_SOURCE,
+                              {"restart": PortStream([0]),
+                               "xin": x, "yin": y}).completion
+
+        trivial = run(8, 8)        # one repeat iteration
+        gnarly = run(255, 254)     # many subtract/swap rounds
+        assert gnarly > trivial
+
+    def test_iteration_counts_flow_into_timing(self):
+        from repro.designs.gcd import GCD_SOURCE
+
+        # restart held high for 3 samples: the wait loop runs 3 trips
+        held = cosimulate(GCD_SOURCE,
+                          {"restart": PortStream([1, 1, 1, 0]),
+                           "xin": 12, "yin": 8})
+        quick = cosimulate(GCD_SOURCE,
+                           {"restart": PortStream([0]),
+                            "xin": 12, "yin": 8})
+        held_loop = held.timed.events_for("loop_while_1")[0]
+        quick_loop = quick.timed.events_for("loop_while_1")[0]
+        assert held_loop.end - held_loop.start > \
+            quick_loop.end - quick_loop.start
+
+
+class TestCosimulateControlFlow:
+    SOURCE = """
+    process ctrl (sel)
+    {
+        in port sel[8];
+        out port o[8];
+        boolean x[8], n[8];
+
+        n = read(sel);
+        if (n > 2) {
+            while (n != 0) { x = x + 2; n = n - 1; }
+        } else {
+            x = 1;
+        }
+        write o = x;
+    }
+    """
+
+    def test_then_branch(self):
+        result = cosimulate(self.SOURCE, {"sel": 5})
+        assert result.outputs["o"] == 10
+        assert result.violations == []
+
+    def test_else_branch_is_faster(self):
+        slow = cosimulate(self.SOURCE, {"sel": 9})
+        fast = cosimulate(self.SOURCE, {"sel": 1})
+        assert fast.outputs["o"] == 1
+        assert slow.outputs["o"] == 18
+        assert fast.completion < slow.completion
+
+    def test_zero_trip_loop(self):
+        # n == 0 takes the then-branch guard false... n>2 false -> else
+        result = cosimulate(self.SOURCE, {"sel": 0})
+        assert result.outputs["o"] == 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fuzzed_inputs_never_violate_constraints(self, seed):
+        rng = random.Random(seed)
+        result = cosimulate(self.SOURCE, {"sel": rng.randint(0, 255)})
+        assert result.violations == []

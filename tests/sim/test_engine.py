@@ -1,0 +1,169 @@
+"""Hierarchical timed execution tests."""
+
+import pytest
+
+from repro.seqgraph import Design, GraphBuilder, schedule_design
+from repro.sim import Stimulus, execute_design
+from repro.sim.engine import check_constraints
+
+
+def loop_design() -> Design:
+    design = Design("d")
+    body = GraphBuilder("body")
+    body.op("work", delay=3)
+    design.add_graph(body.build())
+    top = GraphBuilder("top")
+    top.op("pre", delay=1, writes=("x",))
+    top.loop("spin", body="body", reads=("x",), writes=("x",))
+    top.op("post", delay=1, reads=("x",))
+    design.add_graph(top.build(), root=True)
+    return design
+
+
+class TestStimulus:
+    def test_constant_specs(self):
+        s = Stimulus(loop_iterations=4, branch_choices=1, wait_delays=9)
+        assert s.iterations_for("any", ()) == 4
+        assert s.branch_for("any", ()) == 1
+        assert s.wait_for("any", ()) == 9
+
+    def test_dict_specs_with_default(self):
+        s = Stimulus(loop_iterations={"spin": 3})
+        assert s.iterations_for("spin", ()) == 3
+        assert s.iterations_for("other", ()) == 1
+
+    def test_callable_specs_receive_path(self):
+        seen = []
+
+        def by_path(path):
+            seen.append(path)
+            return 2
+
+        s = Stimulus(loop_iterations=by_path)
+        assert s.iterations_for("spin", ("spin",)) == 2
+        assert seen == [("spin",)]
+
+
+class TestExecution:
+    def test_loop_iterations_scale_latency(self):
+        result = schedule_design(loop_design())
+        one = execute_design(result, Stimulus(loop_iterations=1))
+        three = execute_design(result, Stimulus(loop_iterations=3))
+        assert three.completion == one.completion + 2 * 3  # body latency 3
+
+    def test_zero_iterations(self):
+        result = schedule_design(loop_design())
+        sim = execute_design(result, Stimulus(loop_iterations=0))
+        # post still runs after pre; the loop consumes no time.
+        assert sim.start_of("post") >= sim.start_of("pre") + 1
+
+    def test_events_carry_paths(self):
+        result = schedule_design(loop_design())
+        sim = execute_design(result, Stimulus(loop_iterations=2))
+        works = sim.events_for("work")
+        assert len(works) == 2
+        assert works[0].path != works[1].path
+        assert works[1].start >= works[0].end
+
+    def test_start_of_rejects_multi_instance(self):
+        result = schedule_design(loop_design())
+        sim = execute_design(result, Stimulus(loop_iterations=2))
+        with pytest.raises(ValueError):
+            sim.start_of("work")
+
+    def test_bounded_conditional_uses_worst_case_envelope(self):
+        """A conditional over two *bounded* branches is a fixed-delay
+        unit sized to the slower branch: both choices complete at the
+        static bound (the control cannot observe the branch early)."""
+        design = Design("cond")
+        fast = GraphBuilder("fast")
+        fast.op("f", delay=1)
+        design.add_graph(fast.build())
+        slow = GraphBuilder("slow")
+        slow.op("s1", delay=5)
+        design.add_graph(slow.build())
+        top = GraphBuilder("top")
+        top.cond("pick", branches=["fast", "slow"])
+        design.add_graph(top.build(), root=True)
+        result = schedule_design(design)
+        assert result.latencies["top"] == 5
+        take_fast = execute_design(result, Stimulus(branch_choices=0))
+        take_slow = execute_design(result, Stimulus(branch_choices=1))
+        assert take_fast.completion == take_slow.completion == 5
+
+    def test_unbounded_conditional_completes_dynamically(self):
+        """With an unbounded branch the conditional becomes an anchor:
+        the parent synchronizes on its actual completion, so the fast
+        branch finishes earlier (the adaptive-control benefit)."""
+        design = Design("cond")
+        fast = GraphBuilder("fast")
+        fast.op("f", delay=1)
+        design.add_graph(fast.build())
+        spin_body = GraphBuilder("spin_body")
+        spin_body.op("step", delay=2)
+        design.add_graph(spin_body.build())
+        slow = GraphBuilder("slow")
+        slow.loop("spin", body="spin_body")
+        design.add_graph(slow.build())
+        top = GraphBuilder("top")
+        top.cond("pick", branches=["fast", "slow"])
+        design.add_graph(top.build(), root=True)
+        result = schedule_design(design)
+        assert "pick" in result.constraint_graphs["top"].anchors
+        take_fast = execute_design(result, Stimulus(branch_choices=0))
+        take_slow = execute_design(result, Stimulus(branch_choices=1,
+                                                    loop_iterations=4))
+        assert take_fast.completion == 1
+        assert take_slow.completion == 8
+
+    def test_bad_branch_choice(self):
+        design = Design("cond")
+        fast = GraphBuilder("fast")
+        fast.op("f", delay=1)
+        design.add_graph(fast.build())
+        top = GraphBuilder("top")
+        top.cond("pick", branches=["fast", "fast"])
+        design.add_graph(top.build(), root=True)
+        result = schedule_design(design)
+        with pytest.raises(ValueError):
+            execute_design(result, Stimulus(branch_choices=7))
+
+    def test_wait_blocks(self):
+        design = Design("w")
+        top = GraphBuilder("top")
+        top.wait("sync")
+        top.op("after", delay=1)
+        top.then("sync", "after")
+        design.add_graph(top.build(), root=True)
+        result = schedule_design(design)
+        sim = execute_design(result, Stimulus(wait_delays=6))
+        assert sim.start_of("after") == 6
+
+    def test_event_guard(self):
+        result = schedule_design(loop_design())
+        with pytest.raises(RuntimeError):
+            execute_design(result, Stimulus(loop_iterations=50), max_events=20)
+
+
+class TestConstraintChecking:
+    def test_gcd_execution_honours_constraints(self):
+        from repro.designs.gcd import build_gcd
+
+        design = build_gcd()
+        result = schedule_design(design)
+        for trips in (1, 2, 5):
+            sim = execute_design(result, Stimulus(loop_iterations=trips))
+            assert check_constraints(result, sim) == []
+
+    def test_violations_detected_on_corrupted_schedule(self):
+        from repro.designs.gcd import build_gcd
+
+        design = build_gcd()
+        result = schedule_design(design)
+        # Corrupt: force op 'b' to start late by inflating its offset.
+        sched = result.schedules["gcd"]
+        for anchor in sched.offsets["b"]:
+            sched.offsets["b"][anchor] += 3
+        sim = execute_design(result, Stimulus())
+        violations = check_constraints(result, sim)
+        assert any("max" in v for v in violations)

@@ -1,0 +1,65 @@
+"""Tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.seqgraph import Design, GraphBuilder, schedule_design
+from repro.sim import Stimulus, execute_design
+from repro.sim.gantt import render_gantt
+
+
+@pytest.fixture
+def sim_result():
+    design = Design("d")
+    body = GraphBuilder("body")
+    body.op("work", delay=2)
+    design.add_graph(body.build())
+    top = GraphBuilder("top")
+    top.op("setup", delay=1, writes=("x",))
+    top.loop("spin", body="body", reads=("x",), writes=("x",))
+    top.op("finish", delay=1, reads=("x",))
+    design.add_graph(top.build(), root=True)
+    schedule = schedule_design(design)
+    return execute_design(schedule, Stimulus(loop_iterations=2))
+
+
+class TestRenderGantt:
+    def test_rows_per_instance(self, sim_result):
+        text = render_gantt(sim_result)
+        assert text.count("work") == 2  # two loop iterations
+        assert "setup" in text and "finish" in text
+
+    def test_bars_have_correct_length(self, sim_result):
+        text = render_gantt(sim_result)
+        work_rows = [line for line in text.splitlines() if "work" in line]
+        for row in work_rows:
+            assert row.count("=") == 2  # delay 2
+
+    def test_poles_hidden_by_default(self, sim_result):
+        assert "sink" not in render_gantt(sim_result)
+        assert "sink" in render_gantt(sim_result, hide_poles=False)
+
+    def test_include_filter(self, sim_result):
+        text = render_gantt(sim_result, include=["setup"])
+        assert "work" not in text and "setup" in text
+
+    def test_zero_duration_marker(self, sim_result):
+        text = render_gantt(sim_result, hide_poles=False)
+        sink_rows = [line for line in text.splitlines()
+                     if line.strip().startswith("sink")
+                     or "/sink" in line.split()[0]]
+        assert any("|" in row for row in sink_rows)
+
+    def test_width_clips(self, sim_result):
+        text = render_gantt(sim_result, width=3)
+        body_row = next(line for line in text.splitlines() if "setup" in line)
+        assert len(body_row.split()[-1]) == 3
+
+    def test_empty_selection(self, sim_result):
+        assert render_gantt(sim_result, include=["ghost"]) == "(no events)"
+
+    def test_loop_iterations_sequential(self, sim_result):
+        text = render_gantt(sim_result)
+        rows = [line for line in text.splitlines() if "work" in line]
+        first = rows[0].split()[-1]
+        second = rows[1].split()[-1]
+        assert first.index("=") < second.index("=")

@@ -1,0 +1,178 @@
+"""Functional HDL interpreter tests, including gcd correctness."""
+
+import math
+import random
+
+import pytest
+
+from repro.hdl import parse
+from repro.sim import Interpreter, PortStream
+
+
+def run(source: str, inputs=None, process=None):
+    return Interpreter(parse(source), process).run(inputs or {})
+
+
+WRAP = """
+process t (p)
+{{
+    in port p[8], q[8];
+    out port o[16];
+    boolean x[16], y[16];
+    {body}
+}}
+"""
+
+
+class TestPortStream:
+    def test_holds_last_value(self):
+        stream = PortStream([3, 1])
+        assert [stream.read() for _ in range(4)] == [3, 1, 1, 1]
+
+    def test_scalar_becomes_held_signal(self):
+        stream = PortStream(7)
+        assert stream.read() == 7 and stream.read() == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PortStream([])
+
+    def test_peek_does_not_consume(self):
+        stream = PortStream([5, 6])
+        assert stream.peek() == 5
+        assert stream.read() == 5
+
+
+class TestExpressions:
+    @pytest.mark.parametrize("expr,expected", [
+        ("2 + 3 * 4", 14),
+        ("(2 + 3) * 4", 20),
+        ("10 - 3 - 2", 5),
+        ("7 / 2", 3),
+        ("7 % 3", 1),
+        ("1 << 4", 16),
+        ("32 >> 2", 8),
+        ("6 & 3", 2),
+        ("6 | 3", 7),
+        ("6 ^ 3", 5),
+        ("(3 < 5) & (5 <= 5)", 1),
+        ("(3 > 5) | (5 >= 6)", 0),
+        ("(1 == 1) & (2 != 3)", 1),
+        ("!0", 1),
+        ("!7", 0),
+        ("1 && 2", 1),
+        ("0 || 0", 0),
+        ("-3 + 5", 2),
+    ])
+    def test_arithmetic(self, expr, expected):
+        result = run(WRAP.format(body=f"x = {expr}; write o = x;"))
+        assert result.outputs["o"] == expected & 0xFFFF
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            run(WRAP.format(body="x = 1 / 0;"))
+
+    def test_width_masking(self):
+        result = run(WRAP.format(body="x = 0xFFFFF; write o = x;"))
+        assert result.outputs["o"] == 0xFFFF  # masked to 16 bits
+
+    def test_short_circuit_and(self):
+        # 0 && (1/0) must not evaluate the right side.
+        result = run(WRAP.format(body="x = 0 && (1 / 0); write o = x;"))
+        assert result.outputs["o"] == 0
+
+
+class TestStatements:
+    def test_read_consumes_stream(self):
+        result = run(WRAP.format(body="x = read(p); y = read(p); write o = x + y;"),
+                     {"p": [10, 20]})
+        assert result.outputs["o"] == 30
+
+    def test_missing_stimulus(self):
+        with pytest.raises(KeyError):
+            run(WRAP.format(body="x = read(p);"))
+
+    def test_while_loop(self):
+        result = run(WRAP.format(body="""
+            x = 5; y = 0;
+            while (x != 0) { y = y + x; x = x - 1; }
+            write o = y;
+        """))
+        assert result.outputs["o"] == 15
+
+    def test_repeat_until_runs_at_least_once(self):
+        result = run(WRAP.format(body="""
+            x = 0;
+            repeat { x = x + 1; } until (1);
+            write o = x;
+        """))
+        assert result.outputs["o"] == 1
+
+    def test_if_else(self):
+        source = WRAP.format(body="""
+            x = read(p);
+            if (x > 10) { y = 1; } else { y = 2; }
+            write o = y;
+        """)
+        assert run(source, {"p": 99}).outputs["o"] == 1
+        assert run(source, {"p": 3}).outputs["o"] == 2
+
+    def test_parallel_swap_semantics(self):
+        result = run(WRAP.format(body="""
+            x = 1; y = 2;
+            < y = x; x = y; >
+            write o = x * 10 + y;
+        """))
+        # True parallel swap: x gets OLD y (2), y gets OLD x (1).
+        assert result.outputs["o"] == 21
+
+    def test_output_history(self):
+        result = run(WRAP.format(body="write o = 1; write o = 2;"))
+        assert result.output_history["o"] == [1, 2]
+        assert result.outputs["o"] == 2
+
+    def test_call_between_processes(self):
+        source = """
+        process helper (hp)
+        { in port hp; boolean hx[8]; hx = 42; }
+        process main (mp)
+        { in port mp; out port mo[8]; boolean hx[8]; call helper; write mo = hx; }
+        """
+        result = run(source, process="main")
+        assert result.outputs["mo"] == 42
+
+    def test_step_budget_guards_nontermination(self):
+        with pytest.raises(RuntimeError, match="steps"):
+            Interpreter(parse(WRAP.format(body="while (1) x = x;")),
+                        max_steps=500).run({})
+
+
+class TestGcdFunctional:
+    def test_known_values(self):
+        from repro.designs.gcd import GCD_SOURCE
+
+        program = parse(GCD_SOURCE)
+        for a, b, expected in [(36, 24, 12), (7, 13, 1), (100, 75, 25),
+                               (8, 8, 8)]:
+            result = Interpreter(program).run(
+                {"restart": PortStream([1, 1, 0]), "xin": a, "yin": b})
+            assert result.outputs["result"] == expected
+
+    def test_random_values_match_math_gcd(self):
+        from repro.designs.gcd import GCD_SOURCE
+
+        program = parse(GCD_SOURCE)
+        rng = random.Random(42)
+        for _ in range(50):
+            a, b = rng.randint(1, 255), rng.randint(1, 255)
+            result = Interpreter(program).run(
+                {"restart": [0], "xin": a, "yin": b})
+            assert result.outputs["result"] == math.gcd(a, b)
+
+    def test_zero_guard_branch(self):
+        from repro.designs.gcd import GCD_SOURCE
+
+        program = parse(GCD_SOURCE)
+        result = Interpreter(program).run({"restart": [0], "xin": 0, "yin": 5})
+        # (x != 0) & (y != 0) is false: result is x unchanged (0).
+        assert result.outputs["result"] == 0

@@ -1,0 +1,67 @@
+"""Unit tests for waveform traces."""
+
+import pytest
+
+from repro.sim import WaveformTrace
+
+
+class TestRecording:
+    def test_signals_in_first_seen_order(self):
+        trace = WaveformTrace()
+        trace.record(0, "clk", 1)
+        trace.record(1, "rst", 0)
+        trace.record(2, "clk", 0)
+        assert trace.signals() == ["clk", "rst"]
+
+    def test_negative_time_rejected(self):
+        trace = WaveformTrace()
+        with pytest.raises(ValueError):
+            trace.record(-1, "x", 1)
+
+    def test_value_at(self):
+        trace = WaveformTrace()
+        trace.record(0, "x", 0)
+        trace.record(5, "x", 1)
+        assert trace.value_at("x", 0) == 0
+        assert trace.value_at("x", 4) == 0
+        assert trace.value_at("x", 5) == 1
+        assert trace.value_at("x", 100) == 1
+        assert trace.value_at("y", 3, default="z") == "z"
+
+    def test_changes_filters_repeats(self):
+        trace = WaveformTrace()
+        for t, v in [(0, 1), (1, 1), (2, 0), (3, 0), (4, 1)]:
+            trace.record(t, "x", v)
+        assert [(e.time, e.value) for e in trace.changes("x")] == \
+            [(0, 1), (2, 0), (4, 1)]
+
+    def test_end_time(self):
+        trace = WaveformTrace()
+        assert trace.end_time() == 0
+        trace.record(7, "x", 1)
+        assert trace.end_time() == 7
+
+
+class TestRendering:
+    def test_binary_waveform(self):
+        trace = WaveformTrace()
+        trace.record(0, "rst", 1)
+        trace.record(3, "rst", 0)
+        text = trace.render(until=6)
+        row = [line for line in text.splitlines() if line.strip().startswith("rst")][0]
+        assert "###___" in row.replace(" ", "")[3:] or "###___" in row
+
+    def test_undefined_renders_dots(self):
+        trace = WaveformTrace()
+        trace.record(2, "x", 1)
+        text = trace.render(until=4)
+        row = [line for line in text.splitlines() if "x" in line][-1]
+        assert "..##" in row.replace(" ", "")[1:] or ".." in row
+
+    def test_multivalue_signals(self):
+        trace = WaveformTrace()
+        trace.record(0, "cnt", 0)
+        trace.record(1, "cnt", 1)
+        trace.record(2, "cnt", 12)
+        text = trace.render(until=3)
+        assert "2" in text  # last char of 12

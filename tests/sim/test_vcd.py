@@ -1,0 +1,72 @@
+"""Tests for VCD waveform export."""
+
+import pytest
+
+from repro.sim import WaveformTrace
+from repro.sim.trace import _vcd_identifier
+
+
+class TestVcdIdentifiers:
+    def test_single_character_codes(self):
+        assert _vcd_identifier(0) == "!"
+        assert _vcd_identifier(1) == '"'
+
+    def test_two_character_codes(self):
+        code = _vcd_identifier(200)
+        assert len(code) == 2
+
+    def test_uniqueness(self):
+        codes = {_vcd_identifier(i) for i in range(500)}
+        assert len(codes) == 500
+
+
+class TestVcdExport:
+    def make_trace(self):
+        trace = WaveformTrace()
+        trace.record(0, "rst", 1)
+        trace.record(4, "rst", 0)
+        trace.record(4, "enable_v", 1)
+        trace.record(0, "cnt_a", 0)
+        trace.record(5, "cnt_a", 5)
+        return trace
+
+    def test_header_structure(self):
+        vcd = self.make_trace().to_vcd()
+        assert vcd.startswith("$timescale 1ns $end")
+        assert "$scope module relative_schedule $end" in vcd
+        assert "$enddefinitions $end" in vcd
+
+    def test_binary_signals_are_wires(self):
+        vcd = self.make_trace().to_vcd()
+        assert "$var wire 1 " in vcd
+        assert "rst" in vcd
+
+    def test_counters_are_vectors(self):
+        vcd = self.make_trace().to_vcd()
+        assert "$var reg 32 " in vcd
+        assert "b101 " in vcd  # cnt_a = 5
+
+    def test_timestamps_sorted(self):
+        vcd = self.make_trace().to_vcd()
+        times = [int(line[1:]) for line in vcd.splitlines()
+                 if line.startswith("#")]
+        assert times == sorted(times)
+        assert times[0] == 0
+
+    def test_custom_module_and_timescale(self):
+        vcd = self.make_trace().to_vcd(timescale="10ps", module="gcd_ctl")
+        assert "$timescale 10ps $end" in vcd
+        assert "module gcd_ctl" in vcd
+
+    def test_control_sim_trace_exports(self):
+        from repro import schedule_graph
+        from repro.analysis.paper_figures import fig2_graph
+        from repro.control import synthesize_shift_register_control
+        from repro.sim import simulate_control
+
+        schedule = schedule_graph(fig2_graph())
+        unit = synthesize_shift_register_control(schedule)
+        result = simulate_control(unit, schedule, {"a": 3})
+        vcd = result.trace.to_vcd()
+        assert "enable_v4" in vcd
+        assert vcd.count("$var") == len(result.trace.signals())

@@ -1,0 +1,37 @@
+"""Every example script must run to completion (no rot)."""
+
+import io
+import os
+import runpy
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+SCRIPTS = sorted(f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py"))
+
+#: one sanity marker each script must print
+MARKERS = {
+    "quickstart.py": "minimum relative schedule",
+    "gcd_synthesis.py": "co-simulation",
+    "bus_interface.py": "worst-case-budget baseline",
+    "resource_sharing.py": "conflict",
+    "audio_pipeline.py": "criticality",
+    "constraint_debugging.py": "over-constrained",
+}
+
+
+def test_every_example_has_a_marker():
+    assert set(SCRIPTS) == set(MARKERS)
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(path, run_name="__main__")
+    output = buffer.getvalue()
+    assert len(output) > 100, "examples narrate what they do"
+    assert MARKERS[script] in output

@@ -1,0 +1,104 @@
+"""End-to-end tests of the Hebe synthesis flow."""
+
+import pytest
+
+from repro import AnchorMode
+from repro.binding import ResourceLibrary, ResourceType
+from repro.core.delay import is_unbounded
+from repro.designs import DESIGN_NAMES, build_design
+from repro.flows import synthesize
+from repro.seqgraph import Design, GraphBuilder
+
+
+def shared_alu_design() -> Design:
+    """Four parallel additions forced through one ALU."""
+    design = Design("shared")
+    b = GraphBuilder("shared")
+    for i in range(4):
+        b.op(f"add{i}", delay=1, reads=(f"i{i}",), writes=(f"o{i}",),
+             resource_class="alu")
+    design.add_graph(b.build(), root=True)
+    return design
+
+
+class TestSynthesize:
+    def test_serialization_from_resource_pressure(self):
+        scarce = ResourceLibrary([ResourceType("alu", count=1)])
+        plentiful = ResourceLibrary([ResourceType("alu", count=4)])
+        tight = synthesize(shared_alu_design(), scarce)
+        loose = synthesize(shared_alu_design(), plentiful)
+        assert tight.latency == 4   # fully serialized on the single ALU
+        assert loose.latency == 1   # all parallel
+        assert tight.serialization_count() > loose.serialization_count()
+
+    def test_area_latency_tradeoff(self):
+        scarce = ResourceLibrary([ResourceType("alu", count=1, area=2.0)])
+        plentiful = ResourceLibrary([ResourceType("alu", count=4, area=2.0)])
+        tight = synthesize(shared_alu_design(), scarce)
+        loose = synthesize(shared_alu_design(), plentiful)
+        assert tight.total_area() < loose.total_area()
+        assert tight.latency > loose.latency
+
+    def test_resource_delay_overrides_apply(self):
+        slow = ResourceLibrary([ResourceType("alu", count=4, delay=5)])
+        result = synthesize(shared_alu_design(), slow)
+        assert result.latency == 5
+
+    def test_report_mentions_key_numbers(self):
+        result = synthesize(shared_alu_design())
+        text = result.report()
+        assert "latency" in text and "control" in text
+
+    def test_controllers_cover_hierarchy(self):
+        design = build_design("gcd")
+        result = synthesize(design)
+        assert set(result.controllers) == set(design.graphs)
+        assert result.control_cost().registers > 0
+
+    def test_counter_style(self):
+        result = synthesize(shared_alu_design(), control_style="counter")
+        assert result.control_style == "counter"
+
+    @pytest.mark.parametrize("name", DESIGN_NAMES)
+    def test_whole_suite_synthesizes(self, name):
+        """Every evaluation design runs the full flow with the default
+        library and still honours its timing constraints."""
+        design = build_design(name)
+        result = synthesize(design)
+        for schedule in result.schedule.schedules.values():
+            schedule.validate()
+
+    def test_gcd_constraints_survive_binding(self):
+        """The gcd sampling constraint holds after resource sharing
+        serializes the port operations."""
+        design = build_design("gcd")
+        library = ResourceLibrary([ResourceType("port", count=1)])
+        result = synthesize(design, library)
+        schedule = result.schedule.schedules["gcd"]
+        loop = next(n for n in schedule.offsets if n.startswith("loop_"))
+        start = schedule.start_times({loop: 4})
+        assert start["b"] == start["a"] + 1
+
+    def test_errors_name_the_graph(self):
+        from repro.binding import ConflictResolutionError
+
+        design = Design("doomed")
+        b = GraphBuilder("doomed")
+        b.op("u", delay=3, resource_class="alu")
+        b.op("v", delay=3, resource_class="alu")
+        # both must start within 1 cycle of each other: impossible on
+        # one shared unit
+        b.max_constraint("u", "v", 1)
+        b.max_constraint("v", "u", 1)
+        design.add_graph(b.build(), root=True)
+        library = ResourceLibrary([ResourceType("alu", count=1)])
+        with pytest.raises(ConflictResolutionError, match="doomed"):
+            synthesize(design, library, exact_conflicts=True)
+
+    def test_anchor_mode_equivalent_latencies(self):
+        design = build_design("daio_decoder")
+        full = synthesize(design, anchor_mode=AnchorMode.FULL)
+        minimal = synthesize(design, anchor_mode=AnchorMode.IRREDUNDANT)
+        assert repr(full.latency) == repr(minimal.latency)
+        assert minimal.control_cost().registers <= \
+            full.control_cost().registers

@@ -1,0 +1,192 @@
+"""Round-trip tests for JSON serialization of every artifact kind."""
+
+import io
+import json
+import random
+
+import pytest
+
+from repro import AnchorMode, ConstraintGraph, UNBOUNDED, schedule_graph
+from repro.designs import build_design
+from repro.designs.random_graphs import random_constraint_graph
+from repro.io import (
+    design_from_dict,
+    design_to_dict,
+    from_dict,
+    graph_from_dict,
+    graph_to_dict,
+    load_json,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+    seqgraph_from_dict,
+    seqgraph_to_dict,
+    to_dict,
+)
+
+
+def fig2():
+    g = ConstraintGraph(source="v0", sink="v4")
+    g.add_operation("a", UNBOUNDED)
+    g.add_operation("v1", 2)
+    g.add_operation("v2", 1)
+    g.add_operation("v3", 5)
+    g.add_sequencing_edges([("v0", "a"), ("v0", "v1"), ("v1", "v2"),
+                            ("a", "v3"), ("v2", "v3"), ("v3", "v4")])
+    g.add_min_constraint("v0", "v3", 3)
+    g.add_max_constraint("v1", "v2", 4)
+    return g
+
+
+def graphs_equal(left: ConstraintGraph, right: ConstraintGraph) -> bool:
+    if set(left.vertex_names()) != set(right.vertex_names()):
+        return False
+    for name in left.vertex_names():
+        if repr(left.vertex(name).delay) != repr(right.vertex(name).delay):
+            return False
+    def edge_multiset(graph):
+        return sorted((e.tail, e.head, e.kind.value, e.static_weight,
+                       e.is_unbounded) for e in graph.edges())
+    return edge_multiset(left) == edge_multiset(right)
+
+
+class TestConstraintGraphRoundTrip:
+    def test_fig2(self):
+        graph = fig2()
+        assert graphs_equal(graph, graph_from_dict(graph_to_dict(graph)))
+
+    def test_serialization_edges_preserved(self):
+        from repro import make_well_posed
+        from tests.core.conftest import fig3b_graph  # type: ignore
+
+        graph = fig2()
+        graph.add_serialization_edge("a", "v4")
+        clone = graph_from_dict(graph_to_dict(graph))
+        assert graphs_equal(graph, clone)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_graphs(self, seed):
+        graph = random_constraint_graph(random.Random(seed), 12,
+                                        well_posed_only=False)
+        clone = graph_from_dict(graph_to_dict(graph))
+        assert graphs_equal(graph, clone)
+
+    def test_json_is_plain(self):
+        text = json.dumps(graph_to_dict(fig2()))
+        assert "unbounded" in text
+
+    def test_kind_checked(self):
+        with pytest.raises(ValueError, match="constraint_graph"):
+            graph_from_dict({"kind": "design"})
+
+
+class TestScheduleRoundTrip:
+    def test_offsets_survive(self):
+        schedule = schedule_graph(fig2(), anchor_mode=AnchorMode.FULL)
+        clone = schedule_from_dict(schedule_to_dict(schedule))
+        assert clone.offsets == schedule.offsets
+        assert clone.anchor_mode is AnchorMode.FULL
+        assert clone.iterations == schedule.iterations
+
+    def test_start_times_identical(self):
+        schedule = schedule_graph(fig2())
+        clone = schedule_from_dict(schedule_to_dict(schedule))
+        for profile in ({}, {"a": 5}, {"a": 11, "v0": 2}):
+            assert clone.start_times(profile) == schedule.start_times(profile)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_schedules_round_trip(self, seed):
+        from repro import WellPosedness, check_well_posed
+
+        graph = random_constraint_graph(random.Random(seed), 10)
+        if check_well_posed(graph) is not WellPosedness.WELL_POSED:
+            pytest.skip("sampled graph not well-posed")
+        schedule = schedule_graph(graph)
+        clone = schedule_from_dict(schedule_to_dict(schedule))
+        profile = {a: random.Random(seed).randint(0, 9)
+                   for a in graph.anchors}
+        assert clone.start_times(profile) == schedule.start_times(profile)
+        assert clone.sum_of_max_offsets() == schedule.sum_of_max_offsets()
+
+    def test_corrupted_offsets_rejected(self):
+        schedule = schedule_graph(fig2(), anchor_mode=AnchorMode.FULL)
+        data = schedule_to_dict(schedule)
+        data["offsets"]["v4"]["v0"] = 0  # breaks the edge inequality
+        with pytest.raises(ValueError):
+            schedule_from_dict(data)
+
+
+class TestDesignRoundTrip:
+    @pytest.mark.parametrize("name", ["gcd", "traffic", "daio_decoder"])
+    def test_designs_round_trip(self, name):
+        from repro.seqgraph import design_statistics
+
+        design = build_design(name)
+        clone = design_from_dict(design_to_dict(design))
+        assert clone.root == design.root
+        assert set(clone.graphs) == set(design.graphs)
+        # behavioural equivalence: identical Table III statistics
+        assert design_statistics(clone) == design_statistics(design)
+
+    def test_seqgraph_constraints_survive(self):
+        design = build_design("gcd")
+        graph = design.graph("gcd")
+        clone = seqgraph_from_dict(seqgraph_to_dict(graph))
+        assert [(type(c).__name__, c.from_op, c.to_op, c.cycles)
+                for c in clone.constraints] == \
+            [(type(c).__name__, c.from_op, c.to_op, c.cycles)
+             for c in graph.constraints]
+
+    def test_metadata_survives(self):
+        design = build_design("gcd")
+        assert design.metadata.get("loops")  # the lowerer's registry
+        clone = design_from_dict(design_to_dict(design))
+        assert clone.metadata == design.metadata
+
+    def test_operation_attributes_survive(self):
+        design = build_design("gcd")
+        graph = design.graph("gcd")
+        clone = seqgraph_from_dict(seqgraph_to_dict(graph))
+        for op in graph.operations():
+            other = clone.operation(op.name)
+            assert other.kind == op.kind
+            assert other.reads == op.reads
+            assert other.writes == op.writes
+            assert other.body == op.body
+            assert other.branches == op.branches
+
+
+class TestDispatchAndFiles:
+    def test_to_from_dict_dispatch(self):
+        for obj in (fig2(), schedule_graph(fig2()), build_design("traffic")):
+            data = to_dict(obj)
+            clone = from_dict(data)
+            assert type(clone).__name__ in ("ConstraintGraph",
+                                            "RelativeSchedule", "Design")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown document kind"):
+            from_dict({"kind": "netlist"})
+
+    def test_unserializable_type(self):
+        with pytest.raises(TypeError):
+            to_dict(42)
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "fig2.json")
+        save_json(fig2(), path)
+        clone = load_json(path)
+        assert graphs_equal(fig2(), clone)
+
+    def test_stream_round_trip(self):
+        buffer = io.StringIO()
+        save_json(fig2(), buffer)
+        buffer.seek(0)
+        clone = load_json(buffer)
+        assert graphs_equal(fig2(), clone)
+
+    def test_newer_version_rejected(self):
+        data = graph_to_dict(fig2())
+        data["version"] = 999
+        with pytest.raises(ValueError, match="newer"):
+            from_dict(data)

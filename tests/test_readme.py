@@ -1,0 +1,49 @@
+"""The README's python snippets must actually run."""
+
+import io
+import os
+import re
+from contextlib import redirect_stdout
+
+import pytest
+
+README = os.path.join(os.path.dirname(__file__), os.pardir, "README.md")
+
+
+def python_blocks():
+    with open(README) as handle:
+        text = handle.read()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_has_python_examples(self):
+        assert len(python_blocks()) >= 2
+
+    @pytest.mark.parametrize("index,block",
+                             list(enumerate(python_blocks())))
+    def test_block_executes(self, index, block):
+        namespace = {}
+        with redirect_stdout(io.StringIO()) as captured:
+            exec(compile(block, f"README block {index}", "exec"), namespace)
+        # the quickstart blocks print a schedule table or start times
+        assert captured.getvalue() != "" or namespace
+
+    def test_architecture_paths_exist(self):
+        """Every src/ path the architecture section names is real."""
+        with open(README) as handle:
+            text = handle.read()
+        for package in ("core", "seqgraph", "hdl", "binding", "control",
+                        "sim", "baselines", "designs", "analysis"):
+            assert os.path.isdir(os.path.join(
+                os.path.dirname(README), "src", "repro", package)), package
+        for module in ("flows.py", "io.py", "cli.py"):
+            assert os.path.isfile(os.path.join(
+                os.path.dirname(README), "src", "repro", module)), module
+
+    def test_example_scripts_exist(self):
+        with open(README) as handle:
+            text = handle.read()
+        for match in re.findall(r"`examples/(\w+\.py)`", text):
+            assert os.path.isfile(os.path.join(
+                os.path.dirname(README), "examples", match)), match

