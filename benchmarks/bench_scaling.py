@@ -20,7 +20,7 @@ from repro import (
 from repro.core.anchors import find_anchor_sets, irredundant_anchors
 from repro.designs.random_graphs import random_constraint_graph
 
-SIZES = [50, 100, 200, 400]
+SIZES = [50, 100, 200, 400, 800, 1600]
 
 
 def make(n_ops: int):

@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Perf trajectory harness: indexed kernel vs. the retained reference.
+
+Times the pipeline stages (well-posedness check, anchor analysis,
+end-to-end ``schedule_graph``) on the eight paper designs and on seeded
+random constraint graphs, running both the indexed kernel and the
+original dict implementations (:mod:`repro.core.reference`) in the same
+process, and writes ``BENCH_core.json`` at the repository root.
+
+Every repetition runs on a fresh ``graph.copy()`` so the versioned
+analysis cache starts cold: the numbers measure the full pipeline
+including compilation, not a warm-cache replay.  The reported time per
+stage is the minimum over repetitions (the standard low-noise estimator
+for CPU-bound code).
+
+Usage::
+
+    python benchmarks/run_benchsuite.py            # full suite
+    python benchmarks/run_benchsuite.py --quick    # CI smoke (small sizes)
+    python benchmarks/run_benchsuite.py --output other.json
+"""
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.anchors import AnchorMode, anchor_sets_for_mode  # noqa: E402
+from repro.core.reference import (  # noqa: E402
+    anchor_sets_for_mode_reference,
+    check_well_posed_reference,
+    schedule_graph_reference,
+)
+from repro.core.scheduler import schedule_graph  # noqa: E402
+from repro.core.wellposed import check_well_posed  # noqa: E402
+from repro.designs.random_graphs import random_constraint_graph  # noqa: E402
+from repro.designs.suite import DESIGN_NAMES, build_design  # noqa: E402
+from repro.seqgraph.hierarchy import schedule_design  # noqa: E402
+
+
+def design_root_graph(name):
+    """The design's root constraint graph, lowered bottom-up (children
+    scheduled first so compound latencies are characterized)."""
+    design = build_design(name)
+    hierarchical = schedule_design(design)
+    return hierarchical.constraint_graphs[design.root]
+
+#: Random workload recipe: average forward degree ~20 and ~15% unbounded
+#: operations once n is large enough, comparable to the anchor density
+#: of the paper's designs.
+RANDOM_SIZES = [100, 400, 1600]
+QUICK_RANDOM_SIZES = [100, 400]
+
+
+def make_random(n_ops: int):
+    rng = random.Random(1990 + n_ops)
+    return random_constraint_graph(
+        rng, n_ops,
+        edge_probability=min(0.15, 40 / n_ops),
+        unbounded_probability=0.15,
+        n_min_constraints=n_ops // 8,
+        n_max_constraints=n_ops // 16)
+
+
+STAGES = [
+    ("check_well_posed", check_well_posed, check_well_posed_reference),
+    ("anchor_analysis",
+     lambda g: anchor_sets_for_mode(g, AnchorMode.IRREDUNDANT),
+     lambda g: anchor_sets_for_mode_reference(g, AnchorMode.IRREDUNDANT)),
+    ("schedule_graph", schedule_graph, schedule_graph_reference),
+]
+
+
+def time_stage(graph, fn, reps):
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        fresh = graph.copy()
+        t0 = time.perf_counter()
+        result = fn(fresh)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_workload(name, graph, reps, extra=None):
+    entry = {
+        "name": name,
+        "n_vertices": len(graph),
+        "n_edges": len(graph.edges()),
+        "n_backward_edges": len(graph.backward_edges()),
+        "n_anchors": len(graph.anchors),
+        "stages": {},
+    }
+    if extra:
+        entry.update(extra)
+    for stage, indexed_fn, reference_fn in STAGES:
+        indexed_s, indexed_out = time_stage(graph, indexed_fn, reps)
+        reference_s, reference_out = time_stage(graph, reference_fn,
+                                                max(1, reps // 2))
+        if stage == "schedule_graph":
+            assert indexed_out.offsets == reference_out.offsets, name
+            assert indexed_out.iterations == reference_out.iterations, name
+        entry["stages"][stage] = {
+            "indexed_ms": round(indexed_s * 1e3, 3),
+            "reference_ms": round(reference_s * 1e3, 3),
+            "speedup": round(reference_s / indexed_s, 2),
+        }
+    return entry
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes / few reps (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repetitions per stage (default 5, "
+                        "quick 2)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_core.json")
+    args = parser.parse_args(argv)
+    reps = args.repeats or (2 if args.quick else 5)
+    sizes = QUICK_RANDOM_SIZES if args.quick else RANDOM_SIZES
+
+    workloads = []
+    for design in DESIGN_NAMES:
+        graph = design_root_graph(design)
+        workloads.append(bench_workload(f"design:{design}", graph, reps))
+        print(f"{workloads[-1]['name']:<16} schedule_graph "
+              f"{workloads[-1]['stages']['schedule_graph']['speedup']:>6.2f}x")
+    for n_ops in sizes:
+        graph = make_random(n_ops)
+        workloads.append(bench_workload(
+            f"random-{n_ops}", graph, reps,
+            extra={"generator": {
+                "seed": 1990 + n_ops, "n_ops": n_ops,
+                "edge_probability": min(0.15, 40 / n_ops),
+                "unbounded_probability": 0.15,
+                "n_min_constraints": n_ops // 8,
+                "n_max_constraints": n_ops // 16,
+            }}))
+        print(f"{workloads[-1]['name']:<16} schedule_graph "
+              f"{workloads[-1]['stages']['schedule_graph']['speedup']:>6.2f}x")
+
+    headline = next((w for w in workloads if w["name"] == "random-400"), None)
+    report = {
+        "meta": {
+            "schema": 1,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "quick": args.quick,
+            "repeats": reps,
+            "timer": "min over repetitions, cache-cold graph.copy() per rep",
+        },
+        "workloads": workloads,
+    }
+    if headline is not None:
+        report["headline"] = {
+            "workload": "random-400",
+            "stage": "schedule_graph",
+            "speedup": headline["stages"]["schedule_graph"]["speedup"],
+        }
+        print(f"\nheadline: random-400 schedule_graph "
+              f"{report['headline']['speedup']}x "
+              f"(indexed {headline['stages']['schedule_graph']['indexed_ms']} ms, "
+              f"reference {headline['stages']['schedule_graph']['reference_ms']} ms)")
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,10 @@ This package implements the paper's primary contribution:
   IV-C).
 * :mod:`repro.core.scheduler` -- iterative incremental scheduling
   (Section IV-E) producing a :class:`repro.core.schedule.RelativeSchedule`.
+* :mod:`repro.core.indexed` -- the graph compiled to dense arrays; the
+  production kernel behind the paths/anchors/scheduler hot loops.
+* :mod:`repro.core.reference` -- the original dict implementations,
+  retained for differential testing and benchmarking.
 """
 
 from repro.core.delay import UNBOUNDED, Delay, is_unbounded
@@ -40,6 +44,8 @@ from repro.core.wellposed import (
     is_feasible,
     make_well_posed,
 )
+from repro.core.indexed import IndexedGraph, get_indexed
+from repro.core import reference
 from repro.core.schedule import RelativeSchedule
 from repro.core.scheduler import (
     IterativeIncrementalScheduler,
@@ -75,6 +81,9 @@ __all__ = [
     "check_well_posed",
     "is_feasible",
     "make_well_posed",
+    "IndexedGraph",
+    "get_indexed",
+    "reference",
     "RelativeSchedule",
     "IterativeIncrementalScheduler",
     "ScheduleTrace",

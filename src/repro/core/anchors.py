@@ -56,17 +56,16 @@ def find_anchor_sets(graph: ConstraintGraph) -> AnchorSets:
 
     Complexity ``O(|Ef| * |A|)``, matching the paper: each forward edge
     is traversed once and each traversal merges at most ``|A|`` tags.
+    Runs as bitset propagation on the indexed compilation; the result
+    is memoised on the graph's versioned analysis cache, so the
+    well-posedness check, ``make_well_posed`` and the scheduler share
+    one computation per graph version.
     """
-    order = graph.forward_topological_order()
-    anchor_sets: Dict[str, set] = {name: set() for name in graph.vertex_names()}
-    for name in order:
-        tags = anchor_sets[name]
-        for edge in graph.out_edges(name, forward_only=True):
-            target = anchor_sets[edge.head]
-            target.update(tags)
-            if edge.is_unbounded:
-                target.add(name)
-    return {name: frozenset(tags) for name, tags in anchor_sets.items()}
+    from repro.core.indexed import anchor_masks, get_indexed, masks_to_sets
+
+    return graph.cached(
+        "anchor_sets",
+        lambda: masks_to_sets(get_indexed(graph), anchor_masks(graph)))
 
 
 def relevant_anchors(graph: ConstraintGraph) -> AnchorSets:
@@ -92,47 +91,16 @@ def relevant_anchors(graph: ConstraintGraph) -> AnchorSets:
     coincide.
 
     Complexity ``O(|A| * |E|)``: each edge is examined at most twice per
-    anchor.
+    anchor.  Runs as per-anchor bitmask traversals on the indexed
+    compilation (phase 1: unbounded first hop then bounded edges;
+    phase 2: all-bounded paths confined to the anchor's cone), memoised
+    per graph version.
     """
-    anchor_sets = find_anchor_sets(graph)
-    relevant: Dict[str, set] = {name: set() for name in graph.vertex_names()}
-    for anchor in graph.anchors:
-        # Phase 1 -- the paper's traversal: one unbounded first hop,
-        # then bounded edges, unrestricted (on ill-posed graphs this may
-        # leave the anchor's cone; Lemma 4 uses exactly that signal).
-        visited = {anchor}
-        frontier = []
-        for edge in graph.out_edges(anchor):
-            if edge.is_unbounded and edge.head not in visited:
-                visited.add(edge.head)
-                frontier.append(edge.head)
-        while frontier:
-            current = frontier.pop()
-            relevant[current].add(anchor)
-            for edge in graph.out_edges(current):
-                if edge.is_unbounded or edge.head in visited:
-                    continue
-                visited.add(edge.head)
-                frontier.append(edge.head)
-        # Phase 2 -- the deviation: an all-bounded constraint path from
-        # the anchor, confined to vertices already tracking it.
-        visited = {anchor}
-        frontier = []
-        for edge in graph.out_edges(anchor):
-            if (not edge.is_unbounded and edge.head not in visited
-                    and anchor in anchor_sets[edge.head]):
-                visited.add(edge.head)
-                frontier.append(edge.head)
-        while frontier:
-            current = frontier.pop()
-            relevant[current].add(anchor)
-            for edge in graph.out_edges(current):
-                if (edge.is_unbounded or edge.head in visited
-                        or anchor not in anchor_sets[edge.head]):
-                    continue
-                visited.add(edge.head)
-                frontier.append(edge.head)
-    return {name: frozenset(tags) for name, tags in relevant.items()}
+    from repro.core.indexed import get_indexed, masks_to_sets, relevant_masks
+
+    return graph.cached(
+        "relevant_sets",
+        lambda: masks_to_sets(get_indexed(graph), relevant_masks(graph)))
 
 
 def irredundant_anchors(
@@ -164,8 +132,19 @@ def irredundant_anchors(
     Complexity: dominated by the longest-path tables,
     ``O(|A| * |V| * |E|)`` here (the paper quotes ``O(|V| * |E|)`` per
     anchor); the scan itself is ``O(|R|^2)`` per vertex.
+
+    With no pre-computed tables supplied, the whole computation runs on
+    the indexed kernel (bitmask scan over memoised per-slot worklist
+    distance arrays) and is cached per graph version.
     """
     from repro.core.paths import anchored_longest_paths
+
+    if anchor_sets is None and relevant is None and lengths is None:
+        from repro.core.indexed import get_indexed, irredundant_masks, masks_to_sets
+
+        return graph.cached(
+            "irredundant_sets",
+            lambda: masks_to_sets(get_indexed(graph), irredundant_masks(graph)))
 
     if anchor_sets is None:
         anchor_sets = find_anchor_sets(graph)

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.delay import UNBOUNDED, Delay, is_unbounded, min_value, validate_delay
 from repro.core.exceptions import GraphStructureError
@@ -151,11 +151,47 @@ class ConstraintGraph:
         self._edges: List[Edge] = []
         self._out: Dict[str, List[Edge]] = {}
         self._in: Dict[str, List[Edge]] = {}
+        self._version = 0
+        self._analysis_cache: Dict[str, Any] = {}
+        self._cache_version = -1
         self.source = source
         self.sink = sink
         # The source behaves as an unbounded-delay anchor (Definition 2).
         self._add_vertex(Vertex(source, UNBOUNDED))
         self._add_vertex(Vertex(sink, validate_delay(sink_delay)))
+
+    # ------------------------------------------------------------------
+    # versioned analysis cache
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped on every vertex or edge change.
+
+        Derived analyses (topological order, edge partitions, anchor
+        sets, the indexed compilation) are memoised against this value
+        and recomputed lazily after any mutation.
+        """
+        return self._version
+
+    def cached(self, key: str, builder: Callable[[], Any]) -> Any:
+        """Memoise ``builder()`` under *key* until the graph next mutates.
+
+        The cache is shared by every analysis over this graph: the
+        well-posedness check, ``make_well_posed`` and the scheduler all
+        reuse one topological order, one anchor-set table and one
+        indexed compilation per graph version instead of recomputing
+        them stage by stage.  Cached values must be treated as
+        immutable by callers.
+        """
+        if self._cache_version != self._version:
+            self._analysis_cache.clear()
+            self._cache_version = self._version
+        try:
+            return self._analysis_cache[key]
+        except KeyError:
+            value = self._analysis_cache[key] = builder()
+            return value
 
     # ------------------------------------------------------------------
     # construction
@@ -167,6 +203,7 @@ class ConstraintGraph:
         self._vertices[vertex.name] = vertex
         self._out[vertex.name] = []
         self._in[vertex.name] = []
+        self._version += 1
         return vertex
 
     def add_operation(self, name: str, delay: Delay, tag: Optional[str] = None) -> Vertex:
@@ -189,6 +226,7 @@ class ConstraintGraph:
         self._edges.append(edge)
         self._out[edge.tail].append(edge)
         self._in[edge.head].append(edge)
+        self._version += 1
         return edge
 
     def add_sequencing_edge(self, tail: str, head: str) -> Edge:
@@ -242,6 +280,7 @@ class ConstraintGraph:
             raise GraphStructureError(f"edge not in graph: {edge!r}") from None
         self._out[edge.tail].remove(edge)
         self._in[edge.head].remove(edge)
+        self._version += 1
 
     def make_polar(self) -> None:
         """Connect orphan vertices so the graph is polar.
@@ -293,27 +332,51 @@ class ConstraintGraph:
 
     def forward_edges(self) -> List[Edge]:
         """The forward edge set ``E_f`` (sequencing, min-time, serialization)."""
-        return [e for e in self._edges if e.is_forward]
+        return list(self.cached(
+            "forward_edges",
+            lambda: tuple(e for e in self._edges if e.kind is not EdgeKind.MAX_TIME)))
 
     def backward_edges(self) -> List[Edge]:
         """The backward edge set ``E_b`` (maximum timing constraints)."""
-        return [e for e in self._edges if e.is_backward]
+        return list(self.cached(
+            "backward_edges",
+            lambda: tuple(e for e in self._edges if e.kind is EdgeKind.MAX_TIME)))
 
-    def out_edges(self, name: str, forward_only: bool = False) -> List[Edge]:
-        """Edges leaving *name*."""
-        self._require(name)
-        edges = self._out[name]
-        if forward_only:
-            return [e for e in edges if e.is_forward]
-        return list(edges)
+    def out_edges(self, name: str, forward_only: bool = False) -> Sequence[Edge]:
+        """Edges leaving *name*, as an immutable (cached) tuple.
 
-    def in_edges(self, name: str, forward_only: bool = False) -> List[Edge]:
-        """Edges entering *name*."""
+        The tuples are memoised per graph version, so hot loops calling
+        this per vertex per sweep do not re-filter or re-copy the
+        adjacency lists.  A snapshot taken before a mutation stays
+        valid for iteration; the next call re-reads the graph.
+        """
         self._require(name)
-        edges = self._in[name]
-        if forward_only:
-            return [e for e in edges if e.is_forward]
-        return list(edges)
+        key = "out_fwd" if forward_only else "out_all"
+        cache: Dict[str, Tuple[Edge, ...]] = self.cached(key, dict)
+        edges = cache.get(name)
+        if edges is None:
+            if forward_only:
+                edges = tuple(e for e in self._out[name]
+                              if e.kind is not EdgeKind.MAX_TIME)
+            else:
+                edges = tuple(self._out[name])
+            cache[name] = edges
+        return edges
+
+    def in_edges(self, name: str, forward_only: bool = False) -> Sequence[Edge]:
+        """Edges entering *name*, as an immutable (cached) tuple."""
+        self._require(name)
+        key = "in_fwd" if forward_only else "in_all"
+        cache: Dict[str, Tuple[Edge, ...]] = self.cached(key, dict)
+        edges = cache.get(name)
+        if edges is None:
+            if forward_only:
+                edges = tuple(e for e in self._in[name]
+                              if e.kind is not EdgeKind.MAX_TIME)
+            else:
+                edges = tuple(self._in[name])
+            cache[name] = edges
+        return edges
 
     def immediate_successors(self, name: str, forward_only: bool = True) -> List[str]:
         """Heads of edges leaving *name* (deduplicated, order-preserving)."""
@@ -333,7 +396,9 @@ class ConstraintGraph:
     def anchors(self) -> List[str]:
         """The anchors ``A``: the source plus every unbounded-delay vertex
         (Definition 2), in insertion order."""
-        return [v.name for v in self._vertices.values() if v.is_unbounded]
+        return list(self.cached(
+            "anchors",
+            lambda: tuple(v.name for v in self._vertices.values() if v.is_unbounded)))
 
     def is_anchor(self, name: str) -> bool:
         """True when *name* is the source or has unbounded delay."""
@@ -346,15 +411,22 @@ class ConstraintGraph:
     def forward_topological_order(self) -> List[str]:
         """Topological order of the forward constraint graph ``G_f``.
 
+        The order is memoised per graph version; callers receive a
+        fresh list copy.
+
         Raises:
             CyclicForwardGraphError: if ``G_f`` has a cycle (the paper
                 assumes it acyclic without loss of generality).
         """
+        return list(self.cached("topo_order", self._compute_topological_order))
+
+    def _compute_topological_order(self) -> Tuple[str, ...]:
         from repro.core.exceptions import CyclicForwardGraphError
 
+        backward = EdgeKind.MAX_TIME
         indegree = {name: 0 for name in self._vertices}
         for edge in self._edges:
-            if edge.is_forward:
+            if edge.kind is not backward:
                 indegree[edge.head] += 1
         ready = [name for name, d in indegree.items() if d == 0]
         order: List[str] = []
@@ -362,16 +434,18 @@ class ConstraintGraph:
             name = ready.pop()
             order.append(name)
             for edge in self._out[name]:
-                if not edge.is_forward:
+                if edge.kind is backward:
                     continue
-                indegree[edge.head] -= 1
-                if indegree[edge.head] == 0:
-                    ready.append(edge.head)
+                head = edge.head
+                remaining = indegree[head] - 1
+                indegree[head] = remaining
+                if remaining == 0:
+                    ready.append(head)
         if len(order) != len(self._vertices):
             cyclic = sorted(name for name, d in indegree.items() if d > 0)
             raise CyclicForwardGraphError(
                 f"forward constraint graph has a cycle through {cyclic}")
-        return order
+        return tuple(order)
 
     def is_forward_reachable(self, tail: str, head: str) -> bool:
         """True when a directed path of *forward* edges runs tail -> head.
@@ -441,6 +515,9 @@ class ConstraintGraph:
         clone._edges = list(self._edges)
         clone._out = {name: list(edges) for name, edges in self._out.items()}
         clone._in = {name: list(edges) for name, edges in self._in.items()}
+        clone._version = 0
+        clone._analysis_cache = {}
+        clone._cache_version = -1
         clone.source = self.source
         clone.sink = self.sink
         return clone

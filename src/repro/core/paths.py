@@ -10,6 +10,12 @@ feasible graph contains no *positive* cycle (Theorem 1), so longest
 paths are well defined and computable by Bellman-Ford-style relaxation.
 The forward graph ``G_f`` is acyclic, so longest paths restricted to it
 are computed in a single topological sweep.
+
+The relaxations run on the indexed compilation of the graph
+(:mod:`repro.core.indexed`) as deque/heap worklists -- only vertices
+whose label changed are revisited, instead of the seed's dense
+``|V| * |E|`` rounds.  The original dense implementations are retained
+in :mod:`repro.core.reference` for differential testing.
 """
 
 from __future__ import annotations
@@ -28,26 +34,12 @@ def has_positive_cycle(graph: ConstraintGraph) -> bool:
     """Theorem 1 check: does ``G_0`` contain a positive-length cycle?
 
     ``G_0`` is the graph with unbounded delays at 0.  Implemented as
-    Bellman-Ford with a virtual super-source connected to every vertex,
-    so cycles in any component are detected.
+    worklist relaxation from a virtual super-source connected to every
+    vertex, so cycles in any component are detected.
     """
-    distance: Dict[str, int] = {name: 0 for name in graph.vertex_names()}
-    edges = graph.edges()
-    for _ in range(len(distance)):
-        changed = False
-        for edge in edges:
-            candidate = distance[edge.tail] + edge.static_weight
-            if candidate > distance[edge.head]:
-                distance[edge.head] = candidate
-                changed = True
-        if not changed:
-            return False
-    # A full |V| rounds of changes: one more relaxation distinguishes a
-    # long simple path from a genuine positive cycle.
-    for edge in edges:
-        if distance[edge.tail] + edge.static_weight > distance[edge.head]:
-            return True
-    return False
+    from repro.core.indexed import has_positive_cycle_indexed
+
+    return has_positive_cycle_indexed(graph)
 
 
 def find_positive_cycle(graph: ConstraintGraph) -> Optional[List[str]]:
@@ -90,55 +82,25 @@ def longest_paths_from(graph: ConstraintGraph, start: str,
 
     Unreachable vertices map to :data:`NO_PATH`.  With
     ``forward_only=True`` only the acyclic forward graph is considered
-    and a single topological sweep is used; otherwise Bellman-Ford
-    relaxation over the full graph is used.
+    and a single topological sweep is used; otherwise worklist
+    relaxation over the full indexed graph is used.
 
     Raises:
         UnfeasibleConstraintsError: if a positive cycle is reachable from
             *start* (full-graph mode only).
     """
+    from repro.core.indexed import dag_longest_from, longest_paths_indexed
+
     if forward_only:
-        return _dag_longest_from(graph, start)
-    distance: Dict[str, Optional[int]] = {name: NO_PATH for name in graph.vertex_names()}
-    distance[start] = 0
-    edges = graph.edges()
-    for _ in range(len(distance) - 1):
-        changed = False
-        for edge in edges:
-            base = distance[edge.tail]
-            if base is NO_PATH:
-                continue
-            candidate = base + edge.static_weight
-            head_distance = distance[edge.head]
-            if head_distance is NO_PATH or candidate > head_distance:
-                distance[edge.head] = candidate
-                changed = True
-        if not changed:
-            break
-    else:
-        for edge in edges:
-            base = distance[edge.tail]
-            if base is not NO_PATH and base + edge.static_weight > distance[edge.head]:
-                raise UnfeasibleConstraintsError(
-                    f"positive cycle reachable from {start!r}")
-    return distance
+        return dag_longest_from(graph, start)
+    return longest_paths_indexed(graph, start)
 
 
 def _dag_longest_from(graph: ConstraintGraph, start: str) -> Dict[str, Optional[int]]:
-    """Longest forward-path lengths from *start* in one topological sweep."""
-    order = graph.forward_topological_order()
-    distance: Dict[str, Optional[int]] = {name: NO_PATH for name in order}
-    distance[start] = 0
-    for name in order:
-        base = distance[name]
-        if base is NO_PATH:
-            continue
-        for edge in graph.out_edges(name, forward_only=True):
-            candidate = base + edge.static_weight
-            head_distance = distance[edge.head]
-            if head_distance is NO_PATH or candidate > head_distance:
-                distance[edge.head] = candidate
-    return distance
+    """Longest forward-path lengths from *start* (indexed topological sweep)."""
+    from repro.core.indexed import dag_longest_from
+
+    return dag_longest_from(graph, start)
 
 
 def length(graph: ConstraintGraph, tail: str, head: str) -> Optional[int]:
@@ -171,32 +133,20 @@ def anchored_longest_paths(graph: ConstraintGraph, anchor: str,
     with ``a`` itself.  On graphs where no backward edge escapes the
     anchored region this equals ``length(a, v)`` on the full graph.
     """
-    allowed = {name for name, tags in anchor_sets.items() if anchor in tags}
-    allowed.add(anchor)
-    distance: Dict[str, Optional[int]] = {name: NO_PATH for name in graph.vertex_names()}
-    distance[anchor] = 0
-    edges = [e for e in graph.edges()
-             if e.tail in allowed and e.head in allowed]
-    for _ in range(len(allowed)):
-        changed = False
-        for edge in edges:
-            base = distance[edge.tail]
-            if base is NO_PATH:
-                continue
-            candidate = base + edge.static_weight
-            head_distance = distance[edge.head]
-            if head_distance is NO_PATH or candidate > head_distance:
-                distance[edge.head] = candidate
-                changed = True
-        if not changed:
-            break
-    else:
-        for edge in edges:
-            base = distance[edge.tail]
-            if base is not NO_PATH and base + edge.static_weight > distance[edge.head]:
-                raise UnfeasibleConstraintsError(
-                    f"positive cycle in the region anchored by {anchor!r}")
-    return distance
+    from repro.core.indexed import get_indexed, worklist_longest_from, _positions
+
+    idx = get_indexed(graph)
+    allowed = bytearray(idx.n)
+    index = idx.index
+    for name, tags in anchor_sets.items():
+        if anchor in tags:
+            allowed[index[name]] = 1
+    allowed[index[anchor]] = 1
+    distance = worklist_longest_from(
+        idx, idx.out_all, index[anchor], _positions(graph, idx), allowed=allowed,
+        cycle_message=f"positive cycle in the region anchored by {anchor!r}")
+    names = idx.names
+    return {names[v]: distance[v] for v in range(idx.n)}
 
 
 def maximal_defining_path_length(graph: ConstraintGraph, anchor: str,
@@ -230,31 +180,11 @@ def _bounded_longest_from(graph: ConstraintGraph, start: str) -> Dict[str, Optio
     """Longest path using bounded-weight edges only (full graph).
 
     Bounded-only subgraphs can still contain (non-positive) cycles via
-    backward edges, so Bellman-Ford relaxation is used.
+    backward edges, so worklist relaxation is used.
     """
-    distance: Dict[str, Optional[int]] = {name: NO_PATH for name in graph.vertex_names()}
-    distance[start] = 0
-    edges = [e for e in graph.edges() if not e.is_unbounded]
-    for _ in range(len(distance) - 1):
-        changed = False
-        for edge in edges:
-            base = distance[edge.tail]
-            if base is NO_PATH:
-                continue
-            candidate = base + edge.static_weight
-            head_distance = distance[edge.head]
-            if head_distance is NO_PATH or candidate > head_distance:
-                distance[edge.head] = candidate
-                changed = True
-        if not changed:
-            break
-    else:
-        for edge in edges:
-            base = distance[edge.tail]
-            if base is not NO_PATH and base + edge.static_weight > distance[edge.head]:
-                raise UnfeasibleConstraintsError(
-                    f"positive bounded cycle reachable from {start!r}")
-    return distance
+    from repro.core.indexed import bounded_longest_indexed
+
+    return bounded_longest_indexed(graph, start)
 
 
 def critical_path(graph: ConstraintGraph) -> int:

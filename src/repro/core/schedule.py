@@ -130,11 +130,25 @@ class RelativeSchedule:
         Raises:
             ValueError: naming the first violated edge.
         """
+        from repro.core.indexed import schedule_satisfies_constraints
+
+        # One vectorized pass certifies most schedules; anything it
+        # cannot certify falls through to the per-edge scan, which
+        # produces the exact diagnostic (or passes for the benign cases
+        # the fast check over-rejects).
+        if schedule_satisfies_constraints(self.graph, self.offsets):
+            return
+
+        memo: Dict[str, Dict[str, int]] = {}
+
         def with_self(vertex: str) -> Dict[str, int]:
-            entries = self.offsets.get(vertex, {})
-            if self.graph.is_anchor(vertex) and vertex not in entries:
-                entries = dict(entries)
-                entries[vertex] = 0
+            entries = memo.get(vertex)
+            if entries is None:
+                entries = self.offsets.get(vertex, {})
+                if self.graph.is_anchor(vertex) and vertex not in entries:
+                    entries = dict(entries)
+                    entries[vertex] = 0
+                memo[vertex] = entries
             return entries
 
         for edge in self.graph.edges():

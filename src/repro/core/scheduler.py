@@ -111,17 +111,25 @@ class IterativeIncrementalScheduler:
         anchor_sets: pre-computed anchor sets (overrides *anchor_mode*'s
             recomputation; callers doing the full pipeline pass the
             irredundant sets here).
-        record_trace: keep per-iteration snapshots (Fig. 10).
+        record_trace: keep per-iteration snapshots (Fig. 10).  Trace
+            recording runs on the reference dict loops (the snapshots
+            *are* the dict states).
+        use_indexed: run on the indexed array kernel
+            (:func:`repro.core.indexed.schedule_offsets`); False selects
+            the original dict-of-dict loops, retained as the reference
+            implementation for differential testing.
     """
 
     def __init__(self, graph: ConstraintGraph,
                  anchor_mode: AnchorMode = AnchorMode.FULL,
                  anchor_sets: Optional[AnchorSets] = None,
-                 record_trace: bool = False) -> None:
+                 record_trace: bool = False,
+                 use_indexed: bool = True) -> None:
         self.graph = graph
         self.anchor_mode = anchor_mode
         self.anchor_sets = anchor_sets or anchor_sets_for_mode(graph, anchor_mode)
         self.record_trace = record_trace
+        self.use_indexed = use_indexed
         self.trace: Optional[ScheduleTrace] = ScheduleTrace() if record_trace else None
         self._order = graph.forward_topological_order()
 
@@ -134,6 +142,10 @@ class IterativeIncrementalScheduler:
             InconsistentConstraintsError: after ``|Eb| + 1`` rounds with
                 violations remaining (Corollary 2).
         """
+        if self.use_indexed and not self.record_trace:
+            result = self._run_indexed()
+            if result is not None:
+                return result
         offsets: OffsetState = {
             vertex: {anchor: 0 for anchor in self.anchor_sets[vertex]}
             for vertex in self.graph.vertex_names()
@@ -159,6 +171,27 @@ class IterativeIncrementalScheduler:
         raise InconsistentConstraintsError(
             f"no schedule after {max_rounds} iterations: timing constraints "
             f"are inconsistent (Corollary 2)")
+
+    def _run_indexed(self) -> Optional[RelativeSchedule]:
+        """Run on the indexed array kernel; None when the anchor sets
+        name a vertex the compilation does not know as an anchor (the
+        caller then falls back to the reference dict loops, which accept
+        arbitrary tag names)."""
+        from repro.core.indexed import schedule_offsets
+
+        try:
+            offsets, iterations, raw = schedule_offsets(
+                self.graph, self.anchor_sets, return_raw=True)
+        except KeyError:
+            return None
+        schedule = RelativeSchedule(
+            graph=self.graph, anchor_sets=self.anchor_sets,
+            offsets=offsets, anchor_mode=self.anchor_mode,
+            iterations=iterations)
+        # Raw rows let validate() certify without the dict round-trip,
+        # as long as the graph has not mutated since.
+        schedule._raw_offset_rows = (self.graph.version, raw)
+        return schedule
 
     # ------------------------------------------------------------------
 
@@ -238,7 +271,8 @@ def schedule_graph(graph: ConstraintGraph,
                    anchor_mode: AnchorMode = AnchorMode.IRREDUNDANT,
                    auto_well_pose: bool = True,
                    validate: bool = True,
-                   record_trace: bool = False) -> RelativeSchedule:
+                   record_trace: bool = False,
+                   use_indexed: bool = True) -> RelativeSchedule:
     """Run the paper's full four-step pipeline (Fig. 9) on *graph*.
 
     1. check well-posedness (Theorem 2);
@@ -248,6 +282,11 @@ def schedule_graph(graph: ConstraintGraph,
        default, Section IV-D);
     4. iterative incremental scheduling (Section IV-E).
 
+    The full anchor sets are computed once and passed to both the
+    well-posedness check and (via *anchor_mode*'s resolution) the
+    scheduler; every stage shares the graph's versioned analysis cache,
+    so nothing is recomputed unless serialization mutates the graph.
+
     Returns the minimum relative schedule of the (possibly serialized)
     graph; the scheduled graph is available as ``schedule.graph``.
 
@@ -256,9 +295,11 @@ def schedule_graph(graph: ConstraintGraph,
         IllPosedError: ill-posed and cannot be (or may not be) serialized.
         InconsistentConstraintsError: scheduling did not converge.
     """
+    from repro.core.anchors import find_anchor_sets
     from repro.core.exceptions import IllPosedError
 
-    status = check_well_posed(graph)
+    anchor_sets = find_anchor_sets(graph)
+    status = check_well_posed(graph, anchor_sets=anchor_sets)
     if status is WellPosedness.UNFEASIBLE:
         raise UnfeasibleConstraintsError("constraint graph has a positive cycle")
     if status is WellPosedness.ILL_POSED:
@@ -269,10 +310,20 @@ def schedule_graph(graph: ConstraintGraph,
         graph = make_well_posed(graph)
 
     scheduler = IterativeIncrementalScheduler(
-        graph, anchor_mode=anchor_mode, record_trace=record_trace)
+        graph, anchor_mode=anchor_mode,
+        anchor_sets=anchor_sets_for_mode(graph, anchor_mode),
+        record_trace=record_trace, use_indexed=use_indexed)
     schedule = scheduler.run()
     if validate:
-        schedule.validate()
+        # Fresh from the indexed scheduler the raw offset rows are still
+        # authoritative (nothing can have mutated them between run() and
+        # here), so one array pass replaces the dict-based validation;
+        # anything it cannot certify gets the precise per-edge scan.
+        from repro.core.indexed import certify_offset_lists
+        raw = getattr(schedule, "_raw_offset_rows", None)
+        if (raw is None or raw[0] != graph.version
+                or not certify_offset_lists(graph, raw[1])):
+            schedule.validate()
     if record_trace:
         schedule.trace = scheduler.trace  # type: ignore[attr-defined]
     return schedule

@@ -15,7 +15,7 @@ ill-posed repair path.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.anchors import find_anchor_sets
 from repro.core.delay import UNBOUNDED
@@ -69,11 +69,25 @@ def random_constraint_graph(rng: random.Random, n_ops: int,
     order = graph.forward_topological_order()
     position = {name: index for index, name in enumerate(order)}
 
+    # Forward-reachable ordered pairs via a descendants bitset (one
+    # reverse-topological sweep) instead of one DFS per pair.  Bits are
+    # topological positions, so ascending set-bit extraction yields the
+    # pairs in exactly the (tail position, head position) order the
+    # per-pair loop produced -- seeded graphs are unchanged.
+    descendants: Dict[str, int] = {}
+    for name in reversed(order):
+        mask = 0
+        for edge in graph.out_edges(name, forward_only=True):
+            mask |= (1 << position[edge.head]) | descendants[edge.head]
+        descendants[name] = mask
+
     candidates: List[Tuple[str, str]] = []
-    for i, tail in enumerate(order):
-        for head in order[i + 1:]:
-            if graph.is_forward_reachable(tail, head):
-                candidates.append((tail, head))
+    for tail in order:
+        mask = descendants[tail]
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            candidates.append((tail, order[low.bit_length() - 1]))
     rng.shuffle(candidates)
 
     placed_min = 0
