@@ -52,9 +52,7 @@ def test_granularity_ablation(benchmark):
 
 
 def test_gcd_constraint_holds_in_both_granularities(benchmark):
-    import math
 
-    from repro.sim import PortStream, cosimulate
 
     def run_both():
         outcomes = []

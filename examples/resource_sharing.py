@@ -13,7 +13,7 @@ deadline tightens.
 Run:  python examples/resource_sharing.py
 """
 
-from repro import UNBOUNDED, schedule_graph
+from repro import schedule_graph
 from repro.binding import (
     ConflictResolutionError,
     ResourceLibrary,

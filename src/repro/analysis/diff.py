@@ -9,7 +9,7 @@ the control-relevant aggregates (sigma^max sums) shifted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.core.schedule import RelativeSchedule
 

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.paper_figures import fig10_graph
 from repro.core.anchors import AnchorMode
-from repro.core.scheduler import IterativeIncrementalScheduler, ScheduleTrace
+from repro.core.scheduler import IterativeIncrementalScheduler
 
 
 #: The paper's Fig. 10 offset table: vertex -> list of

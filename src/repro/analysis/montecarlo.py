@@ -13,7 +13,7 @@ comparison bench exploits.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.core.schedule import RelativeSchedule

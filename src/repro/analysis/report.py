@@ -10,13 +10,11 @@ artifact for design reviews.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.core.anchors import AnchorMode
 from repro.core.constraints import constraint_slack
 from repro.core.delay import is_unbounded
 from repro.seqgraph.hierarchy import HierarchicalSchedule
-from repro.seqgraph.model import Design
 
 
 def design_report(result: HierarchicalSchedule,

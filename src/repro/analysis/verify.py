@@ -26,7 +26,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.graph import ConstraintGraph, Edge
+from repro.core.graph import ConstraintGraph
 from repro.core.schedule import RelativeSchedule
 
 

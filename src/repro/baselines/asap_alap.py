@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.core.delay import is_unbounded
 from repro.core.exceptions import UnfeasibleConstraintsError
 from repro.core.graph import ConstraintGraph
 

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.core.delay import is_unbounded
 from repro.core.exceptions import UnfeasibleConstraintsError
 from repro.core.graph import ConstraintGraph
 from repro.core.paths import has_positive_cycle

@@ -12,7 +12,7 @@ additionally honouring min/max constraints.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional
 
 from repro.core.delay import is_unbounded
 from repro.core.graph import ConstraintGraph

@@ -51,7 +51,7 @@ def budget_graph(graph: ConstraintGraph, budget: int) -> ConstraintGraph:
 
     The source keeps its role (activation reference).
     """
-    from repro.core.graph import Edge, EdgeKind, Vertex
+    from repro.core.graph import Edge, Vertex
 
     clone = ConstraintGraph.__new__(ConstraintGraph)
     clone.source = graph.source

@@ -10,7 +10,7 @@ conflict resolution and relative scheduling, which consume its output.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.binding.resources import Binding, Instance, ResourceLibrary
 from repro.seqgraph.model import OpKind, SequencingGraph

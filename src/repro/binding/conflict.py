@@ -19,9 +19,9 @@ no positive cycle, Theorem 1).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from repro.binding.resources import Binding, Instance
+from repro.binding.resources import Binding
 from repro.core.exceptions import ConstraintGraphError
 from repro.core.graph import ConstraintGraph
 from repro.core.paths import has_positive_cycle, longest_paths_from

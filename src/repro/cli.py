@@ -27,7 +27,6 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.anchors import AnchorMode
 from repro.core.exceptions import ConstraintGraphError
 from repro.core.graph import ConstraintGraph
-from repro.core.schedule import RelativeSchedule
 from repro.core.scheduler import schedule_graph
 from repro.core.wellposed import check_well_posed, containment_violations
 

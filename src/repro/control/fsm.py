@@ -16,7 +16,7 @@ cycle-accurate semantics live in :mod:`repro.sim.control_sim` and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.control.counter import synthesize_counter_control
 from repro.control.netlist import ControlCost, ControlUnit

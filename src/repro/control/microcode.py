@@ -16,7 +16,7 @@ logic and loses on storage).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.control.netlist import bits_for

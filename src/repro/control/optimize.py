@@ -24,7 +24,6 @@ from typing import Dict, List, Set, Tuple
 from repro.control.netlist import (
     AndGate,
     Comparator,
-    ControlCost,
     ControlUnit,
     Counter,
     EnableFunction,

@@ -25,7 +25,7 @@ from __future__ import annotations
 import re
 from typing import Dict, List, Set
 
-from repro.control.netlist import ControlUnit, bits_for
+from repro.control.netlist import ControlUnit
 
 _IDENT = re.compile(r"[^A-Za-z0-9_]")
 

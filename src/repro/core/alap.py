@@ -21,7 +21,7 @@ mobility marks the relative critical path of that anchor frame.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional
 
 from repro.core.exceptions import UnfeasibleConstraintsError
 from repro.core.graph import ConstraintGraph

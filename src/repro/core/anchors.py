@@ -27,7 +27,7 @@ times computed from any of the three sets (Theorems 4-6).
 from __future__ import annotations
 
 import enum
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional
+from typing import Dict, FrozenSet, Mapping, Optional
 
 from repro.core.graph import ConstraintGraph
 from repro.core.paths import NO_PATH

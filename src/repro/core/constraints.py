@@ -26,7 +26,7 @@ graph exists, and so reports can refer back to source-level constraints.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Union
+from typing import Iterable, List, Union
 
 from repro.core.graph import ConstraintGraph, Edge
 

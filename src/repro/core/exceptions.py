@@ -59,3 +59,15 @@ class InconsistentConstraintsError(ConstraintGraphError):
 class GraphStructureError(ConstraintGraphError):
     """The graph violates a structural invariant (polarity, unknown vertex,
     duplicate names, non-anchor tail on an unbounded edge, ...)."""
+
+
+class IndexedKernelUnsupported(ConstraintGraphError):
+    """The indexed array kernel cannot represent this request.
+
+    Raised by :func:`repro.core.indexed.schedule_offsets` when the anchor
+    sets name a tag that is not an anchor vertex of the compiled graph
+    (the dict reference loops accept arbitrary tag names, so callers
+    fall back to them).  Deliberately distinct from :class:`KeyError`:
+    a ``KeyError`` escaping the kernel is a genuine bug and must
+    propagate, never be masked as a silent slow-path fallback.
+    """

@@ -25,10 +25,20 @@ edges introduced by ``make_well_posed``; the graph enforces it.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from repro.core.delay import UNBOUNDED, Delay, is_unbounded, min_value, validate_delay
+from repro.core.delay import UNBOUNDED, Delay, is_unbounded, validate_delay
 from repro.core.exceptions import GraphStructureError
 
 #: An edge weight: a (possibly negative) integer, or UNBOUNDED meaning

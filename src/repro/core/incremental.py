@@ -20,12 +20,9 @@ detected per Corollary 2.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
-
-from repro.core.anchors import AnchorMode, anchor_sets_for_mode
-from repro.core.constraints import MaxTimingConstraint, MinTimingConstraint, TimingConstraint
-from repro.core.exceptions import CyclicForwardGraphError
-from repro.core.graph import ConstraintGraph, Edge, EdgeKind
+from repro.core.anchors import anchor_sets_for_mode
+from repro.core.constraints import TimingConstraint
+from repro.core.graph import Edge
 from repro.core.schedule import RelativeSchedule
 from repro.core.scheduler import IterativeIncrementalScheduler
 
@@ -50,31 +47,42 @@ def add_constraint_incremental(schedule: RelativeSchedule,
     Raises:
         CyclicForwardGraphError: a minimum constraint against the
             partial order.
-        IllPosedError: a maximum constraint that is ill-posed on the new
-            graph (detected via the containment criterion).
-        InconsistentConstraintsError: the extended constraints admit no
-            schedule.
+        UnfeasibleConstraintsError: the extended constraints form a
+            positive cycle -- no schedule exists for any delay values.
+        IllPosedError: the extended graph is ill-posed; run
+            ``make_well_posed`` and reschedule from scratch.
+        InconsistentConstraintsError: scheduling did not converge.
     """
-    from repro.core.exceptions import IllPosedError
-    from repro.core.wellposed import containment_violations
+    from repro.core.exceptions import IllPosedError, UnfeasibleConstraintsError
+    from repro.core.wellposed import WellPosedness, check_well_posed
 
     graph = schedule.graph.copy()
     constraint.apply(graph)
     graph.forward_topological_order()  # min constraints: cycle check
 
-    anchor_sets = anchor_sets_for_mode(graph, schedule.anchor_mode)
-    if isinstance(constraint, MaxTimingConstraint):
-        violations = containment_violations(graph)
-        if violations:
-            raise IllPosedError(
-                f"adding {constraint} makes the graph ill-posed "
-                f"(missing anchors {sorted(violations[0][1])}); run "
-                f"make_well_posed and reschedule from scratch")
+    # Classify the extended graph exactly like the from-scratch pipeline
+    # (schedule_graph with auto_well_pose=False), so the two entry
+    # points accept and reject identically.  Fuzzing found three
+    # divergences in the old max-only containment check (see
+    # tests/qa/regressions/warm_start_*.json): a *minimum* constraint
+    # can also break containment (it grows anchor sets downstream), in
+    # which case the warm reschedule silently produced offsets for an
+    # ill-posed graph; and unfeasible additions surfaced as whichever of
+    # InconsistentConstraintsError/IllPosedError tripped first instead
+    # of the pipeline's UnfeasibleConstraintsError.
+    status = check_well_posed(graph)
+    if status is WellPosedness.UNFEASIBLE:
+        raise UnfeasibleConstraintsError(
+            f"adding {constraint} creates a positive cycle")
+    if status is WellPosedness.ILL_POSED:
+        raise IllPosedError(
+            f"adding {constraint} makes the graph ill-posed; run "
+            f"make_well_posed and reschedule from scratch")
 
+    anchor_sets = anchor_sets_for_mode(graph, schedule.anchor_mode)
     scheduler = IterativeIncrementalScheduler(
         graph, anchor_mode=schedule.anchor_mode, anchor_sets=anchor_sets)
-    warm = _warm_offsets(schedule, anchor_sets)
-    result = _run_from(scheduler, warm)
+    result = scheduler.run_from(schedule.offsets)
     if validate:
         result.validate()
     return result
@@ -93,34 +101,3 @@ def without_constraint(schedule: RelativeSchedule, edge: Edge,
     return result
 
 
-def _warm_offsets(schedule: RelativeSchedule, anchor_sets) -> Dict[str, Dict[str, int]]:
-    """The previous offsets, reshaped to the new anchor sets.
-
-    Entries the new sets do not track are dropped; newly tracked
-    entries start at 0 (they only relax upward, Lemma 8)."""
-    warm: Dict[str, Dict[str, int]] = {}
-    for vertex, tracked in anchor_sets.items():
-        old = schedule.offsets.get(vertex, {})
-        warm[vertex] = {anchor: old.get(anchor, 0) for anchor in tracked}
-    return warm
-
-
-def _run_from(scheduler: IterativeIncrementalScheduler,
-              offsets: Dict[str, Dict[str, int]]) -> RelativeSchedule:
-    """Run the iterative scheduler starting from *offsets*."""
-    from repro.core.exceptions import InconsistentConstraintsError
-
-    backward = scheduler.graph.backward_edges()
-    max_rounds = len(backward) + 1
-    for round_index in range(1, max_rounds + 1):
-        scheduler._incremental_offset(offsets)
-        violations = scheduler._find_violations(offsets, backward)
-        if not violations:
-            return RelativeSchedule(
-                graph=scheduler.graph, anchor_sets=scheduler.anchor_sets,
-                offsets=offsets, anchor_mode=scheduler.anchor_mode,
-                iterations=round_index)
-        scheduler._readjust(offsets, violations)
-    raise InconsistentConstraintsError(
-        f"no schedule after {max_rounds} iterations: the added timing "
-        f"constraint is inconsistent (Corollary 2)")

@@ -45,12 +45,12 @@ from __future__ import annotations
 
 import heapq
 from bisect import bisect_left
-from collections import deque
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.exceptions import (
     CyclicForwardGraphError,
     InconsistentConstraintsError,
+    IndexedKernelUnsupported,
     UnfeasibleConstraintsError,
 )
 from repro.core.graph import ConstraintGraph, Edge, EdgeKind
@@ -772,8 +772,12 @@ def masks_to_sets(idx: IndexedGraph, masks: Sequence[int]
 
 
 def _vector_round1(graph: ConstraintGraph, idx: IndexedGraph,
-                   tracked: List[List[int]]) -> List[List[int]]:
+                   rows: List[List[int]]) -> List[List[int]]:
     """The scheduler's first full relaxation sweep, level-batched.
+
+    *rows* are the initial per-vertex offset rows (-1 untracked): all
+    zeros for a cold start, the reshaped previous offsets for a warm
+    start (offsets only relax upward from them, Lemma 8).
 
     Every anchor's own cell is pinned to its implicit self offset 0 for
     the duration of the sweep (its write is blocked by the ``+
@@ -785,14 +789,9 @@ def _vector_round1(graph: ConstraintGraph, idx: IndexedGraph,
     """
     n, m = idx.n, idx.n_anchors
     neg = -_np.inf
-    D = _np.full((n, m), neg)
-    flat: List[int] = []
-    for v, slots in enumerate(tracked):
-        base = v * m
-        for slot in slots:
-            flat.append(base + slot)
-    D.put(flat, 0.0)
-    penalty = D.copy()  # 0 where tracked, -inf where not
+    D = _np.array(rows, dtype=_np.float64)
+    D[D < 0] = neg  # -1 marks untracked
+    penalty = _np.where(D == neg, neg, 0.0)  # 0 where tracked, -inf where not
     self_cells = [anchor_vertex * m + slot
                   for slot, anchor_vertex in enumerate(idx.anchor_vertices)
                   if D[anchor_vertex, slot] == neg]
@@ -813,7 +812,8 @@ def _vector_round1(graph: ConstraintGraph, idx: IndexedGraph,
 
 def schedule_offsets(graph: ConstraintGraph,
                      anchor_sets: Dict[str, FrozenSet[str]],
-                     return_raw: bool = False):
+                     return_raw: bool = False,
+                     initial: Optional[Dict[str, Dict[str, int]]] = None):
     """Section IV-E scheduling on the indexed compilation.
 
     Offsets are per-vertex int arrays over anchor slots (-1 for
@@ -823,14 +823,22 @@ def schedule_offsets(graph: ConstraintGraph,
     the iteration count are identical to the reference dict scheduler
     (``IterativeIncrementalScheduler`` with ``use_indexed=False``).
 
+    With *initial*, relaxation warm-starts from the given offsets
+    instead of zero (entries for untracked vertex/anchor pairs are
+    dropped, negatives clamped to 0).  Any under-approximation of the
+    fixpoint is a sound starting point (Lemma 8), so incremental
+    rescheduling after a constraint addition passes the previous
+    schedule's offsets here.
+
     Returns ``(offsets, iterations)`` with offsets in the public
     dict-of-dict shape; with *return_raw* additionally the internal
     per-vertex offset rows (-1 untracked), which
     :func:`certify_offset_lists` can validate without a dict round-trip.
 
     Raises:
-        KeyError: an anchor set names a vertex that is not an anchor
-            (callers fall back to the reference path).
+        IndexedKernelUnsupported: an anchor set names a tag that is not
+            an anchor vertex of the graph (callers fall back to the
+            reference path, which accepts arbitrary tag names).
         InconsistentConstraintsError: no convergence in ``|Eb| + 1``
             rounds (Corollary 2).
     """
@@ -846,14 +854,37 @@ def schedule_offsets(graph: ConstraintGraph,
     for name, anchors in anchor_sets.items():
         slots = []
         for anchor in anchors:
-            slot = anchor_slot[index[anchor]]
+            vid = index.get(anchor, -1)
+            slot = anchor_slot[vid] if vid >= 0 else -1
             if slot < 0:
-                raise KeyError(anchor)
+                raise IndexedKernelUnsupported(
+                    f"anchor set tag {anchor!r} is not an anchor vertex")
             slots.append(slot)
         slots.sort()
-        tracked[index[name]] = slots
+        vid = index.get(name, -1)
+        if vid < 0:
+            raise IndexedKernelUnsupported(
+                f"anchor sets name unknown vertex {name!r}")
+        tracked[vid] = slots
 
-    offsets: List[List[int]] = []  # filled by the round-1 sweep
+    # Initial rows: 0 at tracked cells (cold), or the warm offsets.
+    offsets: List[List[int]] = []
+    for v in range(n):
+        row = [-1] * n_anchors
+        for slot in tracked[v]:
+            row[slot] = 0
+        offsets.append(row)
+    if initial:
+        for name, entries in initial.items():
+            vid = index.get(name, -1)
+            if vid < 0:
+                continue
+            row = offsets[vid]
+            for anchor, sigma in entries.items():
+                avid = index.get(anchor, -1)
+                slot = anchor_slot[avid] if avid >= 0 else -1
+                if slot >= 0 and row[slot] >= 0 and sigma > row[slot]:
+                    row[slot] = sigma
 
     backward = idx.backward
     in_forward = idx.in_forward
@@ -867,14 +898,9 @@ def schedule_offsets(graph: ConstraintGraph,
     for round_index in range(1, max_rounds + 1):
         # -- IncrementalOffset ------------------------------------------
         if changed is None and _use_numpy(idx):
-            offsets = _vector_round1(graph, idx, tracked)
+            offsets = _vector_round1(graph, idx, offsets)
         elif changed is None:
             # Round 1: full relaxation sweep in topological order.
-            for v in range(n):
-                row = [-1] * n_anchors
-                for slot in tracked[v]:
-                    row[slot] = 0
-                offsets.append(row)
             for v in topo:
                 row = tracked[v]
                 if not row:

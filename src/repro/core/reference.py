@@ -19,7 +19,7 @@ recomputes from the raw graph, exactly as the seed did.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Mapping, Optional
 
 from repro.core.anchors import AnchorMode, AnchorSets
 from repro.core.exceptions import UnfeasibleConstraintsError

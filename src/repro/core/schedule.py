@@ -16,11 +16,10 @@ the central optimality property of relative scheduling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.anchors import AnchorMode, AnchorSets
-from repro.core.delay import is_unbounded
 from repro.core.graph import ConstraintGraph
 
 

@@ -25,7 +25,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.anchors import AnchorMode, AnchorSets, anchor_sets_for_mode
-from repro.core.exceptions import InconsistentConstraintsError, UnfeasibleConstraintsError
+from repro.core.exceptions import (
+    InconsistentConstraintsError,
+    IndexedKernelUnsupported,
+    UnfeasibleConstraintsError,
+)
 from repro.core.graph import ConstraintGraph, Edge
 from repro.core.schedule import RelativeSchedule
 from repro.core.wellposed import WellPosedness, check_well_posed, make_well_posed
@@ -142,11 +146,44 @@ class IterativeIncrementalScheduler:
             InconsistentConstraintsError: after ``|Eb| + 1`` rounds with
                 violations remaining (Corollary 2).
         """
+        return self._run(None)
+
+    def run_from(self, previous: OffsetState) -> RelativeSchedule:
+        """Warm-start: resume relaxation from *previous* offsets.
+
+        The public entry point for incremental rescheduling after a
+        constraint *addition*: any under-approximation of the new
+        fixpoint is a sound starting state (offsets only ever increase,
+        Lemma 8), so the previous schedule's offsets restart the
+        relaxation with unaffected regions converging immediately.
+        *previous* is reshaped to this scheduler's anchor sets --
+        entries the sets do not track are dropped, newly tracked
+        entries start at 0, negatives are clamped to 0.
+
+        Runs on the indexed array kernel under exactly the same
+        eligibility rule as :meth:`run` (falling back to the reference
+        dict loops only for anchor sets the compilation cannot
+        represent), so warm-start rescheduling is as fast as a cold run.
+
+        Raises:
+            InconsistentConstraintsError: after ``|Eb| + 1`` rounds with
+                violations remaining (Corollary 2).
+        """
+        warm: OffsetState = {}
+        for vertex in self.graph.vertex_names():
+            old = previous.get(vertex, {})
+            warm[vertex] = {anchor: max(0, old.get(anchor, 0))
+                            for anchor in self.anchor_sets[vertex]}
+        return self._run(warm)
+
+    def _run(self, warm: Optional[OffsetState]) -> RelativeSchedule:
+        """The shared cold/warm driver behind :meth:`run` / :meth:`run_from`."""
         if self.use_indexed and not self.record_trace:
-            result = self._run_indexed()
-            if result is not None:
-                return result
-        offsets: OffsetState = {
+            try:
+                return self._run_indexed(warm)
+            except IndexedKernelUnsupported:
+                pass  # reference loops accept arbitrary anchor tags
+        offsets: OffsetState = warm if warm is not None else {
             vertex: {anchor: 0 for anchor in self.anchor_sets[vertex]}
             for vertex in self.graph.vertex_names()
         }
@@ -172,18 +209,22 @@ class IterativeIncrementalScheduler:
             f"no schedule after {max_rounds} iterations: timing constraints "
             f"are inconsistent (Corollary 2)")
 
-    def _run_indexed(self) -> Optional[RelativeSchedule]:
-        """Run on the indexed array kernel; None when the anchor sets
-        name a vertex the compilation does not know as an anchor (the
-        caller then falls back to the reference dict loops, which accept
-        arbitrary tag names)."""
+    def _run_indexed(self, initial: Optional[OffsetState] = None) -> RelativeSchedule:
+        """Run on the indexed array kernel (warm-started from *initial*
+        when given).
+
+        Raises:
+            IndexedKernelUnsupported: the anchor sets name a tag the
+                compilation does not know as an anchor; the caller falls
+                back to the reference dict loops, which accept arbitrary
+                tag names.  Any *other* exception -- a ``KeyError`` in
+                particular -- is a genuine kernel bug and propagates
+                instead of being masked as a silent slow-path result.
+        """
         from repro.core.indexed import schedule_offsets
 
-        try:
-            offsets, iterations, raw = schedule_offsets(
-                self.graph, self.anchor_sets, return_raw=True)
-        except KeyError:
-            return None
+        offsets, iterations, raw = schedule_offsets(
+            self.graph, self.anchor_sets, return_raw=True, initial=initial)
         schedule = RelativeSchedule(
             graph=self.graph, anchor_sets=self.anchor_sets,
             offsets=offsets, anchor_mode=self.anchor_mode,

@@ -17,7 +17,7 @@ its anchor counts run ~25% low because Hercules's compiler emitted more
 body graphs per construct than this lowering does.
 """
 
-from typing import List, Tuple
+from typing import List
 
 from repro.designs.suite import register_design
 from repro.seqgraph.builder import GraphBuilder

@@ -12,7 +12,7 @@ scaling benches.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.seqgraph.builder import GraphBuilder
 from repro.seqgraph.model import Design

@@ -15,7 +15,7 @@ ill-posed repair path.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.anchors import find_anchor_sets
 from repro.core.delay import UNBOUNDED

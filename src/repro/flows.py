@@ -15,8 +15,8 @@ sharing example and the flow-level tests exercise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.binding.binder import bind_graph
 from repro.binding.conflict import resolve_conflicts

@@ -8,8 +8,8 @@ and :meth:`operators` used by the delay model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 # ----------------------------------------------------------------------
 # expressions

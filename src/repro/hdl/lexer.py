@@ -8,7 +8,7 @@ column for error reporting.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 from repro.hdl.errors import HdlLexError
 

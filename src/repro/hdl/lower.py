@@ -17,7 +17,7 @@ graph where they appear.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.hdl.ast import (
     Assign,

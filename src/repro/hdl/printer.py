@@ -24,7 +24,6 @@ from repro.hdl.ast import (
     ConstraintStmt,
     Expr,
     If,
-    PortDecl,
     Process,
     Program,
     ReadExpr,
@@ -32,7 +31,6 @@ from repro.hdl.ast import (
     Stmt,
     Unary,
     Var,
-    VarDecl,
     Wait,
     While,
     WriteStmt,

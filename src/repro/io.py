@@ -13,7 +13,7 @@ else is plain JSON scalars and lists.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, IO, List, Optional, Union
+from typing import Any, Dict, IO, List, Union
 
 from repro.core.anchors import AnchorMode
 from repro.core.constraints import MaxTimingConstraint, MinTimingConstraint

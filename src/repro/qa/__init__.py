@@ -1,0 +1,36 @@
+"""Metamorphic + differential fuzzing oracle for the scheduling pipeline.
+
+``generators`` builds adversarial seeded graphs, ``oracle`` runs the
+invariant catalogue (cross-kernel equality plus the paper's theorems as
+metamorphic properties), ``shrink`` minimizes failures, ``serialize``
+round-trips graphs to the JSON regression corpus, and ``fuzz`` is the
+CLI: ``python -m repro.qa.fuzz --seed 0 --cases 300``.
+"""
+
+from repro.qa.generators import SCENARIOS, FuzzCase, case_stream, generate_case
+from repro.qa.oracle import ORACLE_CHECKS, Divergence, run_oracle
+from repro.qa.serialize import (
+    dump_repro,
+    graph_from_dict,
+    graph_to_dict,
+    graphs_equal,
+    load_repro,
+)
+from repro.qa.shrink import ShrinkResult, shrink
+
+__all__ = [
+    "SCENARIOS",
+    "FuzzCase",
+    "case_stream",
+    "generate_case",
+    "ORACLE_CHECKS",
+    "Divergence",
+    "run_oracle",
+    "dump_repro",
+    "graph_from_dict",
+    "graph_to_dict",
+    "graphs_equal",
+    "load_repro",
+    "ShrinkResult",
+    "shrink",
+]

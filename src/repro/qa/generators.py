@@ -1,0 +1,216 @@
+"""Seeded scenario generators for the metamorphic fuzzing oracle.
+
+The differential suite of PR 1 sampled one flavor of random graph; this
+module generates the *adversarial* shapes the invariant catalogue needs
+(see :mod:`repro.qa.oracle`):
+
+* ``ill_posed_chain`` -- maximum constraints racing across anchor
+  frames, with chained backward edges, so ``make_well_posed`` has to
+  cascade serializations (and sometimes must refuse, Lemma 3);
+* ``zero_weight_cycle`` -- maximum constraints tightened to *exactly*
+  the longest path between their endpoints, closing zero-weight cycles
+  that sit on the feasibility boundary of Theorem 1;
+* ``anchor_dense`` -- a majority of operations unbounded, stressing the
+  bitmask anchor analyses and per-anchor offset bookkeeping;
+* ``numpy_gate`` -- vertex counts straddling
+  :data:`repro.core.indexed._NUMPY_MIN_N`, so every case pair exercises
+  both the vectorized and the scalar kernel paths;
+* ``well_posed_small`` / ``constrained_mix`` -- the bread-and-butter
+  flavors of the PR 1 differential suite, kept in the mix so the oracle
+  keeps covering the common path.
+
+Every generator is deterministic given its seed, and every case carries
+its scenario name so a shrunk repro records where it came from.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.delay import UNBOUNDED
+from repro.core.graph import ConstraintGraph
+from repro.core.indexed import _NUMPY_MIN_N
+from repro.core.paths import NO_PATH, longest_paths_from
+from repro.designs.random_graphs import random_constraint_graph, random_dag
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated input: the graph plus its provenance."""
+
+    seed: int
+    scenario: str
+    graph: ConstraintGraph
+
+
+def _well_posed_small(rng: random.Random) -> ConstraintGraph:
+    return random_constraint_graph(
+        rng, rng.randint(6, 24),
+        edge_probability=rng.uniform(0.15, 0.4),
+        unbounded_probability=rng.uniform(0.1, 0.3),
+        n_min_constraints=rng.randint(0, 4),
+        n_max_constraints=rng.randint(0, 4))
+
+
+def _constrained_mix(rng: random.Random) -> ConstraintGraph:
+    """Anything goes: ill-posed and infeasible placements allowed."""
+    return random_constraint_graph(
+        rng, rng.randint(8, 40),
+        edge_probability=rng.uniform(0.1, 0.35),
+        unbounded_probability=rng.uniform(0.05, 0.35),
+        n_min_constraints=rng.randint(0, 5),
+        n_max_constraints=rng.randint(0, 5),
+        well_posed_only=False,
+        feasible_only=rng.random() < 0.5)
+
+
+def _numpy_gate(rng: random.Random) -> ConstraintGraph:
+    """Sizes straddling the vectorization gate of the indexed kernel."""
+    n = rng.randint(_NUMPY_MIN_N - 6, _NUMPY_MIN_N + 10)
+    return random_constraint_graph(
+        rng, n,
+        edge_probability=rng.uniform(0.05, 0.12),
+        unbounded_probability=rng.uniform(0.1, 0.25),
+        n_min_constraints=rng.randint(0, 6),
+        n_max_constraints=rng.randint(0, 6),
+        well_posed_only=rng.random() < 0.7)
+
+
+def _anchor_dense(rng: random.Random) -> ConstraintGraph:
+    """Most operations unbounded: wide bitmasks, many anchor frames."""
+    return random_constraint_graph(
+        rng, rng.randint(8, 36),
+        edge_probability=rng.uniform(0.15, 0.35),
+        unbounded_probability=rng.uniform(0.5, 0.85),
+        n_min_constraints=rng.randint(0, 4),
+        n_max_constraints=rng.randint(0, 4),
+        well_posed_only=rng.random() < 0.5)
+
+
+def _zero_weight_cycle(rng: random.Random) -> ConstraintGraph:
+    """Maximum constraints at exactly the longest-path bound.
+
+    Each placed constraint closes a cycle of total weight zero -- the
+    tightest consistent bound.  One unit less would make the graph
+    unfeasible, so these graphs sit on the boundary the positive-cycle
+    walk-length certificates and the ``|Eb| + 1`` iteration bound must
+    classify exactly.
+    """
+    graph = random_dag(rng, rng.randint(6, 30),
+                       edge_probability=rng.uniform(0.15, 0.35),
+                       unbounded_probability=rng.uniform(0.0, 0.3))
+    order = graph.forward_topological_order()
+    pairs: List[Tuple[str, str]] = []
+    for i, tail in enumerate(order):
+        for head in order[i + 1:]:
+            if graph.is_forward_reachable(tail, head):
+                pairs.append((tail, head))
+    rng.shuffle(pairs)
+    placed = 0
+    for tail, head in pairs:
+        if placed >= rng.randint(1, 4):
+            break
+        span = longest_paths_from(graph, tail)[head]
+        if span is NO_PATH or span < 0:
+            continue
+        slack = 0 if rng.random() < 0.8 else rng.randint(1, 2)
+        graph.add_max_constraint(tail, head, span + slack)
+        placed += 1
+    return graph
+
+
+def _ill_posed_chain(rng: random.Random) -> ConstraintGraph:
+    """Operations hanging off separate anchors, tied by chains of
+    maximum constraints -- the Fig. 3(b) pattern generalized.
+
+    ``make_well_posed`` must cascade serializations along the backward
+    chains; with probability ~0.25 an anchor is planted *between* the
+    endpoints of one constraint (Fig. 3(a)), making the graph
+    unrescuable so the ``IllPosedError`` paths get differential
+    coverage too.
+    """
+    graph = ConstraintGraph(source="src", sink="snk")
+    n_frames = rng.randint(2, 4)
+    frames: List[List[str]] = []
+    for f in range(n_frames):
+        anchor = f"a{f}"
+        graph.add_operation(anchor, UNBOUNDED)
+        graph.add_sequencing_edge("src", anchor)
+        ops = []
+        previous = anchor
+        for k in range(rng.randint(1, 3)):
+            op = f"f{f}op{k}"
+            graph.add_operation(op, rng.randint(0, 6))
+            graph.add_sequencing_edge(previous, op)
+            previous = op
+            ops.append(op)
+        frames.append(ops)
+    # Backward chains across frames: each maximum constraint races the
+    # head frame's unknown anchor delay against the tail frame's.
+    n_links = rng.randint(1, n_frames + 1)
+    for _ in range(n_links):
+        f_from, f_to = rng.sample(range(n_frames), 2)
+        graph.add_max_constraint(rng.choice(frames[f_from]),
+                                 rng.choice(frames[f_to]),
+                                 rng.randint(1, 10))
+    if rng.random() < 0.25:
+        # Fig. 3(a): an anchor on the path between the endpoints of a
+        # maximum constraint -- no serialization can rescue this.
+        mid = "amid"
+        graph.add_operation(mid, UNBOUNDED)
+        before = f"before_{mid}"
+        after = f"after_{mid}"
+        graph.add_operation(before, rng.randint(1, 4))
+        graph.add_operation(after, rng.randint(1, 4))
+        graph.add_sequencing_edge("src", before)
+        graph.add_sequencing_edge(before, mid)
+        graph.add_sequencing_edge(mid, after)
+        graph.add_max_constraint(before, after, rng.randint(1, 8))
+    graph.make_polar()
+    return graph
+
+
+def _sparse_long_chain(rng: random.Random) -> ConstraintGraph:
+    """Long thin graphs: deep topological levels, few parallel edges."""
+    return random_constraint_graph(
+        rng, rng.randint(40, 90),
+        edge_probability=rng.uniform(0.02, 0.05),
+        unbounded_probability=rng.uniform(0.05, 0.2),
+        n_min_constraints=rng.randint(2, 8),
+        n_max_constraints=rng.randint(2, 8),
+        well_posed_only=rng.random() < 0.6)
+
+
+#: scenario name -> builder(rng); insertion order is the rotation order.
+SCENARIOS: Dict[str, Callable[[random.Random], ConstraintGraph]] = {
+    "well_posed_small": _well_posed_small,
+    "constrained_mix": _constrained_mix,
+    "numpy_gate": _numpy_gate,
+    "anchor_dense": _anchor_dense,
+    "zero_weight_cycle": _zero_weight_cycle,
+    "ill_posed_chain": _ill_posed_chain,
+    "sparse_long_chain": _sparse_long_chain,
+}
+
+
+def generate_case(seed: int, scenario: Optional[str] = None) -> FuzzCase:
+    """The deterministic case for *seed*.
+
+    Without *scenario*, seeds rotate through :data:`SCENARIOS` so any
+    contiguous seed range covers every scenario evenly.
+    """
+    names = list(SCENARIOS)
+    if scenario is None:
+        scenario = names[seed % len(names)]
+    builder = SCENARIOS[scenario]
+    return FuzzCase(seed=seed, scenario=scenario,
+                    graph=builder(random.Random(seed)))
+
+
+def case_stream(start_seed: int, count: int,
+                scenario: Optional[str] = None) -> Iterator[FuzzCase]:
+    """*count* deterministic cases starting at *start_seed*."""
+    for seed in range(start_seed, start_seed + count):
+        yield generate_case(seed, scenario)

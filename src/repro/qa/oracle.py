@@ -1,0 +1,405 @@
+"""The invariant catalogue: differential and metamorphic oracle checks.
+
+Every check takes a pristine copy of the input graph and returns
+``None`` (invariant holds) or a human-readable divergence message.  The
+catalogue covers:
+
+**Differential (indexed kernel vs. dict reference)**
+
+* ``wellposed_verdict`` -- :func:`check_well_posed` classification;
+* ``anchor_analyses`` -- full / relevant / irredundant anchor sets,
+  including exception-type agreement on unfeasible graphs;
+* ``pipeline`` -- end-to-end ``schedule_graph``: identical offsets,
+  identical iteration counts (within the Theorem 8 bound), identical
+  exception types on rejected graphs, for FULL and IRREDUNDANT modes.
+
+**Metamorphic (paper theorems as executable properties)**
+
+* ``warm_start`` -- ``add_constraint_incremental`` equals from-scratch
+  rescheduling (Lemma 8), and the indexed warm start replays the dict
+  warm start's iteration accounting;
+* ``make_well_posed`` -- the serialized graph is well-posed, *edge
+  minimal* (removing any serialization edge re-breaks Theorem 2) and
+  idempotent (Theorem 7), and refusal agrees with the Lemma 3
+  existence test;
+* ``redundant_edge`` -- adding a forward edge already implied by the
+  minimum schedule never changes any offset (Theorem 8 minimality);
+* ``copy_cache`` -- ``graph.copy()`` and cache-version bumps are
+  invisible: same offsets before/after, and ``validate()`` stays green
+  once the versioned raw-row fast path is stale;
+* ``anchor_modes`` -- FULL / RELEVANT / IRREDUNDANT schedules agree on
+  shared offsets and on start times under random delay profiles
+  (Theorems 4 and 6).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.anchors import AnchorMode, find_anchor_sets, irredundant_anchors, relevant_anchors
+from repro.core.constraints import MaxTimingConstraint, MinTimingConstraint
+from repro.core.graph import ConstraintGraph
+from repro.core.incremental import add_constraint_incremental
+from repro.core.reference import (
+    check_well_posed_reference,
+    find_anchor_sets_reference,
+    irredundant_anchors_reference,
+    relevant_anchors_reference,
+    schedule_graph_reference,
+)
+from repro.core.scheduler import IterativeIncrementalScheduler, schedule_graph
+from repro.core.wellposed import (
+    WellPosedness,
+    can_be_made_well_posed,
+    check_well_posed,
+    containment_violations,
+    make_well_posed,
+    serialization_edges,
+)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One violated invariant."""
+
+    check: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.message}"
+
+
+def _outcome(fn: Callable[[], object]) -> Tuple[str, object]:
+    """Run *fn*; ``("ok", value)`` or ``("raise", exception type name)``.
+
+    Exception *types* are the contract: both kernels must reject a graph
+    for the same reason, but message wording is free to differ.
+    """
+    try:
+        return "ok", fn()
+    except Exception as exc:
+        return "raise", type(exc).__name__
+
+
+def _edge_multiset(graph: ConstraintGraph):
+    from collections import Counter
+
+    return Counter((e.tail, e.head, e.weight, e.kind) for e in graph.edges())
+
+
+# ----------------------------------------------------------------------
+# differential checks
+# ----------------------------------------------------------------------
+
+
+def check_wellposed_verdict(graph: ConstraintGraph,
+                            rng: random.Random) -> Optional[str]:
+    kind_i, res_i = _outcome(lambda: check_well_posed(graph.copy()))
+    kind_r, res_r = _outcome(lambda: check_well_posed_reference(graph.copy()))
+    if (kind_i, res_i) != (kind_r, res_r):
+        return (f"indexed {kind_i}:{res_i} != reference {kind_r}:{res_r}")
+    return None
+
+
+def check_anchor_analyses(graph: ConstraintGraph,
+                          rng: random.Random) -> Optional[str]:
+    pairs = [
+        ("full", find_anchor_sets, find_anchor_sets_reference),
+        ("relevant", relevant_anchors, relevant_anchors_reference),
+        ("irredundant", irredundant_anchors, irredundant_anchors_reference),
+    ]
+    for label, indexed_fn, reference_fn in pairs:
+        kind_i, res_i = _outcome(lambda: indexed_fn(graph.copy()))
+        kind_r, res_r = _outcome(lambda: reference_fn(graph.copy()))
+        if kind_i != kind_r:
+            return f"{label}: indexed {kind_i}:{res_i} != reference {kind_r}:{res_r}"
+        if kind_i == "ok" and dict(res_i) != dict(res_r):
+            diff = [v for v in res_i if res_i[v] != res_r.get(v)]
+            return f"{label} anchor sets differ at {sorted(diff)[:5]}"
+    return None
+
+
+def check_pipeline(graph: ConstraintGraph, rng: random.Random) -> Optional[str]:
+    for mode in (AnchorMode.FULL, AnchorMode.IRREDUNDANT):
+        kind_i, res_i = _outcome(
+            lambda: schedule_graph(graph.copy(), anchor_mode=mode))
+        kind_r, res_r = _outcome(
+            lambda: schedule_graph_reference(graph.copy(), anchor_mode=mode))
+        if kind_i != kind_r:
+            return (f"{mode.value}: indexed {kind_i}:{res_i} != "
+                    f"reference {kind_r}:{res_r}")
+        if kind_i == "raise":
+            if res_i != res_r:
+                return (f"{mode.value}: indexed raised {res_i}, "
+                        f"reference raised {res_r}")
+            continue
+        if res_i.offsets != res_r.offsets:
+            diff = [v for v in res_i.offsets
+                    if res_i.offsets[v] != res_r.offsets.get(v)]
+            return f"{mode.value}: offsets differ at {sorted(diff)[:5]}"
+        if res_i.iterations != res_r.iterations:
+            return (f"{mode.value}: iterations {res_i.iterations} != "
+                    f"{res_r.iterations}")
+        bound = len(res_i.graph.backward_edges()) + 1
+        if res_i.iterations > bound:
+            return (f"{mode.value}: {res_i.iterations} iterations exceeds "
+                    f"the Theorem 8 bound |Eb|+1 = {bound}")
+    return None
+
+
+# ----------------------------------------------------------------------
+# metamorphic checks
+# ----------------------------------------------------------------------
+
+
+def _schedulable(graph: ConstraintGraph) -> Optional[object]:
+    """A FULL-mode schedule of a copy, or None when the pipeline
+    (correctly or not -- other checks compare that) rejects the graph."""
+    try:
+        return schedule_graph(graph.copy(), anchor_mode=AnchorMode.FULL)
+    except Exception:
+        return None
+
+
+def check_warm_start(graph: ConstraintGraph, rng: random.Random) -> Optional[str]:
+    schedule = _schedulable(graph)
+    if schedule is None:
+        return None
+    base = schedule.graph  # possibly serialized by the pipeline
+    order = base.forward_topological_order()
+    pairs = [(t, h) for i, t in enumerate(order) for h in order[i + 1:]]
+    if not pairs:
+        return None
+    # Mix constraint flavors: min constraints along existing paths are
+    # the cheap warm-start case; min constraints between *unrelated*
+    # vertices grow anchor sets (and can break containment downstream);
+    # max constraints exercise the reject paths.
+    reachable = [p for p in pairs if base.is_forward_reachable(*p)]
+    roll = rng.random()
+    if roll < 0.5 and reachable:
+        tail, head = rng.choice(reachable)
+        constraint: object = MinTimingConstraint(tail, head, rng.randint(0, 8))
+    elif roll < 0.75:
+        tail, head = rng.choice(pairs)
+        constraint = MinTimingConstraint(tail, head, rng.randint(0, 8))
+    else:
+        tail, head = rng.choice(reachable or pairs)
+        constraint = MaxTimingConstraint(tail, head, rng.randint(1, 12))
+
+    kind_w, warm = _outcome(lambda: add_constraint_incremental(schedule, constraint))
+
+    def scratch_run():
+        scratch_graph = base.copy()
+        constraint.apply(scratch_graph)
+        return schedule_graph(scratch_graph, anchor_mode=AnchorMode.FULL,
+                              auto_well_pose=False)
+
+    kind_s, scratch = _outcome(scratch_run)
+    if kind_w != kind_s:
+        return (f"add {constraint}: incremental {kind_w}:"
+                f"{warm if kind_w == 'raise' else ''} != "
+                f"scratch {kind_s}:{scratch if kind_s == 'raise' else ''}")
+    if kind_w == "raise":
+        if warm != scratch:
+            return (f"add {constraint}: incremental raised {warm}, "
+                    f"scratch raised {scratch}")
+        return None
+    if warm.offsets != scratch.offsets:
+        diff = [v for v in warm.offsets
+                if warm.offsets[v] != scratch.offsets.get(v)]
+        return f"add {constraint}: warm offsets differ at {sorted(diff)[:5]}"
+
+    # Iteration accounting: indexed warm start == dict warm start.
+    warm_graph = base.copy()
+    constraint.apply(warm_graph)
+    anchor_sets = find_anchor_sets(warm_graph)
+    runs = {}
+    for label, use_indexed in (("indexed", True), ("dict", False)):
+        scheduler = IterativeIncrementalScheduler(
+            warm_graph.copy(), anchor_mode=AnchorMode.FULL,
+            anchor_sets=anchor_sets, use_indexed=use_indexed)
+        runs[label] = _outcome(lambda: scheduler.run_from(schedule.offsets))
+    (kind_i, res_i), (kind_d, res_d) = runs["indexed"], runs["dict"]
+    if kind_i != kind_d:
+        return f"warm kernels disagree: indexed {kind_i} != dict {kind_d}"
+    if kind_i == "ok":
+        if res_i.offsets != res_d.offsets:
+            return "warm kernels disagree on offsets"
+        if res_i.iterations != res_d.iterations:
+            return (f"warm iteration accounting: indexed {res_i.iterations} "
+                    f"!= dict {res_d.iterations}")
+    return None
+
+
+def check_make_well_posed(graph: ConstraintGraph,
+                          rng: random.Random) -> Optional[str]:
+    try:
+        status = check_well_posed(graph.copy())
+    except Exception:
+        return None  # cyclic forward graph etc. -- not this check's domain
+    if status is not WellPosedness.ILL_POSED:
+        return None
+    rescuable = can_be_made_well_posed(graph.copy())
+    kind, result = _outcome(lambda: make_well_posed(graph.copy()))
+    if kind == "raise":
+        if result != "IllPosedError":
+            return f"make_well_posed raised {result}"
+        if rescuable:
+            return ("make_well_posed refused but can_be_made_well_posed "
+                    "says a serialization exists (Lemma 3)")
+        return None
+    if not rescuable:
+        return ("make_well_posed produced a graph but "
+                "can_be_made_well_posed says none exists (Lemma 3)")
+    if check_well_posed(result) is not WellPosedness.WELL_POSED:
+        return "make_well_posed output is not well-posed (Theorem 2)"
+    for edge in serialization_edges(result):
+        probe = result.copy()
+        probe.remove_edge(edge)
+        if not containment_violations(probe):
+            return (f"serialization edge {edge.tail}->{edge.head} is "
+                    f"unnecessary: output is not edge-minimal (Theorem 7)")
+    again = make_well_posed(result.copy())
+    if _edge_multiset(again) != _edge_multiset(result):
+        return "make_well_posed is not idempotent"
+    return None
+
+
+def check_redundant_edge(graph: ConstraintGraph,
+                         rng: random.Random) -> Optional[str]:
+    schedule = _schedulable(graph)
+    if schedule is None:
+        return None
+    base = schedule.graph
+    offsets = schedule.offsets
+    anchor_sets = schedule.anchor_sets
+    order = base.forward_topological_order()
+    candidates: List[Tuple[str, str, int]] = []
+    for i, tail in enumerate(order):
+        for head in order[i + 1:]:
+            if not (set(anchor_sets[tail]) <= set(anchor_sets[head])):
+                continue
+            slacks = [offsets[head][a] - offsets[tail][a]
+                      for a in anchor_sets[tail]]
+            if base.is_anchor(tail) and tail in offsets[head]:
+                slacks.append(offsets[head][tail])
+            if not slacks:
+                continue
+            slack = min(slacks)
+            if slack >= 0:
+                candidates.append((tail, head, slack))
+    if not candidates:
+        return None
+    for tail, head, slack in rng.sample(candidates, min(3, len(candidates))):
+        mutated = base.copy()
+        mutated.add_min_constraint(tail, head, slack)
+        kind, res = _outcome(lambda: schedule_graph(
+            mutated, anchor_mode=AnchorMode.FULL, auto_well_pose=False))
+        if kind == "raise":
+            return (f"redundant edge ({tail}->{head}, l={slack}) made the "
+                    f"pipeline raise {res}")
+        if res.offsets != offsets:
+            diff = [v for v in res.offsets if res.offsets[v] != offsets.get(v)]
+            return (f"redundant edge ({tail}->{head}, l={slack}) changed "
+                    f"offsets at {sorted(diff)[:5]}")
+    return None
+
+
+def check_copy_cache(graph: ConstraintGraph, rng: random.Random) -> Optional[str]:
+    first = _schedulable(graph)
+    if first is None:
+        return None
+    second = _schedulable(graph)
+    if second is None or second.offsets != first.offsets:
+        return "schedule_graph(graph.copy()) is not reproducible"
+
+    # Cache-version bump: mutate then revert; all memoised analyses are
+    # invalidated but the graph is semantically identical.
+    bumped = first.graph.copy()
+    schedule_before = schedule_graph(bumped, anchor_mode=AnchorMode.FULL,
+                                     auto_well_pose=False)
+    probe_edge = bumped.add_min_constraint(bumped.source, bumped.sink, 0)
+    bumped.remove_edge(probe_edge)
+    kind, after = _outcome(lambda: schedule_graph(
+        bumped, anchor_mode=AnchorMode.FULL, auto_well_pose=False))
+    if kind == "raise":
+        return f"cache-version bump made the pipeline raise {after}"
+    if after.offsets != schedule_before.offsets:
+        return "cache-version bump changed offsets"
+    # The stale raw-row fast path must fall back to the precise scan.
+    kind, _ = _outcome(schedule_before.validate)
+    if kind == "raise":
+        return "validate() failed after a cache-version bump"
+    return None
+
+
+def check_anchor_modes(graph: ConstraintGraph,
+                       rng: random.Random) -> Optional[str]:
+    schedules = {}
+    for mode in (AnchorMode.FULL, AnchorMode.RELEVANT, AnchorMode.IRREDUNDANT):
+        kind, res = _outcome(lambda: schedule_graph(graph.copy(), anchor_mode=mode))
+        schedules[mode] = (kind, res)
+    kinds = {kind for kind, _ in schedules.values()}
+    if len(kinds) > 1:
+        detail = {m.value: k for m, (k, _) in schedules.items()}
+        return f"anchor modes disagree on acceptance: {detail}"
+    if kinds == {"raise"}:
+        types = {res for _, res in schedules.values()}
+        if len(types) > 1:
+            return f"anchor modes raise different exceptions: {sorted(types)}"
+        return None
+    # Reduced modes may track fewer anchors, and even a shared offset
+    # sigma_a(v) can legitimately shrink (propagation skips vertices
+    # that stopped tracking ``a``); the contract is that *start times*
+    # are unchanged for every delay profile (Theorems 4 and 6).
+    full = schedules[AnchorMode.FULL][1]
+    anchors = full.graph.anchors
+    profiles = [{a: 0 for a in anchors}]
+    profiles += [{a: rng.randint(0, 15) for a in anchors} for _ in range(4)]
+    for mode in (AnchorMode.RELEVANT, AnchorMode.IRREDUNDANT):
+        other = schedules[mode][1]
+        for profile in profiles:
+            if full.start_times(profile) != other.start_times(profile):
+                return (f"{mode.value} start times differ from full mode "
+                        f"under profile {profile} (Theorems 4/6)")
+    return None
+
+
+#: The catalogue, in execution order.
+ORACLE_CHECKS: Dict[str, Callable[[ConstraintGraph, random.Random], Optional[str]]] = {
+    "wellposed_verdict": check_wellposed_verdict,
+    "anchor_analyses": check_anchor_analyses,
+    "pipeline": check_pipeline,
+    "warm_start": check_warm_start,
+    "make_well_posed": check_make_well_posed,
+    "redundant_edge": check_redundant_edge,
+    "copy_cache": check_copy_cache,
+    "anchor_modes": check_anchor_modes,
+}
+
+
+def run_oracle(graph: ConstraintGraph, seed: int = 0,
+               checks: Optional[List[str]] = None) -> List[Divergence]:
+    """Run the catalogue (or the named *checks*) against *graph*.
+
+    Each check gets its own deterministic rng derived from *seed* and
+    the check name, so a single check replays identically whether run
+    alone (the shrinker does this) or as part of the full catalogue.
+    A check that crashes is itself reported as a divergence: the oracle
+    never masks an unexpected exception as a pass.
+    """
+    divergences: List[Divergence] = []
+    for name, fn in ORACLE_CHECKS.items():
+        if checks is not None and name not in checks:
+            continue
+        rng = random.Random(seed ^ zlib.crc32(name.encode("ascii")))
+        try:
+            message = fn(graph, rng)
+        except Exception as exc:  # noqa: BLE001 - the oracle must not die
+            message = f"oracle check crashed: {type(exc).__name__}: {exc}"
+        if message:
+            divergences.append(Divergence(check=name, message=message))
+    return divergences

@@ -1,0 +1,124 @@
+"""JSON (de)serialization of constraint graphs for the regression corpus.
+
+A serialized graph is a plain dict (stable key order, JSON-friendly
+types) that reconstructs the graph *exactly*: same vertex insertion
+order, same edge insertion order, same delays, weights and edge kinds.
+Determinism matters because every analysis iterates vertices and edges
+in insertion order, so a repro that only matched up to reordering could
+fail to reproduce the divergence it was shrunk for.
+
+Unbounded delays/weights are spelled ``"unbounded"``; maximum timing
+constraints are stored as their graph edge (the backward ``(to, from)``
+edge with weight ``-u``) and rebuilt through the public
+:meth:`ConstraintGraph.add_max_constraint` API.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.delay import UNBOUNDED, is_unbounded
+from repro.core.graph import ConstraintGraph, EdgeKind
+
+#: Schema version stamped into every repro file, so a future format
+#: change can keep replaying the existing corpus.
+FORMAT_VERSION = 1
+
+
+def _delay_to_json(delay) -> Union[int, str]:
+    return "unbounded" if is_unbounded(delay) else delay
+
+
+def _delay_from_json(value):
+    return UNBOUNDED if value == "unbounded" else value
+
+
+def graph_to_dict(graph: ConstraintGraph) -> Dict[str, Any]:
+    """Serialize *graph* to a JSON-compatible dict (see module docs)."""
+    vertices = []
+    for vertex in graph.vertices():
+        record: Dict[str, Any] = {
+            "name": vertex.name,
+            "delay": _delay_to_json(vertex.delay),
+        }
+        if vertex.tag is not None:
+            record["tag"] = vertex.tag
+        vertices.append(record)
+    edges = []
+    for edge in graph.edges():
+        edges.append({
+            "tail": edge.tail,
+            "head": edge.head,
+            "weight": _delay_to_json(edge.weight),
+            "kind": edge.kind.value,
+        })
+    return {
+        "format": FORMAT_VERSION,
+        "source": graph.source,
+        "sink": graph.sink,
+        "vertices": vertices,
+        "edges": edges,
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> ConstraintGraph:
+    """Rebuild the graph serialized by :func:`graph_to_dict`.
+
+    Vertices and edges are re-added in the recorded order through the
+    public construction API, so derived weights (sequencing and
+    serialization edges carry ``delta(tail)``) are re-derived and the
+    rebuilt graph is indistinguishable from the original.
+    """
+    source = data["source"]
+    sink = data["sink"]
+    delays = {record["name"]: _delay_from_json(record["delay"])
+              for record in data["vertices"]}
+    graph = ConstraintGraph(source=source, sink=sink,
+                            sink_delay=delays.get(sink, 0))
+    for record in data["vertices"]:
+        if record["name"] in (source, sink):
+            continue
+        graph.add_operation(record["name"], _delay_from_json(record["delay"]),
+                            tag=record.get("tag"))
+    for record in data["edges"]:
+        kind = EdgeKind(record["kind"])
+        tail, head = record["tail"], record["head"]
+        weight = _delay_from_json(record["weight"])
+        if kind is EdgeKind.SEQUENCING:
+            graph.add_sequencing_edge(tail, head)
+        elif kind is EdgeKind.MIN_TIME:
+            graph.add_min_constraint(tail, head, weight)
+        elif kind is EdgeKind.MAX_TIME:
+            # Stored as the backward graph edge (to, from) with -u.
+            graph.add_max_constraint(head, tail, -weight)
+        elif kind is EdgeKind.SERIALIZATION:
+            graph.add_serialization_edge(tail, head)
+        else:  # pragma: no cover - EdgeKind() above already raised
+            raise ValueError(f"unknown edge kind {record['kind']!r}")
+    return graph
+
+
+def graphs_equal(a: ConstraintGraph, b: ConstraintGraph) -> bool:
+    """Structural equality: same polarity, ordered vertices and edges."""
+    return graph_to_dict(a) == graph_to_dict(b)
+
+
+def dump_repro(path: Union[str, Path], graph: ConstraintGraph, *,
+               check: str, message: str, seed: int, scenario: str) -> None:
+    """Write a shrunk failing graph plus its divergence metadata."""
+    payload = {
+        "check": check,
+        "message": message,
+        "seed": seed,
+        "scenario": scenario,
+        "graph": graph_to_dict(graph),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_repro(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a repro file back; ``result["graph"]`` stays a dict (use
+    :func:`graph_from_dict` to instantiate it)."""
+    return json.loads(Path(path).read_text())

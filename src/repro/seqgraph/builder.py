@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.constraints import MaxTimingConstraint, MinTimingConstraint
-from repro.seqgraph.model import OpKind, Operation, SequencingGraph, SINK_NAME, SOURCE_NAME
+from repro.seqgraph.model import OpKind, Operation, SequencingGraph
 
 
 class GraphBuilder:

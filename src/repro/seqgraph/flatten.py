@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.constraints import MaxTimingConstraint, MinTimingConstraint
 from repro.seqgraph.model import (
     Design,
     OpKind,

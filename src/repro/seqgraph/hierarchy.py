@@ -11,21 +11,16 @@ sequencing graphs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
-from repro.core.anchors import (
-    AnchorMode,
-    find_anchor_sets,
-    irredundant_anchors,
-    relevant_anchors,
-)
-from repro.core.delay import UNBOUNDED, Delay, is_unbounded
+from repro.core.anchors import AnchorMode
+from repro.core.delay import UNBOUNDED, Delay
 from repro.core.graph import ConstraintGraph
 from repro.core.schedule import RelativeSchedule
 from repro.core.scheduler import schedule_graph
 from repro.seqgraph.lower import to_constraint_graph
-from repro.seqgraph.model import Design, SINK_NAME, SOURCE_NAME
+from repro.seqgraph.model import Design
 
 
 @dataclass

@@ -17,7 +17,7 @@ constraints attach as forward/backward constraint edges.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Mapping, Optional
 
 from repro.core.constraints import apply_constraints
 from repro.core.delay import UNBOUNDED, Delay, is_unbounded

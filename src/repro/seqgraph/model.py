@@ -23,8 +23,8 @@ SOURCE / SINK  0 (the source acts as an anchor after lowering)
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.constraints import TimingConstraint
 

@@ -9,7 +9,7 @@ fixed-delay operations.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import List
 
 from repro.seqgraph.model import Design, OpKind, Operation, SequencingGraph
 

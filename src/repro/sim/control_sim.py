@@ -15,7 +15,7 @@ operation and *every* profile.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
 from repro.control.netlist import ControlUnit

@@ -18,7 +18,7 @@ timing constraint checked on the executed trace.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from repro.core.anchors import AnchorMode

@@ -17,10 +17,9 @@ well-posedness).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from repro.core.delay import is_unbounded
 from repro.seqgraph.hierarchy import HierarchicalSchedule
 from repro.seqgraph.model import OpKind
 from repro.sim.trace import WaveformTrace

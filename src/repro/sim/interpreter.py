@@ -13,7 +13,7 @@ HardwareC's bit-true semantics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.hdl.ast import (

@@ -1,6 +1,5 @@
 """Tests for Monte Carlo latency analysis."""
 
-import random
 
 import pytest
 

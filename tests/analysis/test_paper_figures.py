@@ -12,14 +12,12 @@ from repro import (
 )
 from repro.analysis.paper_figures import (
     fig1_graph,
-    fig2_graph,
     fig3a_graph,
     fig3b_graph,
     fig10_graph,
     fig12_graph,
 )
 from repro.analysis.figures import (
-    PAPER_FIG10_TRACE,
     fig10_matches_paper,
     fig10_trace,
     fig14_simulation,

@@ -4,14 +4,7 @@ import random
 
 import pytest
 
-from repro import (
-    AnchorMode,
-    ConstraintGraph,
-    UNBOUNDED,
-    WellPosedness,
-    check_well_posed,
-    schedule_graph,
-)
+from repro import AnchorMode, WellPosedness, check_well_posed, schedule_graph
 from repro.analysis.paper_figures import fig2_graph, fig3a_graph, fig3b_graph
 from repro.analysis.verify import (
     exhaustive_check,

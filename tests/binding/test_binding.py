@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro import ConstraintGraph, UNBOUNDED, schedule_graph
+from repro import ConstraintGraph, schedule_graph
 from repro.binding import (
-    Binding,
     ConflictResolutionError,
     Instance,
     ResourceLibrary,

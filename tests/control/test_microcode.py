@@ -4,7 +4,6 @@ import pytest
 
 from repro import AnchorMode, ConstraintGraph, UNBOUNDED, schedule_graph
 from repro.control.microcode import (
-    Microcode,
     UnboundedScheduleError,
     compare_with_relative_control,
     synthesize_microcode,

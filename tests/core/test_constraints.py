@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ConstraintGraph, MaxTimingConstraint, MinTimingConstraint, UNBOUNDED
+from repro import ConstraintGraph, MaxTimingConstraint, MinTimingConstraint
 from repro.core.constraints import (
     apply_constraints,
     constraint_slack,

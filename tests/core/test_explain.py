@@ -1,8 +1,7 @@
 """Tests for infeasibility explanation."""
 
-import pytest
 
-from repro import ConstraintGraph, UNBOUNDED
+from repro import ConstraintGraph
 from repro.core.explain import explain_infeasibility
 
 

@@ -8,9 +8,9 @@ from repro import (
     AnchorMode,
     ConstraintGraph,
     IllPosedError,
-    InconsistentConstraintsError,
     MaxTimingConstraint,
     MinTimingConstraint,
+    UnfeasibleConstraintsError,
     UNBOUNDED,
     WellPosedness,
     check_well_posed,
@@ -56,10 +56,14 @@ class TestAddConstraint:
         assert updated.offset("y", "s") <= updated.offset("x", "s") + 2
         updated.validate()
 
-    def test_inconsistent_addition_detected(self, base_schedule):
-        with pytest.raises(InconsistentConstraintsError):
+    def test_unfeasible_addition_detected(self, base_schedule):
+        # delta(x)=2 but sigma(y) <= sigma(x) + 1: a positive cycle.
+        # Classified exactly like the from-scratch pipeline (the old
+        # behavior -- InconsistentConstraintsError after burning the
+        # iteration bound -- was a fuzzing-found divergence).
+        with pytest.raises(UnfeasibleConstraintsError):
             add_constraint_incremental(
-                base_schedule, MaxTimingConstraint("x", "y", 1))  # delta(x)=2
+                base_schedule, MaxTimingConstraint("x", "y", 1))
 
     def test_antidependent_min_rejected(self, base_schedule):
         with pytest.raises(CyclicForwardGraphError):

@@ -11,13 +11,11 @@ every step:
 * the schedule always validates.
 """
 
-import pytest
 from hypothesis import HealthCheck, settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     initialize,
     invariant,
-    precondition,
     rule,
 )
 from hypothesis import strategies as st
@@ -28,6 +26,7 @@ from repro import (
     InconsistentConstraintsError,
     MaxTimingConstraint,
     MinTimingConstraint,
+    UnfeasibleConstraintsError,
     schedule_graph,
 )
 from repro.core.exceptions import CyclicForwardGraphError
@@ -71,7 +70,8 @@ class ConstraintEditingSession(RuleBasedStateMachine):
         try:
             self.schedule = add_constraint_incremental(
                 self.schedule, MinTimingConstraint(pair[0], pair[1], cycles))
-        except (InconsistentConstraintsError, CyclicForwardGraphError):
+        except (InconsistentConstraintsError, CyclicForwardGraphError,
+                UnfeasibleConstraintsError, IllPosedError):
             self.previous_offsets = None
 
     @rule(i=st.integers(0, 30), j=st.integers(0, 30), cycles=st.integers(0, 20))
@@ -84,7 +84,8 @@ class ConstraintEditingSession(RuleBasedStateMachine):
         try:
             self.schedule = add_constraint_incremental(
                 self.schedule, MaxTimingConstraint(pair[0], pair[1], cycles))
-        except (InconsistentConstraintsError, IllPosedError):
+        except (InconsistentConstraintsError, IllPosedError,
+                UnfeasibleConstraintsError):
             self.previous_offsets = None
 
     @invariant()

@@ -27,7 +27,6 @@ from repro import (
     IllPosedError,
     InconsistentConstraintsError,
     IterativeIncrementalScheduler,
-    UnfeasibleConstraintsError,
     WellPosedness,
     check_well_posed,
     find_anchor_sets,
@@ -36,7 +35,6 @@ from repro import (
     relevant_anchors,
     schedule_graph,
 )
-from repro.core.delay import is_unbounded
 from repro.core.paths import (
     NO_PATH,
     anchored_longest_paths,

@@ -186,3 +186,68 @@ class TestMakeWellPosed:
         start = schedule.start_times({"a1": 1, "a2": 10})
         assert start["vi"] >= 10  # serialized after a2's completion
         assert start["vj"] <= start["vi"] + 5  # the max constraint holds
+
+
+class TestPruneSerializations:
+    """Satellite coverage for ``_prune_unnecessary_serializations``."""
+
+    @staticmethod
+    def _edge_multiset(graph):
+        from collections import Counter
+        return Counter((e.tail, e.head, e.weight, e.kind) for e in graph.edges())
+
+    def test_spurious_serialization_edge_is_pruned(self, fig2_graph):
+        """On an already well-posed graph every serialization edge is
+        removable, so pruning drops a hand-planted spurious one."""
+        from repro.core.wellposed import _prune_unnecessary_serializations
+
+        assert check_well_posed(fig2_graph) is WellPosedness.WELL_POSED
+        fig2_graph.add_serialization_edge("a", "v4")
+        assert len(serialization_edges(fig2_graph)) == 1
+        _prune_unnecessary_serializations(fig2_graph)
+        assert serialization_edges(fig2_graph) == []
+        assert check_well_posed(fig2_graph) is WellPosedness.WELL_POSED
+
+    def test_readded_edge_preserves_weight_and_kind(self, fig3b_graph):
+        """A required edge is removed and re-added by the prune scan; the
+        re-added edge must carry the original unbounded weight and the
+        SERIALIZATION kind (i.e. be equal to the original edge)."""
+        from repro.core.wellposed import _prune_unnecessary_serializations
+
+        fixed = make_well_posed(fig3b_graph)
+        before = serialization_edges(fixed)
+        assert before, "make_well_posed must have serialized fig 3(b)"
+        before_multiset = self._edge_multiset(fixed)
+
+        _prune_unnecessary_serializations(fixed)
+        after = serialization_edges(fixed)
+        assert sorted((e.tail, e.head) for e in after) == \
+            sorted((e.tail, e.head) for e in before)
+        for edge in after:
+            assert edge.is_unbounded, edge
+            assert edge.kind is EdgeKind.SERIALIZATION, edge
+            assert edge in before  # frozen dataclass equality: all fields
+        assert self._edge_multiset(fixed) == before_multiset
+
+    def test_prune_is_fixpoint(self, fig3b_graph):
+        """A second prune pass removes nothing: make_well_posed output is
+        already edge-minimal."""
+        from repro.core.wellposed import _prune_unnecessary_serializations
+
+        fixed = make_well_posed(fig3b_graph)
+        first = self._edge_multiset(fixed)
+        _prune_unnecessary_serializations(fixed)
+        assert self._edge_multiset(fixed) == first
+        _prune_unnecessary_serializations(fixed)
+        assert self._edge_multiset(fixed) == first
+        assert check_well_posed(fixed) is WellPosedness.WELL_POSED
+
+    def test_pruned_graph_is_edge_minimal(self, fig3b_graph):
+        """Removing any surviving serialization edge re-breaks
+        well-posedness (Theorem 7 minimality, the oracle's invariant)."""
+        fixed = make_well_posed(fig3b_graph)
+        for edge in serialization_edges(fixed):
+            probe = fixed.copy()
+            probe.remove_edge(edge)
+            assert containment_violations(probe), (
+                f"serialization edge {edge!r} is unnecessary")

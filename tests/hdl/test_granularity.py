@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hdl import HdlLowerError, compile_source
+from repro.hdl import compile_source
 from repro.seqgraph import OpKind, schedule_design
 
 

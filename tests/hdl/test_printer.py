@@ -5,7 +5,6 @@ The core property: printing and reparsing is a fixpoint --
 paper's gcd source and on randomly generated ASTs.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -28,7 +27,7 @@ from repro.hdl.ast import (
     While,
     WriteStmt,
 )
-from repro.hdl.printer import expr_to_source, process_to_source, to_source
+from repro.hdl.printer import expr_to_source, to_source
 
 VARS = ("x", "y", "z")
 IN_PORTS = ("p", "q")

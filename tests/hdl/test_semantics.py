@@ -5,7 +5,7 @@ import pytest
 
 from repro.hdl import parse
 from repro.hdl.ast import If
-from repro.sim import Interpreter, PortStream
+from repro.sim import Interpreter
 
 
 def run(body: str, inputs=None):

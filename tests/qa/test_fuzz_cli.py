@@ -1,0 +1,56 @@
+"""The fuzzing CLI: exit codes, determinism flags, repro output."""
+
+import json
+
+import pytest
+
+import repro.qa.oracle as oracle_module
+from repro.qa.fuzz import build_parser, main
+
+
+class TestSmoke:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["--seed", "0", "--cases", "21",
+                     "--progress-every", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "21 cases, 0 divergences" in out
+
+    def test_scenario_and_check_filters(self, capsys):
+        code = main(["--seed", "0", "--cases", "4",
+                     "--scenario", "well_posed_small",
+                     "--check", "pipeline", "--check", "wellposed_verdict",
+                     "--progress-every", "0"])
+        assert code == 0
+
+    def test_defaults_match_ci_invocation(self):
+        args = build_parser().parse_args([])
+        assert (args.seed, args.cases) == (0, 300)
+
+
+class TestFailurePath:
+    @pytest.fixture
+    def broken_reference(self, monkeypatch):
+        real = oracle_module.schedule_graph_reference
+
+        def skewed(graph, **kwargs):
+            schedule = real(graph, **kwargs)
+            vertex = schedule.graph.sink
+            for anchor in list(schedule.offsets[vertex]):
+                schedule.offsets[vertex][anchor] += 1
+            return schedule
+
+        monkeypatch.setattr(oracle_module, "schedule_graph_reference", skewed)
+
+    def test_divergence_exits_nonzero_and_writes_repro(self, broken_reference,
+                                                       tmp_path, capsys):
+        code = main(["--seed", "0", "--cases", "1", "--check", "pipeline",
+                     "--out", str(tmp_path), "--fail-fast",
+                     "--shrink-budget", "60", "--progress-every", "0"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL seed=0" in out and "shrunk" in out
+        repros = list(tmp_path.glob("*.json"))
+        assert len(repros) == 1
+        payload = json.loads(repros[0].read_text())
+        assert payload["check"] == "pipeline"
+        assert payload["seed"] == 0

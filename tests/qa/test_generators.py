@@ -1,0 +1,73 @@
+"""The scenario generators: determinism and the shapes they promise."""
+
+import pytest
+
+from repro.core.delay import is_unbounded
+from repro.core.graph import EdgeKind
+from repro.core.indexed import _NUMPY_MIN_N
+from repro.qa.generators import SCENARIOS, case_stream, generate_case
+from repro.qa.serialize import graphs_equal
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", [0, 7, 123, 4096])
+    def test_same_seed_same_graph(self, seed):
+        a = generate_case(seed)
+        b = generate_case(seed)
+        assert a.scenario == b.scenario
+        assert graphs_equal(a.graph, b.graph)
+
+    def test_seed_rotation_covers_every_scenario(self):
+        names = {case.scenario for case in case_stream(0, len(SCENARIOS))}
+        assert names == set(SCENARIOS)
+
+    def test_explicit_scenario_pins_builder(self):
+        case = generate_case(11, scenario="anchor_dense")
+        assert case.scenario == "anchor_dense"
+
+    def test_case_stream_seeds_are_contiguous(self):
+        seeds = [case.seed for case in case_stream(40, 5)]
+        assert seeds == [40, 41, 42, 43, 44]
+
+
+class TestScenarioShapes:
+    def test_numpy_gate_straddles_vectorization_threshold(self):
+        sizes = [len(generate_case(seed, scenario="numpy_gate").graph.vertices())
+                 for seed in range(40)]
+        assert any(n <= _NUMPY_MIN_N for n in sizes)
+        assert any(n > _NUMPY_MIN_N for n in sizes)
+
+    def test_anchor_dense_has_anchor_majority_on_average(self):
+        ratios = []
+        for seed in range(20):
+            graph = generate_case(seed, scenario="anchor_dense").graph
+            ratios.append(len(graph.anchors) / len(graph.vertices()))
+        assert sum(ratios) / len(ratios) > 0.4
+
+    def test_zero_weight_cycle_places_max_constraints(self):
+        kinds = set()
+        for seed in range(20):
+            graph = generate_case(seed, scenario="zero_weight_cycle").graph
+            kinds.update(e.kind for e in graph.edges())
+        assert EdgeKind.MAX_TIME in kinds
+
+    def test_ill_posed_chain_is_polar_with_multiple_anchors(self):
+        for seed in range(10):
+            graph = generate_case(seed, scenario="ill_posed_chain").graph
+            anchors = [a for a in graph.anchors if a != graph.source]
+            assert len(anchors) >= 2
+            assert any(e.kind is EdgeKind.MAX_TIME for e in graph.edges())
+            # polar: every vertex reachable from the source going forward
+            order = graph.forward_topological_order()
+            assert order[0] == graph.source and order[-1] == graph.sink
+
+    def test_unbounded_delays_present_in_every_scenario(self):
+        for scenario in SCENARIOS:
+            found = False
+            for seed in range(15):
+                graph = generate_case(seed, scenario=scenario).graph
+                if any(is_unbounded(v.delay) for v in graph.vertices()
+                       if v.name != graph.source):
+                    found = True
+                    break
+            assert found, f"{scenario} never produced an anchor"

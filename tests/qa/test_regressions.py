@@ -1,0 +1,61 @@
+"""Replay the shrunk-repro corpus through the oracle.
+
+Every JSON file under ``tests/qa/regressions/`` is a divergence the
+fuzzer once found (its ``message`` field records what went wrong) that
+has since been fixed.  Replaying the recorded check on the recorded
+seed must now come back clean -- a regression flips this suite red with
+the original fuzz provenance in the assertion message.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.qa.oracle import ORACLE_CHECKS, run_oracle
+from repro.qa.serialize import (
+    FORMAT_VERSION,
+    graph_from_dict,
+    graph_to_dict,
+    graphs_equal,
+    load_repro,
+)
+
+CORPUS = sorted(Path(__file__).parent.glob("regressions/*.json"))
+
+
+def corpus_id(path: Path) -> str:
+    return path.stem
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=corpus_id)
+class TestRegressionCorpus:
+    def test_metadata_is_complete(self, path):
+        payload = load_repro(path)
+        assert payload["check"] in ORACLE_CHECKS
+        assert isinstance(payload["seed"], int)
+        assert payload["message"]
+        assert payload["graph"]["format"] == FORMAT_VERSION
+
+    def test_graph_round_trips(self, path):
+        payload = load_repro(path)
+        graph = graph_from_dict(payload["graph"])
+        assert graphs_equal(graph, graph_from_dict(graph_to_dict(graph)))
+
+    def test_recorded_check_stays_clean(self, path):
+        payload = load_repro(path)
+        graph = graph_from_dict(payload["graph"])
+        divergences = run_oracle(graph, seed=payload["seed"],
+                                 checks=[payload["check"]])
+        assert divergences == [], (
+            f"fixed divergence resurfaced (originally: {payload['message']}); "
+            f"now: {[str(d) for d in divergences]}")
+
+    def test_full_catalogue_stays_clean(self, path):
+        payload = load_repro(path)
+        graph = graph_from_dict(payload["graph"])
+        divergences = run_oracle(graph, seed=payload["seed"])
+        assert divergences == [], [str(d) for d in divergences]
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, "regression corpus missing -- tests/qa/regressions/*.json"

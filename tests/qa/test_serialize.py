@@ -1,0 +1,73 @@
+"""JSON graph round-trips and repro file I/O."""
+
+import pytest
+
+from repro.core.delay import UNBOUNDED
+from repro.core.graph import ConstraintGraph, EdgeKind
+from repro.qa.generators import case_stream
+from repro.qa.serialize import (
+    FORMAT_VERSION,
+    dump_repro,
+    graph_from_dict,
+    graph_to_dict,
+    graphs_equal,
+    load_repro,
+)
+
+
+@pytest.fixture
+def mixed_graph():
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("a", UNBOUNDED, tag="frame")
+    g.add_operation("x", 2)
+    g.add_operation("y", 3)
+    g.add_sequencing_edges([("s", "a"), ("a", "x"), ("x", "y"), ("y", "t")])
+    g.add_min_constraint("x", "y", 4)
+    g.add_max_constraint("x", "y", 9)
+    return g
+
+
+class TestRoundTrip:
+    def test_mixed_graph_round_trips_exactly(self, mixed_graph):
+        rebuilt = graph_from_dict(graph_to_dict(mixed_graph))
+        assert graphs_equal(mixed_graph, rebuilt)
+        # the frozen Edge dataclass compares all fields, so ordered
+        # equality of the edge lists is the strongest possible check
+        assert rebuilt.edges() == mixed_graph.edges()
+        assert [v.name for v in rebuilt.vertices()] == \
+            [v.name for v in mixed_graph.vertices()]
+
+    def test_unbounded_delay_spelled_as_string(self, mixed_graph):
+        data = graph_to_dict(mixed_graph)
+        by_name = {v["name"]: v for v in data["vertices"]}
+        assert by_name["a"]["delay"] == "unbounded"
+        assert by_name["x"]["delay"] == 2
+        assert by_name["a"]["tag"] == "frame"
+
+    def test_max_constraint_stored_as_backward_edge(self, mixed_graph):
+        data = graph_to_dict(mixed_graph)
+        backward = [e for e in data["edges"] if e["kind"] == "max_time"]
+        assert backward == [
+            {"tail": "y", "head": "x", "weight": -9, "kind": "max_time"}]
+        rebuilt = graph_from_dict(data)
+        edge = [e for e in rebuilt.edges() if e.kind is EdgeKind.MAX_TIME][0]
+        assert (edge.tail, edge.head, edge.weight) == ("y", "x", -9)
+
+    @pytest.mark.parametrize("seed", range(21))
+    def test_generated_cases_round_trip(self, seed):
+        for case in case_stream(seed, 1):
+            rebuilt = graph_from_dict(graph_to_dict(case.graph))
+            assert graphs_equal(case.graph, rebuilt)
+
+
+class TestReproFiles:
+    def test_dump_and_load(self, mixed_graph, tmp_path):
+        path = tmp_path / "repro.json"
+        dump_repro(path, mixed_graph, check="pipeline", message="offsets differ",
+                   seed=42, scenario="well_posed_small")
+        payload = load_repro(path)
+        assert payload["check"] == "pipeline"
+        assert payload["seed"] == 42
+        assert payload["scenario"] == "well_posed_small"
+        assert payload["graph"]["format"] == FORMAT_VERSION
+        assert graphs_equal(graph_from_dict(payload["graph"]), mixed_graph)

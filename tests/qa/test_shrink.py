@@ -1,0 +1,57 @@
+"""The greedy shrinker: reduction, fidelity, and budget discipline."""
+
+import pytest
+
+import repro.qa.oracle as oracle_module
+from repro.qa.generators import generate_case
+from repro.qa.serialize import graph_from_dict, graph_to_dict
+from repro.qa.shrink import shrink
+
+
+@pytest.fixture
+def broken_reference(monkeypatch):
+    """Plant a differential bug: the reference pipeline skews the sink
+    offsets, so the ``pipeline`` check fails on every schedulable graph."""
+    real = oracle_module.schedule_graph_reference
+
+    def skewed(graph, **kwargs):
+        schedule = real(graph, **kwargs)
+        vertex = schedule.graph.sink
+        for anchor in list(schedule.offsets[vertex]):
+            schedule.offsets[vertex][anchor] += 1
+        return schedule
+
+    monkeypatch.setattr(oracle_module, "schedule_graph_reference", skewed)
+
+
+class TestShrinking:
+    def test_reduces_failing_case_and_keeps_it_failing(self, broken_reference):
+        case = generate_case(0, scenario="well_posed_small")
+        result = shrink(case.graph, "pipeline", case.seed)
+        assert result.vertices_after < result.vertices_before
+        assert result.edges_after < result.edges_before
+        # the minimized graph still trips the same check
+        divergences = oracle_module.run_oracle(result.graph, seed=case.seed,
+                                               checks=["pipeline"])
+        assert [d.check for d in divergences] == ["pipeline"]
+        assert "offsets differ" in result.message
+
+    def test_shrunk_graph_survives_serialization(self, broken_reference):
+        case = generate_case(7, scenario="well_posed_small")
+        result = shrink(case.graph, "pipeline", case.seed)
+        rebuilt = graph_from_dict(graph_to_dict(result.graph))
+        divergences = oracle_module.run_oracle(rebuilt, seed=case.seed,
+                                               checks=["pipeline"])
+        assert [d.check for d in divergences] == ["pipeline"]
+
+    def test_budget_caps_evaluations(self, broken_reference):
+        case = generate_case(0, scenario="numpy_gate")
+        result = shrink(case.graph, "pipeline", case.seed, max_evaluations=25)
+        assert result.evaluations <= 25
+
+    def test_non_failing_case_returned_unchanged(self):
+        case = generate_case(0, scenario="well_posed_small")
+        result = shrink(case.graph, "pipeline", case.seed)
+        assert result.message == "(did not reproduce)"
+        assert result.vertices_after == result.vertices_before
+        assert result.edges_after == result.edges_before

@@ -1,6 +1,5 @@
 """Unit tests for the graph builder and dataflow dependency inference."""
 
-import pytest
 
 from repro.seqgraph import GraphBuilder
 from repro.seqgraph.model import SINK_NAME, SOURCE_NAME

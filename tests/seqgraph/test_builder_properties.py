@@ -6,9 +6,7 @@ read-after-write, write-after-write, and write-after-read pair, and
 (c) never order two operations with disjoint symbol footprints.
 """
 
-import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.delay import is_unbounded
 from repro.seqgraph import Design, GraphBuilder, OpKind, schedule_design
 from repro.seqgraph.flatten import bounded_graphs, inline_design
 

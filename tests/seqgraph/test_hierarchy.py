@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import AnchorMode, UNBOUNDED
+from repro import AnchorMode
 from repro.core.delay import is_unbounded
 from repro.seqgraph import (
     Design,

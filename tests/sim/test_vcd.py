@@ -1,6 +1,5 @@
 """Tests for VCD waveform export."""
 
-import pytest
 
 from repro.sim import WaveformTrace
 from repro.sim.trace import _vcd_identifier

@@ -4,7 +4,6 @@ import pytest
 
 from repro import AnchorMode
 from repro.binding import ResourceLibrary, ResourceType
-from repro.core.delay import is_unbounded
 from repro.designs import DESIGN_NAMES, build_design
 from repro.flows import synthesize
 from repro.seqgraph import Design, GraphBuilder

@@ -56,8 +56,6 @@ class TestConstraintGraphRoundTrip:
         assert graphs_equal(graph, graph_from_dict(graph_to_dict(graph)))
 
     def test_serialization_edges_preserved(self):
-        from repro import make_well_posed
-        from tests.core.conftest import fig3b_graph  # type: ignore
 
         graph = fig2()
         graph.add_serialization_edge("a", "v4")
