@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Perf guard: the disabled observability path must not tax the pipeline.
+
+Re-times ``schedule_graph`` on the benchsuite's seeded random workloads
+(the ``make_random`` recipe from :mod:`benchmarks.run_benchsuite`) twice
+-- once with the default ``NullTracer`` installed and once with a
+recording :class:`repro.observability.Tracer` -- and compares the
+disabled-path numbers against the committed ``BENCH_core.json``
+baseline:
+
+* **Same machine** (baseline ``meta.platform`` and ``meta.python`` match
+  this interpreter): the disabled-path time must be within
+  ``--tolerance`` (default 5%) of the baseline ``indexed_ms``, plus a
+  small absolute noise floor.
+* **Different machine** (CI runners): absolute times are meaningless, so
+  the guard falls back to the indexed-vs-reference *speedup ratio*,
+  which is self-relative: the local speedup must be at least
+  ``(1 - ratio tolerance)`` of the baseline speedup.
+
+The traced run is never gated (recording is allowed to cost) but its
+overhead is reported, its JSON run report is embedded in the output
+artifact, and the Theorem 8 iteration bound (``iterations <= |Eb|+1``)
+is asserted over every traced run.
+
+Usage::
+
+    python benchmarks/perf_guard.py                 # full sizes (400, 1600)
+    python benchmarks/perf_guard.py --quick         # CI smoke (100, 400)
+    python benchmarks/perf_guard.py --output perf_guard_report.json
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.reference import schedule_graph_reference  # noqa: E402
+from repro.core.scheduler import schedule_graph  # noqa: E402
+from repro.observability import (  # noqa: E402
+    Tracer,
+    build_report,
+    iteration_bound_violations,
+    use_tracer,
+)
+
+from run_benchsuite import make_random  # noqa: E402
+
+FULL_SIZES = [400, 1600]
+QUICK_SIZES = [100, 400]
+#: Absolute slack added to the relative tolerance so sub-millisecond
+#: jitter cannot fail the guard on small workloads.
+NOISE_FLOOR_MS = 2.0
+
+
+def _time(graph, fn, reps):
+    best = float("inf")
+    for _ in range(reps):
+        fresh = graph.copy()
+        t0 = time.perf_counter()
+        fn(fresh)
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3
+
+
+def _baseline_workload(baseline, name):
+    for workload in baseline.get("workloads", []):
+        if workload["name"] == name:
+            return workload["stages"]["schedule_graph"]
+    return None
+
+
+def guard_workload(n_ops, baseline, reps, tolerance, ratio_tolerance,
+                   same_machine):
+    graph = make_random(n_ops)
+    untraced_ms = _time(graph, schedule_graph, reps)
+    reference_ms = _time(graph, schedule_graph_reference, max(1, reps // 2))
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        traced_ms = _time(graph, schedule_graph, reps)
+    report = build_report(tracer)
+    bound_violations = iteration_bound_violations(report)
+
+    entry = {
+        "name": f"random-{n_ops}",
+        "untraced_ms": round(untraced_ms, 3),
+        "traced_ms": round(traced_ms, 3),
+        "traced_overhead": round(traced_ms / untraced_ms, 3),
+        "reference_ms": round(reference_ms, 3),
+        "speedup": round(reference_ms / untraced_ms, 2),
+        "bound_violations": bound_violations,
+        "trace_report": report,
+        "checks": [],
+    }
+
+    stage = _baseline_workload(baseline, entry["name"])
+    if stage is None:
+        entry["checks"].append({
+            "check": "baseline", "ok": True,
+            "detail": "no baseline entry for this workload; skipped"})
+    elif same_machine:
+        limit = stage["indexed_ms"] * (1 + tolerance) + NOISE_FLOOR_MS
+        entry["checks"].append({
+            "check": "absolute_disabled_path",
+            "ok": untraced_ms <= limit,
+            "measured_ms": round(untraced_ms, 3),
+            "baseline_ms": stage["indexed_ms"],
+            "limit_ms": round(limit, 3),
+        })
+    else:
+        floor = stage["speedup"] * (1 - ratio_tolerance)
+        entry["checks"].append({
+            "check": "speedup_ratio",
+            "ok": entry["speedup"] >= floor,
+            "measured_speedup": entry["speedup"],
+            "baseline_speedup": stage["speedup"],
+            "floor": round(floor, 2),
+        })
+    entry["checks"].append({
+        "check": "iteration_bound",
+        "ok": not bound_violations,
+        "violations": len(bound_violations),
+    })
+    return entry
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes / few reps (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repetitions per mode (default 5, quick 3)")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="same-machine relative tolerance on the "
+                        "disabled path (default 0.05)")
+    parser.add_argument("--ratio-tolerance", type=float, default=0.30,
+                        help="cross-machine tolerance on the speedup "
+                        "ratio (default 0.30; runner timing is noisy)")
+    parser.add_argument("--baseline", type=Path,
+                        default=REPO_ROOT / "BENCH_core.json")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the JSON report artifact here")
+    args = parser.parse_args(argv)
+    reps = args.repeats or (3 if args.quick else 5)
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+
+    baseline = json.loads(args.baseline.read_text())
+    meta = baseline.get("meta", {})
+    same_machine = (meta.get("platform") == platform.platform()
+                    and meta.get("python") == platform.python_version())
+    mode = "absolute (same machine as baseline)" if same_machine \
+        else "speedup ratio (different machine)"
+    print(f"perf guard: {mode}, reps={reps}")
+
+    workloads = [guard_workload(n, baseline, reps, args.tolerance,
+                                args.ratio_tolerance, same_machine)
+                 for n in sizes]
+
+    failed = []
+    for workload in workloads:
+        for check in workload["checks"]:
+            status = "ok" if check["ok"] else "FAIL"
+            detail = {k: v for k, v in check.items()
+                      if k not in ("check", "ok")}
+            print(f"  {workload['name']:<12} {check['check']:<24} "
+                  f"{status}  {detail}")
+            if not check["ok"]:
+                failed.append((workload["name"], check["check"]))
+        print(f"  {workload['name']:<12} traced overhead "
+              f"{workload['traced_overhead']}x "
+              f"(untraced {workload['untraced_ms']} ms, "
+              f"traced {workload['traced_ms']} ms)")
+
+    report = {
+        "meta": {
+            "schema": 1,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "mode": mode,
+            "repeats": reps,
+            "tolerance": args.tolerance,
+            "ratio_tolerance": args.ratio_tolerance,
+            "baseline": str(args.baseline),
+        },
+        "workloads": workloads,
+        "failed": [f"{name}:{check}" for name, check in failed],
+    }
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if failed:
+        print(f"perf guard FAILED: {report['failed']}")
+        return 1
+    print("perf guard passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

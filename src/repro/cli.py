@@ -11,11 +11,23 @@ Usage (also via ``python -m repro``)::
     repro cosim INPUT --set p=v     value/timing co-simulation (HDL only)
     repro report INPUT [options]    full Hebe flow report (+ --markdown)
     repro montecarlo INPUT          latency distribution over profiles
+    repro observe INPUT [options]   traced scheduling run -> JSON report
+
+Global flags (before the sub-command) attach the observability layer to
+any command: ``--trace`` prints the run summary to stderr, ``--profile``
+adds the phase timers, ``--trace-out FILE`` writes the machine-readable
+JSON run report (see :mod:`repro.observability`).
 
 INPUT is either a HardwareC source file (anything not ending in
 ``.json``) or a JSON artifact produced by :mod:`repro.io` (a design or a
 constraint graph).  For hierarchical designs the commands operate on the
 root graph after bottom-up scheduling.
+
+Every sub-command reports pipeline failures uniformly: a
+:class:`~repro.core.exceptions.ConstraintGraphError` (the whole taxonomy
+-- unfeasible, ill-posed, inconsistent, cyclic, malformed) prints
+``error: ...`` to stderr and exits 1 instead of dumping a traceback;
+the handling lives in :func:`main`, so no command can drift.
 """
 
 from __future__ import annotations
@@ -124,12 +136,8 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     """Compute and print the minimum relative schedule."""
     graph, _ = _load_graph(args.input)
     mode = AnchorMode(args.mode)
-    try:
-        schedule = schedule_graph(graph, anchor_mode=mode,
-                                  auto_well_pose=not args.no_well_pose)
-    except ConstraintGraphError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+    schedule = schedule_graph(graph, anchor_mode=mode,
+                              auto_well_pose=not args.no_well_pose)
     print(schedule.format_table())
     print(f"\niterations: {schedule.iterations}   "
           f"anchors: {len(schedule.graph.anchors)}   "
@@ -322,6 +330,30 @@ def cmd_cosim(args: argparse.Namespace) -> int:
     return 0 if not result.violations else 1
 
 
+def cmd_observe(args: argparse.Namespace) -> int:
+    """Run the scheduling pipeline under a recording tracer and emit the
+    observability run report (human summary + optional JSON)."""
+    from repro.observability import (build_report, format_summary,
+                                    iteration_bound_violations, trace_run,
+                                    write_report)
+
+    graph, _ = _load_graph(args.input)
+    with trace_run() as tracer:
+        for _ in range(args.runs):
+            schedule_graph(graph, anchor_mode=AnchorMode(args.mode))
+    report = build_report(tracer)
+    print(format_summary(report))
+    if args.output:
+        write_report(report, args.output)
+        print(f"report written to {args.output}")
+    violations = iteration_bound_violations(report)
+    if violations:
+        print(f"iteration bound |Eb|+1 violated in {len(violations)} "
+              f"run(s) -- scheduler bug", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
     """Regenerate the paper's tables and figures."""
     which = args.which
@@ -368,6 +400,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Relative scheduling under timing constraints "
                     "(Ku & De Micheli, DAC 1990)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record a pipeline trace; print the run "
+                             "summary to stderr when done")
+    parser.add_argument("--profile", dest="obs_profile", action="store_true",
+                        help="like --trace, with per-phase wall-clock "
+                             "timers in the summary")
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="write the machine-readable JSON run report")
     sub = parser.add_subparsers(dest="command", required=True)
 
     check = sub.add_parser("check", help="well-posedness analysis")
@@ -448,6 +488,17 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=[m.value for m in AnchorMode])
     montecarlo.set_defaults(handler=cmd_montecarlo)
 
+    observe = sub.add_parser("observe", help="traced scheduling run with "
+                                             "an observability report")
+    observe.add_argument("input")
+    observe.add_argument("--mode", default="irredundant",
+                         choices=[m.value for m in AnchorMode])
+    observe.add_argument("--runs", type=int, default=1,
+                         help="schedule the graph this many times "
+                              "(repeats exercise the analysis cache)")
+    observe.add_argument("-o", "--output", help="write the JSON report here")
+    observe.set_defaults(handler=cmd_observe)
+
     cosim = sub.add_parser("cosim", help="value/timing co-simulation of "
                                          "HardwareC source")
     cosim.add_argument("input")
@@ -465,10 +516,46 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    All sub-commands share this frame's error contract: any
+    :class:`ConstraintGraphError` becomes ``error: ...`` on stderr and
+    exit code 1 (previously only ``schedule`` translated the taxonomy;
+    ``control``/``simulate``/``montecarlo`` dumped tracebacks).  The
+    global ``--trace``/``--profile``/``--trace-out`` flags install a
+    recording tracer around the command and emit the run report even
+    when the command fails.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+
+    tracing = (args.trace or args.obs_profile
+               or args.trace_out is not None)
+    tracer = None
+    if tracing:
+        from repro.observability import Tracer, set_tracer
+
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+    try:
+        code = args.handler(args)
+    except ConstraintGraphError as error:
+        print(f"error: {error}", file=sys.stderr)
+        code = 1
+    finally:
+        if tracing:
+            set_tracer(previous)
+    if tracing:
+        from repro.observability import build_report, format_summary, write_report
+
+        report = build_report(tracer)
+        if args.trace_out:
+            write_report(report, args.trace_out)
+            print(f"trace report written to {args.trace_out}",
+                  file=sys.stderr)
+        if args.trace or args.obs_profile:
+            print(format_summary(report), file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -28,12 +28,15 @@ class CycleStep:
         """One line of provenance for this edge of the witness."""
         edge = self.edge
         if edge.kind is EdgeKind.SEQUENCING:
-            weight = "delta(…)" if edge.is_unbounded else str(edge.weight)
+            # Unbounded edges leave their anchor, so the tail names the
+            # unknown delay (counted at its minimum 0 in the witness).
+            weight = f"delta({edge.tail})" if edge.is_unbounded else str(edge.weight)
             return (f"{edge.tail} -> {edge.head}: dependency, "
                     f"{edge.head} starts >= {weight} after {edge.tail}")
         if edge.kind is EdgeKind.SERIALIZATION:
-            return (f"{edge.tail} -> {edge.head}: serialization "
-                    f"(added for well-posedness)")
+            return (f"{edge.tail} -> {edge.head}: serialization (added for "
+                    f"well-posedness), {edge.head} waits for "
+                    f"delta({edge.tail})")
         if edge.kind is EdgeKind.MIN_TIME:
             return (f"{edge.tail} -> {edge.head}: minimum constraint, "
                     f"separation >= {edge.weight}")

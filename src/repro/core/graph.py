@@ -40,6 +40,7 @@ from typing import (
 
 from repro.core.delay import UNBOUNDED, Delay, is_unbounded, validate_delay
 from repro.core.exceptions import GraphStructureError
+from repro.observability.tracer import STATE as _OBS
 
 #: An edge weight: a (possibly negative) integer, or UNBOUNDED meaning
 #: "the execution delay of the tail vertex".
@@ -194,14 +195,26 @@ class ConstraintGraph:
         them stage by stage.  Cached values must be treated as
         immutable by callers.
         """
+        tracer = _OBS.tracer
         if self._cache_version != self._version:
+            if tracer.enabled and self._analysis_cache:
+                tracer.count("cache.invalidation")
+                tracer.event("cache.invalidation", version=self._version,
+                             dropped=len(self._analysis_cache))
             self._analysis_cache.clear()
             self._cache_version = self._version
         try:
-            return self._analysis_cache[key]
+            value = self._analysis_cache[key]
         except KeyError:
+            if tracer.enabled:
+                tracer.count("cache.miss")
+                tracer.count(f"cache.miss.{key}")
             value = self._analysis_cache[key] = builder()
             return value
+        if tracer.enabled:
+            tracer.count("cache.hit")
+            tracer.count(f"cache.hit.{key}")
+        return value
 
     # ------------------------------------------------------------------
     # construction

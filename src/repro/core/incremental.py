@@ -25,6 +25,7 @@ from repro.core.constraints import TimingConstraint
 from repro.core.graph import Edge
 from repro.core.schedule import RelativeSchedule
 from repro.core.scheduler import IterativeIncrementalScheduler
+from repro.observability.tracer import STATE as _OBS
 
 
 def add_constraint_incremental(schedule: RelativeSchedule,
@@ -79,6 +80,10 @@ def add_constraint_incremental(schedule: RelativeSchedule,
             f"adding {constraint} makes the graph ill-posed; run "
             f"make_well_posed and reschedule from scratch")
 
+    tracer = _OBS.tracer
+    if tracer.enabled:
+        tracer.count("incremental.warm_reschedules")
+        tracer.event("incremental.add_constraint", constraint=str(constraint))
     anchor_sets = anchor_sets_for_mode(graph, schedule.anchor_mode)
     scheduler = IterativeIncrementalScheduler(
         graph, anchor_mode=schedule.anchor_mode, anchor_sets=anchor_sets)
@@ -94,6 +99,11 @@ def without_constraint(schedule: RelativeSchedule, edge: Edge,
     can only lower offsets, so warm starts are unsound)."""
     from repro.core.scheduler import schedule_graph
 
+    tracer = _OBS.tracer
+    if tracer.enabled:
+        tracer.count("incremental.cold_reschedules")
+        tracer.event("incremental.remove_constraint",
+                     tail=edge.tail, head=edge.head)
     graph = schedule.graph.copy()
     graph.remove_edge(edge)
     result = schedule_graph(graph, anchor_mode=schedule.anchor_mode,

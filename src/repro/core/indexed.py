@@ -54,6 +54,7 @@ from repro.core.exceptions import (
     UnfeasibleConstraintsError,
 )
 from repro.core.graph import ConstraintGraph, Edge, EdgeKind
+from repro.observability.tracer import STATE as _OBS
 
 try:  # numpy accelerates the dense anchor analyses; every consumer has
     import numpy as _np  # a pure-Python fallback, so its absence only
@@ -893,11 +894,18 @@ def schedule_offsets(graph: ConstraintGraph,
     for p, v in enumerate(topo):
         pos[v] = p
 
+    tracer = _OBS.tracer
+    rec = tracer.enabled
+
     max_rounds = len(backward) + 1
     changed: Optional[List[int]] = None
     for round_index in range(1, max_rounds + 1):
+        if rec:
+            before = [row[:] for row in offsets]
         # -- IncrementalOffset ------------------------------------------
         if changed is None and _use_numpy(idx):
+            if rec:
+                tracer.count("kernel.vectorized_rounds")
             offsets = _vector_round1(graph, idx, offsets)
         elif changed is None:
             # Round 1: full relaxation sweep in topological order.
@@ -977,13 +985,22 @@ def schedule_offsets(graph: ConstraintGraph,
                     head_value = 0 if tail_slot == head_slot else None
                 if head_value is not None and head_value < w:
                     violations.append((b, tail_slot))
+        if rec:
+            relaxed = _count_row_raises(before, offsets)
         if not violations:
+            if rec:
+                tracer.count("scheduler.relaxations", relaxed)
+                tracer.event("scheduler.iteration", round=round_index,
+                             violations=0, relaxations=relaxed,
+                             kernel="indexed")
             result = _offsets_to_dicts(idx, tracked, offsets)
             if return_raw:
                 return result, round_index, offsets
             return result, round_index
 
         # -- ReadjustOffsets --------------------------------------------
+        if rec:
+            before = [row[:] for row in offsets]
         changed = []
         for b, slot in violations:
             t, h, w = backward[b]
@@ -996,9 +1013,36 @@ def schedule_offsets(graph: ConstraintGraph,
             if offsets[h][slot] < required:
                 offsets[h][slot] = required
                 changed.append(h)
+        if rec:
+            relaxed += _count_row_raises(before, offsets)
+            tracer.count("scheduler.relaxations", relaxed)
+            tracer.event("scheduler.iteration", round=round_index,
+                         violations=len(violations), relaxations=relaxed,
+                         kernel="indexed")
+    if rec:
+        # Runs reaching the scheduler through the kernel gate get their
+        # summary event from the scheduler on success; the inconsistent
+        # outcome is only visible here.
+        tracer.count("scheduler.runs")
+        tracer.count("scheduler.iterations", max_rounds)
+        tracer.event("scheduler.run", iterations=max_rounds,
+                     bound=max_rounds, backward_edges=len(backward),
+                     warm=initial is not None, kernel="indexed",
+                     converged=False)
     raise InconsistentConstraintsError(
         f"no schedule after {max_rounds} iterations: timing constraints "
         f"are inconsistent (Corollary 2)")
+
+
+def _count_row_raises(before: List[List[int]],
+                      after: List[List[int]]) -> int:
+    """How many offset cells moved between two row snapshots (offsets
+    are max-monotone, so every difference is a relaxation)."""
+    changed = 0
+    for row_before, row_after in zip(before, after):
+        if row_before != row_after:
+            changed += sum(1 for a, b in zip(row_before, row_after) if a != b)
+    return changed
 
 
 def schedule_satisfies_constraints(graph: ConstraintGraph,

@@ -33,6 +33,7 @@ from repro.core.exceptions import (
 from repro.core.graph import ConstraintGraph, Edge
 from repro.core.schedule import RelativeSchedule
 from repro.core.wellposed import WellPosedness, check_well_posed, make_well_posed
+from repro.observability.tracer import STATE as _OBS
 
 #: Offset state: offsets[vertex][anchor] = sigma_a(vertex).
 OffsetState = Dict[str, Dict[str, int]]
@@ -178,11 +179,27 @@ class IterativeIncrementalScheduler:
 
     def _run(self, warm: Optional[OffsetState]) -> RelativeSchedule:
         """The shared cold/warm driver behind :meth:`run` / :meth:`run_from`."""
+        tracer = _OBS.tracer
+        rec = tracer.enabled
         if self.use_indexed and not self.record_trace:
             try:
-                return self._run_indexed(warm)
-            except IndexedKernelUnsupported:
-                pass  # reference loops accept arbitrary anchor tags
+                schedule = self._run_indexed(warm)
+            except IndexedKernelUnsupported as reason:
+                # reference loops accept arbitrary anchor tags
+                if rec:
+                    tracer.count("kernel.fallbacks")
+                    tracer.event("kernel.fallback", reason=str(reason))
+            else:
+                if rec:
+                    tracer.count("kernel.indexed_runs")
+                    tracer.event("kernel.gate", use_indexed=True,
+                                 record_trace=False, decision="indexed")
+                    self._record_run(tracer, schedule.iterations,
+                                     warm is not None, "indexed")
+                return schedule
+        elif rec:
+            tracer.event("kernel.gate", use_indexed=self.use_indexed,
+                         record_trace=self.record_trace, decision="reference")
         offsets: OffsetState = warm if warm is not None else {
             vertex: {anchor: 0 for anchor in self.anchor_sets[vertex]}
             for vertex in self.graph.vertex_names()
@@ -190,24 +207,57 @@ class IterativeIncrementalScheduler:
         backward = self.graph.backward_edges()
         max_rounds = len(backward) + 1
         for round_index in range(1, max_rounds + 1):
+            before = _snapshot(offsets) if rec else {}
             self._incremental_offset(offsets)
+            if rec:
+                relaxed = _count_raises(before, offsets)
             computed = _snapshot(offsets) if self.record_trace else {}
             violations = self._find_violations(offsets, backward)
             if not violations:
                 if self.record_trace:
                     self.trace.records.append(IterationRecord(
                         round_index, computed, [], computed))
+                if rec:
+                    tracer.count("scheduler.relaxations", relaxed)
+                    tracer.event("scheduler.iteration", round=round_index,
+                                 violations=0, relaxations=relaxed,
+                                 kernel="reference")
+                    tracer.count("kernel.reference_runs")
+                    self._record_run(tracer, round_index,
+                                     warm is not None, "reference")
                 return RelativeSchedule(
                     graph=self.graph, anchor_sets=self.anchor_sets,
                     offsets=offsets, anchor_mode=self.anchor_mode,
                     iterations=round_index)
+            if rec:
+                before = _snapshot(offsets)
             self._readjust(offsets, violations)
+            if rec:
+                relaxed += _count_raises(before, offsets)
+                tracer.count("scheduler.relaxations", relaxed)
+                tracer.event("scheduler.iteration", round=round_index,
+                             violations=len(violations), relaxations=relaxed,
+                             kernel="reference")
             if self.record_trace:
                 self.trace.records.append(IterationRecord(
                     round_index, computed, violations, _snapshot(offsets)))
+        if rec:
+            tracer.count("kernel.reference_runs")
+            self._record_run(tracer, max_rounds, warm is not None,
+                             "reference", converged=False)
         raise InconsistentConstraintsError(
             f"no schedule after {max_rounds} iterations: timing constraints "
             f"are inconsistent (Corollary 2)")
+
+    def _record_run(self, tracer, iterations: int, warm: bool,
+                    kernel: str, converged: bool = True) -> None:
+        """Emit the per-run summary event and roll-up counters."""
+        backward = len(self.graph.backward_edges())
+        tracer.count("scheduler.runs")
+        tracer.count("scheduler.iterations", iterations)
+        tracer.event("scheduler.run", iterations=iterations,
+                     bound=backward + 1, backward_edges=backward,
+                     warm=warm, kernel=kernel, converged=converged)
 
     def _run_indexed(self, initial: Optional[OffsetState] = None) -> RelativeSchedule:
         """Run on the indexed array kernel (warm-started from *initial*
@@ -308,6 +358,25 @@ def _snapshot(offsets: OffsetState) -> OffsetState:
     return {vertex: dict(entries) for vertex, entries in offsets.items()}
 
 
+def _count_raises(before: OffsetState, after: OffsetState) -> int:
+    """How many per-anchor offsets moved between two snapshots.
+
+    Offsets only ever increase (Lemma 8), so every difference is a
+    relaxation; entries absent from *before* (readjustment can introduce
+    them) count as raised from the implicit 0.
+    """
+    changed = 0
+    for vertex, entries in after.items():
+        old = before.get(vertex)
+        if old is None:
+            changed += sum(1 for sigma in entries.values() if sigma != 0)
+            continue
+        for anchor, sigma in entries.items():
+            if old.get(anchor, 0) != sigma:
+                changed += 1
+    return changed
+
+
 def schedule_graph(graph: ConstraintGraph,
                    anchor_mode: AnchorMode = AnchorMode.IRREDUNDANT,
                    auto_well_pose: bool = True,
@@ -339,32 +408,64 @@ def schedule_graph(graph: ConstraintGraph,
     from repro.core.anchors import find_anchor_sets
     from repro.core.exceptions import IllPosedError
 
-    anchor_sets = find_anchor_sets(graph)
-    status = check_well_posed(graph, anchor_sets=anchor_sets)
-    if status is WellPosedness.UNFEASIBLE:
-        raise UnfeasibleConstraintsError("constraint graph has a positive cycle")
-    if status is WellPosedness.ILL_POSED:
-        if not auto_well_pose:
-            raise IllPosedError(
-                "constraint graph is ill-posed; rerun with auto_well_pose=True "
-                "to attempt minimal serialization")
-        graph = make_well_posed(graph)
+    tracer = _OBS.tracer
+    rec = tracer.enabled
+    if rec:
+        tracer.begin_span("pipeline.schedule_graph")
+    try:
+        if rec:
+            tracer.begin_span("pipeline.analysis")
+        try:
+            anchor_sets = find_anchor_sets(graph)
+            status = check_well_posed(graph, anchor_sets=anchor_sets)
+        finally:
+            if rec:
+                tracer.end_span()
+        if status is WellPosedness.UNFEASIBLE:
+            raise UnfeasibleConstraintsError("constraint graph has a positive cycle")
+        if status is WellPosedness.ILL_POSED:
+            if not auto_well_pose:
+                raise IllPosedError(
+                    "constraint graph is ill-posed; rerun with auto_well_pose=True "
+                    "to attempt minimal serialization")
+            if rec:
+                tracer.begin_span("pipeline.serialization")
+            try:
+                graph = make_well_posed(graph)
+            finally:
+                if rec:
+                    tracer.end_span()
 
-    scheduler = IterativeIncrementalScheduler(
-        graph, anchor_mode=anchor_mode,
-        anchor_sets=anchor_sets_for_mode(graph, anchor_mode),
-        record_trace=record_trace, use_indexed=use_indexed)
-    schedule = scheduler.run()
-    if validate:
-        # Fresh from the indexed scheduler the raw offset rows are still
-        # authoritative (nothing can have mutated them between run() and
-        # here), so one array pass replaces the dict-based validation;
-        # anything it cannot certify gets the precise per-edge scan.
-        from repro.core.indexed import certify_offset_lists
-        raw = getattr(schedule, "_raw_offset_rows", None)
-        if (raw is None or raw[0] != graph.version
-                or not certify_offset_lists(graph, raw[1])):
-            schedule.validate()
-    if record_trace:
-        schedule.trace = scheduler.trace  # type: ignore[attr-defined]
-    return schedule
+        if rec:
+            tracer.begin_span("pipeline.scheduling")
+        try:
+            scheduler = IterativeIncrementalScheduler(
+                graph, anchor_mode=anchor_mode,
+                anchor_sets=anchor_sets_for_mode(graph, anchor_mode),
+                record_trace=record_trace, use_indexed=use_indexed)
+            schedule = scheduler.run()
+        finally:
+            if rec:
+                tracer.end_span()
+        if validate:
+            # Fresh from the indexed scheduler the raw offset rows are still
+            # authoritative (nothing can have mutated them between run() and
+            # here), so one array pass replaces the dict-based validation;
+            # anything it cannot certify gets the precise per-edge scan.
+            from repro.core.indexed import certify_offset_lists
+            if rec:
+                tracer.begin_span("pipeline.validation")
+            try:
+                raw = getattr(schedule, "_raw_offset_rows", None)
+                if (raw is None or raw[0] != graph.version
+                        or not certify_offset_lists(graph, raw[1])):
+                    schedule.validate()
+            finally:
+                if rec:
+                    tracer.end_span()
+        if record_trace:
+            schedule.trace = scheduler.trace  # type: ignore[attr-defined]
+        return schedule
+    finally:
+        if rec:
+            tracer.end_span()

@@ -25,6 +25,7 @@ from repro.core.anchors import AnchorSets, find_anchor_sets
 from repro.core.exceptions import IllPosedError
 from repro.core.graph import ConstraintGraph, Edge
 from repro.core.paths import has_positive_cycle
+from repro.observability.tracer import STATE as _OBS
 
 
 class WellPosedness(enum.Enum):
@@ -75,10 +76,16 @@ def check_well_posed(graph: ConstraintGraph,
     """
     graph.forward_topological_order()
     if has_positive_cycle(graph):
-        return WellPosedness.UNFEASIBLE
-    if containment_violations(graph, anchor_sets):
-        return WellPosedness.ILL_POSED
-    return WellPosedness.WELL_POSED
+        status = WellPosedness.UNFEASIBLE
+    elif containment_violations(graph, anchor_sets):
+        status = WellPosedness.ILL_POSED
+    else:
+        status = WellPosedness.WELL_POSED
+    tracer = _OBS.tracer
+    if tracer.enabled:
+        tracer.count("wellposed.checks")
+        tracer.event("wellposed.verdict", status=status.value)
+    return status
 
 
 def can_be_made_well_posed(graph: ConstraintGraph) -> bool:
@@ -146,6 +153,10 @@ def make_well_posed(graph: ConstraintGraph, in_place: bool = False) -> Constrain
             (Lemma 3 / Lemma 7).
     """
     result = graph if in_place else graph.copy()
+    tracer = _OBS.tracer
+    rec = tracer.enabled
+    if rec:
+        initial_serializations = len(serialization_edges(result))
     for _ in range(len(result) * max(1, len(result.anchors))):
         anchor_sets = {name: set(tags) for name, tags
                        in find_anchor_sets(result).items()}
@@ -158,11 +169,16 @@ def make_well_posed(graph: ConstraintGraph, in_place: bool = False) -> Constrain
             break
     else:  # pragma: no cover - the loop bound is generous
         raise IllPosedError("makeWellposed did not reach a fixed point")
-    _prune_unnecessary_serializations(result)
+    pruned = _prune_unnecessary_serializations(result)
+    if rec:
+        kept = len(serialization_edges(result)) - initial_serializations
+        tracer.count("wellposed.serialization_edges", kept)
+        tracer.count("wellposed.serialization_pruned", pruned)
+        tracer.event("wellposed.serialized", edges=kept, pruned=pruned)
     return result
 
 
-def _prune_unnecessary_serializations(graph: ConstraintGraph) -> None:
+def _prune_unnecessary_serializations(graph: ConstraintGraph) -> int:
     """Drop serialization edges whose removal keeps the graph well-posed.
 
     The backward-chain propagation of ``addEdge`` can insert an edge
@@ -172,10 +188,12 @@ def _prune_unnecessary_serializations(graph: ConstraintGraph) -> None:
     directly) and only shortens longest paths, so the pruned graph is
     still a minimum serial-compatible graph -- now also *edge-minimal*:
     removing any surviving serialization edge re-breaks well-posedness
-    (a property the test suite asserts).
+    (a property the test suite asserts).  Returns the number of edges
+    dropped.
     """
     from repro.core.graph import EdgeKind
 
+    removed = 0
     changed = True
     while changed:
         changed = False
@@ -186,6 +204,8 @@ def _prune_unnecessary_serializations(graph: ConstraintGraph) -> None:
                 graph.add_serialization_edge(edge.tail, edge.head)  # required
             else:
                 changed = True
+                removed += 1
+    return removed
 
 
 def _add_serialization(graph: ConstraintGraph, anchor_sets: Dict[str, set],

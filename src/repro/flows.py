@@ -28,6 +28,7 @@ from repro.core.delay import Delay
 from repro.core.graph import ConstraintGraph
 from repro.core.schedule import RelativeSchedule
 from repro.core.scheduler import schedule_graph
+from repro.observability.tracer import STATE as _OBS
 from repro.seqgraph.hierarchy import HierarchicalSchedule, graph_latency
 from repro.seqgraph.lower import to_constraint_graph
 from repro.seqgraph.model import Design
@@ -115,28 +116,52 @@ def synthesize(design: Design,
     schedules: Dict[str, RelativeSchedule] = {}
     latencies: Dict[str, Delay] = {}
 
-    for graph_name in design.hierarchy_order():
-        seq_graph = design.graph(graph_name)
-        binding = bind_graph(seq_graph, library)
-        bindings[graph_name] = binding
-        try:
-            lowered = to_constraint_graph(
-                seq_graph, child_latency=latencies,
-                delay_overrides=binding.delay_overrides())
-            serialized = resolve_conflicts(lowered, binding,
-                                           exact=exact_conflicts)
-            schedule = schedule_graph(serialized, anchor_mode=anchor_mode,
-                                      auto_well_pose=auto_well_pose)
-        except Exception as error:
-            raise type(error)(f"in graph {graph_name!r}: {error}") from error
-        constraint_graphs[graph_name] = schedule.graph
-        schedules[graph_name] = schedule
-        latencies[graph_name] = graph_latency(schedule.graph, schedule)
+    tracer = _OBS.tracer
+    rec = tracer.enabled
+    if rec:
+        tracer.begin_span(f"flow.synthesize:{design.name}")
+    try:
+        for graph_name in design.hierarchy_order():
+            seq_graph = design.graph(graph_name)
+            binding = bind_graph(seq_graph, library)
+            bindings[graph_name] = binding
+            if rec:
+                tracer.count("flow.graphs")
+                tracer.begin_span(f"flow.graph:{graph_name}")
+            try:
+                lowered = to_constraint_graph(
+                    seq_graph, child_latency=latencies,
+                    delay_overrides=binding.delay_overrides())
+                serialized = resolve_conflicts(lowered, binding,
+                                               exact=exact_conflicts)
+                schedule = schedule_graph(serialized, anchor_mode=anchor_mode,
+                                          auto_well_pose=auto_well_pose)
+            except Exception as error:
+                if rec:
+                    tracer.count("flow.errors")
+                    tracer.event("flow.error", graph=graph_name,
+                                 kind=type(error).__name__)
+                raise type(error)(f"in graph {graph_name!r}: {error}") from error
+            finally:
+                if rec:
+                    tracer.end_span()
+            constraint_graphs[graph_name] = schedule.graph
+            schedules[graph_name] = schedule
+            latencies[graph_name] = graph_latency(schedule.graph, schedule)
 
-    hierarchical = HierarchicalSchedule(design, constraint_graphs,
-                                        schedules, latencies)
-    controllers = synthesize_adaptive_control(hierarchical,
-                                              style=control_style)
+        hierarchical = HierarchicalSchedule(design, constraint_graphs,
+                                            schedules, latencies)
+        if rec:
+            tracer.begin_span("flow.control")
+        try:
+            controllers = synthesize_adaptive_control(hierarchical,
+                                                      style=control_style)
+        finally:
+            if rec:
+                tracer.end_span()
+    finally:
+        if rec:
+            tracer.end_span()
     return SynthesisResult(design=design, bindings=bindings,
                            schedule=hierarchical, controllers=controllers,
                            control_style=control_style)

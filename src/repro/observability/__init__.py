@@ -1,0 +1,49 @@
+"""Zero-dependency observability for the scheduling pipeline.
+
+See :mod:`repro.observability.tracer` for the tracer contract (no-op
+default, guarded hot-path instrumentation) and
+:mod:`repro.observability.report` for the JSON run report.
+
+Typical use::
+
+    from repro.observability import trace_run, build_report, format_summary
+
+    with trace_run() as tracer:
+        schedule = schedule_graph(graph)
+    report = build_report(tracer)
+    print(format_summary(report))
+"""
+
+from repro.observability.report import (
+    REPORT_SCHEMA,
+    build_report,
+    format_summary,
+    iteration_bound_violations,
+    write_report,
+)
+from repro.observability.tracer import (
+    NULL_TRACER,
+    STATE,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    trace_run,
+    use_tracer,
+)
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "NULL_TRACER",
+    "STATE",
+    "NullTracer",
+    "Tracer",
+    "build_report",
+    "current_tracer",
+    "format_summary",
+    "iteration_bound_violations",
+    "set_tracer",
+    "trace_run",
+    "use_tracer",
+    "write_report",
+]

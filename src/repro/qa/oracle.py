@@ -29,7 +29,14 @@ catalogue covers:
   once the versioned raw-row fast path is stale;
 * ``anchor_modes`` -- FULL / RELEVANT / IRREDUNDANT schedules agree on
   shared offsets and on start times under random delay profiles
-  (Theorems 4 and 6).
+  (Theorems 4 and 6);
+* ``observability`` -- tracing is a pure observer: a traced run
+  reproduces the untraced outcome exactly; every ``scheduler.run``
+  event respects the Theorem 8 iteration bound ``|Eb| + 1``; the
+  roll-up counters reconcile with the returned schedule's
+  ``iterations``; and a warm restart from the fixpoint of an unchanged
+  graph performs **zero** relaxations (hence strictly fewer than any
+  from-scratch run that did work, Lemma 8).
 """
 
 from __future__ import annotations
@@ -368,6 +375,78 @@ def check_anchor_modes(graph: ConstraintGraph,
     return None
 
 
+def check_observability(graph: ConstraintGraph,
+                        rng: random.Random) -> Optional[str]:
+    from repro.observability import Tracer, build_report, iteration_bound_violations, use_tracer
+
+    kind_plain, plain = _outcome(
+        lambda: schedule_graph(graph.copy(), anchor_mode=AnchorMode.FULL))
+    tracer = Tracer()
+    with use_tracer(tracer):
+        kind_traced, traced = _outcome(
+            lambda: schedule_graph(graph.copy(), anchor_mode=AnchorMode.FULL))
+    report = build_report(tracer)
+
+    if kind_plain != kind_traced:
+        return (f"tracing changed the outcome: plain {kind_plain}, "
+                f"traced {kind_traced}")
+    bad = iteration_bound_violations(report)
+    if bad:
+        run = bad[0]
+        return (f"scheduler.run event reports {run['iterations']} iterations "
+                f"> Theorem 8 bound {run['bound']}")
+    if kind_plain == "raise":
+        if plain != traced:
+            return (f"tracing changed the exception: plain {plain}, "
+                    f"traced {traced}")
+        return None
+    if traced.offsets != plain.offsets:
+        return "tracing changed the schedule's offsets"
+
+    runs = report["scheduler"]["runs"]
+    if len(runs) != 1:
+        return f"one schedule_graph call recorded {len(runs)} scheduler.run events"
+    if runs[0]["iterations"] != traced.iterations:
+        return (f"scheduler.run reports {runs[0]['iterations']} iterations, "
+                f"schedule says {traced.iterations}")
+    if report["scheduler"]["total_iterations"] != traced.iterations:
+        return (f"scheduler.iterations counter "
+                f"{report['scheduler']['total_iterations']} != "
+                f"schedule.iterations {traced.iterations}")
+    iteration_events = report["scheduler"]["iteration_events"]
+    if len(iteration_events) != traced.iterations:
+        return (f"{len(iteration_events)} scheduler.iteration events for "
+                f"{traced.iterations} iterations")
+    kernel = report["kernel"]
+    if kernel["indexed_runs"] + kernel["reference_runs"] != 1:
+        return (f"kernel run counters do not sum to 1: {kernel}")
+
+    # Warm restart from the fixpoint of the *unchanged* graph: the first
+    # sweep finds every offset already at its longest-path value, so the
+    # run converges in one round with zero relaxations -- strictly fewer
+    # than any from-scratch run that moved an offset (Lemma 8).
+    scratch_relaxations = report["scheduler"]["total_relaxations"]
+    warm_tracer = Tracer()
+    scheduler = IterativeIncrementalScheduler(
+        traced.graph.copy(), anchor_mode=AnchorMode.FULL,
+        anchor_sets=traced.anchor_sets)
+    with use_tracer(warm_tracer):
+        kind_warm, rerun = _outcome(lambda: scheduler.run_from(traced.offsets))
+    if kind_warm != "ok":
+        return f"warm restart on the unchanged graph raised {rerun}"
+    if rerun.offsets != traced.offsets:
+        return "warm restart on the unchanged graph moved offsets"
+    warm_relaxations = warm_tracer.counter("scheduler.relaxations")
+    if warm_relaxations != 0:
+        return (f"warm restart on the unchanged graph performed "
+                f"{warm_relaxations} relaxations (expected 0; from-scratch "
+                f"did {scratch_relaxations})")
+    if scratch_relaxations > 0 and warm_relaxations >= scratch_relaxations:
+        return (f"warm restart did {warm_relaxations} relaxations, not "
+                f"fewer than from-scratch's {scratch_relaxations}")
+    return None
+
+
 #: The catalogue, in execution order.
 ORACLE_CHECKS: Dict[str, Callable[[ConstraintGraph, random.Random], Optional[str]]] = {
     "wellposed_verdict": check_wellposed_verdict,
@@ -378,6 +457,7 @@ ORACLE_CHECKS: Dict[str, Callable[[ConstraintGraph, random.Random], Optional[str
     "redundant_edge": check_redundant_edge,
     "copy_cache": check_copy_cache,
     "anchor_modes": check_anchor_modes,
+    "observability": check_observability,
 }
 
 

@@ -1,8 +1,12 @@
 """Tests for infeasibility explanation."""
 
+import random
 
 from repro import ConstraintGraph
+from repro.core.delay import UNBOUNDED
 from repro.core.explain import explain_infeasibility
+from repro.core.graph import EdgeKind
+from repro.core.wellposed import make_well_posed, serialization_edges
 
 
 def conflicted_graph(min_gap=5, max_gap=3):
@@ -58,3 +62,135 @@ class TestExplainInfeasibility:
         g.add_max_constraint("x", "y", 3)
         explanation = explain_infeasibility(g)
         assert explanation.excess == 5  # 8 - 3, not 1 - 3
+
+
+def _two_frame_serialized():
+    """Two anchor frames tied by a max constraint; make_well_posed adds
+    a serialization edge a1 -> x."""
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("a0", UNBOUNDED)
+    g.add_operation("x", 2)
+    g.add_operation("a1", UNBOUNDED)
+    g.add_operation("y", 3)
+    g.add_sequencing_edges([("s", "a0"), ("a0", "x"),
+                            ("s", "a1"), ("a1", "y"),
+                            ("x", "t"), ("y", "t")])
+    g.add_max_constraint("x", "y", 4)
+    fixed = make_well_posed(g)
+    assert [(e.tail, e.head) for e in serialization_edges(fixed)] == [("a1", "x")]
+    return fixed
+
+
+def _assert_witness_consistent(graph, explanation):
+    """The witness invariants: every step's edge exists in the graph with
+    matching provenance, the step chain follows the cycle order, and the
+    excess equals the recomputed static cycle weight (and is > 0)."""
+    cycle, steps = explanation.cycle, explanation.steps
+    assert len(steps) == len(cycle)
+    recomputed = 0
+    for index, step in enumerate(steps):
+        tail = cycle[index]
+        head = cycle[(index + 1) % len(cycle)]
+        assert step.edge.tail == tail and step.edge.head == head
+        parallel = [e for e in graph.out_edges(tail) if e.head == head]
+        assert step.edge in parallel
+        # the witness uses the edge the longest-path relaxation binds on
+        assert step.edge.static_weight == max(e.static_weight for e in parallel)
+        recomputed += step.edge.static_weight
+    assert explanation.excess == recomputed
+    assert explanation.excess > 0
+
+
+class TestWitnessOnSerializedGraphs:
+    def test_cycle_through_serialization_edge(self):
+        """A witness cycle traversing a make_well_posed serialization
+        edge attributes it (with its anchor) and counts it at weight 0."""
+        fixed = _two_frame_serialized()
+        fixed.add_min_constraint("x", "y", 9)
+        fixed.add_max_constraint("a1", "y", 3)
+        explanation = explain_infeasibility(fixed)
+        assert explanation is not None
+        kinds = {step.edge.kind for step in explanation.steps}
+        assert EdgeKind.SERIALIZATION in kinds
+        assert explanation.excess == 9 - 3  # serialization counts 0
+        _assert_witness_consistent(fixed, explanation)
+        text = explanation.format()
+        assert "serialization" in text
+        assert "delta(a1)" in text
+
+    def test_serialized_graph_stays_feasible(self):
+        fixed = _two_frame_serialized()
+        assert explain_infeasibility(fixed) is None
+
+    def test_conflict_on_serialized_graph(self):
+        """Infeasibility introduced after serialization still yields a
+        consistent witness on the mutated graph."""
+        fixed = _two_frame_serialized()
+        fixed.add_min_constraint("x", "y", 9)
+        fixed.add_max_constraint("x", "y", 4)
+        explanation = explain_infeasibility(fixed)
+        assert explanation is not None
+        assert explanation.excess == 5
+        _assert_witness_consistent(fixed, explanation)
+
+
+class TestWitnessWithUnboundedEdges:
+    def test_unbounded_edge_named_in_provenance(self):
+        """An unbounded sequencing edge on the cycle names its anchor's
+        delta instead of a placeholder and counts 0 toward the excess."""
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("x", 5)
+        g.add_operation("y", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "x"), ("x", "y"), ("y", "t")])
+        g.add_max_constraint("a", "y", 3)  # G_0 path a->x->y is 5
+        explanation = explain_infeasibility(g)
+        assert explanation is not None
+        assert explanation.excess == 5 - 3
+        _assert_witness_consistent(g, explanation)
+        assert "delta(a)" in explanation.format()
+
+    def test_bounded_parallel_edge_preferred_over_unbounded(self):
+        """With parallel bounded/unbounded edges, the witness binds on
+        the heavier (bounded) one, matching the relaxation."""
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("y", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "y"), ("y", "t")])
+        g.add_min_constraint("a", "y", 6)   # parallel to the unbounded edge
+        g.add_max_constraint("a", "y", 2)
+        explanation = explain_infeasibility(g)
+        assert explanation is not None
+        assert explanation.excess == 6 - 2
+        _assert_witness_consistent(g, explanation)
+        binding = [s for s in explanation.steps
+                   if (s.edge.tail, s.edge.head) == ("a", "y")]
+        assert binding and binding[0].edge.kind is EdgeKind.MIN_TIME
+
+    def test_random_unfeasible_graphs_have_consistent_witnesses(self):
+        """Property sweep: on random graphs with unbounded delays and a
+        forced conflict, the witness always recomputes to its excess."""
+        from repro.designs.random_graphs import random_dag
+        from repro.core.paths import NO_PATH, longest_paths_from
+
+        rng = random.Random(1990)
+        found = 0
+        for _ in range(40):
+            g = random_dag(rng, rng.randint(8, 24),
+                           edge_probability=0.25,
+                           unbounded_probability=0.35)
+            order = g.forward_topological_order()
+            pairs = [(t, h) for i, t in enumerate(order) for h in order[i + 1:]
+                     if g.is_forward_reachable(t, h)]
+            if not pairs:
+                continue
+            tail, head = rng.choice(pairs)
+            span = longest_paths_from(g, tail)[head]
+            if span is NO_PATH or span <= 0:
+                continue
+            g.add_max_constraint(tail, head, span - 1)  # one cycle too tight
+            explanation = explain_infeasibility(g)
+            assert explanation is not None, (tail, head, span)
+            _assert_witness_consistent(g, explanation)
+            found += 1
+        assert found >= 10

@@ -1,0 +1,101 @@
+"""The run report: schema, derived sections, bound checking, JSON."""
+
+import json
+import random
+
+from repro.core.scheduler import schedule_graph
+from repro.designs.random_graphs import random_constraint_graph
+from repro.observability import (
+    REPORT_SCHEMA,
+    build_report,
+    format_summary,
+    iteration_bound_violations,
+    trace_run,
+    write_report,
+)
+
+
+def _traced_report(seed=31, n=90):
+    graph = random_constraint_graph(
+        random.Random(seed), n, edge_probability=0.1,
+        unbounded_probability=0.2, n_min_constraints=3, n_max_constraints=3)
+    with trace_run() as tracer:
+        schedule = schedule_graph(graph)
+    return schedule, build_report(tracer)
+
+
+class TestBuildReport:
+    def test_schema_and_sections(self):
+        _, report = _traced_report()
+        assert report["schema"] == REPORT_SCHEMA
+        for section in ("counters", "timers", "spans", "scheduler",
+                        "kernel", "cache", "wellposed", "events"):
+            assert section in report
+
+    def test_scheduler_section_reconciles(self):
+        schedule, report = _traced_report()
+        scheduler = report["scheduler"]
+        assert scheduler["total_iterations"] == schedule.iterations
+        assert len(scheduler["runs"]) == 1
+        run = scheduler["runs"][0]
+        assert run["iterations"] == schedule.iterations
+        assert run["iterations"] <= run["bound"]
+        assert run["bound"] == run["backward_edges"] + 1
+        assert len(scheduler["iteration_events"]) == schedule.iterations
+
+    def test_kernel_and_cache_sections(self):
+        _, report = _traced_report()
+        kernel = report["kernel"]
+        assert kernel["indexed_runs"] + kernel["reference_runs"] == 1
+        cache = report["cache"]
+        assert cache["hits"] == report["counters"].get("cache.hit", 0)
+        assert cache["misses"] == report["counters"].get("cache.miss", 0)
+        if cache["hits"] + cache["misses"]:
+            assert 0.0 <= cache["hit_rate"] <= 1.0
+
+    def test_pipeline_spans_present(self):
+        _, report = _traced_report()
+        names = [span["name"] for span in report["spans"]]
+        assert "pipeline.schedule_graph" in names
+        assert "pipeline.scheduling" in names
+        root = names.index("pipeline.schedule_graph")
+        child = report["spans"][names.index("pipeline.scheduling")]
+        assert child["parent"] == root
+
+    def test_report_is_json_serializable(self, tmp_path):
+        _, report = _traced_report()
+        path = tmp_path / "report.json"
+        write_report(report, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == REPORT_SCHEMA
+        assert loaded["scheduler"]["runs"] == report["scheduler"]["runs"]
+
+
+class TestIterationBound:
+    def test_no_violations_on_a_correct_run(self):
+        _, report = _traced_report(seed=32)
+        assert iteration_bound_violations(report) == []
+
+    def test_violation_detected(self):
+        _, report = _traced_report(seed=33)
+        report["scheduler"]["runs"].append(
+            {"iterations": 9, "bound": 3, "backward_edges": 2,
+             "warm": False, "kernel": "indexed", "converged": True})
+        bad = iteration_bound_violations(report)
+        assert len(bad) == 1 and bad[0]["iterations"] == 9
+
+
+class TestFormatSummary:
+    def test_summary_mentions_the_essentials(self):
+        _, report = _traced_report(seed=34)
+        text = format_summary(report)
+        assert "scheduler:" in text
+        assert "analysis cache:" in text
+        assert "|Eb|+1" in text
+        assert "phase timers:" in text
+
+    def test_summary_on_an_empty_tracer(self):
+        from repro.observability import Tracer
+
+        text = format_summary(build_report(Tracer()))
+        assert "observability run report" in text

@@ -1,0 +1,183 @@
+"""The exception contract across every pipeline entry point.
+
+``schedule_graph(auto_well_pose=False)`` defines the taxonomy: a graph
+is rejected with exactly one of ``UnfeasibleConstraintsError`` (positive
+cycle), ``IllPosedError`` (containment broken), or
+``InconsistentConstraintsError`` (no convergence).  Every other entry
+point -- ``add_constraint_incremental``, ``without_constraint``,
+``flows.synthesize``, and each CLI sub-command -- must classify the same
+graph the same way; the CLI additionally converts the whole
+``ConstraintGraphError`` taxonomy into ``error: ...`` on stderr and exit
+code 1 (no tracebacks).  PR 2's fuzzing found the library-level
+divergences; this suite pins the aligned behavior, including the CLI
+drift fixed in this PR (``control``/``simulate``/``montecarlo``
+previously let the taxonomy escape as tracebacks).
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.core.anchors import AnchorMode
+from repro.core.constraints import MaxTimingConstraint
+from repro.core.delay import UNBOUNDED
+from repro.core.exceptions import (
+    ConstraintGraphError,
+    IllPosedError,
+    UnfeasibleConstraintsError,
+)
+from repro.core.graph import ConstraintGraph
+from repro.core.incremental import add_constraint_incremental, without_constraint
+from repro.core.scheduler import schedule_graph
+
+
+def unfeasible_graph():
+    """min 5 vs max 3 between the same pair: positive cycle."""
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("x", 1)
+    g.add_operation("y", 1)
+    g.add_sequencing_edges([("s", "x"), ("x", "y"), ("y", "t")])
+    g.add_min_constraint("x", "y", 5)
+    g.add_max_constraint("x", "y", 3)
+    return g
+
+
+def ill_posed_rescuable_graph():
+    """Fig. 3(b) shape: a max constraint racing across anchor frames;
+    serialization can rescue it."""
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("a0", UNBOUNDED)
+    g.add_operation("x", 2)
+    g.add_operation("a1", UNBOUNDED)
+    g.add_operation("y", 3)
+    g.add_sequencing_edges([("s", "a0"), ("a0", "x"),
+                            ("s", "a1"), ("a1", "y"),
+                            ("x", "t"), ("y", "t")])
+    g.add_max_constraint("x", "y", 4)
+    return g
+
+
+def ill_posed_unrescuable_graph():
+    """Fig. 3(a) shape: an anchor between the endpoints of a max
+    constraint; no serialization exists (Lemma 3)."""
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("before", 2)
+    g.add_operation("mid", UNBOUNDED)
+    g.add_operation("after", 2)
+    g.add_sequencing_edges([("s", "before"), ("before", "mid"),
+                            ("mid", "after"), ("after", "t")])
+    g.add_max_constraint("before", "after", 6)
+    return g
+
+
+REJECTED = [
+    ("unfeasible", unfeasible_graph, UnfeasibleConstraintsError),
+    ("ill_posed_rescuable", ill_posed_rescuable_graph, IllPosedError),
+    ("ill_posed_unrescuable", ill_posed_unrescuable_graph, IllPosedError),
+]
+
+
+class TestPipelineTaxonomy:
+    @pytest.mark.parametrize("label,builder,expected", REJECTED)
+    def test_schedule_graph_strict(self, label, builder, expected):
+        with pytest.raises(expected):
+            schedule_graph(builder(), auto_well_pose=False)
+
+    def test_auto_well_pose_rescues_only_the_rescuable(self):
+        schedule = schedule_graph(ill_posed_rescuable_graph())
+        assert schedule.iterations >= 1
+        with pytest.raises(IllPosedError):
+            schedule_graph(ill_posed_unrescuable_graph())
+        with pytest.raises(UnfeasibleConstraintsError):
+            schedule_graph(unfeasible_graph())
+
+    @pytest.mark.parametrize("label,builder,expected", REJECTED)
+    def test_taxonomy_is_rooted(self, label, builder, expected):
+        assert issubclass(expected, ConstraintGraphError)
+
+
+class TestIncrementalEntryPoints:
+    def _scheduled_base(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("x", 1)
+        g.add_operation("y", 1)
+        g.add_sequencing_edges([("s", "x"), ("x", "y"), ("y", "t")])
+        g.add_min_constraint("x", "y", 5)
+        return schedule_graph(g, anchor_mode=AnchorMode.FULL)
+
+    def test_unfeasible_addition_matches_pipeline(self):
+        schedule = self._scheduled_base()
+        with pytest.raises(UnfeasibleConstraintsError):
+            add_constraint_incremental(schedule, MaxTimingConstraint("x", "y", 3))
+
+    def test_ill_posed_addition_matches_pipeline(self):
+        base = ill_posed_rescuable_graph()
+        base.remove_edge(base.backward_edges()[0])  # drop the bad constraint
+        schedule = schedule_graph(base, anchor_mode=AnchorMode.FULL,
+                                  auto_well_pose=False)
+        with pytest.raises(IllPosedError):
+            add_constraint_incremental(schedule, MaxTimingConstraint("x", "y", 4))
+
+    def test_removal_reschedules_strictly(self):
+        schedule = self._scheduled_base()
+        edge = schedule.graph.backward_edges()
+        if not edge:
+            # add a removable max constraint first
+            grown = add_constraint_incremental(
+                schedule, MaxTimingConstraint("x", "y", 9))
+            edge = grown.graph.backward_edges()
+            schedule = grown
+        rescheduled = without_constraint(schedule, edge[0])
+        assert rescheduled.iterations >= 1
+
+
+class TestFlowsContract:
+    def test_synthesize_names_the_graph(self):
+        from repro.flows import synthesize
+        from repro.seqgraph.model import Design, Operation, SequencingGraph
+
+        graph = SequencingGraph("main")
+        graph.add_operation(Operation("x", delay=1))
+        graph.add_operation(Operation("y", delay=1))
+        graph.add_edges([("source", "x"), ("x", "y"), ("y", "sink")])
+        graph.add_constraint(MaxTimingConstraint("x", "y", 0))  # < delta(x)
+        design = Design("d")
+        design.add_graph(graph)
+        with pytest.raises(UnfeasibleConstraintsError) as excinfo:
+            synthesize(design)
+        assert "in graph 'main'" in str(excinfo.value)
+
+
+class TestCliContract:
+    """Every scheduling sub-command shares main()'s taxonomy handling."""
+
+    @pytest.fixture
+    def bad_json(self, tmp_path):
+        from repro.io import save_json
+
+        path = tmp_path / "bad.json"
+        save_json(unfeasible_graph(), str(path))
+        return str(path)
+
+    @pytest.mark.parametrize("command", [
+        ["schedule"],
+        ["control"],
+        ["simulate"],
+        ["montecarlo", "--samples", "5"],
+        ["observe"],
+    ])
+    def test_rejection_is_an_error_line_not_a_traceback(
+            self, command, bad_json, capsys):
+        code = main(command[:1] + [bad_json] + command[1:])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_strict_schedule_reports_ill_posed(self, tmp_path, capsys):
+        from repro.io import save_json
+
+        path = tmp_path / "illposed.json"
+        save_json(ill_posed_rescuable_graph(), str(path))
+        code = main(["schedule", str(path), "--no-well-pose"])
+        assert code == 1
+        assert "ill-posed" in capsys.readouterr().err
