@@ -22,6 +22,12 @@ overhead is reported, its JSON run report is embedded in the output
 artifact, and the Theorem 8 iteration bound (``iterations <= |Eb|+1``)
 is asserted over every traced run.
 
+The hardened entry point (:func:`repro.resilience.guard.guarded_schedule`
+with no budget and no watchdog) is timed too and gated against the plain
+path: resilience plumbing that is switched off must stay within the same
+tolerance-plus-noise-floor envelope, on every machine (the comparison is
+self-relative, so it needs no baseline).
+
 Usage::
 
     python benchmarks/perf_guard.py                 # full sizes (400, 1600)
@@ -42,6 +48,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.core.reference import schedule_graph_reference  # noqa: E402
 from repro.core.scheduler import schedule_graph  # noqa: E402
+from repro.resilience.guard import guarded_schedule  # noqa: E402
 from repro.observability import (  # noqa: E402
     Tracer,
     build_report,
@@ -79,6 +86,7 @@ def guard_workload(n_ops, baseline, reps, tolerance, ratio_tolerance,
                    same_machine):
     graph = make_random(n_ops)
     untraced_ms = _time(graph, schedule_graph, reps)
+    guarded_ms = _time(graph, guarded_schedule, reps)
     reference_ms = _time(graph, schedule_graph_reference, max(1, reps // 2))
 
     tracer = Tracer()
@@ -90,6 +98,7 @@ def guard_workload(n_ops, baseline, reps, tolerance, ratio_tolerance,
     entry = {
         "name": f"random-{n_ops}",
         "untraced_ms": round(untraced_ms, 3),
+        "guarded_ms": round(guarded_ms, 3),
         "traced_ms": round(traced_ms, 3),
         "traced_overhead": round(traced_ms / untraced_ms, 3),
         "reference_ms": round(reference_ms, 3),
@@ -126,6 +135,16 @@ def guard_workload(n_ops, baseline, reps, tolerance, ratio_tolerance,
         "check": "iteration_bound",
         "ok": not bound_violations,
         "violations": len(bound_violations),
+    })
+    # Self-relative on purpose: both paths ran on this machine in this
+    # process, so the check is meaningful on CI runners too.
+    guarded_limit = untraced_ms * (1 + tolerance) + NOISE_FLOOR_MS
+    entry["checks"].append({
+        "check": "guarded_path_no_budget",
+        "ok": guarded_ms <= guarded_limit,
+        "measured_ms": round(guarded_ms, 3),
+        "plain_ms": round(untraced_ms, 3),
+        "limit_ms": round(guarded_limit, 3),
     })
     return entry
 

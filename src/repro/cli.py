@@ -12,11 +12,17 @@ Usage (also via ``python -m repro``)::
     repro report INPUT [options]    full Hebe flow report (+ --markdown)
     repro montecarlo INPUT          latency distribution over profiles
     repro observe INPUT [options]   traced scheduling run -> JSON report
+    repro chaos [options]           seeded fault-injection campaign
 
 Global flags (before the sub-command) attach the observability layer to
 any command: ``--trace`` prints the run summary to stderr, ``--profile``
 adds the phase timers, ``--trace-out FILE`` writes the machine-readable
-JSON run report (see :mod:`repro.observability`).
+JSON run report (see :mod:`repro.observability`).  ``--budget`` imposes
+run budgets (vertex/edge size caps, an iteration cap against the
+Theorem 8 bound, a wall-clock deadline) on every scheduling command by
+routing it through :func:`repro.resilience.guard.guarded_schedule`; an
+exceeded budget follows the same ``error:`` contract as any taxonomy
+rejection.
 
 INPUT is either a HardwareC source file (anything not ending in
 ``.json``) or a JSON artifact produced by :mod:`repro.io` (a design or a
@@ -93,6 +99,87 @@ def _parse_profile(text: Optional[str]) -> Dict[str, int]:
     return profile
 
 
+def _parse_budget(text: Optional[str]):
+    """``--budget vertices=500,edges=4000,iterations=64,deadline=5.0``
+    (any subset) -> RunBudget, or None when the flag is absent."""
+    if not text:
+        return None
+    from repro.resilience.guard import RunBudget
+
+    fields = {"vertices": None, "edges": None, "iterations": None,
+              "deadline": None}
+    for item in text.split(","):
+        if "=" not in item:
+            raise SystemExit(f"error: bad budget entry {item!r} "
+                             f"(expected key=value)")
+        key, value = item.split("=", 1)
+        key = key.strip()
+        if key not in fields:
+            raise SystemExit(f"error: unknown budget key {key!r} "
+                             f"(expected one of {sorted(fields)})")
+        try:
+            fields[key] = float(value) if key == "deadline" else int(value)
+        except ValueError:
+            raise SystemExit(f"error: bad budget value {value!r}") from None
+    return RunBudget(max_vertices=fields["vertices"],
+                     max_edges=fields["edges"],
+                     max_iterations=fields["iterations"],
+                     deadline_s=fields["deadline"])
+
+
+def _schedule(graph: ConstraintGraph, args: argparse.Namespace,
+              mode: AnchorMode, auto_well_pose: bool = True):
+    """Schedule honoring the global ``--budget`` flag (and, for
+    ``simulate``, attaching ``--watchdog`` bounds to the schedule)."""
+    watchdog = getattr(args, "_watchdog_bounds", None)
+    budget = _parse_budget(getattr(args, "budget", None))
+    if budget is not None:
+        from repro.resilience.guard import guarded_schedule
+
+        return guarded_schedule(graph, budget, watchdog=watchdog,
+                                anchor_mode=mode,
+                                auto_well_pose=auto_well_pose)
+    return schedule_graph(graph, anchor_mode=mode,
+                          auto_well_pose=auto_well_pose, watchdog=watchdog)
+
+
+def _parse_watchdog(text: Optional[str]) -> Optional[Dict[str, int]]:
+    """``--watchdog a=5,b=9`` -> per-anchor bounds; names are validated
+    against the graph later (taxonomy error, not a parse error)."""
+    if not text:
+        return None
+    return _parse_profile(text)
+
+
+def _parse_faults(specs: Optional[List[str]]):
+    """``--fault kind:anchor[:amount]`` (repeatable) -> FaultPlan."""
+    if not specs:
+        return None
+    from repro.resilience.faults import Fault, FaultKind, FaultPlan
+
+    faults = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            raise SystemExit(f"error: bad fault spec {spec!r} "
+                             f"(expected kind:anchor[:amount])")
+        try:
+            kind = FaultKind(parts[0].strip())
+        except ValueError:
+            raise SystemExit(
+                f"error: unknown fault kind {parts[0]!r} (expected one of "
+                f"{[k.value for k in FaultKind]})") from None
+        amount = 0
+        if len(parts) == 3:
+            try:
+                amount = int(parts[2])
+            except ValueError:
+                raise SystemExit(
+                    f"error: bad fault amount {parts[2]!r}") from None
+        faults.append(Fault(kind, parts[1].strip(), amount))
+    return FaultPlan(tuple(faults))
+
+
 # ----------------------------------------------------------------------
 # subcommands
 # ----------------------------------------------------------------------
@@ -136,8 +223,8 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     """Compute and print the minimum relative schedule."""
     graph, _ = _load_graph(args.input)
     mode = AnchorMode(args.mode)
-    schedule = schedule_graph(graph, anchor_mode=mode,
-                              auto_well_pose=not args.no_well_pose)
+    schedule = _schedule(graph, args, mode,
+                         auto_well_pose=not args.no_well_pose)
     print(schedule.format_table())
     print(f"\niterations: {schedule.iterations}   "
           f"anchors: {len(schedule.graph.anchors)}   "
@@ -158,7 +245,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
 def cmd_control(args: argparse.Namespace) -> int:
     """Synthesize control logic; report costs, optionally emit Verilog."""
     graph, name = _load_graph(args.input)
-    schedule = schedule_graph(graph, anchor_mode=AnchorMode(args.mode))
+    schedule = _schedule(graph, args, AnchorMode(args.mode))
     if args.style == "counter":
         from repro.control import synthesize_counter_control as synthesize
     else:
@@ -195,24 +282,77 @@ def cmd_dot(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    """Cycle-accurate control simulation under a delay profile."""
+    """Cycle-accurate control simulation under a delay profile.
+
+    With ``--watchdog`` / ``--fault`` the simulation runs the hostile
+    environment: injected faults must be *detected* (watchdog timeout,
+    abort, degradation) or *masked* (observed times still satisfy every
+    constraint edge); a silent wrong result exits 1.
+    """
     graph, _ = _load_graph(args.input)
-    schedule = schedule_graph(graph, anchor_mode=AnchorMode(args.mode))
+    from repro.core.delay import validate_profile
+
+    profile = _parse_profile(args.profile)
+    # An explicit profile must be complete (the source is exempt) and
+    # sane; omitting the flag keeps the all-zeros default.
+    validate_profile(profile, graph.anchors, graph.source,
+                     complete=args.profile is not None)
+    bounds = _parse_watchdog(args.watchdog)
+    args._watchdog_bounds = bounds
+    schedule = _schedule(graph, args, AnchorMode(args.mode))
     if args.style == "counter":
         from repro.control import synthesize_counter_control as synthesize
     else:
         from repro.control import synthesize_shift_register_control as synthesize
     from repro.sim import simulate_control
 
-    profile = _parse_profile(args.profile)
-    result = simulate_control(synthesize(schedule), schedule, profile)
+    plan = _parse_faults(args.fault)
+    watchdog = None
+    if bounds is not None:
+        from repro.core.watchdog import WatchdogConfig, WatchdogPolicy
+
+        watchdog = WatchdogConfig(bounds=schedule.watchdog or bounds,
+                                  policy=WatchdogPolicy(args.on_timeout),
+                                  max_rearms=args.rearms)
+    result = simulate_control(
+        synthesize(schedule), schedule, profile,
+        watchdog=watchdog,
+        completion=plan.completion_override() if plan else None,
+        spurious=plan.spurious_pulses() if plan else None)
+
     print(f"simulated {result.cycles} cycles under profile {profile}")
     for vertex in schedule.graph.forward_topological_order():
-        print(f"  {vertex:>12}: start @ {result.start_times[vertex]:>4}  "
-              f"done @ {result.done_times[vertex]:>4}")
-    ok = result.matches_schedule(schedule, profile)
-    print(f"matches analytical start times: {ok}")
-    return 0 if ok else 1
+        start = result.start_times.get(vertex)
+        done = result.done_times.get(vertex)
+        print(f"  {vertex:>12}: start @ {start if start is not None else '-':>4}  "
+              f"done @ {done if done is not None else 'stalled':>7}")
+    for timeout in result.timeouts:
+        print(f"  watchdog: {timeout.anchor} timed out at cycle "
+              f"{timeout.cycle} (window {timeout.bound}, "
+              f"re-arm {timeout.rearm})")
+    if result.degraded:
+        print("degraded to the static worst-case fallback schedule")
+    if result.spurious_rejections:
+        print(f"rejected {result.spurious_rejections} spurious done pulse(s)")
+
+    if plan is None and watchdog is None:
+        ok = result.matches_schedule(schedule, profile)
+        print(f"matches analytical start times: {ok}")
+        return 0 if ok else 1
+    if result.degraded or result.timeouts:
+        print("fault containment: detected")
+        return 0
+    from repro.resilience.faults import observed_violations
+
+    violations = observed_violations(schedule.graph, result.start_times,
+                                     result.done_times)
+    if violations:
+        for violation in violations:
+            print(f"  VIOLATION: {violation}")
+        print("fault containment: SILENT DIVERGENCE")
+        return 1
+    print("fault containment: masked")
+    return 0
 
 
 def _load_design(path: str):
@@ -277,7 +417,7 @@ def cmd_montecarlo(args: argparse.Namespace) -> int:
     from repro.analysis.montecarlo import monte_carlo
 
     graph, _ = _load_graph(args.input)
-    schedule = schedule_graph(graph, anchor_mode=AnchorMode(args.mode))
+    schedule = _schedule(graph, args, AnchorMode(args.mode))
     low, high = args.range
     specs = {a: (low, high) for a in graph.anchors if a != graph.source}
     result = monte_carlo(schedule, specs, samples=args.samples,
@@ -340,7 +480,7 @@ def cmd_observe(args: argparse.Namespace) -> int:
     graph, _ = _load_graph(args.input)
     with trace_run() as tracer:
         for _ in range(args.runs):
-            schedule_graph(graph, anchor_mode=AnchorMode(args.mode))
+            _schedule(graph, args, AnchorMode(args.mode))
     report = build_report(tracer)
     print(format_summary(report))
     if args.output:
@@ -350,6 +490,20 @@ def cmd_observe(args: argparse.Namespace) -> int:
     if violations:
         print(f"iteration bound |Eb|+1 violated in {len(violations)} "
               f"run(s) -- scheduler bug", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded fault-injection campaign (see repro.resilience.chaos)."""
+    from repro.core.watchdog import WatchdogPolicy
+    from repro.resilience.chaos import run_campaign
+
+    policy = WatchdogPolicy(args.policy) if args.policy else None
+    stats = run_campaign(args.seed, args.cases, policy)
+    print(stats.summary())
+    if stats.silent:
+        print(f"FAIL: {stats.silent} silent divergence(s)", file=sys.stderr)
         return 1
     return 0
 
@@ -408,6 +562,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "timers in the summary")
     parser.add_argument("--trace-out", metavar="FILE",
                         help="write the machine-readable JSON run report")
+    parser.add_argument("--budget", metavar="SPEC",
+                        help="run budgets for scheduling commands, e.g. "
+                             "vertices=500,edges=4000,iterations=64,"
+                             "deadline=5.0 (seconds); an exceeded budget "
+                             "follows the error: contract")
     sub = parser.add_subparsers(dest="command", required=True)
 
     check = sub.add_parser("check", help="well-posedness analysis")
@@ -451,6 +610,21 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["counter", "shift-register"])
     simulate.add_argument("--mode", default="irredundant",
                           choices=[m.value for m in AnchorMode])
+    simulate.add_argument("--watchdog", metavar="SPEC",
+                          help="per-anchor timeout bounds, e.g. a=5,b=9; "
+                               "a monitored anchor overrunning its bound "
+                               "fires a detected timeout instead of hanging")
+    simulate.add_argument("--on-timeout", default="abort",
+                          choices=["abort", "retry", "fallback"],
+                          help="degradation policy when a watchdog fires "
+                               "(default: abort with a taxonomy error)")
+    simulate.add_argument("--rearms", type=int, default=2,
+                          help="retry policy: extra watchdog windows "
+                               "before escalating (default 2)")
+    simulate.add_argument("--fault", action="append", metavar="SPEC",
+                          help="inject a fault, kind:anchor[:amount]; kinds: "
+                               "stall, late, early, drop, spurious "
+                               "(repeatable)")
     simulate.set_defaults(handler=cmd_simulate)
 
     tables = sub.add_parser("tables", help="regenerate the paper's "
@@ -511,6 +685,18 @@ def build_parser() -> argparse.ArgumentParser:
     cosim.add_argument("--gantt", type=int, metavar="WIDTH",
                        help="render a Gantt chart clipped to WIDTH cycles")
     cosim.set_defaults(handler=cmd_cosim)
+
+    chaos = sub.add_parser("chaos", help="seeded fault-injection campaign "
+                                         "(detected-or-masked contract)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="first seed of the campaign (default 0)")
+    chaos.add_argument("--cases", type=int, default=200,
+                       help="number of seeded cases (default 200)")
+    chaos.add_argument("--policy", default=None,
+                       choices=["abort", "retry", "fallback"],
+                       help="pin every case to one degradation policy "
+                            "(default: rotate per seed)")
+    chaos.set_defaults(handler=cmd_chaos)
 
     return parser
 

@@ -42,6 +42,35 @@ class Unbounded:
 #: The unique unbounded-delay marker.
 UNBOUNDED = Unbounded()
 
+
+class Stalled:
+    """Singleton marker for a completion signal that never arrives.
+
+    A *profile* value (not a static delay annotation): where an anchor's
+    observed delay would normally be a non-negative integer, STALLED
+    says the environment never raised ``done``.  Static analyses reject
+    it (:func:`resolve` raises); the simulators treat it as an infinite
+    delay that only a watchdog bound (:mod:`repro.core.watchdog`) can
+    convert into a detected timeout instead of a hang.
+    """
+
+    _instance = None
+
+    def __new__(cls) -> "Stalled":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "STALLED"
+
+    def __reduce__(self):
+        return (Stalled, ())
+
+
+#: The unique never-completes marker for runtime delay profiles.
+STALLED = Stalled()
+
 #: A delay is a non-negative integer number of cycles, or UNBOUNDED.
 Delay = Union[int, Unbounded]
 
@@ -49,6 +78,11 @@ Delay = Union[int, Unbounded]
 def is_unbounded(delay: Delay) -> bool:
     """Return True when *delay* is the unbounded sentinel."""
     return isinstance(delay, Unbounded)
+
+
+def is_stalled(value) -> bool:
+    """Return True when *value* is the stalled-profile sentinel."""
+    return isinstance(value, Stalled)
 
 
 def validate_delay(delay: Delay) -> Delay:
@@ -95,6 +129,56 @@ def resolve(delay: Delay, name: str, profile: Mapping[str, int]) -> int:
     if not is_unbounded(delay):
         return delay
     value = profile[name]
+    if is_stalled(value):
+        raise ValueError(f"anchor {name!r} is stalled: no finite delay to resolve")
     if value < 0:
         raise ValueError(f"profile delay for {name!r} must be non-negative, got {value}")
     return value
+
+
+def validate_profile(profile: Mapping[str, object], anchors,
+                     source: str = "", *, complete: bool = False,
+                     allow_stalled: bool = False) -> None:
+    """Validate a runtime delay profile against a graph's anchors.
+
+    Args:
+        profile: mapping from anchor name to observed delay (int, or
+            STALLED when *allow_stalled*).
+        anchors: the graph's anchors (the valid profile keys).
+        source: the graph source; exempt from the completeness check
+            (its activation delay defaults to 0 everywhere).
+        complete: require every non-source anchor to appear in the
+            profile.
+        allow_stalled: accept the STALLED sentinel as a value.
+
+    Raises:
+        GraphStructureError: unknown anchor name, negative or non-integer
+            delay, or (with *complete*) a missing anchor.
+    """
+    from repro.core.exceptions import GraphStructureError
+
+    anchor_set = set(anchors)
+    for name, value in profile.items():
+        if name not in anchor_set:
+            raise GraphStructureError(
+                f"profile names {name!r}, which is not an anchor "
+                f"(anchors: {sorted(anchor_set)})")
+        if is_stalled(value):
+            if not allow_stalled:
+                raise GraphStructureError(
+                    f"profile delay for {name!r} is STALLED, which this "
+                    f"entry point does not accept")
+            continue
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise GraphStructureError(
+                f"profile delay for {name!r} must be an int, got {value!r}")
+        if value < 0:
+            raise GraphStructureError(
+                f"profile delay for {name!r} must be non-negative, got {value}")
+    if complete:
+        missing = sorted(a for a in anchor_set
+                         if a != source and a not in profile)
+        if missing:
+            raise GraphStructureError(
+                f"profile omits anchors {missing}; every unbounded "
+                f"operation needs an observed delay")

@@ -61,6 +61,46 @@ class GraphStructureError(ConstraintGraphError):
     duplicate names, non-anchor tail on an unbounded edge, ...)."""
 
 
+class MalformedInputError(GraphStructureError):
+    """Untrusted serialized input failed strict validation.
+
+    Raised by :func:`repro.qa.serialize.validate_graph_dict` (and the
+    loaders built on it) for structurally broken graph JSON: missing
+    keys, wrong types, NaN or out-of-range weights, duplicate edges,
+    self-loops.  A subclass of :class:`GraphStructureError` so every
+    existing ``error:``-line handler already covers it.
+    """
+
+
+class WatchdogTimeoutError(ConstraintGraphError):
+    """A watchdog anchor exceeded its timeout bound ``W(a)``.
+
+    The runtime counterpart of an unbounded delay misbehaving: the
+    anchor's completion signal did not arrive within the configured
+    bound (plus any re-arm windows), and the degradation policy chose to
+    abort.  Carries the anchor name, the bound, the cycle at which the
+    (final) timeout fired, and how many re-arms were spent.
+    """
+
+    def __init__(self, message: str, *, anchor: str = "",
+                 bound: int = 0, cycle: int = 0, rearms: int = 0) -> None:
+        super().__init__(message)
+        self.anchor = anchor
+        self.bound = bound
+        self.cycle = cycle
+        self.rearms = rearms
+
+
+class BudgetExceededError(ConstraintGraphError):
+    """A hardened entry point refused or aborted a run over its budget.
+
+    Raised by :mod:`repro.resilience.guard` when an input exceeds the
+    configured vertex/edge caps, when the Theorem 8 iteration bound
+    ``|Eb| + 1`` is larger than the allowed iteration budget, or when a
+    wall-clock deadline expires mid-pipeline.
+    """
+
+
 class IndexedKernelUnsupported(ConstraintGraphError):
     """The indexed array kernel cannot represent this request.
 

@@ -35,6 +35,9 @@ class RelativeSchedule:
         offsets: ``offsets[v][a] = sigma_a(v)``.
         anchor_mode: which anchor-set variant produced this schedule.
         iterations: scheduler iterations used (``<= |Eb| + 1``).
+        watchdog: optional per-anchor timeout bounds ``W(a)`` attached
+            by ``schedule_graph(..., watchdog=...)``; honored by the
+            simulators and by :meth:`bounded_completion`.
     """
 
     graph: ConstraintGraph
@@ -42,6 +45,7 @@ class RelativeSchedule:
     offsets: Dict[str, Dict[str, int]]
     anchor_mode: AnchorMode = AnchorMode.FULL
     iterations: int = 0
+    watchdog: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     # accessors
@@ -101,6 +105,29 @@ class RelativeSchedule:
     def completion_time(self, profile: Optional[Mapping[str, int]] = None) -> int:
         """``T(sink)`` under *profile*: the latency of the whole graph."""
         return self.start_times(profile)[self.graph.sink]
+
+    def bounded_completion(self, watchdog: Optional[Mapping[str, int]] = None) -> int:
+        """The worst-case latency when every watchdog holds.
+
+        Evaluates ``T(sink)`` at the profile that sets each anchor's
+        delay to its watchdog bound ``W(a)`` -- the largest delay the
+        anchor can exhibit without firing its watchdog.  With bounds on
+        every anchor this converts the schedule's unbounded latency
+        into a hard guarantee: *either* the sink starts by this cycle,
+        *or* some watchdog has fired (a detected timeout).
+
+        Args:
+            watchdog: bounds to evaluate at; defaults to the bounds
+                attached by ``schedule_graph(..., watchdog=...)``.
+
+        Raises:
+            ValueError: when no bounds are attached or given.
+        """
+        bounds = dict(watchdog if watchdog is not None else (self.watchdog or {}))
+        if not bounds:
+            raise ValueError("bounded_completion needs watchdog bounds; none "
+                             "are attached to this schedule")
+        return self.start_times(bounds)[self.graph.sink]
 
     def start_time_expression(self, vertex: str) -> str:
         """A human-readable rendering of the recursive start-time formula,

@@ -24,8 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import time
+
 from repro.core.anchors import AnchorMode, AnchorSets, anchor_sets_for_mode
 from repro.core.exceptions import (
+    BudgetExceededError,
     InconsistentConstraintsError,
     IndexedKernelUnsupported,
     UnfeasibleConstraintsError,
@@ -123,18 +126,24 @@ class IterativeIncrementalScheduler:
             (:func:`repro.core.indexed.schedule_offsets`); False selects
             the original dict-of-dict loops, retained as the reference
             implementation for differential testing.
+        deadline: absolute ``time.perf_counter()`` value after which the
+            run aborts with :class:`BudgetExceededError`; checked once
+            per round (the granularity of one relaxation sweep), so the
+            None fast path costs a single comparison.
     """
 
     def __init__(self, graph: ConstraintGraph,
                  anchor_mode: AnchorMode = AnchorMode.FULL,
                  anchor_sets: Optional[AnchorSets] = None,
                  record_trace: bool = False,
-                 use_indexed: bool = True) -> None:
+                 use_indexed: bool = True,
+                 deadline: Optional[float] = None) -> None:
         self.graph = graph
         self.anchor_mode = anchor_mode
         self.anchor_sets = anchor_sets or anchor_sets_for_mode(graph, anchor_mode)
         self.record_trace = record_trace
         self.use_indexed = use_indexed
+        self.deadline = deadline
         self.trace: Optional[ScheduleTrace] = ScheduleTrace() if record_trace else None
         self._order = graph.forward_topological_order()
 
@@ -181,6 +190,10 @@ class IterativeIncrementalScheduler:
         """The shared cold/warm driver behind :meth:`run` / :meth:`run_from`."""
         tracer = _OBS.tracer
         rec = tracer.enabled
+        if (self.deadline is not None
+                and time.perf_counter() > self.deadline):
+            raise BudgetExceededError(
+                "wall-clock deadline exceeded before scheduling started")
         if self.use_indexed and not self.record_trace:
             try:
                 schedule = self._run_indexed(warm)
@@ -207,6 +220,11 @@ class IterativeIncrementalScheduler:
         backward = self.graph.backward_edges()
         max_rounds = len(backward) + 1
         for round_index in range(1, max_rounds + 1):
+            if (self.deadline is not None
+                    and time.perf_counter() > self.deadline):
+                raise BudgetExceededError(
+                    f"wall-clock deadline exceeded after "
+                    f"{round_index - 1} scheduling round(s)")
             before = _snapshot(offsets) if rec else {}
             self._incremental_offset(offsets)
             if rec:
@@ -382,7 +400,9 @@ def schedule_graph(graph: ConstraintGraph,
                    auto_well_pose: bool = True,
                    validate: bool = True,
                    record_trace: bool = False,
-                   use_indexed: bool = True) -> RelativeSchedule:
+                   use_indexed: bool = True,
+                   watchdog: Optional[Dict[str, int]] = None,
+                   deadline: Optional[float] = None) -> RelativeSchedule:
     """Run the paper's full four-step pipeline (Fig. 9) on *graph*.
 
     1. check well-posedness (Theorem 2);
@@ -400,13 +420,29 @@ def schedule_graph(graph: ConstraintGraph,
     Returns the minimum relative schedule of the (possibly serialized)
     graph; the scheduled graph is available as ``schedule.graph``.
 
+    Args:
+        watchdog: optional per-anchor timeout bounds ``W(a)``; validated
+            against the scheduled graph's anchors and attached to the
+            returned schedule (``schedule.watchdog``) for the simulators
+            and :meth:`RelativeSchedule.bounded_completion`.
+        deadline: absolute ``time.perf_counter()`` value; checked
+            between pipeline stages and once per scheduler round.
+
     Raises:
         UnfeasibleConstraintsError: positive cycle with delays at 0.
         IllPosedError: ill-posed and cannot be (or may not be) serialized.
         InconsistentConstraintsError: scheduling did not converge.
+        GraphStructureError: watchdog bounds naming a non-anchor or
+            carrying a negative/non-integer bound.
+        BudgetExceededError: the wall-clock deadline expired.
     """
     from repro.core.anchors import find_anchor_sets
     from repro.core.exceptions import IllPosedError
+
+    def check_deadline(stage: str) -> None:
+        if deadline is not None and time.perf_counter() > deadline:
+            raise BudgetExceededError(
+                f"wall-clock deadline exceeded after {stage}")
 
     tracer = _OBS.tracer
     rec = tracer.enabled
@@ -421,6 +457,7 @@ def schedule_graph(graph: ConstraintGraph,
         finally:
             if rec:
                 tracer.end_span()
+        check_deadline("well-posedness analysis")
         if status is WellPosedness.UNFEASIBLE:
             raise UnfeasibleConstraintsError("constraint graph has a positive cycle")
         if status is WellPosedness.ILL_POSED:
@@ -435,6 +472,7 @@ def schedule_graph(graph: ConstraintGraph,
             finally:
                 if rec:
                     tracer.end_span()
+            check_deadline("serialization")
 
         if rec:
             tracer.begin_span("pipeline.scheduling")
@@ -442,7 +480,8 @@ def schedule_graph(graph: ConstraintGraph,
             scheduler = IterativeIncrementalScheduler(
                 graph, anchor_mode=anchor_mode,
                 anchor_sets=anchor_sets_for_mode(graph, anchor_mode),
-                record_trace=record_trace, use_indexed=use_indexed)
+                record_trace=record_trace, use_indexed=use_indexed,
+                deadline=deadline)
             schedule = scheduler.run()
         finally:
             if rec:
@@ -463,6 +502,11 @@ def schedule_graph(graph: ConstraintGraph,
             finally:
                 if rec:
                     tracer.end_span()
+        if watchdog is not None:
+            from repro.core.watchdog import validate_watchdog_bounds
+
+            schedule.watchdog = validate_watchdog_bounds(
+                watchdog, graph.anchors, graph.source)
         if record_trace:
             schedule.trace = scheduler.trace  # type: ignore[attr-defined]
         return schedule

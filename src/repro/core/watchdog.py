@@ -1,0 +1,144 @@
+"""Watchdog anchors: per-anchor timeout bounds ``W(a)`` and policies.
+
+The paper's model leaves anchor delays unbounded; a production runtime
+cannot.  A *watchdog anchor* pairs an unbounded operation with a timeout
+bound ``W(a)``: if the anchor's ``done`` has not arrived within ``W(a)``
+cycles of its start, the watchdog fires a *detected* timeout event
+instead of letting the control unit hang.  What happens next is the
+configured :class:`WatchdogPolicy`:
+
+* ``ABORT`` -- raise :class:`~repro.core.exceptions.WatchdogTimeoutError`
+  (the taxonomy error the CLI's ``error:`` contract already covers);
+* ``RETRY`` -- re-arm the watchdog up to ``max_rearms`` times, each
+  window scaled by ``backoff``; a late ``done`` arriving inside a
+  re-arm window recovers the run (the timing constraints still hold --
+  the relative schedule is correct for *every* delay), exhausting the
+  windows escalates to an abort;
+* ``FALLBACK`` -- degrade to the static
+  :mod:`repro.baselines.worst_case` bounded schedule, budgeting every
+  unbounded delay at its watchdog bound.
+
+Bounds also pay off analytically: a schedule whose anchors all carry
+bounds has a *bounded* worst-case latency
+(:meth:`repro.core.schedule.RelativeSchedule.bounded_completion`),
+recovering the guarantee the fixed-delay baselines had without giving
+up run-time adaptivity.
+
+This module holds only the shared config/event types so :mod:`repro.sim`
+can honor watchdogs without importing :mod:`repro.resilience` (which
+builds on the simulators).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.core.exceptions import GraphStructureError
+
+
+class WatchdogPolicy(enum.Enum):
+    """What a fired watchdog does (Section: graceful degradation)."""
+
+    ABORT = "abort"
+    RETRY = "retry"
+    FALLBACK = "fallback"
+
+
+@dataclass(frozen=True)
+class WatchdogTimeout:
+    """One detected timeout event.
+
+    Attributes:
+        anchor: the anchor whose bound expired.
+        cycle: the simulation cycle at which the watchdog fired.
+        bound: the window that expired (the base ``W(a)`` scaled by any
+            backoff for re-arm windows).
+        rearm: 0 for the first firing, k for the k-th re-arm window.
+    """
+
+    anchor: str
+    cycle: int
+    bound: int
+    rearm: int = 0
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Per-anchor timeout bounds plus the shared degradation policy.
+
+    Attributes:
+        bounds: anchor name -> ``W(a)`` in cycles.  An anchor completing
+            at exactly ``start + W(a)`` is in time; the watchdog fires
+            when the anchor is still running at ``start + W(a)``.
+        default: bound for anchors not listed in *bounds* (None leaves
+            them unmonitored).
+        policy: what a firing does (abort / retry / fallback).
+        max_rearms: RETRY only -- how many extra windows to grant.
+        backoff: RETRY only -- multiplier applied to each successive
+            re-arm window (window k spans ``W(a) * backoff**k`` cycles).
+        fallback_budget: FALLBACK only -- the per-anchor delay budget of
+            the degraded static schedule (defaults to the largest
+            configured bound).
+    """
+
+    bounds: Mapping[str, int] = field(default_factory=dict)
+    default: Optional[int] = None
+    policy: WatchdogPolicy = WatchdogPolicy.ABORT
+    max_rearms: int = 2
+    backoff: int = 2
+    fallback_budget: Optional[int] = None
+
+    def bound_for(self, anchor: str) -> Optional[int]:
+        """``W(anchor)``, or None when the anchor is unmonitored."""
+        return self.bounds.get(anchor, self.default)
+
+    def budget(self) -> int:
+        """The delay budget the FALLBACK policy degrades to."""
+        if self.fallback_budget is not None:
+            return self.fallback_budget
+        candidates = list(self.bounds.values())
+        if self.default is not None:
+            candidates.append(self.default)
+        return max(candidates) if candidates else 0
+
+    def total_allowance(self, anchor: str) -> Optional[int]:
+        """Cycles after start before RETRY escalates to an abort
+        (the base window plus every re-arm window), or None when
+        unmonitored."""
+        bound = self.bound_for(anchor)
+        if bound is None:
+            return None
+        if self.policy is not WatchdogPolicy.RETRY:
+            return bound
+        return bound + sum(bound * self.backoff ** k
+                           for k in range(1, self.max_rearms + 1))
+
+
+def validate_watchdog_bounds(bounds: Mapping[str, int], anchors,
+                             source: str = "") -> Dict[str, int]:
+    """Validate a ``{anchor: W(a)}`` mapping against a graph's anchors.
+
+    Returns a plain-dict copy.  The source may carry a bound (its
+    activation handshake can stall like any completion signal).
+
+    Raises:
+        GraphStructureError: unknown anchor name, or a bound that is not
+            a non-negative integer.
+    """
+    anchor_set = set(anchors)
+    validated: Dict[str, int] = {}
+    for name, bound in bounds.items():
+        if name not in anchor_set:
+            raise GraphStructureError(
+                f"watchdog bound names {name!r}, which is not an anchor "
+                f"(anchors: {sorted(anchor_set)})")
+        if isinstance(bound, bool) or not isinstance(bound, int):
+            raise GraphStructureError(
+                f"watchdog bound for {name!r} must be an int, got {bound!r}")
+        if bound < 0:
+            raise GraphStructureError(
+                f"watchdog bound for {name!r} must be non-negative, got {bound}")
+        validated[name] = bound
+    return validated

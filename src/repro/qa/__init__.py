@@ -10,11 +10,13 @@ CLI: ``python -m repro.qa.fuzz --seed 0 --cases 300``.
 from repro.qa.generators import SCENARIOS, FuzzCase, case_stream, generate_case
 from repro.qa.oracle import ORACLE_CHECKS, Divergence, run_oracle
 from repro.qa.serialize import (
+    MAX_ABS_WEIGHT,
     dump_repro,
     graph_from_dict,
     graph_to_dict,
     graphs_equal,
     load_repro,
+    validate_graph_dict,
 )
 from repro.qa.shrink import ShrinkResult, shrink
 
@@ -26,11 +28,13 @@ __all__ = [
     "ORACLE_CHECKS",
     "Divergence",
     "run_oracle",
+    "MAX_ABS_WEIGHT",
     "dump_repro",
     "graph_from_dict",
     "graph_to_dict",
     "graphs_equal",
     "load_repro",
+    "validate_graph_dict",
     "ShrinkResult",
     "shrink",
 ]

@@ -36,7 +36,13 @@ catalogue covers:
   roll-up counters reconcile with the returned schedule's
   ``iterations``; and a warm restart from the fixpoint of an unchanged
   graph performs **zero** relaxations (hence strictly fewer than any
-  from-scratch run that did work, Lemma 8).
+  from-scratch run that did work, Lemma 8);
+* ``fault_containment`` -- an injected completion fault (stall, late,
+  early, dropped or spurious done) under a watchdog is either
+  *detected* (timeout event, taxonomy abort, or degradation to the
+  static fallback) or *masked* (the recovered execution still satisfies
+  every constraint edge) -- never a silent wrong result (see
+  :mod:`repro.resilience.faults`).
 """
 
 from __future__ import annotations
@@ -447,6 +453,40 @@ def check_observability(graph: ConstraintGraph,
     return None
 
 
+def check_fault_containment(graph: ConstraintGraph,
+                            rng: random.Random) -> Optional[str]:
+    # Imported lazily: resilience builds on sim and control, which the
+    # rest of the oracle does not need.
+    from repro.core.watchdog import WatchdogConfig, WatchdogPolicy
+    from repro.resilience.faults import Fault, FaultKind, FaultPlan, run_with_faults
+
+    schedule = _schedulable(graph)
+    if schedule is None:
+        return None
+    anchors = [a for a in schedule.graph.anchors if a != schedule.graph.source]
+    if not anchors:
+        return None
+    bound = rng.randint(5, 15)
+    target = rng.choice(anchors)
+    kind = rng.choice(list(FaultKind))
+    if kind in (FaultKind.LATE, FaultKind.EARLY):
+        amount = rng.randint(1, 2 * bound)
+    else:
+        amount = rng.randint(0, 2 * bound)
+    plan = FaultPlan((Fault(kind, target, amount),))
+    profile = {a: rng.randint(0, 8) for a in anchors}
+    policy = rng.choice(list(WatchdogPolicy))
+    watchdog = WatchdogConfig(default=bound, policy=policy,
+                              max_rearms=rng.randint(1, 3))
+    outcome = run_with_faults(schedule, profile, plan,
+                              watchdog=watchdog, max_cycles=20000)
+    if not outcome.contained:
+        detail = "; ".join(outcome.violations) or "unclassified"
+        return (f"fault {plan} under {policy.value} watchdog (W={bound}) "
+                f"was silent: {detail}")
+    return None
+
+
 #: The catalogue, in execution order.
 ORACLE_CHECKS: Dict[str, Callable[[ConstraintGraph, random.Random], Optional[str]]] = {
     "wellposed_verdict": check_wellposed_verdict,
@@ -458,6 +498,7 @@ ORACLE_CHECKS: Dict[str, Callable[[ConstraintGraph, random.Random], Optional[str
     "copy_cache": check_copy_cache,
     "anchor_modes": check_anchor_modes,
     "observability": check_observability,
+    "fault_containment": check_fault_containment,
 }
 
 

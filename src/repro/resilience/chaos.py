@@ -1,0 +1,210 @@
+"""Seeded chaos campaigns: fault-injection at scale.
+
+Each case derives deterministically from its seed: a graph from the
+:mod:`repro.qa.generators` scenario rotation, an honest delay profile,
+a watchdog configuration (bound, policy, re-arm budget), a control
+style, and a fault plan of one to three completion faults plus an
+optional spurious pulse.  The case runs through
+:func:`repro.resilience.faults.run_with_faults` and must come back
+*contained*: detected or masked, never silent.
+
+Run from the command line (the CI smoke job)::
+
+    python -m repro.resilience.chaos --seed 0 --cases 200
+
+Exit status 1 means at least one silent divergence -- a runtime bug.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.exceptions import ConstraintGraphError
+from repro.core.watchdog import WatchdogConfig, WatchdogPolicy
+from repro.qa.generators import generate_case
+from repro.resilience.faults import Fault, FaultKind, FaultPlan, FaultRun, run_with_faults
+from repro.resilience.guard import RunBudget, guarded_schedule
+
+#: Cases never need more cycles than this; a case that does has hung.
+_CASE_MAX_CYCLES = 20000
+
+#: Campaign-level guard rails: generated graphs stay far below these,
+#: so hitting one is itself a generator bug worth failing on.
+_CASE_BUDGET = RunBudget(max_vertices=512, max_edges=8192, deadline_s=30.0)
+
+
+@dataclass(frozen=True)
+class ChaosCase:
+    """One deterministic fault-injection case."""
+
+    seed: int
+    scenario: str
+    profile: Dict[str, int]
+    plan: FaultPlan
+    watchdog: WatchdogConfig
+    style: str
+
+
+@dataclass
+class CampaignStats:
+    """Aggregate outcome of a chaos campaign."""
+
+    cases: int = 0
+    unschedulable: int = 0
+    faultless: int = 0
+    detected: int = 0
+    masked: int = 0
+    divergences: List[str] = field(default_factory=list)
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    by_policy: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def silent(self) -> int:
+        return len(self.divergences)
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos campaign: {self.cases} cases "
+            f"({self.unschedulable} unschedulable, {self.faultless} fault-free)",
+            f"  detected: {self.detected}",
+            f"  masked:   {self.masked}",
+            f"  silent:   {self.silent}",
+        ]
+        if self.by_kind:
+            kinds = ", ".join(f"{k}={n}" for k, n in sorted(self.by_kind.items()))
+            lines.append(f"  faults injected: {kinds}")
+        if self.by_policy:
+            policies = ", ".join(f"{p}={n}"
+                                 for p, n in sorted(self.by_policy.items()))
+            lines.append(f"  policies: {policies}")
+        for divergence in self.divergences[:10]:
+            lines.append(f"  SILENT {divergence}")
+        if len(self.divergences) > 10:
+            lines.append(f"  ... and {len(self.divergences) - 10} more")
+        return "\n".join(lines)
+
+
+def _sample_plan(rng: random.Random, anchors: List[str],
+                 bound: int) -> FaultPlan:
+    """One to three completion faults on distinct anchors, plus an
+    occasional spurious pulse."""
+    faults: List[Fault] = []
+    targets = rng.sample(anchors, rng.randint(1, min(3, len(anchors))))
+    for anchor in targets:
+        kind = rng.choice([FaultKind.STALL, FaultKind.LATE, FaultKind.EARLY,
+                           FaultKind.DROP])
+        if kind is FaultKind.LATE:
+            # Straddle the watchdog boundary: some late completions stay
+            # inside the bound (masked), some push past it (detected).
+            faults.append(Fault(kind, anchor, rng.randint(1, 2 * bound)))
+        elif kind is FaultKind.EARLY:
+            faults.append(Fault(kind, anchor, rng.randint(1, bound)))
+        else:
+            faults.append(Fault(kind, anchor))
+    if rng.random() < 0.4:
+        target = rng.choice(anchors)
+        faults.append(Fault(FaultKind.SPURIOUS, target, rng.randint(0, 3 * bound)))
+    return FaultPlan(tuple(faults))
+
+
+def generate_chaos_case(seed: int,
+                        policy: Optional[WatchdogPolicy] = None) -> ChaosCase:
+    """The deterministic chaos case for *seed*.
+
+    The graph itself comes from the fuzzing scenario rotation (same
+    seed); this function derives the runtime environment -- profile,
+    watchdog, faults -- from an independent stream so changing one
+    generator does not silently reshuffle the other.
+    """
+    case = generate_case(seed)
+    rng = random.Random(seed ^ zlib.crc32(b"chaos"))
+    graph = case.graph
+    anchors = [a for a in graph.anchors if a != graph.source]
+
+    profile = {a: rng.randint(0, 10) for a in anchors}
+    bound = rng.randint(6, 18)
+    chosen_policy = policy or rng.choice(list(WatchdogPolicy))
+    watchdog = WatchdogConfig(default=bound, policy=chosen_policy,
+                              max_rearms=rng.randint(1, 3), backoff=2)
+    plan = (FaultPlan() if not anchors
+            else _sample_plan(rng, anchors, bound))
+    style = rng.choice(["counter", "shift-register"])
+    return ChaosCase(seed=seed, scenario=case.scenario, profile=profile,
+                     plan=plan, watchdog=watchdog, style=style)
+
+
+def run_chaos_case(case: ChaosCase) -> Optional[FaultRun]:
+    """Execute one case; None when the seed's graph is unschedulable
+    (ill-posed beyond rescue, unfeasible -- not this harness's domain)."""
+    graph = generate_case(case.seed).graph
+    try:
+        schedule = guarded_schedule(graph, _CASE_BUDGET)
+    except ConstraintGraphError:
+        return None
+    return run_with_faults(schedule, case.profile, case.plan,
+                           watchdog=case.watchdog, style=case.style,
+                           max_cycles=_CASE_MAX_CYCLES)
+
+
+def run_campaign(start_seed: int, count: int,
+                 policy: Optional[WatchdogPolicy] = None) -> CampaignStats:
+    """Run *count* seeded cases; every fault-injected run must be
+    detected or masked."""
+    stats = CampaignStats()
+    for seed in range(start_seed, start_seed + count):
+        stats.cases += 1
+        case = generate_chaos_case(seed, policy)
+        outcome = run_chaos_case(case)
+        if outcome is None:
+            stats.unschedulable += 1
+            continue
+        if not case.plan.faults:
+            stats.faultless += 1
+        for fault in case.plan.faults:
+            stats.by_kind[fault.kind.value] = (
+                stats.by_kind.get(fault.kind.value, 0) + 1)
+        policy_name = case.watchdog.policy.value
+        stats.by_policy[policy_name] = stats.by_policy.get(policy_name, 0) + 1
+        if outcome.detected:
+            stats.detected += 1
+        elif outcome.masked:
+            stats.masked += 1
+        else:
+            stats.divergences.append(
+                f"seed={seed} scenario={case.scenario} plan={case.plan} "
+                f"policy={policy_name} style={case.style}: "
+                f"{'; '.join(outcome.violations) or 'unclassified'}")
+    return stats
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience.chaos",
+        description="Seeded fault-injection campaign against the "
+                    "relative-scheduling runtime.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="first seed of the campaign (default 0)")
+    parser.add_argument("--cases", type=int, default=200,
+                        help="number of seeded cases (default 200)")
+    parser.add_argument("--policy", choices=[p.value for p in WatchdogPolicy],
+                        default=None,
+                        help="pin every case to one degradation policy "
+                             "(default: rotate per seed)")
+    args = parser.parse_args(argv)
+
+    policy = WatchdogPolicy(args.policy) if args.policy else None
+    stats = run_campaign(args.seed, args.cases, policy)
+    print(stats.summary())
+    if stats.silent:
+        print(f"FAIL: {stats.silent} silent divergence(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

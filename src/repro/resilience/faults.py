@@ -1,0 +1,282 @@
+"""Fault injection for the relative-scheduling runtime.
+
+A *fault* perturbs the completion signalling of one anchor:
+
+* ``STALL`` -- the operation never finishes; its ``done`` never arrives;
+* ``LATE(k)`` / ``EARLY(k)`` -- ``done`` arrives ``k`` cycles after /
+  before the profile says (early completions clamp at the start cycle);
+* ``DROP`` -- the operation finishes but its ``done`` pulse is lost.
+  At the signal level this is indistinguishable from a stall, and the
+  runtime must treat it as one (only a watchdog can unstick it);
+* ``SPURIOUS(c)`` -- a ``done`` pulse appears at absolute cycle ``c``
+  with no completion behind it.  A pulse for an anchor that has not
+  started is detectably bogus (the done latch is armed at start) and is
+  rejected and counted; a pulse mid-execution is indistinguishable from
+  an early completion and is absorbed as one.
+
+:func:`run_with_faults` executes a schedule's control unit under a
+fault plan and classifies the outcome against the containment contract:
+
+* **detected** -- a watchdog fired (timeout event, taxonomy abort, or
+  degradation to the static worst-case fallback);
+* **masked** -- the run completed and the *observed* start/done times
+  satisfy every constraint-graph edge inequality (the relative schedule
+  absorbed the perturbation, as Theorem 4's any-profile correctness
+  promises);
+* **silent** -- the run completed but some observed inequality is
+  violated, or it hung past the cycle budget.  A silent outcome is a
+  runtime bug; the chaos campaign fails on any.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.delay import STALLED, is_stalled, is_unbounded
+from repro.core.exceptions import WatchdogTimeoutError
+from repro.core.graph import ConstraintGraph
+from repro.core.schedule import RelativeSchedule
+from repro.core.watchdog import WatchdogConfig
+from repro.sim.control_sim import ControlSimResult, simulate_control
+
+
+class FaultKind(enum.Enum):
+    """How a completion signal misbehaves."""
+
+    STALL = "stall"
+    LATE = "late"
+    EARLY = "early"
+    DROP = "drop"
+    SPURIOUS = "spurious"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault.
+
+    Attributes:
+        kind: the misbehaviour.
+        anchor: the anchor whose signalling is perturbed.
+        amount: LATE/EARLY -- the shift in cycles; SPURIOUS -- the
+            absolute cycle of the injected pulse; ignored otherwise.
+    """
+
+    kind: FaultKind
+    anchor: str
+    amount: int = 0
+
+    def __str__(self) -> str:
+        if self.kind in (FaultKind.LATE, FaultKind.EARLY, FaultKind.SPURIOUS):
+            return f"{self.kind.value}({self.amount})@{self.anchor}"
+        return f"{self.kind.value}@{self.anchor}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A set of faults injected into one run (at most one completion
+    fault per anchor; spurious pulses stack on top)."""
+
+    faults: Tuple[Fault, ...] = ()
+
+    def __str__(self) -> str:
+        return "+".join(str(f) for f in self.faults) or "none"
+
+    def completion_faults(self) -> Dict[str, Fault]:
+        """anchor -> its completion-signal fault (stall/late/early/drop)."""
+        plan: Dict[str, Fault] = {}
+        for fault in self.faults:
+            if fault.kind is FaultKind.SPURIOUS:
+                continue
+            if fault.anchor in plan:
+                raise ValueError(
+                    f"two completion faults for anchor {fault.anchor!r}: "
+                    f"{plan[fault.anchor]} and {fault}")
+            plan[fault.anchor] = fault
+        return plan
+
+    def spurious_pulses(self) -> Dict[str, int]:
+        """anchor -> absolute cycle of its injected spurious pulse."""
+        return {f.anchor: f.amount for f in self.faults
+                if f.kind is FaultKind.SPURIOUS}
+
+    def completion_override(self):
+        """The ``completion`` callback :func:`simulate_control` expects."""
+        plan = self.completion_faults()
+        if not plan:
+            return None
+
+        def override(vertex: str, start: int,
+                     nominal: Optional[int]) -> Optional[int]:
+            fault = plan.get(vertex)
+            if fault is None:
+                return nominal
+            if fault.kind in (FaultKind.STALL, FaultKind.DROP):
+                return None
+            if nominal is None:
+                return None  # late/early shift of a stalled signal: still stalled
+            if fault.kind is FaultKind.LATE:
+                return nominal + fault.amount
+            return max(start, nominal - fault.amount)  # EARLY
+
+        return override
+
+
+@dataclass
+class FaultRun:
+    """Outcome of one fault-injected execution.
+
+    Attributes:
+        classification: ``"detected"``, ``"masked"``, or ``"silent"``.
+        result: the simulation result (None when the run aborted).
+        error: the taxonomy error that aborted the run (None otherwise).
+        violations: observed edge inequalities that failed (only a
+            ``"silent"`` run has any).
+        effective_profile: per-anchor observed delay (done - start);
+            STALLED for anchors whose done never arrived.
+    """
+
+    classification: str
+    result: Optional[ControlSimResult] = None
+    error: Optional[WatchdogTimeoutError] = None
+    violations: List[str] = field(default_factory=list)
+    effective_profile: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def detected(self) -> bool:
+        return self.classification == "detected"
+
+    @property
+    def masked(self) -> bool:
+        return self.classification == "masked"
+
+    @property
+    def contained(self) -> bool:
+        """The containment contract: detected or masked, never silent."""
+        return self.classification in ("detected", "masked")
+
+
+def observed_violations(graph: ConstraintGraph,
+                        start_times: Mapping[str, int],
+                        done_times: Mapping[str, int]) -> List[str]:
+    """Edge inequalities violated by an *observed* execution.
+
+    For a bounded edge ``(t, h, w)`` the run must show
+    ``T(h) >= T(t) + w`` (this covers sequencing, minimum and --
+    via the negative-weight backward edge -- maximum constraints).
+    For an unbounded edge the run must show ``T(h) >= done(t)``: the
+    head waited for the anchor's actual completion.  A head that
+    started while its unbounded tail never completed is a violation
+    (the run consumed a result that does not exist).
+    """
+    violations: List[str] = []
+    for edge in graph.edges():
+        t_start = start_times.get(edge.tail)
+        h_start = start_times.get(edge.head)
+        if t_start is None or h_start is None:
+            continue  # neither ran: nothing observed to violate
+        if is_unbounded(edge.weight):
+            done = done_times.get(edge.tail)
+            if done is None:
+                violations.append(
+                    f"{edge.head!r} started at {h_start} but its unbounded "
+                    f"predecessor {edge.tail!r} never completed")
+            elif h_start < done:
+                violations.append(
+                    f"{edge.head!r} started at {h_start}, before "
+                    f"{edge.tail!r} completed at {done}")
+        elif h_start < t_start + edge.weight:
+            violations.append(
+                f"edge {edge.tail!r}->{edge.head!r} (w={edge.weight}): "
+                f"{h_start} < {t_start} + {edge.weight}")
+    return violations
+
+
+def effective_profile(schedule: RelativeSchedule,
+                      result: ControlSimResult) -> Dict[str, object]:
+    """The delay profile the run *actually* exhibited.
+
+    ``done - start`` per anchor; STALLED when the anchor started but its
+    done never arrived.  This is the classification ground truth: a
+    masked run is one whose observed starts satisfy the constraints
+    under this profile, whatever was injected.
+    """
+    profile: Dict[str, object] = {}
+    for anchor in schedule.graph.anchors:
+        start = result.start_times.get(anchor)
+        if start is None:
+            continue
+        done = result.done_times.get(anchor)
+        profile[anchor] = STALLED if done is None else done - start
+    return profile
+
+
+def run_with_faults(schedule: RelativeSchedule,
+                    profile: Optional[Mapping[str, int]] = None,
+                    plan: Optional[FaultPlan] = None, *,
+                    watchdog: Optional[WatchdogConfig] = None,
+                    style: str = "counter",
+                    max_cycles: int = 100000) -> FaultRun:
+    """Execute *schedule*'s control unit under *plan* and classify.
+
+    Args:
+        schedule: the relative schedule under test.
+        profile: the honest delay profile the faults perturb (values may
+            already be STALLED).
+        plan: the faults to inject (None injects nothing).
+        watchdog: timeout bounds/policy; without one, a stall can only
+            end in a hang (classified silent).
+        style: control style, ``"counter"`` or ``"shift-register"``.
+        max_cycles: hang bound for the simulation.
+    """
+    from repro.control.counter import synthesize_counter_control
+    from repro.control.shiftreg import synthesize_shift_register_control
+
+    plan = plan or FaultPlan()
+    if style == "counter":
+        unit = synthesize_counter_control(schedule)
+    elif style == "shift-register":
+        unit = synthesize_shift_register_control(schedule)
+    else:
+        raise ValueError(f"unknown control style {style!r}")
+
+    try:
+        result = simulate_control(
+            unit, schedule, profile, max_cycles,
+            watchdog=watchdog,
+            completion=plan.completion_override(),
+            spurious=plan.spurious_pulses())
+    except WatchdogTimeoutError as error:
+        return FaultRun(classification="detected", error=error)
+    except RuntimeError:
+        # Hung past the cycle budget: an undetected stall.
+        return FaultRun(classification="silent",
+                        violations=["run hung past the cycle budget "
+                                    "with no watchdog detection"])
+
+    if result.degraded or result.timeouts:
+        # Degradation and recovered-after-timeout runs both surfaced a
+        # detection event; a RETRY recovery is *also* masked, but
+        # detected is the stronger claim.
+        return FaultRun(classification="detected", result=result,
+                        effective_profile=effective_profile(schedule, result))
+
+    eff = effective_profile(schedule, result)
+    stalled_blocking = [
+        anchor for anchor, value in eff.items()
+        if is_stalled(value) and any(
+            anchor in schedule.offsets.get(v, {})
+            for v in schedule.graph.vertex_names() if v != anchor)
+    ]
+    violations = observed_violations(schedule.graph, result.start_times,
+                                     result.done_times)
+    if violations or stalled_blocking:
+        for anchor in stalled_blocking:
+            violations.append(
+                f"anchor {anchor!r} stalled yet every dependent operation "
+                f"started (no detection event)")
+        return FaultRun(classification="silent", result=result,
+                        violations=violations, effective_profile=eff)
+    return FaultRun(classification="masked", result=result,
+                    effective_profile=eff)

@@ -1,0 +1,210 @@
+"""Hardened entry points: run budgets, kernel fallback, untrusted input.
+
+:func:`guarded_schedule` wraps :func:`repro.core.scheduler.schedule_graph`
+with a :class:`RunBudget`:
+
+* **size caps** reject oversized graphs before any analysis runs;
+* an **iteration cap** is checked against the Theorem 8 bound
+  ``|Eb| + 1`` up front -- the bound is known before scheduling, so a
+  graph that could exceed the cap is refused, not aborted halfway;
+* a **wall-clock deadline** is threaded through every pipeline stage
+  and checked once per scheduler round;
+* an internal error in the indexed kernel (a bug, not a taxonomy
+  rejection) triggers an automatic retry on the dict reference kernel,
+  counted on the tracer as ``guard.kernel_fallbacks`` so silent
+  fallbacks show up in run reports.
+
+:func:`load_untrusted_graph` parses graph JSON from outside the trust
+boundary: strict structural validation
+(:func:`repro.qa.serialize.validate_graph_dict`), JSON ``NaN`` /
+``Infinity`` rejected at the parser, and optional size caps applied
+*before* the graph is built.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.anchors import AnchorMode
+from repro.core.exceptions import (
+    BudgetExceededError,
+    ConstraintGraphError,
+    MalformedInputError,
+)
+from repro.core.graph import ConstraintGraph
+from repro.core.schedule import RelativeSchedule
+from repro.core.scheduler import schedule_graph
+from repro.observability import STATE as _OBS
+
+
+@dataclass(frozen=True)
+class RunBudget:
+    """Resource limits for one hardened pipeline run.
+
+    Attributes:
+        max_vertices: refuse graphs with more vertices.
+        max_edges: refuse graphs with more edges.
+        max_iterations: refuse graphs whose Theorem 8 bound ``|Eb| + 1``
+            exceeds this (the scheduler never iterates past the bound,
+            so the check is exact and runs before any work).
+        deadline_s: wall-clock seconds the run may take, checked between
+            pipeline stages and once per scheduler round.
+    """
+
+    max_vertices: Optional[int] = None
+    max_edges: Optional[int] = None
+    max_iterations: Optional[int] = None
+    deadline_s: Optional[float] = None
+
+    def check_size(self, graph: ConstraintGraph) -> None:
+        """Refuse an oversized graph (BudgetExceededError)."""
+        n_vertices = len(graph.vertex_names())
+        if self.max_vertices is not None and n_vertices > self.max_vertices:
+            raise BudgetExceededError(
+                f"graph has {n_vertices} vertices, over the budget of "
+                f"{self.max_vertices}")
+        n_edges = len(graph.edges())
+        if self.max_edges is not None and n_edges > self.max_edges:
+            raise BudgetExceededError(
+                f"graph has {n_edges} edges, over the budget of "
+                f"{self.max_edges}")
+
+    def check_iteration_bound(self, graph: ConstraintGraph) -> None:
+        """Refuse a graph whose worst-case round count is over budget."""
+        if self.max_iterations is None:
+            return
+        bound = len(graph.backward_edges()) + 1
+        if bound > self.max_iterations:
+            raise BudgetExceededError(
+                f"Theorem 8 iteration bound |Eb|+1 = {bound} exceeds the "
+                f"iteration budget {self.max_iterations}")
+
+    def absolute_deadline(self) -> Optional[float]:
+        """The perf_counter instant this run must finish by."""
+        if self.deadline_s is None:
+            return None
+        return time.perf_counter() + self.deadline_s
+
+
+def guarded_schedule(graph: ConstraintGraph,
+                     budget: Optional[RunBudget] = None, *,
+                     watchdog=None,
+                     anchor_mode: AnchorMode = AnchorMode.IRREDUNDANT,
+                     auto_well_pose: bool = True,
+                     validate: bool = True) -> RelativeSchedule:
+    """Schedule *graph* under a :class:`RunBudget`, with kernel fallback.
+
+    Taxonomy rejections (ill-posed, unfeasible, over-budget, malformed)
+    propagate unchanged -- they are correct answers.  Any *other*
+    exception from the indexed kernel is treated as an internal kernel
+    error: the run is retried once on the dict reference kernel and the
+    fallback is counted on the active tracer (``guard.kernel_fallbacks``,
+    plus a ``guard.kernel_fallback`` event naming the error).
+
+    Args:
+        graph: the graph to schedule (validated against the budget's
+            size caps first).
+        budget: resource limits; None imposes none.
+        watchdog: optional per-anchor timeout bounds to validate and
+            attach to the schedule (see ``schedule_graph``).
+        anchor_mode: anchor-set variant, as in ``schedule_graph``.
+        auto_well_pose: serialize ill-posed graphs, as in
+            ``schedule_graph``.
+        validate: re-check the resulting offsets, as in
+            ``schedule_graph``.
+
+    Raises:
+        BudgetExceededError: a cap or the deadline was exceeded.
+        ConstraintGraphError: the graph is genuinely unschedulable.
+    """
+    budget = budget or RunBudget()
+    budget.check_size(graph)
+    budget.check_iteration_bound(graph)
+    deadline = budget.absolute_deadline()
+
+    # schedule_graph never mutates its input (make_well_posed copies
+    # before serializing), so the retry below can reuse *graph* as-is.
+    def run(use_indexed: bool) -> RelativeSchedule:
+        return schedule_graph(
+            graph, anchor_mode=anchor_mode,
+            auto_well_pose=auto_well_pose, validate=validate,
+            use_indexed=use_indexed, watchdog=watchdog, deadline=deadline)
+
+    try:
+        return run(use_indexed=True)
+    except ConstraintGraphError:
+        raise
+    except Exception as error:
+        tracer = _OBS.tracer
+        if tracer.enabled:
+            tracer.count("guard.kernel_fallbacks")
+            tracer.event("guard.kernel_fallback",
+                         error=f"{type(error).__name__}: {error}")
+        return run(use_indexed=False)
+
+
+def load_untrusted_graph(source: Union[str, Path],
+                         budget: Optional[RunBudget] = None,
+                         *, is_path: Optional[bool] = None) -> ConstraintGraph:
+    """Parse and validate graph JSON from outside the trust boundary.
+
+    Args:
+        source: a filesystem path or a JSON string (a ``Path`` object or
+            *is_path=True* forces the former, *is_path=False* the
+            latter; by default a string is treated as a path).
+        budget: size caps applied to the *declared* vertex/edge lists
+            before any graph object is built.
+
+    Raises:
+        MalformedInputError: the JSON is not valid, not an object, uses
+            non-finite numbers, or fails structural validation (see
+            :func:`repro.qa.serialize.validate_graph_dict`).
+        BudgetExceededError: the declared payload is over the caps.
+    """
+    from repro.qa.serialize import graph_from_dict, validate_graph_dict
+
+    if is_path is None:
+        is_path = True
+    if isinstance(source, Path) or is_path:
+        try:
+            text = Path(source).read_text()
+        except OSError as error:
+            raise MalformedInputError(
+                f"cannot read graph file {str(source)!r}: {error}") from error
+    else:
+        text = str(source)
+
+    def reject_nonfinite(token: str) -> float:
+        raise MalformedInputError(
+            f"graph JSON uses the non-finite number {token}")
+
+    try:
+        data = json.loads(text, parse_constant=reject_nonfinite)
+    except MalformedInputError:
+        raise
+    except ValueError as error:
+        raise MalformedInputError(f"graph JSON does not parse: {error}") from error
+
+    if not isinstance(data, dict):
+        raise MalformedInputError(
+            f"graph JSON must be an object, got {type(data).__name__}")
+    if budget is not None:
+        declared_vertices = data.get("vertices")
+        declared_edges = data.get("edges")
+        if (budget.max_vertices is not None
+                and isinstance(declared_vertices, list)
+                and len(declared_vertices) > budget.max_vertices):
+            raise BudgetExceededError(
+                f"untrusted graph declares {len(declared_vertices)} vertices, "
+                f"over the budget of {budget.max_vertices}")
+        if (budget.max_edges is not None and isinstance(declared_edges, list)
+                and len(declared_edges) > budget.max_edges):
+            raise BudgetExceededError(
+                f"untrusted graph declares {len(declared_edges)} edges, "
+                f"over the budget of {budget.max_edges}")
+    validate_graph_dict(data, strict=True)
+    return graph_from_dict(data)

@@ -11,17 +11,41 @@ The central check -- used by the integration tests and the Fig. 14
 bench -- is that the observed ``enable_v`` assertion cycle equals the
 analytical start time ``T(v)`` from the relative schedule for *every*
 operation and *every* profile.
+
+Beyond the paper's idealized environment, the simulator models a
+*hostile* one (see :mod:`repro.resilience`):
+
+* a profile value of :data:`~repro.core.delay.STALLED` (or a
+  *completion* override returning None) models an anchor whose ``done``
+  never arrives;
+* a *watchdog* (:class:`~repro.core.watchdog.WatchdogConfig`) arms a
+  timeout ``W(a)`` when a monitored anchor starts; a stalled or overdue
+  anchor then yields a detected timeout event instead of a hang, with
+  the configured policy (abort / retry-with-backoff / fall back to the
+  static worst-case schedule);
+* *spurious* ``done`` pulses for anchors that have not started are
+  rejected and counted -- the done latch is only armed after start --
+  while a pulse arriving mid-execution is indistinguishable from an
+  early completion and is absorbed as one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.control.netlist import ControlUnit
-from repro.core.delay import is_unbounded
+from repro.core.delay import is_stalled, is_unbounded
+from repro.core.exceptions import WatchdogTimeoutError
 from repro.core.schedule import RelativeSchedule
+from repro.core.watchdog import WatchdogConfig, WatchdogPolicy, WatchdogTimeout
 from repro.sim.trace import WaveformTrace
+
+#: Optional completion-signal override: ``(vertex, start, nominal_done)``
+#: -> the cycle ``done`` actually arrives, or None for "never" (the
+#: nominal done is None when the profile already says STALLED).  Used by
+#: the fault-injection harness to model late/early/dropped signals.
+CompletionFn = Callable[[str, int, Optional[int]], Optional[int]]
 
 
 @dataclass
@@ -30,15 +54,30 @@ class ControlSimResult:
 
     Attributes:
         start_times: observed start cycle of every operation.
-        done_times: completion cycle of every operation.
+        done_times: completion cycle of every operation (stalled
+            operations are absent).
         trace: waveform of done/enable signals (and anchor counters).
         cycles: total simulated cycles.
+        timeouts: watchdog firings, in cycle order (empty when no
+            watchdog was configured or none fired).
+        degraded: True when the FALLBACK policy replaced the relative
+            execution with the static worst-case schedule; start/done
+            times then come from the bounded baseline.
+        stalled: anchors that started but whose ``done`` never arrived.
+        spurious_rejections: done pulses rejected because their anchor
+            had not started.
+        rearms: per-anchor count of RETRY re-arm windows spent.
     """
 
     start_times: Dict[str, int]
     done_times: Dict[str, int]
     trace: WaveformTrace
     cycles: int
+    timeouts: List[WatchdogTimeout] = field(default_factory=list)
+    degraded: bool = False
+    stalled: List[str] = field(default_factory=list)
+    spurious_rejections: int = 0
+    rearms: Dict[str, int] = field(default_factory=dict)
 
     def matches_schedule(self, schedule: RelativeSchedule,
                          profile: Mapping[str, int]) -> bool:
@@ -50,7 +89,11 @@ class ControlSimResult:
 
 def simulate_control(unit: ControlUnit, schedule: RelativeSchedule,
                      profile: Optional[Mapping[str, int]] = None,
-                     max_cycles: int = 100000) -> ControlSimResult:
+                     max_cycles: int = 100000, *,
+                     watchdog: Optional[WatchdogConfig] = None,
+                     completion: Optional[CompletionFn] = None,
+                     spurious: Optional[Mapping[str, int]] = None
+                     ) -> ControlSimResult:
     """Run the control unit cycle by cycle under *profile*.
 
     Args:
@@ -59,39 +102,144 @@ def simulate_control(unit: ControlUnit, schedule: RelativeSchedule,
         schedule: the relative schedule the unit was synthesized from.
         profile: execution delays for the unbounded anchors (anchors
             missing from the profile run for 0 cycles; bounded
-            operations use their static delay).
+            operations use their static delay).  A value of
+            :data:`~repro.core.delay.STALLED` models a completion
+            signal that never arrives.
         max_cycles: safety bound.
+        watchdog: optional per-anchor timeout bounds and degradation
+            policy; defaults to the bounds attached to the schedule by
+            ``schedule_graph(..., watchdog=...)`` (with the ABORT
+            policy) when present.
+        completion: optional completion-signal override (fault
+            injection); see :data:`CompletionFn`.
+        spurious: anchor -> cycle of an injected spurious ``done``
+            pulse.  Pulses for anchors that have not started are
+            rejected and counted; pulses during execution complete the
+            anchor early.
 
     Returns:
         A :class:`ControlSimResult` with observed start/done times and a
-        waveform trace containing ``done_<anchor>``, ``enable_<op>`` and
-        per-anchor elapsed-counter signals.
+        waveform trace containing ``done_<anchor>``, ``enable_<op>``,
+        per-anchor elapsed-counter signals and ``wdt_<anchor>`` watchdog
+        firings.
 
     Raises:
-        RuntimeError: if the sink has not started within *max_cycles*
-            (a malformed unit or schedule).
+        WatchdogTimeoutError: a monitored anchor exceeded its bound and
+            the policy is ABORT (or RETRY exhausted its re-arms).
+        RuntimeError: the sink has not started within *max_cycles*
+            (a malformed unit or schedule, or a stall with no watchdog).
     """
     profile = dict(profile or {})
     graph = schedule.graph
     trace = WaveformTrace()
+    if watchdog is None and schedule.watchdog:
+        watchdog = WatchdogConfig(bounds=schedule.watchdog)
+    spurious = dict(spurious or {})
 
     start_times: Dict[str, int] = {}
     done_times: Dict[str, int] = {}
+    timeouts: List[WatchdogTimeout] = []
+    rearms: Dict[str, int] = {}
+    deadlines: Dict[str, int] = {}
+    spurious_rejections = 0
 
-    def delay_of(vertex: str) -> int:
+    def resolve_done(vertex: str, start: int) -> Optional[int]:
+        """The cycle *vertex*'s done arrives (possibly future), or None."""
         delay = graph.delta(vertex)
-        if is_unbounded(delay):
-            return profile.get(vertex, 0)
-        return delay
+        if vertex == graph.source:
+            observed = profile.get(vertex, 0)
+            nominal = None if is_stalled(observed) else start + observed
+        elif is_unbounded(delay):
+            observed = profile.get(vertex, 0)
+            nominal = None if is_stalled(observed) else start + observed
+        else:
+            nominal = start + delay
+        if completion is not None:
+            actual = completion(vertex, start, nominal)
+            if actual is None:
+                return None
+            return max(start, actual)
+        return nominal
+
+    def begin(vertex: str, cycle: int) -> None:
+        """Record a start, schedule its done, arm its watchdog."""
+        start_times[vertex] = cycle
+        done = resolve_done(vertex, cycle)
+        if done is not None:
+            done_times[vertex] = done
+            if vertex in graph.anchors:
+                trace.record(done, f"done_{vertex}", 1)
+        if watchdog is not None and vertex in graph.anchors:
+            bound = watchdog.bound_for(vertex)
+            if bound is not None:
+                deadlines[vertex] = cycle + bound
+
+    def check_watchdog(cycle: int) -> bool:
+        """Fire overdue watchdogs; True requests the FALLBACK path."""
+        for anchor in list(deadlines):
+            done = done_times.get(anchor)
+            if done is not None and done <= cycle:
+                del deadlines[anchor]  # completed in time (or recovered)
+                continue
+            if cycle < deadlines[anchor]:
+                continue
+            base = watchdog.bound_for(anchor)
+            spent = rearms.get(anchor, 0)
+            window = base * watchdog.backoff ** spent if spent else base
+            timeouts.append(WatchdogTimeout(anchor, cycle, window, spent))
+            trace.record(cycle, f"wdt_{anchor}", 1)
+            if (watchdog.policy is WatchdogPolicy.RETRY
+                    and spent < watchdog.max_rearms):
+                rearms[anchor] = spent + 1
+                next_window = base * watchdog.backoff ** (spent + 1)
+                deadlines[anchor] = cycle + max(1, next_window)
+                continue
+            if watchdog.policy is WatchdogPolicy.FALLBACK:
+                return True
+            raise WatchdogTimeoutError(
+                f"watchdog timeout: anchor {anchor!r} still running "
+                f"{cycle - start_times[anchor]} cycles after start "
+                f"(bound W={base}, re-arms spent {spent})",
+                anchor=anchor, bound=base, cycle=cycle, rearms=spent)
+        return False
+
+    def degrade(cycle: int) -> ControlSimResult:
+        """FALLBACK: the static worst-case schedule, budgeted at W."""
+        from repro.baselines.worst_case import worst_case_schedule
+
+        budget = watchdog.budget()
+        outcome = worst_case_schedule(graph, budget)
+        static_done = {}
+        for vertex in graph.vertex_names():
+            delay = graph.delta(vertex)
+            static_delay = budget if is_unbounded(delay) else delay
+            static_done[vertex] = outcome.start_times[vertex] + static_delay
+        return ControlSimResult(
+            start_times=dict(outcome.start_times), done_times=static_done,
+            trace=trace, cycles=cycle + 1, timeouts=timeouts, degraded=True,
+            stalled=_stalled(start_times, done_times),
+            spurious_rejections=spurious_rejections, rearms=rearms)
 
     # The source activates the graph at cycle 0; its "execution delay"
     # delta(v0) models the activation handshake and is 0 at run time
     # unless the profile says otherwise.
-    start_times[graph.source] = 0
-    done_times[graph.source] = profile.get(graph.source, 0)
+    begin(graph.source, 0)
 
     pending = [v for v in graph.forward_topological_order() if v != graph.source]
     for cycle in range(max_cycles + 1):
+        # Injected done pulses land before the counters are sampled.
+        for anchor, pulse_cycle in spurious.items():
+            if pulse_cycle != cycle:
+                continue
+            if anchor not in start_times:
+                # The done latch is only armed after start: a pulse for
+                # an idle anchor is detectably bogus and dropped.
+                spurious_rejections += 1
+                trace.record(cycle, f"spur_{anchor}", 0)
+            elif done_times.get(anchor) is None or done_times[anchor] > cycle:
+                done_times[anchor] = cycle  # absorbed as early completion
+                trace.record(cycle, f"spur_{anchor}", 1)
+                trace.record(cycle, f"done_{anchor}", 1)
 
         def elapsed_now() -> Dict[str, Optional[int]]:
             # elapsed(a) = cycles since anchor a completed, None if running.
@@ -113,10 +261,7 @@ def simulate_control(unit: ControlUnit, schedule: RelativeSchedule,
             for vertex in pending:
                 if unit.enables[vertex].evaluate(elapsed):
                     trace.record(cycle, f"enable_{vertex}", 1)
-                    start_times[vertex] = cycle
-                    done_times[vertex] = cycle + delay_of(vertex)
-                    if vertex in graph.anchors:
-                        trace.record(done_times[vertex], f"done_{vertex}", 1)
+                    begin(vertex, cycle)
                     progress = True
                 else:
                     still_pending.append(vertex)
@@ -124,8 +269,19 @@ def simulate_control(unit: ControlUnit, schedule: RelativeSchedule,
         for anchor, value in elapsed_now().items():
             if value is not None:
                 trace.record(cycle, f"cnt_{anchor}", value)
+        if watchdog is not None and deadlines and check_watchdog(cycle):
+            return degrade(cycle)
         if not pending:
-            return ControlSimResult(start_times, done_times, trace, cycle + 1)
+            return ControlSimResult(
+                start_times, done_times, trace, cycle + 1,
+                timeouts=timeouts,
+                stalled=_stalled(start_times, done_times),
+                spurious_rejections=spurious_rejections, rearms=rearms)
     raise RuntimeError(
         f"control simulation did not finish within {max_cycles} cycles; "
         f"pending operations: {pending}")
+
+
+def _stalled(start_times: Dict[str, int],
+             done_times: Dict[str, int]) -> List[str]:
+    return [v for v in start_times if v not in done_times]

@@ -13,13 +13,24 @@ The per-instance event list is the ground truth the integration tests
 check timing constraints against (every min/max constraint must hold in
 every executed instance, for every stimulus -- the run-time meaning of
 well-posedness).
+
+WAIT operations are the behavioral counterpart of anchors: their
+blocking time comes from the environment.  A stimulus may return
+:data:`~repro.core.delay.STALLED` for a wait that never unblocks; a
+*watchdog* (:class:`~repro.core.watchdog.WatchdogConfig`, bounds keyed
+by WAIT operation name) then converts the stall -- or any wait past its
+bound -- into a detected timeout with the configured degradation policy
+instead of an unbounded hang.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.core.delay import is_stalled
+from repro.core.exceptions import WatchdogTimeoutError
+from repro.core.watchdog import WatchdogConfig, WatchdogPolicy, WatchdogTimeout
 from repro.seqgraph.hierarchy import HierarchicalSchedule
 from repro.seqgraph.model import OpKind
 from repro.sim.trace import WaveformTrace
@@ -77,11 +88,23 @@ class OpEvent:
 
 @dataclass
 class SimResult:
-    """Outcome of a hierarchical execution."""
+    """Outcome of a hierarchical execution.
+
+    Attributes:
+        events: every executed operation instance, in completion order.
+        completion: the root graph's completion time.
+        trace: waveform of wait/branch (and watchdog) signals.
+        timeouts: watchdog firings on WAIT operations, in time order.
+        degraded: True when a FALLBACK watchdog forcibly terminated at
+            least one wait at its bound; the events after that point
+            reflect the degraded (bound-clamped) timing.
+    """
 
     events: List[OpEvent]
     completion: int
     trace: WaveformTrace
+    timeouts: List[WatchdogTimeout] = field(default_factory=list)
+    degraded: bool = False
 
     def events_for(self, op: str) -> List[OpEvent]:
         """All dynamic instances of the named operation."""
@@ -102,11 +125,59 @@ class SimResult:
 
 def execute_design(result: HierarchicalSchedule,
                    stimulus: Optional[Stimulus] = None,
-                   max_events: int = 100000) -> SimResult:
-    """Execute a scheduled design from its root graph at cycle 0."""
+                   max_events: int = 100000, *,
+                   watchdog: Optional[WatchdogConfig] = None) -> SimResult:
+    """Execute a scheduled design from its root graph at cycle 0.
+
+    Args:
+        result: the scheduled design.
+        stimulus: run-time choices; its ``wait_delays`` may return
+            :data:`~repro.core.delay.STALLED` for a wait that never
+            unblocks.
+        max_events: safety bound on executed operation instances.
+        watchdog: optional timeout bounds keyed by WAIT operation name
+            (every dynamic instance of the operation is monitored).
+
+    Raises:
+        WatchdogTimeoutError: a monitored wait exceeded its bound under
+            the ABORT policy (or RETRY exhausted its re-arm windows).
+        RuntimeError: a wait stalled with no watchdog bound to detect it.
+    """
     stimulus = stimulus or Stimulus()
     events: List[OpEvent] = []
     trace = WaveformTrace()
+    timeouts: List[WatchdogTimeout] = []
+    degraded = [False]
+
+    def wait_timeout(vertex: str, begin: int, blocking, bound: int) -> int:
+        """Drive one monitored wait past its bound; returns its end."""
+        stalled = is_stalled(blocking)
+        deadline = begin + bound
+        window = bound
+        spent = 0
+        while True:
+            # A late unblock landing inside the current window recovers
+            # the run; timing constraints still hold for any delay.
+            if not stalled and begin + blocking <= deadline:
+                return begin + blocking
+            timeouts.append(WatchdogTimeout(vertex, deadline, window, spent))
+            trace.record(deadline, f"wdt_{vertex}", 1)
+            if (watchdog.policy is WatchdogPolicy.RETRY
+                    and spent < watchdog.max_rearms):
+                spent += 1
+                window = bound * watchdog.backoff ** spent
+                deadline += max(1, window)
+                continue
+            if watchdog.policy is WatchdogPolicy.FALLBACK:
+                # Forcibly terminate the wait at its expired window --
+                # the degraded run continues with bounded timing.
+                degraded[0] = True
+                return deadline
+            raise WatchdogTimeoutError(
+                f"watchdog timeout: wait operation {vertex!r} still "
+                f"blocked {deadline - begin} cycles after start "
+                f"(bound W={bound}, re-arms spent {spent})",
+                anchor=vertex, bound=bound, cycle=deadline, rearms=spent)
 
     def guard() -> None:
         if len(events) > max_events:
@@ -143,8 +214,18 @@ def execute_design(result: HierarchicalSchedule,
         if op.kind is OpKind.WAIT:
             blocking = stimulus.wait_for(vertex, path + (vertex,))
             trace.record(begin, f"wait_{vertex}", 1)
-            trace.record(begin + blocking, f"wait_{vertex}", 0)
-            return begin + blocking
+            bound = watchdog.bound_for(vertex) if watchdog is not None else None
+            if bound is not None and (is_stalled(blocking)
+                                      or blocking > bound):
+                finish = wait_timeout(vertex, begin, blocking, bound)
+            elif is_stalled(blocking):
+                raise RuntimeError(
+                    f"wait operation {vertex!r} stalled with no watchdog "
+                    f"bound; the design would hang")
+            else:
+                finish = begin + blocking
+            trace.record(finish, f"wait_{vertex}", 0)
+            return finish
         if op.kind is OpKind.LOOP:
             if op.iterations is not None:
                 trips = op.iterations
@@ -167,7 +248,8 @@ def execute_design(result: HierarchicalSchedule,
         raise ValueError(f"cannot execute operation kind {op.kind!r}")
 
     completion = run_graph(result.design.root, 0, ())
-    return SimResult(events, completion, trace)
+    return SimResult(events, completion, trace,
+                     timeouts=timeouts, degraded=degraded[0])
 
 
 def check_constraints(result: HierarchicalSchedule, sim: SimResult) -> List[str]:

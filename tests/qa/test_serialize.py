@@ -1,17 +1,20 @@
-"""JSON graph round-trips and repro file I/O."""
+"""JSON graph round-trips, repro file I/O, and input validation."""
 
 import pytest
 
 from repro.core.delay import UNBOUNDED
+from repro.core.exceptions import MalformedInputError
 from repro.core.graph import ConstraintGraph, EdgeKind
 from repro.qa.generators import case_stream
 from repro.qa.serialize import (
     FORMAT_VERSION,
+    MAX_ABS_WEIGHT,
     dump_repro,
     graph_from_dict,
     graph_to_dict,
     graphs_equal,
     load_repro,
+    validate_graph_dict,
 )
 
 
@@ -58,6 +61,105 @@ class TestRoundTrip:
         for case in case_stream(seed, 1):
             rebuilt = graph_from_dict(graph_to_dict(case.graph))
             assert graphs_equal(case.graph, rebuilt)
+
+
+class TestValidation:
+    """Malformed payloads raise MalformedInputError, never KeyError."""
+
+    def payload(self, mixed_graph):
+        return graph_to_dict(mixed_graph)
+
+    def test_non_dict_payload(self):
+        with pytest.raises(MalformedInputError, match="must be an object"):
+            validate_graph_dict([1, 2, 3])
+
+    def test_missing_required_keys(self, mixed_graph):
+        data = self.payload(mixed_graph)
+        del data["vertices"]
+        with pytest.raises(MalformedInputError, match="vertices"):
+            graph_from_dict(data)
+
+    def test_future_format_version(self, mixed_graph):
+        data = self.payload(mixed_graph)
+        data["format"] = FORMAT_VERSION + 1
+        with pytest.raises(MalformedInputError, match="format"):
+            validate_graph_dict(data)
+
+    def test_duplicate_vertex_name(self, mixed_graph):
+        data = self.payload(mixed_graph)
+        data["vertices"].append(dict(data["vertices"][1]))
+        with pytest.raises(MalformedInputError, match="duplicate vertex"):
+            validate_graph_dict(data)
+
+    def test_source_must_be_declared(self, mixed_graph):
+        data = self.payload(mixed_graph)
+        data["source"] = "ghost"
+        with pytest.raises(MalformedInputError, match="not in the vertex list"):
+            validate_graph_dict(data)
+
+    def test_nan_delay_rejected(self, mixed_graph):
+        data = self.payload(mixed_graph)
+        data["vertices"][1]["delay"] = float("nan")
+        with pytest.raises(MalformedInputError, match="integer"):
+            validate_graph_dict(data)
+
+    def test_bool_weight_rejected(self, mixed_graph):
+        data = self.payload(mixed_graph)
+        data["edges"][0]["weight"] = True
+        with pytest.raises(MalformedInputError, match="integer"):
+            validate_graph_dict(data)
+
+    def test_negative_delay_rejected(self, mixed_graph):
+        data = self.payload(mixed_graph)
+        data["vertices"][1]["delay"] = -3
+        with pytest.raises(MalformedInputError, match="non-negative"):
+            validate_graph_dict(data)
+
+    def test_huge_weight_rejected(self, mixed_graph):
+        data = self.payload(mixed_graph)
+        data["edges"][0]["weight"] = MAX_ABS_WEIGHT + 1
+        with pytest.raises(MalformedInputError, match="magnitude"):
+            validate_graph_dict(data)
+
+    def test_weight_at_the_cap_accepted(self, mixed_graph):
+        data = self.payload(mixed_graph)
+        data["edges"][0]["weight"] = MAX_ABS_WEIGHT
+        validate_graph_dict(data)
+
+    def test_self_loop_rejected(self, mixed_graph):
+        data = self.payload(mixed_graph)
+        data["edges"].append({"tail": "x", "head": "x", "weight": 1,
+                              "kind": "sequencing"})
+        with pytest.raises(MalformedInputError, match="self-loop"):
+            validate_graph_dict(data)
+
+    def test_undeclared_edge_endpoint(self, mixed_graph):
+        data = self.payload(mixed_graph)
+        data["edges"].append({"tail": "x", "head": "ghost", "weight": 1,
+                              "kind": "sequencing"})
+        with pytest.raises(MalformedInputError, match="not a declared vertex"):
+            validate_graph_dict(data)
+
+    def test_unknown_edge_kind(self, mixed_graph):
+        data = self.payload(mixed_graph)
+        data["edges"][0]["kind"] = "teleport"
+        with pytest.raises(MalformedInputError, match="unknown kind"):
+            validate_graph_dict(data)
+
+    def test_duplicate_edges_strict_only(self, mixed_graph):
+        data = self.payload(mixed_graph)
+        data["edges"].append(dict(data["edges"][0]))
+        # Parallel edges are legal in the graph model: the default mode
+        # must keep round-tripping them.
+        validate_graph_dict(data)
+        graph_from_dict(data)
+        with pytest.raises(MalformedInputError, match="duplicates"):
+            validate_graph_dict(data, strict=True)
+
+    def test_taxonomy_rooted(self):
+        from repro.core.exceptions import ConstraintGraphError
+
+        assert issubclass(MalformedInputError, ConstraintGraphError)
 
 
 class TestReproFiles:

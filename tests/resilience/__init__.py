@@ -1,0 +1,1 @@
+"""Tests for the resilience layer (watchdogs, faults, guards, chaos)."""

@@ -1,0 +1,85 @@
+"""Chaos campaigns: deterministic case generation and the CLI contract."""
+
+from repro.core.watchdog import WatchdogPolicy
+from repro.resilience.chaos import (
+    generate_chaos_case,
+    main as chaos_main,
+    run_campaign,
+    run_chaos_case,
+)
+
+
+class TestCaseGeneration:
+    def test_same_seed_same_case(self):
+        assert generate_chaos_case(7) == generate_chaos_case(7)
+
+    def test_different_seeds_differ(self):
+        cases = [generate_chaos_case(seed) for seed in range(20)]
+        assert len({str(c.plan) for c in cases}) > 1
+        assert len({c.style for c in cases}) > 1
+
+    def test_policy_pin_overrides_rotation(self):
+        case = generate_chaos_case(3, WatchdogPolicy.FALLBACK)
+        assert case.watchdog.policy is WatchdogPolicy.FALLBACK
+
+    def test_case_fields_are_consistent(self):
+        for seed in range(10):
+            case = generate_chaos_case(seed)
+            assert case.seed == seed
+            assert case.style in ("counter", "shift-register")
+            assert case.watchdog.bound_for("anything") is not None
+            for fault in case.plan.faults:
+                assert fault.anchor in case.profile
+
+
+class TestCampaign:
+    def test_small_campaign_has_no_silent_divergences(self):
+        stats = run_campaign(start_seed=0, count=40)
+        assert stats.cases == 40
+        assert stats.silent == 0
+        # Every schedulable case was classified one way or the other.
+        assert stats.unschedulable + stats.detected + stats.masked == 40
+
+    def test_campaign_is_deterministic(self):
+        first = run_campaign(start_seed=5, count=15)
+        second = run_campaign(start_seed=5, count=15)
+        assert (first.detected, first.masked, first.by_kind) == \
+            (second.detected, second.masked, second.by_kind)
+
+    def test_pinned_policy_campaign(self):
+        stats = run_campaign(start_seed=0, count=15,
+                             policy=WatchdogPolicy.ABORT)
+        assert stats.silent == 0
+        assert set(stats.by_policy) <= {"abort"}
+
+    def test_unschedulable_seed_returns_none(self):
+        # Scan until the generator rotation produces an unschedulable
+        # graph (the adversarial scenarios guarantee some do).
+        outcomes = [run_chaos_case(generate_chaos_case(seed))
+                    for seed in range(30)]
+        assert any(outcome is None for outcome in outcomes)
+        assert any(outcome is not None for outcome in outcomes)
+
+    def test_summary_mentions_counts(self):
+        stats = run_campaign(start_seed=0, count=10)
+        text = stats.summary()
+        assert "chaos campaign: 10 cases" in text
+        assert "detected:" in text and "silent:" in text
+
+
+class TestChaosMain:
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert chaos_main(["--seed", "0", "--cases", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos campaign: 10 cases" in out
+
+    def test_policy_flag(self, capsys):
+        assert chaos_main(["--seed", "0", "--cases", "10",
+                           "--policy", "fallback"]) == 0
+        assert "fallback" in capsys.readouterr().out
+
+    def test_cli_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--seed", "0", "--cases", "8"]) == 0
+        assert "chaos campaign: 8 cases" in capsys.readouterr().out

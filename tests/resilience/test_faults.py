@@ -1,0 +1,251 @@
+"""Fault injection and the detected/masked/silent containment contract."""
+
+import pytest
+
+from repro.core.delay import STALLED, UNBOUNDED, is_stalled
+from repro.core.exceptions import WatchdogTimeoutError
+from repro.core.graph import ConstraintGraph
+from repro.core.scheduler import schedule_graph
+from repro.core.watchdog import WatchdogConfig, WatchdogPolicy
+from repro.resilience.faults import (
+    Fault,
+    FaultKind,
+    FaultPlan,
+    effective_profile,
+    observed_violations,
+    run_with_faults,
+)
+
+
+def chain_schedule():
+    """s -> a(unbounded) -> x(2) -> t."""
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("a", UNBOUNDED)
+    g.add_operation("x", 2)
+    g.add_sequencing_edges([("s", "a"), ("a", "x"), ("x", "t")])
+    return schedule_graph(g)
+
+
+def two_anchor_schedule():
+    """s -> a(unbounded) -> b(unbounded) -> x(1) -> t."""
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("a", UNBOUNDED)
+    g.add_operation("b", UNBOUNDED)
+    g.add_operation("x", 1)
+    g.add_sequencing_edges([("s", "a"), ("a", "b"), ("b", "x"), ("x", "t")])
+    return schedule_graph(g)
+
+
+def abort_watchdog(bound=10):
+    return WatchdogConfig(default=bound, policy=WatchdogPolicy.ABORT)
+
+
+class TestFaultPlan:
+    def test_str_spells_the_plan(self):
+        plan = FaultPlan((Fault(FaultKind.STALL, "a"),
+                          Fault(FaultKind.LATE, "b", 3)))
+        assert str(plan) == "stall@a+late(3)@b"
+        assert str(FaultPlan()) == "none"
+
+    def test_two_completion_faults_per_anchor_rejected(self):
+        plan = FaultPlan((Fault(FaultKind.STALL, "a"),
+                          Fault(FaultKind.LATE, "a", 3)))
+        with pytest.raises(ValueError, match="two completion faults"):
+            plan.completion_faults()
+
+    def test_spurious_stacks_on_a_completion_fault(self):
+        plan = FaultPlan((Fault(FaultKind.STALL, "a"),
+                          Fault(FaultKind.SPURIOUS, "a", 7)))
+        assert set(plan.completion_faults()) == {"a"}
+        assert plan.spurious_pulses() == {"a": 7}
+
+    def test_early_override_clamps_at_start(self):
+        plan = FaultPlan((Fault(FaultKind.EARLY, "a", 10),))
+        override = plan.completion_override()
+        assert override("a", 5, 9) == 5  # 9 - 10 < start
+        assert override("a", 5, None) is None  # shifting a stall: stalled
+        assert override("other", 5, 9) == 9  # unfaulted anchors untouched
+
+
+class TestClassification:
+    def test_stall_with_watchdog_is_detected(self):
+        outcome = run_with_faults(
+            chain_schedule(), {"a": 2},
+            FaultPlan((Fault(FaultKind.STALL, "a"),)),
+            watchdog=abort_watchdog())
+        assert outcome.detected and outcome.contained
+        assert isinstance(outcome.error, WatchdogTimeoutError)
+        assert outcome.error.anchor == "a"
+
+    def test_drop_is_signal_identical_to_stall(self):
+        for kind in (FaultKind.STALL, FaultKind.DROP):
+            outcome = run_with_faults(
+                chain_schedule(), {"a": 2},
+                FaultPlan((Fault(kind, "a"),)),
+                watchdog=abort_watchdog())
+            assert outcome.detected
+            assert outcome.error.anchor == "a"
+
+    def test_stall_without_watchdog_is_silent(self):
+        outcome = run_with_faults(
+            chain_schedule(), {"a": 2},
+            FaultPlan((Fault(FaultKind.STALL, "a"),)),
+            max_cycles=50)
+        assert outcome.classification == "silent"
+        assert not outcome.contained
+        assert any("hung" in v for v in outcome.violations)
+
+    def test_late_inside_bound_is_masked(self):
+        outcome = run_with_faults(
+            chain_schedule(), {"a": 2},
+            FaultPlan((Fault(FaultKind.LATE, "a", 3),)),
+            watchdog=abort_watchdog(bound=10))
+        assert outcome.masked
+        assert outcome.effective_profile["a"] == 5
+
+    def test_late_past_bound_is_detected(self):
+        outcome = run_with_faults(
+            chain_schedule(), {"a": 2},
+            FaultPlan((Fault(FaultKind.LATE, "a", 20),)),
+            watchdog=abort_watchdog(bound=10))
+        assert outcome.detected
+
+    def test_early_is_masked_with_clamped_profile(self):
+        outcome = run_with_faults(
+            chain_schedule(), {"a": 4},
+            FaultPlan((Fault(FaultKind.EARLY, "a", 10),)),
+            watchdog=abort_watchdog())
+        assert outcome.masked
+        assert outcome.effective_profile["a"] == 0
+
+    def test_retry_recovery_still_counts_as_detected(self):
+        outcome = run_with_faults(
+            chain_schedule(), {"a": 1},
+            FaultPlan((Fault(FaultKind.LATE, "a", 4),)),
+            watchdog=WatchdogConfig(default=2, policy=WatchdogPolicy.RETRY,
+                                    max_rearms=2, backoff=2))
+        assert outcome.detected
+        assert outcome.result is not None and outcome.result.timeouts
+
+    def test_fallback_degradation_is_detected(self):
+        outcome = run_with_faults(
+            chain_schedule(), {"a": 1},
+            FaultPlan((Fault(FaultKind.STALL, "a"),)),
+            watchdog=WatchdogConfig(default=4,
+                                    policy=WatchdogPolicy.FALLBACK))
+        assert outcome.detected
+        assert outcome.result.degraded
+
+    def test_faultless_run_is_masked(self):
+        outcome = run_with_faults(chain_schedule(), {"a": 3})
+        assert outcome.masked
+        assert outcome.violations == []
+
+    def test_shift_register_style_contains_too(self):
+        outcome = run_with_faults(
+            chain_schedule(), {"a": 2},
+            FaultPlan((Fault(FaultKind.STALL, "a"),)),
+            watchdog=abort_watchdog(), style="shift-register")
+        assert outcome.detected
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError, match="unknown control style"):
+            run_with_faults(chain_schedule(), style="fsm")
+
+
+class TestSpurious:
+    def test_pulse_before_start_is_rejected_and_counted(self):
+        # 'b' starts only after 'a' completes at cycle 5: a pulse at
+        # cycle 2 hits an idle anchor and must bounce off the latch.
+        outcome = run_with_faults(
+            two_anchor_schedule(), {"a": 5, "b": 3},
+            FaultPlan((Fault(FaultKind.SPURIOUS, "b", 2),)),
+            watchdog=abort_watchdog())
+        assert outcome.masked
+        assert outcome.result.spurious_rejections == 1
+        # The rejected pulse changes nothing downstream.
+        assert outcome.effective_profile["a"] == 5
+        assert outcome.effective_profile["b"] == 3
+
+    def test_pulse_mid_execution_absorbed_as_early_completion(self):
+        outcome = run_with_faults(
+            two_anchor_schedule(), {"a": 5, "b": 10},
+            FaultPlan((Fault(FaultKind.SPURIOUS, "b", 7),)),
+            watchdog=abort_watchdog(bound=20))
+        assert outcome.masked
+        assert outcome.result.spurious_rejections == 0
+        assert outcome.result.done_times["b"] == 7
+        assert outcome.result.start_times["x"] == 7
+
+    def test_pulse_after_completion_is_a_no_op(self):
+        outcome = run_with_faults(
+            two_anchor_schedule(), {"a": 2, "b": 1},
+            FaultPlan((Fault(FaultKind.SPURIOUS, "a", 9),)),
+            watchdog=abort_watchdog())
+        assert outcome.masked
+        assert outcome.result.done_times["a"] == 2
+
+
+class TestObservedViolations:
+    def graph(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("x", 2)
+        g.add_sequencing_edges([("s", "a"), ("a", "x"), ("x", "t")])
+        return g
+
+    def test_clean_run_has_no_violations(self):
+        starts = {"s": 0, "a": 0, "x": 4, "t": 6}
+        dones = {"s": 0, "a": 4, "x": 6, "t": 6}
+        assert observed_violations(self.graph(), starts, dones) == []
+
+    def test_head_before_unbounded_done_is_flagged(self):
+        starts = {"s": 0, "a": 0, "x": 2, "t": 4}
+        dones = {"s": 0, "a": 4, "x": 4, "t": 4}
+        violations = observed_violations(self.graph(), starts, dones)
+        assert any("before" in v and "'x'" in v for v in violations)
+
+    def test_head_started_with_tail_never_done_is_flagged(self):
+        starts = {"s": 0, "a": 0, "x": 2, "t": 4}
+        dones = {"s": 0, "x": 4, "t": 4}  # 'a' never completed
+        violations = observed_violations(self.graph(), starts, dones)
+        assert any("never completed" in v for v in violations)
+
+    def test_bounded_edge_inequality_is_checked(self):
+        g = self.graph()
+        starts = {"s": 0, "a": 0, "x": 4, "t": 5}  # t < x + delta(x)
+        dones = {"s": 0, "a": 4, "x": 6, "t": 5}
+        violations = observed_violations(g, starts, dones)
+        assert any("'x'->'t'" in v for v in violations)
+
+    def test_unstarted_vertices_observe_nothing(self):
+        starts = {"s": 0, "a": 0}
+        dones = {"s": 0}
+        assert observed_violations(self.graph(), starts, dones) == []
+
+
+class TestEffectiveProfile:
+    def test_stalled_anchor_maps_to_sentinel(self):
+        from repro.sim.control_sim import ControlSimResult
+        from repro.sim.trace import WaveformTrace
+
+        schedule = chain_schedule()
+        # 'a' started but its done never arrived.
+        result = ControlSimResult(start_times={"s": 0, "a": 0},
+                                  done_times={"s": 0},
+                                  trace=WaveformTrace(), cycles=5)
+        profile = effective_profile(schedule, result)
+        assert is_stalled(profile["a"])
+        assert "x" not in profile  # never started, nothing observed
+
+    def test_observed_delay_is_done_minus_start(self):
+        schedule = chain_schedule()
+        outcome = run_with_faults(schedule, {"a": 6})
+        profile = effective_profile(schedule, outcome.result)
+        assert profile["a"] == 6
+
+    def test_stalled_input_profile_accepted(self):
+        outcome = run_with_faults(
+            chain_schedule(), {"a": STALLED},
+            watchdog=abort_watchdog(bound=3))
+        assert outcome.detected

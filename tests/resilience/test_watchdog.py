@@ -1,0 +1,150 @@
+"""Watchdog anchors: bounds, policies, and the exact firing boundary."""
+
+import pytest
+
+from repro.control.counter import synthesize_counter_control
+from repro.core.delay import STALLED, UNBOUNDED
+from repro.core.exceptions import GraphStructureError, WatchdogTimeoutError
+from repro.core.graph import ConstraintGraph
+from repro.core.scheduler import schedule_graph
+from repro.core.watchdog import (
+    WatchdogConfig,
+    WatchdogPolicy,
+    validate_watchdog_bounds,
+)
+from repro.sim.control_sim import simulate_control
+
+
+def chain_graph():
+    """s -> a(unbounded) -> x(2) -> t."""
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("a", UNBOUNDED)
+    g.add_operation("x", 2)
+    g.add_sequencing_edges([("s", "a"), ("a", "x"), ("x", "t")])
+    return g
+
+
+def scheduled(watchdog=None):
+    schedule = schedule_graph(chain_graph(), watchdog=watchdog)
+    return schedule, synthesize_counter_control(schedule)
+
+
+class TestBoundAttachment:
+    def test_schedule_graph_attaches_bounds(self):
+        schedule, _ = scheduled(watchdog={"a": 8})
+        assert schedule.watchdog == {"a": 8}
+
+    def test_unknown_anchor_rejected(self):
+        with pytest.raises(GraphStructureError, match="not an anchor"):
+            schedule_graph(chain_graph(), watchdog={"x": 8})
+
+    def test_validate_bounds_rejects_bool_and_negative(self):
+        with pytest.raises(GraphStructureError, match="must be an int"):
+            validate_watchdog_bounds({"a": True}, ["a"])
+        with pytest.raises(GraphStructureError, match="non-negative"):
+            validate_watchdog_bounds({"a": -1}, ["a"])
+
+    def test_validate_bounds_returns_plain_dict(self):
+        assert validate_watchdog_bounds({"a": 5}, ["a", "b"]) == {"a": 5}
+
+
+class TestFiringBoundary:
+    """Completion at start + W is in time; W + 1 fires the watchdog."""
+
+    def test_delay_equal_to_bound_passes(self):
+        schedule, unit = scheduled(watchdog={"a": 5})
+        result = simulate_control(unit, schedule, {"a": 5})
+        assert result.timeouts == []
+        assert result.done_times["a"] == result.start_times["a"] + 5
+
+    def test_delay_one_past_bound_fires(self):
+        schedule, unit = scheduled(watchdog={"a": 5})
+        with pytest.raises(WatchdogTimeoutError) as excinfo:
+            simulate_control(unit, schedule, {"a": 6})
+        assert excinfo.value.anchor == "a"
+        assert excinfo.value.bound == 5
+
+    def test_stalled_anchor_fires(self):
+        schedule, unit = scheduled(watchdog={"a": 5})
+        with pytest.raises(WatchdogTimeoutError):
+            simulate_control(unit, schedule, {"a": STALLED})
+
+    def test_abort_error_carries_diagnostics(self):
+        schedule, unit = scheduled(watchdog={"a": 3})
+        with pytest.raises(WatchdogTimeoutError) as excinfo:
+            simulate_control(unit, schedule, {"a": STALLED})
+        error = excinfo.value
+        assert error.anchor == "a" and error.bound == 3
+        assert error.cycle == 3  # 'a' starts at 0; deadline = start + W
+        assert error.rearms == 0
+
+
+class TestRetryPolicy:
+    def config(self, bound=2, max_rearms=2):
+        return WatchdogConfig(bounds={"a": bound}, policy=WatchdogPolicy.RETRY,
+                              max_rearms=max_rearms, backoff=2)
+
+    def test_late_done_inside_rearm_window_recovers(self):
+        schedule, unit = scheduled()
+        # bound 2, first re-arm window spans 4 cycles: done at 5 recovers.
+        result = simulate_control(unit, schedule, {"a": 5},
+                                  watchdog=self.config())
+        assert len(result.timeouts) == 1
+        assert result.rearms == {"a": 1}
+        assert result.done_times["a"] == 5
+        # The relative schedule stays correct under the late profile.
+        assert result.matches_schedule(schedule, {"a": 5})
+
+    def test_exhausted_rearms_escalate_to_abort(self):
+        schedule, unit = scheduled()
+        config = self.config()
+        with pytest.raises(WatchdogTimeoutError) as excinfo:
+            simulate_control(unit, schedule, {"a": STALLED}, watchdog=config)
+        # Escalation happens exactly at the total allowance:
+        # 2 + 2*2 + 2*4 = 14 cycles after start.
+        assert config.total_allowance("a") == 14
+        assert excinfo.value.cycle == 14
+        assert excinfo.value.rearms == 2
+
+    def test_timeout_events_record_scaled_windows(self):
+        schedule, unit = scheduled()
+        result = simulate_control(unit, schedule, {"a": 9},
+                                  watchdog=self.config())
+        # Fired at 2 (window 2) and 6 (window 4); done 9 <= 6 + 8.
+        assert [(t.cycle, t.bound, t.rearm) for t in result.timeouts] == \
+            [(2, 2, 0), (6, 4, 1)]
+
+
+class TestFallbackPolicy:
+    def test_stall_degrades_to_static_worst_case(self):
+        from repro.baselines.worst_case import worst_case_schedule
+
+        schedule, unit = scheduled()
+        config = WatchdogConfig(bounds={"a": 3},
+                                policy=WatchdogPolicy.FALLBACK)
+        result = simulate_control(unit, schedule, {"a": STALLED},
+                                  watchdog=config)
+        assert result.degraded
+        assert len(result.timeouts) == 1
+        static = worst_case_schedule(schedule.graph, config.budget())
+        assert result.start_times == dict(static.start_times)
+
+    def test_fallback_budget_defaults_to_largest_bound(self):
+        config = WatchdogConfig(bounds={"a": 3, "b": 7},
+                                policy=WatchdogPolicy.FALLBACK)
+        assert config.budget() == 7
+        pinned = WatchdogConfig(bounds={"a": 3}, fallback_budget=20)
+        assert pinned.budget() == 20
+
+
+class TestBoundedCompletion:
+    def test_bounds_make_worst_case_latency_finite(self):
+        schedule, _ = scheduled(watchdog={"a": 8})
+        # The worst in-bounds profile runs every anchor at its W(a).
+        assert schedule.bounded_completion() == \
+            schedule.start_times({"a": 8})["t"]
+
+    def test_explicit_bounds_override_attached_ones(self):
+        schedule, _ = scheduled(watchdog={"a": 8})
+        assert schedule.bounded_completion({"a": 3}) == \
+            schedule.start_times({"a": 3})["t"]

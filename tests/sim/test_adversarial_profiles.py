@@ -1,0 +1,223 @@
+"""Simulators under adversarial delay profiles.
+
+Zero delays, stalls, watchdog-boundary delays, and hostile completion
+signalling -- with assertions on the control FSM's observable state
+(waveform signals ``cnt_``/``done_``/``wdt_``/``spur_``/``wait_``), not
+just on the final times.
+"""
+
+import pytest
+
+from repro.control.counter import synthesize_counter_control
+from repro.core.delay import STALLED, UNBOUNDED
+from repro.core.exceptions import WatchdogTimeoutError
+from repro.core.graph import ConstraintGraph
+from repro.core.scheduler import schedule_graph
+from repro.core.watchdog import WatchdogConfig, WatchdogPolicy
+from repro.seqgraph import Design, GraphBuilder, schedule_design
+from repro.sim import Stimulus, execute_design
+from repro.sim.control_sim import simulate_control
+
+
+def chain_schedule(watchdog=None):
+    """s -> a(unbounded) -> x(2) -> t."""
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("a", UNBOUNDED)
+    g.add_operation("x", 2)
+    g.add_sequencing_edges([("s", "a"), ("a", "x"), ("x", "t")])
+    schedule = schedule_graph(g, watchdog=watchdog)
+    return schedule, synthesize_counter_control(schedule)
+
+
+def parallel_schedule():
+    """Two independent unbounded anchors feeding the sink."""
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("a", UNBOUNDED)
+    g.add_operation("b", UNBOUNDED)
+    g.add_operation("x", 1)
+    g.add_operation("y", 1)
+    g.add_sequencing_edges([("s", "a"), ("a", "x"), ("x", "t"),
+                            ("s", "b"), ("b", "y"), ("y", "t")])
+    schedule = schedule_graph(g)
+    return schedule, synthesize_counter_control(schedule)
+
+
+def wait_design_result():
+    design = Design("d")
+    top = GraphBuilder("top")
+    top.op("pre", delay=1, writes=("v",))
+    top.wait("w", reads=("v",), writes=("v",))
+    top.op("post", delay=1, reads=("v",))
+    design.add_graph(top.build(), root=True)
+    return schedule_design(design)
+
+
+class TestZeroDelays:
+    def test_all_zero_profile_matches_schedule(self):
+        schedule, unit = chain_schedule()
+        result = simulate_control(unit, schedule, {"a": 0})
+        assert result.matches_schedule(schedule, {"a": 0})
+        # Zero-delay anchors cascade within one cycle: the intra-cycle
+        # fixpoint starts x the same cycle 'a' completes.
+        assert result.start_times["x"] == result.done_times["a"]
+
+    def test_zero_watchdog_bound_tolerates_only_zero_delay(self):
+        schedule, unit = chain_schedule(watchdog={"a": 0})
+        result = simulate_control(unit, schedule, {"a": 0})
+        assert result.timeouts == []
+        with pytest.raises(WatchdogTimeoutError):
+            simulate_control(unit, schedule, {"a": 1})
+
+    def test_empty_profile_defaults_every_anchor_to_zero(self):
+        schedule, unit = parallel_schedule()
+        result = simulate_control(unit, schedule)
+        assert result.matches_schedule(schedule, {})
+
+
+class TestControlFsmObservables:
+    def test_watchdog_firing_is_traced(self):
+        schedule, unit = chain_schedule()
+        config = WatchdogConfig(bounds={"a": 3},
+                                policy=WatchdogPolicy.FALLBACK)
+        result = simulate_control(unit, schedule, {"a": STALLED},
+                                  watchdog=config)
+        events = result.trace.events("wdt_a")
+        assert [(e.time, e.value) for e in events] == [(3, 1)]
+
+    def test_counter_tracks_cycles_since_done(self):
+        schedule, unit = chain_schedule()
+        result = simulate_control(unit, schedule, {"a": 2})
+        # 'a' completes at 2; elapsed counter reads 0 there and counts up.
+        assert result.trace.value_at("cnt_a", 2) == 0
+        assert result.trace.value_at("cnt_a", 4) == 2
+        # Before completion the counter has no value recorded.
+        assert result.trace.value_at("cnt_a", 1) is None
+
+    def test_done_pulse_recorded_at_completion_cycle(self):
+        schedule, unit = chain_schedule()
+        result = simulate_control(unit, schedule, {"a": 4})
+        assert [e.time for e in result.trace.events("done_a")] == [4]
+
+    def test_rejected_spurious_pulse_traced_low(self):
+        # 'b' only starts once 'a' completes at cycle 5; a pulse for it
+        # at cycle 2 hits an idle anchor and must bounce off the latch.
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("b", UNBOUNDED)
+        g.add_operation("x", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "b"), ("b", "x"),
+                                ("x", "t")])
+        schedule = schedule_graph(g)
+        unit = synthesize_counter_control(schedule)
+        result = simulate_control(unit, schedule, {"a": 5, "b": 1},
+                                  spurious={"b": 2})
+        assert result.spurious_rejections == 1
+        assert [(e.time, e.value)
+                for e in result.trace.events("spur_b")] == [(2, 0)]
+
+    def test_absorbed_spurious_pulse_traced_high(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("x", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "x"), ("x", "t")])
+        schedule = schedule_graph(g)
+        unit = synthesize_counter_control(schedule)
+        result = simulate_control(unit, schedule, {"a": 9},
+                                  spurious={"a": 4})
+        assert result.done_times["a"] == 4
+        assert [(e.time, e.value)
+                for e in result.trace.events("spur_a")] == [(4, 1)]
+
+
+class TestAllAnchorsStalled:
+    def profile(self):
+        return {"a": STALLED, "b": STALLED}
+
+    def test_abort_policy_raises(self):
+        schedule, unit = parallel_schedule()
+        config = WatchdogConfig(default=4, policy=WatchdogPolicy.ABORT)
+        with pytest.raises(WatchdogTimeoutError):
+            simulate_control(unit, schedule, self.profile(), watchdog=config)
+
+    def test_retry_policy_escalates(self):
+        schedule, unit = parallel_schedule()
+        config = WatchdogConfig(default=2, policy=WatchdogPolicy.RETRY,
+                                max_rearms=1, backoff=2)
+        with pytest.raises(WatchdogTimeoutError) as excinfo:
+            simulate_control(unit, schedule, self.profile(), watchdog=config)
+        assert excinfo.value.rearms == 1
+
+    def test_fallback_policy_degrades(self):
+        schedule, unit = parallel_schedule()
+        config = WatchdogConfig(default=4, policy=WatchdogPolicy.FALLBACK)
+        result = simulate_control(unit, schedule, self.profile(),
+                                  watchdog=config)
+        assert result.degraded
+        assert set(result.stalled) == {"a", "b"}
+
+    def test_no_watchdog_hangs_honestly(self):
+        schedule, unit = parallel_schedule()
+        with pytest.raises(RuntimeError, match="did not finish"):
+            simulate_control(unit, schedule, self.profile(), max_cycles=60)
+
+
+class TestEngineWaitWatchdog:
+    def test_stalled_wait_without_watchdog_raises(self):
+        result = wait_design_result()
+        with pytest.raises(RuntimeError, match="would hang"):
+            execute_design(result, Stimulus(wait_delays=STALLED))
+
+    def test_in_bound_wait_passes_untouched(self):
+        result = wait_design_result()
+        config = WatchdogConfig(bounds={"w": 6})
+        sim = execute_design(result, Stimulus(wait_delays=6),
+                             watchdog=config)
+        assert sim.timeouts == [] and not sim.degraded
+
+    def test_over_bound_wait_aborts(self):
+        result = wait_design_result()
+        config = WatchdogConfig(bounds={"w": 6})
+        with pytest.raises(WatchdogTimeoutError) as excinfo:
+            execute_design(result, Stimulus(wait_delays=7), watchdog=config)
+        assert excinfo.value.anchor == "w"
+        assert excinfo.value.bound == 6
+
+    def test_retry_recovers_a_late_unblock(self):
+        result = wait_design_result()
+        config = WatchdogConfig(bounds={"w": 2}, policy=WatchdogPolicy.RETRY,
+                                max_rearms=2, backoff=2)
+        sim = execute_design(result, Stimulus(wait_delays=5), watchdog=config)
+        # One firing, then the unblock lands inside the 4-cycle re-arm
+        # window; the run completes with bounded extra latency.
+        assert len(sim.timeouts) == 1 and not sim.degraded
+        wait_events = sim.trace.events("wait_w")
+        assert wait_events[-1].value == 0  # the wait did finish
+        assert sim.start_of("post") == wait_events[-1].time
+
+    def test_retry_exhaustion_escalates(self):
+        result = wait_design_result()
+        config = WatchdogConfig(bounds={"w": 2}, policy=WatchdogPolicy.RETRY,
+                                max_rearms=1, backoff=2)
+        with pytest.raises(WatchdogTimeoutError) as excinfo:
+            execute_design(result, Stimulus(wait_delays=STALLED),
+                           watchdog=config)
+        assert excinfo.value.rearms == 1
+
+    def test_fallback_terminates_the_wait_at_its_bound(self):
+        result = wait_design_result()
+        config = WatchdogConfig(bounds={"w": 4},
+                                policy=WatchdogPolicy.FALLBACK)
+        sim = execute_design(result, Stimulus(wait_delays=STALLED),
+                             watchdog=config)
+        assert sim.degraded
+        # 'pre' takes 1 cycle, the wait is cut off after W=4 more.
+        assert sim.start_of("post") == 1 + 4
+
+    def test_firing_is_traced_on_the_waveform(self):
+        result = wait_design_result()
+        config = WatchdogConfig(bounds={"w": 4},
+                                policy=WatchdogPolicy.FALLBACK)
+        sim = execute_design(result, Stimulus(wait_delays=STALLED),
+                             watchdog=config)
+        assert [(e.time, e.value)
+                for e in sim.trace.events("wdt_w")] == [(5, 1)]

@@ -147,6 +147,85 @@ class TestDotSimulateTables:
         assert "Table II" in capsys.readouterr().out
 
 
+class TestSimulateHostile:
+    """``simulate`` with watchdogs, faults, and run budgets."""
+
+    @pytest.fixture
+    def chain_json(self, tmp_path):
+        from repro import ConstraintGraph
+        from repro.core.delay import UNBOUNDED
+        from repro.io import save_json
+
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("x", 2)
+        g.add_sequencing_edges([("s", "a"), ("a", "x"), ("x", "t")])
+        path = tmp_path / "chain.json"
+        save_json(g, str(path))
+        return str(path)
+
+    def test_watchdog_in_bounds_run(self, chain_json, capsys):
+        assert main(["simulate", chain_json, "--profile", "a=3",
+                     "--watchdog", "a=5"]) == 0
+        out = capsys.readouterr().out
+        assert "fault containment: masked" in out
+
+    def test_stall_fault_aborts_with_watchdog(self, chain_json, capsys):
+        code = main(["simulate", chain_json, "--profile", "a=2",
+                     "--watchdog", "a=3", "--fault", "stall:a"])
+        assert code == 1
+        assert "watchdog timeout" in capsys.readouterr().err
+
+    def test_stall_fault_fallback_is_detected(self, chain_json, capsys):
+        assert main(["simulate", chain_json, "--profile", "a=2",
+                     "--watchdog", "a=3", "--fault", "stall:a",
+                     "--on-timeout", "fallback"]) == 0
+        out = capsys.readouterr().out
+        assert "degraded to the static worst-case fallback schedule" in out
+        assert "fault containment: detected" in out
+
+    def test_retry_policy_reports_timeouts(self, chain_json, capsys):
+        assert main(["simulate", chain_json, "--profile", "a=1",
+                     "--watchdog", "a=2", "--fault", "late:a:3",
+                     "--on-timeout", "retry", "--rearms", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "timed out at cycle" in out
+        assert "fault containment: detected" in out
+
+    def test_spurious_fault_is_masked(self, chain_json, capsys):
+        assert main(["simulate", chain_json, "--profile", "a=5",
+                     "--fault", "spurious:a:2"]) == 0
+        assert "fault containment: masked" in capsys.readouterr().out
+
+    def test_stalled_vertices_print_as_stalled(self, chain_json, capsys):
+        main(["simulate", chain_json, "--profile", "a=2",
+              "--watchdog", "a=3", "--fault", "stall:a",
+              "--on-timeout", "fallback"])
+        # The per-vertex table comes from the degraded static schedule.
+        assert "start @" in capsys.readouterr().out
+
+    def test_bad_fault_spec_rejected(self, chain_json):
+        with pytest.raises(SystemExit):
+            main(["simulate", chain_json, "--fault", "nonsense"])
+        with pytest.raises(SystemExit):
+            main(["simulate", chain_json, "--fault", "teleport:a"])
+
+    def test_budget_refuses_oversized_graph(self, chain_json, capsys):
+        code = main(["--budget", "vertices=2", "simulate", chain_json])
+        assert code == 1
+        assert "over the budget" in capsys.readouterr().err
+
+    def test_budget_allows_sized_graph(self, chain_json, capsys):
+        assert main(["--budget", "vertices=10,edges=10,iterations=8",
+                     "simulate", chain_json, "--profile", "a=1"]) == 0
+
+    def test_bad_budget_spec_rejected(self, chain_json):
+        with pytest.raises(SystemExit):
+            main(["--budget", "nonsense", "simulate", chain_json])
+        with pytest.raises(SystemExit):
+            main(["--budget", "gadgets=5", "simulate", chain_json])
+
+
 class TestReportAndMonteCarlo:
     def test_report_on_hardwarec(self, gcd_file, capsys):
         assert main(["report", gcd_file]) == 0

@@ -21,9 +21,13 @@ from repro.core.anchors import AnchorMode
 from repro.core.constraints import MaxTimingConstraint
 from repro.core.delay import UNBOUNDED
 from repro.core.exceptions import (
+    BudgetExceededError,
     ConstraintGraphError,
+    GraphStructureError,
     IllPosedError,
+    MalformedInputError,
     UnfeasibleConstraintsError,
+    WatchdogTimeoutError,
 )
 from repro.core.graph import ConstraintGraph
 from repro.core.incremental import add_constraint_incremental, without_constraint
@@ -181,3 +185,94 @@ class TestCliContract:
         code = main(["schedule", str(path), "--no-well-pose"])
         assert code == 1
         assert "ill-posed" in capsys.readouterr().err
+
+
+class TestResilienceTaxonomy:
+    """The robustness layer's errors join the same rooted taxonomy."""
+
+    @pytest.mark.parametrize("exc", [
+        MalformedInputError,
+        WatchdogTimeoutError,
+        BudgetExceededError,
+    ])
+    def test_rooted_under_constraint_graph_error(self, exc):
+        assert issubclass(exc, ConstraintGraphError)
+
+    def test_malformed_input_is_a_structure_error(self):
+        # Structural rejections of serialized input classify alongside
+        # structural rejections of in-memory graphs.
+        assert issubclass(MalformedInputError, GraphStructureError)
+
+    def test_watchdog_error_carries_diagnostics(self):
+        error = WatchdogTimeoutError("boom", anchor="a", bound=5, cycle=12,
+                                     rearms=2)
+        assert (error.anchor, error.bound, error.cycle, error.rearms) == \
+            ("a", 5, 12, 2)
+
+
+class TestCliResilienceContract:
+    """Watchdog, budget, and malformed-input failures keep the
+    ``error:`` stderr + exit 1 contract (no tracebacks)."""
+
+    @pytest.fixture
+    def watchdog_json(self, tmp_path):
+        from repro.core.delay import UNBOUNDED
+        from repro.io import save_json
+
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("x", 2)
+        g.add_sequencing_edges([("s", "a"), ("a", "x"), ("x", "t")])
+        path = tmp_path / "chain.json"
+        save_json(g, str(path))
+        return str(path)
+
+    def _assert_error_contract(self, code, capsys, needle):
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert needle in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_watchdog_timeout_is_an_error_line(self, watchdog_json, capsys):
+        code = main(["simulate", watchdog_json,
+                     "--profile", "a=9", "--watchdog", "a=3"])
+        self._assert_error_contract(code, capsys, "watchdog timeout")
+
+    def test_budget_exceeded_is_an_error_line(self, watchdog_json, capsys):
+        code = main(["--budget", "vertices=2", "schedule", watchdog_json])
+        self._assert_error_contract(code, capsys, "over the budget")
+
+    def test_deadline_budget_is_an_error_line(self, watchdog_json, capsys):
+        code = main(["--budget", "deadline=-1.0", "schedule", watchdog_json])
+        self._assert_error_contract(code, capsys, "deadline")
+
+    def test_malformed_profile_is_an_error_line(self, watchdog_json, capsys):
+        code = main(["simulate", watchdog_json, "--profile", "ghost=3"])
+        self._assert_error_contract(code, capsys, "not an anchor")
+
+    def test_negative_delay_is_an_error_line(self, watchdog_json, capsys):
+        code = main(["simulate", watchdog_json, "--profile", "a=-1"])
+        self._assert_error_contract(code, capsys, "non-negative")
+
+    def test_incomplete_profile_is_an_error_line(self, watchdog_json, capsys):
+        # chain.json has one non-source anchor 'a'; an explicit profile
+        # that omits it is incomplete.
+        from repro.core.delay import UNBOUNDED
+        from repro.io import save_json
+        import pathlib
+
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("b", UNBOUNDED)
+        g.add_operation("x", 2)
+        g.add_sequencing_edges([("s", "a"), ("a", "x"),
+                                ("s", "b"), ("b", "t"), ("x", "t")])
+        path = pathlib.Path(watchdog_json).with_name("two.json")
+        save_json(g, str(path))
+        code = main(["simulate", str(path), "--profile", "a=3"])
+        self._assert_error_contract(code, capsys, "omits anchors")
+
+    def test_bad_watchdog_bound_is_an_error_line(self, watchdog_json, capsys):
+        code = main(["simulate", watchdog_json, "--watchdog", "x=3"])
+        self._assert_error_contract(code, capsys, "not an anchor")
