@@ -48,6 +48,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.core.reference import schedule_graph_reference  # noqa: E402
 from repro.core.scheduler import schedule_graph  # noqa: E402
+from repro.lint import LintEngine  # noqa: E402
 from repro.resilience.guard import guarded_schedule  # noqa: E402
 from repro.observability import (  # noqa: E402
     Tracer,
@@ -71,6 +72,17 @@ def _time(graph, fn, reps):
         fresh = graph.copy()
         t0 = time.perf_counter()
         fn(fresh)
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3
+
+
+def _time_no_copy(graph, fn, reps):
+    """Time *fn* on *graph* itself (for read-only passes that must see
+    the graph's warm analysis cache, which ``copy()`` would drop)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn(graph)
         best = min(best, time.perf_counter() - t0)
     return best * 1e3
 
@@ -135,6 +147,24 @@ def guard_workload(n_ops, baseline, reps, tolerance, ratio_tolerance,
         "check": "iteration_bound",
         "ok": not bound_violations,
         "violations": len(bound_violations),
+    })
+    # Lint piggybacks on the scheduler's cached analyses: linting a
+    # graph that was just scheduled must cost a fraction of scheduling
+    # it.  Self-relative (both ran here), so it holds on CI runners.
+    warm = graph.copy()
+    t0 = time.perf_counter()
+    schedule_graph(warm)
+    schedule_ms = (time.perf_counter() - t0) * 1e3
+    engine = LintEngine()
+    lint_ms = _time_no_copy(warm, engine.lint_graph, reps)
+    lint_limit = schedule_ms * 0.10 + NOISE_FLOOR_MS
+    entry["lint_ms"] = round(lint_ms, 3)
+    entry["checks"].append({
+        "check": "lint_warm_cache",
+        "ok": lint_ms <= lint_limit,
+        "measured_ms": round(lint_ms, 3),
+        "schedule_ms": round(schedule_ms, 3),
+        "limit_ms": round(lint_limit, 3),
     })
     # Self-relative on purpose: both paths ran on this machine in this
     # process, so the check is meaningful on CI runners too.

@@ -1,0 +1,18 @@
+// One tap of a streaming filter: multiply-accumulate with a minimum
+// spacing constraint between the input sample and the output write,
+// modelling a pipeline register requirement.
+process filter_tap (x_in, y_out)
+{
+    in port x_in[8];
+    out port y_out[8];
+    boolean sample[8], coeff[8], acc[8];
+    tag grab, emit;
+
+    coeff = 5;
+    grab : sample = read(x_in);
+    acc = sample * coeff + 1;
+    emit : write y_out = acc;
+
+    // The output must settle at least two cycles after the sample.
+    constraint mintime from grab to emit = 2;
+}

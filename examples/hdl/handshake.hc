@@ -1,0 +1,21 @@
+// A request/acknowledge handshake: the process synchronizes on an
+// external request, samples the data, and answers within a bounded
+// window.  The maxtime constraint is well-posed because both tagged
+// operations follow the wait -- they share its anchor.
+process handshake (req, data_in, ack, data_out)
+{
+    in port req[1];
+    in port data_in[8];
+    out port ack[1];
+    out port data_out[8];
+    boolean value[8];
+    tag sample, reply;
+
+    wait (req);
+    sample : value = read(data_in);
+    reply : write data_out = value;
+    write ack = 1;
+
+    // Respond no more than three cycles after sampling.
+    constraint maxtime from sample to reply = 3;
+}

@@ -1,0 +1,19 @@
+// Polling loop with a guarded fast path: wait for a ready flag, then
+// either forward the payload or raise an error code.
+process watchdog_poll (ready, payload, out_word, err)
+{
+    in port ready[1];
+    in port payload[8];
+    out port out_word[8];
+    out port err[1];
+    boolean word[8], ok[1];
+
+    wait (ready);
+    word = read(payload);
+    ok = word < 200;
+    if (ok) {
+        write out_word = word;
+    } else {
+        write err = 1;
+    }
+}

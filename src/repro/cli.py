@@ -3,6 +3,7 @@
 Usage (also via ``python -m repro``)::
 
     repro check INPUT               well-posedness report (+ --fix)
+    repro lint INPUT [options]      static diagnostics (text/JSON/SARIF)
     repro schedule INPUT [options]  relative schedule (table / JSON out)
     repro control INPUT [options]   control generation (cost / Verilog)
     repro dot INPUT [-o FILE]       Graphviz export of the root graph
@@ -217,6 +218,83 @@ def cmd_check(args: argparse.Namespace) -> int:
             return 0
         return 1
     return 0 if status.value == "well-posed" else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis: rule-based diagnostics without scheduling.
+
+    Exit-code contract: 0 when no error-severity diagnostics remain
+    (after fixes, when ``--fix`` is given), 1 when errors remain;
+    taxonomy errors while loading follow the shared ``error:`` contract.
+    """
+    import json as _json
+
+    from repro.lint import LintConfig, LintEngine, apply_fixes, to_sarif
+    from repro.seqgraph.model import Design
+
+    select = (frozenset(p.strip() for p in args.select.split(",") if p.strip())
+              if args.select else None)
+    ignore = (frozenset(p.strip() for p in args.ignore.split(",") if p.strip())
+              if args.ignore else frozenset())
+    engine = LintEngine(LintConfig(select=select, ignore=ignore))
+
+    if args.input.endswith(".json"):
+        from repro.io import load_json
+
+        artifact = load_json(args.input)
+    else:
+        with open(args.input) as handle:
+            source = handle.read()
+        from repro.hdl import compile_source
+
+        artifact = compile_source(source)
+
+    if isinstance(artifact, ConstraintGraph):
+        report = engine.lint_graph(artifact, file=args.input)
+    elif isinstance(artifact, Design):
+        if args.fix:
+            raise SystemExit("error: --fix requires a constraint-graph "
+                             "JSON input (design fix-its are graph "
+                             "mutations and cannot be written back to "
+                             "HDL source)")
+        report = engine.lint_design(artifact, file=args.input)
+    else:
+        raise SystemExit(f"error: {args.input} holds a "
+                         f"{type(artifact).__name__}, expected a design "
+                         f"or constraint graph")
+
+    applied: List[str] = []
+    if args.fix and isinstance(artifact, ConstraintGraph):
+        applied = apply_fixes(artifact, report)
+        if applied:
+            from repro.io import save_json
+
+            destination = args.fix_output or args.input
+            save_json(artifact, destination)
+            report = engine.lint_graph(artifact, file=args.input)
+
+    if args.format == "sarif":
+        rendered = _json.dumps(to_sarif(report, artifact_uri=args.input),
+                               indent=2) + "\n"
+    elif args.format == "json":
+        payload = report.to_json()
+        payload["input"] = args.input
+        if args.fix:
+            payload["applied_fixes"] = applied
+        rendered = _json.dumps(payload, indent=2) + "\n"
+    else:
+        rendered = report.format() + "\n"
+        if applied:
+            rendered += ("applied {} fix(es): {}\n"
+                         .format(len(applied), ", ".join(applied)))
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered)
+        print(f"lint report written to {args.output}")
+    else:
+        print(rendered, end="")
+    return 1 if report.errors() else 0
 
 
 def cmd_schedule(args: argparse.Namespace) -> int:
@@ -574,6 +652,27 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--fix", action="store_true",
                        help="attempt minimal serialization when ill-posed")
     check.set_defaults(handler=cmd_check)
+
+    lint = sub.add_parser("lint", help="static analysis (rule-based "
+                                       "diagnostics, no scheduling)")
+    lint.add_argument("input")
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json", "sarif"],
+                      help="report format (default text)")
+    lint.add_argument("--fix", action="store_true",
+                      help="apply machine-applicable fix-its (graph JSON "
+                           "inputs only) and re-lint")
+    lint.add_argument("--select", default=None, metavar="CODES",
+                      help="only run these rule codes/prefixes, "
+                           "comma-separated (e.g. RS2,RS404)")
+    lint.add_argument("--ignore", default=None, metavar="CODES",
+                      help="skip these rule codes/prefixes")
+    lint.add_argument("-o", "--output", help="write the report here "
+                                             "instead of stdout")
+    lint.add_argument("--fix-output", metavar="FILE",
+                      help="write the fixed graph here (default: "
+                           "overwrite the input)")
+    lint.set_defaults(handler=cmd_lint)
 
     schedule = sub.add_parser("schedule", help="compute the minimum "
                                                "relative schedule")

@@ -16,6 +16,12 @@ Scheduling itself can additionally detect inconsistency after
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # Edge lives in repro.core.graph, which imports this
+    from repro.core.graph import Edge  # module; import only for typing.
+
 
 class ConstraintGraphError(Exception):
     """Base class for all constraint-graph and scheduling errors."""
@@ -99,6 +105,48 @@ class BudgetExceededError(ConstraintGraphError):
     ``|Eb| + 1`` is larger than the allowed iteration budget, or when a
     wall-clock deadline expires mid-pipeline.
     """
+
+
+@dataclass(frozen=True)
+class OffsetViolation:
+    """The witness of one violated edge inequality of a schedule.
+
+    Produced identically by the vectorized certification kernel
+    (:func:`repro.core.indexed.find_offset_violation`) and by the
+    per-edge reference scan (:meth:`RelativeSchedule.validate`), so the
+    linter, the exception path, and the differential tests all speak
+    about the same object: the edge ``(tail, head)`` with static weight
+    ``weight`` whose inequality ``sigma_a(head) >= sigma_a(tail) + w``
+    fails for anchor ``anchor`` (tail anchors read at their implicit
+    self offset 0, per Definition 3).
+    """
+
+    edge: "Edge"
+    anchor: str
+    head_offset: int
+    tail_offset: int
+    weight: int
+
+    def message(self) -> str:
+        """The human-readable inequality, as raised by ``validate()``."""
+        return (f"schedule violates edge {self.edge!r} w.r.t. anchor "
+                f"{self.anchor!r}: {self.head_offset} < "
+                f"{self.tail_offset} + {self.weight}")
+
+
+class ScheduleViolationError(ValueError):
+    """A schedule fails an edge inequality; carries the exact witness.
+
+    Subclasses :class:`ValueError` because that is the documented (and
+    long-standing) contract of :meth:`RelativeSchedule.validate`; the
+    attached :class:`OffsetViolation` lets programmatic consumers (the
+    lint engine, the QA oracle) read the violated edge and anchor
+    without parsing the message.
+    """
+
+    def __init__(self, violation: OffsetViolation) -> None:
+        super().__init__(violation.message())
+        self.violation = violation
 
 
 class IndexedKernelUnsupported(ConstraintGraphError):

@@ -51,6 +51,7 @@ from repro.core.exceptions import (
     CyclicForwardGraphError,
     InconsistentConstraintsError,
     IndexedKernelUnsupported,
+    OffsetViolation,
     UnfeasibleConstraintsError,
 )
 from repro.core.graph import ConstraintGraph, Edge, EdgeKind
@@ -77,7 +78,7 @@ class IndexedGraph:
         "anchor_vertices", "anchor_slot", "anchor_names", "n_anchors",
         "out_all", "out_bounded", "out_forward_w",
         "in_forward", "unbounded_out", "backward", "backward_edges",
-        "edge_arrays",
+        "edges", "edge_arrays",
     )
 
     def __init__(self, graph: ConstraintGraph) -> None:
@@ -116,7 +117,10 @@ class IndexedGraph:
         edge_tails: List[int] = []
         edge_heads: List[int] = []
         edge_weights: List[int] = []
-        for edge in graph.edges():
+        #: every edge in graph insertion order -- the row order of
+        #: ``edge_arrays``, so a vectorized finding maps back to its Edge.
+        self.edges = list(graph.edges())
+        for edge in self.edges:
             t = index[edge.tail]
             h = index[edge.head]
             w = edge.weight
@@ -1045,22 +1049,34 @@ def _count_row_raises(before: List[List[int]],
     return changed
 
 
-def schedule_satisfies_constraints(graph: ConstraintGraph,
-                                   offsets: Dict[str, Dict[str, int]]) -> bool:
+#: Tri-state results of the vectorized schedule certification.
+CERTIFIED = "certified"
+VIOLATION = "violation"
+UNKNOWN = "unknown"
+
+
+def find_offset_violation(
+        graph: ConstraintGraph,
+        offsets: Dict[str, Dict[str, int]],
+) -> Tuple[str, Optional[OffsetViolation]]:
     """One vectorized pass over every edge inequality of a schedule.
 
-    True certifies that every edge ``(t, h, w)`` satisfies
-    ``sigma_a(h) >= sigma_a(t) + w`` for each anchor tracked at both
-    endpoints (tail anchors at their implicit self offset 0) and that no
-    tracked offset is negative.  False means "not certified" -- the
-    caller re-runs the precise per-edge scan for an exact diagnostic
-    (also the path taken without numpy or for non-anchor offset tags).
+    Returns ``(CERTIFIED, None)`` when every edge ``(t, h, w)``
+    satisfies ``sigma_a(h) >= sigma_a(t) + w`` for each anchor tracked
+    at both endpoints (tail anchors at their implicit self offset 0).
+    Returns ``(VIOLATION, witness)`` with the *exact* per-edge
+    :class:`~repro.core.exceptions.OffsetViolation` the reference scan
+    would report -- the first violated edge in graph insertion order --
+    so callers never re-run the precise scan just to name the edge.
+    Returns ``(UNKNOWN, None)`` when the kernel cannot decide: no
+    numpy, below the numpy gate, non-anchor offset tags, or negative
+    offsets (the reference scan is then the authority).
     """
     if _np is None:
-        return False
+        return UNKNOWN, None
     idx = get_indexed(graph)
     if not _use_numpy(idx):
-        return False
+        return UNKNOWN, None
     index = idx.index
     anchor_slot = idx.anchor_slot
     m = idx.n_anchors
@@ -1073,23 +1089,33 @@ def schedule_satisfies_constraints(graph: ConstraintGraph,
             for anchor, sigma in entries.items():
                 slot = anchor_slot[index[anchor]]
                 if slot < 0:
-                    return False
+                    return UNKNOWN, None
                 flat.append(base + slot)
                 values.append(sigma)
     except KeyError:
-        return False
+        return UNKNOWN, None
     if values and min(values) < 0:
-        return False
+        return UNKNOWN, None
     table = _np.full((idx.n, m), neg)
     table.put(flat, values)
-    return _certify_table(idx, table)
+    found = _find_table_violation(idx, table)
+    if found is None:
+        return CERTIFIED, None
+    return VIOLATION, _violation_witness(idx, table, found)
+
+
+def schedule_satisfies_constraints(graph: ConstraintGraph,
+                                   offsets: Dict[str, Dict[str, int]]) -> bool:
+    """Compatibility wrapper: True iff the vectorized pass certifies the
+    schedule (see :func:`find_offset_violation` for the witness form)."""
+    return find_offset_violation(graph, offsets)[0] == CERTIFIED
 
 
 def certify_offset_lists(graph: ConstraintGraph,
                          rows: List[List[int]]) -> bool:
     """The vectorized edge check over the scheduler's raw offset rows
     (-1 untracked), skipping the dict round-trip of
-    :func:`schedule_satisfies_constraints`."""
+    :func:`find_offset_violation`."""
     if _np is None:
         return False
     idx = get_indexed(graph)
@@ -1099,13 +1125,15 @@ def certify_offset_lists(graph: ConstraintGraph,
     if table.shape != (idx.n, idx.n_anchors):
         return False
     table[table < 0] = -_np.inf  # -1 marks untracked; offsets are >= 0
-    return _certify_table(idx, table)
+    return _find_table_violation(idx, table) is None
 
 
-def _certify_table(idx: IndexedGraph, table) -> bool:
-    """True when the ``(|V|, |A|)`` offset *table* (``-inf`` untracked)
-    satisfies every edge inequality, tail anchors read at their implicit
-    self offset 0."""
+def _find_table_violation(idx: IndexedGraph,
+                          table) -> Optional[Tuple[int, int]]:
+    """The first violated ``(edge_index, anchor_slot)`` of the
+    ``(|V|, |A|)`` offset *table* (``-inf`` untracked), tail anchors
+    read at their implicit self offset 0; None when every edge
+    inequality holds."""
     neg = -_np.inf
     tracked = table != neg
     with_self = table.copy()
@@ -1116,7 +1144,31 @@ def _certify_table(idx: IndexedGraph, table) -> bool:
     violated = table[heads] < with_self[tails] + weights[:, None]
     violated &= with_self[tails] != neg
     violated &= tracked[heads]
-    return not bool(violated.any())
+    if not bool(violated.any()):
+        return None
+    edge_index, slot = _np.argwhere(violated)[0]
+    return int(edge_index), int(slot)
+
+
+def _violation_witness(idx: IndexedGraph, table,
+                       found: Tuple[int, int]) -> OffsetViolation:
+    """Map a ``(edge_index, anchor_slot)`` finding back to the shared
+    :class:`OffsetViolation` witness the reference scan produces."""
+    edge_index, slot = found
+    edge = idx.edges[edge_index]
+    anchor = idx.anchor_names[slot]
+    t = idx.index[edge.tail]
+    h = idx.index[edge.head]
+    tail_offset = table[t, slot]
+    if tail_offset == -_np.inf:
+        tail_offset = 0  # the tail is the anchor itself (Definition 3)
+    return OffsetViolation(
+        edge=edge,
+        anchor=anchor,
+        head_offset=int(table[h, slot]),
+        tail_offset=int(tail_offset),
+        weight=edge.static_weight,
+    )
 
 
 def _offsets_to_dicts(idx: IndexedGraph, tracked: List[List[int]],

@@ -16,10 +16,11 @@ the central optimality property of relative scheduling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.anchors import AnchorMode, AnchorSets
+from repro.core.exceptions import OffsetViolation, ScheduleViolationError
 from repro.core.graph import ConstraintGraph
 
 
@@ -46,6 +47,10 @@ class RelativeSchedule:
     anchor_mode: AnchorMode = AnchorMode.FULL
     iterations: int = 0
     watchdog: Optional[Dict[str, int]] = None
+    #: (graph version, raw offset rows) stamped by the indexed scheduler
+    #: so re-validation can reuse the vectorized row check; internal.
+    _raw_offset_rows: Optional[Tuple[int, List[List[int]]]] = field(
+        default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # accessors
@@ -154,15 +159,20 @@ class RelativeSchedule:
         ``sigma_t(h) >= 0`` (trivially true, offsets are non-negative).
 
         Raises:
-            ValueError: naming the first violated edge.
+            ScheduleViolationError: (a :class:`ValueError`) carrying the
+                :class:`OffsetViolation` witness of the first violated
+                edge.
         """
-        from repro.core.indexed import schedule_satisfies_constraints
+        from repro.core.indexed import UNKNOWN, find_offset_violation
 
-        # One vectorized pass certifies most schedules; anything it
-        # cannot certify falls through to the per-edge scan, which
-        # produces the exact diagnostic (or passes for the benign cases
-        # the fast check over-rejects).
-        if schedule_satisfies_constraints(self.graph, self.offsets):
+        # One vectorized pass decides most schedules, surfacing the
+        # same per-edge witness the reference scan produces; only the
+        # cases the kernel cannot represent (no numpy, non-anchor
+        # offset tags, negative offsets) fall through to the scan.
+        status, violation = find_offset_violation(self.graph, self.offsets)
+        if violation is not None:
+            raise ScheduleViolationError(violation)
+        if status is not UNKNOWN:
             return
 
         memo: Dict[str, Dict[str, int]] = {}
@@ -185,9 +195,10 @@ class RelativeSchedule:
                 if anchor not in head_offsets:
                     continue
                 if head_offsets[anchor] < sigma_tail + weight:
-                    raise ValueError(
-                        f"schedule violates edge {edge!r} w.r.t. anchor {anchor!r}: "
-                        f"{head_offsets[anchor]} < {sigma_tail} + {weight}")
+                    raise ScheduleViolationError(OffsetViolation(
+                        edge=edge, anchor=anchor,
+                        head_offset=head_offsets[anchor],
+                        tail_offset=sigma_tail, weight=weight))
             if edge.is_unbounded and edge.tail in head_offsets:
                 if head_offsets[edge.tail] < 0:
                     raise ValueError(

@@ -132,12 +132,24 @@ class _ProcessLowerer:
     def _op_name(self, builder: GraphBuilder, tag: Optional[str], stem: str,
                  line: int) -> str:
         if tag is None:
-            return self._fresh(stem)
-        if tag not in self.process.tags:
-            raise HdlLowerError(f"tag {tag!r} not declared", line)
-        if tag in builder.graph:
-            raise HdlLowerError(f"tag {tag!r} used twice in one graph", line)
-        return tag
+            name = self._fresh(stem)
+        else:
+            if tag not in self.process.tags:
+                raise HdlLowerError(f"tag {tag!r} not declared", line)
+            if tag in builder.graph:
+                raise HdlLowerError(f"tag {tag!r} used twice in one graph",
+                                    line)
+            name = tag
+        self._record_op_line(builder.graph.name, name, line)
+        return name
+
+    def _record_op_line(self, graph_name: str, op_name: str,
+                        line: int) -> None:
+        """Source provenance consumed by ``repro.lint`` RS5xx spans."""
+        if line <= 0:
+            return
+        lines = self.design.metadata.setdefault("op_lines", {})
+        lines.setdefault(graph_name, {})[op_name] = line
 
     # ------------------------------------------------------------------
 

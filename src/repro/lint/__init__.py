@@ -1,0 +1,59 @@
+"""``repro.lint``: rule-based static analysis for constraint graphs and
+HDL designs.
+
+The paper's central results are decidable by inspecting the constraint
+graph, without scheduling: Theorem 1 feasibility, Theorem 2 / Lemma 3
+well-posedness, Definition 9/11 anchor redundancy, Lemma 7 minimal
+serialization.  This package turns each into a stable diagnostic
+(``RS1xx`` structure, ``RS2xx`` well-posedness, ``RS3xx`` anchors,
+``RS4xx`` constraints, ``RS5xx`` HDL/seqgraph) with severity, span and
+source provenance, a theorem citation, and -- where a safe mechanical
+repair exists -- a machine-applicable fix-it.
+
+Entry points:
+
+* :class:`LintEngine` -- library API (``lint_graph`` / ``lint_design``);
+* :func:`apply_fixes` -- apply fix-its through the graph-mutation API;
+* :func:`to_sarif` -- SARIF 2.1 rendering;
+* ``repro lint`` -- the CLI front end (:mod:`repro.cli`).
+
+The ``lint_consistency`` oracle check (:mod:`repro.qa.oracle`) holds
+the linter to the scheduler on every fuzz case: ill-posed verdicts,
+``--fix`` results, and fix-it schedule preservation must agree with
+``check_well_posed`` / ``make_well_posed`` / scheduler start times.
+"""
+
+from repro.lint.design_rules import DESIGN_RULES, DesignContext, DesignRule
+from repro.lint.diagnostics import (Diagnostic, Fix, FixEdit, LintReport,
+                                    Severity, Span)
+from repro.lint.engine import LintEngine
+from repro.lint.fixes import FixApplicationError, apply_edit, apply_fixes
+from repro.lint.rules import (DEEP_RULES, GRAPH_RULES, LintConfig, Rule,
+                              RuleContext)
+from repro.lint.sarif import (RULE_CATALOGUE, load_trimmed_schema,
+                             sarif_json, to_sarif)
+
+__all__ = [
+    "DEEP_RULES",
+    "DESIGN_RULES",
+    "Diagnostic",
+    "DesignContext",
+    "DesignRule",
+    "Fix",
+    "FixApplicationError",
+    "FixEdit",
+    "GRAPH_RULES",
+    "LintConfig",
+    "LintEngine",
+    "LintReport",
+    "RULE_CATALOGUE",
+    "Rule",
+    "RuleContext",
+    "Severity",
+    "Span",
+    "apply_edit",
+    "apply_fixes",
+    "load_trimmed_schema",
+    "sarif_json",
+    "to_sarif",
+]

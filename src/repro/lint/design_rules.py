@@ -1,0 +1,200 @@
+"""HDL / sequencing-graph rules of :mod:`repro.lint` (family RS5xx).
+
+These rules run on the *design* level -- the hierarchy of sequencing
+graphs produced by the HDL front end or built programmatically --
+before (and in addition to) the constraint-graph rules applied to each
+lowered graph.  Diagnostics carry source-line provenance when the
+lowering recorded it (``design.metadata["op_lines"]``, written by
+:mod:`repro.hdl.lower`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.constraints import MaxTimingConstraint
+from repro.core.delay import Delay, is_unbounded
+from repro.lint.diagnostics import Diagnostic, Severity, Span
+from repro.lint.rules import LintConfig
+from repro.seqgraph.lower import characterize_delay
+from repro.seqgraph.model import Design, OpKind, SequencingGraph
+
+
+@dataclass
+class DesignContext:
+    """Everything a design rule may read."""
+
+    design: Design
+    config: LintConfig
+    file: Optional[str] = None
+    #: per-graph latency characterization (bottom-up, no scheduling).
+    latencies: Mapping[str, Delay] = field(default_factory=dict)
+
+    def op_line(self, graph_name: str, op_name: str) -> Optional[int]:
+        op_lines = self.design.metadata.get("op_lines", {})
+        lines = op_lines.get(graph_name, {}) if isinstance(op_lines, dict) else {}
+        line = lines.get(op_name) if isinstance(lines, dict) else None
+        return line if isinstance(line, int) else None
+
+    def span(self, graph_name: str,
+             op_name: Optional[str] = None) -> Span:
+        line = (self.op_line(graph_name, op_name)
+                if op_name is not None else None)
+        return Span(graph=graph_name, vertex=op_name,
+                    file=self.file, line=line)
+
+
+DesignRuleFn = Callable[[DesignContext], List[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class DesignRule:
+    """One design-level lint rule."""
+
+    code: str
+    name: str
+    severity: Severity
+    citation: str
+    summary: str
+    run: DesignRuleFn
+
+
+def _predecessors_of(graph: SequencingGraph, start: str) -> Set[str]:
+    closure: Set[str] = set()
+    queue = deque([start])
+    while queue:
+        name = queue.popleft()
+        if name in closure:
+            continue
+        closure.add(name)
+        queue.extend(graph.predecessors(name))
+    return closure
+
+
+def _window_ops(graph: SequencingGraph, from_op: str,
+                to_op: str) -> List[str]:
+    """Operations that precede *to_op* without preceding *from_op*.
+
+    These are the operations whose delay separates the two start times:
+    Theorem 2's anchor-containment condition (every anchor of the
+    constrained operation must anchor the reference) fails at the
+    source level exactly when such an operation is unbounded."""
+    if from_op not in graph or to_op not in graph:
+        return []
+    before_to = _predecessors_of(graph, to_op)
+    before_from = _predecessors_of(graph, from_op)
+    return [name for name in graph.operation_names()
+            if name in before_to and name not in before_from
+            and name != to_op]
+
+
+def rule_unsynchronized_window(ctx: DesignContext) -> List[Diagnostic]:
+    """RS501: an unbounded operation inside a maximum-constraint window.
+
+    A ``maxtime`` between two operations bounds the separation of their
+    start times; an operation of unbounded delay (wait, data-dependent
+    loop, unbounded call) on a sequencing path between them makes the
+    separation depend on a run-time quantity the constraint cannot
+    bound -- the source-level shape of a Theorem 2 violation."""
+    diagnostics = []
+    for graph_name in ctx.design.hierarchy_order():
+        graph = ctx.design.graph(graph_name)
+        for constraint in graph.constraints:
+            if not isinstance(constraint, MaxTimingConstraint):
+                continue
+            for op_name in _window_ops(graph, constraint.from_op,
+                                       constraint.to_op):
+                op = graph.operation(op_name)
+                if op.kind in (OpKind.SOURCE, OpKind.SINK):
+                    continue
+                delay = characterize_delay(op, dict(ctx.latencies))
+                if not is_unbounded(delay):
+                    continue
+                diagnostics.append(Diagnostic(
+                    code="RS501", severity=Severity.WARNING,
+                    message=f"operation {op_name!r} ({op.kind.value}) has "
+                            f"unbounded delay inside the maxtime window "
+                            f"{constraint.from_op!r} -> "
+                            f"{constraint.to_op!r} "
+                            f"({constraint.cycles} cycles); the constraint "
+                            f"cannot bound it and the lowered graph will "
+                            f"be ill-posed unless it is serialized",
+                    citation="Theorem 2",
+                    span=ctx.span(graph_name, op_name)))
+    return diagnostics
+
+
+def rule_dead_block(ctx: DesignContext) -> List[Diagnostic]:
+    """RS502: graphs never referenced from the root hierarchy."""
+    design = ctx.design
+    live: Set[str] = set()
+    queue = deque([design.root])
+    while queue:
+        name = queue.popleft()
+        if name in live or name not in design.graphs:
+            continue
+        live.add(name)
+        for op in design.graph(name).operations():
+            queue.extend(op.referenced_graphs())
+    diagnostics = []
+    for graph_name in design.graphs:
+        if graph_name not in live:
+            diagnostics.append(Diagnostic(
+                code="RS502", severity=Severity.INFO,
+                message=f"graph {graph_name!r} is never referenced from "
+                        f"the root {design.root!r}; it is dead code at "
+                        f"synthesis time",
+                citation="Section II",
+                span=ctx.span(graph_name)))
+    return diagnostics
+
+
+def rule_busy_wait(ctx: DesignContext) -> List[Diagnostic]:
+    """RS503: data-dependent loops whose body does nothing but evaluate
+    the loop condition -- a busy-wait that should be a ``wait``."""
+    diagnostics = []
+    for graph_name in ctx.design.hierarchy_order():
+        graph = ctx.design.graph(graph_name)
+        for op in graph.operations():
+            if op.kind is not OpKind.LOOP or op.iterations is not None:
+                continue
+            body_name = op.body
+            if body_name is None or body_name not in ctx.design.graphs:
+                continue
+            body = ctx.design.graph(body_name)
+            real_ops = [o for o in body.operations()
+                        if o.kind not in (OpKind.SOURCE, OpKind.SINK)]
+            if len(real_ops) == 1 and real_ops[0].kind is OpKind.OPERATION:
+                diagnostics.append(Diagnostic(
+                    code="RS503", severity=Severity.INFO,
+                    message=f"loop {op.name!r} busy-waits: its body "
+                            f"{body_name!r} only evaluates the loop "
+                            f"condition; a wait operation synchronizes "
+                            f"without burning cycles",
+                    citation="Section II",
+                    span=ctx.span(graph_name, op.name)))
+    return diagnostics
+
+
+#: RS104 is emitted by the engine's lowering loop (a graph that fails
+#: to lower has no context a rule function could run in); it is listed
+#: here so renderers know its metadata.
+LOWERING_FAILURE = DesignRule(
+    "RS104", "graph-fails-to-lower", Severity.ERROR, "Section III",
+    "the sequencing graph cannot be lowered to a constraint graph",
+    lambda ctx: [])
+
+DESIGN_RULES: Tuple[DesignRule, ...] = (
+    DesignRule("RS501", "unsynchronized-window", Severity.WARNING,
+               "Theorem 2",
+               "unbounded operations inside maxtime windows",
+               rule_unsynchronized_window),
+    DesignRule("RS502", "dead-block", Severity.INFO, "Section II",
+               "graphs never referenced from the root",
+               rule_dead_block),
+    DesignRule("RS503", "busy-wait-loop", Severity.INFO, "Section II",
+               "data-dependent loops that only evaluate their condition",
+               rule_busy_wait),
+)

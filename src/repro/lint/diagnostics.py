@@ -1,0 +1,208 @@
+"""The diagnostic core of :mod:`repro.lint`.
+
+Every finding is a :class:`Diagnostic` with a stable rule code, a
+severity, a :class:`Span` naming where it lives (graph / vertex / edge,
+and a source file / line when HDL provenance is available), the
+paper citation the rule enforces, and an optional machine-applicable
+:class:`Fix`.
+
+Rule codes are grouped by family:
+
+========  ============================================================
+``RS1xx``  graph structure (polarity, reachability, forward cycles)
+``RS2xx``  well-posedness and feasibility (Theorems 1 and 2, Lemma 3)
+``RS3xx``  anchors (Definitions 9 and 11, serialization hygiene)
+``RS4xx``  timing constraints (windows, dominated edges)
+``RS5xx``  HDL / sequencing-graph level (lowered designs)
+========  ============================================================
+
+Fixes are expressed as graph mutations (:class:`FixEdit`), not text
+edits: the graph-mutation API is the only safe way to rewrite a
+constraint graph (derived weights, cache-version bumps).  Several
+diagnostics may share one fix (same ``Fix.id``); appliers deduplicate
+by id so the combined edit is applied exactly once.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; drives the CLI exit code and SARIF level."""
+
+    ERROR = "error"      #: the pipeline will reject this graph
+    WARNING = "warning"  #: suspicious, likely unintended
+    INFO = "info"        #: advisory (cost, hygiene)
+
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF 2.1 ``result.level`` value for this severity."""
+        return "note" if self is Severity.INFO else self.value
+
+
+@dataclass(frozen=True)
+class Span:
+    """Where a diagnostic points: graph coordinates plus, when the graph
+    was lowered from HDL, source-file provenance."""
+
+    graph: Optional[str] = None
+    vertex: Optional[str] = None
+    edge: Optional[Tuple[str, str]] = None
+    file: Optional[str] = None
+    line: Optional[int] = None
+
+    def label(self) -> str:
+        """A compact ``file:line`` / ``graph:vertex`` rendering."""
+        if self.file is not None:
+            where = self.file if self.line is None else f"{self.file}:{self.line}"
+        elif self.graph is not None:
+            where = self.graph
+        else:
+            where = "<graph>"
+        if self.vertex is not None:
+            return f"{where} ({self.vertex})"
+        if self.edge is not None:
+            return f"{where} ({self.edge[0]} -> {self.edge[1]})"
+        return where
+
+    def to_json(self) -> Dict[str, object]:
+        return {key: value for key, value in (
+            ("graph", self.graph), ("vertex", self.vertex),
+            ("edge", list(self.edge) if self.edge else None),
+            ("file", self.file), ("line", self.line),
+        ) if value is not None}
+
+
+#: JSON-friendly edge weight: an int or the literal ``"unbounded"``.
+JsonWeight = Union[int, str]
+
+
+@dataclass(frozen=True)
+class FixEdit:
+    """One graph mutation of a fix, in serialized-edge vocabulary.
+
+    ``action`` is one of ``add_serialization``, ``add_sequencing`` or
+    ``remove_edge``; removal identifies the edge by (tail, head, kind,
+    weight) and removes the first match, which is multiset-correct for
+    parallel duplicates.
+    """
+
+    action: str
+    tail: str
+    head: str
+    kind: Optional[str] = None
+    weight: Optional[JsonWeight] = None
+
+    def to_json(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "action": self.action, "tail": self.tail, "head": self.head}
+        if self.kind is not None:
+            record["kind"] = self.kind
+        if self.weight is not None:
+            record["weight"] = self.weight
+        return record
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A machine-applicable repair shared by one or more diagnostics.
+
+    ``id`` is the deduplication key: diagnostics produced by the same
+    analysis (e.g. every RS202 containment violation) carry the *same*
+    fix object, and appliers run its edits exactly once.
+    """
+
+    id: str
+    description: str
+    edits: Tuple[FixEdit, ...]
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "description": self.description,
+            "edits": [edit.to_json() for edit in self.edits],
+        }
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the lint engine."""
+
+    code: str
+    severity: Severity
+    message: str
+    citation: str
+    span: Span = field(default_factory=Span)
+    fix: Optional[Fix] = None
+
+    def to_json(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "citation": self.citation,
+            "span": self.span.to_json(),
+        }
+        if self.fix is not None:
+            record["fix"] = self.fix.to_json()
+        return record
+
+    def format(self) -> str:
+        """The one-line text rendering used by ``repro lint``."""
+        line = (f"{self.span.label()}: {self.severity.value} "
+                f"{self.code} [{self.citation}]: {self.message}")
+        if self.fix is not None:
+            line += f"\n    fix available: {self.fix.description}"
+        return line
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Everything one lint run produced.
+
+    ``notes`` records analyses the engine deliberately skipped or
+    approximated (e.g. path-based rules gated off on very large
+    graphs) -- silent truncation must never read as "clean".
+    """
+
+    diagnostics: Tuple[Diagnostic, ...]
+    notes: Tuple[str, ...] = ()
+
+    def codes(self) -> List[str]:
+        return [diagnostic.code for diagnostic in self.diagnostics]
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def fixable(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.fix is not None]
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+            "notes": list(self.notes),
+            "summary": {
+                "errors": len(self.errors()),
+                "warnings": sum(1 for d in self.diagnostics
+                                if d.severity is Severity.WARNING),
+                "infos": sum(1 for d in self.diagnostics
+                             if d.severity is Severity.INFO),
+                "fixable": len(self.fixable()),
+            },
+        }
+
+    def format(self) -> str:
+        """Multi-line text rendering: diagnostics, notes, summary."""
+        lines = [d.format() for d in self.diagnostics]
+        lines.extend(f"note: {note}" for note in self.notes)
+        errors = len(self.errors())
+        total = len(self.diagnostics)
+        lines.append(f"{total} diagnostic(s) ({errors} error(s), "
+                     f"{len(self.fixable())} fixable)")
+        return "\n".join(lines)

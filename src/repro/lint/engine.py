@@ -1,0 +1,202 @@
+"""The :class:`LintEngine`: orchestrates rules over graphs and designs.
+
+The engine never schedules.  Every analysis it consumes (anchor sets,
+relevant/irredundant sets, indexed adjacency, longest paths) goes
+through the graph's versioned cache, so linting a graph that was
+already analysed -- or analysing one that will be scheduled next --
+shares the work instead of recomputing it.  The perf-guard asserts
+this: linting the n=1600 benchmark graph after scheduling it must stay
+under 10% of the scheduling time.
+
+Observability: when a tracer is installed (``repro.observability``),
+the engine opens a ``lint.run`` span, emits one ``lint.rule`` event per
+rule with its finding count, and bumps the ``lint.runs`` /
+``lint.diagnostics`` counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.delay import UNBOUNDED, Delay
+from repro.core.exceptions import (ConstraintGraphError,
+                                   CyclicForwardGraphError,
+                                   UnfeasibleConstraintsError)
+from repro.core.graph import ConstraintGraph
+from repro.core.paths import longest_paths_from
+from repro.lint.design_rules import DESIGN_RULES, DesignContext
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity, Span
+from repro.lint.rules import (DEEP_RULES, FEASIBILITY_RULES, GRAPH_RULES,
+                              LintConfig, RuleContext, RuleFn, _is_feasible)
+from repro.observability.tracer import STATE as _OBS
+from repro.seqgraph.lower import to_constraint_graph
+from repro.seqgraph.model import Design
+
+
+class LintEngine:
+    """Rule-based static analysis over constraint graphs and designs."""
+
+    def __init__(self, config: Optional[LintConfig] = None) -> None:
+        self.config = config if config is not None else LintConfig()
+
+    # ------------------------------------------------------------------
+    # constraint graphs
+    # ------------------------------------------------------------------
+
+    def lint_graph(self, graph: ConstraintGraph, *,
+                   graph_name: Optional[str] = None,
+                   file: Optional[str] = None,
+                   op_lines: Optional[Mapping[str, int]] = None) -> LintReport:
+        """Run every enabled graph rule; never mutates *graph*."""
+        tracer = _OBS.tracer
+        if tracer.enabled:
+            with tracer.span("lint.run"):
+                report = self._lint_graph(graph, graph_name, file, op_lines)
+            tracer.count("lint.runs")
+            tracer.count("lint.diagnostics", len(report.diagnostics))
+            return report
+        return self._lint_graph(graph, graph_name, file, op_lines)
+
+    def _lint_graph(self, graph: ConstraintGraph,
+                    graph_name: Optional[str],
+                    file: Optional[str],
+                    op_lines: Optional[Mapping[str, int]]) -> LintReport:
+        config = self.config
+        tracer = _OBS.tracer
+        ctx = RuleContext(graph=graph, config=config, graph_name=graph_name,
+                          file=file, op_lines=op_lines or {})
+        diagnostics: List[Diagnostic] = []
+
+        structural = next(r for r in GRAPH_RULES if r.code == "RS101")
+        found = structural.run(ctx)
+        if found:
+            # A cyclic forward graph voids the preconditions of every
+            # other analysis (topological order, anchor propagation).
+            ctx.note("forward graph is cyclic; only RS101 was checked")
+            diagnostics.extend(d for d in found if config.enabled(d.code))
+            return LintReport(tuple(diagnostics), tuple(ctx.notes))
+
+        feasible = _is_feasible(graph)
+        if not feasible:
+            skipped_anchor = sorted(code for code in FEASIBILITY_RULES
+                                    if config.enabled(code))
+            if skipped_anchor:
+                ctx.note(f"graph is unfeasible (RS201); anchor analyses "
+                         f"are undefined, rules skipped: "
+                         f"{', '.join(skipped_anchor)}")
+
+        deep_ok = len(graph) <= config.deep_vertex_limit
+        if not deep_ok:
+            skipped = sorted(code for code in DEEP_RULES
+                             if config.enabled(code))
+            if skipped:
+                ctx.note(f"graph has {len(graph)} vertices "
+                         f"(> {config.deep_vertex_limit}); path-based "
+                         f"rules skipped: {', '.join(skipped)}")
+
+        seen_fns: List[RuleFn] = []
+        for rule in GRAPH_RULES:
+            if rule.code == "RS101" or not config.enabled(rule.code):
+                continue
+            if rule.code in DEEP_RULES and not deep_ok:
+                continue
+            if rule.code in FEASIBILITY_RULES and not feasible:
+                continue
+            if rule.run in seen_fns:  # RS202/RS203 share one analysis
+                continue
+            seen_fns.append(rule.run)
+            found = rule.run(ctx)
+            if tracer.enabled:
+                tracer.event("lint.rule", code=rule.code,
+                             findings=len(found))
+            diagnostics.extend(d for d in found if config.enabled(d.code))
+        return LintReport(tuple(diagnostics), tuple(ctx.notes))
+
+    # ------------------------------------------------------------------
+    # designs
+    # ------------------------------------------------------------------
+
+    def lint_design(self, design: Design, *,
+                    file: Optional[str] = None) -> LintReport:
+        """Design-level rules plus graph rules on every lowered graph.
+
+        Lowers bottom-up with latency characterization computed from
+        cached longest-path analyses (Theorem 3: minimum offsets are
+        longest path lengths), so no graph is ever scheduled.
+        """
+        tracer = _OBS.tracer
+        if tracer.enabled:
+            with tracer.span("lint.run"):
+                report = self._lint_design(design, file)
+            tracer.count("lint.runs")
+            tracer.count("lint.diagnostics", len(report.diagnostics))
+            return report
+        return self._lint_design(design, file)
+
+    def _lint_design(self, design: Design,
+                     file: Optional[str]) -> LintReport:
+        config = self.config
+        diagnostics: List[Diagnostic] = []
+        notes: List[str] = []
+        latencies: Dict[str, Delay] = {}
+        lowered: Dict[str, ConstraintGraph] = {}
+
+        for graph_name in design.hierarchy_order():
+            seq_graph = design.graph(graph_name)
+            try:
+                constraint_graph = to_constraint_graph(
+                    seq_graph, child_latency=latencies)
+            except ConstraintGraphError as error:
+                latencies[graph_name] = UNBOUNDED
+                if config.enabled("RS104"):
+                    diagnostics.append(Diagnostic(
+                        code="RS104", severity=Severity.ERROR,
+                        message=f"graph {graph_name!r} fails to lower to a "
+                                f"constraint graph: {error}",
+                        citation="Section III",
+                        span=Span(graph=graph_name, file=file)))
+                continue
+            lowered[graph_name] = constraint_graph
+            latencies[graph_name] = _graph_latency(constraint_graph)
+
+        ctx = DesignContext(design=design, config=config, file=file,
+                            latencies=latencies)
+        for rule in DESIGN_RULES:
+            if not config.enabled(rule.code):
+                continue
+            found = rule.run(ctx)
+            diagnostics.extend(d for d in found if config.enabled(d.code))
+
+        op_lines = design.metadata.get("op_lines", {})
+        for graph_name, constraint_graph in lowered.items():
+            lines = (op_lines.get(graph_name, {})
+                     if isinstance(op_lines, dict) else {})
+            sub_report = self._lint_graph(
+                constraint_graph, graph_name, file,
+                lines if isinstance(lines, dict) else {})
+            diagnostics.extend(sub_report.diagnostics)
+            notes.extend(f"{graph_name}: {note}" for note in sub_report.notes)
+        return LintReport(tuple(diagnostics), tuple(notes))
+
+
+def _graph_latency(graph: ConstraintGraph) -> Delay:
+    """Latency characterization without scheduling.
+
+    Unbounded iff the graph has an anchor besides the source (its
+    completion depends on run-time delays); otherwise the sink's
+    minimum offset, which by Theorem 3 is the longest path from the
+    source.  Unfeasible graphs fall back to the forward-only longest
+    path -- they are already flagged RS201, and the parent lowering
+    only needs *a* consistent delay to proceed.
+    """
+    if graph.anchors != [graph.source]:
+        return UNBOUNDED
+    try:
+        latency = longest_paths_from(graph, graph.source)[graph.sink]
+    except (UnfeasibleConstraintsError, CyclicForwardGraphError):
+        try:
+            latency = longest_paths_from(graph, graph.source,
+                                         forward_only=True)[graph.sink]
+        except CyclicForwardGraphError:
+            return UNBOUNDED
+    return latency if latency is not None else 0

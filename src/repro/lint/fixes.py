@@ -1,0 +1,102 @@
+"""Applying machine-applicable fix-its through the graph-mutation API.
+
+Fixes are graph mutations, so applying them goes through the public
+:class:`ConstraintGraph` construction API -- which re-derives dependent
+weights and bumps the graph's cache version, invalidating every cached
+analysis exactly as a hand edit would.
+
+Several diagnostics may share one fix (e.g. every RS202 containment
+violation carries the single Lemma 7 serialization fix); application
+deduplicates by ``Fix.id`` so shared edits run exactly once.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.delay import UNBOUNDED
+from repro.core.graph import ConstraintGraph, Edge
+from repro.lint.diagnostics import Diagnostic, FixEdit, LintReport
+
+
+class FixApplicationError(ValueError):
+    """A fix edit did not match the graph it was applied to (stale
+    report, or the graph changed between lint and fix)."""
+
+
+def _find_edge(graph: ConstraintGraph, edit: FixEdit) -> Edge:
+    """The first graph edge matching a ``remove_edge`` edit (first-match
+    semantics keep parallel-duplicate removal multiset-correct)."""
+    want_weight = (UNBOUNDED if edit.weight == "unbounded" else edit.weight)
+    for edge in graph.edges():
+        if (edge.tail == edit.tail and edge.head == edit.head
+                and edge.kind.value == edit.kind
+                and edge.weight == want_weight):
+            return edge
+    raise FixApplicationError(
+        f"no {edit.kind} edge {edit.tail!r} -> {edit.head!r} "
+        f"(weight {edit.weight!r}) to remove; the graph no longer matches "
+        f"the lint report")
+
+
+def apply_edit(graph: ConstraintGraph, edit: FixEdit) -> None:
+    """Apply one edit in place through the mutation API."""
+    if edit.action == "add_serialization":
+        graph.add_serialization_edge(edit.tail, edit.head)
+    elif edit.action == "add_sequencing":
+        graph.add_sequencing_edge(edit.tail, edit.head)
+    elif edit.action == "remove_edge":
+        graph.remove_edge(_find_edge(graph, edit))
+    else:
+        raise FixApplicationError(f"unknown fix action {edit.action!r}")
+
+
+def apply_fixes(graph: ConstraintGraph,
+                report: LintReport | Sequence[Diagnostic],
+                select: Optional[Iterable[str]] = None) -> List[str]:
+    """Apply every fixable diagnostic of *report* to *graph* in place.
+
+    Args:
+        graph: the graph to mutate (pass a copy to keep the original).
+        report: a :class:`LintReport` or a diagnostic sequence.
+        select: when given, only diagnostics whose code is in this set
+            are fixed.
+
+    Returns:
+        The applied fix ids, in application order (deduplicated).
+
+    Distinct fixes may overlap on removals: the RS202 Lemma 7 diff and
+    an RS303 duplicate-serialization finding can both ask to remove the
+    same edge.  A removal whose target is gone is therefore tolerated
+    -- its goal is already achieved -- when an earlier fix in this call
+    removed an identical edge; with no such prior removal it still
+    raises :class:`FixApplicationError` (a genuinely stale report).
+    """
+    diagnostics = (report.diagnostics if isinstance(report, LintReport)
+                   else tuple(report))
+    wanted: Optional[Set[str]] = set(select) if select is not None else None
+    applied: List[str] = []
+    seen: Set[str] = set()
+    removed: Counter[Tuple[str, str, Optional[str], object]] = Counter()
+    for diagnostic in diagnostics:
+        fix = diagnostic.fix
+        if fix is None or fix.id in seen:
+            continue
+        if wanted is not None and diagnostic.code not in wanted:
+            continue
+        seen.add(fix.id)
+        for edit in fix.edits:
+            if edit.action != "remove_edge":
+                apply_edit(graph, edit)
+                continue
+            key = (edit.tail, edit.head, edit.kind, edit.weight)
+            try:
+                apply_edit(graph, edit)
+            except FixApplicationError:
+                if not removed[key]:
+                    raise
+            else:
+                removed[key] += 1
+        applied.append(fix.id)
+    return applied

@@ -1,0 +1,666 @@
+"""Constraint-graph rules of :mod:`repro.lint` (families RS1xx-RS4xx).
+
+Every rule is a pure function over a :class:`RuleContext`: it reads the
+graph and its *cached* analyses (anchor sets, relevant/irredundant
+sets, indexed adjacency) and returns diagnostics.  No rule schedules,
+and no rule mutates the graph under analysis -- the only copies made
+are for computing the Lemma 7 serialization fix on ill-posed graphs.
+
+The three well-posedness rules are computed from the same analyses the
+scheduler front-end uses (:func:`check_well_posed` decomposed into its
+ingredients), so the lint verdict *cannot* drift from the pipeline:
+
+* RS201 fires iff ``is_feasible`` is False (Theorem 1);
+* RS202/RS203 fire iff the graph is feasible but has containment
+  violations (Theorem 2), split by the Lemma 3 rescue test.
+
+The ``lint_consistency`` oracle check (:mod:`repro.qa.oracle`)
+re-verifies this equivalence on every fuzz case.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import (Callable, Dict, FrozenSet, List, Mapping, Optional,
+                    Set, Tuple)
+
+from repro.core.anchors import irredundant_anchors, relevant_anchors
+from repro.core.delay import is_unbounded
+from repro.core.exceptions import CyclicForwardGraphError
+from repro.core.graph import ConstraintGraph, Edge, EdgeKind
+from repro.core.paths import find_positive_cycle, has_positive_cycle, longest_paths_from
+from repro.core.wellposed import (can_be_made_well_posed,
+                                  containment_violations, make_well_posed)
+from repro.lint.diagnostics import (Diagnostic, Fix, FixEdit, JsonWeight,
+                                    Severity, Span)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Engine configuration shared by every rule.
+
+    Attributes:
+        select: when given, only rules whose code starts with one of
+            these strings run (e.g. ``{"RS2", "RS404"}``).
+        ignore: rules whose code starts with one of these never run.
+        deep_vertex_limit: path-based rules (RS402/RS403) are skipped --
+            with a visible report note -- on graphs with more vertices
+            than this, keeping lint within its sub-second contract on
+            benchmark-scale graphs.
+        hotspot_threshold: |IR(v)| at or above this triggers RS304.
+    """
+
+    select: Optional[FrozenSet[str]] = None
+    ignore: FrozenSet[str] = frozenset()
+    deep_vertex_limit: int = 600
+    hotspot_threshold: int = 6
+
+    def enabled(self, code: str) -> bool:
+        """Whether the rule *code* survives ``select`` / ``ignore``."""
+        if any(code.startswith(prefix) for prefix in self.ignore):
+            return False
+        if self.select is None:
+            return True
+        return any(code.startswith(prefix) for prefix in self.select)
+
+
+@dataclass
+class RuleContext:
+    """Everything a rule may read: the graph, config, and provenance."""
+
+    graph: ConstraintGraph
+    config: LintConfig
+    graph_name: Optional[str] = None
+    file: Optional[str] = None
+    #: vertex name -> HDL source line (from ``design.metadata["op_lines"]``).
+    op_lines: Mapping[str, int] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def span(self, vertex: Optional[str] = None,
+             edge: Optional[Edge] = None) -> Span:
+        """A span pointing at *vertex* or *edge*, with file/line
+        provenance when the lowering recorded it."""
+        anchor_name = vertex if vertex is not None else (
+            edge.tail if edge is not None else None)
+        line = self.op_lines.get(anchor_name) if anchor_name else None
+        return Span(
+            graph=self.graph_name,
+            vertex=vertex,
+            edge=(edge.tail, edge.head) if edge is not None else None,
+            file=self.file,
+            line=line,
+        )
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+
+RuleFn = Callable[[RuleContext], List[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: stable code, metadata, and its check function."""
+
+    code: str
+    name: str
+    severity: Severity
+    citation: str
+    summary: str
+    run: RuleFn
+
+
+def _weight_json(edge: Edge) -> JsonWeight:
+    return "unbounded" if edge.is_unbounded else int(edge.weight)
+
+
+def _remove_edit(edge: Edge) -> FixEdit:
+    return FixEdit(action="remove_edge", tail=edge.tail, head=edge.head,
+                   kind=edge.kind.value, weight=_weight_json(edge))
+
+
+def _reachable(adjacency: Mapping[str, List[str]], start: str) -> Set[str]:
+    """Plain BFS closure over a name adjacency."""
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        vertex = queue.popleft()
+        for successor in adjacency.get(vertex, []):
+            if successor not in seen:
+                seen.add(successor)
+                queue.append(successor)
+    return seen
+
+
+def _all_edge_adjacency(graph: ConstraintGraph) -> Dict[str, List[str]]:
+    adjacency: Dict[str, List[str]] = {name: [] for name in graph.vertex_names()}
+    for edge in graph.edges():
+        adjacency[edge.tail].append(edge.head)
+    return adjacency
+
+
+def _reverse_adjacency(graph: ConstraintGraph) -> Dict[str, List[str]]:
+    adjacency: Dict[str, List[str]] = {name: [] for name in graph.vertex_names()}
+    for edge in graph.edges():
+        adjacency[edge.head].append(edge.tail)
+    return adjacency
+
+
+def _is_feasible(graph: ConstraintGraph) -> bool:
+    """Theorem 1 feasibility, memoised in the graph's versioned cache
+    (the engine gate, RS201, RS202/RS203 and RS403 all consult it)."""
+    return bool(graph.cached("lint.feasible",
+                             lambda: not has_positive_cycle(graph)))
+
+
+@dataclass(frozen=True)
+class _EdgeGroups:
+    """One shared pass over ``graph.edges()``: the parallel-edge
+    groupings RS303, RS401 and RS404 consume, plus the backward
+    maximum-constraint list RS4xx iterate.  Cached per graph version."""
+
+    #: (tail, head) -> unbounded forward edges (RS303).
+    unbounded_forward: Dict[Tuple[str, str], List[Edge]]
+    #: (tail, head) -> bounded forward edges (RS401 minimums, RS404).
+    bounded_forward: Dict[Tuple[str, str], List[Edge]]
+    #: (tail, head) -> MAX_TIME backward edges (RS404).
+    backward_max: Dict[Tuple[str, str], List[Edge]]
+    #: (edge, from_op, to_op, u) per maximum constraint; the graph
+    #: stores a max constraint as the backward edge ``(to, from, -u)``.
+    max_constraints: Tuple[Tuple[Edge, str, str, int], ...]
+
+
+def _edge_groups(graph: ConstraintGraph) -> _EdgeGroups:
+    def build() -> _EdgeGroups:
+        unbounded_forward: Dict[Tuple[str, str], List[Edge]] = {}
+        bounded_forward: Dict[Tuple[str, str], List[Edge]] = {}
+        backward_max: Dict[Tuple[str, str], List[Edge]] = {}
+        max_constraints: List[Tuple[Edge, str, str, int]] = []
+        for edge in graph.edges():
+            key = (edge.tail, edge.head)
+            if edge.kind is EdgeKind.MAX_TIME:
+                backward_max.setdefault(key, []).append(edge)
+                max_constraints.append(
+                    (edge, edge.head, edge.tail, -int(edge.weight)))
+            elif edge.kind.is_forward:
+                if edge.is_unbounded:
+                    unbounded_forward.setdefault(key, []).append(edge)
+                else:
+                    bounded_forward.setdefault(key, []).append(edge)
+        return _EdgeGroups(unbounded_forward, bounded_forward,
+                           backward_max, tuple(max_constraints))
+
+    groups = graph.cached("lint.edge_groups", build)
+    assert isinstance(groups, _EdgeGroups)
+    return groups
+
+
+# ----------------------------------------------------------------------
+# RS1xx -- structure
+# ----------------------------------------------------------------------
+
+
+def rule_forward_cycle(ctx: RuleContext) -> List[Diagnostic]:
+    """RS101: the forward constraint graph contains a cycle."""
+    try:
+        ctx.graph.forward_topological_order()
+    except CyclicForwardGraphError as error:
+        return [Diagnostic(
+            code="RS101", severity=Severity.ERROR,
+            message=f"forward constraint graph is cyclic: {error}",
+            citation="Section III", span=ctx.span())]
+    return []
+
+
+def rule_unreachable_from_source(ctx: RuleContext) -> List[Diagnostic]:
+    """RS102: vertices no edge path reaches from the source."""
+    graph = ctx.graph
+    reachable = _reachable(_all_edge_adjacency(graph), graph.source)
+    diagnostics = []
+    for name in graph.vertex_names():
+        if name not in reachable:
+            fix = Fix(
+                id=f"RS102:{name}",
+                description=f"sequence {name!r} after the source",
+                edits=(FixEdit(action="add_sequencing",
+                               tail=graph.source, head=name),))
+            diagnostics.append(Diagnostic(
+                code="RS102", severity=Severity.ERROR,
+                message=f"vertex {name!r} is unreachable from the source; "
+                        f"its start time is undefined",
+                citation="Definition 1", span=ctx.span(vertex=name), fix=fix))
+    return diagnostics
+
+
+def rule_cannot_reach_sink(ctx: RuleContext) -> List[Diagnostic]:
+    """RS103: vertices from which the sink is unreachable."""
+    graph = ctx.graph
+    reaches_sink = _reachable(_reverse_adjacency(graph), graph.sink)
+    diagnostics = []
+    for name in graph.vertex_names():
+        if name not in reaches_sink:
+            fix = Fix(
+                id=f"RS103:{name}",
+                description=f"sequence the sink after {name!r}",
+                edits=(FixEdit(action="add_sequencing",
+                               tail=name, head=graph.sink),))
+            diagnostics.append(Diagnostic(
+                code="RS103", severity=Severity.ERROR,
+                message=f"vertex {name!r} cannot reach the sink; the graph "
+                        f"is not polar and completion does not cover it",
+                citation="Definition 1", span=ctx.span(vertex=name), fix=fix))
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# RS2xx -- feasibility and well-posedness
+# ----------------------------------------------------------------------
+
+
+def rule_unfeasible(ctx: RuleContext) -> List[Diagnostic]:
+    """RS201: a positive cycle makes the constraints unsatisfiable."""
+    graph = ctx.graph
+    if _is_feasible(graph):
+        return []
+    cycle = find_positive_cycle(graph)
+    witness = (" -> ".join(cycle + cycle[:1]) if cycle
+               else "<cycle witness unavailable>")
+    return [Diagnostic(
+        code="RS201", severity=Severity.ERROR,
+        message=f"timing constraints are unfeasible even with every "
+                f"unbounded delay at zero: positive cycle {witness}",
+        citation="Theorem 1",
+        span=ctx.span(vertex=cycle[0] if cycle else None))]
+
+
+def _serialization_fix(graph: ConstraintGraph) -> Optional[Fix]:
+    """The Lemma 7 minimal-serialization repair as one shared fix.
+
+    Computed as the exact edge-multiset diff between the graph and
+    ``make_well_posed`` of a copy, so applying the fix reproduces the
+    paper's minimal serialization -- the ``lint_consistency`` oracle
+    check compares the two multisets on every fuzz case.
+    """
+    try:
+        reference = make_well_posed(graph.copy())
+    except Exception:  # rescue test said yes but repair failed: no fix
+        return None
+
+    def multiset(g: ConstraintGraph) -> Counter:
+        return Counter((e.tail, e.head, e.kind.value, _weight_json(e))
+                       for e in g.edges())
+
+    before = multiset(graph)
+    after = multiset(reference)
+    additions = after - before
+    removals = before - after
+    edits: List[FixEdit] = []
+    for (tail, head, kind, weight), count in removals.items():
+        edits.extend([FixEdit(action="remove_edge", tail=tail, head=head,
+                              kind=kind, weight=weight)] * count)
+    for (tail, head, kind, _weight), count in additions.items():
+        if kind != EdgeKind.SERIALIZATION.value:
+            return None  # the repair is serialization-only by Lemma 7
+        edits.extend([FixEdit(action="add_serialization",
+                              tail=tail, head=head)] * count)
+    if not edits:
+        return None
+    return Fix(
+        id="RS202:serialize",
+        description=f"serialize minimally per Lemma 7 "
+                    f"({sum(additions.values())} serialization edge(s))",
+        edits=tuple(edits))
+
+
+def rule_ill_posed(ctx: RuleContext) -> List[Diagnostic]:
+    """RS202/RS203: Theorem 2 containment violations, split by the
+    Lemma 3 rescue test (serializable vs. unserializable)."""
+    graph = ctx.graph
+    if not _is_feasible(graph):
+        return []  # unfeasible graphs are RS201's finding
+    violations = containment_violations(graph)
+    if not violations:
+        return []
+    if can_be_made_well_posed(graph):
+        fix = _serialization_fix(graph)
+        return [Diagnostic(
+            code="RS202", severity=Severity.ERROR,
+            message=f"maximum timing constraint {edge.head!r} -> "
+                    f"{edge.tail!r} (u = {-edge.weight}) is ill-posed: "
+                    f"anchors {sorted(missing)} of {edge.tail!r} are not "
+                    f"anchors of {edge.head!r}",
+            citation="Theorem 2", span=ctx.span(edge=edge), fix=fix)
+            for edge, missing in violations]
+    witnesses = _lemma3_witnesses(graph)
+    suffix = ""
+    if witnesses:
+        anchor, head = witnesses[0]
+        suffix = (f"; serialization would close an unbounded cycle: anchor "
+                  f"{anchor!r} is reachable from the head {head!r} of its "
+                  f"own unbounded edge")
+    return [Diagnostic(
+        code="RS203", severity=Severity.ERROR,
+        message=f"maximum timing constraint {edge.head!r} -> {edge.tail!r} "
+                f"(u = {-edge.weight}) is ill-posed and cannot be rescued "
+                f"by serialization{suffix}",
+        citation="Lemma 3", span=ctx.span(edge=edge))
+        for edge, _missing in violations]
+
+
+def _lemma3_witnesses(graph: ConstraintGraph) -> List[Tuple[str, str]]:
+    """(anchor, unbounded-edge head) pairs proving Lemma 3 failure: the
+    anchor is reachable from the head of its own unbounded out-edge."""
+    adjacency = _all_edge_adjacency(graph)
+    reachable: Dict[str, Set[str]] = {}
+    witnesses = []
+    for anchor in graph.anchors:
+        for edge in graph.out_edges(anchor):
+            if not edge.is_unbounded:
+                continue
+            if edge.head not in reachable:
+                reachable[edge.head] = _reachable(adjacency, edge.head)
+            if anchor in reachable[edge.head]:
+                witnesses.append((anchor, edge.head))
+    return witnesses
+
+
+# ----------------------------------------------------------------------
+# RS3xx -- anchors
+# ----------------------------------------------------------------------
+
+
+def rule_irrelevant_anchor(ctx: RuleContext) -> List[Diagnostic]:
+    """RS302: anchors no operation awaits (Definition 9)."""
+    graph = ctx.graph
+    relevant = relevant_anchors(graph)
+    diagnostics = []
+    for anchor in graph.anchors:
+        if anchor == graph.source:
+            continue
+        if not any(anchor in relevant[vertex]
+                   for vertex in graph.vertex_names() if vertex != anchor):
+            diagnostics.append(Diagnostic(
+                code="RS302", severity=Severity.INFO,
+                message=f"anchor {anchor!r} is relevant to no operation: "
+                        f"nothing awaits its completion signal",
+                citation="Definition 9", span=ctx.span(vertex=anchor)))
+    return diagnostics
+
+
+def rule_redundant_anchor(ctx: RuleContext) -> List[Diagnostic]:
+    """RS301: anchors that are relevant somewhere but irredundant
+    nowhere -- their synchronization is always dominated
+    (Definition 11), so minimum-anchor control can drop them."""
+    graph = ctx.graph
+    relevant = relevant_anchors(graph)
+    irredundant = irredundant_anchors(graph)
+    names = graph.vertex_names()
+    diagnostics = []
+    for anchor in graph.anchors:
+        if anchor == graph.source:
+            continue
+        relevant_somewhere = any(anchor in relevant[v]
+                                 for v in names if v != anchor)
+        irredundant_somewhere = any(anchor in irredundant[v]
+                                    for v in names if v != anchor)
+        if relevant_somewhere and not irredundant_somewhere:
+            diagnostics.append(Diagnostic(
+                code="RS301", severity=Severity.INFO,
+                message=f"anchor {anchor!r} is redundant everywhere: every "
+                        f"offset from it is dominated by another anchor's",
+                citation="Definition 11", span=ctx.span(vertex=anchor)))
+    return diagnostics
+
+
+def rule_duplicate_serialization(ctx: RuleContext) -> List[Diagnostic]:
+    """RS303: serialization edges parallel to an existing unbounded
+    forward edge with the same endpoints.  Removing such an edge is
+    exactly schedule-preserving: the surviving parallel edge carries
+    the identical anchor propagation and path weight, so anchor sets,
+    offsets, and start times are unchanged."""
+    graph = ctx.graph
+    groups = _edge_groups(graph).unbounded_forward
+    diagnostics = []
+    for (tail, head), edges in groups.items():
+        if len(edges) < 2:
+            continue
+        keeper = next((e for e in edges
+                       if e.kind is not EdgeKind.SERIALIZATION), edges[0])
+        skipped_keeper = False
+        for position, edge in enumerate(edges):
+            if edge.kind is not EdgeKind.SERIALIZATION:
+                continue
+            if edge is keeper and not skipped_keeper:
+                skipped_keeper = True
+                continue
+            fix = Fix(
+                id=f"RS303:{tail}->{head}:{position}",
+                description=f"remove the duplicate serialization edge "
+                            f"{tail!r} -> {head!r}",
+                edits=(_remove_edit(edge),))
+            diagnostics.append(Diagnostic(
+                code="RS303", severity=Severity.WARNING,
+                message=f"serialization edge {tail!r} -> {head!r} "
+                        f"duplicates an existing unbounded forward edge "
+                        f"with the same endpoints; it adds no "
+                        f"synchronization",
+                citation="Lemma 7", span=ctx.span(edge=edge), fix=fix))
+    return diagnostics
+
+
+def rule_anchor_hotspot(ctx: RuleContext) -> List[Diagnostic]:
+    """RS304: vertices whose irredundant anchor set is unusually large
+    -- each retained anchor costs a synchronization term in the
+    control implementation (Section VI)."""
+    graph = ctx.graph
+    threshold = ctx.config.hotspot_threshold
+    irredundant = irredundant_anchors(graph)
+    diagnostics = []
+    for vertex in graph.vertex_names():
+        size = len(irredundant.get(vertex, frozenset()))
+        if size >= threshold:
+            diagnostics.append(Diagnostic(
+                code="RS304", severity=Severity.INFO,
+                message=f"vertex {vertex!r} synchronizes on {size} "
+                        f"irredundant anchors (threshold {threshold}); its "
+                        f"start-time logic needs that many completion "
+                        f"signals",
+                citation="Section VI", span=ctx.span(vertex=vertex)))
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# RS4xx -- timing constraints
+# ----------------------------------------------------------------------
+
+
+def _backward_constraints(graph: ConstraintGraph) -> Tuple[Tuple[Edge, str, str, int], ...]:
+    """(edge, from_op, to_op, u) for every maximum timing constraint;
+    the graph stores max constraints as the backward edge
+    ``(to, from, -u)``."""
+    return _edge_groups(graph).max_constraints
+
+
+def _longest_from(graph: ConstraintGraph, source: str, *,
+                  forward_only: bool) -> Dict[str, Optional[int]]:
+    """Longest-path table from *source*, memoised per graph version so
+    RS402/RS403 re-lints of an unchanged graph are table lookups."""
+    key = f"lint.longest.{'fwd' if forward_only else 'all'}.{source}"
+    table = graph.cached(key, lambda: longest_paths_from(
+        graph, source, forward_only=forward_only))
+    assert isinstance(table, dict)
+    return table
+
+
+def rule_degenerate_window(ctx: RuleContext) -> List[Diagnostic]:
+    """RS401: a direct minimum exceeding a parallel maximum -- the
+    window ``[l, u]`` with ``l > u`` is empty by construction."""
+    graph = ctx.graph
+    minimums = _edge_groups(graph).bounded_forward
+    diagnostics = []
+    for edge, from_op, to_op, bound in _backward_constraints(graph):
+        for forward in minimums.get((from_op, to_op), []):
+            if forward.static_weight > bound:
+                diagnostics.append(Diagnostic(
+                    code="RS401", severity=Severity.ERROR,
+                    message=f"degenerate timing window on {from_op!r} -> "
+                            f"{to_op!r}: minimum {forward.static_weight} "
+                            f"exceeds maximum {bound}",
+                    citation="Section III", span=ctx.span(edge=edge)))
+    return diagnostics
+
+
+def rule_overconstrained_window(ctx: RuleContext) -> List[Diagnostic]:
+    """RS402: sequencing alone already overruns a maximum constraint
+    (the located refinement of RS201 for backward edges)."""
+    graph = ctx.graph
+    diagnostics = []
+    for edge, from_op, to_op, bound in _backward_constraints(graph):
+        path = _longest_from(graph, from_op, forward_only=True).get(to_op)
+        if path is not None and path > bound:
+            diagnostics.append(Diagnostic(
+                code="RS402", severity=Severity.ERROR,
+                message=f"maximum timing constraint of {bound} cycles on "
+                        f"{from_op!r} -> {to_op!r} is unsatisfiable: the "
+                        f"sequencing dependencies alone take {path} cycles",
+                citation="Theorem 1", span=ctx.span(edge=edge)))
+    return diagnostics
+
+
+def rule_zero_slack_window(ctx: RuleContext) -> List[Diagnostic]:
+    """RS403: a maximum constraint met with zero slack -- the backward
+    edge closes a zero-weight cycle, so any delay growth on the path
+    makes the graph unfeasible."""
+    graph = ctx.graph
+    if not _is_feasible(graph):
+        return []  # the overrun case is RS201/RS402 territory
+    diagnostics = []
+    for edge, from_op, to_op, bound in _backward_constraints(graph):
+        path = _longest_from(graph, from_op, forward_only=False).get(to_op)
+        if path is not None and path == bound:
+            diagnostics.append(Diagnostic(
+                code="RS403", severity=Severity.WARNING,
+                message=f"maximum timing constraint of {bound} cycles on "
+                        f"{from_op!r} -> {to_op!r} has zero slack: the "
+                        f"longest path already takes exactly {path} cycles "
+                        f"(a zero-weight cycle)",
+                citation="Theorem 1", span=ctx.span(edge=edge)))
+    return diagnostics
+
+
+def rule_dominated_edges(ctx: RuleContext) -> List[Diagnostic]:
+    """RS404: parallel-edge domination.  A minimum constraint implied
+    by a parallel bounded forward edge of equal or larger weight, or a
+    maximum constraint looser than a parallel one, adds nothing; the
+    removal fix is exactly schedule-preserving because the dominating
+    edge subsumes its inequality, anchor propagation, and path weight."""
+    graph = ctx.graph
+    groups = _edge_groups(graph)
+    forward_groups = groups.bounded_forward
+    backward_groups = groups.backward_max
+
+    diagnostics = []
+    for (tail, head), edges in forward_groups.items():
+        if len(edges) < 2:
+            continue
+        keeper = max(edges, key=lambda e: int(e.weight))
+        for position, edge in enumerate(edges):
+            if edge is keeper or edge.kind is not EdgeKind.MIN_TIME:
+                continue
+            fix = Fix(
+                id=f"RS404:{tail}->{head}:min:{position}",
+                description=f"remove the dominated minimum constraint "
+                            f"{tail!r} -> {head!r} (l = {edge.weight})",
+                edits=(_remove_edit(edge),))
+            diagnostics.append(Diagnostic(
+                code="RS404", severity=Severity.WARNING,
+                message=f"minimum timing constraint {tail!r} -> {head!r} "
+                        f"(l = {edge.weight}) is dominated by a parallel "
+                        f"{keeper.kind.value} edge of weight "
+                        f"{keeper.weight}",
+                citation="Theorem 3", span=ctx.span(edge=edge), fix=fix))
+    for (tail, head), edges in backward_groups.items():
+        if len(edges) < 2:
+            continue
+        keeper = max(edges, key=lambda e: int(e.weight))
+        for position, edge in enumerate(edges):
+            if edge is keeper:
+                continue
+            fix = Fix(
+                id=f"RS404:{tail}->{head}:max:{position}",
+                description=f"remove the dominated maximum constraint "
+                            f"{edge.head!r} -> {edge.tail!r} "
+                            f"(u = {-int(edge.weight)})",
+                edits=(_remove_edit(edge),))
+            diagnostics.append(Diagnostic(
+                code="RS404", severity=Severity.WARNING,
+                message=f"maximum timing constraint {edge.head!r} -> "
+                        f"{edge.tail!r} (u = {-int(edge.weight)}) is "
+                        f"dominated by a parallel tighter maximum "
+                        f"(u = {-int(keeper.weight)})",
+                citation="Theorem 3", span=ctx.span(edge=edge), fix=fix))
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+#: Rules that need per-backward-edge path sweeps; skipped (with a
+#: report note) above ``LintConfig.deep_vertex_limit`` vertices.
+DEEP_RULES: FrozenSet[str] = frozenset({"RS402", "RS403"})
+
+#: Rules whose analyses (anchored length tables, Definition 9/11 sets)
+#: are only defined on feasible graphs; skipped -- with a report note --
+#: when RS201 fires, since an unfeasible graph has no schedule to
+#: optimize anchors for.
+FEASIBILITY_RULES: FrozenSet[str] = frozenset({"RS301", "RS302", "RS304"})
+
+GRAPH_RULES: Tuple[Rule, ...] = (
+    Rule("RS101", "cyclic-forward-graph", Severity.ERROR, "Section III",
+         "the forward constraint graph must be acyclic",
+         rule_forward_cycle),
+    Rule("RS102", "unreachable-from-source", Severity.ERROR, "Definition 1",
+         "every vertex must be reachable from the source",
+         rule_unreachable_from_source),
+    Rule("RS103", "cannot-reach-sink", Severity.ERROR, "Definition 1",
+         "every vertex must reach the sink",
+         rule_cannot_reach_sink),
+    Rule("RS201", "unfeasible-constraints", Severity.ERROR, "Theorem 1",
+         "no positive cycle may exist with unbounded delays at zero",
+         rule_unfeasible),
+    Rule("RS202", "ill-posed-serializable", Severity.ERROR, "Theorem 2",
+         "anchor containment must hold on every backward edge "
+         "(fixable by Lemma 7 minimal serialization)",
+         rule_ill_posed),
+    # RS202 and RS203 are two verdicts of one analysis: the engine runs
+    # shared check functions once and filters emitted codes afterwards.
+    Rule("RS203", "ill-posed-unserializable", Severity.ERROR, "Lemma 3",
+         "ill-posedness that serialization cannot rescue",
+         rule_ill_posed),
+    Rule("RS301", "redundant-anchor", Severity.INFO, "Definition 11",
+         "anchors whose synchronization is always dominated",
+         rule_redundant_anchor),
+    Rule("RS302", "irrelevant-anchor", Severity.INFO, "Definition 9",
+         "anchors no operation awaits",
+         rule_irrelevant_anchor),
+    Rule("RS303", "duplicate-serialization", Severity.WARNING, "Lemma 7",
+         "serialization edges duplicating an unbounded forward edge",
+         rule_duplicate_serialization),
+    Rule("RS304", "anchor-hotspot", Severity.INFO, "Section VI",
+         "vertices synchronizing on unusually many anchors",
+         rule_anchor_hotspot),
+    Rule("RS401", "degenerate-window", Severity.ERROR, "Section III",
+         "direct min > max timing windows are empty",
+         rule_degenerate_window),
+    Rule("RS402", "overconstrained-window", Severity.ERROR, "Theorem 1",
+         "sequencing alone overruns a maximum constraint",
+         rule_overconstrained_window),
+    Rule("RS403", "zero-slack-window", Severity.WARNING, "Theorem 1",
+         "maximum constraints met with zero slack",
+         rule_zero_slack_window),
+    Rule("RS404", "dominated-edge", Severity.WARNING, "Theorem 3",
+         "timing edges implied by parallel edges",
+         rule_dominated_edges),
+)

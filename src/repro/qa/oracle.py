@@ -42,7 +42,14 @@ catalogue covers:
   *detected* (timeout event, taxonomy abort, or degradation to the
   static fallback) or *masked* (the recovered execution still satisfies
   every constraint edge) -- never a silent wrong result (see
-  :mod:`repro.resilience.faults`).
+  :mod:`repro.resilience.faults`);
+* ``lint_consistency`` -- the static diagnostics of :mod:`repro.lint`
+  agree with the scheduler: the linter flags a graph ill-posed or
+  unfeasible exactly when :func:`check_well_posed` rejects it; applying
+  the Lemma 7 fix-it yields ``make_well_posed``'s minimal edge set and
+  a graph that schedules cleanly; and removing a lint-flagged duplicate
+  serialization edge (RS303) preserves start times under random delay
+  profiles.
 """
 
 from __future__ import annotations
@@ -125,8 +132,8 @@ def check_anchor_analyses(graph: ConstraintGraph,
         ("irredundant", irredundant_anchors, irredundant_anchors_reference),
     ]
     for label, indexed_fn, reference_fn in pairs:
-        kind_i, res_i = _outcome(lambda: indexed_fn(graph.copy()))
-        kind_r, res_r = _outcome(lambda: reference_fn(graph.copy()))
+        kind_i, res_i = _outcome(lambda: indexed_fn(graph.copy()))  # noqa: B023 - invoked immediately
+        kind_r, res_r = _outcome(lambda: reference_fn(graph.copy()))  # noqa: B023 - invoked immediately
         if kind_i != kind_r:
             return f"{label}: indexed {kind_i}:{res_i} != reference {kind_r}:{res_r}"
         if kind_i == "ok" and dict(res_i) != dict(res_r):
@@ -138,9 +145,9 @@ def check_anchor_analyses(graph: ConstraintGraph,
 def check_pipeline(graph: ConstraintGraph, rng: random.Random) -> Optional[str]:
     for mode in (AnchorMode.FULL, AnchorMode.IRREDUNDANT):
         kind_i, res_i = _outcome(
-            lambda: schedule_graph(graph.copy(), anchor_mode=mode))
+            lambda: schedule_graph(graph.copy(), anchor_mode=mode))  # noqa: B023 - invoked immediately
         kind_r, res_r = _outcome(
-            lambda: schedule_graph_reference(graph.copy(), anchor_mode=mode))
+            lambda: schedule_graph_reference(graph.copy(), anchor_mode=mode))  # noqa: B023 - invoked immediately
         if kind_i != kind_r:
             return (f"{mode.value}: indexed {kind_i}:{res_i} != "
                     f"reference {kind_r}:{res_r}")
@@ -234,7 +241,7 @@ def check_warm_start(graph: ConstraintGraph, rng: random.Random) -> Optional[str
         scheduler = IterativeIncrementalScheduler(
             warm_graph.copy(), anchor_mode=AnchorMode.FULL,
             anchor_sets=anchor_sets, use_indexed=use_indexed)
-        runs[label] = _outcome(lambda: scheduler.run_from(schedule.offsets))
+        runs[label] = _outcome(lambda: scheduler.run_from(schedule.offsets))  # noqa: B023 - invoked immediately
     (kind_i, res_i), (kind_d, res_d) = runs["indexed"], runs["dict"]
     if kind_i != kind_d:
         return f"warm kernels disagree: indexed {kind_i} != dict {kind_d}"
@@ -309,7 +316,7 @@ def check_redundant_edge(graph: ConstraintGraph,
     for tail, head, slack in rng.sample(candidates, min(3, len(candidates))):
         mutated = base.copy()
         mutated.add_min_constraint(tail, head, slack)
-        kind, res = _outcome(lambda: schedule_graph(
+        kind, res = _outcome(lambda: schedule_graph(  # noqa: B023 - invoked immediately
             mutated, anchor_mode=AnchorMode.FULL, auto_well_pose=False))
         if kind == "raise":
             return (f"redundant edge ({tail}->{head}, l={slack}) made the "
@@ -353,7 +360,7 @@ def check_anchor_modes(graph: ConstraintGraph,
                        rng: random.Random) -> Optional[str]:
     schedules = {}
     for mode in (AnchorMode.FULL, AnchorMode.RELEVANT, AnchorMode.IRREDUNDANT):
-        kind, res = _outcome(lambda: schedule_graph(graph.copy(), anchor_mode=mode))
+        kind, res = _outcome(lambda: schedule_graph(graph.copy(), anchor_mode=mode))  # noqa: B023 - invoked immediately
         schedules[mode] = (kind, res)
     kinds = {kind for kind, _ in schedules.values()}
     if len(kinds) > 1:
@@ -487,6 +494,88 @@ def check_fault_containment(graph: ConstraintGraph,
     return None
 
 
+def check_lint_consistency(graph: ConstraintGraph,
+                           rng: random.Random) -> Optional[str]:
+    # Imported lazily: lint sits above the core analyses and the rest
+    # of the oracle does not need it.
+    from repro.lint import LintEngine, apply_fixes
+
+    engine = LintEngine()
+    kind_l, report = _outcome(lambda: engine.lint_graph(graph.copy()))
+    if kind_l != "ok":
+        return f"lint crashed on a fuzz graph: {report}"
+    codes = set(report.codes())
+
+    kind_w, verdict = _outcome(lambda: check_well_posed(graph.copy()))
+    if kind_w == "raise":
+        # check_well_posed only raises on structural violations the
+        # linter classifies as RS1xx.
+        if verdict == "CyclicForwardGraphError" and "RS101" not in codes:
+            return "check_well_posed found a forward cycle but RS101 is absent"
+        return None
+
+    if (verdict is WellPosedness.UNFEASIBLE) != ("RS201" in codes):
+        return (f"feasibility disagrees: verdict {verdict.value}, "
+                f"lint codes {sorted(codes)}")
+    ill_posed_flagged = bool(codes & {"RS202", "RS203"})
+    if (verdict is WellPosedness.ILL_POSED) != ill_posed_flagged:
+        return (f"well-posedness disagrees: verdict {verdict.value}, "
+                f"lint codes {sorted(codes)}")
+
+    rescuable = report.by_code("RS202")
+    if rescuable:
+        if any(d.fix is None for d in rescuable):
+            return "RS202 diagnostic without the Lemma 7 fix"
+        fixed = graph.copy()
+        kind_f, applied = _outcome(
+            lambda: apply_fixes(fixed, report, select={"RS202"}))
+        if kind_f != "ok":
+            return f"applying the RS202 fix raised {applied}"
+        reference = make_well_posed(graph.copy())
+        if _edge_multiset(fixed) != _edge_multiset(reference):
+            return ("the --fix'ed graph's edges differ from "
+                    "make_well_posed's minimal serialization")
+        if check_well_posed(fixed.copy()) is not WellPosedness.WELL_POSED:
+            return "the --fix'ed graph is still not well-posed"
+        if _schedulable(fixed) is None:
+            return "the --fix'ed graph does not schedule cleanly"
+        refix = engine.lint_graph(fixed.copy())
+        if set(refix.codes()) & {"RS202", "RS203"}:
+            return "the --fix'ed graph still lints as ill-posed"
+
+    # Fix-its that drop duplicate serialization edges (RS303) must
+    # preserve the schedule exactly: synthesize a duplicate, lint, fix,
+    # and compare start times under a random delay profile.
+    schedule = _schedulable(graph)
+    if schedule is None:
+        return None
+    unbounded_forward = [e for e in graph.forward_edges() if e.is_unbounded]
+    if not unbounded_forward:
+        return None
+    seed_edge = rng.choice(unbounded_forward)
+    mutated = graph.copy()
+    mutated.add_serialization_edge(seed_edge.tail, seed_edge.head)
+    mutated_report = engine.lint_graph(mutated.copy())
+    flagged = [d for d in mutated_report.by_code("RS303")
+               if d.span.edge == (seed_edge.tail, seed_edge.head)]
+    if not flagged:
+        return (f"duplicate serialization {seed_edge.tail!r} -> "
+                f"{seed_edge.head!r} not flagged RS303")
+    fixed = mutated.copy()
+    apply_fixes(fixed, flagged[:1])
+    if _edge_multiset(fixed) != _edge_multiset(graph):
+        return "the RS303 fix did not restore the original edge multiset"
+    after = _schedulable(fixed)
+    if after is None:
+        return "the RS303-fixed graph no longer schedules"
+    anchors = [a for a in schedule.graph.anchors]
+    profile = {a: rng.randint(0, 9) for a in anchors}
+    if schedule.start_times(profile) != after.start_times(profile):
+        return ("removing a duplicate serialization edge changed start "
+                "times under a random delay profile")
+    return None
+
+
 #: The catalogue, in execution order.
 ORACLE_CHECKS: Dict[str, Callable[[ConstraintGraph, random.Random], Optional[str]]] = {
     "wellposed_verdict": check_wellposed_verdict,
@@ -499,6 +588,7 @@ ORACLE_CHECKS: Dict[str, Callable[[ConstraintGraph, random.Random], Optional[str
     "anchor_modes": check_anchor_modes,
     "observability": check_observability,
     "fault_containment": check_fault_containment,
+    "lint_consistency": check_lint_consistency,
 }
 
 

@@ -31,7 +31,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Union
 
-from repro.core.delay import UNBOUNDED, is_unbounded
+from repro.core.delay import UNBOUNDED, Delay, is_unbounded
 from repro.core.exceptions import ConstraintGraphError, MalformedInputError
 from repro.core.graph import ConstraintGraph, EdgeKind
 
@@ -48,12 +48,12 @@ FORMAT_VERSION = 1
 MAX_ABS_WEIGHT = 2 ** 53
 
 
-def _delay_to_json(delay) -> Union[int, str]:
-    return "unbounded" if is_unbounded(delay) else delay
+def _delay_to_json(delay: Delay) -> Union[int, str]:
+    return "unbounded" if is_unbounded(delay) else int(delay)
 
 
-def _delay_from_json(value):
-    return UNBOUNDED if value == "unbounded" else value
+def _delay_from_json(value: Union[int, str]) -> Delay:
+    return UNBOUNDED if value == "unbounded" else int(value)
 
 
 def graph_to_dict(graph: ConstraintGraph) -> Dict[str, Any]:

@@ -169,10 +169,10 @@ def design_statistics(design: Design) -> DesignStatistics:
         min_schedule = min_run.schedules[graph_name]
         full_total += sum(len(v) for v in full_schedule.offsets.values())
         min_total += sum(len(v) for v in min_schedule.offsets.values())
-        for anchor, value in full_schedule.max_offsets().items():
+        for value in full_schedule.max_offsets().values():
             full_sum_max += value
             full_max = max(full_max, value)
-        for anchor, value in min_schedule.max_offsets().items():
+        for value in min_schedule.max_offsets().values():
             min_sum_max += value
             min_max = max(min_max, value)
 

@@ -1,0 +1,63 @@
+"""Shared graph builders for the lint test suite.
+
+Each builder returns the smallest graph that triggers (or, for the
+negative twins, almost triggers) one rule; the per-rule tests in
+``test_rules.py`` use them pairwise.
+"""
+
+import pytest
+
+from repro import ConstraintGraph, UNBOUNDED
+
+
+def chain(*, delays=(1, 1), names=("a", "b")) -> ConstraintGraph:
+    """s -> a -> b -> t with the given delays."""
+    g = ConstraintGraph(source="s", sink="t")
+    previous = "s"
+    for name, delay in zip(names, delays):
+        g.add_operation(name, delay)
+        g.add_sequencing_edge(previous, name)
+        previous = name
+    g.add_sequencing_edge(previous, "t")
+    return g
+
+
+@pytest.fixture
+def clean_graph() -> ConstraintGraph:
+    """Well-posed, feasible, nothing to report."""
+    return chain()
+
+
+@pytest.fixture
+def fig2_graph() -> ConstraintGraph:
+    from repro.analysis.paper_figures import fig2_graph
+
+    return fig2_graph()
+
+
+@pytest.fixture
+def fig3b_graph() -> ConstraintGraph:
+    """The paper's ill-posed-but-serializable example (RS202)."""
+    from repro.analysis.paper_figures import fig3b_graph
+
+    return fig3b_graph()
+
+
+@pytest.fixture
+def unserializable_graph() -> ConstraintGraph:
+    """A maxtime window across an unbounded operation: ill-posed and
+    unrescuable by Lemma 3 (RS203)."""
+    g = ConstraintGraph(source="s", sink="t")
+    g.add_operation("a", UNBOUNDED)
+    g.add_operation("b", 1)
+    g.add_sequencing_edges([("s", "a"), ("a", "b"), ("b", "t")])
+    g.add_max_constraint("s", "b", 3)
+    return g
+
+
+@pytest.fixture
+def unfeasible_graph() -> ConstraintGraph:
+    """Forward path longer than a parallel maximum (RS201/RS402)."""
+    g = chain(delays=(5, 1))
+    g.add_max_constraint("s", "b", 2)
+    return g

@@ -1,0 +1,51 @@
+"""Golden-file sweep: linting the eight evaluation designs is pinned
+finding-by-finding.
+
+The goldens record each diagnostic's (code, span label) plus the
+report notes -- enough to catch both regressions (new spurious
+findings) and silent losses (a rule that stops firing), while staying
+robust to message-wording tweaks.
+
+Regenerate after an intentional rule change with::
+
+    REPRO_UPDATE_GOLDEN=1 python -m pytest tests/lint/test_catalogue_golden.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.designs import DESIGN_NAMES, build_design
+from repro.lint import LintEngine
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def observed_findings(name):
+    report = LintEngine().lint_design(build_design(name))
+    return {
+        "design": name,
+        "findings": [{"code": d.code, "span": d.span.label()}
+                     for d in report.diagnostics],
+        "notes": list(report.notes),
+    }
+
+
+@pytest.mark.parametrize("name", DESIGN_NAMES)
+def test_design_lint_matches_golden(name):
+    observed = observed_findings(name)
+    path = GOLDEN_DIR / f"{name}.json"
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(observed, indent=2) + "\n")
+    golden = json.loads(path.read_text())
+    assert observed == golden, (
+        f"lint findings for {name!r} diverge from {path}; if the change "
+        f"is intentional, regenerate with REPRO_UPDATE_GOLDEN=1")
+
+
+def test_no_orphaned_goldens():
+    recorded = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert recorded == set(DESIGN_NAMES)

@@ -1,0 +1,115 @@
+"""End-to-end tests of the ``repro lint`` CLI front end: formats, the
+exit-code contract, rule selection, and the ``--fix`` round trip."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import load_json, save_json
+
+from .test_design_rules import WINDOWED_WAIT
+
+
+@pytest.fixture
+def fig3b_json(tmp_path, fig3b_graph):
+    path = tmp_path / "fig3b.json"
+    save_json(fig3b_graph, str(path))
+    return str(path)
+
+
+@pytest.fixture
+def clean_json(tmp_path, fig2_graph):
+    path = tmp_path / "fig2.json"
+    save_json(fig2_graph, str(path))
+    return str(path)
+
+
+@pytest.fixture
+def hdl_file(tmp_path):
+    path = tmp_path / "demo.hc"
+    path.write_text(WINDOWED_WAIT)
+    return str(path)
+
+
+class TestExitContract:
+    def test_clean_graph_exits_zero(self, clean_json, capsys):
+        assert main(["lint", clean_json]) == 0
+        assert "0 diagnostic(s)" in capsys.readouterr().out
+
+    def test_errors_exit_one(self, fig3b_json, capsys):
+        assert main(["lint", fig3b_json]) == 1
+        out = capsys.readouterr().out
+        assert "RS202" in out
+        assert "fix available:" in out
+
+    def test_warnings_alone_exit_zero(self, tmp_path, capsys):
+        from .conftest import chain
+
+        g = chain(delays=(2, 1))
+        g.add_max_constraint("a", "b", 2)  # RS403, warning only
+        path = tmp_path / "warn.json"
+        save_json(g, str(path))
+        assert main(["lint", str(path)]) == 0
+        assert "RS403" in capsys.readouterr().out
+
+
+class TestFormats:
+    def test_json_format(self, fig3b_json, capsys):
+        main(["lint", fig3b_json, "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["input"] == fig3b_json
+        assert payload["summary"]["errors"] >= 1
+        assert [d["code"] for d in payload["diagnostics"]] == ["RS202"]
+
+    def test_sarif_format(self, fig3b_json, capsys):
+        main(["lint", fig3b_json, "--format", "sarif"])
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        [run] = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert run["results"][0]["ruleId"] == "RS202"
+
+    def test_output_file(self, fig3b_json, tmp_path, capsys):
+        destination = tmp_path / "report.sarif"
+        main(["lint", fig3b_json, "--format", "sarif",
+              "-o", str(destination)])
+        assert "report written to" in capsys.readouterr().out
+        assert json.loads(destination.read_text())["runs"]
+
+
+class TestSelection:
+    def test_select(self, fig3b_json, capsys):
+        assert main(["lint", fig3b_json, "--select", "RS3"]) == 0
+        assert "RS202" not in capsys.readouterr().out
+
+    def test_ignore(self, fig3b_json, capsys):
+        assert main(["lint", fig3b_json, "--ignore", "RS202"]) == 0
+        assert "RS202" not in capsys.readouterr().out
+
+
+class TestFix:
+    def test_fix_round_trip(self, fig3b_json, tmp_path, capsys):
+        fixed_path = tmp_path / "fixed.json"
+        assert main(["lint", fig3b_json, "--fix",
+                     "--fix-output", str(fixed_path)]) == 0
+        out = capsys.readouterr().out
+        assert "applied 1 fix(es): RS202:serialize" in out
+        # The original file is untouched; the fixed one lints clean.
+        assert main(["lint", fig3b_json]) == 1
+        capsys.readouterr()
+        assert main(["lint", str(fixed_path)]) == 0
+        fixed = load_json(str(fixed_path))
+        assert any(e.kind.value == "serialization" for e in fixed.edges())
+
+    def test_fix_rejected_for_hdl_input(self, hdl_file):
+        with pytest.raises(SystemExit, match="--fix requires"):
+            main(["lint", hdl_file, "--fix"])
+
+
+class TestHdlInput:
+    def test_design_lints_with_provenance(self, hdl_file, capsys):
+        assert main(["lint", hdl_file]) == 1  # RS202 in the lowered graph
+        out = capsys.readouterr().out
+        assert "RS501" in out
+        assert f"{hdl_file}:7" in out

@@ -1,0 +1,128 @@
+"""Positive/negative units for the design-level rules (RS104, RS5xx),
+including HDL source-line provenance on the emitted spans."""
+
+import pytest
+
+from repro.designs import build_design
+from repro.hdl import compile_source
+from repro.lint import LintConfig, LintEngine
+from repro.seqgraph.model import Design, OpKind, Operation, SequencingGraph
+
+
+def lint_design(design, **kwargs):
+    return LintEngine().lint_design(design, **kwargs)
+
+
+#: A maxtime window spanning a wait: ill-posed at the source level.
+WINDOWED_WAIT = """\
+process demo (p, q) {
+  in port p[8];
+  out port q[8];
+  boolean x[8];
+  tag a, b;
+  a : x = 1;
+  wait (p);
+  b : write q = x;
+  constraint maxtime from a to b = 3;
+}
+"""
+
+
+class TestRS501UnsynchronizedWindow:
+    def test_fires_on_wait_inside_window(self):
+        report = lint_design(compile_source(WINDOWED_WAIT), file="demo.hc")
+        [diagnostic] = report.by_code("RS501")
+        assert "unbounded delay inside the maxtime window" in diagnostic.message
+        # ... and the lowered graph is indeed ill-posed (Theorem 2).
+        assert report.by_code("RS202")
+
+    def test_span_carries_hdl_source_line(self):
+        report = lint_design(compile_source(WINDOWED_WAIT), file="demo.hc")
+        [diagnostic] = report.by_code("RS501")
+        assert diagnostic.span.file == "demo.hc"
+        assert diagnostic.span.line == 7  # the wait statement
+
+    def test_silent_when_wait_precedes_window(self):
+        # Sequencing is dataflow, not textual order: reading the port
+        # the wait synchronized makes 'a' a true successor of the wait,
+        # pulling it out of the constrained window.
+        source = WINDOWED_WAIT.replace("a : x = 1;\n  wait (p);",
+                                       "wait (p);\n  a : x = read(p);")
+        report = lint_design(compile_source(source))
+        assert "RS501" not in report.codes()
+        assert "RS202" not in report.codes()
+
+
+class TestRS502DeadBlock:
+    def test_fires_on_unreferenced_process(self):
+        source = WINDOWED_WAIT + """
+process helper (r) {
+  in port r[8];
+  boolean y[8];
+  y = read(r);
+}
+"""
+        report = lint_design(compile_source(source))
+        [diagnostic] = report.by_code("RS502")
+        assert diagnostic.span.graph == "helper"
+
+    def test_silent_when_everything_is_reachable(self):
+        report = lint_design(compile_source(WINDOWED_WAIT))
+        assert "RS502" not in report.codes()
+
+    def test_dct_a_unused_macs_flagged(self):
+        # The reconstruction registers more MAC blocks than dct_a calls.
+        report = lint_design(build_design("dct_a"))
+        flagged = {d.span.graph for d in report.by_code("RS502")}
+        assert flagged == {"a_mac5", "a_mac6", "a_mac7", "a_mac8"}
+
+
+class TestRS503BusyWait:
+    def test_fires_on_condition_only_loop(self):
+        report = lint_design(build_design("traffic"))
+        [diagnostic] = report.by_code("RS503")
+        assert "busy-waits" in diagnostic.message
+
+    def test_silent_when_the_body_does_work(self):
+        design = build_design("traffic")
+        body_name = next(op.body for op in design.graph(design.root).operations()
+                         if op.kind is OpKind.LOOP)
+        body = design.graph(body_name)
+        extra = Operation("extra_work", OpKind.OPERATION, delay=1)
+        body.add_operation(extra)
+        real = [o.name for o in body.operations()
+                if o.kind not in (OpKind.SOURCE, OpKind.SINK)]
+        assert len(real) == 2
+        report = lint_design(design)
+        assert "RS503" not in report.codes()
+
+
+class TestRS104LoweringFailure:
+    def build_cyclic_design(self):
+        graph = SequencingGraph("loopy")
+        graph.add_operation(Operation("x", OpKind.OPERATION, delay=1))
+        graph.add_operation(Operation("y", OpKind.OPERATION, delay=1))
+        graph.add_edge("x", "y")
+        graph.add_edge("y", "x")
+        design = Design("demo")
+        design.add_graph(graph, root=True)
+        return design
+
+    def test_fires_when_lowering_raises(self):
+        report = lint_design(self.build_cyclic_design())
+        assert report.codes() == ["RS104"]
+        [diagnostic] = report.diagnostics
+        assert "fails to lower" in diagnostic.message
+        assert diagnostic.span.graph == "loopy"
+
+    def test_respects_ignore(self):
+        engine = LintEngine(LintConfig(ignore=frozenset({"RS104"})))
+        report = engine.lint_design(self.build_cyclic_design())
+        assert report.codes() == []
+
+
+class TestCleanDesigns:
+    @pytest.mark.parametrize("name", ["frisc", "daio_decoder",
+                                      "daio_receiver"])
+    def test_reconstructions_lint_clean(self, name):
+        assert lint_design(build_design(name)).codes() == []

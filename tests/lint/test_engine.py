@@ -1,0 +1,116 @@
+"""Engine-level behaviour: rule selection, skip gates with visible
+notes, the report surface, and observability integration."""
+
+from repro import ConstraintGraph, UNBOUNDED
+from repro.lint import LintConfig, LintEngine, Severity
+from repro.lint.rules import DEEP_RULES, FEASIBILITY_RULES
+from repro.observability import Tracer, use_tracer
+
+from .conftest import chain
+
+
+def mixed_graph() -> ConstraintGraph:
+    """One error (RS403 twin turned RS404) and one warning per run."""
+    g = chain()
+    g.add_min_constraint("a", "b", 2)
+    g.add_min_constraint("a", "b", 4)
+    g.add_max_constraint("a", "b", 9)
+    g.add_max_constraint("a", "b", 4)
+    return g
+
+
+class TestSelection:
+    def test_select_restricts_by_prefix(self):
+        engine = LintEngine(LintConfig(select=frozenset({"RS40"})))
+        report = engine.lint_graph(mixed_graph())
+        # min 4 meets max 4 exactly, so RS403 rides along with RS404.
+        assert set(report.codes()) == {"RS403", "RS404"}
+
+    def test_ignore_drops_by_prefix(self):
+        engine = LintEngine(LintConfig(ignore=frozenset({"RS4"})))
+        assert engine.lint_graph(mixed_graph()).codes() == []
+
+    def test_ignore_beats_select(self):
+        config = LintConfig(select=frozenset({"RS404"}),
+                            ignore=frozenset({"RS404"}))
+        assert LintEngine(config).lint_graph(mixed_graph()).codes() == []
+
+
+class TestSkipGates:
+    def test_deep_rules_skipped_above_limit_with_note(self):
+        g = chain()
+        g.add_max_constraint("a", "b", 2)  # would be RS403 (zero slack)
+        engine = LintEngine(LintConfig(deep_vertex_limit=3))
+        report = engine.lint_graph(g)
+        assert "RS403" not in report.codes()
+        assert any("path-based rules skipped" in note
+                   and all(code in note for code in sorted(DEEP_RULES))
+                   for note in report.notes)
+
+    def test_feasibility_rules_skipped_on_unfeasible_graph(self):
+        g = chain(delays=(5, 1))
+        g.add_max_constraint("s", "b", 2)
+        report = LintEngine().lint_graph(g)
+        assert "RS201" in report.codes()
+        assert not set(report.codes()) & FEASIBILITY_RULES
+        assert any("unfeasible (RS201)" in note for note in report.notes)
+
+    def test_skip_note_suppressed_when_rules_deselected(self):
+        g = chain(delays=(5, 1))
+        g.add_max_constraint("s", "b", 2)
+        engine = LintEngine(LintConfig(select=frozenset({"RS2"})))
+        report = engine.lint_graph(g)
+        assert report.notes == ()
+
+
+class TestReportSurface:
+    def test_summary_counts(self):
+        report = LintEngine().lint_graph(mixed_graph())
+        summary = report.to_json()["summary"]
+        assert summary["errors"] == 0
+        assert summary["warnings"] == len(report.codes())
+        assert summary["fixable"] == len(report.fixable())
+
+    def test_format_mentions_fix_availability(self):
+        text = LintEngine().lint_graph(mixed_graph()).format()
+        assert "fix available:" in text
+        assert "diagnostic(s)" in text
+
+    def test_errors_filter(self):
+        g = chain()
+        g.add_sequencing_edge("b", "a")
+        report = LintEngine().lint_graph(g)
+        assert [d.code for d in report.errors()] == ["RS101"]
+        assert all(d.severity is Severity.ERROR for d in report.errors())
+
+
+class TestObservability:
+    def test_lint_run_traced_with_per_rule_events(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            report = LintEngine().lint_graph(mixed_graph())
+        assert [s["name"] for s in tracer.spans] == ["lint.run"]
+        rule_events = tracer.events_named("lint.rule")
+        assert {e["code"] for e in rule_events} >= {"RS102", "RS404"}
+        assert sum(e["findings"] for e in rule_events) == len(report.diagnostics)
+        assert tracer.counters["lint.runs"] == 1
+        assert tracer.counters["lint.diagnostics"] == len(report.diagnostics)
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer()
+        LintEngine().lint_graph(mixed_graph())
+        assert tracer.spans == []
+
+
+class TestLintNeverMutates:
+    def test_graph_version_unchanged(self):
+        g = mixed_graph()
+        g.add_operation("u", UNBOUNDED)
+        g.add_sequencing_edges([("s", "u"), ("u", "t")])
+        before = g.to_dict() if hasattr(g, "to_dict") else None
+        from repro.qa.serialize import graph_to_dict
+
+        snapshot = graph_to_dict(g)
+        LintEngine().lint_graph(g)
+        assert graph_to_dict(g) == snapshot
+        assert before is None or before == g.to_dict()

@@ -1,0 +1,145 @@
+"""Fix application semantics, and the idempotence property: after one
+``lint -> apply_fixes`` round, a second lint offers nothing new to fix.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ConstraintGraph, UNBOUNDED
+from repro.designs import DESIGN_NAMES, build_design
+from repro.designs.random_graphs import random_constraint_graph
+from repro.lint import (FixApplicationError, FixEdit, LintEngine, apply_edit,
+                        apply_fixes)
+from repro.qa.serialize import graph_to_dict
+from repro.seqgraph.lower import to_constraint_graph
+
+from .conftest import chain
+
+
+class TestApplyEdit:
+    def test_add_serialization(self):
+        g = chain(delays=(UNBOUNDED, 1))  # serialization needs an anchor tail
+        apply_edit(g, FixEdit(action="add_serialization", tail="a", head="b"))
+        assert any(e.kind.value == "serialization" for e in g.edges())
+
+    def test_remove_edge_is_first_match(self):
+        g = chain()
+        g.add_min_constraint("a", "b", 3)
+        g.add_min_constraint("a", "b", 3)
+        count = len(list(g.edges()))
+        apply_edit(g, FixEdit(action="remove_edge", tail="a", head="b",
+                              kind="min_time", weight=3))
+        assert len(list(g.edges())) == count - 1
+
+    def test_stale_removal_raises(self):
+        g = chain()
+        with pytest.raises(FixApplicationError, match="no longer matches"):
+            apply_edit(g, FixEdit(action="remove_edge", tail="a", head="b",
+                                  kind="min_time", weight=7))
+
+    def test_unknown_action_raises(self):
+        with pytest.raises(FixApplicationError, match="unknown fix action"):
+            apply_edit(chain(), FixEdit(action="teleport", tail="a", head="b"))
+
+
+class TestApplyFixes:
+    def test_shared_fix_id_applied_once(self, fig3b_graph):
+        report = LintEngine().lint_graph(fig3b_graph)
+        rs202 = report.by_code("RS202")
+        assert rs202  # every violation carries the one Lemma 7 fix
+        applied = apply_fixes(fig3b_graph, report)
+        assert applied.count("RS202:serialize") == 1
+
+    def test_select_filters_by_code(self):
+        g = chain()
+        g.add_min_constraint("a", "b", 2)
+        g.add_min_constraint("a", "b", 4)
+        report = LintEngine().lint_graph(g)
+        assert report.fixable()
+        assert apply_fixes(g, report, select={"RS999"}) == []
+        assert apply_fixes(g, report, select={"RS404"}) != []
+
+    def test_overlapping_removals_tolerated(self):
+        """The RS202 Lemma 7 diff can subsume an RS303 removal (the
+        minimal serialization drops the duplicate edge too); applying
+        both must not raise on the second, already-achieved removal."""
+        rng = random.Random(244)
+        graph = random_constraint_graph(rng, rng.randint(4, 12),
+                                        unbounded_probability=0.4,
+                                        well_posed_only=False)
+        seed_edge = rng.choice([e for e in graph.forward_edges()
+                                if e.is_unbounded])
+        graph.add_serialization_edge(seed_edge.tail, seed_edge.head)
+        engine = LintEngine()
+        report = engine.lint_graph(graph)
+        overlapping = [d.fix.id for d in report.fixable()]
+        assert "RS202:serialize" in overlapping
+        assert any(fix_id.startswith("RS303:") for fix_id in overlapping)
+        assert set(apply_fixes(graph, report)) == set(overlapping)
+        assert not engine.lint_graph(graph).fixable()
+
+    def test_accepts_plain_diagnostic_sequence(self):
+        g = chain()
+        g.add_min_constraint("a", "b", 2)
+        g.add_min_constraint("a", "b", 4)
+        report = LintEngine().lint_graph(g)
+        assert apply_fixes(g, list(report.diagnostics)) != []
+
+
+def fix_to_fixpoint(graph: ConstraintGraph, engine: LintEngine,
+                    rounds: int = 5) -> int:
+    """Apply ``lint -> fix`` rounds until nothing is fixable; returns
+    the number of mutating rounds taken."""
+    for round_index in range(rounds):
+        report = engine.lint_graph(graph)
+        if not apply_fixes(graph, report):
+            return round_index
+    raise AssertionError(f"fixes did not converge in {rounds} rounds")
+
+
+class TestIdempotence:
+    """One ``--fix`` round reaches a fixpoint: the second round must
+    apply nothing and leave the graph byte-identical."""
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           well_posed=st.booleans())
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_graphs_fix_to_fixpoint_in_one_round(self, seed,
+                                                        well_posed):
+        rng = random.Random(seed)
+        graph = random_constraint_graph(rng, rng.randint(4, 12),
+                                        unbounded_probability=0.4,
+                                        well_posed_only=well_posed)
+        # Seed some fixable hygiene findings.
+        unbounded = [e for e in graph.forward_edges() if e.is_unbounded]
+        if unbounded:
+            seed_edge = rng.choice(unbounded)
+            graph.add_serialization_edge(seed_edge.tail, seed_edge.head)
+        engine = LintEngine()
+        rounds = fix_to_fixpoint(graph, engine)
+        assert rounds <= 1
+        snapshot = graph_to_dict(graph)
+        apply_fixes(graph, engine.lint_graph(graph))
+        assert graph_to_dict(graph) == snapshot
+
+    @pytest.mark.parametrize("name", DESIGN_NAMES)
+    def test_catalogue_lowered_graphs_fix_idempotent(self, name):
+        design = build_design(name)
+        engine = LintEngine()
+        latencies = {}
+        for graph_name in design.hierarchy_order():
+            try:
+                graph = to_constraint_graph(design.graph(graph_name),
+                                            child_latency=latencies)
+            except Exception:
+                latencies[graph_name] = UNBOUNDED
+                continue
+            latencies[graph_name] = 0
+            assert fix_to_fixpoint(graph, engine) <= 1
+            snapshot = graph_to_dict(graph)
+            assert apply_fixes(graph, engine.lint_graph(graph)) == []
+            assert graph_to_dict(graph) == snapshot

@@ -1,0 +1,317 @@
+"""Per-rule positive/negative units for the graph rules (RS1xx-RS4xx).
+
+Each test class covers one rule: a minimal graph that fires it, a
+near-identical graph that does not, and -- where the rule carries a
+fix-it -- the fix's semantics.
+"""
+
+import pytest
+
+from repro import ConstraintGraph, UNBOUNDED, schedule_graph
+from repro.core.wellposed import WellPosedness, check_well_posed
+from repro.lint import LintConfig, LintEngine, Severity, apply_fixes
+from repro.lint.rules import FEASIBILITY_RULES, GRAPH_RULES
+
+from .conftest import chain
+
+
+def lint(graph, **config):
+    return LintEngine(LintConfig(**config)).lint_graph(graph)
+
+
+class TestRS101ForwardCycle:
+    def test_fires_on_forward_cycle(self):
+        g = chain()
+        g.add_sequencing_edge("b", "a")
+        report = lint(g)
+        assert report.codes() == ["RS101"]
+        assert report.diagnostics[0].severity is Severity.ERROR
+
+    def test_only_rs101_checked_on_cyclic_graph(self):
+        # The cycle voids every other analysis; the engine says so.
+        g = chain()
+        g.add_sequencing_edge("b", "a")
+        report = lint(g)
+        assert any("only RS101" in note for note in report.notes)
+
+    def test_silent_on_acyclic_graph(self, clean_graph):
+        assert "RS101" not in lint(clean_graph).codes()
+
+
+class TestRS102UnreachableFromSource:
+    def test_fires_and_fix_reconnects(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", 1)
+        g.add_operation("orphan", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "t"), ("orphan", "t")])
+        report = lint(g)
+        assert report.codes() == ["RS102"]
+        [diagnostic] = report.diagnostics
+        assert diagnostic.span.vertex == "orphan"
+        applied = apply_fixes(g, report)
+        assert applied == [diagnostic.fix.id]
+        assert lint(g).codes() == []
+
+    def test_silent_on_polar_graph(self, clean_graph):
+        assert "RS102" not in lint(clean_graph).codes()
+
+
+class TestRS103CannotReachSink:
+    def test_fires_and_fix_reconnects(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", 1)
+        g.add_operation("stuck", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "t"), ("s", "stuck")])
+        report = lint(g)
+        assert "RS103" in report.codes()
+        [diagnostic] = report.by_code("RS103")
+        assert diagnostic.span.vertex == "stuck"
+        apply_fixes(g, report)
+        assert "RS103" not in lint(g).codes()
+
+    def test_silent_on_polar_graph(self, clean_graph):
+        assert "RS103" not in lint(clean_graph).codes()
+
+
+class TestRS201Unfeasible:
+    def test_fires_with_cycle_witness(self, unfeasible_graph):
+        report = lint(unfeasible_graph)
+        assert "RS201" in report.codes()
+        [diagnostic] = report.by_code("RS201")
+        assert "positive cycle" in diagnostic.message
+        # The lint verdict agrees with the pipeline's.
+        assert check_well_posed(unfeasible_graph) is WellPosedness.UNFEASIBLE
+
+    def test_anchor_rules_skipped_with_note(self, unfeasible_graph):
+        report = lint(unfeasible_graph)
+        assert any("unfeasible" in note and "skipped" in note
+                   for note in report.notes)
+        assert not set(report.codes()) & FEASIBILITY_RULES
+
+    def test_silent_on_feasible_graph(self, fig2_graph):
+        assert "RS201" not in lint(fig2_graph).codes()
+
+
+class TestRS202IllPosedSerializable:
+    def test_fires_with_lemma7_fix(self, fig3b_graph):
+        report = lint(fig3b_graph)
+        assert report.by_code("RS202")
+        for diagnostic in report.by_code("RS202"):
+            assert diagnostic.fix is not None
+            assert diagnostic.fix.id == "RS202:serialize"
+
+    def test_fix_restores_well_posedness(self, fig3b_graph):
+        report = lint(fig3b_graph)
+        apply_fixes(fig3b_graph, report, select={"RS202"})
+        assert check_well_posed(fig3b_graph) is WellPosedness.WELL_POSED
+        assert not lint(fig3b_graph).by_code("RS202")
+        assert schedule_graph(fig3b_graph) is not None
+
+    def test_silent_on_well_posed_graph(self, fig2_graph):
+        assert not lint(fig2_graph).by_code("RS202")
+
+
+class TestRS203IllPosedUnserializable:
+    def test_fires_without_fix(self, unserializable_graph):
+        report = lint(unserializable_graph)
+        assert report.codes() == ["RS203"]
+        [diagnostic] = report.diagnostics
+        assert diagnostic.fix is None
+        assert "cannot be rescued" in diagnostic.message
+        assert check_well_posed(unserializable_graph) is WellPosedness.ILL_POSED
+
+    def test_serializable_graph_is_rs202_not_rs203(self, fig3b_graph):
+        assert not lint(fig3b_graph).by_code("RS203")
+
+
+class TestRS301RedundantAnchor:
+    def test_fig8b_anchor_redundant_somewhere_is_not_flagged(self):
+        """Fig. 8(b): 'a' is redundant *at v3* but irredundant at its
+        direct successor 'b', so the everywhere-redundant rule must stay
+        silent (an anchor is always irredundant at its topologically
+        first anchored successor)."""
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("b", UNBOUNDED)
+        g.add_operation("v1", 0)
+        g.add_operation("v3", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "b"), ("a", "v1"),
+                                ("b", "v3"), ("v1", "v3"), ("v3", "t")])
+        assert "RS301" not in lint(g).codes()
+
+    def test_fires_when_analyses_report_total_domination(self):
+        """The geometric situation is believed unreachable on graphs
+        built through the public API (see the negative above), so the
+        defensive rule is exercised by pre-seeding the versioned
+        analysis cache the rule reads through."""
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("v", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "v"), ("v", "t")])
+        g.cached("relevant_sets",
+                 lambda: {name: ({"a"} if name == "v" else set())
+                          for name in g.vertex_names()})
+        g.cached("irredundant_sets",
+                 lambda: {name: set() for name in g.vertex_names()})
+        report = lint(g, select=frozenset({"RS301"}))
+        assert report.codes() == ["RS301"]
+        assert report.diagnostics[0].span.vertex == "a"
+
+
+class TestRS302IrrelevantAnchor:
+    def test_fires_on_anchor_without_successors(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("b", 1)
+        g.add_sequencing_edges([("s", "a"), ("s", "b"), ("b", "t")])
+        report = lint(g)
+        assert "RS302" in report.codes()  # alongside the RS103 polarity error
+        [diagnostic] = report.by_code("RS302")
+        assert diagnostic.span.vertex == "a"
+
+    def test_silent_when_something_awaits_the_anchor(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("b", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "b"), ("b", "t")])
+        assert "RS302" not in lint(g).codes()
+
+
+class TestRS303DuplicateSerialization:
+    def build(self):
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("b", 1)
+        g.add_sequencing_edges([("s", "a"), ("a", "b"), ("b", "t")])
+        return g
+
+    def test_fires_and_fix_preserves_schedule(self):
+        g = self.build()
+        g.add_serialization_edge("a", "b")
+        before = schedule_graph(g.copy())
+        report = lint(g)
+        assert report.codes() == ["RS303"]
+        apply_fixes(g, report)
+        assert lint(g).codes() == []
+        after = schedule_graph(g)
+        profile = {anchor: 2 for anchor in g.anchors}
+        assert before.start_times(profile) == after.start_times(profile)
+
+    def test_silent_without_parallel_edge(self):
+        assert lint(self.build()).codes() == []
+
+    def test_lone_serialization_edge_not_flagged(self):
+        # A serialization edge with no parallel twin is load-bearing.
+        g = ConstraintGraph(source="s", sink="t")
+        g.add_operation("a", UNBOUNDED)
+        g.add_operation("b", 1)
+        g.add_sequencing_edges([("s", "a"), ("s", "b"), ("a", "t"),
+                                ("b", "t")])
+        g.add_serialization_edge("a", "b")
+        assert "RS303" not in lint(g).codes()
+
+
+class TestRS304AnchorHotspot:
+    def build(self, fan_in):
+        g = ConstraintGraph(source="s", sink="t")
+        for index in range(fan_in):
+            g.add_operation(f"a{index}", UNBOUNDED)
+            g.add_sequencing_edge("s", f"a{index}")
+        g.add_operation("join", 1)
+        for index in range(fan_in):
+            g.add_sequencing_edge(f"a{index}", "join")
+        g.add_sequencing_edge("join", "t")
+        return g
+
+    def test_fires_at_threshold(self):
+        report = lint(self.build(6))
+        assert "RS304" in report.codes()
+        assert any(d.span.vertex == "join" for d in report.by_code("RS304"))
+
+    def test_silent_below_threshold(self):
+        assert "RS304" not in lint(self.build(5)).codes()
+
+    def test_threshold_configurable(self):
+        assert "RS304" in lint(self.build(3), hotspot_threshold=3).codes()
+
+
+class TestRS401DegenerateWindow:
+    def test_fires_on_min_exceeding_max(self):
+        g = chain()
+        g.add_min_constraint("a", "b", 5)
+        g.add_max_constraint("a", "b", 3)
+        report = lint(g, select=frozenset({"RS401"}))
+        assert report.codes() == ["RS401"]
+
+    def test_silent_on_consistent_window(self):
+        g = chain()
+        g.add_min_constraint("a", "b", 2)
+        g.add_max_constraint("a", "b", 3)
+        assert "RS401" not in lint(g).codes()
+
+
+class TestRS402OverconstrainedWindow:
+    def test_fires_when_sequencing_overruns_max(self, unfeasible_graph):
+        report = lint(unfeasible_graph)
+        assert "RS402" in report.codes()
+        [diagnostic] = report.by_code("RS402")
+        assert "sequencing dependencies alone" in diagnostic.message
+
+    def test_silent_when_window_has_room(self, fig2_graph):
+        assert "RS402" not in lint(fig2_graph).codes()
+
+
+class TestRS403ZeroSlackWindow:
+    def test_fires_on_exactly_met_constraint(self):
+        g = chain(delays=(2, 1))
+        g.add_max_constraint("a", "b", 2)
+        report = lint(g)
+        assert report.codes() == ["RS403"]
+        assert report.diagnostics[0].severity is Severity.WARNING
+
+    def test_silent_with_slack(self):
+        g = chain(delays=(2, 1))
+        g.add_max_constraint("a", "b", 3)
+        assert "RS403" not in lint(g).codes()
+
+
+class TestRS404DominatedEdges:
+    def test_dominated_min_removed_by_fix(self):
+        g = chain()
+        g.add_min_constraint("a", "b", 2)
+        g.add_min_constraint("a", "b", 4)
+        before = schedule_graph(g.copy())
+        report = lint(g)
+        assert report.codes() == ["RS404"]
+        assert "l = 2" in report.diagnostics[0].message
+        apply_fixes(g, report)
+        assert lint(g).codes() == []
+        profile = {anchor: 0 for anchor in g.anchors}
+        assert (before.start_times(profile)
+                == schedule_graph(g).start_times(profile))
+
+    def test_dominated_max_is_the_looser_bound(self):
+        g = chain()
+        g.add_max_constraint("a", "b", 9)
+        g.add_max_constraint("a", "b", 4)
+        report = lint(g)
+        assert report.codes() == ["RS404"]
+        assert "u = 9" in report.diagnostics[0].message
+
+    def test_distinct_weights_both_load_bearing(self):
+        g = chain()
+        g.add_min_constraint("a", "b", 2)
+        g.add_max_constraint("a", "b", 4)
+        assert "RS404" not in lint(g).codes()
+
+
+class TestRegistry:
+    def test_codes_unique_and_sorted_by_family(self):
+        codes = [rule.code for rule in GRAPH_RULES]
+        assert len(codes) == len(set(codes))
+        assert codes == sorted(codes)
+
+    def test_every_rule_cites_the_paper(self):
+        for rule in GRAPH_RULES:
+            assert rule.citation
+            assert rule.summary

@@ -1,0 +1,124 @@
+"""SARIF 2.1 rendering: schema validation (jsonschema against the
+bundled trimmed schema), rule catalogue completeness, and location /
+severity mapping."""
+
+import json
+
+import jsonschema
+import pytest
+
+from repro.designs import build_design
+from repro.hdl import compile_source
+from repro.lint import (LintEngine, RULE_CATALOGUE, Severity, load_trimmed_schema,
+                        sarif_json, to_sarif)
+from repro.lint.design_rules import DESIGN_RULES
+from repro.lint.rules import GRAPH_RULES
+
+from .conftest import chain
+from .test_design_rules import WINDOWED_WAIT
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return load_trimmed_schema()
+
+
+def validate(log, schema):
+    jsonschema.validate(instance=log, schema=schema)
+
+
+class TestSchemaValidation:
+    def test_empty_report_validates(self, schema):
+        validate(to_sarif(LintEngine().lint_graph(chain())), schema)
+
+    def test_graph_findings_validate(self, schema, fig3b_graph,
+                                     unfeasible_graph):
+        engine = LintEngine()
+        for graph in (fig3b_graph, unfeasible_graph):
+            log = to_sarif(engine.lint_graph(graph), artifact_uri="g.json")
+            validate(log, schema)
+
+    def test_design_findings_with_provenance_validate(self, schema):
+        report = LintEngine().lint_design(compile_source(WINDOWED_WAIT),
+                                          file="demo.hc")
+        validate(to_sarif(report, artifact_uri="demo.hc"), schema)
+
+    def test_catalogue_designs_validate(self, schema):
+        engine = LintEngine()
+        for name in ("gcd", "dct_a"):
+            log = to_sarif(engine.lint_design(build_design(name)))
+            validate(log, schema)
+
+    def test_schema_rejects_malformed_result(self, schema):
+        log = to_sarif(LintEngine().lint_graph(chain()))
+        log["runs"][0]["results"] = [{"ruleId": "RS101",
+                                      "level": "catastrophic",
+                                      "message": {"text": "bad level"}}]
+        with pytest.raises(jsonschema.ValidationError):
+            validate(log, schema)
+
+
+class TestRuleCatalogue:
+    def test_covers_every_rule_exactly_once(self):
+        codes = [entry[0] for entry in RULE_CATALOGUE]
+        expected = ({rule.code for rule in GRAPH_RULES}
+                    | {rule.code for rule in DESIGN_RULES} | {"RS104"})
+        assert set(codes) == expected
+        assert len(codes) == len(set(codes)) == 18
+
+    def test_descriptor_indices_align_with_results(self, fig3b_graph):
+        log = to_sarif(LintEngine().lint_graph(fig3b_graph))
+        driver = log["runs"][0]["tool"]["driver"]
+        for result in log["runs"][0]["results"]:
+            descriptor = driver["rules"][result["ruleIndex"]]
+            assert descriptor["id"] == result["ruleId"]
+
+    def test_descriptors_cite_the_paper(self):
+        log = to_sarif(LintEngine().lint_graph(chain()))
+        for descriptor in log["runs"][0]["tool"]["driver"]["rules"]:
+            assert "DAC 1990" in descriptor["help"]["text"]
+
+
+class TestResultMapping:
+    def test_info_maps_to_note_level(self):
+        assert Severity.INFO.sarif_level == "note"
+        assert Severity.ERROR.sarif_level == "error"
+        assert Severity.WARNING.sarif_level == "warning"
+
+    def test_hdl_provenance_becomes_physical_location(self):
+        report = LintEngine().lint_design(compile_source(WINDOWED_WAIT),
+                                          file="demo.hc")
+        log = to_sarif(report)
+        rs501 = next(r for r in log["runs"][0]["results"]
+                     if r["ruleId"] == "RS501")
+        physical = rs501["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "demo.hc"
+        assert physical["region"]["startLine"] == 7
+
+    def test_artifact_uri_fallback_for_graph_spans(self, fig3b_graph):
+        log = to_sarif(LintEngine().lint_graph(fig3b_graph),
+                       artifact_uri="fig3b.json")
+        result = log["runs"][0]["results"][0]
+        physical = result["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "fig3b.json"
+
+    def test_graph_fix_rides_in_property_bag(self, fig3b_graph):
+        log = to_sarif(LintEngine().lint_graph(fig3b_graph))
+        result = next(r for r in log["runs"][0]["results"]
+                      if r["ruleId"] == "RS202")
+        fix = result["properties"]["fix"]
+        assert fix["id"] == "RS202:serialize"
+        assert all(edit["action"] in ("add_serialization", "remove_edge")
+                   for edit in fix["edits"])
+
+    def test_notes_become_tool_notifications(self, unfeasible_graph):
+        log = to_sarif(LintEngine().lint_graph(unfeasible_graph))
+        notifications = log["runs"][0]["invocations"][0][
+            "toolExecutionNotifications"]
+        assert any("unfeasible" in n["message"]["text"]
+                   for n in notifications)
+
+    def test_sarif_json_round_trips(self, fig3b_graph):
+        text = sarif_json(LintEngine().lint_graph(fig3b_graph))
+        assert text.endswith("\n")
+        assert json.loads(text)["version"] == "2.1.0"
