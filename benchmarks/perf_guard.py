@@ -28,6 +28,12 @@ path: resilience plumbing that is switched off must stay within the same
 tolerance-plus-noise-floor envelope, on every machine (the comparison is
 self-relative, so it needs no baseline).
 
+The batched kernel (:func:`repro.core.batch.schedule_many`) is gated
+self-relatively as well: on the quick 500-graph mixed corpus its
+cold-cache run must beat the per-graph ``schedule_graph`` loop by at
+least ``--batch-floor`` (default 5x; the committed ``BENCH_batch.json``
+tracks the full 10k-corpus number).
+
 Usage::
 
     python benchmarks/perf_guard.py                 # full sizes (400, 1600)
@@ -57,7 +63,7 @@ from repro.observability import (  # noqa: E402
     use_tracer,
 )
 
-from run_benchsuite import make_random  # noqa: E402
+from run_benchsuite import bench_batch, make_random  # noqa: E402
 
 FULL_SIZES = [400, 1600]
 QUICK_SIZES = [100, 400]
@@ -179,6 +185,25 @@ def guard_workload(n_ops, baseline, reps, tolerance, ratio_tolerance,
     return entry
 
 
+def guard_batch(reps, floor):
+    """The batched kernel must stay well ahead of the per-graph loop.
+
+    Times the quick 500-graph mixed corpus (the ``--quick --batch``
+    benchsuite workload) as one ``schedule_many`` call versus the
+    ``schedule_graph`` loop and gates the cold-cache speedup at *floor*.
+    Self-relative -- both contenders run here -- so the check holds on
+    CI runners without a same-machine baseline.
+    """
+    entry = bench_batch(True, reps)
+    entry["checks"] = [{
+        "check": "batch_cold_speedup",
+        "ok": entry["speedup_cold"] >= floor,
+        "measured_speedup": entry["speedup_cold"],
+        "floor": floor,
+    }]
+    return entry
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -191,6 +216,10 @@ def main(argv=None):
     parser.add_argument("--ratio-tolerance", type=float, default=0.30,
                         help="cross-machine tolerance on the speedup "
                         "ratio (default 0.30; runner timing is noisy)")
+    parser.add_argument("--batch-floor", type=float, default=5.0,
+                        help="minimum schedule_many cold-cache speedup "
+                        "over the per-graph loop on the quick corpus "
+                        "(default 5.0)")
     parser.add_argument("--baseline", type=Path,
                         default=REPO_ROOT / "BENCH_core.json")
     parser.add_argument("--output", type=Path, default=None,
@@ -210,6 +239,7 @@ def main(argv=None):
     workloads = [guard_workload(n, baseline, reps, args.tolerance,
                                 args.ratio_tolerance, same_machine)
                  for n in sizes]
+    workloads.append(guard_batch(max(2, reps // 2), args.batch_floor))
 
     failed = []
     for workload in workloads:
@@ -221,10 +251,11 @@ def main(argv=None):
                   f"{status}  {detail}")
             if not check["ok"]:
                 failed.append((workload["name"], check["check"]))
-        print(f"  {workload['name']:<12} traced overhead "
-              f"{workload['traced_overhead']}x "
-              f"(untraced {workload['untraced_ms']} ms, "
-              f"traced {workload['traced_ms']} ms)")
+        if "traced_overhead" in workload:
+            print(f"  {workload['name']:<12} traced overhead "
+                  f"{workload['traced_overhead']}x "
+                  f"(untraced {workload['untraced_ms']} ms, "
+                  f"traced {workload['traced_ms']} ms)")
 
     report = {
         "meta": {

@@ -13,18 +13,30 @@ including compilation, not a warm-cache replay.  The reported time per
 stage is the minimum over repetitions (the standard low-noise estimator
 for CPU-bound code).
 
+``--batch`` switches to the many-graph workload: the seeded 10k-graph
+mixed corpus (:func:`repro.qa.generators.batch_corpus`) scheduled as one
+:func:`repro.core.batch.schedule_many` call versus the per-graph
+``schedule_graph`` loop, and writes ``BENCH_batch.json`` instead.
+Loop and batch repetitions are interleaved (so drift hits both alike),
+gc is disabled around the timed region, and every graph's versioned
+analysis cache is cleared before each repetition so both contenders
+start compilation-cold.
+
 Usage::
 
     python benchmarks/run_benchsuite.py            # full suite
     python benchmarks/run_benchsuite.py --quick    # CI smoke (small sizes)
+    python benchmarks/run_benchsuite.py --batch    # writes BENCH_batch.json
     python benchmarks/run_benchsuite.py --output other.json
 """
 
 import argparse
+import gc
 import json
 import platform
 import random
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -78,6 +90,112 @@ STAGES = [
 ]
 
 
+#: Batch workload recipe: mostly renamed isomorphs of a few hundred
+#: 32-64-vertex chain-ladder designs (one sixth of the uniques
+#: unfeasible) -- the dedup-heavy shape of a synthesis sweep.
+BATCH_FULL = {"seed": 42, "size": 10_000, "n_unique": 360,
+              "unfeasible_share": 1 / 6, "n_lo": 32, "n_hi": 64,
+              "unbounded_probability": 0.25}
+BATCH_QUICK = dict(BATCH_FULL, size=500, n_unique=40)
+
+
+def _cold(graphs):
+    """Drop every versioned analysis cache so the next repetition pays
+    for compilation again (``schedule_graph`` memoizes per graph)."""
+    for graph in graphs:
+        graph._analysis_cache = {}
+        graph._cache_version = -1
+
+
+def bench_batch(quick, reps):
+    from repro.core.batch import schedule_many
+    from repro.core.exceptions import ConstraintGraphError
+    from repro.qa.generators import batch_corpus
+
+    recipe = BATCH_QUICK if quick else BATCH_FULL
+    corpus = batch_corpus(**recipe)
+
+    def loop_once():
+        errors = 0
+        for graph in corpus:
+            try:
+                schedule_graph(graph)
+            except ConstraintGraphError:
+                errors += 1
+        return errors
+
+    loop_best = batch_best = warm_best = float("inf")
+    loop_errors = run = warm_run = None
+    gc.disable()
+    try:
+        for _ in range(reps):
+            _cold(corpus)
+            t0 = time.perf_counter()
+            loop_errors = loop_once()
+            loop_best = min(loop_best, time.perf_counter() - t0)
+            _cold(corpus)
+            t0 = time.perf_counter()
+            run = schedule_many(corpus)
+            batch_best = min(batch_best, time.perf_counter() - t0)
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = str(Path(tmp) / "schedules.jsonl")
+            schedule_many(corpus, cache=cache)  # populate the store
+            for _ in range(reps):
+                _cold(corpus)
+                t0 = time.perf_counter()
+                warm_run = schedule_many(corpus, cache=cache)
+                warm_best = min(warm_best, time.perf_counter() - t0)
+    finally:
+        gc.enable()
+
+    # Cheap cross-check: both contenders must reject the same graphs.
+    assert run.stats["errors"] == loop_errors, \
+        (run.stats["errors"], loop_errors)
+    return {
+        "name": f"batch-{recipe['size']}",
+        "corpus": recipe,
+        "loop_ms": round(loop_best * 1e3, 3),
+        "batch_cold_ms": round(batch_best * 1e3, 3),
+        "batch_warm_ms": round(warm_best * 1e3, 3),
+        "speedup_cold": round(loop_best / batch_best, 2),
+        "speedup_warm": round(loop_best / warm_best, 2),
+        "cold_stats": dict(run.stats),
+        "warm_stats": dict(warm_run.stats),
+    }
+
+
+def main_batch(args, reps):
+    workload = bench_batch(args.quick, reps)
+    report = {
+        "meta": {
+            "schema": 1,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "quick": args.quick,
+            "repeats": reps,
+            "timer": "min over interleaved loop/batch repetitions, gc "
+                     "disabled, analysis caches cleared per repetition",
+        },
+        "workloads": [workload],
+        "headline": {
+            "workload": workload["name"],
+            "stage": "schedule_many_cold",
+            "speedup": workload["speedup_cold"],
+        },
+    }
+    print(f"{workload['name']}: loop {workload['loop_ms']} ms, "
+          f"batch cold {workload['batch_cold_ms']} ms "
+          f"({workload['speedup_cold']}x), "
+          f"warm {workload['batch_warm_ms']} ms "
+          f"({workload['speedup_warm']}x)")
+    print(f"  cold stats: {workload['cold_stats']}")
+    print(f"  warm stats: {workload['warm_stats']}")
+    output = args.output or REPO_ROOT / "BENCH_batch.json"
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
 def time_stage(graph, fn, reps):
     best = float("inf")
     result = None
@@ -121,10 +239,14 @@ def main(argv=None):
                         help="small sizes / few reps (CI smoke)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repetitions per stage (default 5, "
-                        "quick 2)")
-    parser.add_argument("--output", type=Path,
-                        default=REPO_ROOT / "BENCH_core.json")
+                        "quick 2; batch: 3, quick 2)")
+    parser.add_argument("--batch", action="store_true",
+                        help="run the many-graph schedule_many workload "
+                        "and write BENCH_batch.json")
+    parser.add_argument("--output", type=Path, default=None)
     args = parser.parse_args(argv)
+    if args.batch:
+        return main_batch(args, args.repeats or (2 if args.quick else 3))
     reps = args.repeats or (2 if args.quick else 5)
     sizes = QUICK_RANDOM_SIZES if args.quick else RANDOM_SIZES
 
@@ -170,8 +292,9 @@ def main(argv=None):
               f"{report['headline']['speedup']}x "
               f"(indexed {headline['stages']['schedule_graph']['indexed_ms']} ms, "
               f"reference {headline['stages']['schedule_graph']['reference_ms']} ms)")
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.output}")
+    output = args.output or REPO_ROOT / "BENCH_core.json"
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
     return 0
 
 

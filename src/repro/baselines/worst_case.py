@@ -60,6 +60,13 @@ def budget_graph(graph: ConstraintGraph, budget: int) -> ConstraintGraph:
     clone._edges = []
     clone._out = {}
     clone._in = {}
+    clone._version = 0
+    clone._analysis_cache = {}
+    clone._cache_version = -1
+    clone._vindex = {}
+    clone._vdelay_tok = []
+    clone._epack = []
+    clone._pack_dirty = True  # rebuilt lazily from _vertices/_edges
     for vertex in graph.vertices():
         delay = vertex.delay
         if vertex.name == graph.source:
@@ -138,6 +145,8 @@ def _pin_source(graph: ConstraintGraph) -> ConstraintGraph:
     clone._edges = rewritten
     clone._out = {name: [] for name in clone._vertices}
     clone._in = {name: [] for name in clone._vertices}
+    clone._pack_dirty = True  # vertex delay and edge weights rewritten
+    clone._version += 1
     for edge in clone._edges:
         clone._out[edge.tail].append(edge)
         clone._in[edge.head].append(edge)

@@ -5,6 +5,7 @@ Usage (also via ``python -m repro``)::
     repro check INPUT               well-posedness report (+ --fix)
     repro lint INPUT [options]      static diagnostics (text/JSON/SARIF)
     repro schedule INPUT [options]  relative schedule (table / JSON out)
+    repro schedule-many INPUT       batched scheduling of a JSONL corpus
     repro control INPUT [options]   control generation (cost / Verilog)
     repro dot INPUT [-o FILE]       Graphviz export of the root graph
     repro tables [--which ...]      regenerate the paper's tables/figures
@@ -318,6 +319,80 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         save_json(schedule, args.output)
         print(f"\nschedule written to {args.output}")
     return 0
+
+
+def cmd_schedule_many(args: argparse.Namespace) -> int:
+    """Batched scheduling of a JSONL corpus of serialized graphs.
+
+    INPUT holds one :mod:`repro.qa.serialize` graph dict per line (the
+    fuzzer's wire format).  The whole corpus goes through
+    :func:`repro.core.batch.schedule_many` -- shared arena, isomorphism
+    dedup, optional persistent cache -- and each graph reports its own
+    verdict; the exit code is 1 iff any graph failed.  The global
+    ``--budget`` flag applies per graph (size and iteration caps) with
+    the deadline covering the whole call.
+    """
+    import json as _json
+
+    from repro.core.batch import schedule_many
+    from repro.qa.serialize import graph_from_dict
+
+    graphs = []
+    with open(args.input) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = _json.loads(line)
+            except ValueError as error:
+                raise SystemExit(f"error: {args.input}:{lineno}: "
+                                 f"not JSON ({error})") from None
+            if not isinstance(data, dict):
+                raise SystemExit(f"error: {args.input}:{lineno}: expected "
+                                 f"a serialized graph object")
+            try:
+                graphs.append(graph_from_dict(data))
+            except ConstraintGraphError as error:
+                raise SystemExit(
+                    f"error: {args.input}:{lineno}: {error}") from None
+
+    run = schedule_many(graphs, cache=args.cache,
+                        budget=_parse_budget(getattr(args, "budget", None)),
+                        auto_well_pose=not args.no_well_pose)
+
+    records = []
+    for result in run:
+        if result.ok:
+            schedule = result.unpack()
+            status = ("cached" if result.cached else
+                      "fallback" if result.fallback else "scheduled")
+            print(f"#{result.index:<5} {status:<10} "
+                  f"iterations={schedule.iterations}  "
+                  f"sum of max offsets={schedule.sum_of_max_offsets()}")
+            records.append({
+                "index": result.index, "status": status,
+                "iterations": schedule.iterations,
+                "offsets": {v: dict(row)
+                            for v, row in schedule.offsets.items()},
+            })
+        else:
+            print(f"#{result.index:<5} {'error':<10} "
+                  f"{result.error_type}: {result.error}")
+            records.append({"index": result.index, "status": "error",
+                            "error_type": result.error_type,
+                            "message": str(result.error)})
+    stats = run.stats
+    print(f"{stats['graphs']} graph(s): {stats['scheduled']} scheduled, "
+          f"{stats['cache_hits']} cache hit(s), "
+          f"{stats['fallbacks']} fallback(s), {stats['errors']} error(s)")
+    if args.output:
+        with open(args.output, "w") as handle:
+            _json.dump({"stats": dict(stats), "results": records},
+                       handle, indent=2)
+            handle.write("\n")
+        print(f"results written to {args.output}")
+    return 1 if stats["errors"] else 0
 
 
 def cmd_control(args: argparse.Namespace) -> int:
@@ -686,6 +761,22 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also print the ASAP/ALAP mobility report")
     schedule.add_argument("-o", "--output", help="write the schedule JSON")
     schedule.set_defaults(handler=cmd_schedule)
+
+    many = sub.add_parser("schedule-many",
+                          help="batched scheduling of a JSONL corpus of "
+                               "serialized graphs")
+    many.add_argument("input", help="JSONL file, one qa.serialize graph "
+                                    "dict per line")
+    many.add_argument("--cache", metavar="FILE",
+                      help="persistent schedule cache (append-only JSONL, "
+                           "created if missing; damaged entries degrade "
+                           "to misses)")
+    many.add_argument("--no-well-pose", action="store_true",
+                      help="report ill-posed graphs as errors instead of "
+                           "serializing them")
+    many.add_argument("-o", "--output",
+                      help="write per-graph JSON results here")
+    many.set_defaults(handler=cmd_schedule_many)
 
     control = sub.add_parser("control", help="generate control logic")
     control.add_argument("input")

@@ -25,6 +25,7 @@ edges introduced by ``make_well_posed``; the graph enforces it.
 from __future__ import annotations
 
 import enum
+from array import array
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -66,6 +67,34 @@ class EdgeKind(enum.Enum):
     @property
     def is_backward(self) -> bool:
         return self is EdgeKind.MAX_TIME
+
+
+#: Stable small integers per edge kind (enum definition order), shared
+#: by the canonical certificate (:mod:`repro.core.canonical`) and the
+#: packed arena representation (:mod:`repro.core.batch`).
+KIND_IDS: Dict[EdgeKind, int] = {kind: i for i, kind in enumerate(EdgeKind)}
+
+#: Reserved 64-bit token for UNBOUNDED delays and edge weights in packed
+#: integer representations (legal magnitudes are capped at 2**53 by the
+#: wire format, so it cannot collide with a real value).
+UNBOUNDED_TOKEN = 1 << 60
+
+
+def _pack_extend(pack, values):
+    """Append ints to an int64 pack, demoting it to a list on overflow.
+
+    Packs are ``array('q')`` so batch assembly can concatenate raw
+    bytes; a graph with values beyond int64 (legal programmatically,
+    though outside the wire format's 2**53 cap) falls back to a plain
+    Python list, which the batch kernel routes per graph instead.
+    """
+    try:
+        pack.extend(values)
+        return pack
+    except OverflowError:
+        demoted = list(pack)
+        demoted.extend(values)
+        return demoted
 
 
 @dataclass(frozen=True)
@@ -165,6 +194,17 @@ class ConstraintGraph:
         self._version = 0
         self._analysis_cache: Dict[str, Any] = {}
         self._cache_version = -1
+        # Incrementally maintained primitive pack (see packed()): vertex
+        # insertion indices, delay tokens, and flat (tail, head, weight,
+        # kind-id) edge records with UNBOUNDED encoded as +/-UNBOUNDED_TOKEN.
+        # int64 arrays so batch assembly concatenates raw bytes; values
+        # beyond int64 demote the pack to a plain list (see _pack_append).
+        # Code that rewrites _vertices/_edges directly must set
+        # _pack_dirty so packed() rebuilds the whole pack.
+        self._vindex: Dict[str, int] = {}
+        self._vdelay_tok: Union[array, List[int]] = array("q")
+        self._epack: Union[array, List[int]] = array("q")
+        self._pack_dirty = False
         self.source = source
         self.sink = sink
         # The source behaves as an unbounded-delay anchor (Definition 2).
@@ -216,6 +256,37 @@ class ConstraintGraph:
             tracer.count(f"cache.hit.{key}")
         return value
 
+    def packed(self) -> Tuple[Sequence[int], Sequence[int]]:
+        """The primitive integer pack: ``(delay_tokens, edge_records)``.
+
+        ``delay_tokens[i]`` is the delay of the i-th inserted vertex
+        (``UNBOUNDED_TOKEN`` for anchors); ``edge_records`` is a flat
+        sequence of ``(tail_index, head_index, weight, kind_id)``
+        quadruples in edge insertion order, with unbounded weights
+        encoded as ``-UNBOUNDED_TOKEN``.  Both are ``array('q')`` unless
+        a value overflowed int64 (then plain lists).  Maintained
+        incrementally during construction so batch assembly
+        (:mod:`repro.core.batch`) can concatenate graphs without
+        re-walking Python edge objects; the returned sequences are live
+        internals -- callers must not mutate.
+        """
+        if self._pack_dirty:
+            self._vindex = {name: i for i, name in enumerate(self._vertices)}
+            self._vdelay_tok = _pack_extend(array("q"), [
+                UNBOUNDED_TOKEN if is_unbounded(v.delay) else v.delay
+                for v in self._vertices.values()])
+            vindex = self._vindex
+            pack: List[int] = []
+            for edge in self._edges:
+                pack.extend((
+                    vindex[edge.tail], vindex[edge.head],
+                    -UNBOUNDED_TOKEN if is_unbounded(edge.weight)
+                    else edge.weight,
+                    KIND_IDS[edge.kind]))
+            self._epack = _pack_extend(array("q"), pack)
+            self._pack_dirty = False
+        return self._vdelay_tok, self._epack
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
@@ -226,6 +297,11 @@ class ConstraintGraph:
         self._vertices[vertex.name] = vertex
         self._out[vertex.name] = []
         self._in[vertex.name] = []
+        self._vindex[vertex.name] = len(self._vdelay_tok)
+        self._vdelay_tok = _pack_extend(
+            self._vdelay_tok,
+            (UNBOUNDED_TOKEN if is_unbounded(vertex.delay)
+             else vertex.delay,))
         self._version += 1
         return vertex
 
@@ -249,6 +325,10 @@ class ConstraintGraph:
         self._edges.append(edge)
         self._out[edge.tail].append(edge)
         self._in[edge.head].append(edge)
+        self._epack = _pack_extend(self._epack, (
+            self._vindex[edge.tail], self._vindex[edge.head],
+            -UNBOUNDED_TOKEN if is_unbounded(edge.weight) else edge.weight,
+            KIND_IDS[edge.kind]))
         self._version += 1
         return edge
 
@@ -303,6 +383,7 @@ class ConstraintGraph:
             raise GraphStructureError(f"edge not in graph: {edge!r}") from None
         self._out[edge.tail].remove(edge)
         self._in[edge.head].remove(edge)
+        self._pack_dirty = True
         self._version += 1
 
     def make_polar(self) -> None:
@@ -541,6 +622,10 @@ class ConstraintGraph:
         clone._version = 0
         clone._analysis_cache = {}
         clone._cache_version = -1
+        clone._vindex = dict(self._vindex)
+        clone._vdelay_tok = self._vdelay_tok[:]
+        clone._epack = self._epack[:]
+        clone._pack_dirty = self._pack_dirty
         clone.source = self.source
         clone.sink = self.sink
         return clone

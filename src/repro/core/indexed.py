@@ -78,7 +78,7 @@ class IndexedGraph:
         "anchor_vertices", "anchor_slot", "anchor_names", "n_anchors",
         "out_all", "out_bounded", "out_forward_w",
         "in_forward", "unbounded_out", "backward", "backward_edges",
-        "edges", "edge_arrays",
+        "edges", "_edge_raw", "_edge_arrays",
     )
 
     def __init__(self, graph: ConstraintGraph) -> None:
@@ -148,16 +148,26 @@ class IndexedGraph:
         self.unbounded_out = unbounded_out
         self.backward = backward
         self.backward_edges = backward_edges
-        #: (tails, heads, static weights) as numpy arrays for the
-        #: vectorized all-edges schedule check; None without numpy.
-        if _np is not None:
-            self.edge_arrays = (
-                _np.array(edge_tails, dtype=_np.intp),
-                _np.array(edge_heads, dtype=_np.intp),
-                _np.array(edge_weights, dtype=_np.float64),
+        self._edge_raw = (edge_tails, edge_heads, edge_weights)
+        self._edge_arrays = None
+
+    @property
+    def edge_arrays(self):
+        """(tails, heads, static weights) as numpy arrays for the
+        vectorized all-edges schedule check; None without numpy.
+
+        Built on first access: only graphs past the numpy gate ever
+        consume these, so small graphs (the common case on the paper
+        designs) must not pay the array construction at compile time.
+        """
+        if self._edge_arrays is None and _np is not None:
+            tails, heads, weights = self._edge_raw
+            self._edge_arrays = (
+                _np.array(tails, dtype=_np.intp),
+                _np.array(heads, dtype=_np.intp),
+                _np.array(weights, dtype=_np.float64),
             )
-        else:
-            self.edge_arrays = None
+        return self._edge_arrays
 
 
 def get_indexed(graph: ConstraintGraph) -> IndexedGraph:
@@ -170,11 +180,26 @@ def get_indexed(graph: ConstraintGraph) -> IndexedGraph:
 #: crossover on the paper designs vs. the random workloads).
 _NUMPY_MIN_N = 64
 
+#: Per-stage crossovers: the fixed per-call cost of each vectorized
+#: stage differs (the certifier builds one dense table; round 1 builds
+#: level batches; the irredundant scan builds length matrices), so each
+#: gets its own gate rather than sharing one global threshold.
+_STAGE_MIN_N = {
+    "round1": 64,
+    "irredundant": 64,
+    "table_check": 64,
+}
 
-def _use_numpy(idx: IndexedGraph) -> bool:
-    """Whether the vectorized sweeps pay off for this graph."""
-    return (_np is not None and idx.n >= _NUMPY_MIN_N
-            and idx.n_anchors > 0 and idx.edge_arrays is not None)
+
+def _use_numpy(idx: IndexedGraph, stage: Optional[str] = None) -> bool:
+    """Whether the vectorized sweeps pay off for this graph and stage.
+
+    Deliberately does not touch ``idx.edge_arrays``: the arrays build
+    lazily on first access, and only the table-check stage consumes
+    them, so gating must not force the construction.
+    """
+    min_n = _STAGE_MIN_N.get(stage, _NUMPY_MIN_N)
+    return _np is not None and idx.n >= min_n and idx.n_anchors > 0
 
 
 def _topo_indices(graph: ConstraintGraph, idx: IndexedGraph) -> List[int]:
@@ -458,6 +483,25 @@ def anchor_masks(graph: ConstraintGraph) -> List[int]:
     return graph.cached("anchor_masks", build)
 
 
+def has_containment_violation(graph: ConstraintGraph) -> bool:
+    """True when some backward edge fails ``A(tail) subset-of A(head)``
+    (the Theorem 2 criterion), tested directly on the anchor bitmasks.
+
+    The well-posedness *verdict* only needs existence, so this skips the
+    name-keyed frozenset materialization of ``find_anchor_sets`` --
+    callers that must report *which* anchors are missing use
+    :func:`repro.core.wellposed.containment_violations` instead.
+    """
+    idx = get_indexed(graph)
+    if not idx.backward:
+        return False
+    masks = anchor_masks(graph)
+    for tail, head, _ in idx.backward:
+        if masks[tail] & ~masks[head]:
+            return True
+    return False
+
+
 def relevant_masks(graph: ConstraintGraph) -> List[int]:
     """``R(v)`` for every vertex as anchor-slot bitmasks (memoised).
 
@@ -692,7 +736,7 @@ def irredundant_masks(graph: ConstraintGraph) -> List[int]:
     """
     def build() -> List[int]:
         idx = get_indexed(graph)
-        if _use_numpy(idx):
+        if _use_numpy(idx, "irredundant"):
             return _irredundant_numpy(graph, idx)
         masks = anchor_masks(graph)
         relevant = relevant_masks(graph)
@@ -907,7 +951,7 @@ def schedule_offsets(graph: ConstraintGraph,
         if rec:
             before = [row[:] for row in offsets]
         # -- IncrementalOffset ------------------------------------------
-        if changed is None and _use_numpy(idx):
+        if changed is None and _use_numpy(idx, "round1"):
             if rec:
                 tracer.count("kernel.vectorized_rounds")
             offsets = _vector_round1(graph, idx, offsets)
@@ -1075,7 +1119,7 @@ def find_offset_violation(
     if _np is None:
         return UNKNOWN, None
     idx = get_indexed(graph)
-    if not _use_numpy(idx):
+    if not _use_numpy(idx, "table_check"):
         return UNKNOWN, None
     index = idx.index
     anchor_slot = idx.anchor_slot
@@ -1119,7 +1163,7 @@ def certify_offset_lists(graph: ConstraintGraph,
     if _np is None:
         return False
     idx = get_indexed(graph)
-    if not _use_numpy(idx):
+    if not _use_numpy(idx, "table_check"):
         return False
     table = _np.array(rows, dtype=_np.float64)
     if table.shape != (idx.n, idx.n_anchors):

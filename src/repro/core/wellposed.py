@@ -23,9 +23,17 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.anchors import AnchorSets, find_anchor_sets
 from repro.core.exceptions import IllPosedError
-from repro.core.graph import ConstraintGraph, Edge
+from repro.core.graph import ConstraintGraph, Edge, EdgeKind
 from repro.core.paths import has_positive_cycle
 from repro.observability.tracer import STATE as _OBS
+
+#: Below this vertex count :func:`check_well_posed` re-derives the
+#: verdict with fused scalar sweeps over the dict adjacency instead of
+#: compiling the graph to arrays first: on the paper's 5-30 vertex
+#: designs the indexed compilation plus cache plumbing costs more than
+#: both theorem checks combined (measured crossover; the companion
+#: per-stage numpy gates live in ``repro.core.indexed._STAGE_MIN_N``).
+_SCALAR_GATE_N = 64
 
 
 class WellPosedness(enum.Enum):
@@ -74,18 +82,96 @@ def check_well_posed(graph: ConstraintGraph,
         CyclicForwardGraphError: if the forward graph is cyclic (the
             formulation's precondition, checked up front).
     """
-    graph.forward_topological_order()
-    if has_positive_cycle(graph):
-        status = WellPosedness.UNFEASIBLE
-    elif containment_violations(graph, anchor_sets):
-        status = WellPosedness.ILL_POSED
+    if anchor_sets is not None:
+        graph.forward_topological_order()
+        if has_positive_cycle(graph):
+            status = WellPosedness.UNFEASIBLE
+        elif containment_violations(graph, anchor_sets):
+            status = WellPosedness.ILL_POSED
+        else:
+            status = WellPosedness.WELL_POSED
+    elif len(graph) < _SCALAR_GATE_N:
+        status = _scalar_verdict(graph)
     else:
-        status = WellPosedness.WELL_POSED
+        from repro.core.indexed import has_containment_violation
+
+        graph.forward_topological_order()
+        if has_positive_cycle(graph):
+            status = WellPosedness.UNFEASIBLE
+        elif has_containment_violation(graph):
+            status = WellPosedness.ILL_POSED
+        else:
+            status = WellPosedness.WELL_POSED
     tracer = _OBS.tracer
     if tracer.enabled:
         tracer.count("wellposed.checks")
         tracer.event("wellposed.verdict", status=status.value)
     return status
+
+
+def _scalar_verdict(graph: ConstraintGraph) -> WellPosedness:
+    """Both theorem checks fused over the dict adjacency (small graphs).
+
+    Mirrors the indexed kernel sweep for sweep -- one forward
+    topological relaxation alternated with one backward-edge pass,
+    improvement past ``|Eb| + 1`` rounds certifying a positive cycle
+    (Theorem 1), then anchor bitmasks propagated along forward edges and
+    tested for containment across backward edges (Theorem 2) -- but
+    skips the array compilation, whose fixed cost exceeds the checks
+    themselves below :data:`_SCALAR_GATE_N`.
+
+    Raises:
+        CyclicForwardGraphError: if the forward graph is cyclic.
+    """
+    topo = graph.forward_topological_order()
+    backward = [e for e in graph.edges() if e.kind is EdgeKind.MAX_TIME]
+    out = graph._out
+    max_time = EdgeKind.MAX_TIME
+    dist = dict.fromkeys(topo, 0)
+    rounds = 0
+    while True:
+        for v in topo:
+            base = dist[v]
+            for edge in out[v]:
+                if edge.kind is max_time:
+                    continue
+                candidate = base + edge.static_weight
+                if candidate > dist[edge.head]:
+                    dist[edge.head] = candidate
+        improved = False
+        for edge in backward:
+            candidate = dist[edge.tail] + edge.static_weight
+            if candidate > dist[edge.head]:
+                dist[edge.head] = candidate
+                improved = True
+        if not improved:
+            break
+        rounds += 1
+        if rounds > len(backward) + 1:
+            return WellPosedness.UNFEASIBLE
+    if not backward:
+        return WellPosedness.WELL_POSED
+    # Theorem 2 on per-vertex anchor bitmasks: a forward edge ORs the
+    # tail's mask into the head's; an unbounded edge additionally
+    # injects the tail's own anchor bit (cf. indexed.anchor_masks).
+    masks = dict.fromkeys(topo, 0)
+    vertices = graph._vertices
+    slots: Dict[str, int] = {}
+    for v in topo:
+        mask = masks[v]
+        with_self = -1
+        for edge in out[v]:
+            if edge.is_unbounded and vertices[v].is_unbounded:
+                if with_self < 0:
+                    slot = slots.setdefault(v, len(slots))
+                    with_self = mask | (1 << slot)
+                masks[edge.head] |= with_self
+            elif edge.kind is not max_time:
+                masks[edge.head] |= mask
+    for edge in backward:
+        if masks[edge.tail] & ~masks[edge.head]:
+            return WellPosedness.ILL_POSED
+    return WellPosedness.WELL_POSED
 
 
 def can_be_made_well_posed(graph: ConstraintGraph) -> bool:

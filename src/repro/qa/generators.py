@@ -21,6 +21,13 @@ module generates the *adversarial* shapes the invariant catalogue needs
 
 Every generator is deterministic given its seed, and every case carries
 its scenario name so a shrunk repro records where it came from.
+
+The module also builds the *batch corpora* for
+:func:`repro.core.batch.schedule_many`: chain-ladder designs
+(:func:`chain_ladder_graph` / :func:`unfeasible_chain_graph`), renamed
+isomorphic copies (:func:`renamed_isomorph`), and the mixed dedup-heavy
+:func:`batch_corpus` the consistency oracle and the throughput
+benchmarks share.
 """
 
 from __future__ import annotations
@@ -29,8 +36,8 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from repro.core.delay import UNBOUNDED
-from repro.core.graph import ConstraintGraph
+from repro.core.delay import UNBOUNDED, is_unbounded
+from repro.core.graph import ConstraintGraph, EdgeKind
 from repro.core.indexed import _NUMPY_MIN_N
 from repro.core.paths import NO_PATH, longest_paths_from
 from repro.designs.random_graphs import random_constraint_graph, random_dag
@@ -181,6 +188,151 @@ def _sparse_long_chain(rng: random.Random) -> ConstraintGraph:
         n_min_constraints=rng.randint(2, 8),
         n_max_constraints=rng.randint(2, 8),
         well_posed_only=rng.random() < 0.6)
+
+
+# ----------------------------------------------------------------------
+# batch corpora (schedule_many consistency checks and throughput benches)
+# ----------------------------------------------------------------------
+
+
+def chain_ladder_graph(rng: random.Random, n_lo: int = 8, n_hi: int = 24,
+                       unbounded_probability: float = 0.2) -> ConstraintGraph:
+    """A well-posed chain design with max-constraint ladders.
+
+    Operations form a sequencing chain with random forward shortcuts;
+    bounded three-operation runs get a ladder of two maximum constraints
+    plus a minimum constraint stretching across it, which forces several
+    relaxation iterations in the scheduler (the batch kernel's dense
+    sweep must reproduce the same iteration count).  Ladders never span
+    an anchor, so the graph stays well-posed -- the cacheable verdict
+    the batch corpus needs in volume.
+    """
+    n = rng.randint(n_lo, n_hi)
+    graph = ConstraintGraph(source="src", sink="snk", sink_delay=0)
+    names = [f"v{i}" for i in range(n)]
+    delays: List[Optional[int]] = []
+    for name in names:
+        if rng.random() < unbounded_probability:
+            graph.add_operation(name, UNBOUNDED)
+            delays.append(None)
+        else:
+            delay = rng.randint(1, 6)
+            graph.add_operation(name, delay)
+            delays.append(delay)
+    chain = ["src"] + names + ["snk"]
+    for tail, head in zip(chain, chain[1:]):
+        graph.add_sequencing_edge(tail, head)
+    for _ in range(n // 3):
+        a = rng.randint(0, len(chain) - 2)
+        b = rng.randint(a + 1, len(chain) - 1)
+        graph.add_sequencing_edge(chain[a], chain[b])
+    ladders = 0
+    for a in range(1, n - 2):
+        if ladders >= 3:
+            break
+        segment = delays[a - 1:a + 2]
+        if any(d is None for d in segment):
+            continue
+        slack = rng.randint(1, 2)
+        graph.add_max_constraint(names[a - 1], names[a], delays[a - 1] + slack)
+        graph.add_max_constraint(names[a], names[a + 1], delays[a] + slack)
+        graph.add_min_constraint(names[a - 1], names[a + 1],
+                                 delays[a - 1] + delays[a] + slack)
+        ladders += 1
+    for _ in range(rng.randint(1, 3)):
+        a = rng.randint(1, len(chain) - 2)
+        b = rng.randint(a + 1, len(chain) - 1)
+        graph.add_min_constraint(chain[a], chain[b], rng.randint(1, 5))
+    return graph
+
+
+def unfeasible_chain_graph(rng: random.Random, n_lo: int = 24,
+                           n_hi: int = 40) -> ConstraintGraph:
+    """A chain design with a contradictory min/max pair: Theorem 1
+    rejects it (positive cycle), exercising the batch error paths."""
+    graph = chain_ladder_graph(rng, n_lo, n_hi)
+    names = [v.name for v in graph.vertices()
+             if v.name not in (graph.source, graph.sink)]
+    delays = {v.name: v.delay for v in graph.vertices()}
+    for i in range(len(names) - 3):
+        segment = names[i:i + 3]
+        if any(is_unbounded(delays[name]) for name in segment):
+            continue
+        total = sum(delays[name] for name in segment)
+        for tail, head in zip(segment, segment[1:]):
+            graph.add_max_constraint(tail, head, delays[tail] + 1)
+        graph.add_min_constraint(segment[0], segment[-1], total + 40)
+        return graph
+    graph.add_min_constraint(names[0], names[-1], 10**6)
+    return graph
+
+
+def renamed_isomorph(graph: ConstraintGraph,
+                     rng: random.Random) -> ConstraintGraph:
+    """An isomorphic copy under permuted names and shuffled insertion.
+
+    Operations get fresh names (``r<k>``) in a random permutation, and
+    both vertex and edge insertion orders are shuffled, so nothing about
+    the serialized form survives -- only the structure.  The canonical
+    hash must map the copy to the same key as *graph*; a result cache
+    keyed on it turns the copy into a hit.
+    """
+    names = [v.name for v in graph.vertices()
+             if v.name not in (graph.source, graph.sink)]
+    permutation = list(range(len(names)))
+    rng.shuffle(permutation)
+    rename = {name: f"r{p}" for name, p in zip(names, permutation)}
+    rename[graph.source] = graph.source
+    rename[graph.sink] = graph.sink
+    copy = ConstraintGraph(source=graph.source, sink=graph.sink,
+                           sink_delay=graph._vertices[graph.sink].delay)
+    order = list(names)
+    rng.shuffle(order)
+    for name in order:
+        vertex = graph._vertices[name]
+        copy.add_operation(rename[name], vertex.delay, tag=vertex.tag)
+    edges = graph.edges()
+    rng.shuffle(edges)
+    for edge in edges:
+        tail, head = rename[edge.tail], rename[edge.head]
+        if edge.kind is EdgeKind.SEQUENCING:
+            copy.add_sequencing_edge(tail, head)
+        elif edge.kind is EdgeKind.MIN_TIME:
+            copy.add_min_constraint(tail, head, edge.weight)
+        elif edge.kind is EdgeKind.MAX_TIME:
+            # Stored as the backward graph edge (to, from) with -u.
+            copy.add_max_constraint(head, tail, -edge.weight)
+        else:
+            copy.add_serialization_edge(tail, head)
+    return copy
+
+
+def batch_corpus(seed: int, size: int, *, n_unique: int = 30,
+                 unfeasible_share: float = 0.2, n_lo: int = 8,
+                 n_hi: int = 24,
+                 unbounded_probability: float = 0.2
+                 ) -> List[ConstraintGraph]:
+    """A deterministic mixed corpus for :func:`repro.core.batch.schedule_many`.
+
+    *n_unique* base graphs (an *unfeasible_share* of them unfeasible,
+    the rest well-posed chain-ladder designs) are padded to *size* with
+    renamed isomorphs and shuffled -- the dedup-heavy shape of a
+    production corpus, where most inputs are known designs under fresh
+    names.  Every graph is independently generated from *seed*, so the
+    corpus replays identically across processes.
+    """
+    rng = random.Random(seed)
+    n_unfeasible = int(n_unique * unfeasible_share)
+    uniques = [chain_ladder_graph(rng, n_lo, n_hi, unbounded_probability)
+               for _ in range(n_unique - n_unfeasible)]
+    uniques += [unfeasible_chain_graph(rng, max(n_lo, 4), max(n_hi, 8))
+                for _ in range(n_unfeasible)]
+    corpus = list(uniques)
+    while len(corpus) < size:
+        corpus.append(renamed_isomorph(rng.choice(uniques), rng))
+    corpus = corpus[:size]
+    rng.shuffle(corpus)
+    return corpus
 
 
 #: scenario name -> builder(rng); insertion order is the rotation order.

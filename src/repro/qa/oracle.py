@@ -49,7 +49,11 @@ catalogue covers:
   the Lemma 7 fix-it yields ``make_well_posed``'s minimal edge set and
   a graph that schedules cleanly; and removing a lint-flagged duplicate
   serialization edge (RS303) preserves start times under random delay
-  profiles.
+  profiles;
+* ``batch_consistency`` -- :func:`repro.core.batch.schedule_many` over
+  copies and renamed isomorphs of the graph, through a persistent
+  result cache cold and warm, is bit-identical (offsets and exception
+  types) to per-graph ``schedule_graph`` in FULL anchor mode.
 """
 
 from __future__ import annotations
@@ -576,6 +580,53 @@ def check_lint_consistency(graph: ConstraintGraph,
     return None
 
 
+def check_batch_consistency(graph: ConstraintGraph,
+                            rng: random.Random) -> Optional[str]:
+    """``schedule_many`` must be bit-identical to the per-graph pipeline.
+
+    The input graph is expanded into a four-graph corpus -- two verbatim
+    copies plus two renamed isomorphs, so the batch deduplicator and the
+    canonical hash both fire -- scheduled through a temp-dir persistent
+    cache twice (cold file, then warm), and every result compared to
+    ``schedule_graph(anchor_mode=FULL)`` on a pristine copy: same
+    offsets, same exception *types*.  The warm pass additionally proves
+    a cache hit relabeled onto a renamed graph changes nothing.
+    """
+    import os
+    import tempfile
+
+    from repro.core.batch import schedule_many
+    from repro.qa.generators import renamed_isomorph
+
+    corpus = [graph.copy(), renamed_isomorph(graph, rng),
+              graph.copy(), renamed_isomorph(graph, rng)]
+    expected = []
+    for g in corpus:
+        expected.append(_outcome(
+            lambda g=g: schedule_graph(g.copy(), anchor_mode=AnchorMode.FULL)))
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_path = os.path.join(tmp, "schedules.jsonl")
+        for label in ("cold", "warm"):
+            run = schedule_many([g.copy() for g in corpus], cache=cache_path)
+            for i, (kind, want) in enumerate(expected):
+                got_kind, got = _outcome(run[i].unpack)
+                if got_kind != kind:
+                    return (f"{label} #{i}: batch {got_kind}"
+                            f":{got if got_kind == 'raise' else ''} != "
+                            f"per-graph {kind}"
+                            f":{want if kind == 'raise' else ''}")
+                if kind == "raise":
+                    if got != want:
+                        return (f"{label} #{i}: batch raised {got}, "
+                                f"per-graph raised {want}")
+                elif got.offsets != want.offsets:
+                    diff = [v for v in got.offsets
+                            if got.offsets[v] != want.offsets.get(v)]
+                    return (f"{label} #{i}: batch offsets differ from "
+                            f"per-graph at {sorted(diff)[:5]}")
+    return None
+
+
 #: The catalogue, in execution order.
 ORACLE_CHECKS: Dict[str, Callable[[ConstraintGraph, random.Random], Optional[str]]] = {
     "wellposed_verdict": check_wellposed_verdict,
@@ -589,6 +640,7 @@ ORACLE_CHECKS: Dict[str, Callable[[ConstraintGraph, random.Random], Optional[str
     "observability": check_observability,
     "fault_containment": check_fault_containment,
     "lint_consistency": check_lint_consistency,
+    "batch_consistency": check_batch_consistency,
 }
 
 

@@ -71,3 +71,48 @@ class TestScenarioShapes:
                     found = True
                     break
             assert found, f"{scenario} never produced an anchor"
+
+
+class TestBatchCorpus:
+    def test_corpus_is_deterministic(self):
+        from repro.qa.generators import batch_corpus
+
+        a = batch_corpus(42, 30, n_unique=10)
+        b = batch_corpus(42, 30, n_unique=10)
+        assert len(a) == len(b) == 30
+        assert all(graphs_equal(x, y) for x, y in zip(a, b))
+
+    def test_corpus_mixes_verdicts_and_isomorphs(self):
+        from repro.core.canonical import canonical_key
+        from repro.core.wellposed import WellPosedness, check_well_posed
+        from repro.qa.generators import batch_corpus
+
+        corpus = batch_corpus(43, 60, n_unique=15, unfeasible_share=0.2)
+        verdicts = set()
+        for graph in corpus:
+            try:
+                verdicts.add(check_well_posed(graph.copy()))
+            except Exception:
+                pass
+        assert WellPosedness.WELL_POSED in verdicts
+        assert WellPosedness.UNFEASIBLE in verdicts
+        keys = [canonical_key(g) for g in corpus]
+        keyed = [k for k in keys if k is not None]
+        # Renamed isomorphs dominate: far fewer distinct keys than graphs.
+        assert len(set(keyed)) < len(keyed)
+
+    def test_renamed_isomorph_preserves_structure_not_names(self):
+        import random
+
+        from repro.core.canonical import canonical_key
+        from repro.qa.generators import chain_ladder_graph, renamed_isomorph
+
+        rng = random.Random(44)
+        g = chain_ladder_graph(rng, 10, 14)
+        h = renamed_isomorph(g, rng)
+        assert set(v.name for v in h.vertices()) != set(
+            v.name for v in g.vertices())
+        assert len(h.vertices()) == len(g.vertices())
+        assert len(h.edges()) == len(g.edges())
+        if canonical_key(g) is not None:
+            assert canonical_key(h) == canonical_key(g)

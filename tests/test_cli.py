@@ -310,3 +310,71 @@ class TestParser:
         save_json(schedule_graph(fig2_graph()), path)
         with pytest.raises(SystemExit, match="expected a design"):
             main(["check", path])
+
+
+class TestScheduleMany:
+    @pytest.fixture
+    def corpus_jsonl(self, tmp_path):
+        pytest.importorskip("numpy")
+        from repro.qa.generators import batch_corpus, unfeasible_chain_graph
+        from repro.qa.serialize import graph_to_dict
+        import random
+
+        graphs = batch_corpus(3, 8, n_unique=4)
+        graphs.append(unfeasible_chain_graph(random.Random(3)))
+        path = tmp_path / "corpus.jsonl"
+        path.write_text("".join(
+            json.dumps(graph_to_dict(g)) + "\n" for g in graphs))
+        return str(path)
+
+    def test_mixed_corpus_reports_per_graph(self, corpus_jsonl, capsys):
+        assert main(["schedule-many", corpus_jsonl]) == 1  # one unfeasible
+        out = capsys.readouterr().out
+        assert "scheduled" in out
+        assert "UnfeasibleConstraintsError" in out
+        assert "9 graph(s)" in out and "1 error(s)" in out
+
+    def test_warm_cache_and_json_output(self, corpus_jsonl, tmp_path, capsys):
+        cache = str(tmp_path / "cache.jsonl")
+        results = str(tmp_path / "results.json")
+        main(["schedule-many", corpus_jsonl, "--cache", cache])
+        capsys.readouterr()
+        assert main(["schedule-many", corpus_jsonl, "--cache", cache,
+                     "-o", results]) == 1
+        out = capsys.readouterr().out
+        assert "cache hit(s)" in out
+        assert "0 scheduled" in out or "cached" in out
+        payload = json.loads(open(results).read())
+        assert payload["stats"]["cache_hits"] > 0
+        assert len(payload["results"]) == 9
+        statuses = {r["status"] for r in payload["results"]}
+        assert "error" in statuses
+        ok = next(r for r in payload["results"] if r["status"] != "error")
+        assert ok["offsets"]  # relabelled onto the graph's own names
+
+    def test_budget_applies_per_graph(self, corpus_jsonl, capsys):
+        assert main(["--budget", "vertices=5",
+                     "schedule-many", corpus_jsonl]) == 1
+        out = capsys.readouterr().out
+        assert "BudgetExceededError" in out
+
+    def test_bad_line_is_a_parse_error(self, tmp_path):
+        pytest.importorskip("numpy")
+        path = tmp_path / "bad.jsonl"
+        path.write_text("this is not json\n")
+        with pytest.raises(SystemExit, match="not JSON"):
+            main(["schedule-many", str(path)])
+
+    def test_non_object_line_rejected(self, tmp_path):
+        pytest.importorskip("numpy")
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(SystemExit, match="expected a serialized"):
+            main(["schedule-many", str(path)])
+
+    def test_malformed_graph_names_the_line(self, tmp_path):
+        pytest.importorskip("numpy")
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"source": "s"}\n')
+        with pytest.raises(SystemExit, match=":1:"):
+            main(["schedule-many", str(path)])
