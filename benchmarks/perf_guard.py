@@ -34,6 +34,13 @@ cold-cache run must beat the per-graph ``schedule_graph`` loop by at
 least ``--batch-floor`` (default 5x; the committed ``BENCH_batch.json``
 tracks the full 10k-corpus number).
 
+The HTTP service (:mod:`repro.service`) is gated on its per-request
+overhead (``service_throughput``): a live server's warm-cache
+``/schedule`` p50, measured by a serial client, must stay within
+``--service-factor`` (default 3x) of the direct request-equivalent
+pipeline plus the noise floor.  The configured worker count is printed
+and never silently capped.
+
 Usage::
 
     python benchmarks/perf_guard.py                 # full sizes (400, 1600)
@@ -64,6 +71,7 @@ from repro.observability import (  # noqa: E402
 )
 
 from run_benchsuite import bench_batch, make_random  # noqa: E402
+from bench_service import make_corpus  # noqa: E402
 
 FULL_SIZES = [400, 1600]
 QUICK_SIZES = [100, 400]
@@ -204,6 +212,91 @@ def guard_batch(reps, floor):
     return entry
 
 
+def guard_service(factor):
+    """The HTTP service tax per request must stay bounded.
+
+    Gates the *overhead* of serving: one client, warm cache, p50 of
+    ``/schedule`` over a live server versus the direct request-equivalent
+    pipeline (``graph_from_dict`` -> ``schedule_graph(FULL)`` ->
+    ``schedule_to_dict``) on the same graphs in the same process.  The
+    serial client is deliberate -- under a saturating concurrent load,
+    per-request p50 measures queueing, not the service.  Self-relative,
+    so it holds on CI runners.
+
+    The worker count is printed, never silently capped: what the config
+    asks for is what the pool runs.
+    """
+    import tempfile
+    import threading
+
+    from repro.core.anchors import AnchorMode
+    from repro.io import schedule_to_dict
+    from repro.qa.serialize import graph_from_dict, graph_to_dict
+    from repro.service import ServiceClient, ServiceConfig, ServiceServer
+
+    corpus = make_corpus(30, 8, 24)
+    payloads = [graph_to_dict(graph) for graph in corpus]
+
+    direct = []
+    for payload in payloads:
+        t0 = time.perf_counter()
+        schedule = schedule_graph(graph_from_dict(payload),
+                                  anchor_mode=AnchorMode.FULL)
+        schedule_to_dict(schedule)
+        direct.append(time.perf_counter() - t0)
+    direct.sort()
+    direct_p50_ms = direct[len(direct) // 2] * 1e3
+
+    workers = 4
+    with tempfile.TemporaryDirectory() as tmp:
+        # window 0: a serial client gains nothing from lingering, and
+        # the gate should not charge the service for an idle wait.
+        server = ServiceServer(ServiceConfig(
+            port=0, workers=workers, batch_window_ms=0.0,
+            cache_path=str(Path(tmp) / "guard_cache.jsonl")))
+        print(f"  service: {server.pool.workers} workers "
+              f"(configured {workers}; never silently capped), "
+              f"queue bound {server.pool.queue_capacity}")
+        thread = threading.Thread(target=server.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  daemon=True)
+        thread.start()
+        try:
+            latencies = []
+            with ServiceClient(port=server.port, timeout=60) as client:
+                for payload in payloads:  # warm-up: fill every cache
+                    status, _ = client.schedule(payload)
+                    assert status == 200
+                for _ in range(3):
+                    for payload in payloads:
+                        t0 = time.perf_counter()
+                        status, _ = client.schedule(payload)
+                        latencies.append(time.perf_counter() - t0)
+                        assert status == 200
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+    latencies.sort()
+    warm_p50_ms = latencies[len(latencies) // 2] * 1e3
+
+    limit = direct_p50_ms * factor + NOISE_FLOOR_MS
+    return {
+        "name": "service-overhead",
+        "workers": workers,
+        "warm_p50_ms": round(warm_p50_ms, 3),
+        "direct_p50_ms": round(direct_p50_ms, 3),
+        "checks": [{
+            "check": "service_throughput",
+            "ok": warm_p50_ms <= limit,
+            "measured_ms": round(warm_p50_ms, 3),
+            "direct_ms": round(direct_p50_ms, 3),
+            "limit_ms": round(limit, 3),
+            "factor": factor,
+        }],
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -220,6 +313,10 @@ def main(argv=None):
                         help="minimum schedule_many cold-cache speedup "
                         "over the per-graph loop on the quick corpus "
                         "(default 5.0)")
+    parser.add_argument("--service-factor", type=float, default=3.0,
+                        help="warm-cache service p50 must stay within "
+                        "this factor of the direct request-equivalent "
+                        "pipeline, plus the noise floor (default 3.0)")
     parser.add_argument("--baseline", type=Path,
                         default=REPO_ROOT / "BENCH_core.json")
     parser.add_argument("--output", type=Path, default=None,
@@ -240,6 +337,7 @@ def main(argv=None):
                                 args.ratio_tolerance, same_machine)
                  for n in sizes]
     workloads.append(guard_batch(max(2, reps // 2), args.batch_floor))
+    workloads.append(guard_service(args.service_factor))
 
     failed = []
     for workload in workloads:

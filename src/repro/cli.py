@@ -108,25 +108,10 @@ def _parse_budget(text: Optional[str]):
         return None
     from repro.resilience.guard import RunBudget
 
-    fields = {"vertices": None, "edges": None, "iterations": None,
-              "deadline": None}
-    for item in text.split(","):
-        if "=" not in item:
-            raise SystemExit(f"error: bad budget entry {item!r} "
-                             f"(expected key=value)")
-        key, value = item.split("=", 1)
-        key = key.strip()
-        if key not in fields:
-            raise SystemExit(f"error: unknown budget key {key!r} "
-                             f"(expected one of {sorted(fields)})")
-        try:
-            fields[key] = float(value) if key == "deadline" else int(value)
-        except ValueError:
-            raise SystemExit(f"error: bad budget value {value!r}") from None
-    return RunBudget(max_vertices=fields["vertices"],
-                     max_edges=fields["edges"],
-                     max_iterations=fields["iterations"],
-                     deadline_s=fields["deadline"])
+    try:
+        return RunBudget.parse(text)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
 
 
 def _schedule(graph: ConstraintGraph, args: argparse.Namespace,
@@ -661,6 +646,37 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the scheduling service (see repro.service)."""
+    import logging
+
+    from repro.resilience.guard import RunBudget
+    from repro.service import ServiceConfig, serve
+
+    tenant_budgets = {}
+    for spec in args.tenant_budget or []:
+        if "=" not in spec:
+            raise SystemExit(f"error: bad tenant budget {spec!r} "
+                             f"(expected NAME=BUDGETSPEC)")
+        name, budget_spec = spec.split("=", 1)
+        try:
+            tenant_budgets[name.strip()] = RunBudget.parse(budget_spec)
+        except ValueError as error:
+            raise SystemExit(f"error: {error}") from None
+    config = ServiceConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        batching=not args.no_batch,
+        batch_window_ms=args.batch_window_ms,
+        cache_path=args.cache,
+        default_budget=_parse_budget(getattr(args, "budget", None)),
+        tenant_budgets=tenant_budgets)
+    logging.basicConfig(level=logging.INFO,
+                        format="%(asctime)s %(name)s %(message)s")
+    serve(config)
+    return 0
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
     """Regenerate the paper's tables and figures."""
     which = args.which
@@ -887,6 +903,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pin every case to one degradation policy "
                             "(default: rotate per seed)")
     chaos.set_defaults(handler=cmd_chaos)
+
+    srv = sub.add_parser("serve", help="run the JSON-over-HTTP scheduling "
+                                       "service")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=8080,
+                     help="bind port; 0 picks an ephemeral port "
+                          "(default 8080)")
+    srv.add_argument("--workers", type=int, default=4,
+                     help="worker-pool size -- the real scheduling "
+                          "concurrency, logged at startup (default 4)")
+    srv.add_argument("--queue-capacity", type=int, default=None,
+                     help="pending-job bound; a full queue answers 503 "
+                          "(default 8x workers)")
+    srv.add_argument("--no-batch", action="store_true",
+                     help="disable request coalescing into the batched "
+                          "kernel")
+    srv.add_argument("--batch-window-ms", type=float, default=2.0,
+                     help="coalescing window for /schedule (default 2.0)")
+    srv.add_argument("--cache", metavar="FILE",
+                     help="persistent schedule cache shared by /schedule "
+                          "and /schedule_many")
+    srv.add_argument("--tenant-budget", action="append", metavar="NAME=SPEC",
+                     help="per-tenant budget override, e.g. "
+                          "ci=vertices=500,edges=4000 (repeatable; "
+                          "selected by the X-Tenant header)")
+    srv.set_defaults(handler=cmd_serve)
 
     return parser
 

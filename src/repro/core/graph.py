@@ -25,6 +25,7 @@ edges introduced by ``make_well_posed``; the graph enforces it.
 from __future__ import annotations
 
 import enum
+import threading
 from array import array
 from dataclasses import dataclass
 from typing import (
@@ -194,6 +195,11 @@ class ConstraintGraph:
         self._version = 0
         self._analysis_cache: Dict[str, Any] = {}
         self._cache_version = -1
+        # Guards the analysis cache's check-then-build and the pack
+        # rebuild against concurrent readers sharing this graph (the
+        # service schedules shared design graphs from worker threads).
+        # Reentrant because builders call cached() for other keys.
+        self._cache_lock = threading.RLock()
         # Incrementally maintained primitive pack (see packed()): vertex
         # insertion indices, delay tokens, and flat (tail, head, weight,
         # kind-id) edge records with UNBOUNDED encoded as +/-UNBOUNDED_TOKEN.
@@ -234,27 +240,35 @@ class ConstraintGraph:
         indexed compilation per graph version instead of recomputing
         them stage by stage.  Cached values must be treated as
         immutable by callers.
+
+        Thread safety: the whole check-then-build runs under the
+        graph's reentrant cache lock, so concurrent readers of a shared
+        graph can neither double-build an entry nor observe a
+        half-cleared cache after a version bump.  Builders may call
+        ``cached`` recursively for other keys (same thread, reentrant);
+        a builder that *mutates* the graph is a caller bug, as before.
         """
         tracer = _OBS.tracer
-        if self._cache_version != self._version:
-            if tracer.enabled and self._analysis_cache:
-                tracer.count("cache.invalidation")
-                tracer.event("cache.invalidation", version=self._version,
-                             dropped=len(self._analysis_cache))
-            self._analysis_cache.clear()
-            self._cache_version = self._version
-        try:
-            value = self._analysis_cache[key]
-        except KeyError:
+        with self._cache_lock:
+            if self._cache_version != self._version:
+                if tracer.enabled and self._analysis_cache:
+                    tracer.count("cache.invalidation")
+                    tracer.event("cache.invalidation", version=self._version,
+                                 dropped=len(self._analysis_cache))
+                self._analysis_cache.clear()
+                self._cache_version = self._version
+            try:
+                value = self._analysis_cache[key]
+            except KeyError:
+                if tracer.enabled:
+                    tracer.count("cache.miss")
+                    tracer.count(f"cache.miss.{key}")
+                value = self._analysis_cache[key] = builder()
+                return value
             if tracer.enabled:
-                tracer.count("cache.miss")
-                tracer.count(f"cache.miss.{key}")
-            value = self._analysis_cache[key] = builder()
+                tracer.count("cache.hit")
+                tracer.count(f"cache.hit.{key}")
             return value
-        if tracer.enabled:
-            tracer.count("cache.hit")
-            tracer.count(f"cache.hit.{key}")
-        return value
 
     def packed(self) -> Tuple[Sequence[int], Sequence[int]]:
         """The primitive integer pack: ``(delay_tokens, edge_records)``.
@@ -269,22 +283,29 @@ class ConstraintGraph:
         (:mod:`repro.core.batch`) can concatenate graphs without
         re-walking Python edge objects; the returned sequences are live
         internals -- callers must not mutate.
+
+        The rebuild shares the analysis-cache lock so concurrent batch
+        assemblies over a shared graph cannot observe a half-built pack.
         """
         if self._pack_dirty:
-            self._vindex = {name: i for i, name in enumerate(self._vertices)}
-            self._vdelay_tok = _pack_extend(array("q"), [
-                UNBOUNDED_TOKEN if is_unbounded(v.delay) else v.delay
-                for v in self._vertices.values()])
-            vindex = self._vindex
-            pack: List[int] = []
-            for edge in self._edges:
-                pack.extend((
-                    vindex[edge.tail], vindex[edge.head],
-                    -UNBOUNDED_TOKEN if is_unbounded(edge.weight)
-                    else edge.weight,
-                    KIND_IDS[edge.kind]))
-            self._epack = _pack_extend(array("q"), pack)
-            self._pack_dirty = False
+            with self._cache_lock:
+                if not self._pack_dirty:
+                    return self._vdelay_tok, self._epack
+                self._vindex = {name: i
+                                for i, name in enumerate(self._vertices)}
+                self._vdelay_tok = _pack_extend(array("q"), [
+                    UNBOUNDED_TOKEN if is_unbounded(v.delay) else v.delay
+                    for v in self._vertices.values()])
+                vindex = self._vindex
+                pack: List[int] = []
+                for edge in self._edges:
+                    pack.extend((
+                        vindex[edge.tail], vindex[edge.head],
+                        -UNBOUNDED_TOKEN if is_unbounded(edge.weight)
+                        else edge.weight,
+                        KIND_IDS[edge.kind]))
+                self._epack = _pack_extend(array("q"), pack)
+                self._pack_dirty = False
         return self._vdelay_tok, self._epack
 
     # ------------------------------------------------------------------
@@ -622,6 +643,7 @@ class ConstraintGraph:
         clone._version = 0
         clone._analysis_cache = {}
         clone._cache_version = -1
+        clone._cache_lock = threading.RLock()
         clone._vindex = dict(self._vindex)
         clone._vdelay_tok = self._vdelay_tok[:]
         clone._epack = self._epack[:]

@@ -11,6 +11,20 @@ miss; it can never crash the loader and never produce a wrong schedule
 (keys are SHA-256 certificates of the full canonical structure, see
 :mod:`repro.core.canonical`).
 
+Concurrency: one cache file may be appended to by many service workers
+in many processes.  Two layers keep it sound:
+
+* **in-process**: every public method takes the instance's lock, so
+  worker threads sharing one :class:`ScheduleCache` cannot interleave
+  ``put``/``flush`` state;
+* **cross-process**: :meth:`flush` holds an exclusive ``fcntl`` file
+  lock (where the platform has one) around a **single** ``os.write`` of
+  the whole staged payload onto an ``O_APPEND`` descriptor, so lines
+  from concurrent writers land whole, never spliced.  On platforms
+  without ``fcntl`` the single ``O_APPEND`` write is still the unit of
+  interleaving, and the defensive loader remains the backstop: a torn
+  line is just a miss.
+
 An entry stores the FULL-mode minimum offsets of one well-posed graph in
 *canonical coordinates*: ``rows[r][j]`` is the offset of the rank-``r``
 vertex with respect to the ``j``-th anchor (anchors in canonical-rank
@@ -28,8 +42,14 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
+
+try:  # pragma: no cover - platform-dependent
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 #: Entry schema version; bump to orphan (ignore) all persisted entries.
 CACHE_FORMAT = 1
@@ -57,16 +77,19 @@ class ScheduleCache:
         self.path = Path(path)
         self._entries: Dict[str, Dict[str, Any]] = {}
         self._pending: List[str] = []
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.rejected_lines = 0
         self._load()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     # ------------------------------------------------------------------
 
@@ -90,12 +113,13 @@ class ScheduleCache:
         """The entry stored under *key*, or None (counted as hit/miss)."""
         if key is None:
             return None
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
 
     def put(self, key: str, n_vertices: int, anchor_ranks: List[int],
             rows: List[List[int]], iterations: int) -> None:
@@ -113,34 +137,53 @@ class ScheduleCache:
             "rows": rows,
             "iterations": iterations,
         }
-        if key not in self._entries:
-            # repr() of nested int lists is valid JSON and much cheaper
-            # than json.dumps on the batch hot path; the key is 64 hex
-            # chars, so no field needs escaping.
-            self._pending.append(
-                '{"format":%d,"key":"%s","n":%d,"anchor_ranks":%r,'
-                '"rows":%r,"iterations":%d}'
-                % (CACHE_FORMAT, key, n_vertices, anchor_ranks, rows,
-                   iterations))
-        self._entries[key] = entry
+        with self._lock:
+            if key not in self._entries:
+                # repr() of nested int lists is valid JSON and much cheaper
+                # than json.dumps on the batch hot path; the key is 64 hex
+                # chars, so no field needs escaping.
+                self._pending.append(
+                    '{"format":%d,"key":"%s","n":%d,"anchor_ranks":%r,'
+                    '"rows":%r,"iterations":%d}'
+                    % (CACHE_FORMAT, key, n_vertices, anchor_ranks, rows,
+                       iterations))
+            self._entries[key] = entry
 
     def flush(self) -> int:
         """Append staged entries to the backing file; returns how many.
 
+        The staged lines go out as **one** ``os.write`` on an
+        ``O_APPEND`` descriptor under an exclusive ``fcntl`` lock (where
+        available), so concurrent flushes -- other threads, other
+        processes, other machines on a shared filesystem honoring POSIX
+        locks -- append whole lines, never interleaved fragments.
+
         Failures to write (read-only location, full disk) are swallowed:
         a cache that cannot persist degrades to an in-memory one.
         """
-        if not self._pending:
-            return 0
-        written = len(self._pending)
-        payload = "\n".join(self._pending) + "\n"
-        self._pending = []
+        with self._lock:
+            if not self._pending:
+                return 0
+            written = len(self._pending)
+            payload = ("\n".join(self._pending) + "\n").encode("utf-8")
+            self._pending = []
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self.path, "a") as handle:
-                handle.write(payload)
-                handle.flush()
-                os.fsync(handle.fileno())
+            fd = os.open(self.path,
+                         os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+            try:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_EX)
+                try:
+                    view = memoryview(payload)
+                    while view:  # a short write would tear a line
+                        view = view[os.write(fd, view):]
+                    os.fsync(fd)
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
         except OSError:
             return 0
         return written

@@ -22,14 +22,18 @@ into two halves with one shared contract:
   - **timers**: accumulated durations per name (phase totals across
     repeated runs).
 
-The active tracer is process-global (:data:`STATE`), installed with
-:func:`use_tracer` / :func:`set_tracer`.  A module-level mutable slot --
-rather than a parameter threaded through every signature -- keeps the
-disabled check to ``_OBS.tracer.enabled`` at each site and leaves every
-public API signature untouched.  The pipeline is single-threaded per
-process (the north-star scale-out shards whole graphs across
-processes), so a plain slot is sufficient; swap it for a contextvar if
-intra-process concurrency ever lands.
+The active tracer is **context-local** (:data:`STATE`), installed with
+:func:`use_tracer` / :func:`set_tracer`.  The slot is backed by a
+:class:`contextvars.ContextVar` rather than a module-level attribute:
+``repro.service`` handles many requests concurrently in one process,
+and a process-global slot would splice every request's spans and
+counters into whichever tracer was installed last.  With a contextvar,
+each thread (threads start from an empty context) and each explicitly
+copied ``contextvars.Context`` gets an isolated tracer; code that never
+installs one sees the :data:`NULL_TRACER` default.  Reading the slot is
+still ``_OBS.tracer`` at each site -- a property over ``ContextVar.get``,
+which allocates nothing -- so every public API signature stays untouched
+and the disabled path keeps its zero-allocation contract.
 
 Everything here is standard library only: no numpy, no third-party
 client, importable before anything else in :mod:`repro.core`.
@@ -39,6 +43,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Any, Dict, Iterator, List, Optional
 
 
@@ -164,39 +169,66 @@ class Tracer:
 #: The process-wide null tracer singleton (the default).
 NULL_TRACER = NullTracer()
 
+#: The context-local active-tracer slot.  Never read this directly from
+#: instrumented code -- go through :data:`STATE` / :func:`current_tracer`
+#: so the NULL_TRACER default is uniform.
+_ACTIVE: ContextVar[Any] = ContextVar("repro.observability.tracer",
+                                      default=NULL_TRACER)
+
 
 class _State:
-    __slots__ = ("tracer",)
+    """Attribute facade over the context-local tracer slot.
 
-    def __init__(self) -> None:
-        self.tracer: Any = NULL_TRACER
+    Instrumented modules import :data:`STATE` once and read
+    ``STATE.tracer`` per call; the property delegates to the contextvar
+    so concurrent requests (service worker threads, copied contexts)
+    each see their own tracer.  ``ContextVar.get`` with a default
+    allocates nothing, preserving the disabled path's zero-allocation
+    contract.
+    """
+
+    __slots__ = ()
+
+    @property
+    def tracer(self) -> Any:
+        return _ACTIVE.get()
+
+    @tracer.setter
+    def tracer(self, value: Any) -> None:
+        _ACTIVE.set(value if value is not None else NULL_TRACER)
 
 
-#: Mutable slot holding the active tracer; instrumented modules import
-#: this once and read ``STATE.tracer`` per call.
+#: Slot holding the active tracer; instrumented modules import this once
+#: and read ``STATE.tracer`` per call (context-local, see :class:`_State`).
 STATE = _State()
 
 
 def current_tracer():
     """The active tracer (the :data:`NULL_TRACER` unless one is installed)."""
-    return STATE.tracer
+    return _ACTIVE.get()
 
 
 def set_tracer(tracer) -> Any:
-    """Install *tracer* as the active tracer; returns the previous one."""
-    previous = STATE.tracer
-    STATE.tracer = tracer if tracer is not None else NULL_TRACER
+    """Install *tracer* as this context's active tracer; returns the
+    previous one.  Only affects the calling thread/context -- concurrent
+    requests keep their own tracers."""
+    previous = _ACTIVE.get()
+    _ACTIVE.set(tracer if tracer is not None else NULL_TRACER)
     return previous
 
 
 @contextmanager
 def use_tracer(tracer) -> Iterator[Any]:
-    """Scope *tracer* as the active tracer for the duration of the block."""
-    previous = set_tracer(tracer)
+    """Scope *tracer* as the active tracer for the duration of the block.
+
+    Token-based restore: unwinding resets the slot to exactly what this
+    context saw before, even when the block nests or raises.
+    """
+    token = _ACTIVE.set(tracer if tracer is not None else NULL_TRACER)
     try:
         yield tracer
     finally:
-        set_tracer(previous)
+        _ACTIVE.reset(token)
 
 
 @contextmanager

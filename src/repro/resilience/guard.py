@@ -89,6 +89,37 @@ class RunBudget:
             return None
         return time.perf_counter() + self.deadline_s
 
+    @classmethod
+    def parse(cls, spec: str) -> "RunBudget":
+        """Parse the shared budget spec mini-language.
+
+        ``"vertices=500,edges=4000,iterations=64,deadline=5.0"`` (any
+        subset, ``deadline`` in seconds) -- the format the CLI's
+        ``--budget`` flag and the service's configuration both use.
+
+        Raises:
+            ValueError: naming the first bad entry, key, or value.
+        """
+        fields: dict = {"vertices": None, "edges": None,
+                        "iterations": None, "deadline": None}
+        for item in spec.split(","):
+            if "=" not in item:
+                raise ValueError(f"bad budget entry {item!r} "
+                                 f"(expected key=value)")
+            key, value = item.split("=", 1)
+            key = key.strip()
+            if key not in fields:
+                raise ValueError(f"unknown budget key {key!r} "
+                                 f"(expected one of {sorted(fields)})")
+            try:
+                fields[key] = float(value) if key == "deadline" else int(value)
+            except ValueError:
+                raise ValueError(f"bad budget value {value!r}") from None
+        return cls(max_vertices=fields["vertices"],
+                   max_edges=fields["edges"],
+                   max_iterations=fields["iterations"],
+                   deadline_s=fields["deadline"])
+
 
 def guarded_schedule(graph: ConstraintGraph,
                      budget: Optional[RunBudget] = None, *,
@@ -165,8 +196,6 @@ def load_untrusted_graph(source: Union[str, Path],
             :func:`repro.qa.serialize.validate_graph_dict`).
         BudgetExceededError: the declared payload is over the caps.
     """
-    from repro.qa.serialize import graph_from_dict, validate_graph_dict
-
     if is_path is None:
         is_path = True
     if isinstance(source, Path) or is_path:
@@ -188,6 +217,27 @@ def load_untrusted_graph(source: Union[str, Path],
         raise
     except ValueError as error:
         raise MalformedInputError(f"graph JSON does not parse: {error}") from error
+
+    return untrusted_graph_from_dict(data, budget)
+
+
+def untrusted_graph_from_dict(data: Any,
+                              budget: Optional[RunBudget] = None
+                              ) -> ConstraintGraph:
+    """Validate and build a graph from an already-parsed untrusted dict.
+
+    The tail of :func:`load_untrusted_graph`, exposed for callers that
+    parse JSON themselves (the HTTP service decodes whole request
+    bodies): declared-size caps *before* any graph object is built,
+    then strict structural validation, then reconstruction through the
+    public graph API.
+
+    Raises:
+        MalformedInputError: the payload is not an object or fails
+            strict structural validation.
+        BudgetExceededError: the declared payload is over the caps.
+    """
+    from repro.qa.serialize import graph_from_dict, validate_graph_dict
 
     if not isinstance(data, dict):
         raise MalformedInputError(

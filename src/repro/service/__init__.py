@@ -1,0 +1,50 @@
+"""Scheduling-as-a-service: the relative scheduler behind an HTTP API.
+
+The service stack, bottom up:
+
+* :mod:`repro.service.pool` -- a bounded worker pool; connections are
+  cheap, scheduling work is admitted (:class:`PoolSaturatedError`
+  -> HTTP 503);
+* :mod:`repro.service.batcher` -- leader/follower coalescing of
+  concurrent ``/schedule`` requests into one
+  :func:`~repro.core.batch.schedule_many` arena sweep;
+* :mod:`repro.service.app` -- transport-agnostic dispatch: endpoints,
+  budgets, the error contract;
+* :mod:`repro.service.server` -- the stdlib HTTP front
+  (``ThreadingHTTPServer``) and :func:`serve`;
+* :mod:`repro.service.client` -- the JSON client the tests, smoke
+  harness and benchmark share.
+
+Start one from the command line with ``repro serve``.
+"""
+
+from repro.service.app import (
+    PROTOCOL_VERSION,
+    SchedulingService,
+    ServiceConfig,
+    ServiceError,
+)
+from repro.service.batcher import CoalescingBatcher
+from repro.service.client import ServiceClient
+from repro.service.pool import (
+    JobTimeoutError,
+    PoolSaturatedError,
+    PoolShutdownError,
+    WorkerPool,
+)
+from repro.service.server import ServiceServer, serve
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "CoalescingBatcher",
+    "JobTimeoutError",
+    "PoolSaturatedError",
+    "PoolShutdownError",
+    "SchedulingService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+    "WorkerPool",
+    "serve",
+]

@@ -1,0 +1,460 @@
+"""The scheduling service's request core (transport-agnostic).
+
+:class:`SchedulingService` maps JSON request payloads to JSON response
+payloads plus an HTTP status, with no socket code -- the HTTP layer
+(:mod:`repro.service.server`) and the tests drive the same dispatch.
+
+Wire format: graphs travel as :mod:`repro.qa.serialize` dicts (the
+fuzzer's and the CLI's format); schedules come back as
+:func:`repro.io.schedule_to_dict` documents; lint responses are SARIF
+2.1 logs; observe responses are observability run reports.
+
+Error contract (the CLI's ``error:`` contract, mapped onto HTTP):
+every failure body is ``{"error": <message>, "error_type": <class>}``
+where ``<message>`` is character-identical to what ``repro <cmd>``
+would print after ``error:``.
+
+========================  ======  =========================================
+condition                 status  source
+========================  ======  =========================================
+malformed body / graph    400     ``MalformedInputError`` and JSON errors
+over budget               429     ``BudgetExceededError`` (admission)
+unschedulable graph       422     other ``ConstraintGraphError`` taxonomy
+unknown endpoint          404     routing
+wrong method              405     routing
+body too large            413     ``max_body_bytes``
+pool saturated            503     :class:`~repro.service.pool.PoolSaturatedError`
+========================  ======  =========================================
+
+Admission control happens *before* scheduling work: the per-tenant
+:class:`~repro.resilience.guard.RunBudget` (``X-Tenant`` header selects
+it; ``default_budget`` otherwise) rejects oversized graphs and
+over-bound iteration counts up front, exactly like ``guarded_schedule``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.anchors import AnchorMode
+from repro.core.batch import schedule_many
+from repro.core.exceptions import (
+    BudgetExceededError,
+    ConstraintGraphError,
+    MalformedInputError,
+)
+from repro.core.graph import ConstraintGraph
+from repro.core.resultcache import ScheduleCache
+from repro.io import schedule_to_dict
+from repro.observability import Tracer, build_report, use_tracer
+from repro.resilience.guard import (
+    RunBudget,
+    guarded_schedule,
+    untrusted_graph_from_dict,
+)
+from repro.service.batcher import CoalescingBatcher
+
+#: Service protocol version, stamped into /healthz and /stats.
+PROTOCOL_VERSION = 1
+
+#: Endpoint ceilings that are service policy, not tenant budget: they
+#: bound the *work multiplier* a single request may ask for.
+MAX_OBSERVE_RUNS = 100
+MAX_CHAOS_CASES = 500
+MAX_BATCH_GRAPHS = 10_000
+
+
+class ServiceError(Exception):
+    """A request-level failure with an HTTP status and a clean message."""
+
+    def __init__(self, status: int, message: str,
+                 error_type: str = "ServiceError") -> None:
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+
+
+class ServiceConfig:
+    """Everything a service process needs to know, in one place.
+
+    Args:
+        host/port: bind address (port 0 -> ephemeral, see server).
+        workers: worker-pool size; this is the real concurrency and is
+            logged at startup, never silently capped.
+        queue_capacity: pending-job bound (None -> ``8 * workers``).
+        batch_window_ms: coalescing window for ``/schedule`` (0 still
+            coalesces simultaneous arrivals; ``batching=False`` turns
+            the batcher off entirely).
+        max_batch: coalescing flush threshold.
+        cache_path: optional persistent schedule-cache JSONL shared by
+            the batcher and ``/schedule_many``.
+        default_budget: per-request admission budget when the tenant
+            has no specific one.
+        tenant_budgets: per-tenant overrides keyed by ``X-Tenant``.
+        max_body_bytes: request-body cap (HTTP 413 above it).
+        request_timeout_s: how long a handler waits for its pool job.
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 8080,
+                 workers: int = 4,
+                 queue_capacity: Optional[int] = None,
+                 batching: bool = True,
+                 batch_window_ms: float = 2.0,
+                 max_batch: int = 64,
+                 cache_path: Optional[str] = None,
+                 default_budget: Optional[RunBudget] = None,
+                 tenant_budgets: Optional[Mapping[str, RunBudget]] = None,
+                 max_body_bytes: int = 8 << 20,
+                 request_timeout_s: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.queue_capacity = queue_capacity
+        self.batching = batching
+        self.batch_window_ms = batch_window_ms
+        self.max_batch = max_batch
+        self.cache_path = cache_path
+        self.default_budget = default_budget
+        self.tenant_budgets = dict(tenant_budgets or {})
+        self.max_body_bytes = max_body_bytes
+        self.request_timeout_s = request_timeout_s
+
+    def budget_for(self, tenant: Optional[str]) -> Optional[RunBudget]:
+        if tenant is not None and tenant in self.tenant_budgets:
+            return self.tenant_budgets[tenant]
+        return self.default_budget
+
+
+class ServiceStats:
+    """Thread-safe request counters and a latency reservoir."""
+
+    _RESERVOIR = 2048
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self._by_endpoint: Dict[str, Dict[str, int]] = {}
+        self._latencies: List[float] = []
+
+    def record(self, endpoint: str, status: int, seconds: float) -> None:
+        with self._lock:
+            entry = self._by_endpoint.setdefault(
+                endpoint, {"requests": 0, "errors": 0})
+            entry["requests"] += 1
+            if status >= 400:
+                entry["errors"] += 1
+            if len(self._latencies) < self._RESERVOIR:
+                self._latencies.append(seconds)
+            else:  # overwrite round-robin: cheap, recency-biased
+                self._latencies[entry["requests"] % self._RESERVOIR] = seconds
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            latencies = sorted(self._latencies)
+            percentile = (lambda q: round(
+                latencies[min(len(latencies) - 1,
+                              int(q * len(latencies)))] * 1e3, 3)
+                if latencies else None)
+            return {
+                "uptime_s": round(time.time() - self._started, 3),
+                "endpoints": {name: dict(entry) for name, entry
+                              in self._by_endpoint.items()},
+                "latency_ms": {"p50": percentile(0.50),
+                               "p99": percentile(0.99)},
+            }
+
+
+class SchedulingService:
+    """Dispatches decoded requests; owns the cache, batcher and stats."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.cache: Optional[ScheduleCache] = (
+            ScheduleCache(self.config.cache_path)
+            if self.config.cache_path else None)
+        self.batcher: Optional[CoalescingBatcher] = (
+            CoalescingBatcher(window_s=self.config.batch_window_ms / 1e3,
+                              max_batch=self.config.max_batch,
+                              cache=self.cache)
+            if self.config.batching else None)
+        self.stats = ServiceStats()
+        self._routes: Dict[Tuple[str, str], Callable[..., Dict[str, Any]]] = {
+            ("POST", "/schedule"): self.handle_schedule,
+            ("POST", "/schedule_many"): self.handle_schedule_many,
+            ("POST", "/lint"): self.handle_lint,
+            ("POST", "/observe"): self.handle_observe,
+            ("POST", "/chaos"): self.handle_chaos,
+            ("GET", "/healthz"): self.handle_healthz,
+            ("GET", "/stats"): self.handle_stats,
+        }
+
+    # -- dispatch ------------------------------------------------------
+
+    def dispatch(self, method: str, path: str, payload: Any,
+                 tenant: Optional[str] = None) -> Tuple[int, Dict[str, Any]]:
+        """Route one decoded request; returns ``(status, body)``.
+
+        Never raises: every failure mode maps to the error contract.
+        """
+        t0 = time.perf_counter()
+        handler = self._routes.get((method, path))
+        try:
+            if handler is None:
+                if any(route_path == path
+                       for _, route_path in self._routes):
+                    raise ServiceError(405, f"{method} not allowed on {path}")
+                raise ServiceError(404, f"no such endpoint {path!r}")
+            status, body = 200, handler(payload, tenant)
+        except ServiceError as error:
+            status, body = error.status, {"error": str(error),
+                                          "error_type": error.error_type}
+        except MalformedInputError as error:
+            status, body = 400, _error_body(error)
+        except BudgetExceededError as error:
+            status, body = 429, _error_body(error)
+        except ConstraintGraphError as error:
+            status, body = 422, _error_body(error)
+        except Exception as error:  # internal: never leak a traceback
+            status, body = 500, {"error": f"internal error: "
+                                          f"{type(error).__name__}",
+                                 "error_type": "InternalError"}
+        # Unknown paths share one counter so path-scanning clients
+        # cannot grow the stats table without bound.
+        self.stats.record(path if handler is not None else "(unknown)",
+                          status, time.perf_counter() - t0)
+        return status, body
+
+    # -- endpoint handlers --------------------------------------------
+
+    def handle_schedule(self, payload: Any,
+                        tenant: Optional[str]) -> Dict[str, Any]:
+        """One graph in, one schedule out (coalesced when possible)."""
+        payload = _object(payload)
+        budget = self.config.budget_for(tenant)
+        graph = untrusted_graph_from_dict(payload.get("graph"), budget)
+        if budget is not None:  # admission: refuse before any analysis
+            budget.check_size(graph)
+            budget.check_iteration_bound(graph)
+        mode = _anchor_mode(payload.get("mode", "full"))
+        auto_well_pose = _flag(payload, "auto_well_pose", True)
+
+        tracer = Tracer() if _flag(payload, "trace", False) else None
+        t0 = time.perf_counter()
+        # Traced requests bypass the batcher: the point of trace=True is
+        # telemetry for *this* request, not a shared arena sweep.
+        batched = (self.batcher is not None and mode is AnchorMode.FULL
+                   and auto_well_pose and tracer is None)
+        if batched:
+            # FULL mode comes back bit-identical from the arena sweep
+            # (PR-6 batch_consistency invariant), so coalescing is safe.
+            schedule = self.batcher.schedule(graph)
+        elif tracer is not None:
+            with use_tracer(tracer):
+                schedule = guarded_schedule(graph, budget, anchor_mode=mode,
+                                            auto_well_pose=auto_well_pose)
+        else:
+            schedule = guarded_schedule(graph, budget, anchor_mode=mode,
+                                        auto_well_pose=auto_well_pose)
+        body: Dict[str, Any] = {
+            "schedule": schedule_to_dict(schedule),
+            "batched": batched,
+        }
+        if tracer is not None:
+            body["telemetry"] = {
+                "duration_ms": round((time.perf_counter() - t0) * 1e3, 3),
+                "counters": dict(tracer.counters),
+                "spans": len(tracer.spans),
+            }
+        return body
+
+    def handle_schedule_many(self, payload: Any,
+                             tenant: Optional[str]) -> Dict[str, Any]:
+        """A whole corpus through the arena kernel; per-graph verdicts."""
+        payload = _object(payload)
+        raw = payload.get("graphs")
+        if not isinstance(raw, list) or not raw:
+            raise ServiceError(400, "\"graphs\" must be a non-empty list",
+                               "MalformedInputError")
+        if len(raw) > MAX_BATCH_GRAPHS:
+            raise ServiceError(
+                429, f"{len(raw)} graphs exceed the per-request cap "
+                     f"{MAX_BATCH_GRAPHS}", "BudgetExceededError")
+        budget = self.config.budget_for(tenant)
+        graphs: List[ConstraintGraph] = []
+        for index, data in enumerate(raw):
+            try:
+                graphs.append(untrusted_graph_from_dict(data, budget))
+            except ConstraintGraphError as error:
+                raise MalformedInputError(
+                    f"graph #{index}: {error}") from error
+        run = schedule_many(graphs, cache=self.cache, budget=budget,
+                            auto_well_pose=_flag(payload, "auto_well_pose",
+                                                 True))
+        results = []
+        for result in run:
+            if result.ok:
+                schedule = result.unpack()
+                results.append({
+                    "index": result.index,
+                    "status": ("cached" if result.cached else
+                               "fallback" if result.fallback else
+                               "scheduled"),
+                    "schedule": schedule_to_dict(schedule),
+                })
+            else:
+                results.append({
+                    "index": result.index, "status": "error",
+                    "error_type": result.error_type,
+                    "error": str(result.error),
+                })
+        return {"results": results, "stats": dict(run.stats)}
+
+    def handle_lint(self, payload: Any,
+                    tenant: Optional[str]) -> Dict[str, Any]:
+        """Static diagnostics; the response body is a SARIF 2.1 log."""
+        from repro.lint import LintConfig, LintEngine, to_sarif
+
+        payload = _object(payload)
+        budget = self.config.budget_for(tenant)
+        graph = untrusted_graph_from_dict(payload.get("graph"), budget)
+        select = _string_list(payload, "select")
+        ignore = _string_list(payload, "ignore")
+        engine = LintEngine(LintConfig(
+            select=frozenset(select) if select else None,
+            ignore=frozenset(ignore) if ignore else frozenset()))
+        report = engine.lint_graph(graph, file="request")
+        return {
+            "sarif": to_sarif(report, artifact_uri="request"),
+            "diagnostics": len(report.diagnostics),
+            "errors": len(report.errors()),
+        }
+
+    def handle_observe(self, payload: Any,
+                       tenant: Optional[str]) -> Dict[str, Any]:
+        """Traced scheduling run(s) -> observability run report."""
+        payload = _object(payload)
+        budget = self.config.budget_for(tenant)
+        graph = untrusted_graph_from_dict(payload.get("graph"), budget)
+        runs = payload.get("runs", 1)
+        if not isinstance(runs, int) or isinstance(runs, bool) \
+                or not 1 <= runs <= MAX_OBSERVE_RUNS:
+            raise ServiceError(
+                400, f"\"runs\" must be an integer in "
+                     f"[1, {MAX_OBSERVE_RUNS}], got {runs!r}",
+                "MalformedInputError")
+        mode = _anchor_mode(payload.get("mode", "irredundant"))
+        tracer = Tracer()
+        with use_tracer(tracer):
+            for _ in range(runs):
+                guarded_schedule(graph, budget, anchor_mode=mode)
+        from repro.observability import iteration_bound_violations
+
+        report = build_report(tracer)
+        return {"report": report,
+                "bound_violations": iteration_bound_violations(report)}
+
+    def handle_chaos(self, payload: Any,
+                     tenant: Optional[str]) -> Dict[str, Any]:
+        """A seeded fault-injection campaign, sized for a request."""
+        from repro.core.watchdog import WatchdogPolicy
+        from repro.resilience.chaos import run_campaign
+
+        payload = _object(payload)
+        seed = payload.get("seed", 0)
+        cases = payload.get("cases", 50)
+        for name, value in (("seed", seed), ("cases", cases)):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ServiceError(400, f"\"{name}\" must be an integer, "
+                                        f"got {value!r}",
+                                   "MalformedInputError")
+        if not 1 <= cases <= MAX_CHAOS_CASES:
+            raise ServiceError(
+                429, f"chaos cases {cases} outside [1, {MAX_CHAOS_CASES}]",
+                "BudgetExceededError")
+        policy = payload.get("policy")
+        if policy is not None:
+            try:
+                policy = WatchdogPolicy(policy)
+            except ValueError:
+                raise ServiceError(
+                    400, f"unknown watchdog policy {policy!r}",
+                    "MalformedInputError") from None
+        stats = run_campaign(seed, cases, policy)
+        return {
+            "cases": stats.cases,
+            "unschedulable": stats.unschedulable,
+            "faultless": stats.faultless,
+            "detected": stats.detected,
+            "masked": stats.masked,
+            "silent": stats.silent,
+            "divergences": list(stats.divergences),
+            "summary": stats.summary(),
+        }
+
+    def handle_healthz(self, payload: Any,
+                       tenant: Optional[str]) -> Dict[str, Any]:
+        return {"ok": True, "protocol": PROTOCOL_VERSION}
+
+    def handle_stats(self, payload: Any,
+                     tenant: Optional[str]) -> Dict[str, Any]:
+        body = self.stats.snapshot()
+        body["protocol"] = PROTOCOL_VERSION
+        body["workers"] = self.config.workers
+        if self.batcher is not None:
+            body["batching"] = self.batcher.stats()
+        if self.cache is not None:
+            body["cache"] = {"entries": len(self.cache),
+                             "hits": self.cache.hits,
+                             "misses": self.cache.misses}
+        return body
+
+    def close(self) -> None:
+        """Flush shared state at shutdown (cache staging -> disk)."""
+        if self.cache is not None:
+            self.cache.flush()
+
+
+# -- payload helpers ---------------------------------------------------
+
+
+def _error_body(error: Exception) -> Dict[str, Any]:
+    return {"error": str(error), "error_type": type(error).__name__}
+
+
+def _object(payload: Any) -> Dict[str, Any]:
+    if not isinstance(payload, dict):
+        raise ServiceError(
+            400, f"request body must be a JSON object, "
+                 f"got {type(payload).__name__}", "MalformedInputError")
+    return payload
+
+
+def _flag(payload: Mapping[str, Any], key: str, default: bool) -> bool:
+    value = payload.get(key, default)
+    if not isinstance(value, bool):
+        raise ServiceError(400, f"\"{key}\" must be a boolean, "
+                                f"got {value!r}", "MalformedInputError")
+    return value
+
+
+def _string_list(payload: Mapping[str, Any], key: str) -> Optional[List[str]]:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, list) \
+            or not all(isinstance(item, str) for item in value):
+        raise ServiceError(400, f"\"{key}\" must be a list of strings, "
+                                f"got {value!r}", "MalformedInputError")
+    return value
+
+
+def _anchor_mode(value: Any) -> AnchorMode:
+    try:
+        return AnchorMode(value)
+    except ValueError:
+        raise ServiceError(
+            400, f"unknown anchor mode {value!r} (expected one of "
+                 f"{[m.value for m in AnchorMode]})",
+            "MalformedInputError") from None

@@ -1,0 +1,108 @@
+"""A minimal JSON client for the scheduling service (stdlib only).
+
+Used by the integration tests, the CI smoke harness and the service
+benchmark so they all speak to the server the same way.  One
+:class:`ServiceClient` holds one persistent HTTP/1.1 connection (the
+server keeps connections alive), so per-request overhead in the
+benchmark measures the service, not TCP handshakes.  The client is
+**not** thread-safe -- give each thread its own instance, which is
+exactly what the concurrency tests do.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+
+class ServiceClient:
+    """One persistent connection to a running scheduling service."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080, *,
+                 timeout: float = 30.0,
+                 tenant: Optional[str] = None) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.tenant = tenant
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+            self._conn.connect()
+            # http.client sends headers and body as separate segments;
+            # without TCP_NODELAY, Nagle holds the second one until the
+            # server's delayed ACK (~40 ms per request).
+            self._conn.sock.setsockopt(socket.IPPROTO_TCP,
+                                       socket.TCP_NODELAY, 1)
+        return self._conn
+
+    def request(self, method: str, path: str,
+                payload: Optional[Any] = None) -> Tuple[int, Dict[str, Any]]:
+        """One round-trip; returns ``(status, decoded body)``.
+
+        Retries once on a stale keep-alive connection (the server may
+        have closed it between requests), never on fresh failures.
+        """
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json"}
+        if self.tenant is not None:
+            headers["X-Tenant"] = self.tenant
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        return response.status, json.loads(raw.decode("utf-8"))
+
+    # -- endpoint conveniences ----------------------------------------
+
+    def schedule(self, graph_dict: Dict[str, Any],
+                 **options: Any) -> Tuple[int, Dict[str, Any]]:
+        return self.request("POST", "/schedule",
+                            {"graph": graph_dict, **options})
+
+    def schedule_many(self, graph_dicts: Any,
+                      **options: Any) -> Tuple[int, Dict[str, Any]]:
+        return self.request("POST", "/schedule_many",
+                            {"graphs": graph_dicts, **options})
+
+    def lint(self, graph_dict: Dict[str, Any],
+             **options: Any) -> Tuple[int, Dict[str, Any]]:
+        return self.request("POST", "/lint",
+                            {"graph": graph_dict, **options})
+
+    def observe(self, graph_dict: Dict[str, Any],
+                **options: Any) -> Tuple[int, Dict[str, Any]]:
+        return self.request("POST", "/observe",
+                            {"graph": graph_dict, **options})
+
+    def chaos(self, **options: Any) -> Tuple[int, Dict[str, Any]]:
+        return self.request("POST", "/chaos", dict(options))
+
+    def healthz(self) -> Tuple[int, Dict[str, Any]]:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> Tuple[int, Dict[str, Any]]:
+        return self.request("GET", "/stats")
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

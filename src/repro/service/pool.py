@@ -1,0 +1,131 @@
+"""A bounded worker pool for the scheduling service.
+
+``ThreadingHTTPServer`` spawns one thread per connection, which bounds
+nothing: a burst of requests would schedule graphs on hundreds of
+threads at once.  The pool decouples *connections* from *work*: handler
+threads submit jobs into a bounded queue serviced by a fixed number of
+worker threads and block on the result.  A full queue is an admission
+decision (:class:`PoolSaturatedError` -> HTTP 503), made *before* any
+scheduling work starts, mirroring the RunBudget philosophy of refusing
+up front rather than aborting halfway.
+
+Jobs run under a **copy of the submitter's context**
+(:func:`contextvars.copy_context`), so the per-request tracer installed
+by the handler is visible to the pipeline even though the work executes
+on a pool thread -- the property the contextvar-backed tracer slot
+exists to provide.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import queue
+import threading
+from typing import Any, Callable, Optional
+
+
+class PoolSaturatedError(RuntimeError):
+    """The job queue is full; the caller should shed load (HTTP 503)."""
+
+
+class PoolShutdownError(RuntimeError):
+    """The pool is draining; no new jobs are accepted."""
+
+
+class JobTimeoutError(RuntimeError):
+    """The job did not finish within the caller's wait timeout."""
+
+
+class _Job:
+    """One unit of work and its eventual outcome."""
+
+    __slots__ = ("fn", "context", "done", "result", "error")
+
+    def __init__(self, fn: Callable[[], Any]) -> None:
+        self.fn = fn
+        self.context = contextvars.copy_context()
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        """Block for the outcome; re-raises the job's exception."""
+        if not self.done.wait(timeout):
+            raise JobTimeoutError("job did not finish in time")
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class WorkerPool:
+    """Fixed worker threads over a bounded job queue.
+
+    Args:
+        workers: number of worker threads (the *whole* pool's
+            concurrency; never silently capped -- see the startup log in
+            :mod:`repro.service.server`).
+        queue_capacity: queued-but-unstarted job limit; defaults to
+            ``8 * workers``.  Submitting beyond it raises
+            :class:`PoolSaturatedError` immediately.
+    """
+
+    def __init__(self, workers: int = 4,
+                 queue_capacity: Optional[int] = None,
+                 name: str = "repro-service") -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.queue_capacity = (queue_capacity if queue_capacity is not None
+                               else 8 * workers)
+        self._queue: "queue.Queue[Optional[_Job]]" = queue.Queue(
+            maxsize=self.queue_capacity)
+        self._shutdown = False
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"{name}-worker-{i}")
+            for i in range(workers)]
+        for thread in self._threads:
+            thread.start()
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:  # drain sentinel
+                self._queue.task_done()
+                return
+            try:
+                job.result = job.context.run(job.fn)
+            except BaseException as error:  # noqa: B036 -- delivered to the waiter, who re-raises
+                job.error = error
+            finally:
+                job.done.set()
+                self._queue.task_done()
+
+    def submit(self, fn: Callable[[], Any]) -> _Job:
+        """Enqueue *fn*; returns the job handle without blocking."""
+        if self._shutdown:
+            raise PoolShutdownError("pool is shut down")
+        job = _Job(fn)
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            raise PoolSaturatedError(
+                f"job queue is full ({self.queue_capacity} pending); "
+                f"try again later") from None
+        return job
+
+    def run(self, fn: Callable[[], Any],
+            timeout: Optional[float] = None) -> Any:
+        """Submit *fn* and block for its result (the handler-thread path)."""
+        return self.submit(fn).wait(timeout)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs; workers drain the queue and exit."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=30)

@@ -199,10 +199,81 @@ class TestTracerMechanics:
         with pytest.raises(IndexError):
             tracer.end_span()
 
-    def test_state_slot_is_process_global(self):
+    def test_state_slot_tracks_set_tracer(self):
         tracer = Tracer()
         previous = set_tracer(tracer)
         try:
             assert STATE.tracer is tracer
         finally:
             set_tracer(previous)
+
+    def test_state_attribute_assignment_still_works(self):
+        """The attribute facade accepts writes (None restores the null)."""
+        tracer = Tracer()
+        STATE.tracer = tracer
+        try:
+            assert current_tracer() is tracer
+        finally:
+            STATE.tracer = None
+        assert current_tracer() is NULL_TRACER
+
+
+class TestContextIsolation:
+    """Concurrent requests must never share or clobber tracers."""
+
+    def test_threads_start_with_the_null_default(self):
+        import threading
+
+        seen = []
+        with use_tracer(Tracer()):
+            thread = threading.Thread(
+                target=lambda: seen.append(current_tracer()))
+            thread.start()
+            thread.join()
+        assert seen == [NULL_TRACER]
+
+    def test_concurrent_threads_keep_isolated_tracers(self):
+        """N threads each trace their own run; no span/counter cross-talk
+        and the totals reconcile per thread, not per process."""
+        import threading
+
+        n_threads, per_thread = 8, 5
+        graph = _graph(seed=31, n=40)
+        start = threading.Barrier(n_threads)
+        tracers = [Tracer() for _ in range(n_threads)]
+        errors = []
+
+        def work(tracer):
+            try:
+                start.wait(timeout=30)
+                with use_tracer(tracer):
+                    for _ in range(per_thread):
+                        schedule = schedule_graph(graph.copy())
+                        assert current_tracer() is tracer
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+            else:
+                tracer.event("done", iterations=schedule.iterations)
+
+        threads = [threading.Thread(target=work, args=(tracer,))
+                   for tracer in tracers]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert current_tracer() is NULL_TRACER
+        for tracer in tracers:
+            runs = tracer.events_named("scheduler.run")
+            assert len(runs) == per_thread
+            assert (tracer.counter("scheduler.iterations")
+                    == sum(e["iterations"] for e in runs))
+            assert len(tracer.events_named("done")) == 1
+
+    def test_nested_use_tracer_restores_by_token(self):
+        outer, inner = Tracer(), Tracer()
+        with use_tracer(outer):
+            with use_tracer(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+        assert current_tracer() is NULL_TRACER

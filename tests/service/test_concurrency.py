@@ -1,0 +1,231 @@
+"""Concurrency correctness: the service under parallel fire.
+
+The load-bearing test is the differential one: N client threads push a
+mixed corpus through a live server (coalescing enabled, small pool) and
+every response must be *bit-identical* to a serial
+``schedule_graph(anchor_mode=FULL)`` run of the same graph -- the
+batcher, the worker pool, the shared cache and the contextvar tracer
+must all be invisible to results.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.core.anchors import AnchorMode
+from repro.core.scheduler import schedule_graph
+from repro.designs.random_graphs import random_constraint_graph
+from repro.io import schedule_to_dict
+from repro.qa.serialize import graph_to_dict
+from repro.service import (
+    CoalescingBatcher,
+    PoolSaturatedError,
+    ServiceClient,
+    WorkerPool,
+)
+
+from tests.service.test_endpoints import make_server, stop_server
+
+
+def mixed_corpus(n_graphs, seed):
+    rng = random.Random(seed)
+    graphs = []
+    for _ in range(n_graphs):
+        graphs.append(random_constraint_graph(
+            rng, rng.randint(6, 30),
+            edge_probability=rng.uniform(0.1, 0.3),
+            unbounded_probability=rng.uniform(0.1, 0.4),
+            n_min_constraints=rng.randint(0, 4),
+            n_max_constraints=rng.randint(0, 3)))
+    return graphs
+
+
+class TestDifferential:
+    N_THREADS = 8
+    PER_THREAD = 6
+
+    def test_concurrent_schedule_bit_identical_to_serial(self, tmp_path):
+        corpus = mixed_corpus(self.N_THREADS * self.PER_THREAD, seed=1990)
+        expected = [
+            schedule_to_dict(schedule_graph(g, anchor_mode=AnchorMode.FULL))
+            for g in corpus]
+        payloads = [graph_to_dict(g) for g in corpus]
+
+        server, thread = make_server(
+            workers=4, cache_path=str(tmp_path / "cache.jsonl"))
+        failures = []
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def worker(thread_index):
+            with ServiceClient(port=server.port, timeout=60) as client:
+                barrier.wait()
+                for k in range(self.PER_THREAD):
+                    index = thread_index * self.PER_THREAD + k
+                    status, body = client.schedule(payloads[index])
+                    if status != 200:
+                        failures.append((index, status, body))
+                    elif body["schedule"] != expected[index]:
+                        failures.append((index, "mismatch", body["schedule"]))
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(self.N_THREADS)]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+        finally:
+            stop_server(server, thread)
+        assert not failures, failures[:3]
+
+    def test_repeat_requests_hit_shared_cache(self, tmp_path):
+        graph = mixed_corpus(1, seed=7)[0]
+        payload = graph_to_dict(graph)
+        server, thread = make_server(
+            workers=2, cache_path=str(tmp_path / "cache.jsonl"))
+        try:
+            with ServiceClient(port=server.port) as client:
+                first = client.schedule(payload)
+                repeats = [client.schedule(payload) for _ in range(5)]
+                _, stats = client.stats()
+        finally:
+            stop_server(server, thread)
+        assert first[0] == 200
+        assert all(status == 200 for status, _ in repeats)
+        schedules = {tuple(sorted(body["schedule"]["offsets"]))
+                     for _, body in [first] + repeats}
+        assert len(schedules) == 1
+        assert stats["cache"]["hits"] >= 1
+
+
+class TestAdmission:
+    def test_saturated_pool_answers_503(self):
+        # One worker, a one-slot queue, and a blocking job: the next
+        # submissions must be refused, not queued without bound.
+        pool = WorkerPool(workers=1, queue_capacity=1)
+        release = threading.Event()
+        started = threading.Event()
+
+        def block():
+            started.set()
+            release.wait(30)
+
+        blocker = pool.submit(block)
+        assert started.wait(10)
+        pool.submit(lambda: None)  # fills the single queue slot
+        with pytest.raises(PoolSaturatedError):
+            pool.submit(lambda: None)
+        release.set()
+        blocker.wait(10)
+        pool.shutdown()
+
+    def test_health_answers_while_pool_is_saturated(self):
+        server, thread = make_server(workers=1, queue_capacity=1)
+        release = threading.Event()
+        started = threading.Event()
+
+        def block():
+            started.set()
+            release.wait(30)
+
+        job = server.pool.submit(block)
+        assert started.wait(10)
+        server.pool.submit(lambda: None)
+        try:
+            with ServiceClient(port=server.port, timeout=10) as client:
+                status, body = client.healthz()
+                assert status == 200  # GET bypasses the pool
+                status, body = client.schedule({"vertices": []})
+                assert status == 503
+                assert body["error_type"] == "PoolSaturatedError"
+        finally:
+            release.set()
+            job.wait(10)
+            stop_server(server, thread)
+
+
+class TestBatcher:
+    def test_coalesces_concurrent_requests(self):
+        corpus = mixed_corpus(12, seed=3)
+        expected = [
+            schedule_to_dict(schedule_graph(g, anchor_mode=AnchorMode.FULL))
+            for g in corpus]
+        batcher = CoalescingBatcher(window_s=0.05, max_batch=64)
+        barrier = threading.Barrier(len(corpus))
+        results = [None] * len(corpus)
+
+        def worker(index):
+            barrier.wait()
+            results[index] = schedule_to_dict(
+                batcher.schedule(corpus[index]))
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(len(corpus))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert results == expected
+        stats = batcher.stats()
+        assert stats["requests"] == len(corpus)
+        assert stats["coalesced_requests"] > 0
+        assert stats["largest_batch"] > 1
+
+    def test_per_graph_errors_do_not_poison_the_batch(self):
+        from repro.core.exceptions import ConstraintGraphError
+        from repro.core.graph import ConstraintGraph
+
+        good = mixed_corpus(1, seed=9)[0]
+        bad = ConstraintGraph()
+        bad.add_operation("a", 3)
+        bad.add_operation("b", 1)
+        bad.add_sequencing_edge("a", "b")
+        bad.add_max_constraint("a", "b", 1)
+
+        batcher = CoalescingBatcher(window_s=0.05, max_batch=8)
+        barrier = threading.Barrier(2)
+        outcome = {}
+
+        def run(name, graph):
+            barrier.wait()
+            try:
+                outcome[name] = batcher.schedule(graph)
+            except ConstraintGraphError as error:
+                outcome[name] = error
+
+        threads = [threading.Thread(target=run, args=("good", good)),
+                   threading.Thread(target=run, args=("bad", bad))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert isinstance(outcome["bad"], ConstraintGraphError)
+        assert schedule_to_dict(outcome["good"]) == schedule_to_dict(
+            schedule_graph(good, anchor_mode=AnchorMode.FULL))
+
+    def test_max_batch_flushes_early(self):
+        import time
+
+        # Exactly max_batch concurrent requests: the threshold (not the
+        # absurdly long window) must flush the batch.
+        corpus = mixed_corpus(3, seed=5)
+        batcher = CoalescingBatcher(window_s=30.0, max_batch=3)
+        barrier = threading.Barrier(len(corpus))
+        done = [None] * len(corpus)
+
+        def worker(index):
+            barrier.wait()
+            done[index] = batcher.schedule(corpus[index])
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(len(corpus))]
+        t0 = time.monotonic()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        elapsed = time.monotonic() - t0
+        assert all(s is not None for s in done)
+        assert batcher.stats()["largest_batch"] == 3
+        assert elapsed < 20, f"window, not max_batch, flushed ({elapsed=})"
