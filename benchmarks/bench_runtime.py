@@ -1,45 +1,198 @@
-"""Bench: Section VII execution-time claim.
+#!/usr/bin/env python
+"""Online executor benchmark: sustained completion events per second.
 
-The paper reports that the whole relative-scheduling flow runs in under
-a second for most designs (worst case 2 s) on a DecStation 5000/200.
-This bench times the complete pipeline -- design construction,
-well-posedness analysis, redundancy removal, and scheduling -- per
-design on this machine and asserts the same "negligible" envelope.
+The :class:`repro.runtime.OnlineExecutor` promises that every accepted
+completion costs **one warm incremental reschedule**
+(:meth:`~repro.core.scheduler.IterativeIncrementalScheduler.run_from`
+from the previous offsets), never a from-scratch solve.  This bench
+measures what that buys on live streams:
+
+* **warm** -- the executor as shipped: per-event cost is the rebind plus
+  a warm relaxation restart, so unaffected regions converge immediately;
+* **scratch** -- the naive alternative: the same rebind, then a full
+  ``IterativeIncrementalScheduler(...).run()`` from zero offsets per
+  event (what an implementation without ``run_from`` would do).
+
+Both paths process identical event streams (static start times
+evaluated at a seeded delay profile), so the events/sec ratio is
+self-relative and meaningful on any machine; ``perf_guard`` gates it
+(``runtime_events_per_sec``: warm must beat scratch by ``--floor``).
+
+Usage::
+
+    python benchmarks/bench_runtime.py            # writes BENCH_runtime.json
+    python benchmarks/bench_runtime.py --quick    # CI smoke sizes
 """
 
+import argparse
+import json
+import platform
+import random
+import sys
 import time
+from pathlib import Path
 
-import pytest
-from conftest import emit
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro import AnchorMode
-from repro.designs import DESIGN_NAMES, build_design
-from repro.seqgraph import schedule_design
+from repro.core.anchors import AnchorMode, anchor_sets_for_mode  # noqa: E402
+from repro.core.exceptions import ConstraintGraphError  # noqa: E402
+from repro.core.scheduler import IterativeIncrementalScheduler  # noqa: E402
+from repro.designs.random_graphs import random_constraint_graph  # noqa: E402
+from repro.resilience.guard import guarded_schedule  # noqa: E402
+from repro.runtime import CompletionEvent, OnlineExecutor  # noqa: E402
+
+#: Corpus recipe: streaming-sized graphs with enough unbounded anchors
+#: that every case produces a meaningful event stream.
+FULL = {"n_graphs": 40, "n_lo": 40, "n_hi": 120, "passes": 3}
+QUICK = {"n_graphs": 10, "n_lo": 48, "n_hi": 100, "passes": 2}
 
 
-@pytest.mark.parametrize("name", DESIGN_NAMES)
-def test_full_pipeline_runtime(benchmark, name):
-    def pipeline():
-        design = build_design(name)
-        return schedule_design(design, anchor_mode=AnchorMode.IRREDUNDANT)
+def make_stream_corpus(n_graphs, n_lo, n_hi, seed=1990):
+    """Schedulable graphs plus per-case (profile, event stream) pairs."""
+    rng = random.Random(seed)
+    cases = []
+    while len(cases) < n_graphs:
+        graph = random_constraint_graph(
+            rng, rng.randint(n_lo, n_hi),
+            edge_probability=rng.uniform(0.08, 0.2),
+            unbounded_probability=rng.uniform(0.2, 0.4),
+            n_min_constraints=rng.randint(0, 4),
+            n_max_constraints=rng.randint(0, 2))
+        try:
+            schedule = guarded_schedule(graph, anchor_mode=AnchorMode.FULL)
+        except ConstraintGraphError:
+            continue
+        anchors = [a for a in schedule.graph.anchors
+                   if a != schedule.graph.source]
+        if not anchors:
+            continue
+        profile = {a: rng.randint(0, 12) for a in anchors}
+        done = schedule.start_times(profile)
+        # Same-cycle ties stream in topological order so a gating
+        # anchor's completion precedes a dependent's zero-delay finish.
+        order = {name: position for position, name
+                 in enumerate(schedule.graph.forward_topological_order())}
+        events = sorted(((done[a] + profile[a], order[a], a)
+                         for a in anchors))
+        cases.append((schedule, [(a, c) for c, _, a in events]))
+    return cases
 
-    result = benchmark(pipeline)
-    assert result.schedules
+
+def run_warm(schedule, events):
+    executor = OnlineExecutor(schedule)
+    t0 = time.perf_counter()
+    log = executor.run(CompletionEvent(a, c) for a, c in events)
+    elapsed = time.perf_counter() - t0
+    assert log.complete, "warm executor left operations unissued"
+    return elapsed, log.events, log.reschedules
 
 
-def test_whole_suite_under_paper_envelope(benchmark):
-    """All eight designs end to end, against the paper's 2 s worst case
-    (generously doubled for the Python-vs-C gap)."""
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    started = time.perf_counter()
-    rows = []
-    for name in DESIGN_NAMES:
-        design_started = time.perf_counter()
-        schedule_design(build_design(name))
-        rows.append((name, time.perf_counter() - design_started))
-    elapsed = time.perf_counter() - started
-    emit("Section VII runtimes (paper: <1 s typical, 2 s worst case):\n"
-         + "\n".join(f"  {name:>15}: {seconds * 1000:7.1f} ms"
-                     for name, seconds in rows)
-         + f"\n  {'total':>15}: {elapsed * 1000:7.1f} ms")
-    assert max(seconds for _, seconds in rows) < 4.0
+def run_scratch(schedule, events):
+    """The naive comparator: full relaxation from zero per completion."""
+    graph = schedule.graph.copy()
+    mode = schedule.anchor_mode
+    current = schedule
+    observed = {}
+    count = 0
+    t0 = time.perf_counter()
+    for anchor, cycle in events:
+        count += 1
+        # The same rebind the executor performs ...
+        start = current.start_times(observed)[anchor]
+        observed[anchor] = cycle - start
+        graph.bind_anchor_delay(anchor, observed[anchor])
+        # ... but a cold solve instead of a warm restart.
+        anchor_sets = anchor_sets_for_mode(graph, mode)
+        current = IterativeIncrementalScheduler(
+            graph, anchor_mode=mode, anchor_sets=anchor_sets).run()
+    elapsed = time.perf_counter() - t0
+    return elapsed, count
+
+
+def bench_runtime(quick=False):
+    recipe = QUICK if quick else FULL
+    cases = make_stream_corpus(recipe["n_graphs"], recipe["n_lo"],
+                               recipe["n_hi"])
+    total_events = sum(len(events) for _, events in cases)
+
+    warm_s = 0.0
+    warm_events = 0
+    warm_reschedules = 0
+    for _ in range(recipe["passes"]):
+        pass_s = 0.0
+        pass_events = 0
+        pass_reschedules = 0
+        for schedule, events in cases:
+            elapsed, n, reschedules = run_warm(schedule, events)
+            pass_s += elapsed
+            pass_events += n
+            pass_reschedules += reschedules
+        if pass_s < warm_s or warm_s == 0.0:
+            warm_s, warm_events = pass_s, pass_events
+            warm_reschedules = pass_reschedules
+
+    scratch_s = 0.0
+    scratch_events = 0
+    for schedule, events in cases:
+        elapsed, n = run_scratch(schedule, events)
+        scratch_s += elapsed
+        scratch_events += n
+
+    warm_eps = warm_events / max(warm_s, 1e-9)
+    scratch_eps = scratch_events / max(scratch_s, 1e-9)
+    return {
+        "name": "runtime-streams",
+        "graphs": len(cases),
+        "events_per_pass": total_events,
+        "warm": {
+            "events": warm_events,
+            "seconds": round(warm_s, 4),
+            "events_per_sec": round(warm_eps, 1),
+            "reschedules": warm_reschedules,
+        },
+        "scratch": {
+            "events": scratch_events,
+            "seconds": round(scratch_s, 4),
+            "events_per_sec": round(scratch_eps, 1),
+        },
+        "warm_speedup": round(warm_eps / max(scratch_eps, 1e-9), 2),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small corpus (CI smoke)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="report path (default BENCH_runtime.json at "
+                             "the repo root)")
+    args = parser.parse_args(argv)
+
+    entry = bench_runtime(args.quick)
+    report = {
+        "meta": {
+            "schema": 1,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "quick": args.quick,
+        },
+        "workloads": [entry],
+    }
+    print(f"runtime bench: {entry['graphs']} graphs, "
+          f"{entry['events_per_pass']} events/pass")
+    print(f"  warm    {entry['warm']['events_per_sec']:>10} events/s "
+          f"({entry['warm']['seconds']} s)")
+    print(f"  scratch {entry['scratch']['events_per_sec']:>10} events/s "
+          f"({entry['scratch']['seconds']} s)")
+    print(f"  warm speedup {entry['warm_speedup']}x")
+
+    output = args.output or REPO_ROOT / "BENCH_runtime.json"
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,13 @@ cold-cache run must beat the per-graph ``schedule_graph`` loop by at
 least ``--batch-floor`` (default 5x; the committed ``BENCH_batch.json``
 tracks the full 10k-corpus number).
 
+The online executor (:mod:`repro.runtime`) is gated self-relatively on
+sustained completion events per second (``runtime_events_per_sec``):
+identical streams through the shipped warm-restart executor versus a
+naive per-event from-scratch solver, plus the one-warm-reschedule-per-
+event cost-model invariant.  ``BENCH_runtime.json`` tracks the full
+corpus numbers.
+
 The HTTP service (:mod:`repro.service`) is gated on its per-request
 overhead (``service_throughput``): a live server's warm-cache
 ``/schedule`` p50, measured by a serial client, must stay within
@@ -212,6 +219,36 @@ def guard_batch(reps, floor):
     return entry
 
 
+def guard_runtime(floor):
+    """The online executor's warm restarts must beat cold solves.
+
+    Runs the quick :mod:`benchmarks.bench_runtime` corpus -- identical
+    event streams through the shipped executor (one warm
+    ``run_from`` per completion) and through the naive per-event
+    from-scratch solver -- and gates the sustained events/sec ratio at
+    *floor*.  Self-relative, so it holds on CI runners.  Also pins the
+    executor's cost model: exactly one warm reschedule per accepted
+    completion event.
+    """
+    from bench_runtime import bench_runtime
+
+    entry = bench_runtime(quick=True)
+    entry["checks"] = [{
+        "check": "runtime_events_per_sec",
+        "ok": entry["warm_speedup"] >= floor,
+        "measured_speedup": entry["warm_speedup"],
+        "warm_events_per_sec": entry["warm"]["events_per_sec"],
+        "scratch_events_per_sec": entry["scratch"]["events_per_sec"],
+        "floor": floor,
+    }, {
+        "check": "runtime_one_reschedule_per_event",
+        "ok": entry["warm"]["reschedules"] == entry["warm"]["events"],
+        "reschedules": entry["warm"]["reschedules"],
+        "events": entry["warm"]["events"],
+    }]
+    return entry
+
+
 def guard_service(factor):
     """The HTTP service tax per request must stay bounded.
 
@@ -317,6 +354,10 @@ def main(argv=None):
                         help="warm-cache service p50 must stay within "
                         "this factor of the direct request-equivalent "
                         "pipeline, plus the noise floor (default 3.0)")
+    parser.add_argument("--runtime-floor", type=float, default=1.3,
+                        help="minimum online-executor events/sec speedup "
+                        "over per-event from-scratch solving on the "
+                        "quick stream corpus (default 1.3)")
     parser.add_argument("--baseline", type=Path,
                         default=REPO_ROOT / "BENCH_core.json")
     parser.add_argument("--output", type=Path, default=None,
@@ -337,6 +378,7 @@ def main(argv=None):
                                 args.ratio_tolerance, same_machine)
                  for n in sizes]
     workloads.append(guard_batch(max(2, reps // 2), args.batch_floor))
+    workloads.append(guard_runtime(args.runtime_floor))
     workloads.append(guard_service(args.service_factor))
 
     failed = []

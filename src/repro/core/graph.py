@@ -407,6 +407,60 @@ class ConstraintGraph:
         self._pack_dirty = True
         self._version += 1
 
+    def bind_anchor_delay(self, name: str, delay: int) -> None:
+        """Replace an anchor's unbounded delay with an observed value.
+
+        The online executor calls this when anchor *name*'s completion
+        is observed *delay* cycles after its start.  The vertex becomes
+        a bounded operation, and every *forward* out-edge is rewritten
+        to ``delay + static_weight``: an anchor's forward out-edges are
+        measured from its *completion* (Definition 3 normalizes the
+        anchor's own offset to 0 -- this covers unbounded sequencing
+        edges, whose weight meant ``delta(name)``, *and* bounded minimum
+        constraints leaving the anchor), while a bounded vertex's
+        out-edges are measured from its start, so preserving the
+        done-relative meaning requires folding the observed delay into
+        each weight.  Backward (maximum-constraint) out-edges keep their
+        weight: a late completion that breaks a maximum constraint is an
+        *observed violation* for the fault classifiers to report, not a
+        reason to declare the rebound graph unfeasible mid-run.  The
+        unknown delay was previously evaluated at its minimum (0), so
+        longest paths can only grow -- existing offsets under-approximate
+        the rebound graph's fixpoint and warm starts stay sound
+        (Lemma 8).  Binding cannot break well-posedness: the constraint
+        topology is unchanged and anchor sets only shrink.
+
+        Raises:
+            GraphStructureError: *name* is the source (its activation is
+                the schedule's time origin), is not an anchor, or
+                *delay* is not a non-negative int.
+        """
+        vertex = self._require(name)
+        if name == self.source:
+            raise GraphStructureError(
+                f"cannot bind the source anchor {name!r}: its activation "
+                f"is the schedule's time origin")
+        if not vertex.is_unbounded:
+            raise GraphStructureError(
+                f"vertex {name!r} is not an anchor (delay {vertex.delay!r})")
+        if isinstance(delay, bool) or not isinstance(delay, int) or delay < 0:
+            raise GraphStructureError(
+                f"observed delay for {name!r} must be a non-negative int, "
+                f"got {delay!r}")
+        self._vertices[name] = Vertex(name, delay, vertex.tag)
+        for position, edge in enumerate(self._edges):
+            if edge.tail != name or edge.kind is EdgeKind.MAX_TIME:
+                continue
+            bound = Edge(edge.tail, edge.head, delay + edge.static_weight,
+                         edge.kind)
+            self._edges[position] = bound
+            out = self._out[name]
+            out[out.index(edge)] = bound
+            incoming = self._in[edge.head]
+            incoming[incoming.index(edge)] = bound
+        self._pack_dirty = True
+        self._version += 1
+
     def make_polar(self) -> None:
         """Connect orphan vertices so the graph is polar.
 

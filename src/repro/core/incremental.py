@@ -20,6 +20,8 @@ detected per Corollary 2.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 from repro.core.anchors import anchor_sets_for_mode
 from repro.core.constraints import TimingConstraint
 from repro.core.graph import Edge
@@ -84,6 +86,59 @@ def add_constraint_incremental(schedule: RelativeSchedule,
     if tracer.enabled:
         tracer.count("incremental.warm_reschedules")
         tracer.event("incremental.add_constraint", constraint=str(constraint))
+    anchor_sets = anchor_sets_for_mode(graph, schedule.anchor_mode)
+    scheduler = IterativeIncrementalScheduler(
+        graph, anchor_mode=schedule.anchor_mode, anchor_sets=anchor_sets)
+    result = scheduler.run_from(schedule.offsets)
+    if validate:
+        result.validate()
+    return result
+
+
+def reschedule_with_observed(schedule: RelativeSchedule,
+                             observed: Mapping[str, int],
+                             validate: bool = False) -> RelativeSchedule:
+    """Fold observed anchor delays into the graph and warm-reschedule.
+
+    The online executor's warm-start entry point, keyed on partial
+    completion state: each ``{anchor: observed delay}`` pair rebinds the
+    anchor to a *bounded* vertex via
+    :meth:`~repro.core.graph.ConstraintGraph.bind_anchor_delay`, then
+    the relaxation resumes from the previous offsets.  Observed delays
+    are >= 0 while the static offsets evaluated the unknown delays at
+    their minimum (0), so the previous offsets under-approximate the
+    rebound fixpoint and the warm start is sound (Lemma 8) -- the
+    executor never reschedules from scratch.
+
+    The result is the minimum relative schedule of the rebound graph:
+    its anchors are the source plus the still-unobserved anchors, and an
+    operation whose remaining anchor set is ``{source}`` has an absolute
+    start time of ``done(source) + sigma_source(v)``.  By the minimum
+    relative schedule's any-profile optimality, that start equals the
+    original schedule's ``start_times(observed)[v]`` -- the
+    anomaly-freedom invariant the qa oracle pins.
+
+    Args:
+        schedule: a minimum relative schedule of the current graph.
+        observed: anchor name -> observed execution delay (``done -
+            start``), for any subset of the non-source anchors.
+        validate: check the resulting schedule's inequalities.
+
+    Raises:
+        GraphStructureError: an entry names the source, a non-anchor,
+            or carries a negative/non-int delay.
+        InconsistentConstraintsError: scheduling did not converge.
+    """
+    graph = schedule.graph.copy()
+    for anchor in sorted(observed):
+        graph.bind_anchor_delay(anchor, observed[anchor])
+
+    tracer = _OBS.tracer
+    if tracer.enabled:
+        tracer.count("incremental.observed_reschedules")
+        tracer.event("incremental.bind_observed",
+                     anchors=len(observed),
+                     remaining=len(graph.anchors) - 1)
     anchor_sets = anchor_sets_for_mode(graph, schedule.anchor_mode)
     scheduler = IterativeIncrementalScheduler(
         graph, anchor_mode=schedule.anchor_mode, anchor_sets=anchor_sets)

@@ -33,9 +33,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional
 
 from repro.core.exceptions import GraphStructureError
+
+#: Re-arm schedules whose total allowance would leave the 2**53 wire
+#: format (and dwarf any schedule's bounded completion) are configuration
+#: bugs, not policies: `WatchdogConfig` rejects them at construction.
+MAX_TOTAL_ALLOWANCE = 1 << 53
 
 
 class WatchdogPolicy(enum.Enum):
@@ -90,6 +95,72 @@ class WatchdogConfig:
     backoff: int = 2
     fallback_budget: Optional[int] = None
 
+    def __post_init__(self) -> None:
+        """Reject malformed or unbounded re-arm schedules up front.
+
+        ``W(a) * backoff**k`` grows geometrically: a large ``max_rearms``
+        silently grants a RETRY allowance far beyond any schedule's
+        :meth:`~repro.core.schedule.RelativeSchedule.bounded_completion`
+        worst case (and past the 2**53 wire cap, where the simulators
+        would spin essentially forever before escalating).  Such configs
+        are rejected here, at validation time, so every consumer of the
+        shared :meth:`rearm_window` arithmetic sees bounded windows.
+        """
+        def require_count(value: object, what: str) -> None:
+            if isinstance(value, bool) or not isinstance(value, int) \
+                    or value < 0:
+                raise GraphStructureError(
+                    f"watchdog {what} must be a non-negative int, "
+                    f"got {value!r}")
+
+        require_count(self.max_rearms, "max_rearms")
+        if isinstance(self.backoff, bool) or not isinstance(self.backoff, int) \
+                or self.backoff < 1:
+            raise GraphStructureError(
+                f"watchdog backoff must be an int >= 1, got {self.backoff!r}")
+        for name, bound in self.bounds.items():
+            require_count(bound, f"bound for {name!r}")
+        if self.default is not None:
+            require_count(self.default, "default bound")
+        if self.fallback_budget is not None:
+            require_count(self.fallback_budget, "fallback_budget")
+        if self.policy is WatchdogPolicy.RETRY:
+            worst = max(list(self.bounds.values())
+                        + ([self.default] if self.default is not None else []),
+                        default=0)
+            if self._allowance(worst) > MAX_TOTAL_ALLOWANCE:
+                raise GraphStructureError(
+                    f"RETRY re-arm windows for bound W={worst} "
+                    f"(max_rearms={self.max_rearms}, "
+                    f"backoff={self.backoff}) exceed the 2**53 allowance "
+                    f"cap; lower max_rearms or backoff")
+
+    def _allowance(self, bound: int) -> int:
+        """Base window plus every re-arm window, capped early so huge
+        ``max_rearms`` values cannot make validation itself spin."""
+        total = bound
+        window = bound
+        for _ in range(self.max_rearms):
+            if self.backoff == 1:
+                # Constant windows: closed form, no loop over max_rearms.
+                return bound * (1 + self.max_rearms)
+            window *= self.backoff
+            total += window
+            if total > MAX_TOTAL_ALLOWANCE:
+                break
+        return total
+
+    def rearm_window(self, bound: int, rearm: int) -> int:
+        """Width of RETRY window *rearm* for base bound ``W(a) = bound``:
+        the base window for ``rearm == 0``, ``W(a) * backoff**rearm``
+        after.  The single formula shared by both simulators and the
+        online executor, so boundary behaviour cannot drift.  Advancing
+        a deadline clamps the returned width to >= 1 cycle (a zero-width
+        window must still move time forward)."""
+        if rearm == 0:
+            return bound
+        return bound * self.backoff ** rearm
+
     def bound_for(self, anchor: str) -> Optional[int]:
         """``W(anchor)``, or None when the anchor is unmonitored."""
         return self.bounds.get(anchor, self.default)
@@ -112,8 +183,24 @@ class WatchdogConfig:
             return None
         if self.policy is not WatchdogPolicy.RETRY:
             return bound
-        return bound + sum(bound * self.backoff ** k
-                           for k in range(1, self.max_rearms + 1))
+        return self._allowance(bound)
+
+    def allowances(self, anchors: Iterable[str]) -> Dict[str, int]:
+        """Per-anchor total allowance for every monitored anchor.
+
+        The mapping to feed
+        :meth:`~repro.core.schedule.RelativeSchedule.bounded_completion`
+        when bounding the worst case of a RETRY run: a recovery inside a
+        re-arm window means the anchor ran for up to
+        :meth:`total_allowance` cycles, not ``W(a)``, so evaluating the
+        worst case at the base bounds under-estimates RETRY latency.
+        """
+        result: Dict[str, int] = {}
+        for anchor in anchors:
+            allowance = self.total_allowance(anchor)
+            if allowance is not None:
+                result[anchor] = allowance
+        return result
 
 
 def validate_watchdog_bounds(bounds: Mapping[str, int], anchors,

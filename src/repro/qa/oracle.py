@@ -53,7 +53,13 @@ catalogue covers:
 * ``batch_consistency`` -- :func:`repro.core.batch.schedule_many` over
   copies and renamed isomorphs of the graph, through a persistent
   result cache cold and warm, is bit-identical (offsets and exception
-  types) to per-graph ``schedule_graph`` in FULL anchor mode.
+  types) to per-graph ``schedule_graph`` in FULL anchor mode;
+* ``anomaly_freedom`` -- streaming a sampled delay profile's completion
+  events through the online executor one at a time, no prefix ever
+  commits an operation start later than the static relative schedule's
+  start under the observed delays, the complete stream reproduces the
+  static starts exactly, and the whole log matches a cycle-accurate
+  control simulation of the same profile (see :mod:`repro.runtime`).
 """
 
 from __future__ import annotations
@@ -627,6 +633,67 @@ def check_batch_consistency(graph: ConstraintGraph,
     return None
 
 
+def check_anomaly_freedom(graph: ConstraintGraph,
+                          rng: random.Random) -> Optional[str]:
+    """The online executor never issues later than the static schedule.
+
+    A complete delay profile is sampled, its completion events derived
+    analytically (``start_times(profile)`` plus each anchor's delay)
+    and streamed through an :class:`~repro.runtime.OnlineExecutor` one
+    event at a time.  After **every** prefix, each committed start must
+    not exceed the static relative schedule's start under the full
+    observed profile -- issuing later would mean the incremental
+    reschedule manufactured a delay no completion justifies (an
+    *anomaly*).  On the complete stream the starts must *equal* the
+    static starts exactly, and the whole log must match a cycle-accurate
+    control simulation of the same profile (the two implementations
+    share only the watchdog arithmetic).
+    """
+    from repro.runtime.driver import replay_faults
+    from repro.runtime.events import CompletionEvent
+    from repro.runtime.executor import OnlineExecutor
+
+    schedule = _schedulable(graph)
+    if schedule is None:
+        return None
+    base = schedule.graph  # possibly serialized by the pipeline
+    anchors = [a for a in base.anchors if a != base.source]
+    profile = {a: rng.randint(0, 12) for a in anchors}
+    static = schedule.start_times(profile)
+    # Same-cycle ties stream in topological order: a gating anchor's
+    # completion must precede a dependent's zero-delay completion on
+    # the same cycle, or the latter would arrive before its own start.
+    order = {name: position for position, name
+             in enumerate(base.forward_topological_order())}
+    events = sorted(
+        ((static[a] + profile[a], order[a], a) for a in anchors))
+
+    executor = OnlineExecutor(schedule)
+    fed = 0
+    for cycle, _, anchor in events:
+        executor.feed(CompletionEvent(anchor, cycle))
+        fed += 1
+        for op, issued in executor.log.issues.items():
+            if issued > static[op]:
+                return (f"after {fed}/{len(events)} events, {op!r} issued "
+                        f"at {issued} > static start {static[op]} "
+                        f"(profile {profile})")
+    log = executor.close()
+    if not log.complete:
+        return (f"complete stream left operations unissued: "
+                f"{log.unissued[:5]} (profile {profile})")
+    for op, want in static.items():
+        if log.issues.get(op) != want:
+            return (f"final start of {op!r}: executor {log.issues.get(op)} "
+                    f"!= static {want} (profile {profile})")
+
+    replay = replay_faults(schedule, profile)
+    if not replay.equivalent:
+        return (f"executor vs control-sim divergence under profile "
+                f"{profile}: {'; '.join(replay.mismatches[:3])}")
+    return None
+
+
 #: The catalogue, in execution order.
 ORACLE_CHECKS: Dict[str, Callable[[ConstraintGraph, random.Random], Optional[str]]] = {
     "wellposed_verdict": check_wellposed_verdict,
@@ -641,6 +708,7 @@ ORACLE_CHECKS: Dict[str, Callable[[ConstraintGraph, random.Random], Optional[str
     "fault_containment": check_fault_containment,
     "lint_consistency": check_lint_consistency,
     "batch_consistency": check_batch_consistency,
+    "anomaly_freedom": check_anomaly_freedom,
 }
 
 

@@ -1,0 +1,44 @@
+"""Online dynamic execution of relative schedules.
+
+The paper proves a minimum relative schedule is valid for *every*
+anchor-delay profile; this package cashes that in at run time.  An
+:class:`~repro.runtime.executor.OnlineExecutor` consumes an ordered
+stream of anchor-completion events, folds each observed delay into the
+constraint graph (:meth:`~repro.core.graph.ConstraintGraph.
+bind_anchor_delay`) and warm-starts the incremental scheduler from the
+previous offsets -- never re-solving from scratch -- so every
+operation's start is committed the moment its anchors have completed,
+at exactly the cycle the static schedule's ``start_times`` would give
+for the observed profile (the *anomaly-freedom* invariant, pinned by
+the qa oracle's 13th check).
+
+Late or missing completions route through the PR-4 watchdog machinery
+with cycle-accurate simulator semantics; :mod:`repro.runtime.driver`
+replays fault plans as event streams and diffs the executor against
+the control-unit simulation, and :mod:`repro.runtime.chaos` runs that
+differential at campaign scale.
+"""
+
+from repro.runtime.driver import (
+    RuntimeReplay,
+    drive,
+    events_from_result,
+    replay_faults,
+)
+from repro.runtime.events import CompletionEvent, ExecutionLog, IssueRecord
+from repro.runtime.executor import OnlineExecutor, execute_stream
+from repro.runtime.profiles import PROFILE_FAMILIES, sample_profile
+
+__all__ = [
+    "CompletionEvent",
+    "ExecutionLog",
+    "IssueRecord",
+    "OnlineExecutor",
+    "PROFILE_FAMILIES",
+    "RuntimeReplay",
+    "drive",
+    "events_from_result",
+    "execute_stream",
+    "replay_faults",
+    "sample_profile",
+]

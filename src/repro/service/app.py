@@ -64,6 +64,7 @@ PROTOCOL_VERSION = 1
 MAX_OBSERVE_RUNS = 100
 MAX_CHAOS_CASES = 500
 MAX_BATCH_GRAPHS = 10_000
+MAX_EXECUTE_EVENTS = 10_000
 
 
 class ServiceError(Exception):
@@ -134,7 +135,9 @@ class ServiceStats:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._started = time.time()
+        # Monotonic, not wall-clock: an NTP step or DST jump must never
+        # make the reported uptime leap or go negative.
+        self._started = time.monotonic()
         self._by_endpoint: Dict[str, Dict[str, int]] = {}
         self._latencies: List[float] = []
 
@@ -158,7 +161,7 @@ class ServiceStats:
                               int(q * len(latencies)))] * 1e3, 3)
                 if latencies else None)
             return {
-                "uptime_s": round(time.time() - self._started, 3),
+                "uptime_s": round(time.monotonic() - self._started, 3),
                 "endpoints": {name: dict(entry) for name, entry
                               in self._by_endpoint.items()},
                 "latency_ms": {"p50": percentile(0.50),
@@ -186,6 +189,7 @@ class SchedulingService:
             ("POST", "/lint"): self.handle_lint,
             ("POST", "/observe"): self.handle_observe,
             ("POST", "/chaos"): self.handle_chaos,
+            ("POST", "/execute"): self.handle_execute,
             ("GET", "/healthz"): self.handle_healthz,
             ("GET", "/stats"): self.handle_stats,
         }
@@ -393,6 +397,53 @@ class SchedulingService:
             "summary": stats.summary(),
         }
 
+    def handle_execute(self, payload: Any,
+                       tenant: Optional[str]) -> Dict[str, Any]:
+        """Online execution: graph + completion-event stream -> issue log.
+
+        The graph is scheduled (through the shared batcher-free guarded
+        pipeline, honoring the tenant budget), then the event list is
+        streamed through an :class:`~repro.runtime.OnlineExecutor`.
+        Watchdog timeouts follow the error contract: an ABORT surfaces
+        as 422 with ``WatchdogTimeoutError``, FALLBACK degradation comes
+        back 200 with ``"degraded": true`` in the log.
+        """
+        from repro.core.watchdog import (
+            WatchdogConfig,
+            WatchdogPolicy,
+            validate_watchdog_bounds,
+        )
+        from repro.runtime.events import CompletionEvent
+        from repro.runtime.executor import OnlineExecutor
+
+        payload = _object(payload)
+        budget = self.config.budget_for(tenant)
+        graph = untrusted_graph_from_dict(payload.get("graph"), budget)
+        mode = _anchor_mode(payload.get("mode", "full"))
+        events = _event_list(payload)
+        watchdog = _watchdog_config(payload, WatchdogConfig, WatchdogPolicy)
+        source_done = payload.get("source_done", 0)
+        if not isinstance(source_done, int) or isinstance(source_done, bool) \
+                or source_done < 0:
+            raise ServiceError(
+                400, f"\"source_done\" must be a non-negative integer, "
+                     f"got {source_done!r}", "MalformedInputError")
+
+        if watchdog is not None and watchdog.bounds:
+            # Bounds naming a non-anchor are a graph-semantics error
+            # (422), same as the schedule endpoint's watchdog knob.
+            validate_watchdog_bounds(watchdog.bounds, graph.anchors,
+                                     graph.source)
+        schedule = guarded_schedule(graph, budget, anchor_mode=mode,
+                                    auto_well_pose=_flag(payload,
+                                                         "auto_well_pose",
+                                                         True))
+        executor = OnlineExecutor(schedule, watchdog=watchdog,
+                                  source_done=source_done)
+        log = executor.run(CompletionEvent(anchor, cycle)
+                           for anchor, cycle in events)
+        return {"log": log.to_dict()}
+
     def handle_healthz(self, payload: Any,
                        tenant: Optional[str]) -> Dict[str, Any]:
         return {"ok": True, "protocol": PROTOCOL_VERSION}
@@ -458,3 +509,82 @@ def _anchor_mode(value: Any) -> AnchorMode:
             400, f"unknown anchor mode {value!r} (expected one of "
                  f"{[m.value for m in AnchorMode]})",
             "MalformedInputError") from None
+
+
+def _event_list(payload: Mapping[str, Any]) -> List[Tuple[str, int]]:
+    """The ``"events"`` field: ``{"anchor", "cycle"}`` objects or
+    ``[anchor, cycle]`` pairs, capped at :data:`MAX_EXECUTE_EVENTS`.
+
+    Shape errors are 400s here; *semantic* errors (unknown anchor,
+    stream out of order) are left for the executor, whose
+    ``MalformedInputError`` maps to 400 through the error contract.
+    """
+    value = payload.get("events")
+    if not isinstance(value, list):
+        raise ServiceError(
+            400, f"\"events\" must be a list of completion events, "
+                 f"got {type(value).__name__}", "MalformedInputError")
+    if len(value) > MAX_EXECUTE_EVENTS:
+        raise ServiceError(
+            429, f"{len(value)} events exceed the per-request cap of "
+                 f"{MAX_EXECUTE_EVENTS}", "BudgetExceededError")
+    events: List[Tuple[str, int]] = []
+    for index, item in enumerate(value):
+        if isinstance(item, dict):
+            anchor, cycle = item.get("anchor"), item.get("cycle")
+        elif isinstance(item, (list, tuple)) and len(item) == 2:
+            anchor, cycle = item
+        else:
+            raise ServiceError(
+                400, f"events[{index}] must be an "
+                     f"{{\"anchor\", \"cycle\"}} object or an "
+                     f"[anchor, cycle] pair, got {item!r}",
+                "MalformedInputError")
+        if not isinstance(anchor, str) or isinstance(cycle, bool) \
+                or not isinstance(cycle, int):
+            raise ServiceError(
+                400, f"events[{index}] must name an anchor (string) and "
+                     f"an integer cycle, got {item!r}",
+                "MalformedInputError")
+        events.append((anchor, cycle))
+    return events
+
+
+def _watchdog_config(payload: Mapping[str, Any], config_cls: type,
+                     policy_cls: type) -> Optional[Any]:
+    """The optional ``"watchdog"`` object: bounds, policy and re-arm
+    knobs for the execute endpoint's :class:`WatchdogConfig`."""
+    value = payload.get("watchdog")
+    if value is None:
+        return None
+    if not isinstance(value, dict):
+        raise ServiceError(
+            400, f"\"watchdog\" must be an object, got "
+                 f"{type(value).__name__}", "MalformedInputError")
+    known = {"bounds", "default", "policy", "max_rearms", "backoff",
+             "fallback_budget"}
+    unknown = sorted(set(value) - known)
+    if unknown:
+        raise ServiceError(
+            400, f"unknown watchdog field(s) {unknown} (expected a "
+                 f"subset of {sorted(known)})", "MalformedInputError")
+    kwargs = dict(value)
+    policy = kwargs.get("policy")
+    if policy is not None:
+        try:
+            kwargs["policy"] = policy_cls(policy)
+        except ValueError:
+            raise ServiceError(
+                400, f"unknown watchdog policy {policy!r}",
+                "MalformedInputError") from None
+    bounds = kwargs.get("bounds", {})
+    if not isinstance(bounds, dict) \
+            or not all(isinstance(k, str) for k in bounds):
+        raise ServiceError(
+            400, f"watchdog \"bounds\" must map anchor names to integer "
+                 f"windows, got {bounds!r}", "MalformedInputError")
+    try:
+        return config_cls(**kwargs)
+    except (TypeError, ValueError) as error:
+        raise ServiceError(400, f"invalid watchdog config: {error}",
+                           "MalformedInputError") from None

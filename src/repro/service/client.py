@@ -7,6 +7,14 @@ server keeps connections alive), so per-request overhead in the
 benchmark measures the service, not TCP handshakes.  The client is
 **not** thread-safe -- give each thread its own instance, which is
 exactly what the concurrency tests do.
+
+Load shedding: a saturated server answers 503 with a ``Retry-After``
+hint.  By default the client surfaces that 503 to the caller (the
+benchmark and the concurrency tests want to *see* shed load).  Pass
+``retries=N`` to opt in to bounded retry: the client sleeps for the
+server's ``Retry-After`` (capped at ``retry_cap_s``), falls back to
+doubling backoff when the hint is missing or unparsable, and re-sends
+at most N times before returning the final 503.
 """
 
 from __future__ import annotations
@@ -14,20 +22,39 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import time
 from typing import Any, Dict, Optional, Tuple
 
 
 class ServiceClient:
-    """One persistent connection to a running scheduling service."""
+    """One persistent connection to a running scheduling service.
+
+    Args:
+        retries: how many times to re-send a request answered 503
+            (pool saturated) before giving up.  0 -- the default --
+            never retries; shed load is returned to the caller.
+        retry_cap_s: upper bound on any single retry sleep, whether it
+            came from ``Retry-After`` or from the backoff fallback.
+    """
+
+    #: Backoff fallback when a 503 carries no usable ``Retry-After``:
+    #: ``_BACKOFF_BASE_S * 2**attempt``, capped at ``retry_cap_s``.
+    _BACKOFF_BASE_S = 0.05
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8080, *,
                  timeout: float = 30.0,
-                 tenant: Optional[str] = None) -> None:
+                 tenant: Optional[str] = None,
+                 retries: int = 0,
+                 retry_cap_s: float = 2.0) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.tenant = tenant
+        self.retries = retries
+        self.retry_cap_s = retry_cap_s
+        self.retries_used = 0
         self._conn: Optional[http.client.HTTPConnection] = None
+        self._sleep = time.sleep  # injectable for tests
 
     def _connection(self) -> http.client.HTTPConnection:
         if self._conn is None:
@@ -41,17 +68,14 @@ class ServiceClient:
                                        socket.TCP_NODELAY, 1)
         return self._conn
 
-    def request(self, method: str, path: str,
-                payload: Optional[Any] = None) -> Tuple[int, Dict[str, Any]]:
-        """One round-trip; returns ``(status, decoded body)``.
+    def _round_trip(self, method: str, path: str, body: Optional[str],
+                    headers: Dict[str, str]
+                    ) -> Tuple[int, Optional[str], Dict[str, Any]]:
+        """One HTTP exchange -> (status, retry-after header, body).
 
         Retries once on a stale keep-alive connection (the server may
         have closed it between requests), never on fresh failures.
         """
-        body = None if payload is None else json.dumps(payload)
-        headers = {"Content-Type": "application/json"}
-        if self.tenant is not None:
-            headers["X-Tenant"] = self.tenant
         for attempt in (0, 1):
             conn = self._connection()
             try:
@@ -63,7 +87,39 @@ class ServiceClient:
                 self.close()
                 if attempt:
                     raise
-        return response.status, json.loads(raw.decode("utf-8"))
+        return (response.status, response.getheader("Retry-After"),
+                json.loads(raw.decode("utf-8")))
+
+    def _retry_delay(self, retry_after: Optional[str], attempt: int) -> float:
+        try:
+            delay = float(retry_after)  # type: ignore[arg-type]
+            if delay < 0:
+                raise ValueError
+        except (TypeError, ValueError):
+            delay = self._BACKOFF_BASE_S * (2 ** attempt)
+        return min(delay, self.retry_cap_s)
+
+    def request(self, method: str, path: str,
+                payload: Optional[Any] = None) -> Tuple[int, Dict[str, Any]]:
+        """One round-trip; returns ``(status, decoded body)``.
+
+        With ``retries > 0``, a 503 is retried after honoring the
+        server's ``Retry-After`` hint (capped), at most ``retries``
+        times; the last response is returned either way.
+        """
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json"}
+        if self.tenant is not None:
+            headers["X-Tenant"] = self.tenant
+        attempt = 0
+        while True:
+            status, retry_after, decoded = self._round_trip(
+                method, path, body, headers)
+            if status != 503 or attempt >= self.retries:
+                return status, decoded
+            self._sleep(self._retry_delay(retry_after, attempt))
+            attempt += 1
+            self.retries_used += 1
 
     # -- endpoint conveniences ----------------------------------------
 
@@ -76,6 +132,12 @@ class ServiceClient:
                       **options: Any) -> Tuple[int, Dict[str, Any]]:
         return self.request("POST", "/schedule_many",
                             {"graphs": graph_dicts, **options})
+
+    def execute(self, graph_dict: Dict[str, Any], events: Any,
+                **options: Any) -> Tuple[int, Dict[str, Any]]:
+        return self.request("POST", "/execute",
+                            {"graph": graph_dict, "events": events,
+                             **options})
 
     def lint(self, graph_dict: Dict[str, Any],
              **options: Any) -> Tuple[int, Dict[str, Any]]:

@@ -185,13 +185,13 @@ def simulate_control(unit: ControlUnit, schedule: RelativeSchedule,
                 continue
             base = watchdog.bound_for(anchor)
             spent = rearms.get(anchor, 0)
-            window = base * watchdog.backoff ** spent if spent else base
+            window = watchdog.rearm_window(base, spent)
             timeouts.append(WatchdogTimeout(anchor, cycle, window, spent))
             trace.record(cycle, f"wdt_{anchor}", 1)
             if (watchdog.policy is WatchdogPolicy.RETRY
                     and spent < watchdog.max_rearms):
                 rearms[anchor] = spent + 1
-                next_window = base * watchdog.backoff ** (spent + 1)
+                next_window = watchdog.rearm_window(base, spent + 1)
                 deadlines[anchor] = cycle + max(1, next_window)
                 continue
             if watchdog.policy is WatchdogPolicy.FALLBACK:

@@ -165,7 +165,7 @@ def execute_design(result: HierarchicalSchedule,
             if (watchdog.policy is WatchdogPolicy.RETRY
                     and spent < watchdog.max_rearms):
                 spent += 1
-                window = bound * watchdog.backoff ** spent
+                window = watchdog.rearm_window(bound, spent)
                 deadline += max(1, window)
                 continue
             if watchdog.policy is WatchdogPolicy.FALLBACK:

@@ -1,0 +1,1 @@
+"""Tests for the online dynamic executor (:mod:`repro.runtime`)."""

@@ -1,0 +1,104 @@
+"""`ScheduleCache` lifecycle under the online executor (satellite 4).
+
+:meth:`OnlineExecutor.from_graph` routes the static solve through
+:func:`repro.core.batch.schedule_many` when handed a cache, so a warm
+cache file skips the solve entirely; :meth:`close_cache` flushes any
+entries staged on the shared cache by the time the stream ends.  A torn
+tail in the shared file (crashed writer, full disk) must degrade to a
+miss -- never a crash, never a wrong schedule.
+"""
+
+from repro.core.anchors import AnchorMode
+from repro.core.delay import UNBOUNDED
+from repro.core.graph import ConstraintGraph
+from repro.core.resultcache import ScheduleCache
+from repro.core.scheduler import schedule_graph
+from repro.runtime import CompletionEvent, OnlineExecutor
+
+
+def chain_graph():
+    graph = ConstraintGraph()
+    for name, delay in [("load", 1), ("io", UNBOUNDED), ("mul", 2),
+                        ("store", 1)]:
+        graph.add_operation(name, delay)
+    graph.add_sequencing_edges([("load", "io"), ("io", "mul"),
+                                ("mul", "store")])
+    graph.make_polar()
+    return graph
+
+
+def io_start(graph):
+    return schedule_graph(graph, anchor_mode=AnchorMode.FULL) \
+        .start_times({})["io"]
+
+
+class TestWarmCacheLifecycle:
+    def test_from_graph_persists_and_rehydrates(self, tmp_path):
+        path = tmp_path / "schedules.jsonl"
+        graph = chain_graph()
+        events = [CompletionEvent("io", io_start(graph) + 3)]
+
+        cold = ScheduleCache(path)
+        first = OnlineExecutor.from_graph(graph, cache=cold)
+        cold_log = first.run(events)
+        first.close_cache()
+        assert cold.misses >= 1
+        assert path.exists() and path.read_text().strip()
+
+        warm = ScheduleCache(path)
+        assert warm.rejected_lines == 0
+        second = OnlineExecutor.from_graph(chain_graph(), cache=warm)
+        assert warm.hits >= 1
+        warm_log = second.run(events)
+        second.close_cache()
+        assert warm_log.issues == cold_log.issues
+        assert warm_log.done == cold_log.done
+
+    def test_close_cache_flushes_entries_staged_mid_stream(self, tmp_path):
+        path = tmp_path / "schedules.jsonl"
+        cache = ScheduleCache(path)
+        graph = chain_graph()
+        executor = OnlineExecutor.from_graph(graph, cache=cache)
+        baseline = path.stat().st_size
+
+        # Mid-stream, a peer worker sharing this cache stages an entry;
+        # nothing reaches the shared file until a flush.
+        executor.feed(CompletionEvent("io", io_start(graph) + 2))
+        cache.put("ab" * 32, 1, [0], [[0]], 1)
+        assert path.stat().st_size == baseline
+
+        log = executor.close_cache()
+        assert log.complete
+        assert path.stat().st_size > baseline
+        assert '"ab' + "ab" * 31 + '"' in path.read_text()
+
+    def test_torn_tail_degrades_to_miss(self, tmp_path):
+        path = tmp_path / "schedules.jsonl"
+        graph = chain_graph()
+        seed = OnlineExecutor.from_graph(graph, cache=ScheduleCache(path))
+        expected = seed.schedule
+        seed.close_cache()
+
+        # A crashed writer leaves a torn final line (no newline, half
+        # the payload gone).
+        text = path.read_text()
+        line = text.splitlines()[0]
+        path.write_text(line[:len(line) // 2])
+
+        torn = ScheduleCache(path)
+        assert torn.rejected_lines == 1
+        assert len(torn) == 0  # the tear is indistinguishable from a miss
+
+        executor = OnlineExecutor.from_graph(chain_graph(), cache=torn)
+        assert torn.misses >= 1  # fresh solve, not a wrong hit
+        assert executor.schedule.offsets == expected.offsets
+        log = executor.run([CompletionEvent("io", io_start(graph) + 1)])
+        assert log.complete
+        executor.close_cache()  # flushing over the torn tail must not raise
+
+    def test_without_cache_from_graph_still_executes(self):
+        graph = chain_graph()
+        executor = OnlineExecutor.from_graph(graph)
+        log = executor.run([CompletionEvent("io", io_start(graph) + 4)])
+        assert log.complete
+        assert executor.close_cache() is log  # no cache: plain close

@@ -1,0 +1,105 @@
+"""Validation boundaries of :class:`repro.core.watchdog.WatchdogConfig`.
+
+The RETRY re-arm allowance ``W * (1 + backoff + ... + backoff**k)``
+grows geometrically; configs whose total allowance would pass the
+2**53 wire cap are rejected at construction (not discovered after the
+simulators spin through an astronomically wide window).  These tests
+pin the exact boundary and the rejection of malformed knobs.
+"""
+
+import pytest
+
+from repro.core.exceptions import GraphStructureError
+from repro.core.watchdog import (
+    MAX_TOTAL_ALLOWANCE,
+    WatchdogConfig,
+    WatchdogPolicy,
+    validate_watchdog_bounds,
+)
+
+
+class TestRetryAllowanceCap:
+    def test_allowance_exactly_at_the_cap_is_accepted(self):
+        # backoff=1: allowance = W * (1 + max_rearms), closed form.
+        config = WatchdogConfig(bounds={"io": MAX_TOTAL_ALLOWANCE},
+                                policy=WatchdogPolicy.RETRY,
+                                max_rearms=0, backoff=1)
+        assert config.total_allowance("io") == MAX_TOTAL_ALLOWANCE
+
+    def test_allowance_one_doubling_past_the_cap_is_rejected(self):
+        with pytest.raises(GraphStructureError, match="2\\*\\*53"):
+            WatchdogConfig(bounds={"io": MAX_TOTAL_ALLOWANCE},
+                           policy=WatchdogPolicy.RETRY,
+                           max_rearms=1, backoff=1)
+
+    def test_geometric_boundary_with_backoff_two(self):
+        # W=1, backoff=2, k re-arms: allowance = 2**(k+1) - 1.
+        ok = WatchdogConfig(bounds={"io": 1}, policy=WatchdogPolicy.RETRY,
+                            max_rearms=52, backoff=2)
+        assert ok.total_allowance("io") == 2 ** 53 - 1
+        with pytest.raises(GraphStructureError):
+            WatchdogConfig(bounds={"io": 1}, policy=WatchdogPolicy.RETRY,
+                           max_rearms=53, backoff=2)
+
+    def test_huge_max_rearms_is_rejected_without_spinning(self):
+        # Validation breaks out as soon as the running total passes the
+        # cap: a billion re-arms must fail fast, not iterate a billion
+        # windows.
+        with pytest.raises(GraphStructureError):
+            WatchdogConfig(bounds={"io": 1}, policy=WatchdogPolicy.RETRY,
+                           max_rearms=10 ** 9, backoff=2)
+
+    def test_constant_windows_use_the_closed_form(self):
+        # backoff=1 has no geometric growth; a huge-but-bounded re-arm
+        # count validates instantly through the closed form.
+        config = WatchdogConfig(bounds={"io": 10},
+                                policy=WatchdogPolicy.RETRY,
+                                max_rearms=10 ** 6, backoff=1)
+        assert config.total_allowance("io") == 10 * (1 + 10 ** 6)
+
+    def test_default_bound_participates_in_the_worst_case(self):
+        with pytest.raises(GraphStructureError):
+            WatchdogConfig(default=MAX_TOTAL_ALLOWANCE,
+                           policy=WatchdogPolicy.RETRY,
+                           max_rearms=1, backoff=2)
+
+    def test_cap_only_applies_to_retry(self):
+        # ABORT and FALLBACK fire once; a huge bound is a policy choice,
+        # not an unbounded re-arm schedule.
+        for policy in (WatchdogPolicy.ABORT, WatchdogPolicy.FALLBACK):
+            config = WatchdogConfig(bounds={"io": 2 ** 60}, policy=policy)
+            assert config.total_allowance("io") == 2 ** 60
+
+
+class TestMalformedKnobs:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_rearms": -1},
+        {"max_rearms": True},
+        {"max_rearms": 1.5},
+        {"backoff": 0},
+        {"backoff": -2},
+        {"backoff": True},
+        {"bounds": {"io": -1}},
+        {"bounds": {"io": False}},
+        {"default": -2},
+        {"fallback_budget": -1},
+    ])
+    def test_rejected_at_construction(self, kwargs):
+        with pytest.raises(GraphStructureError):
+            WatchdogConfig(**kwargs)
+
+    def test_rearm_window_formula(self):
+        config = WatchdogConfig(bounds={"io": 3},
+                                policy=WatchdogPolicy.RETRY,
+                                max_rearms=3, backoff=2)
+        assert [config.rearm_window(3, k) for k in range(4)] \
+            == [3, 6, 12, 24]
+
+    def test_bounds_must_name_graph_anchors(self):
+        with pytest.raises(GraphStructureError, match="not an anchor"):
+            validate_watchdog_bounds({"ghost": 2}, {"v0", "io"}, "v0")
+
+    def test_valid_bounds_round_trip(self):
+        assert validate_watchdog_bounds({"io": 2, "v0": 1},
+                                        {"v0", "io"}, "v0") \
+            == {"io": 2, "v0": 1}
