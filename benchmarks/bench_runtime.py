@@ -18,6 +18,12 @@ evaluated at a seeded delay profile), so the events/sec ratio is
 self-relative and meaningful on any machine; ``perf_guard`` gates it
 (``runtime_events_per_sec``: warm must beat scratch by ``--floor``).
 
+The second workload prices durability: the same streams through the
+service's session path (``POST /sessions`` + one ``/events`` batch per
+completion) with no journal, a journal under ``fsync "never"``, and a
+journal under ``fsync "always"`` -- the per-event overhead of the
+write-ahead append is what ``perf_guard`` gates (``journal_overhead``).
+
 Usage::
 
     python benchmarks/bench_runtime.py            # writes BENCH_runtime.json
@@ -29,6 +35,7 @@ import json
 import platform
 import random
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -47,6 +54,12 @@ from repro.runtime import CompletionEvent, OnlineExecutor  # noqa: E402
 #: that every case produces a meaningful event stream.
 FULL = {"n_graphs": 40, "n_lo": 40, "n_hi": 120, "passes": 3}
 QUICK = {"n_graphs": 10, "n_lo": 48, "n_hi": 100, "passes": 2}
+
+#: Session-workload recipe: smaller graphs (the per-event reschedule
+#: should not drown the journal append being measured) but one
+#: dispatched request per completion event.
+SESSION_FULL = {"n_graphs": 12, "n_lo": 24, "n_hi": 64, "passes": 3}
+SESSION_QUICK = {"n_graphs": 6, "n_lo": 24, "n_hi": 48, "passes": 2}
 
 
 def make_stream_corpus(n_graphs, n_lo, n_hi, seed=1990):
@@ -161,6 +174,78 @@ def bench_runtime(quick=False):
     }
 
 
+def run_session_pass(cases, journal_dir, fsync):
+    """One pass of every stream through the session endpoints; returns
+    (seconds spent posting events, events acknowledged).
+
+    Session creation (scheduling, identical across modes) happens
+    outside the timed region: what differs between the modes is the
+    per-event path -- validate, journal append (or not), apply, ack.
+    """
+    from repro.qa.serialize import graph_to_dict
+    from repro.service.app import SchedulingService, ServiceConfig
+
+    service = SchedulingService(ServiceConfig(
+        journal_dir=journal_dir, journal_fsync=fsync, batching=False))
+    streams = []
+    for schedule, events in cases:
+        status, body = service.dispatch(
+            "POST", "/sessions", {"graph": graph_to_dict(schedule.graph)})
+        assert status == 200, body
+        streams.append((body["session"], events))
+
+    acknowledged = 0
+    elapsed = 0.0
+    for sid, events in streams:
+        path = f"/sessions/{sid}/events"
+        t0 = time.perf_counter()
+        for seq, (anchor, cycle) in enumerate(events, start=1):
+            status, body = service.dispatch(
+                "POST", path, {"seq": seq, "events": [[anchor, cycle]]})
+            assert status == 200, body
+            acknowledged += 1
+        elapsed += time.perf_counter() - t0
+    return elapsed, acknowledged
+
+
+def bench_sessions(quick=False):
+    recipe = SESSION_QUICK if quick else SESSION_FULL
+    cases = make_stream_corpus(recipe["n_graphs"], recipe["n_lo"],
+                               recipe["n_hi"], seed=1991)
+
+    modes = {}
+    for mode, fsync in (("memory", None), ("journal_nosync", "never"),
+                        ("journal_fsync", "always")):
+        best_s, events = 0.0, 0
+        for _ in range(recipe["passes"]):
+            if fsync is None:
+                pass_s, pass_events = run_session_pass(cases, None, "never")
+            else:
+                with tempfile.TemporaryDirectory() as tmp:
+                    pass_s, pass_events = run_session_pass(cases, tmp,
+                                                           fsync)
+            if pass_s < best_s or best_s == 0.0:
+                best_s, events = pass_s, pass_events
+        modes[mode] = {
+            "events": events,
+            "seconds": round(best_s, 4),
+            "events_per_sec": round(events / max(best_s, 1e-9), 1),
+            "per_event_us": round(best_s / max(events, 1) * 1e6, 2),
+        }
+
+    memory_us = max(modes["memory"]["per_event_us"], 1e-9)
+    return {
+        "name": "journaled-sessions",
+        "graphs": len(cases),
+        "events_per_pass": sum(len(events) for _, events in cases),
+        **modes,
+        "nosync_overhead": round(
+            modes["journal_nosync"]["per_event_us"] / memory_us, 3),
+        "fsync_overhead": round(
+            modes["journal_fsync"]["per_event_us"] / memory_us, 3),
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -171,6 +256,7 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     entry = bench_runtime(args.quick)
+    sessions = bench_sessions(args.quick)
     report = {
         "meta": {
             "schema": 1,
@@ -178,7 +264,7 @@ def main(argv=None):
             "platform": platform.platform(),
             "quick": args.quick,
         },
-        "workloads": [entry],
+        "workloads": [entry, sessions],
     }
     print(f"runtime bench: {entry['graphs']} graphs, "
           f"{entry['events_per_pass']} events/pass")
@@ -187,6 +273,14 @@ def main(argv=None):
     print(f"  scratch {entry['scratch']['events_per_sec']:>10} events/s "
           f"({entry['scratch']['seconds']} s)")
     print(f"  warm speedup {entry['warm_speedup']}x")
+    print(f"session bench: {sessions['graphs']} sessions, "
+          f"{sessions['events_per_pass']} events/pass")
+    for mode in ("memory", "journal_nosync", "journal_fsync"):
+        stats = sessions[mode]
+        print(f"  {mode:<15} {stats['events_per_sec']:>10} events/s "
+              f"({stats['per_event_us']} us/event)")
+    print(f"  journal overhead: {sessions['nosync_overhead']}x fsync-off, "
+          f"{sessions['fsync_overhead']}x fsync-on")
 
     output = args.output or REPO_ROOT / "BENCH_runtime.json"
     output.write_text(json.dumps(report, indent=2) + "\n")

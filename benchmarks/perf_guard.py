@@ -41,6 +41,13 @@ naive per-event from-scratch solver, plus the one-warm-reschedule-per-
 event cost-model invariant.  ``BENCH_runtime.json`` tracks the full
 corpus numbers.
 
+The write-ahead session journal (:mod:`repro.runtime.journal`) is gated
+on its per-event tax (``journal_overhead``): identical streams through
+the session endpoints with the journal off versus on (fsync "never")
+must keep the journaled per-event cost within ``--journal-factor``
+(default 1.5x) of the in-memory cost.  The fsync "always" cost is
+reported but not gated -- it prices the disk, not the code.
+
 The HTTP service (:mod:`repro.service`) is gated on its per-request
 overhead (``service_throughput``): a live server's warm-cache
 ``/schedule`` p50, measured by a serial client, must stay within
@@ -249,6 +256,31 @@ def guard_runtime(floor):
     return entry
 
 
+def guard_journal(factor):
+    """The write-ahead journal must not tax the session event path.
+
+    Runs the quick :mod:`benchmarks.bench_runtime` session corpus --
+    identical streams through the session endpoints with no journal
+    directory and with an fsync-"never" journal -- and gates the
+    journaled per-event cost at *factor* times the in-memory cost.
+    Self-relative (both modes run here), so it holds on CI runners.
+    The fsync-"always" number rides along for the report.
+    """
+    from bench_runtime import bench_sessions
+
+    entry = bench_sessions(quick=True)
+    entry["checks"] = [{
+        "check": "journal_overhead",
+        "ok": entry["nosync_overhead"] <= factor,
+        "measured_overhead": entry["nosync_overhead"],
+        "memory_us_per_event": entry["memory"]["per_event_us"],
+        "journal_us_per_event": entry["journal_nosync"]["per_event_us"],
+        "fsync_overhead": entry["fsync_overhead"],
+        "factor": factor,
+    }]
+    return entry
+
+
 def guard_service(factor):
     """The HTTP service tax per request must stay bounded.
 
@@ -358,6 +390,10 @@ def main(argv=None):
                         help="minimum online-executor events/sec speedup "
                         "over per-event from-scratch solving on the "
                         "quick stream corpus (default 1.3)")
+    parser.add_argument("--journal-factor", type=float, default=1.5,
+                        help="fsync-off journaled sessions must keep the "
+                        "per-event cost within this factor of in-memory "
+                        "sessions (default 1.5)")
     parser.add_argument("--baseline", type=Path,
                         default=REPO_ROOT / "BENCH_core.json")
     parser.add_argument("--output", type=Path, default=None,
@@ -379,6 +415,7 @@ def main(argv=None):
                  for n in sizes]
     workloads.append(guard_batch(max(2, reps // 2), args.batch_floor))
     workloads.append(guard_runtime(args.runtime_floor))
+    workloads.append(guard_journal(args.journal_factor))
     workloads.append(guard_service(args.service_factor))
 
     failed = []

@@ -670,7 +670,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batch_window_ms=args.batch_window_ms,
         cache_path=args.cache,
         default_budget=_parse_budget(getattr(args, "budget", None)),
-        tenant_budgets=tenant_budgets)
+        tenant_budgets=tenant_budgets,
+        journal_dir=args.journal_dir,
+        session_cap=args.session_cap,
+        session_ttl_s=args.session_ttl,
+        journal_fsync=args.journal_fsync)
     logging.basicConfig(level=logging.INFO,
                         format="%(asctime)s %(name)s %(message)s")
     serve(config)
@@ -929,6 +933,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-tenant budget override, e.g. "
                           "ci=vertices=500,edges=4000 (repeatable; "
                           "selected by the X-Tenant header)")
+    srv.add_argument("--journal-dir", metavar="DIR",
+                     help="write-ahead journals for /sessions streams; "
+                          "startup replays every unsealed journal so "
+                          "crashed sessions resume bit-identically")
+    srv.add_argument("--session-cap", type=int, default=256,
+                     help="most sessions resident in memory; LRU beyond "
+                          "it are evicted to their journals (default 256)")
+    srv.add_argument("--session-ttl", type=float, default=3600.0,
+                     help="idle seconds before a session is evicted "
+                          "(default 3600)")
+    srv.add_argument("--journal-fsync", choices=["always", "never"],
+                     default="always",
+                     help="fsync each journal append (always, the "
+                          "durable default) or leave it to the page "
+                          "cache (never; drain still fsyncs)")
     srv.set_defaults(handler=cmd_serve)
 
     return parser

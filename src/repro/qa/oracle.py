@@ -59,7 +59,15 @@ catalogue covers:
   commits an operation start later than the static relative schedule's
   start under the observed delays, the complete stream reproduces the
   static starts exactly, and the whole log matches a cycle-accurate
-  control simulation of the same profile (see :mod:`repro.runtime`).
+  control simulation of the same profile (see :mod:`repro.runtime`);
+* ``crash_recovery`` -- the sampled stream is journaled through the
+  write-ahead :mod:`repro.runtime.journal` path and the journal is
+  killed at **every** record boundary (plus torn offsets inside
+  records): recovery by replay must be bit-identical to the
+  uninterrupted run at that boundary -- issues, done cycles, watchdog
+  arming and order, stream clock -- and a torn final line must recover
+  exactly the run without that event (the durability contract behind
+  the service's ``/sessions`` streams).
 """
 
 from __future__ import annotations
@@ -694,6 +702,81 @@ def check_anomaly_freedom(graph: ConstraintGraph,
     return None
 
 
+def check_crash_recovery(graph: ConstraintGraph,
+                         rng: random.Random) -> Optional[str]:
+    """Kill-at-every-event-boundary durability of the event journal.
+
+    The same event stream ``anomaly_freedom`` derives is written
+    through the real write-ahead journal path (one record per event,
+    sometimes under a sampled watchdog config, mirroring the service's
+    journal-then-apply ordering).  The journal is then truncated at
+    every record boundary and at sampled byte offsets *inside* records,
+    and recovered through the real replay path.  Every recovery must be
+    bit-identical to the uninterrupted executor at that boundary --
+    :meth:`~repro.runtime.executor.OnlineExecutor.state_snapshot`
+    equality covers issue cycles, done cycles, armed watchdogs and
+    their arming order, and the stream clock -- and a torn final line
+    must equal the run without that event.  On a complete, undegraded
+    run the recovered issue cycles must also equal the static
+    schedule's ``start_times(observed)`` (the anomaly-freedom bridge:
+    recovery preserves not just state but optimality).
+    """
+    import os
+    import tempfile
+
+    from repro.core.watchdog import WatchdogPolicy
+    from repro.qa.serialize import graph_to_dict
+    from repro.resilience.recovery import journal_stream, verify_crash_points
+
+    schedule = _schedulable(graph)
+    if schedule is None:
+        return None
+    base = schedule.graph
+    anchors = [a for a in base.anchors if a != base.source]
+    profile = {a: rng.randint(0, 12) for a in anchors}
+    static = schedule.start_times(profile)
+    order = {name: position for position, name
+             in enumerate(base.forward_topological_order())}
+    events = [(a, cycle) for cycle, _, a in sorted(
+        (static[a] + profile[a], order[a], a) for a in anchors)]
+
+    watchdog = None
+    if anchors and rng.random() < 0.5:
+        # Half the cases run monitored, so recovery is also exercised
+        # across timeout firings, re-arms, aborts and degradations.
+        policy = rng.choice(list(WatchdogPolicy))
+        watchdog = {
+            "bounds": {a: rng.randint(1, 15)
+                       for a in sorted(rng.sample(
+                           anchors, rng.randint(1, len(anchors))))},
+            "policy": policy.value,
+        }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "case.journal")
+        snapshots = journal_stream(path, graph_to_dict(base), events,
+                                   mode="full", watchdog=watchdog)
+        report = verify_crash_points(path, snapshots, rng=rng,
+                                     torn_per_record=2)
+    if not report.identical:
+        return (f"{len(report.divergences)} recovery divergence(s) over "
+                f"{report.boundary_checks} boundary + {report.torn_checks} "
+                f"torn kill points (watchdog {watchdog}, profile "
+                f"{profile}): {'; '.join(report.divergences[:3])}")
+
+    final = snapshots[-1]
+    if not final["pending"] and not final["degraded"] \
+            and not final["closed"]:
+        want = schedule.start_times(final["observed"])
+        for op, start in want.items():
+            if final["issues"].get(op) != start:
+                return (f"journaled run's final start of {op!r}: "
+                        f"{final['issues'].get(op)} != static "
+                        f"start_times(observed) {start} "
+                        f"(profile {profile}, watchdog {watchdog})")
+    return None
+
+
 #: The catalogue, in execution order.
 ORACLE_CHECKS: Dict[str, Callable[[ConstraintGraph, random.Random], Optional[str]]] = {
     "wellposed_verdict": check_wellposed_verdict,
@@ -709,6 +792,7 @@ ORACLE_CHECKS: Dict[str, Callable[[ConstraintGraph, random.Random], Optional[str
     "lint_consistency": check_lint_consistency,
     "batch_consistency": check_batch_consistency,
     "anomaly_freedom": check_anomaly_freedom,
+    "crash_recovery": check_crash_recovery,
 }
 
 

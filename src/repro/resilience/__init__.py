@@ -17,7 +17,13 @@ graph is well-formed.  This package drops those assumptions:
   and a strict validating loader for untrusted graph JSON;
 * :mod:`repro.resilience.chaos` -- the seeded campaign driver
   (``python -m repro.resilience.chaos``) that runs fault-injection
-  cases at scale and fails on any silent divergence.
+  cases at scale and fails on any silent divergence;
+* :mod:`repro.resilience.recovery` -- the crash-recovery harness:
+  journal a stream through the real write-ahead path, kill the journal
+  at every record boundary (and inside records), replay, and demand
+  bit-identical executor state (shared by the qa oracle's
+  ``crash_recovery`` check and ``python -m repro.runtime.chaos
+  --crash``).
 
 Watchdog bounds and policies themselves live in
 :mod:`repro.core.watchdog` so the simulators can honor them without
@@ -43,6 +49,13 @@ from repro.resilience.guard import (
     guarded_schedule,
     load_untrusted_graph,
 )
+from repro.resilience.recovery import (
+    CrashReport,
+    compare_snapshots,
+    journal_stream,
+    record_boundaries,
+    verify_crash_points,
+)
 
 # NOTE: repro.resilience.chaos is deliberately not imported here -- it
 # is a runnable module (``python -m repro.resilience.chaos``), and
@@ -63,4 +76,9 @@ __all__ = [
     "RunBudget",
     "guarded_schedule",
     "load_untrusted_graph",
+    "CrashReport",
+    "compare_snapshots",
+    "journal_stream",
+    "record_boundaries",
+    "verify_crash_points",
 ]

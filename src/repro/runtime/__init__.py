@@ -27,18 +27,36 @@ from repro.runtime.driver import (
 )
 from repro.runtime.events import CompletionEvent, ExecutionLog, IssueRecord
 from repro.runtime.executor import OnlineExecutor, execute_stream
+from repro.runtime.journal import (
+    BatchOutcome,
+    JournalState,
+    SessionJournal,
+    apply_batch,
+    read_journal,
+    replay_journal,
+    scan_journal_dir,
+    validate_batch,
+)
 from repro.runtime.profiles import PROFILE_FAMILIES, sample_profile
 
 __all__ = [
+    "BatchOutcome",
     "CompletionEvent",
     "ExecutionLog",
     "IssueRecord",
+    "JournalState",
     "OnlineExecutor",
     "PROFILE_FAMILIES",
     "RuntimeReplay",
+    "SessionJournal",
+    "apply_batch",
     "drive",
     "events_from_result",
     "execute_stream",
+    "read_journal",
     "replay_faults",
+    "replay_journal",
     "sample_profile",
+    "scan_journal_dir",
+    "validate_batch",
 ]

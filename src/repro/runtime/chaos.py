@@ -15,6 +15,13 @@ Run from the command line (the CI ``runtime-smoke`` job)::
 
     python -m repro.runtime.chaos --seed 0 --events 200
 
+``--crash`` swaps the differential for crash injection: each case's
+event stream is written through the write-ahead journal, the journal is
+killed at every record boundary (the fsync points) and at seeded byte
+offsets inside records, and every recovery is replayed and compared
+bit-for-bit against the uninterrupted executor (see
+:mod:`repro.resilience.recovery`).
+
 Exit status 1 means at least one silent anomaly -- a runtime bug.
 """
 
@@ -141,6 +148,99 @@ def run_campaign(start_seed: int, cases: int = 0, events: int = 0,
     return stats
 
 
+@dataclass
+class CrashCampaignStats:
+    """Aggregate outcome of a crash-injection campaign."""
+
+    cases: int = 0
+    unschedulable: int = 0
+    events: int = 0
+    boundary_kills: int = 0
+    torn_kills: int = 0
+    divergences: List[str] = field(default_factory=list)
+
+    @property
+    def silent(self) -> int:
+        return len(self.divergences)
+
+    def summary(self) -> str:
+        lines = [
+            f"crash-injection campaign: {self.cases} cases "
+            f"({self.unschedulable} unschedulable), "
+            f"{self.events} journaled events",
+            f"  kill points: {self.boundary_kills} boundary, "
+            f"{self.torn_kills} torn",
+            f"  silent divergences: {self.silent}",
+        ]
+        for divergence in self.divergences[:10]:
+            lines.append(f"  DIVERGENCE {divergence}")
+        if len(self.divergences) > 10:
+            lines.append(f"  ... and {len(self.divergences) - 10} more")
+        return "\n".join(lines)
+
+
+def run_crash_case(seed: int,
+                   policy: Optional[WatchdogPolicy] = None):
+    """Journal the deterministic case for *seed*, kill it at every
+    record boundary plus seeded torn offsets, and verify bit-identical
+    recovery.  Returns the :class:`~repro.resilience.recovery.
+    CrashReport`, or None when the seed's graph is unschedulable."""
+    import os
+    import tempfile
+
+    from repro.qa.serialize import graph_to_dict
+    from repro.resilience.recovery import journal_stream, verify_crash_points
+    from repro.runtime.journal import watchdog_to_dict
+
+    case = generate_chaos_case(seed, policy)
+    rng = random.Random(seed ^ zlib.crc32(b"crash"))
+    family = choose_family(rng)
+    try:
+        graph = generate_case(seed).graph
+        schedule = guarded_schedule(graph, _CASE_BUDGET)
+    except ConstraintGraphError:
+        return None
+    if schedule is None:
+        return None
+    base = schedule.graph
+    anchors = [a for a in base.anchors if a != base.source]
+    profile = sample_profile(family, rng, anchors, case.watchdog.budget())
+    static = schedule.start_times(profile)
+    order = {name: position for position, name
+             in enumerate(base.forward_topological_order())}
+    events = [(a, cycle) for cycle, _, a in sorted(
+        (static[a] + profile[a], order[a], a) for a in anchors)]
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "case.journal")
+        snapshots = journal_stream(
+            path, graph_to_dict(base), events, mode="full",
+            watchdog=watchdog_to_dict(case.watchdog))
+        report = verify_crash_points(path, snapshots, rng=rng,
+                                     torn_per_record=1)
+    report.events = len(snapshots) - 1  # type: ignore[attr-defined]
+    return report
+
+
+def run_crash_campaign(start_seed: int, cases: int = 100,
+                       policy: Optional[WatchdogPolicy] = None
+                       ) -> CrashCampaignStats:
+    """Crash-inject seeds ``start_seed .. start_seed + cases - 1``."""
+    stats = CrashCampaignStats()
+    for seed in range(start_seed, start_seed + min(cases,
+                                                   MAX_CAMPAIGN_CASES)):
+        report = run_crash_case(seed, policy)
+        stats.cases += 1
+        if report is None:
+            stats.unschedulable += 1
+            continue
+        stats.events += getattr(report, "events", 0)
+        stats.boundary_kills += report.boundary_checks
+        stats.torn_kills += report.torn_checks
+        for divergence in report.divergences:
+            stats.divergences.append(f"seed {seed}: {divergence}")
+    return stats
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime.chaos",
@@ -153,10 +253,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="minimum completion events to stream")
     parser.add_argument("--policy", choices=[p.value for p in WatchdogPolicy],
                         default=None, help="pin every case's watchdog policy")
+    parser.add_argument("--crash", action="store_true",
+                        help="crash-injection mode: journal each case's "
+                             "stream, kill it at every fsync boundary, "
+                             "verify bit-identical recovery")
     args = parser.parse_args(argv)
     if args.cases <= 0 and args.events <= 0:
         args.cases = 100
     policy = WatchdogPolicy(args.policy) if args.policy else None
+    if args.crash:
+        crash_stats = run_crash_campaign(args.seed, cases=args.cases or 100,
+                                         policy=policy)
+        print(crash_stats.summary())
+        return 1 if crash_stats.divergences else 0
     stats = run_campaign(args.seed, cases=args.cases, events=args.events,
                          policy=policy)
     print(stats.summary())

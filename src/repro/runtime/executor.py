@@ -122,6 +122,39 @@ class OnlineExecutor:
                 for a in self.log.done
                 if a != self._source and a in self._anchors}
 
+    def state_snapshot(self) -> Dict[str, object]:
+        """The executor's complete observable state, as plain data.
+
+        Two executors that consumed the same event prefix must produce
+        equal snapshots -- the bit-identity contract the crash-recovery
+        oracle check and the chaos ``--crash`` mode compare on.  Covers
+        the execution log, the issue frontier, every armed watchdog
+        (deadline *and* arming order, so re-arm tie-breaks survive a
+        restart), and the stream clock.
+        """
+        return {
+            "issues": dict(self.log.issues),
+            "done": dict(self.log.done),
+            "issue_order": [(r.op, r.cycle) for r in self.log.issue_order],
+            "events": self.log.events,
+            "reschedules": self.log.reschedules,
+            "timeouts": [(t.anchor, t.cycle, t.bound, t.rearm)
+                         for t in self.log.timeouts],
+            "rearms": dict(self.log.rearms),
+            "duplicates": self.log.duplicates,
+            "spurious_rejections": self.log.spurious_rejections,
+            "degraded": self.log.degraded,
+            "cycles": self.log.cycles,
+            "pending": list(self._pending),
+            "deadlines": dict(self._deadlines),
+            "arm_order": sorted(self._deadlines,
+                                key=lambda a: self._arm_seq[a]),
+            "max_start": self._max_start,
+            "stream_clock": self._stream_clock,
+            "observed": self.observed,
+            "closed": self._closed,
+        }
+
     # -- the event loop ------------------------------------------------
 
     def feed(self, event: CompletionEvent, *, pulse: bool = False) -> None:

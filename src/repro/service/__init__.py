@@ -10,6 +10,9 @@ The service stack, bottom up:
   :func:`~repro.core.batch.schedule_many` arena sweep;
 * :mod:`repro.service.app` -- transport-agnostic dispatch: endpoints,
   budgets, the error contract;
+* :mod:`repro.service.sessions` -- the bounded table of durable
+  executor sessions (journaled ``/sessions`` streams with idempotent
+  replay and crash recovery);
 * :mod:`repro.service.server` -- the stdlib HTTP front
   (``ThreadingHTTPServer``) and :func:`serve`;
 * :mod:`repro.service.client` -- the JSON client the tests, smoke
@@ -33,6 +36,7 @@ from repro.service.pool import (
     WorkerPool,
 )
 from repro.service.server import ServiceServer, serve
+from repro.service.sessions import Session, SessionSealedError, SessionTable
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -45,6 +49,9 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceServer",
+    "Session",
+    "SessionSealedError",
+    "SessionTable",
     "WorkerPool",
     "serve",
 ]

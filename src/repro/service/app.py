@@ -55,6 +55,11 @@ from repro.resilience.guard import (
     untrusted_graph_from_dict,
 )
 from repro.service.batcher import CoalescingBatcher
+from repro.service.sessions import (
+    SessionSealedError,
+    SessionTable,
+    outcome_response,
+)
 
 #: Service protocol version, stamped into /healthz and /stats.
 PROTOCOL_VERSION = 1
@@ -66,15 +71,28 @@ MAX_CHAOS_CASES = 500
 MAX_BATCH_GRAPHS = 10_000
 MAX_EXECUTE_EVENTS = 10_000
 
+#: Cumulative per-session event cap: a single live stream may feed at
+#: most this many completion events over its whole lifetime (each batch
+#: is additionally capped at :data:`MAX_EXECUTE_EVENTS`).
+MAX_SESSION_EVENTS = 100_000
+
 
 class ServiceError(Exception):
-    """A request-level failure with an HTTP status and a clean message."""
+    """A request-level failure with an HTTP status and a clean message.
+
+    *body* overrides the default ``{"error", "error_type"}`` response
+    body -- the session apply path uses it so a watchdog abort can
+    carry the batch's partial delta (and so an idempotent replay of a
+    non-200 acknowledgement reproduces the original body exactly).
+    """
 
     def __init__(self, status: int, message: str,
-                 error_type: str = "ServiceError") -> None:
+                 error_type: str = "ServiceError",
+                 body: Optional[Dict[str, Any]] = None) -> None:
         super().__init__(message)
         self.status = status
         self.error_type = error_type
+        self.body = body
 
 
 class ServiceConfig:
@@ -96,6 +114,15 @@ class ServiceConfig:
         tenant_budgets: per-tenant overrides keyed by ``X-Tenant``.
         max_body_bytes: request-body cap (HTTP 413 above it).
         request_timeout_s: how long a handler waits for its pool job.
+        journal_dir: directory for per-session write-ahead journals;
+            None -> sessions are in-memory only (not crash-recoverable).
+        session_cap: most sessions resident at once (LRU beyond it are
+            evicted; journaled ones stay lazily recoverable).
+        session_ttl_s: idle seconds before a session is evicted.
+        journal_fsync: ``"always"`` (durable per batch) or ``"never"``
+            (OS page cache; drain still fsyncs).
+        max_session_events: cumulative per-session event budget (429
+            beyond it).
     """
 
     def __init__(self, *, host: str = "127.0.0.1", port: int = 8080,
@@ -108,7 +135,12 @@ class ServiceConfig:
                  default_budget: Optional[RunBudget] = None,
                  tenant_budgets: Optional[Mapping[str, RunBudget]] = None,
                  max_body_bytes: int = 8 << 20,
-                 request_timeout_s: float = 60.0) -> None:
+                 request_timeout_s: float = 60.0,
+                 journal_dir: Optional[str] = None,
+                 session_cap: int = 256,
+                 session_ttl_s: float = 3600.0,
+                 journal_fsync: str = "always",
+                 max_session_events: int = MAX_SESSION_EVENTS) -> None:
         self.host = host
         self.port = port
         self.workers = workers
@@ -121,6 +153,11 @@ class ServiceConfig:
         self.tenant_budgets = dict(tenant_budgets or {})
         self.max_body_bytes = max_body_bytes
         self.request_timeout_s = request_timeout_s
+        self.journal_dir = journal_dir
+        self.session_cap = session_cap
+        self.session_ttl_s = session_ttl_s
+        self.journal_fsync = journal_fsync
+        self.max_session_events = max_session_events
 
     def budget_for(self, tenant: Optional[str]) -> Optional[RunBudget]:
         if tenant is not None and tenant in self.tenant_budgets:
@@ -183,6 +220,18 @@ class SchedulingService:
                               cache=self.cache)
             if self.config.batching else None)
         self.stats = ServiceStats()
+        self.sessions = SessionTable(
+            journal_dir=self.config.journal_dir,
+            cap=self.config.session_cap,
+            ttl_s=self.config.session_ttl_s,
+            fsync=self.config.journal_fsync,
+            budget=self.config.default_budget)
+        #: Set by the SIGTERM drain path: session admission and event
+        #: appends answer 503 + Retry-After while the server winds down.
+        self.draining = threading.Event()
+        #: Sessions resumed from journals at startup (crash recovery).
+        self.recovered_sessions = (self.sessions.recover_all()
+                                   if self.config.journal_dir else 0)
         self._routes: Dict[Tuple[str, str], Callable[..., Dict[str, Any]]] = {
             ("POST", "/schedule"): self.handle_schedule,
             ("POST", "/schedule_many"): self.handle_schedule_many,
@@ -190,11 +239,43 @@ class SchedulingService:
             ("POST", "/observe"): self.handle_observe,
             ("POST", "/chaos"): self.handle_chaos,
             ("POST", "/execute"): self.handle_execute,
+            ("POST", "/sessions"): self.handle_session_create,
             ("GET", "/healthz"): self.handle_healthz,
             ("GET", "/stats"): self.handle_stats,
         }
+        # Parameterized session routes: (method, label) -> handler
+        # taking (payload, tenant, session_id).  Labels double as the
+        # stats key so per-id paths cannot grow the stats table.
+        self._session_routes: Dict[Tuple[str, str],
+                                   Callable[..., Dict[str, Any]]] = {
+            ("POST", "/sessions/{id}/events"): self.handle_session_events,
+            ("GET", "/sessions/{id}"): self.handle_session_get,
+            ("DELETE", "/sessions/{id}"): self.handle_session_delete,
+        }
 
     # -- dispatch ------------------------------------------------------
+
+    def _resolve(self, method: str, path: str):
+        """Route lookup -> ``(handler, stats label, extra args)``.
+
+        Raises the 404/405 ServiceErrors of the routing contract; the
+        label is still returned inside the error via attribute so the
+        stats table stays bounded.
+        """
+        handler = self._routes.get((method, path))
+        if handler is not None:
+            return handler, path, ()
+        label, session_id = _session_label(path)
+        if label is not None:
+            handler = self._session_routes.get((method, label))
+            if handler is not None:
+                return handler, label, (session_id,)
+            methods = {m for m, lbl in self._session_routes if lbl == label}
+            if methods or any(p == label for _, p in self._routes):
+                raise ServiceError(405, f"{method} not allowed on {path}")
+        if any(route_path == path for _, route_path in self._routes):
+            raise ServiceError(405, f"{method} not allowed on {path}")
+        raise ServiceError(404, f"no such endpoint {path!r}")
 
     def dispatch(self, method: str, path: str, payload: Any,
                  tenant: Optional[str] = None) -> Tuple[int, Dict[str, Any]]:
@@ -203,17 +284,14 @@ class SchedulingService:
         Never raises: every failure mode maps to the error contract.
         """
         t0 = time.perf_counter()
-        handler = self._routes.get((method, path))
+        label = None
         try:
-            if handler is None:
-                if any(route_path == path
-                       for _, route_path in self._routes):
-                    raise ServiceError(405, f"{method} not allowed on {path}")
-                raise ServiceError(404, f"no such endpoint {path!r}")
-            status, body = 200, handler(payload, tenant)
+            handler, label, extra = self._resolve(method, path)
+            status, body = 200, handler(payload, tenant, *extra)
         except ServiceError as error:
-            status, body = error.status, {"error": str(error),
-                                          "error_type": error.error_type}
+            status = error.status
+            body = error.body if error.body is not None else {
+                "error": str(error), "error_type": error.error_type}
         except MalformedInputError as error:
             status, body = 400, _error_body(error)
         except BudgetExceededError as error:
@@ -226,7 +304,7 @@ class SchedulingService:
                                  "error_type": "InternalError"}
         # Unknown paths share one counter so path-scanning clients
         # cannot grow the stats table without bound.
-        self.stats.record(path if handler is not None else "(unknown)",
+        self.stats.record(label if label is not None else "(unknown)",
                           status, time.perf_counter() - t0)
         return status, body
 
@@ -444,9 +522,231 @@ class SchedulingService:
                            for anchor, cycle in events)
         return {"log": log.to_dict()}
 
+    # -- durable sessions ---------------------------------------------
+
+    def _check_admission(self) -> None:
+        if self.draining.is_set():
+            raise ServiceError(
+                503, "service is draining: session admission suspended",
+                "ServiceDrainingError")
+
+    def _session(self, session_id: str):
+        """The live session, lazily recovered; 404/410 per contract."""
+        try:
+            return self.sessions.get(session_id)
+        except SessionSealedError:
+            raise ServiceError(
+                410, f"session {session_id!r} was deleted and its "
+                     f"journal sealed", "SessionSealedError") from None
+        except KeyError:
+            raise ServiceError(
+                404, f"no such session {session_id!r}",
+                "SessionNotFoundError") from None
+
+    def handle_session_create(self, payload: Any,
+                              tenant: Optional[str]) -> Dict[str, Any]:
+        """Open a journaled executor stream: graph + watchdog + profile
+        go into the journal's genesis record, so the whole session is
+        recoverable from the journal alone."""
+        from repro.core.watchdog import (
+            WatchdogConfig,
+            WatchdogPolicy,
+            validate_watchdog_bounds,
+        )
+        from repro.qa.serialize import graph_to_dict
+        from repro.runtime.executor import OnlineExecutor
+        from repro.runtime.journal import JournalWriteError, watchdog_to_dict
+
+        self._check_admission()
+        payload = _object(payload)
+        budget = self.config.budget_for(tenant)
+        graph = untrusted_graph_from_dict(payload.get("graph"), budget)
+        mode = _anchor_mode(payload.get("mode", "full"))
+        watchdog = _watchdog_config(payload, WatchdogConfig, WatchdogPolicy)
+        auto_well_pose = _flag(payload, "auto_well_pose", True)
+        source_done = payload.get("source_done", 0)
+        if not isinstance(source_done, int) or isinstance(source_done, bool) \
+                or source_done < 0:
+            raise ServiceError(
+                400, f"\"source_done\" must be a non-negative integer, "
+                     f"got {source_done!r}", "MalformedInputError")
+        if watchdog is not None and watchdog.bounds:
+            validate_watchdog_bounds(watchdog.bounds, graph.anchors,
+                                     graph.source)
+        schedule = guarded_schedule(graph, budget, anchor_mode=mode,
+                                    auto_well_pose=auto_well_pose)
+        executor = OnlineExecutor(schedule, watchdog=watchdog,
+                                  source_done=source_done)
+        try:
+            session = self.sessions.create(
+                executor,
+                # The canonical serialization, not the raw payload: the
+                # recovery path replays exactly what the live path
+                # scheduled, whatever aliases the client's dict used.
+                graph_dict=graph_to_dict(graph),
+                mode=mode.value,
+                watchdog=watchdog_to_dict(watchdog),
+                source_done=source_done,
+                auto_well_pose=auto_well_pose)
+        except JournalWriteError as error:
+            raise ServiceError(503, f"session journal unavailable: {error}",
+                               "JournalWriteError") from None
+        return {
+            "session": session.id,
+            "state": session.state,
+            "journaled": session.journal is not None,
+            "issues": dict(executor.log.issues),
+            "done": dict(executor.log.done),
+            "complete": session.complete,
+        }
+
+    def handle_session_events(self, payload: Any, tenant: Optional[str],
+                              session_id: str) -> Dict[str, Any]:
+        """Append one event batch; journal first, then apply, then ack.
+
+        The write-ahead ordering is the durability contract: by the
+        time the response leaves, the batch is on disk (per the fsync
+        policy), so a crash after the acknowledgement loses nothing.
+        Idempotent by sequence number: a re-POSTed ``seq`` returns the
+        original acknowledgement with ``"replayed": true`` -- which is
+        what makes the client's at-least-once 503/timeout retry safe.
+        """
+        from repro.runtime.journal import (
+            JournalWriteError,
+            apply_batch,
+            validate_batch,
+        )
+
+        self._check_admission()
+        payload = _object(payload)
+        seq = payload.get("seq")
+        if isinstance(seq, bool) or not isinstance(seq, int) or seq < 1:
+            raise ServiceError(
+                400, f"\"seq\" must be a positive integer, got {seq!r}",
+                "MalformedInputError")
+        events = _event_list(payload)
+        if not events:
+            raise ServiceError(
+                400, "\"events\" must be a non-empty list (an empty "
+                     "batch has no acknowledgement to replay)",
+                "MalformedInputError")
+        session = self._session(session_id)
+        with session.lock:
+            if seq <= session.last_seq:
+                # Idempotent replay: the original acknowledgement, as
+                # recorded (or deterministically recomputed by journal
+                # replay after a crash).
+                stored = session.responses.get(seq)
+                if stored is None:  # pragma: no cover - defensive
+                    raise ServiceError(
+                        409, f"seq {seq} predates this session's "
+                             f"recovered prefix", "SequenceGapError")
+                status, body = stored
+                body = dict(body)
+                body["replayed"] = True
+                if status == 200:
+                    return body
+                raise ServiceError(status, body.get("error", ""),
+                                   body.get("error_type", "ServiceError"),
+                                   body=body)
+            if seq != session.last_seq + 1:
+                raise ServiceError(
+                    409, f"sequence gap: expected seq "
+                         f"{session.last_seq + 1}, got {seq}",
+                    "SequenceGapError")
+            if session.aborted:
+                raise ServiceError(
+                    409, f"session {session_id!r} aborted by watchdog "
+                         f"timeout; no further events accepted",
+                    "SessionAbortedError")
+            budget = self.config.max_session_events
+            if session.events_total + len(events) > budget:
+                raise ServiceError(
+                    429, f"batch of {len(events)} events would exceed "
+                         f"the per-session budget of {budget} "
+                         f"(already acknowledged: {session.events_total})",
+                    "BudgetExceededError")
+            # Semantic pre-validation BEFORE journaling: a batch feed()
+            # would reject must leave both the journal and the executor
+            # untouched (no partially applied batches on disk).
+            validate_batch(session.executor, events)
+            if session.journal is not None:
+                try:
+                    session.journal.append_events(seq, events)
+                except JournalWriteError as error:
+                    # The append may have left a torn fragment; drop the
+                    # session so the next request recovers (and
+                    # truncates) from the trusted prefix on disk.
+                    self.sessions.drop(session_id)
+                    raise ServiceError(
+                        503, f"session journal unavailable: {error}",
+                        "JournalWriteError") from None
+            outcome = apply_batch(session.executor, seq, events)
+            status, body = session.record(seq, events, outcome)
+            if status == 200:
+                return body
+            raise ServiceError(status, outcome.error_message,
+                               outcome.error or "ServiceError", body=body)
+
+    def handle_session_get(self, payload: Any, tenant: Optional[str],
+                           session_id: str) -> Dict[str, Any]:
+        """Executor state: the full execution log plus stream position."""
+        session = self._session(session_id)
+        with session.lock:
+            return {
+                "session": session.id,
+                "state": session.state,
+                "last_seq": session.last_seq,
+                "events_total": session.events_total,
+                "complete": session.complete,
+                "journaled": session.journal is not None,
+                "log": session.executor.log.to_dict(),
+            }
+
+    def handle_session_delete(self, payload: Any, tenant: Optional[str],
+                              session_id: str) -> Dict[str, Any]:
+        """Close the stream and seal the journal (tombstone: the id
+        answers 410 afterwards, which makes DELETE retry-safe)."""
+        from repro.core.exceptions import WatchdogTimeoutError
+        from repro.runtime.journal import JournalWriteError
+
+        session = self._session(session_id)
+        with session.lock:
+            abort_error: Optional[WatchdogTimeoutError] = None
+            try:
+                log = session.executor.close()
+            except WatchdogTimeoutError as error:
+                # End-of-stream watchdog escalation: the close still
+                # succeeds; the final state reports the abort.
+                abort_error = error
+                session.aborted = True
+                log = session.executor.log
+            if session.journal is not None:
+                try:
+                    session.journal.append_seal(session.last_seq)
+                except JournalWriteError as error:
+                    # Unsealed journals stay recoverable; the client
+                    # can retry the DELETE.
+                    raise ServiceError(
+                        503, f"session journal unavailable: {error}",
+                        "JournalWriteError") from None
+            self.sessions.drop(session_id)
+            body: Dict[str, Any] = {
+                "session": session.id,
+                "sealed": session.journal is not None,
+                "state": session.state,
+                "last_seq": session.last_seq,
+                "log": log.to_dict(),
+            }
+            if abort_error is not None:
+                body["error"] = str(abort_error)
+                body["error_type"] = type(abort_error).__name__
+            return body
+
     def handle_healthz(self, payload: Any,
                        tenant: Optional[str]) -> Dict[str, Any]:
-        return {"ok": True, "protocol": PROTOCOL_VERSION}
+        return {"ok": True, "protocol": PROTOCOL_VERSION,
+                "draining": self.draining.is_set()}
 
     def handle_stats(self, payload: Any,
                      tenant: Optional[str]) -> Dict[str, Any]:
@@ -459,12 +759,20 @@ class SchedulingService:
             body["cache"] = {"entries": len(self.cache),
                              "hits": self.cache.hits,
                              "misses": self.cache.misses}
+        body["sessions"] = {
+            "resident": len(self.sessions),
+            "recovered": self.recovered_sessions,
+            "evictions": self.sessions.evictions,
+            "journaled": self.config.journal_dir is not None,
+        }
         return body
 
     def close(self) -> None:
-        """Flush shared state at shutdown (cache staging -> disk)."""
+        """Flush shared state at shutdown (cache staging -> disk,
+        session journals fsynced -- the drain ordering's last step)."""
         if self.cache is not None:
             self.cache.flush()
+        self.sessions.sync_all()
 
 
 # -- payload helpers ---------------------------------------------------
@@ -472,6 +780,27 @@ class SchedulingService:
 
 def _error_body(error: Exception) -> Dict[str, Any]:
     return {"error": str(error), "error_type": type(error).__name__}
+
+
+def _session_label(path: str) -> Tuple[Optional[str], Optional[str]]:
+    """Normalize ``/sessions/{id}[/events]`` -> (route label, id).
+
+    Ids are restricted to alphanumerics and dashes (the same character
+    set the journal-directory scan accepts), so a crafted path cannot
+    smuggle separators toward journal filenames.
+    """
+    parts = path.strip("/").split("/")
+    if not 2 <= len(parts) <= 3 or parts[0] != "sessions":
+        return None, None
+    session_id = parts[1]
+    if not session_id or not all(c.isalnum() or c == "-"
+                                 for c in session_id):
+        return None, None
+    if len(parts) == 2:
+        return "/sessions/{id}", session_id
+    if parts[2] == "events":
+        return "/sessions/{id}/events", session_id
+    return None, None
 
 
 def _object(payload: Any) -> Dict[str, Any]:

@@ -139,6 +139,30 @@ class ServiceClient:
                             {"graph": graph_dict, "events": events,
                              **options})
 
+    # -- durable sessions ---------------------------------------------
+    #
+    # All four go through request(), so ``retries=N`` gives sessions
+    # the same bounded 503 retry as /schedule -- safe end-to-end
+    # because event POSTs are idempotent by sequence number: a retry
+    # of an acknowledgement lost in flight replays the original
+    # response instead of double-applying the batch.
+
+    def create_session(self, graph_dict: Dict[str, Any],
+                       **options: Any) -> Tuple[int, Dict[str, Any]]:
+        return self.request("POST", "/sessions",
+                            {"graph": graph_dict, **options})
+
+    def post_events(self, session_id: str, seq: int, events: Any
+                    ) -> Tuple[int, Dict[str, Any]]:
+        return self.request("POST", f"/sessions/{session_id}/events",
+                            {"seq": seq, "events": events})
+
+    def get_session(self, session_id: str) -> Tuple[int, Dict[str, Any]]:
+        return self.request("GET", f"/sessions/{session_id}")
+
+    def delete_session(self, session_id: str) -> Tuple[int, Dict[str, Any]]:
+        return self.request("DELETE", f"/sessions/{session_id}")
+
     def lint(self, graph_dict: Dict[str, Any],
              **options: Any) -> Tuple[int, Dict[str, Any]]:
         return self.request("POST", "/lint",

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import logging
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional, Tuple
@@ -56,11 +57,31 @@ class ServiceServer(ThreadingHTTPServer):
             self.config.host, self.port, self.pool.workers,
             self.pool.queue_capacity,
             "on" if self.service.batcher is not None else "off")
+        if self.config.journal_dir is not None:
+            LOGGER.info(
+                "session journals in %s -- %d session(s) recovered",
+                self.config.journal_dir, self.service.recovered_sessions)
+        self._down = threading.Lock()
 
     def shutdown(self) -> None:
-        super().shutdown()
-        self.pool.shutdown(wait=True)
-        self.service.close()
+        # Guard the teardown: the SIGTERM drain thread and serve()'s
+        # finally block may both get here.
+        with self._down:
+            super().shutdown()
+            self.pool.shutdown(wait=True)
+            self.service.close()
+
+    def drain(self) -> None:
+        """Graceful drain (the SIGTERM path): stop session admission
+        (503 + Retry-After), then stop accepting connections, finish
+        queued work, and fsync every journal -- in that order, so a
+        kill arriving mid-drain loses nothing acknowledged.
+
+        Must not run on the ``serve_forever`` thread (``shutdown``
+        would deadlock there); the signal handler spawns a thread.
+        """
+        self.service.draining.set()
+        self.shutdown()
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
@@ -119,23 +140,39 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # -- verbs ---------------------------------------------------------
 
+    def _respond_dispatch(self, status: int, body: Any) -> None:
+        # Every 503 -- saturation, drain, journal outage -- carries a
+        # Retry-After hint so the client's bounded retry has a cadence.
+        self._respond(status, body,
+                      extra_headers=((("Retry-After", "1"),)
+                                     if status == 503 else ()))
+
     def do_GET(self) -> None:
         path = self.path.split("?", 1)[0]
         # Health and stats answer on the handler thread: they must work
         # while the pool is saturated.
         status, body = self.server.service.dispatch("GET", path, None)
-        self._respond(status, body)
+        self._respond_dispatch(status, body)
 
     def do_POST(self) -> None:
         path = self.path.split("?", 1)[0]
         payload = self._read_body()
         if payload is None:
             return
+        self._pooled_dispatch("POST", path, payload)
+
+    def do_DELETE(self) -> None:
+        # DELETE bodies are ignored (none of the endpoints take one);
+        # the verb mutates state, so it goes through the pool like POST.
+        self._pooled_dispatch("DELETE", self.path.split("?", 1)[0], None)
+
+    def _pooled_dispatch(self, method: str, path: str,
+                         payload: Any) -> None:
         tenant = self.headers.get("X-Tenant")
         service = self.server.service
         try:
             status, body = self.server.pool.run(
-                lambda: service.dispatch("POST", path, payload, tenant),
+                lambda: service.dispatch(method, path, payload, tenant),
                 timeout=self.server.config.request_timeout_s)
         except PoolSaturatedError as error:
             self._respond(503, {"error": str(error),
@@ -146,7 +183,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._respond(504, {"error": str(error),
                                 "error_type": "JobTimeoutError"})
             return
-        self._respond(status, body)
+        self._respond_dispatch(status, body)
 
 
 def serve(config: Optional[ServiceConfig] = None, *,
@@ -164,6 +201,18 @@ def serve(config: Optional[ServiceConfig] = None, *,
     server = ServiceServer(config)
     if ready is not None:
         ready.set()
+    try:
+        # SIGTERM -> graceful drain: refuse new session work with
+        # 503 + Retry-After, stop the acceptor, finish queued jobs,
+        # fsync every journal, exit 0.  The handler must hand the
+        # actual shutdown to another thread -- calling it from the
+        # serve_forever thread would deadlock.
+        signal.signal(
+            signal.SIGTERM,
+            lambda signum, frame: threading.Thread(
+                target=server.drain, name="drain", daemon=True).start())
+    except ValueError:
+        pass  # not the main thread (test harnesses): no signal hook
     try:
         server.serve_forever(poll_interval=0.1)
     except KeyboardInterrupt:
