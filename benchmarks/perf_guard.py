@@ -366,6 +366,86 @@ def guard_service(factor):
     }
 
 
+def guard_devlint(budget_s, tolerance, reps):
+    """Devlint must stay cheap enough to gate every CI run, and the
+    lock sanitizer must cost nothing when it is off.
+
+    Three checks:
+
+    * ``devlint_cost`` -- one full :func:`repro.devlint.lint_paths`
+      pass over ``src/repro`` under a pinned wall-clock budget (the
+      budget prices the AST walk, not the machine: it is set an order
+      of magnitude above the measured cost).
+    * ``sanitize_off_plain_primitives`` -- with ``REPRO_SANITIZE``
+      unset (the only mode the guard runs in) the factories must hand
+      back the plain :mod:`threading` primitives: no wrapper type, no
+      extra call frame on acquire/release.
+    * ``sanitize_off_schedule_overhead`` -- self-relative:
+      ``schedule_graph`` with the shipped factory-built cache lock
+      versus the same run with the factory stubbed out entirely.  The
+      residual tax (one function call per graph construction) must sit
+      inside the same tolerance-plus-noise-floor envelope as every
+      other disabled path, on every machine.
+    """
+    import threading as _threading
+
+    import repro.core.graph as graphmod
+    from repro import sanitize
+    from repro.devlint import lint_paths
+
+    t0 = time.perf_counter()
+    report = lint_paths([str(REPO_ROOT / "src" / "repro")])
+    lint_s = time.perf_counter() - t0
+
+    entry = {
+        "name": "devlint",
+        "lint_s": round(lint_s, 3),
+        "diagnostics": len(report.diagnostics),
+        "notes": list(report.notes),
+        "checks": [{
+            "check": "devlint_cost",
+            "ok": lint_s <= budget_s,
+            "measured_s": round(lint_s, 3),
+            "budget_s": budget_s,
+        }, {
+            "check": "devlint_clean_tree",
+            "ok": not report.errors(),
+            "errors": len(report.errors()),
+        }],
+    }
+
+    plain = (not sanitize.enabled()
+             and type(sanitize.make_lock("x")) is type(_threading.Lock())
+             and type(sanitize.make_rlock("x")) is type(_threading.RLock())
+             and type(sanitize.make_condition("x")) is _threading.Condition)
+    entry["checks"].append({
+        "check": "sanitize_off_plain_primitives",
+        "ok": plain,
+    })
+
+    graph = make_random(200)
+    stock_ms = _time(graph, schedule_graph, reps)
+    # Sharing one RLock across the timed copies is fine: scheduling
+    # only ever takes it uncontended, and only the factory call itself
+    # is being subtracted out.
+    shared = _threading.RLock()
+    original = graphmod.make_rlock
+    graphmod.make_rlock = lambda name, io_ok=False: shared
+    try:
+        bare_ms = _time(graph, schedule_graph, reps)
+    finally:
+        graphmod.make_rlock = original
+    limit = bare_ms * (1 + tolerance) + NOISE_FLOOR_MS
+    entry["checks"].append({
+        "check": "sanitize_off_schedule_overhead",
+        "ok": stock_ms <= limit,
+        "measured_ms": round(stock_ms, 3),
+        "bare_ms": round(bare_ms, 3),
+        "limit_ms": round(limit, 3),
+    })
+    return entry
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -394,6 +474,11 @@ def main(argv=None):
                         help="fsync-off journaled sessions must keep the "
                         "per-event cost within this factor of in-memory "
                         "sessions (default 1.5)")
+    parser.add_argument("--devlint-budget", type=float, default=15.0,
+                        help="wall-clock budget in seconds for one full "
+                        "devlint pass over src/repro (default 15.0; the "
+                        "measured cost is ~1.5s, the budget prices the "
+                        "AST walk, not the runner)")
     parser.add_argument("--baseline", type=Path,
                         default=REPO_ROOT / "BENCH_core.json")
     parser.add_argument("--output", type=Path, default=None,
@@ -417,6 +502,8 @@ def main(argv=None):
     workloads.append(guard_runtime(args.runtime_floor))
     workloads.append(guard_journal(args.journal_factor))
     workloads.append(guard_service(args.service_factor))
+    workloads.append(guard_devlint(args.devlint_budget, args.tolerance,
+                                   reps))
 
     failed = []
     for workload in workloads:

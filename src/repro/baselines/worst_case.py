@@ -60,12 +60,12 @@ def budget_graph(graph: ConstraintGraph, budget: int) -> ConstraintGraph:
     clone._edges = []
     clone._out = {}
     clone._in = {}
-    import threading
+    from repro.sanitize import make_rlock
 
     clone._version = 0
     clone._analysis_cache = {}
     clone._cache_version = -1
-    clone._cache_lock = threading.RLock()
+    clone._cache_lock = make_rlock("graph.cache")
     clone._vindex = {}
     clone._vdelay_tok = []
     clone._epack = []

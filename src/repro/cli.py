@@ -283,6 +283,59 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.errors() else 0
 
 
+def cmd_devlint(args: argparse.Namespace) -> int:
+    """Self-lint: the DLxxx contract rules over this repo's own source.
+
+    Exit-code contract: 0 when no error-severity findings, 1 otherwise.
+    With ``--sanitizer-report FILE`` a saved :func:`repro.sanitize.report`
+    JSON is folded into the SARIF output as SANLOCK/SANIO results (and
+    counted against the exit code).
+    """
+    import json as _json
+
+    from repro.devlint import lint_paths
+    from repro.devlint.sarif import sarif_json, to_sarif
+
+    select = [code.strip() for code in args.select.split(",")
+              if code.strip()] if args.select else None
+    report = lint_paths(args.paths, select=select)
+
+    sanitizer = None
+    if args.sanitizer_report:
+        with open(args.sanitizer_report) as handle:
+            sanitizer = _json.load(handle)
+
+    sanitizer_errors = 0
+    if sanitizer and sanitizer.get("enabled"):
+        sanitizer_errors = (len(sanitizer.get("cycles", []))
+                            + len(sanitizer.get("io_findings", [])))
+
+    if args.format == "sarif":
+        rendered = sarif_json(report, sanitizer=sanitizer) + "\n"
+    elif args.format == "json":
+        payload = report.to_json()
+        payload["paths"] = list(args.paths)
+        if sanitizer is not None:
+            payload["sanitizer"] = sanitizer
+        rendered = _json.dumps(payload, indent=2) + "\n"
+    else:
+        rendered = report.format() + "\n"
+        if sanitizer and sanitizer.get("enabled"):
+            rendered += ("sanitizer: {} cycle(s), {} blocking-I/O "
+                         "finding(s) over {} acquisition(s)\n".format(
+                             len(sanitizer.get("cycles", [])),
+                             len(sanitizer.get("io_findings", [])),
+                             sanitizer.get("acquisitions", 0)))
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered)
+        print(f"devlint report written to {args.output}")
+    else:
+        print(rendered, end="")
+    return 1 if (report.errors() or sanitizer_errors) else 0
+
+
 def cmd_schedule(args: argparse.Namespace) -> int:
     """Compute and print the minimum relative schedule."""
     graph, _ = _load_graph(args.input)
@@ -768,6 +821,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the fixed graph here (default: "
                            "overwrite the input)")
     lint.set_defaults(handler=cmd_lint)
+
+    devlint = sub.add_parser("devlint", help="self-lint: DLxxx contract "
+                                        "rules over this repo's source")
+    devlint.add_argument("paths", nargs="*", default=["src/repro"],
+                         help="files or directories (default src/repro)")
+    devlint.add_argument("--format", default="text",
+                         choices=["text", "json", "sarif"],
+                         help="report format (default text)")
+    devlint.add_argument("--select", default=None, metavar="CODES",
+                         help="only run these DLxxx codes, comma-separated")
+    devlint.add_argument("--sanitizer-report", metavar="FILE",
+                         help="fold a saved repro.sanitize report JSON "
+                              "into the output (SANLOCK/SANIO results)")
+    devlint.add_argument("-o", "--output", help="write the report here "
+                                                "instead of stdout")
+    devlint.set_defaults(handler=cmd_devlint)
 
     schedule = sub.add_parser("schedule", help="compute the minimum "
                                                "relative schedule")

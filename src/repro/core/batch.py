@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+from contextlib import nullcontext
 from typing import Any, Dict, Iterable, List, Optional, Union
 
 try:  # pragma: no cover - exercised via the scalar-path tests
@@ -957,11 +958,16 @@ def schedule_many(graphs: Iterable[ConstraintGraph], *,
     return BatchRun(results, stats)  # type: ignore[arg-type]
 
 
+def _span(tracer, name: str):
+    """A tracer span under the PR-3 guard (free nullcontext when off)."""
+    return tracer.span(name) if tracer.enabled else nullcontext()
+
+
 def _schedule_arena(graphs, eligible, results, cache, auto_well_pose,
                     deadline, tracer) -> None:
     np = _np
     batch = [graphs[i] for i in eligible]
-    with tracer.span("batch.assemble"):
+    with _span(tracer, "batch.assemble"):
         arena = _assemble(batch)
         keys, rank = _arena_keys(arena)
         _check_deadline(deadline)
@@ -1005,7 +1011,7 @@ def _schedule_arena(graphs, eligible, results, cache, auto_well_pose,
         if rep != ai:
             dup_of[ai] = rep
 
-    with tracer.span("batch.classify"):
+    with _span(tracer, "batch.classify"):
         consider = np.ones(arena.na, bool)
         for ai in hits:
             consider[ai] = False
@@ -1030,7 +1036,7 @@ def _schedule_arena(graphs, eligible, results, cache, auto_well_pose,
     inconsistent = np.zeros(arena.na, bool)
     vmap = None
     if fast.any():
-        with tracer.span("batch.sweep"):
+        with _span(tracer, "batch.sweep"):
             sigma, bits, iterations, inconsistent, vmap = _dense_schedule(
                 arena, depth, mask, fast, deadline)
             fast = fast & ~inconsistent
@@ -1042,7 +1048,7 @@ def _schedule_arena(graphs, eligible, results, cache, auto_well_pose,
                 fast = fast & ~failed
                 need_fallback = need_fallback | failed
 
-    with tracer.span("batch.unpack"):
+    with _span(tracer, "batch.unpack"):
         canon = None
         if fast.any() and (cache is not None or dup_of):
             canon = _CanonicalRows(arena, rank, sigma, bits, fast, vmap)

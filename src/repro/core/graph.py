@@ -25,7 +25,6 @@ edges introduced by ``make_well_posed``; the graph enforces it.
 from __future__ import annotations
 
 import enum
-import threading
 from array import array
 from dataclasses import dataclass
 from typing import (
@@ -42,6 +41,7 @@ from typing import (
 
 from repro.core.delay import UNBOUNDED, Delay, is_unbounded, validate_delay
 from repro.core.exceptions import GraphStructureError
+from repro.sanitize import make_rlock
 from repro.observability.tracer import STATE as _OBS
 
 #: An edge weight: a (possibly negative) integer, or UNBOUNDED meaning
@@ -199,7 +199,7 @@ class ConstraintGraph:
         # rebuild against concurrent readers sharing this graph (the
         # service schedules shared design graphs from worker threads).
         # Reentrant because builders call cached() for other keys.
-        self._cache_lock = threading.RLock()
+        self._cache_lock = make_rlock("graph.cache")
         # Incrementally maintained primitive pack (see packed()): vertex
         # insertion indices, delay tokens, and flat (tail, head, weight,
         # kind-id) edge records with UNBOUNDED encoded as +/-UNBOUNDED_TOKEN.
@@ -697,7 +697,7 @@ class ConstraintGraph:
         clone._version = 0
         clone._analysis_cache = {}
         clone._cache_version = -1
-        clone._cache_lock = threading.RLock()
+        clone._cache_lock = make_rlock("graph.cache")
         clone._vindex = dict(self._vindex)
         clone._vdelay_tok = self._vdelay_tok[:]
         clone._epack = self._epack[:]

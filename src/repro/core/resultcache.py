@@ -42,9 +42,10 @@ from __future__ import annotations
 
 import json
 import os
-import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
+
+from repro.sanitize import make_lock
 
 try:  # pragma: no cover - platform-dependent
     import fcntl
@@ -77,7 +78,7 @@ class ScheduleCache:
         self.path = Path(path)
         self._entries: Dict[str, Dict[str, Any]] = {}
         self._pending: List[str] = []
-        self._lock = threading.Lock()
+        self._lock = make_lock("resultcache.entries")
         self.hits = 0
         self.misses = 0
         self.rejected_lines = 0

@@ -271,11 +271,12 @@ class IterativeIncrementalScheduler:
                     kernel: str, converged: bool = True) -> None:
         """Emit the per-run summary event and roll-up counters."""
         backward = len(self.graph.backward_edges())
-        tracer.count("scheduler.runs")
-        tracer.count("scheduler.iterations", iterations)
-        tracer.event("scheduler.run", iterations=iterations,
-                     bound=backward + 1, backward_edges=backward,
-                     warm=warm, kernel=kernel, converged=converged)
+        if tracer.enabled:  # callers guard; stay safe standalone
+            tracer.count("scheduler.runs")
+            tracer.count("scheduler.iterations", iterations)
+            tracer.event("scheduler.run", iterations=iterations,
+                         bound=backward + 1, backward_edges=backward,
+                         warm=warm, kernel=kernel, converged=converged)
 
     def _run_indexed(self, initial: Optional[OffsetState] = None) -> RelativeSchedule:
         """Run on the indexed array kernel (warm-started from *initial*

@@ -1,0 +1,142 @@
+"""SARIF 2.1.0 rendering of devlint reports.
+
+Same trimmed-schema subset as :mod:`repro.lint.sarif` (the bundled
+``sarif_schema.json`` validates both tools' output), but a separate
+driver: the graph linter describes paper-theorem rules, this one
+describes source-contract rules with incident citations.  Findings
+from the runtime lock-order sanitizer are folded into the same run as
+``SANLOCK`` / ``SANIO`` results so one SARIF artifact carries the
+whole concurrency story.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.lint.sarif import SARIF_SCHEMA_URI, SARIF_VERSION, load_trimmed_schema
+from repro.devlint.rules import RULE_CATALOGUE
+
+__all__ = ["TOOL_NAME", "SANITIZER_RULES", "to_sarif", "sarif_json",
+           "load_trimmed_schema"]
+
+TOOL_NAME = "repro-devlint"
+
+#: The two runtime-sanitizer finding kinds, appended to the AST rule
+#: catalogue so sanitizer results resolve to descriptors too.
+SANITIZER_RULES = (
+    ("SANLOCK", "lock-order-cycle",
+     "a cycle in the global lock acquisition-order graph "
+     "(potential deadlock)",
+     "REPRO_SANITIZE lock-order sanitizer", "error"),
+    ("SANIO", "blocking-io-under-lock",
+     "blocking I/O (fsync/flock/socket/sleep) while holding an "
+     "in-process lock not declared io_ok",
+     "REPRO_SANITIZE lock-order sanitizer", "error"),
+)
+
+_FULL_CATALOGUE = tuple(RULE_CATALOGUE) + SANITIZER_RULES
+
+
+def _rule_descriptors() -> List[Dict[str, Any]]:
+    descriptors = []
+    for code, name, summary, citation, severity in _FULL_CATALOGUE:
+        level = "note" if severity == "info" else severity
+        descriptors.append({
+            "id": code,
+            "name": name,
+            "shortDescription": {"text": summary},
+            "help": {"text": f"Enforces: {citation}. "
+                             f"See DESIGN.md section 15."},
+            "defaultConfiguration": {"level": level},
+        })
+    return descriptors
+
+
+def _rule_index(code: str) -> int:
+    for position, (rule_code, *_rest) in enumerate(_FULL_CATALOGUE):
+        if rule_code == code:
+            return position
+    return -1
+
+
+def _result(diagnostic: Diagnostic) -> Dict[str, Any]:
+    span = diagnostic.span
+    result: Dict[str, Any] = {
+        "ruleId": diagnostic.code,
+        "ruleIndex": _rule_index(diagnostic.code),
+        "level": diagnostic.severity.sarif_level,
+        "message": {"text": diagnostic.message},
+        "properties": {"citation": diagnostic.citation},
+    }
+    if span.file is not None:
+        physical: Dict[str, Any] = {
+            "artifactLocation": {"uri": span.file}}
+        if span.line is not None:
+            physical["region"] = {"startLine": span.line}
+        result["locations"] = [{"physicalLocation": physical}]
+    return result
+
+
+def to_sarif(report: LintReport, *,
+             sanitizer: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """The SARIF log for one devlint run.
+
+    Args:
+        report: the AST-rule findings.
+        sanitizer: an optional :func:`repro.sanitize.report` dict whose
+            cycles / io_findings are appended as SANLOCK / SANIO
+            results (no physical location -- they are dynamic-order
+            facts, the witness call chains ride in the message).
+    """
+    results = [_result(diagnostic) for diagnostic in report.diagnostics]
+    if sanitizer and sanitizer.get("enabled"):
+        for cycle in sanitizer.get("cycles", []):
+            results.append({
+                "ruleId": "SANLOCK",
+                "ruleIndex": _rule_index("SANLOCK"),
+                "level": "error",
+                "message": {"text": f"lock acquisition-order cycle "
+                                    f"{cycle['path']} (witnesses: "
+                                    f"{'; '.join(cycle['witnesses'])})"},
+            })
+        for finding in sanitizer.get("io_findings", []):
+            results.append({
+                "ruleId": "SANIO",
+                "ruleIndex": _rule_index("SANIO"),
+                "level": "error",
+                "message": {"text": f"blocking {finding['kind']} "
+                                    f"({finding['detail']}) while "
+                                    f"holding {finding['locks']} at "
+                                    f"{finding['witness']}"},
+            })
+    invocation: Dict[str, Any] = {"executionSuccessful": not any(
+        result["level"] == "error" for result in results)}
+    if report.notes:
+        invocation["toolExecutionNotifications"] = [
+            {"level": "note", "message": {"text": note}}
+            for note in report.notes]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": TOOL_NAME,
+                "version": "1.0.0",
+                "informationUri":
+                    "https://github.com/example/repro-scheduling",
+                "rules": _rule_descriptors(),
+            }},
+            "columnKind": "unicodeCodePoints",
+            "invocations": [invocation],
+            "results": results,
+        }],
+    }
+
+
+def sarif_json(report: LintReport, *,
+               sanitizer: Optional[Dict[str, Any]] = None,
+               indent: Optional[int] = 2) -> str:
+    return json.dumps(to_sarif(report, sanitizer=sanitizer),
+                      indent=indent, sort_keys=False)

@@ -32,7 +32,10 @@ import random
 import sys
 import zlib
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:
+    from repro.resilience.recovery import CrashReport
 
 from repro.core.exceptions import ConstraintGraphError
 from repro.core.watchdog import WatchdogPolicy
@@ -180,7 +183,8 @@ class CrashCampaignStats:
 
 
 def run_crash_case(seed: int,
-                   policy: Optional[WatchdogPolicy] = None):
+                   policy: Optional[WatchdogPolicy] = None,
+                   ) -> Optional["CrashReport"]:
     """Journal the deterministic case for *seed*, kill it at every
     record boundary plus seeded torn offsets, and verify bit-identical
     recovery.  Returns the :class:`~repro.resilience.recovery.

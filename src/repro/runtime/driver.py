@@ -32,7 +32,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Set, Tuple
+
+if TYPE_CHECKING:
+    from repro.sim.control_sim import ControlSimResult
 
 from repro.core.delay import is_stalled
 from repro.core.exceptions import WatchdogTimeoutError
@@ -48,7 +51,7 @@ _SPURIOUS, _GENUINE = 0, 1
 
 
 def events_from_result(schedule: RelativeSchedule,
-                       result) -> List[CompletionEvent]:
+                       result: "ControlSimResult") -> List[CompletionEvent]:
     """The completion stream a finished simulation's environment emitted.
 
     One event per non-source anchor that completed, at its recorded done

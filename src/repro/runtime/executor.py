@@ -36,7 +36,11 @@ reschedule, which ``benchmarks/bench_runtime.py`` pins.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:
+    from repro.core.graph import ConstraintGraph
+    from repro.core.resultcache import ScheduleCache
 
 from repro.core.anchors import AnchorMode, anchor_sets_for_mode
 from repro.core.delay import is_unbounded
@@ -421,7 +425,9 @@ class OnlineExecutor:
     # -- construction helpers ------------------------------------------
 
     @classmethod
-    def from_graph(cls, graph, *, cache=None, budget=None,
+    def from_graph(cls, graph: "ConstraintGraph", *,
+                   cache: "Optional[Union[ScheduleCache, str]]" = None,
+                   budget: Any = None,
                    watchdog: Optional[WatchdogConfig] = None,
                    source_done: int = 0) -> "OnlineExecutor":
         """Schedule *graph* and execute it, sharing a result cache.

@@ -51,10 +51,14 @@ from __future__ import annotations
 
 import json
 import os
-import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:
+    from repro.runtime.executor import OnlineExecutor
+
+from repro.sanitize import make_lock
 
 try:  # pragma: no cover - platform-dependent
     import fcntl
@@ -138,7 +142,10 @@ class SessionJournal:
                              f"(expected one of {FSYNC_POLICIES})")
         self.path = Path(path)
         self.fsync = fsync
-        self._lock = threading.Lock()
+        # io_ok: this lock IS the append-ordering discipline; the
+        # flock/write/fsync under it is the durability contract (see
+        # DESIGN.md section 15 on sanitizer false positives).
+        self._lock = make_lock("journal.append", io_ok=True)
         self.appends = 0
 
     # -- the write path ------------------------------------------------
@@ -468,7 +475,8 @@ class BatchOutcome:
         return body
 
 
-def validate_batch(executor, events: List[Tuple[str, int]]) -> None:
+def validate_batch(executor: "OnlineExecutor",
+                   events: List[Tuple[str, int]]) -> None:
     """Pre-flight one batch against *executor*'s current stream state.
 
     Raises :class:`~repro.core.exceptions.MalformedInputError` exactly
@@ -499,7 +507,7 @@ def validate_batch(executor, events: List[Tuple[str, int]]) -> None:
         clock = cycle
 
 
-def apply_batch(executor, seq: int,
+def apply_batch(executor: "OnlineExecutor", seq: int,
                 events: List[Tuple[str, int]]) -> BatchOutcome:
     """Feed one validated batch; return the issue-cycle delta.
 
@@ -540,7 +548,7 @@ def apply_batch(executor, seq: int,
     return outcome
 
 
-def watchdog_to_dict(config) -> Optional[Dict[str, Any]]:
+def watchdog_to_dict(config: Any) -> Optional[Dict[str, Any]]:
     """Serialize a :class:`~repro.core.watchdog.WatchdogConfig` into the
     journal's (and the service wire's) plain-dict shape."""
     if config is None:
@@ -555,7 +563,8 @@ def watchdog_to_dict(config) -> Optional[Dict[str, Any]]:
     }
 
 
-def executor_from_open_record(record: Dict[str, Any], budget=None):
+def executor_from_open_record(record: Dict[str, Any],
+                              budget: Any = None) -> "OnlineExecutor":
     """Rebuild the genesis executor an ``open`` record describes.
 
     Re-schedules the serialized graph through the same hardened
@@ -582,7 +591,8 @@ def executor_from_open_record(record: Dict[str, Any], budget=None):
                           source_done=record["source_done"])
 
 
-def replay_journal(state: JournalState, budget=None):
+def replay_journal(state: JournalState, budget: Any = None,
+                   ) -> Tuple["OnlineExecutor", Dict[int, BatchOutcome]]:
     """Recover a live executor from one journal's trusted prefix.
 
     Returns ``(executor, outcomes)`` where *outcomes* maps every

@@ -38,6 +38,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.sanitize import make_lock
 from repro.core.anchors import AnchorMode
 from repro.core.batch import schedule_many
 from repro.core.exceptions import (
@@ -56,9 +57,9 @@ from repro.resilience.guard import (
 )
 from repro.service.batcher import CoalescingBatcher
 from repro.service.sessions import (
+    Session,
     SessionSealedError,
     SessionTable,
-    outcome_response,
 )
 
 #: Service protocol version, stamped into /healthz and /stats.
@@ -171,7 +172,7 @@ class ServiceStats:
     _RESERVOIR = 2048
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("service.stats")
         # Monotonic, not wall-clock: an NTP step or DST jump must never
         # make the reported uptime leap or go negative.
         self._started = time.monotonic()
@@ -255,7 +256,8 @@ class SchedulingService:
 
     # -- dispatch ------------------------------------------------------
 
-    def _resolve(self, method: str, path: str):
+    def _resolve(self, method: str, path: str) -> Tuple[
+            Callable[..., Dict[str, Any]], str, Tuple[str, ...]]:
         """Route lookup -> ``(handler, stats label, extra args)``.
 
         Raises the 404/405 ServiceErrors of the routing contract; the
@@ -530,7 +532,7 @@ class SchedulingService:
                 503, "service is draining: session admission suspended",
                 "ServiceDrainingError")
 
-    def _session(self, session_id: str):
+    def _session(self, session_id: str) -> Session:
         """The live session, lazily recovered; 404/410 per contract."""
         try:
             return self.sessions.get(session_id)

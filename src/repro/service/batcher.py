@@ -31,6 +31,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional
 
+from repro.sanitize import make_condition
 from repro.core.batch import schedule_many
 from repro.core.graph import ConstraintGraph
 from repro.core.resultcache import ScheduleCache
@@ -68,7 +69,7 @@ class CoalescingBatcher:
         self.max_batch = max_batch
         self.cache = cache
         self.auto_well_pose = auto_well_pose
-        self._cond = threading.Condition()
+        self._cond = make_condition("batcher.pending")
         self._pending: List[_Slot] = []
         self._leader_active = False
         # Telemetry (read under the condition's lock via stats()).

@@ -31,6 +31,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional, Tuple
 
+from repro.sanitize import make_lock
 from repro.service.app import SchedulingService, ServiceConfig
 from repro.service.pool import JobTimeoutError, PoolSaturatedError, WorkerPool
 
@@ -61,7 +62,9 @@ class ServiceServer(ThreadingHTTPServer):
             LOGGER.info(
                 "session journals in %s -- %d session(s) recovered",
                 self.config.journal_dir, self.service.recovered_sessions)
-        self._down = threading.Lock()
+        # io_ok: shutdown closes sockets and drains the pool while
+        # held -- teardown-only, declared in the sanitizer policy.
+        self._down = make_lock("server.down", io_ok=True)
 
     def shutdown(self) -> None:
         # Guard the teardown: the SIGTERM drain thread and serve()'s

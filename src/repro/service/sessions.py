@@ -28,12 +28,12 @@ A sealed journal (explicit ``DELETE``) is a tombstone: the id answers
 
 from __future__ import annotations
 
-import threading
 import time
 import uuid
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.sanitize import make_lock
 from repro.runtime.journal import (
     BatchOutcome,
     SessionJournal,
@@ -78,7 +78,10 @@ class Session:
         self.id = session_id
         self.executor = executor
         self.journal = journal
-        self.lock = threading.Lock()
+        # io_ok: the write-ahead contract journals *under* the
+        # per-session lock (append must be ordered with the executor
+        # mutation it precedes); declared, not a sanitizer bug.
+        self.lock = make_lock("session", io_ok=True)
         self.responses: Dict[int, Tuple[int, Dict[str, Any]]] = {}
         self.last_seq = 0
         self.events_total = 0
@@ -133,7 +136,7 @@ class SessionTable:
         self.ttl_s = ttl_s
         self.fsync = fsync
         self.budget = budget
-        self._lock = threading.Lock()
+        self._lock = make_lock("sessions.table")
         self._sessions: "OrderedDict[str, Session]" = OrderedDict()
         self.evictions = 0
         self.recoveries = 0
@@ -256,28 +259,47 @@ class SessionTable:
         with self._lock:
             self._sessions[session.id] = session
             self._sessions.move_to_end(session.id)
-            self._evict_locked()
+            evicted = self._evict_locked()
+        self._sync_evicted(evicted)
 
     def evict_expired(self) -> None:
         with self._lock:
-            self._evict_locked(expired_only=True)
+            evicted = self._evict_locked(expired_only=True)
+        self._sync_evicted(evicted)
 
-    def _evict_locked(self, expired_only: bool = False) -> None:
+    def _evict_locked(self, expired_only: bool = False) -> List[Session]:
+        """Pop every over-TTL / over-cap session; caller holds the lock.
+
+        Returns the popped sessions so the *caller* can sync their
+        journals **after releasing the table lock**: an fsync can take
+        milliseconds, and holding the global lock across it would stall
+        every concurrent session lookup (a held-lock blocking-I/O
+        finding under ``REPRO_SANITIZE=1``).  Dropping the lock first
+        is safe -- the popped session is no longer discoverable, and a
+        concurrent lazy recovery of the same id replays only the
+        journal's acknowledged prefix, which the pending sync can only
+        extend, never contradict.
+        """
         now = time.monotonic()
-        expired = [sid for sid, s in self._sessions.items()
+        evicted = [self._evict_one(sid)
+                   for sid, s in list(self._sessions.items())
                    if now - s.touched > self.ttl_s]
-        for sid in expired:
-            self._evict_one(sid)
         if expired_only:
-            return
+            return evicted
         while len(self._sessions) > self.cap:
-            self._evict_one(next(iter(self._sessions)))
+            evicted.append(self._evict_one(next(iter(self._sessions))))
+        return evicted
 
-    def _evict_one(self, session_id: str) -> None:
+    def _evict_one(self, session_id: str) -> Optional[Session]:
         session = self._sessions.pop(session_id, None)
-        if session is not None and session.journal is not None:
-            session.journal.sync()
         self.evictions += 1
+        return session
+
+    @staticmethod
+    def _sync_evicted(evicted: List[Optional[Session]]) -> None:
+        for session in evicted:
+            if session is not None and session.journal is not None:
+                session.journal.sync()
 
     # -- drain ---------------------------------------------------------
 

@@ -1,0 +1,42 @@
+"""Suite-wide hooks.
+
+When the suite runs under ``REPRO_SANITIZE=1`` (the CI sanitize-smoke
+job), the session fails if the lock-order sanitizer recorded any
+acquisition-order cycle or any blocking I/O under a non-``io_ok`` lock
+-- even if every individual test passed.  The summary is printed either
+way so a green run shows the order graph it certified.
+"""
+
+import pytest
+
+
+def pytest_sessionfinish(session, exitstatus):
+    try:
+        from repro.sanitize import enabled, report
+    except ImportError:  # src not on the path (collection-only runs)
+        return
+    if not enabled():
+        return
+    summary = report()
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    lines = [
+        "repro.sanitize: %d acquisition(s), %d order edge(s), "
+        "%d cycle(s), %d io finding(s)"
+        % (summary["acquisitions"], len(summary["order_edges"]),
+           len(summary["cycles"]), len(summary["io_findings"])),
+    ]
+    for cycle in summary["cycles"]:
+        lines.append("  cycle: %s" % cycle["path"])
+        for witness in cycle["witnesses"]:
+            lines.append("    witness: %s" % witness)
+    for finding in summary["io_findings"]:
+        lines.append("  io: %s under %s (%s)"
+                     % (finding["kind"], finding["locks"],
+                        finding["witness"]))
+    for line in lines:
+        if reporter is not None:
+            reporter.write_line(line)
+        else:
+            print(line)
+    if summary["cycles"] or summary["io_findings"]:
+        session.exitstatus = pytest.ExitCode.TESTS_FAILED

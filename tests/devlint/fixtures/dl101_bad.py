@@ -1,0 +1,5 @@
+import time
+
+
+def uptime(started):
+    return time.time() - started

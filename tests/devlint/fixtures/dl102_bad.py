@@ -1,0 +1,5 @@
+from datetime import datetime
+
+
+def stamp():
+    return datetime.now()

@@ -1,0 +1,9 @@
+from contextlib import nullcontext
+
+
+def run(tracer, graph):
+    rec = tracer.enabled
+    if rec:
+        tracer.count("runs")
+    with tracer.span("work") if tracer.enabled else nullcontext():
+        return graph

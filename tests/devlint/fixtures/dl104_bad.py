@@ -1,0 +1,10 @@
+class RogueError(Exception):
+    pass
+
+
+def explode():
+    raise RogueError("outside the taxonomy")
+
+
+def worse():
+    raise Exception("raw Exception is never allowed")

@@ -1,0 +1,22 @@
+class ConstraintGraphError(Exception):
+    pass
+
+
+class DerivedError(ConstraintGraphError):
+    pass
+
+
+class NarrowError(ValueError):
+    pass
+
+
+def explode():
+    raise DerivedError("rooted in the taxonomy")
+
+
+def narrow():
+    raise NarrowError("stdlib passthrough root")
+
+
+def passthrough():
+    raise KeyError("declared stdlib passthrough")

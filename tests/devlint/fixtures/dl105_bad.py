@@ -1,0 +1,5 @@
+import os
+
+
+def append(fd, payload):
+    os.write(fd, payload)

@@ -1,0 +1,12 @@
+import fcntl
+import os
+
+
+def append(fd, payload):
+    fcntl.flock(fd, fcntl.LOCK_EX)
+    try:
+        view = memoryview(payload)
+        while view:
+            view = view[os.write(fd, view):]
+    finally:
+        fcntl.flock(fd, fcntl.LOCK_UN)

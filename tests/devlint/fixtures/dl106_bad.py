@@ -1,0 +1,13 @@
+import threading
+
+
+class Holder:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def copy(self):
+        clone = Holder.__new__(Holder)
+        clone.value = self.value
+        clone._lock = self._lock
+        return clone

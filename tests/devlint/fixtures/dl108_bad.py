@@ -1,0 +1,5 @@
+def lookup(table, key):
+    try:
+        return table[key]
+    except KeyError:
+        pass

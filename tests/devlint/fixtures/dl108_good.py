@@ -1,0 +1,5 @@
+def lookup(table, key, unsupported):
+    try:
+        return table[key]
+    except KeyError:
+        raise unsupported(key)

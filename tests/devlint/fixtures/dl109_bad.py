@@ -1,0 +1,5 @@
+def critical(lock):
+    lock.acquire()
+    work = 1
+    lock.release()
+    return work

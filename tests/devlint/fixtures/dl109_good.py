@@ -1,0 +1,11 @@
+def critical(lock):
+    lock.acquire()
+    try:
+        return 1
+    finally:
+        lock.release()
+
+
+def nicer(lock):
+    with lock:
+        return 1

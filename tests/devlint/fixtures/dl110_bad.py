@@ -1,0 +1,6 @@
+import time
+
+
+def linger(lock):
+    with lock:
+        time.sleep(0.5)

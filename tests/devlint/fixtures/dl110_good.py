@@ -1,0 +1,7 @@
+import time
+
+
+def linger(lock):
+    time.sleep(0.5)
+    with lock:
+        return 1

@@ -1,0 +1,125 @@
+"""Engine-level behavior: file walking, the repo-tree gate, CLI."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.devlint import RULE_CATALOGUE, RULE_CODES, lint_paths, lint_source
+
+REPO = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+SRC = os.path.join(REPO, "src", "repro")
+
+
+def test_repo_tree_is_clean():
+    """The acceptance pin: `repro devlint src/` exits 0 on this tree.
+
+    Every DLxxx invariant the catalogue encodes holds over the repo's
+    own source, with zero waivers on error-severity rules.
+    """
+    report = lint_paths([SRC])
+    assert report.errors() == [], report.format()
+    assert not any("waived" in note for note in report.notes), report.notes
+
+
+def test_walk_skips_pycache(tmp_path):
+    good = tmp_path / "mod.py"
+    good.write_text("import time\nX = time.time()\n")
+    cache = tmp_path / "__pycache__"
+    cache.mkdir()
+    (cache / "junk.py").write_text("import time\nY = time.time()\n")
+    report = lint_paths([str(tmp_path)])
+    assert [d.span.file for d in report.diagnostics] == [str(good)]
+
+
+def test_syntax_errors_become_notes(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    report = lint_paths([str(tmp_path)])
+    assert report.diagnostics == ()
+    assert any("skipped" in note and "broken.py" in note
+               for note in report.notes)
+
+
+def test_cross_file_taxonomy_resolution(tmp_path):
+    (tmp_path / "errors.py").write_text(
+        "class ConstraintGraphError(Exception):\n    pass\n"
+        "class DeepError(ConstraintGraphError):\n    pass\n")
+    (tmp_path / "user.py").write_text(
+        "from errors import DeepError\n"
+        "def go():\n    raise DeepError('fine')\n")
+    report = lint_paths([str(tmp_path)])
+    assert report.codes() == []
+
+
+def test_select_restricts_codes():
+    source = (
+        "import time\n"
+        "def f(tracer):\n"
+        "    tracer.event('x')\n"
+        "    return time.time()\n")
+    full = lint_source(source)
+    assert sorted(set(full.codes())) == ["DL101", "DL103"]
+    only = lint_source(source, select=["DL101"])
+    assert only.codes() == ["DL101"]
+
+
+def test_catalogue_shape():
+    assert len(RULE_CATALOGUE) == 10
+    assert list(RULE_CODES) == sorted(RULE_CODES)
+    for code, name, summary, citation, severity in RULE_CATALOGUE:
+        assert code.startswith("DL") and code[2:].isdigit()
+        assert name and summary
+        assert "PR-" in citation
+        assert severity in ("error", "warning", "info")
+
+
+def run_cli(*argv, cwd=REPO):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True, text=True, cwd=cwd, env=env)
+
+
+def test_cli_exit_zero_on_clean_tree():
+    proc = run_cli("devlint", "src/repro")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 error(s)" in proc.stdout
+
+
+def test_cli_exit_one_on_findings(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nX = time.time()\n")
+    proc = run_cli("devlint", str(bad))
+    assert proc.returncode == 1
+    assert "DL101" in proc.stdout
+
+
+def test_cli_json_format(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nX = time.time()\n")
+    proc = run_cli("devlint", str(bad), "--format", "json")
+    payload = json.loads(proc.stdout)
+    assert payload["summary"]["errors"] == 1
+    assert payload["diagnostics"][0]["code"] == "DL101"
+
+
+def test_cli_folds_sanitizer_report(tmp_path):
+    report = {
+        "enabled": True,
+        "acquisitions": 7,
+        "order_edges": {"a -> b": "x.py:1"},
+        "cycles": [{"path": "a -> b -> a",
+                    "witnesses": ["x.py:1", "y.py:2"]}],
+        "io_findings": [],
+    }
+    saved = tmp_path / "san.json"
+    saved.write_text(json.dumps(report))
+    clean = tmp_path / "ok.py"
+    clean.write_text("X = 1\n")
+    proc = run_cli("devlint", str(clean),
+                   "--sanitizer-report", str(saved))
+    assert proc.returncode == 1  # the cycle counts as an error
+    assert "1 cycle(s)" in proc.stdout

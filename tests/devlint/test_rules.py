@@ -1,0 +1,109 @@
+"""Per-rule positive/negative fixture coverage for repro.devlint."""
+
+import os
+
+import pytest
+
+from repro.devlint import RULE_CODES, lint_source
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+#: DL108 is path-scoped to kernel modules; every fixture is linted as
+#: if it lived there so the rule participates like the others.
+KERNEL_NAME = "src/repro/core/fixture.py"
+
+
+def lint_fixture(name):
+    with open(os.path.join(FIXTURES, name)) as handle:
+        return lint_source(handle.read(), filename=KERNEL_NAME)
+
+
+@pytest.mark.parametrize("code", [c.lower() for c in RULE_CODES])
+def test_positive_fixture_fires(code):
+    report = lint_fixture(f"{code}_bad.py")
+    assert code.upper() in report.codes(), report.format()
+
+
+@pytest.mark.parametrize("code", [c.lower() for c in RULE_CODES])
+def test_negative_fixture_is_clean(code):
+    report = lint_fixture(f"{code}_good.py")
+    assert report.codes() == [], report.format()
+
+
+def test_every_rule_has_both_fixtures():
+    names = set(os.listdir(FIXTURES))
+    for code in RULE_CODES:
+        assert f"{code.lower()}_bad.py" in names
+        assert f"{code.lower()}_good.py" in names
+
+
+def test_dl104_flags_raw_exception_raise():
+    report = lint_fixture("dl104_bad.py")
+    assert report.codes().count("DL104") >= 2  # class def + raise Exception
+
+
+def test_dl103_accepts_alias_guard():
+    source = (
+        "def run(tracer):\n"
+        "    rec = tracer.enabled\n"
+        "    if rec:\n"
+        "        tracer.event('x')\n")
+    assert lint_source(source).codes() == []
+
+
+def test_dl103_orelse_branch_is_not_guarded():
+    source = (
+        "def run(tracer):\n"
+        "    if tracer.enabled:\n"
+        "        pass\n"
+        "    else:\n"
+        "        tracer.event('x')\n")
+    assert lint_source(source).codes() == ["DL103"]
+
+
+def test_dl106_ignores_lockless_classes():
+    source = (
+        "class Plain:\n"
+        "    def __init__(self):\n"
+        "        self.value = 1\n"
+        "    def copy(self):\n"
+        "        return Plain()\n")
+    assert lint_source(source).codes() == []
+
+
+def test_dl106_recognizes_sanitize_factories():
+    source = (
+        "from repro.sanitize import make_rlock\n"
+        "class Holder:\n"
+        "    def __init__(self):\n"
+        "        self._lock = make_rlock('x')\n"
+        "    def copy(self):\n"
+        "        clone = Holder()\n"
+        "        clone._lock = make_rlock('x')\n"
+        "        return clone\n")
+    assert lint_source(source).codes() == []
+
+
+def test_dl108_only_fires_on_kernel_paths():
+    with open(os.path.join(FIXTURES, "dl108_bad.py")) as handle:
+        source = handle.read()
+    assert lint_source(source, filename="src/repro/service/x.py").codes() == []
+    assert lint_source(source, filename=KERNEL_NAME).codes() == ["DL108"]
+
+
+def test_waiver_suppresses_and_is_counted():
+    source = (
+        "import time\n"
+        "def now():\n"
+        "    return time.time()  # devlint: disable=DL101\n")
+    report = lint_source(source)
+    assert report.codes() == []
+    assert any("waived" in note for note in report.notes)
+
+
+def test_waiver_is_code_specific():
+    source = (
+        "import time\n"
+        "def now():\n"
+        "    return time.time()  # devlint: disable=DL102\n")
+    assert lint_source(source).codes() == ["DL101"]

@@ -1,0 +1,91 @@
+"""Devlint SARIF output must validate against the bundled schema."""
+
+import json
+
+import jsonschema
+import pytest
+
+from repro.devlint import RULE_CATALOGUE, SANITIZER_RULES, lint_source
+from repro.devlint.sarif import TOOL_NAME, load_trimmed_schema, to_sarif
+
+DIRTY = (
+    "import time\n"
+    "def f(tracer):\n"
+    "    tracer.event('x')\n"
+    "    return time.time()\n")
+
+SANITIZER = {
+    "enabled": True,
+    "acquisitions": 12,
+    "order_edges": {"sessions.table -> journal.append": "sessions.py:1"},
+    "cycles": [{"path": "a -> b -> a", "witnesses": ["x.py:1", "y.py:2"]}],
+    "io_findings": [{"kind": "fsync", "detail": "fd=3",
+                     "locks": "sessions.table", "witness": "s.py:27"}],
+}
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return load_trimmed_schema()
+
+
+def test_clean_report_validates(schema):
+    log = to_sarif(lint_source("X = 1\n"))
+    jsonschema.validate(instance=log, schema=schema)
+    assert log["runs"][0]["results"] == []
+    assert log["runs"][0]["invocations"][0]["executionSuccessful"]
+
+
+def test_dirty_report_validates(schema):
+    log = to_sarif(lint_source(DIRTY, filename="src/repro/x.py"))
+    jsonschema.validate(instance=log, schema=schema)
+    results = log["runs"][0]["results"]
+    assert {r["ruleId"] for r in results} == {"DL101", "DL103"}
+    for result in results:
+        assert result["level"] == "error"
+        physical = result["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "src/repro/x.py"
+        assert physical["region"]["startLine"] >= 1
+    assert not log["runs"][0]["invocations"][0]["executionSuccessful"]
+
+
+def test_sanitizer_findings_fold_in(schema):
+    log = to_sarif(lint_source("X = 1\n"), sanitizer=SANITIZER)
+    jsonschema.validate(instance=log, schema=schema)
+    by_rule = {r["ruleId"]: r for r in log["runs"][0]["results"]}
+    assert set(by_rule) == {"SANLOCK", "SANIO"}
+    assert "a -> b -> a" in by_rule["SANLOCK"]["message"]["text"]
+    assert "sessions.table" in by_rule["SANIO"]["message"]["text"]
+
+
+def test_disabled_sanitizer_adds_nothing(schema):
+    log = to_sarif(lint_source("X = 1\n"), sanitizer={"enabled": False})
+    jsonschema.validate(instance=log, schema=schema)
+    assert log["runs"][0]["results"] == []
+
+
+def test_driver_covers_every_rule_exactly_once():
+    log = to_sarif(lint_source("X = 1\n"))
+    driver = log["runs"][0]["tool"]["driver"]
+    assert driver["name"] == TOOL_NAME
+    ids = [rule["id"] for rule in driver["rules"]]
+    expected = ([code for code, *_ in RULE_CATALOGUE]
+                + [code for code, *_ in SANITIZER_RULES])
+    assert ids == expected
+    assert len(set(ids)) == len(ids)
+
+
+def test_rule_indices_resolve():
+    log = to_sarif(lint_source(DIRTY, filename="x.py"),
+                   sanitizer=SANITIZER)
+    driver_rules = log["runs"][0]["tool"]["driver"]["rules"]
+    for result in log["runs"][0]["results"]:
+        index = result["ruleIndex"]
+        assert driver_rules[index]["id"] == result["ruleId"]
+
+
+def test_json_round_trip(schema):
+    from repro.devlint import sarif_json
+
+    text = sarif_json(lint_source(DIRTY, filename="x.py"))
+    jsonschema.validate(instance=json.loads(text), schema=schema)
